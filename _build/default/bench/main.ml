@@ -1,0 +1,267 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, plus Bechamel micro-benchmarks of the core
+   primitives.
+
+   Usage: dune exec bench/main.exe -- [all|table1|table2|table3|figures|
+                                       cost|ablation|campaign|micro] [--quick]
+
+   Experiment index (see DESIGN.md):
+     T1  table1    MATE-search statistics per core and fault set
+     T2  table2    AVR MATE performance (complete set + top-N + transfer)
+     T3  table3    MSP430 MATE performance
+     F1a/F1b       the example circuit's cone/MATEs and pruning matrix
+     D1  cost      FPGA LUT cost of MATE sets (Section 6.1)
+     A1  ablation  heuristic-parameter sweep (depth / terms / seeding)
+     C1  campaign  sampled HAFI campaign with and without pruning *)
+
+module Netlist = Pruning_netlist.Netlist
+module Cone = Pruning_netlist.Cone
+module Cell = Pruning_cell.Cell
+module Gm = Pruning_cell.Gm
+module Sim = Pruning_sim.Sim
+module Trace = Pruning_sim.Trace
+module System = Pruning_cpu.System
+module Avr_asm = Pruning_cpu.Avr_asm
+module Programs = Pruning_cpu.Programs
+module Fault_space = Pruning_fi.Fault_space
+module Campaign = Pruning_fi.Campaign
+module Intercycle = Pruning_fi.Intercycle
+module Search = Pruning_mate.Search
+module Mateset = Pruning_mate.Mateset
+module Replay = Pruning_mate.Replay
+module Experiments = Pruning_report.Experiments
+module Figure1 = Pruning_report.Figure1
+module Table = Pruning_util.Table
+module Prng = Pruning_util.Prng
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+
+let mode =
+  let named = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--quick") in
+  match named with
+  | [] -> "all"
+  | m :: _ -> m
+
+let cycles = if quick then 1500 else 8500
+let params =
+  if quick then
+    { Search.default_params with Search.max_candidates = 400; max_situations = 6 }
+  else Search.default_params
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* prepare is expensive; memoize per core. *)
+let prepared_avr = ref None
+let prepared_msp = ref None
+
+let get_prepared which =
+  let cache, setup_fn, label =
+    match which with
+    | `Avr -> (prepared_avr, Experiments.avr_setup, "AVR")
+    | `Msp -> (prepared_msp, Experiments.msp_setup, "MSP430")
+  in
+  match !cache with
+  | Some p -> p
+  | None ->
+    Printf.printf "[preparing %s: synthesis, %d-cycle traces, MATE search...]\n%!" label cycles;
+    let t0 = Unix.gettimeofday () in
+    let p = Experiments.prepare ~params ~cycles (setup_fn ()) in
+    Printf.printf "[%s prepared in %.1fs]\n%!" label (Unix.gettimeofday () -. t0);
+    cache := Some p;
+    p
+
+let run_table1 () =
+  section "Table 1: Statistic for the heuristic MATE search";
+  let avr = get_prepared `Avr and msp = get_prepared `Msp in
+  Table.print (Experiments.table1 [ avr; msp ])
+
+let run_table2 () =
+  section "Table 2: AVR MATE performance";
+  Table.print (Experiments.table23 (get_prepared `Avr))
+
+let run_table3 () =
+  section "Table 3: MSP430 MATE performance";
+  Table.print (Experiments.table23 (get_prepared `Msp))
+
+let run_figures () =
+  section "Figure 1a: fault cone and MATEs of the example circuit";
+  print_string (Figure1.render_figure1a ());
+  section "Figure 1b: fault-space pruning over 8 cycles";
+  print_string (Figure1.render_figure1b ())
+
+let run_cost () =
+  section "Section 6.1: MATE hardware cost (FPGA LUTs)";
+  let avr = get_prepared `Avr in
+  Table.print ~title:"AVR MATE sets" (Experiments.mate_cost_table avr);
+  let msp = get_prepared `Msp in
+  Table.print ~title:"MSP430 MATE sets" (Experiments.mate_cost_table msp)
+
+(* Ablation: how the heuristic knobs trade fault-space reduction against
+   search effort, on the AVR non-RF fault set. *)
+let run_ablation () =
+  section "Ablation: heuristic parameters (AVR, FF w/o RF, fib trace)";
+  let nl = System.avr_netlist () in
+  let program = Avr_asm.assemble Programs.avr_fib in
+  let sys = System.create_avr ~netlist:nl ~program "avr/fib" in
+  let trace = System.record sys ~cycles in
+  let flops = Netlist.flops_excluding nl ~prefix:"rf_" in
+  let space = Fault_space.without_prefix nl ~prefix:"rf_" ~cycles in
+  let t = Table.create [ "depth"; "max terms"; "seeded"; "MATEs"; "masked"; "time [s]" ] in
+  let variants =
+    [
+      (2, 4, false); (2, 4, true); (8, 4, true); (8, 8, false); (8, 8, true);
+    ]
+  in
+  List.iter
+    (fun (depth, max_terms, seeded) ->
+      let p = { params with Search.depth; max_terms } in
+      let traces = if seeded then Some [ trace ] else None in
+      let report = Search.search_flops ~params:p ?traces nl flops in
+      let set = Mateset.of_report report in
+      let triggers = Replay.triggers set trace in
+      Table.add_row t
+        [
+          string_of_int depth;
+          string_of_int max_terms;
+          (if seeded then "yes" else "no");
+          string_of_int (Mateset.size set);
+          Printf.sprintf "%.2f%%" (Replay.reduction_percent set triggers ~space ());
+          Printf.sprintf "%.1f" report.Search.runtime_s;
+        ])
+    variants;
+  Table.print t
+
+let run_campaign () =
+  section "HAFI campaign: experiments avoided by online pruning (AVR/fib)";
+  let horizon = if quick then 200 else 400 in
+  let samples = if quick then 120 else 300 in
+  let nl = System.avr_netlist () in
+  let program = Avr_asm.assemble Programs.avr_fib in
+  let make () = System.create_avr ~netlist:nl ~program "avr/fib" in
+  let space = Fault_space.full nl ~cycles:horizon in
+  let campaign = Campaign.create ~make ~total_cycles:horizon in
+  let plain = Campaign.run_sample campaign ~space ~rng:(Prng.create 7) ~n:samples () in
+  let trace = System.record (make ()) ~cycles:horizon in
+  let report = Search.search_flops ~params ~traces:[ trace ] nl (Array.to_list nl.Netlist.flops) in
+  let set = Mateset.of_report report in
+  let triggers = Replay.triggers set trace in
+  let matrix = Replay.masked set triggers ~space () in
+  let skip ~flop_id ~cycle =
+    match Fault_space.flop_index space flop_id with
+    | Some fi -> matrix.(cycle).(fi)
+    | None -> false
+  in
+  let pruned = Campaign.run_sample campaign ~space ~rng:(Prng.create 7) ~n:samples ~skip () in
+  let t = Table.create [ "campaign"; "injections"; "benign"; "latent"; "SDC" ] in
+  let row label (s : Campaign.stats) =
+    Table.add_row t
+      [
+        label; string_of_int s.Campaign.injections; string_of_int s.Campaign.benign;
+        string_of_int s.Campaign.latent; string_of_int s.Campaign.sdc;
+      ]
+  in
+  row "plain" plain;
+  row "MATE-pruned" pruned;
+  Table.print t;
+  Printf.printf "experiments avoided: %d of %d (verdict distribution unchanged)\n"
+    (plain.Campaign.injections - pruned.Campaign.injections)
+    plain.Campaign.injections;
+  (* Complementary inter-cycle equivalence on a register-file slice. *)
+  let rf_slice = Array.of_list (Netlist.flops_matching nl ~prefix:"rf_1") in
+  let sys = make () in
+  let classes = Intercycle.compute sys.System.sim ~flops:rf_slice ~cycles:horizon in
+  Printf.printf
+    "inter-cycle equivalence (rf_1x slice): %d faults -> %d classes (%.1fx fewer experiments)\n"
+    (Intercycle.n_faults classes) classes.Intercycle.n_classes
+    (Intercycle.reduction_factor classes)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks, including one Test per paper table at a
+   strongly reduced scale (the full-scale tables are printed above; these
+   measure the cost of regenerating them). *)
+
+let micro_tests () =
+  let open Bechamel in
+  let nl = System.avr_netlist () in
+  let some_flop = (Netlist.find_flop nl "sreg[1]").Netlist.flop_id in
+  let q_wire = nl.Netlist.flops.(some_flop).Netlist.q in
+  let mux2 = Cell.of_kind Cell.MUX2 in
+  let sys = System.create_avr ~netlist:nl ~program:(Avr_asm.assemble Programs.avr_fib) "avr/fib" in
+  let tiny = { Search.default_params with Search.max_candidates = 50; max_situations = 2 } in
+  let tiny_cycles = 120 in
+  let tiny_trace = System.record (System.create_avr ~netlist:nl ~program:(Avr_asm.assemble Programs.avr_fib) "t") ~cycles:tiny_cycles in
+  let tiny_set =
+    Mateset.of_report
+      (Search.search_flops ~params:tiny ~traces:[ tiny_trace ] nl
+         (Netlist.flops_excluding nl ~prefix:"rf_"))
+  in
+  [
+    Test.make ~name:"cone/avr-flop" (Staged.stage (fun () -> Cone.compute nl q_wire));
+    Test.make ~name:"gm/mux2-select"
+      (Staged.stage (fun () -> Gm.masking_terms mux2 ~faulty:[ 2 ]));
+    Test.make ~name:"sim/avr-cycle" (Staged.stage (fun () -> Sim.step sys.System.sim ()));
+    Test.make ~name:"search/one-wire"
+      (Staged.stage (fun () -> Search.search_wire nl tiny q_wire));
+    Test.make ~name:"table1/tiny"
+      (Staged.stage (fun () ->
+           Search.search_flops ~params:tiny nl
+             (Netlist.flops_excluding nl ~prefix:"rf_")));
+    Test.make ~name:"table23/tiny-replay"
+      (Staged.stage (fun () -> Replay.triggers tiny_set tiny_trace));
+    Test.make ~name:"figure1b/full" (Staged.stage (fun () -> Figure1.render_figure1b ()));
+  ]
+
+let run_micro () =
+  section "Bechamel micro-benchmarks";
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None () in
+  let tests = Test.make_grouped ~name:"pruning" (micro_tests ()) in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let t = Table.create [ "benchmark"; "time/run" ] in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      let estimate =
+        match Analyze.OLS.estimates result with
+        | Some (e :: _) -> e
+        | _ -> nan
+      in
+      let human =
+        if estimate > 1e9 then Printf.sprintf "%.2f s" (estimate /. 1e9)
+        else if estimate > 1e6 then Printf.sprintf "%.2f ms" (estimate /. 1e6)
+        else if estimate > 1e3 then Printf.sprintf "%.2f us" (estimate /. 1e3)
+        else Printf.sprintf "%.0f ns" estimate
+      in
+      Table.add_row t [ name; human ])
+    (List.sort compare rows);
+  Table.print t
+
+let () =
+  Printf.printf "pruning benchmark harness (mode: %s%s)\n" mode (if quick then ", quick" else "");
+  (match mode with
+  | "table1" -> run_table1 ()
+  | "table2" -> run_table2 ()
+  | "table3" -> run_table3 ()
+  | "figures" | "figure1a" | "figure1b" -> run_figures ()
+  | "cost" -> run_cost ()
+  | "ablation" -> run_ablation ()
+  | "campaign" -> run_campaign ()
+  | "micro" -> run_micro ()
+  | "all" ->
+    run_figures ();
+    run_table1 ();
+    run_table2 ();
+    run_table3 ();
+    run_cost ();
+    run_ablation ();
+    run_campaign ();
+    run_micro ()
+  | other ->
+    Printf.eprintf "unknown mode %s\n" other;
+    exit 1);
+  print_newline ()

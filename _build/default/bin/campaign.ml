@@ -1,0 +1,85 @@
+(* campaign: sampled end-to-end fault-injection campaign on a built-in
+   core/program, with and without MATE-based fault-space pruning — the
+   HAFI use case of the paper, emulated in the simulator. *)
+
+module Netlist = Pruning_netlist.Netlist
+module System = Pruning_cpu.System
+module Avr_asm = Pruning_cpu.Avr_asm
+module Msp_asm = Pruning_cpu.Msp_asm
+module Programs = Pruning_cpu.Programs
+module Fi_campaign = Pruning_fi.Campaign
+module Fault_space = Pruning_fi.Fault_space
+module Search = Pruning_mate.Search
+module Mateset = Pruning_mate.Mateset
+module Replay = Pruning_mate.Replay
+module Prng = Pruning_util.Prng
+open Cmdliner
+
+let make_system core program =
+  match (core, program) with
+  | "avr", "fib" ->
+    Some (fun nl -> System.create_avr ?netlist:nl ~program:(Avr_asm.assemble Programs.avr_fib) "avr/fib")
+  | "avr", "conv" ->
+    Some (fun nl -> System.create_avr ?netlist:nl ~program:(Avr_asm.assemble Programs.avr_conv) "avr/conv")
+  | "msp430", "fib" ->
+    Some (fun nl -> System.create_msp ?netlist:nl ~program:(Msp_asm.assemble Programs.msp_fib) "msp/fib")
+  | "msp430", "conv" ->
+    Some (fun nl -> System.create_msp ?netlist:nl ~program:(Msp_asm.assemble Programs.msp_conv) "msp/conv")
+  | _ -> None
+
+let run core program cycles samples seed prune =
+  match make_system core program with
+  | None ->
+    prerr_endline "campaign: unknown core/program (avr|msp430 x fib|conv)";
+    1
+  | Some make ->
+    let nl = (make None).System.netlist in
+    let space = Fault_space.full nl ~cycles in
+    Printf.printf "%s/%s: fault space = %d flops x %d cycles = %d faults; sampling %d\n%!"
+      core program (Array.length space.Fault_space.flops) cycles (Fault_space.size space) samples;
+    let campaign = Fi_campaign.create ~make:(fun () -> make (Some nl)) ~total_cycles:cycles in
+    let skip =
+      if not prune then None
+      else begin
+        Printf.printf "searching MATEs...\n%!";
+        let report = Search.search_flops nl (Array.to_list nl.Netlist.flops) in
+        let set = Mateset.of_report report in
+        Printf.printf "replaying golden trace over %d MATEs...\n%!" (Mateset.size set);
+        let sys = make (Some nl) in
+        let trace = System.record sys ~cycles in
+        let triggers = Replay.triggers set trace in
+        let matrix = Replay.masked set triggers ~space () in
+        let pruned = Replay.masked_count matrix in
+        Printf.printf "MATEs prune %d of %d faults (%.2f%%) before injection\n%!" pruned
+          (Fault_space.size space)
+          (Pruning_util.Stats.percentage pruned (Fault_space.size space));
+        Some
+          (fun ~flop_id ~cycle ->
+            match Fault_space.flop_index space flop_id with
+            | Some fi -> matrix.(cycle).(fi)
+            | None -> false)
+      end
+    in
+    let rng = Prng.create seed in
+    let start = Unix.gettimeofday () in
+    let stats = Fi_campaign.run_sample campaign ~space ~rng ~n:samples ?skip () in
+    let elapsed = Unix.gettimeofday () -. start in
+    Printf.printf "ran %d injections (%d skipped as pruned) in %.1fs\n" stats.Fi_campaign.injections
+      (samples - stats.Fi_campaign.injections) elapsed;
+    Printf.printf "verdicts: %d benign, %d latent, %d SDC\n" stats.Fi_campaign.benign
+      stats.Fi_campaign.latent stats.Fi_campaign.sdc;
+    0
+
+let core = Arg.(value & opt string "avr" & info [ "core" ] ~doc:"avr or msp430.")
+let program = Arg.(value & opt string "fib" & info [ "program" ] ~doc:"fib or conv.")
+let cycles = Arg.(value & opt int 500 & info [ "cycles" ] ~doc:"Campaign horizon in cycles.")
+let samples = Arg.(value & opt int 200 & info [ "samples" ] ~doc:"Number of sampled faults.")
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Sampling seed.")
+let prune = Arg.(value & flag & info [ "prune" ] ~doc:"Prune the fault list with MATEs first.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"sampled fault-injection campaign with optional MATE pruning")
+    Term.(const run $ core $ program $ cycles $ samples $ seed $ prune)
+
+let () = exit (Cmd.eval' cmd)

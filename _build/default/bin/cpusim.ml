@@ -1,0 +1,62 @@
+(* cpusim: run one of the built-in programs on one of the built-in cores,
+   optionally dumping a wire-level VCD trace — the "netlist simulation"
+   step of the paper's flow. *)
+
+module Netlist = Pruning_netlist.Netlist
+module Sim = Pruning_sim.Sim
+module Vcd = Pruning_vcd.Vcd
+module System = Pruning_cpu.System
+module Avr_asm = Pruning_cpu.Avr_asm
+module Msp_asm = Pruning_cpu.Msp_asm
+module Programs = Pruning_cpu.Programs
+open Cmdliner
+
+let systems =
+  [
+    (("avr", "fib"), fun () -> System.create_avr ~program:(Avr_asm.assemble Programs.avr_fib) "avr/fib");
+    (("avr", "conv"), fun () -> System.create_avr ~program:(Avr_asm.assemble Programs.avr_conv) "avr/conv");
+    (("avr", "sort"), fun () -> System.create_avr ~program:(Avr_asm.assemble Programs.avr_sort) "avr/sort");
+    (("msp430", "fib"), fun () -> System.create_msp ~program:(Msp_asm.assemble Programs.msp_fib) "msp/fib");
+    (("msp430", "conv"), fun () -> System.create_msp ~program:(Msp_asm.assemble Programs.msp_conv) "msp/conv");
+  ]
+
+let run core program cycles vcd_out ram_dump =
+  match List.assoc_opt (core, program) systems with
+  | None ->
+    prerr_endline "cpusim: unknown core/program (avr x fib|conv|sort, msp430 x fib|conv)";
+    1
+  | Some make ->
+    let sys = make () in
+    let nl = sys.System.netlist in
+    Printf.printf "%s: %d gates, %d flops, %d wires; running %d cycles\n%!" sys.System.name
+      (Netlist.n_gates nl) (Netlist.n_flops nl) (Netlist.n_wires nl) cycles;
+    let start = Unix.gettimeofday () in
+    (match vcd_out with
+    | Some path ->
+      let trace = System.record sys ~cycles in
+      Vcd.write_file nl trace path;
+      Printf.printf "VCD written to %s (%d cycles)\n" path cycles
+    | None -> System.run sys ~cycles);
+    Printf.printf "simulated in %.2fs (%.0f cycles/s)\n" (Unix.gettimeofday () -. start)
+      (float_of_int cycles /. (Unix.gettimeofday () -. start));
+    if ram_dump > 0 then begin
+      Printf.printf "memory[0..%d]:" (ram_dump - 1);
+      Array.iteri
+        (fun i v -> if i < ram_dump then Printf.printf " %02x" v)
+        sys.System.ram;
+      print_newline ()
+    end;
+    0
+
+let core = Arg.(value & opt string "avr" & info [ "core" ] ~doc:"avr or msp430.")
+let program = Arg.(value & opt string "fib" & info [ "program" ] ~doc:"fib, conv or sort (sort: AVR only).")
+let cycles = Arg.(value & opt int 8500 & info [ "cycles" ] ~doc:"Clock cycles to simulate.")
+let vcd = Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE" ~doc:"Dump a VCD trace.")
+let ram_dump = Arg.(value & opt int 48 & info [ "dump" ] ~doc:"Dump the first N memory cells (0 = none).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "cpusim" ~doc:"cycle-accurate netlist simulation of the built-in cores")
+    Term.(const run $ core $ program $ cycles $ vcd $ ram_dump)
+
+let () = exit (Cmd.eval' cmd)

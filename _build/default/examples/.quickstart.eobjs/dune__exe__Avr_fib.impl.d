@@ -1,0 +1,1 @@
+examples/avr_fib.ml: Array Avr_asm List Printf Programs Pruning_cpu Pruning_fi Pruning_mate Pruning_netlist Pruning_sim Pruning_util Sys System

@@ -1,0 +1,1 @@
+examples/avr_fib.mli:

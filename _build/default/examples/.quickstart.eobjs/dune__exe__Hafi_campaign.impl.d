@@ -1,0 +1,1 @@
+examples/hafi_campaign.ml: Array Avr_asm Printf Programs Pruning_cpu Pruning_fi Pruning_mate Pruning_netlist Pruning_util System Unix

@@ -1,0 +1,1 @@
+examples/hafi_campaign.mli:

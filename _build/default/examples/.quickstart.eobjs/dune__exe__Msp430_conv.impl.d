@@ -1,0 +1,1 @@
+examples/msp430_conv.ml: Array List Msp_asm Printf Programs Pruning_cpu Pruning_fi Pruning_mate Pruning_netlist Sys System

@@ -1,0 +1,1 @@
+examples/msp430_conv.mli:

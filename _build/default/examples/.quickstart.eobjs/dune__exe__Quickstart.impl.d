@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename Printf Pruning_netlist Pruning_report

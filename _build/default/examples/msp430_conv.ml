@@ -1,0 +1,61 @@
+(* MATE transferability on the MSP430 core (the cross-validation question
+   of the paper's Tables 2/3): select the top-N MATEs on one program's
+   trace and evaluate the fault-space reduction on the other program.
+
+   Run with: dune exec examples/msp430_conv.exe  (add --quick) *)
+
+module Netlist = Pruning_netlist.Netlist
+module Fault_space = Pruning_fi.Fault_space
+module Search = Pruning_mate.Search
+module Mateset = Pruning_mate.Mateset
+module Replay = Pruning_mate.Replay
+module Select = Pruning_mate.Select
+module Cost = Pruning_mate.Cost
+open Pruning_cpu
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let cycles = if quick then 2000 else 8500 in
+  let params =
+    if quick then { Search.default_params with Search.max_candidates = 500; max_situations = 6 }
+    else Search.default_params
+  in
+  let nl = System.msp_netlist () in
+  Printf.printf "MSP430 core: %d gates, %d flip-flops (multi-cycle FSM)\n%!"
+    (Netlist.n_gates nl) (Netlist.n_flops nl);
+  let record items name =
+    let sys = System.create_msp ~netlist:nl ~program:(Msp_asm.assemble items) name in
+    System.record sys ~cycles
+  in
+  let trace_fib = record Programs.msp_fib "msp/fib" in
+  let trace_conv = record Programs.msp_conv "msp/conv" in
+  Printf.printf "traces recorded: fib and conv, %d cycles each\n%!" cycles;
+  let report =
+    Search.search_flops ~params ~traces:[ trace_fib; trace_conv ] nl
+      (Array.to_list nl.Netlist.flops)
+  in
+  let set = Mateset.of_report report in
+  Printf.printf "MATE search: %.1fs, %d MATEs (%d distinct)\n%!" report.Search.runtime_s
+    (Search.total_mates report) (Mateset.size set);
+  let space = Fault_space.without_prefix nl ~prefix:"rf_" ~cycles in
+  let triggers_fib = Replay.triggers set trace_fib in
+  let triggers_conv = Replay.triggers set trace_conv in
+  let reduction triggers subset = Replay.reduction_percent set triggers ~space ?subset () in
+  Printf.printf "\nfault set: FF w/o RF (%d flops x %d cycles)\n"
+    (Array.length space.Fault_space.flops) cycles;
+  Printf.printf "complete set:          fib %5.2f%%   conv %5.2f%%\n"
+    (reduction triggers_fib None) (reduction triggers_conv None);
+  List.iter
+    (fun n ->
+      let sel_fib = Select.top (Select.rank set triggers_fib ~space) ~n in
+      let sel_conv = Select.top (Select.rank set triggers_conv ~space) ~n in
+      Printf.printf "top-%-3d sel. on fib:   fib %5.2f%%   conv %5.2f%%   (transfer)\n" n
+        (reduction triggers_fib (Some sel_fib))
+        (reduction triggers_conv (Some sel_fib));
+      Printf.printf "top-%-3d sel. on conv:  fib %5.2f%%   conv %5.2f%%\n" n
+        (reduction triggers_fib (Some sel_conv))
+        (reduction triggers_conv (Some sel_conv));
+      let summary = Cost.summarize set ~subset:sel_fib () in
+      Printf.printf "        hardware cost of the fib selection: %d LUTs, %.1f inputs/MATE\n"
+        summary.Cost.total_luts summary.Cost.avg_inputs)
+    [ 10; 50 ]

@@ -1,0 +1,1 @@
+lib/cell/gm.ml: Array Cell Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/cpu/avr_asm.ml: Array Avr_isa Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/cpu/avr_asm.mli: Avr_isa

@@ -1,0 +1,1 @@
+lib/cpu/avr_core.ml: Array Avr_isa Printf Pruning_rtl

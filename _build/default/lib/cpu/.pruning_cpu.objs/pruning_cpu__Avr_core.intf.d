@@ -1,0 +1,1 @@
+lib/cpu/avr_core.mli: Pruning_netlist Pruning_rtl

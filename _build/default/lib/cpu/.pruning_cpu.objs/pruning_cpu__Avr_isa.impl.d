@@ -1,0 +1,1 @@
+lib/cpu/avr_isa.ml: Printf

@@ -1,0 +1,1 @@
+lib/cpu/avr_ref.ml: Array Avr_isa Bool

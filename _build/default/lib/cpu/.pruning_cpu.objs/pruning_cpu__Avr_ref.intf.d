@@ -1,0 +1,1 @@
+lib/cpu/avr_ref.mli:

@@ -1,0 +1,1 @@
+lib/cpu/memory.ml: Array Pruning_netlist Pruning_sim

@@ -1,0 +1,1 @@
+lib/cpu/memory.mli: Pruning_netlist Pruning_sim

@@ -1,0 +1,1 @@
+lib/cpu/msp_asm.ml: Array Hashtbl List Msp_isa Printf

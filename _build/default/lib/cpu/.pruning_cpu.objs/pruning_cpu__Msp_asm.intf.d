@@ -1,0 +1,1 @@
+lib/cpu/msp_asm.mli: Msp_isa

@@ -1,0 +1,1 @@
+lib/cpu/msp_core.ml: Array Printf Pruning_rtl

@@ -1,0 +1,1 @@
+lib/cpu/msp_core.mli: Pruning_netlist Pruning_rtl

@@ -1,0 +1,1 @@
+lib/cpu/msp_isa.mli:

@@ -1,0 +1,1 @@
+lib/cpu/msp_ref.ml: Array Bool Msp_isa

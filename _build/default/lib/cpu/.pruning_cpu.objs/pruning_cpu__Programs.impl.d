@@ -1,0 +1,1 @@
+lib/cpu/programs.ml: Array Avr_asm Avr_isa List Msp_asm Msp_isa

@@ -1,0 +1,1 @@
+lib/cpu/programs.mli: Avr_asm Msp_asm

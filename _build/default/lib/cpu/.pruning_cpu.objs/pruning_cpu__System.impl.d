@@ -1,0 +1,1 @@
+lib/cpu/system.ml: Avr_core Memory Msp_core Pruning_netlist Pruning_sim

@@ -1,0 +1,1 @@
+lib/cpu/system.mli: Memory Pruning_netlist Pruning_sim

@@ -1,0 +1,63 @@
+type item =
+  | L of string
+  | I of Avr_isa.t
+
+let resolve_target labels address target =
+  match target with
+  | Avr_isa.Rel _ -> target
+  | Avr_isa.Label name -> begin
+    match Hashtbl.find_opt labels name with
+    | Some dest -> Avr_isa.Rel (dest - (address + 1))
+    | None -> invalid_arg (Printf.sprintf "Avr_asm: undefined label %s" name)
+  end
+
+let resolve labels address (insn : Avr_isa.t) : Avr_isa.t =
+  let r = resolve_target labels address in
+  match insn with
+  | Avr_isa.Rjmp t -> Avr_isa.Rjmp (r t)
+  | Avr_isa.Breq t -> Avr_isa.Breq (r t)
+  | Avr_isa.Brne t -> Avr_isa.Brne (r t)
+  | Avr_isa.Brcs t -> Avr_isa.Brcs (r t)
+  | Avr_isa.Brcc t -> Avr_isa.Brcc (r t)
+  | Avr_isa.Brmi t -> Avr_isa.Brmi (r t)
+  | Avr_isa.Brpl t -> Avr_isa.Brpl (r t)
+  | Avr_isa.Brvs t -> Avr_isa.Brvs (r t)
+  | Avr_isa.Brvc t -> Avr_isa.Brvc (r t)
+  | Avr_isa.Brlt t -> Avr_isa.Brlt (r t)
+  | Avr_isa.Brge t -> Avr_isa.Brge (r t)
+  | Avr_isa.Nop | Avr_isa.Mov _ | Avr_isa.Add _ | Avr_isa.Adc _ | Avr_isa.Sub _
+  | Avr_isa.Sbc _ | Avr_isa.And_ _ | Avr_isa.Or_ _ | Avr_isa.Eor _ | Avr_isa.Cp _
+  | Avr_isa.Cpc _ | Avr_isa.Ldi _ | Avr_isa.Subi _ | Avr_isa.Sbci _ | Avr_isa.Andi _
+  | Avr_isa.Ori _ | Avr_isa.Cpi _ | Avr_isa.Com _ | Avr_isa.Neg _ | Avr_isa.Swap _
+  | Avr_isa.Inc _ | Avr_isa.Dec _ | Avr_isa.Lsr _ | Avr_isa.Ror _ | Avr_isa.Asr _
+  | Avr_isa.Ld_x _ | Avr_isa.Ld_x_inc _ | Avr_isa.St_x _ | Avr_isa.St_x_inc _
+  | Avr_isa.Adiw _ | Avr_isa.Sbiw _ | Avr_isa.In_ _ | Avr_isa.Out _ -> insn
+
+let assemble items =
+  let labels = Hashtbl.create 16 in
+  let address = ref 0 in
+  List.iter
+    (function
+      | L name ->
+        if Hashtbl.mem labels name then
+          invalid_arg (Printf.sprintf "Avr_asm: duplicate label %s" name);
+        Hashtbl.add labels name !address
+      | I _ -> incr address)
+    items;
+  let words = ref [] in
+  let address = ref 0 in
+  List.iter
+    (function
+      | L _ -> ()
+      | I insn ->
+        words := Avr_isa.encode (resolve labels !address insn) :: !words;
+        incr address)
+    items;
+  Array.of_list (List.rev !words)
+
+let disassemble words =
+  Array.to_list words
+  |> List.map (fun word ->
+         match Avr_isa.decode word with
+         | Some insn -> Avr_isa.to_string insn
+         | None -> Printf.sprintf ".word 0x%04X" word)

@@ -1,0 +1,13 @@
+(** Two-pass assembler for the AVR subset. *)
+
+type item =
+  | L of string  (** label definition *)
+  | I of Avr_isa.t  (** instruction *)
+
+val assemble : item list -> int array
+(** Resolve labels to relative offsets and encode. Raises
+    [Invalid_argument] on duplicate or undefined labels and on encoding
+    errors (with the offending label or instruction named). *)
+
+val disassemble : int array -> string list
+(** Best-effort listing (".word 0x...." for unknown encodings). *)

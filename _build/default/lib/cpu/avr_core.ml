@@ -1,0 +1,236 @@
+open Pruning_rtl.Signal
+
+let rf_prefix = "rf_"
+
+let circuit () =
+  let c = create_circuit "avr8" in
+  let zero8 = const c ~width:8 0 in
+  let one8 = const c ~width:8 1 in
+
+  (* ---- primary inputs -------------------------------------------- *)
+  let instr = input c "instr" 16 in
+  let dmem_rdata = input c "dmem_rdata" 8 in
+  let io_in = input c "io_in" 8 in
+
+  (* ---- state ------------------------------------------------------ *)
+  let pc = reg c "pc" 12 in
+  let ir = reg c "ir" 16 in
+  let ir_valid = reg c "ir_valid" 1 in
+  let sreg = reg c "sreg" 5 in
+  let portb = reg c "portb" 8 in
+  let tcnt = reg c "tcnt" 8 in
+  let rf = Array.init 32 (fun i -> reg c (Printf.sprintf "%s%d" rf_prefix i) 8) in
+
+  let iv = q ir_valid in
+  let irq = q ir in
+  let c_flag = bit (q sreg) 0 in
+  let z_flag = bit (q sreg) 1 in
+  let n_flag = bit (q sreg) 2 in
+  let v_flag = bit (q sreg) 3 in
+  let s_flag = bit (q sreg) 4 in
+
+  (* ---- decode ------------------------------------------------------ *)
+  let op6 = select irq ~hi:15 ~lo:10 in
+  let op5 = select irq ~hi:15 ~lo:11 in
+  let op7 = select irq ~hi:15 ~lo:9 in
+  let op4 = select irq ~hi:15 ~lo:12 in
+  let low4 = select irq ~hi:3 ~lo:0 in
+  let is_add = eq_const op6 0b000011 in
+  let is_adc = eq_const op6 0b000111 in
+  let is_sub = eq_const op6 0b000110 in
+  let is_sbc = eq_const op6 0b000010 in
+  let is_and = eq_const op6 0b001000 in
+  let is_eor = eq_const op6 0b001001 in
+  let is_or = eq_const op6 0b001010 in
+  let is_mov = eq_const op6 0b001011 in
+  let is_cp = eq_const op6 0b000101 in
+  let is_cpc = eq_const op6 0b000001 in
+  let is_cpi = eq_const op4 0b0011 in
+  let is_sbci = eq_const op4 0b0100 in
+  let is_subi = eq_const op4 0b0101 in
+  let is_ori = eq_const op4 0b0110 in
+  let is_andi = eq_const op4 0b0111 in
+  let is_ldi = eq_const op4 0b1110 in
+  let is_onereg = eq_const op7 0b1001010 in
+  let is_com = is_onereg &: eq_const low4 0b0000 in
+  let is_swap = is_onereg &: eq_const low4 0b0010 in
+  let is_neg = is_onereg &: eq_const low4 0b0001 in
+  let is_inc = is_onereg &: eq_const low4 0b0011 in
+  let is_asr = is_onereg &: eq_const low4 0b0101 in
+  let is_lsr = is_onereg &: eq_const low4 0b0110 in
+  let is_ror = is_onereg &: eq_const low4 0b0111 in
+  let is_dec = is_onereg &: eq_const low4 0b1010 in
+  let is_ldclass = eq_const op7 0b1001000 in
+  let is_stclass = eq_const op7 0b1001001 in
+  let is_x = eq_const low4 0xC in
+  let is_x_inc = eq_const low4 0xD in
+  let is_ld = is_ldclass &: (is_x |: is_x_inc) in
+  let is_st = is_stclass &: (is_x |: is_x_inc) in
+  let is_postinc = (is_ldclass |: is_stclass) &: is_x_inc in
+  let is_wordop = eq_const op7 0b1001011 in
+  let is_adiw = is_wordop &: ~:(bit irq 8) in
+  let is_in = eq_const op5 0b10110 in
+  let is_out = eq_const op5 0b10111 in
+  let is_rjmp = eq_const op4 0b1100 in
+  let is_br = eq_const op5 0b11110 |: eq_const op5 0b11111 in
+
+  (* ---- operand fetch ----------------------------------------------- *)
+  let d_field = select irq ~hi:8 ~lo:4 in
+  let imm_d = cat (vdd c) (select irq ~hi:7 ~lo:4) in
+  let r_field = cat (bit irq 9) low4 in
+  let k_imm = cat (select irq ~hi:11 ~lo:8) low4 in
+  let io_addr = cat (select irq ~hi:10 ~lo:9) low4 in
+  let is_imm_class = is_cpi |: is_sbci |: is_subi |: is_ori |: is_andi |: is_ldi in
+  let rd_sel = mux2 is_imm_class imm_d d_field in
+  let rf_q = Array.to_list (Array.map q rf) in
+  let rd_val = mux rd_sel rf_q in
+  let rr_val = mux r_field rf_q in
+  let b_val = mux2 is_imm_class k_imm rr_val in
+
+  (* ---- ALU ---------------------------------------------------------- *)
+  let a_val = rd_val in
+  let add_b = mux2 is_inc one8 b_val in
+  let add_cin = is_adc &: c_flag in
+  let sum, cout = add_carry a_val add_b ~cin:add_cin in
+  let sub_a = mux2 is_neg zero8 a_val in
+  let sub_b = mux2 is_dec one8 (mux2 is_neg a_val b_val) in
+  let sub_bin = (is_sbc |: is_sbci |: is_cpc) &: c_flag in
+  let diff, bout = sub_borrow sub_a sub_b ~bin:sub_bin in
+  let a7 = bit a_val 7 in
+  let ovf_add =
+    let b7 = bit add_b 7 and s7 = bit sum 7 in
+    a7 &: b7 &: ~:s7 |: (~:a7 &: ~:b7 &: s7)
+  in
+  let ovf_sub =
+    let a7' = bit sub_a 7 and b7 = bit sub_b 7 and s7 = bit diff 7 in
+    a7' &: ~:b7 &: ~:s7 |: (~:a7' &: b7 &: s7)
+  in
+  let and_r = a_val &: b_val in
+  let or_r = a_val |: b_val in
+  let xor_r = a_val ^: b_val in
+  let com_r = ~:a_val in
+  let shift_top = mux2 is_ror c_flag (mux2 is_asr a7 (gnd c)) in
+  let shift_r = cat shift_top (select a_val ~hi:7 ~lo:1) in
+  let swap_r = cat (select a_val ~hi:3 ~lo:0) (select a_val ~hi:7 ~lo:4) in
+  (* 16-bit ADIW/SBIW on the register pairs r24..r31 *)
+  let pair_sel = select irq ~hi:5 ~lo:4 in
+  let k6 = uresize (cat (select irq ~hi:7 ~lo:6) low4) 16 in
+  let pair_value p = cat (q rf.(p + 1)) (q rf.(p)) in
+  let rd16 = mux pair_sel [ pair_value 24; pair_value 26; pair_value 28; pair_value 30 ] in
+  let wsum, wcout = add_carry rd16 k6 ~cin:(gnd c) in
+  let wdiff, wbout = sub_borrow rd16 k6 ~bin:(gnd c) in
+  let wres = mux2 is_adiw wsum wdiff in
+  let rd15 = bit rd16 15 and wr15_sum = bit wsum 15 and wr15_diff = bit wdiff 15 in
+  let w_c = mux2 is_adiw wcout wbout in
+  let w_v = mux2 is_adiw (~:rd15 &: wr15_sum) (rd15 &: ~:wr15_diff) in
+  let w_n = mux2 is_adiw wr15_sum wr15_diff in
+  let w_z = is_zero wres in
+  let in_r =
+    mux2 (eq_const io_addr Avr_isa.io_pinb) io_in
+      (mux2 (eq_const io_addr Avr_isa.io_portb) (q portb)
+         (mux2 (eq_const io_addr 0x32) (q tcnt) zero8))
+  in
+  let is_addclass = is_add |: is_adc |: is_inc in
+  let is_subclass =
+    is_sub |: is_subi |: is_sbc |: is_sbci |: is_cp |: is_cpi |: is_cpc |: is_dec |: is_neg
+  in
+  let is_logic = is_and |: is_andi |: is_or |: is_ori |: is_eor |: is_com in
+  let is_shift = is_lsr |: is_ror |: is_asr in
+  let logic_r =
+    mux2 (is_and |: is_andi) and_r (mux2 (is_or |: is_ori) or_r (mux2 is_eor xor_r com_r))
+  in
+  let result =
+    mux2 is_addclass sum
+      (mux2 is_subclass diff
+         (mux2 is_logic logic_r
+            (mux2 is_shift shift_r
+               (mux2 is_swap swap_r
+                  (mux2 (is_mov |: is_ldi) b_val
+                     (mux2 is_ld dmem_rdata (mux2 is_in in_r zero8)))))))
+  in
+
+  (* ---- flags --------------------------------------------------------- *)
+  let res_zero = is_zero result in
+  let a0 = bit a_val 0 in
+  let c_sub_class = is_sub |: is_subi |: is_sbc |: is_sbci |: is_cp |: is_cpi |: is_cpc |: is_neg in
+  let c_en = iv &: (is_add |: is_adc |: c_sub_class |: is_com |: is_shift |: is_wordop) in
+  let c_val =
+    mux2 is_wordop w_c
+      (mux2 is_com (vdd c) (mux2 is_shift a0 (mux2 (is_add |: is_adc) cout bout)))
+  in
+  let flag_any = is_addclass |: is_subclass |: is_logic |: is_shift |: is_wordop in
+  let z_en = iv &: flag_any in
+  let z_chain = is_sbc |: is_sbci |: is_cpc in
+  let z_val = mux2 is_wordop w_z (mux2 z_chain (z_flag &: res_zero) res_zero) in
+  let n_val = mux2 is_wordop w_n (bit result 7) in
+  let v_val =
+    mux2 is_wordop w_v
+      (mux2 is_addclass ovf_add
+         (mux2 is_subclass ovf_sub (mux2 is_shift (bit result 7 ^: c_val) (gnd c))))
+  in
+  let s_val = n_val ^: v_val in
+  let c_next = mux2 c_en c_val c_flag in
+  let z_next = mux2 z_en z_val z_flag in
+  let n_next = mux2 z_en n_val n_flag in
+  let v_next = mux2 z_en v_val v_flag in
+  let s_next = mux2 z_en s_val s_flag in
+  connect sreg (concat [ s_next; v_next; n_next; z_next; c_next ]);
+
+  (* ---- register-file write-back -------------------------------------- *)
+  let writes_rd =
+    is_addclass
+    |: (is_sub |: is_subi |: is_sbc |: is_sbci |: is_dec |: is_neg)
+    |: is_logic |: is_shift |: is_swap
+    |: (is_mov |: is_ldi)
+    |: is_ld |: is_in
+  in
+  let wen = iv &: writes_rd in
+  let postinc = iv &: is_postinc in
+  let word_wen = iv &: is_wordop in
+  Array.iteri
+    (fun i r ->
+      let write_this = wen &: eq_const rd_sel i in
+      let next = mux2 write_this result (q r) in
+      let next = if i = 26 then mux2 postinc (q r +: one8) next else next in
+      let next =
+        if i >= 24 then begin
+          (* ADIW/SBIW write both halves of the selected pair. *)
+          let this_pair = word_wen &: eq_const pair_sel ((i - 24) / 2) in
+          let half = if i land 1 = 0 then select wres ~hi:7 ~lo:0 else select wres ~hi:15 ~lo:8 in
+          mux2 this_pair half next
+        end
+        else next
+      in
+      connect r next)
+    rf;
+
+  (* ---- PORTB and timer ------------------------------------------------ *)
+  let out_portb = iv &: is_out &: eq_const io_addr Avr_isa.io_portb in
+  connect portb (mux2 out_portb rd_val (q portb));
+  connect tcnt (q tcnt +: one8);
+
+  (* ---- control flow --------------------------------------------------- *)
+  let sext7 = sresize (select irq ~hi:9 ~lo:3) 12 in
+  let sext12 = sresize (select irq ~hi:11 ~lo:0) 12 in
+  let offset = mux2 is_rjmp sext12 sext7 in
+  let target = q pc +: offset in
+  let br_flag =
+    mux (select irq ~hi:2 ~lo:0) [ c_flag; z_flag; n_flag; v_flag; s_flag; gnd c ]
+  in
+  let br_cond = mux2 (bit irq 10) ~:br_flag br_flag in
+  let br_taken = iv &: (is_rjmp |: (is_br &: br_cond)) in
+  connect pc (mux2 br_taken target (q pc +: const c ~width:12 1));
+  connect ir instr;
+  connect ir_valid ~:br_taken;
+
+  (* ---- primary outputs ------------------------------------------------- *)
+  let mem_active = iv &: (is_ld |: is_st) in
+  let st_active = iv &: is_st in
+  output c "pmem_addr" (q pc);
+  output c "dmem_addr" (mux2 mem_active (q rf.(26)) zero8);
+  output c "dmem_wen" st_active;
+  output c "dmem_wdata" (mux2 st_active rd_val zero8);
+  output c "portb_o" (q portb);
+  c
+
+let build () = Pruning_rtl.Synth.to_netlist (circuit ())

@@ -1,0 +1,26 @@
+(** AVR-compatible 8-bit two-stage pipelined core (gate level).
+
+    Microarchitecture: an IF stage (12-bit PC, instruction register + valid
+    bit; one branch delay bubble) and an EX stage (decode, 32x8 register
+    file, 8-bit ALU with C/Z/N/V flags, load/store via the X pointer's low
+    byte, PORTB output register, free-running 8-bit timer TCNT0 readable
+    via IN). See {!Avr_isa} for the instruction subset.
+
+    Ports:
+    - in  [instr](16): instruction word at [pmem_addr];
+    - in  [dmem_rdata](8): data memory read value at [dmem_addr];
+    - in  [io_in](8): PINB input pins;
+    - out [pmem_addr](12), [dmem_addr](8), [dmem_wdata](8), [dmem_wen](1),
+      [portb_o](8).
+
+    Register-file flip-flops are named [rf_<n>[<bit>]] so fault-set
+    selection can include or exclude them by the ["rf_"] prefix. *)
+
+val circuit : unit -> Pruning_rtl.Signal.circuit
+(** The RTL description, pre-synthesis (a fresh circuit per call). *)
+
+val build : unit -> Pruning_netlist.Netlist.t
+(** Synthesize a fresh netlist of the core. *)
+
+val rf_prefix : string
+(** Flop-name prefix of the register file (["rf_"]). *)

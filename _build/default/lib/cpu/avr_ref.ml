@@ -1,0 +1,204 @@
+type t = {
+  program : int array;
+  mutable pc : int;
+  rf : int array;
+  ram : int array;
+  mutable flag_c : bool;
+  mutable flag_z : bool;
+  mutable flag_n : bool;
+  mutable flag_v : bool;
+  mutable flag_s : bool;
+  mutable portb : int;
+  mutable pinb : int;
+  mutable portb_writes : int list;
+  mutable halted : bool;
+  mutable steps : int;
+}
+
+let create ?(pinb = 0) ~program () =
+  {
+    program;
+    pc = 0;
+    rf = Array.make 32 0;
+    ram = Array.make 256 0;
+    flag_c = false;
+    flag_z = false;
+    flag_n = false;
+    flag_v = false;
+    flag_s = false;
+    portb = 0;
+    pinb;
+    portb_writes = [];
+    halted = false;
+    steps = 0;
+  }
+
+let bit7 v = v land 0x80 <> 0
+
+let update_s t = t.flag_s <- t.flag_n <> t.flag_v
+
+(* Shared flag updates mirroring the gate-level ALU. *)
+let set_zn t s =
+  t.flag_z <- s = 0;
+  t.flag_n <- bit7 s
+
+let add_op t a b cin =
+  let total = a + b + cin in
+  let s = total land 0xFF in
+  t.flag_c <- total > 0xFF;
+  t.flag_v <- (bit7 a && bit7 b && not (bit7 s)) || ((not (bit7 a)) && not (bit7 b) && bit7 s);
+  set_zn t s;
+  update_s t;
+  s
+
+let sub_flags t a b s =
+  t.flag_v <- (bit7 a && not (bit7 b) && not (bit7 s)) || ((not (bit7 a)) && bit7 b && bit7 s)
+
+let sub_op ?(chain_z = false) t a b bin =
+  let total = a - b - bin in
+  let s = total land 0xFF in
+  t.flag_c <- total < 0;
+  sub_flags t a b s;
+  t.flag_n <- bit7 s;
+  t.flag_z <- (if chain_z then t.flag_z && s = 0 else s = 0);
+  update_s t;
+  s
+
+let logic_op t s =
+  t.flag_v <- false;
+  set_zn t s;
+  update_s t;
+  s
+
+let shift_op t a top =
+  let s = (a lsr 1) lor if top then 0x80 else 0 in
+  t.flag_c <- a land 1 = 1;
+  set_zn t s;
+  t.flag_v <- t.flag_n <> t.flag_c;
+  update_s t;
+  s
+
+let io_read t a =
+  if a = Avr_isa.io_pinb then t.pinb else if a = Avr_isa.io_portb then t.portb else 0
+
+let rel_target t = function
+  | Avr_isa.Rel k -> (t.pc + 1 + k) land 0xFFF
+  | Avr_isa.Label _ -> invalid_arg "Avr_ref: unresolved label in program"
+
+let step t =
+  if not t.halted then begin
+    let word = if t.pc < Array.length t.program then t.program.(t.pc) else 0 in
+    let next = (t.pc + 1) land 0xFFF in
+    let rf = t.rf in
+    let jump target = t.pc <- target in
+    t.pc <- next;
+    (match Avr_isa.decode word with
+    | None | Some Avr_isa.Nop -> ()
+    | Some (Avr_isa.Mov (d, r)) -> rf.(d) <- rf.(r)
+    | Some (Avr_isa.Add (d, r)) -> rf.(d) <- add_op t rf.(d) rf.(r) 0
+    | Some (Avr_isa.Adc (d, r)) -> rf.(d) <- add_op t rf.(d) rf.(r) (Bool.to_int t.flag_c)
+    | Some (Avr_isa.Sub (d, r)) -> rf.(d) <- sub_op t rf.(d) rf.(r) 0
+    | Some (Avr_isa.Sbc (d, r)) ->
+      rf.(d) <- sub_op ~chain_z:true t rf.(d) rf.(r) (Bool.to_int t.flag_c)
+    | Some (Avr_isa.And_ (d, r)) -> rf.(d) <- logic_op t (rf.(d) land rf.(r))
+    | Some (Avr_isa.Or_ (d, r)) -> rf.(d) <- logic_op t (rf.(d) lor rf.(r))
+    | Some (Avr_isa.Eor (d, r)) -> rf.(d) <- logic_op t (rf.(d) lxor rf.(r))
+    | Some (Avr_isa.Cp (d, r)) -> ignore (sub_op t rf.(d) rf.(r) 0)
+    | Some (Avr_isa.Cpc (d, r)) ->
+      ignore (sub_op ~chain_z:true t rf.(d) rf.(r) (Bool.to_int t.flag_c))
+    | Some (Avr_isa.Ldi (d, k)) -> rf.(d) <- k
+    | Some (Avr_isa.Subi (d, k)) -> rf.(d) <- sub_op t rf.(d) k 0
+    | Some (Avr_isa.Sbci (d, k)) -> rf.(d) <- sub_op ~chain_z:true t rf.(d) k (Bool.to_int t.flag_c)
+    | Some (Avr_isa.Andi (d, k)) -> rf.(d) <- logic_op t (rf.(d) land k)
+    | Some (Avr_isa.Ori (d, k)) -> rf.(d) <- logic_op t (rf.(d) lor k)
+    | Some (Avr_isa.Cpi (d, k)) -> ignore (sub_op t rf.(d) k 0)
+    | Some (Avr_isa.Com d) ->
+      rf.(d) <- logic_op t (lnot rf.(d) land 0xFF);
+      t.flag_c <- true
+    | Some (Avr_isa.Neg d) ->
+      let s = -rf.(d) land 0xFF in
+      sub_flags t 0 rf.(d) s;
+      t.flag_c <- s <> 0;
+      set_zn t s;
+      update_s t;
+      rf.(d) <- s
+    | Some (Avr_isa.Swap d) ->
+      rf.(d) <- ((rf.(d) lsl 4) lor (rf.(d) lsr 4)) land 0xFF
+    | Some (Avr_isa.Inc d) ->
+      let s = (rf.(d) + 1) land 0xFF in
+      t.flag_v <- rf.(d) = 0x7F;
+      set_zn t s;
+      update_s t;
+      rf.(d) <- s
+    | Some (Avr_isa.Dec d) ->
+      let s = (rf.(d) - 1) land 0xFF in
+      t.flag_v <- rf.(d) = 0x80;
+      set_zn t s;
+      update_s t;
+      rf.(d) <- s
+    | Some (Avr_isa.Lsr d) -> rf.(d) <- shift_op t rf.(d) false
+    | Some (Avr_isa.Ror d) -> rf.(d) <- shift_op t rf.(d) t.flag_c
+    | Some (Avr_isa.Asr d) -> rf.(d) <- shift_op t rf.(d) (bit7 rf.(d))
+    | Some (Avr_isa.Ld_x d) -> rf.(d) <- t.ram.(rf.(26))
+    | Some (Avr_isa.Ld_x_inc d) ->
+      rf.(d) <- t.ram.(rf.(26));
+      rf.(26) <- (rf.(26) + 1) land 0xFF
+    | Some (Avr_isa.St_x r) -> t.ram.(rf.(26)) <- rf.(r)
+    | Some (Avr_isa.St_x_inc r) ->
+      t.ram.(rf.(26)) <- rf.(r);
+      rf.(26) <- (rf.(26) + 1) land 0xFF
+    | Some (Avr_isa.Adiw (rp, k)) ->
+      let v16 = rf.(rp) lor (rf.(rp + 1) lsl 8) in
+      let total = v16 + k in
+      let r16 = total land 0xFFFF in
+      t.flag_c <- total > 0xFFFF;
+      t.flag_v <- v16 land 0x8000 = 0 && r16 land 0x8000 <> 0;
+      t.flag_n <- r16 land 0x8000 <> 0;
+      t.flag_z <- r16 = 0;
+      update_s t;
+      rf.(rp) <- r16 land 0xFF;
+      rf.(rp + 1) <- r16 lsr 8
+    | Some (Avr_isa.Sbiw (rp, k)) ->
+      let v16 = rf.(rp) lor (rf.(rp + 1) lsl 8) in
+      let total = v16 - k in
+      let r16 = total land 0xFFFF in
+      t.flag_c <- total < 0;
+      t.flag_v <- v16 land 0x8000 <> 0 && r16 land 0x8000 = 0;
+      t.flag_n <- r16 land 0x8000 <> 0;
+      t.flag_z <- r16 = 0;
+      update_s t;
+      rf.(rp) <- r16 land 0xFF;
+      rf.(rp + 1) <- r16 lsr 8
+    | Some (Avr_isa.In_ (d, a)) -> rf.(d) <- io_read t a
+    | Some (Avr_isa.Out (a, r)) ->
+      if a = Avr_isa.io_portb then begin
+        t.portb <- rf.(r);
+        t.portb_writes <- rf.(r) :: t.portb_writes
+      end
+    | Some (Avr_isa.Rjmp tg) ->
+      let dest = rel_target { t with pc = t.pc - 1 } tg in
+      if dest = (t.pc - 1) land 0xFFF then t.halted <- true else jump dest
+    | Some (Avr_isa.Breq tg) -> if t.flag_z then jump (rel_target { t with pc = t.pc - 1 } tg)
+    | Some (Avr_isa.Brne tg) ->
+      if not t.flag_z then jump (rel_target { t with pc = t.pc - 1 } tg)
+    | Some (Avr_isa.Brcs tg) -> if t.flag_c then jump (rel_target { t with pc = t.pc - 1 } tg)
+    | Some (Avr_isa.Brcc tg) ->
+      if not t.flag_c then jump (rel_target { t with pc = t.pc - 1 } tg)
+    | Some (Avr_isa.Brmi tg) -> if t.flag_n then jump (rel_target { t with pc = t.pc - 1 } tg)
+    | Some (Avr_isa.Brpl tg) ->
+      if not t.flag_n then jump (rel_target { t with pc = t.pc - 1 } tg)
+    | Some (Avr_isa.Brvs tg) -> if t.flag_v then jump (rel_target { t with pc = t.pc - 1 } tg)
+    | Some (Avr_isa.Brvc tg) ->
+      if not t.flag_v then jump (rel_target { t with pc = t.pc - 1 } tg)
+    | Some (Avr_isa.Brlt tg) -> if t.flag_s then jump (rel_target { t with pc = t.pc - 1 } tg)
+    | Some (Avr_isa.Brge tg) ->
+      if not t.flag_s then jump (rel_target { t with pc = t.pc - 1 } tg));
+    t.steps <- t.steps + 1
+  end
+
+let run t ~max_steps =
+  let budget = ref max_steps in
+  while (not t.halted) && !budget > 0 do
+    step t;
+    decr budget
+  done

@@ -1,0 +1,34 @@
+(** ISA-level reference interpreter for the AVR subset.
+
+    An architectural golden model: it executes instructions atomically with
+    no pipeline, and is used (a) to validate the gate-level core in tests
+    and (b) as the ISA-level layer of the paper's Section 6.3 discussion
+    (software-visible state = registers + memory + ports). The free-running
+    timer TCNT0 is the one piece of cycle-dependent state it does not
+    model; programs compared against the core must not read it. *)
+
+type t = {
+  program : int array;
+  mutable pc : int;
+  rf : int array;  (** 32 registers *)
+  ram : int array;  (** 256 bytes *)
+  mutable flag_c : bool;
+  mutable flag_z : bool;
+  mutable flag_n : bool;
+  mutable flag_v : bool;
+  mutable flag_s : bool;  (** N xor V, kept in sync on every flag update *)
+  mutable portb : int;
+  mutable pinb : int;  (** input pins seen by IN *)
+  mutable portb_writes : int list;  (** most recent first *)
+  mutable halted : bool;  (** reached [RJMP .] *)
+  mutable steps : int;
+}
+
+val create : ?pinb:int -> program:int array -> unit -> t
+
+val step : t -> unit
+(** Execute one instruction. Unknown words execute as NOP. No-op once
+    [halted]. *)
+
+val run : t -> max_steps:int -> unit
+(** Step until halt or the step budget is exhausted. *)

@@ -1,0 +1,70 @@
+module Netlist = Pruning_netlist.Netlist
+module Sim = Pruning_sim.Sim
+
+type backing = int array
+
+let read_port (port : Netlist.port) (read : Sim.reader) =
+  let v = ref 0 in
+  Array.iteri (fun i w -> if read w then v := !v lor (1 lsl i)) port.Netlist.port_wires;
+  !v
+
+let write_port (port : Netlist.port) (write : Sim.writer) value =
+  Array.iteri (fun i w -> write w (value land (1 lsl i) <> 0)) port.Netlist.port_wires
+
+let array_saver mem () =
+  let copy = Array.copy mem in
+  fun () -> Array.blit copy 0 mem 0 (Array.length mem)
+
+let avr_rom nl ~program =
+  let addr_port = Netlist.find_output_port nl "pmem_addr" in
+  let instr_port = Netlist.find_input_port nl "instr" in
+  Sim.pure_device "avr-rom" (fun read write ->
+      let addr = read_port addr_port read in
+      let word = if addr < Array.length program then program.(addr) else 0 (* NOP *) in
+      write_port instr_port write word)
+
+let avr_ram nl =
+  let mem = Array.make 256 0 in
+  let addr_port = Netlist.find_output_port nl "dmem_addr" in
+  let rdata_port = Netlist.find_input_port nl "dmem_rdata" in
+  let wdata_port = Netlist.find_output_port nl "dmem_wdata" in
+  let wen_port = Netlist.find_output_port nl "dmem_wen" in
+  let device =
+    {
+      Sim.dev_name = "avr-ram";
+      dev_comb =
+        (fun read write -> write_port rdata_port write mem.(read_port addr_port read land 0xFF));
+      dev_clock =
+        (fun read ->
+          if read_port wen_port read = 1 then
+            mem.(read_port addr_port read land 0xFF) <- read_port wdata_port read land 0xFF);
+      dev_save = array_saver mem;
+    }
+  in
+  (mem, device)
+
+let avr_pins nl ~value =
+  let io_port = Netlist.find_input_port nl "io_in" in
+  Sim.pure_device "avr-pins" (fun _read write -> write_port io_port write value)
+
+let msp_memory nl ~words ~program =
+  if Array.length program > words then invalid_arg "Memory.msp_memory: program too large";
+  let mem = Array.make words 0 in
+  Array.blit program 0 mem 0 (Array.length program);
+  let addr_port = Netlist.find_output_port nl "mem_addr" in
+  let rdata_port = Netlist.find_input_port nl "mem_rdata" in
+  let wdata_port = Netlist.find_output_port nl "mem_wdata" in
+  let wen_port = Netlist.find_output_port nl "mem_wen" in
+  let word_index read = read_port addr_port read lsr 1 mod words in
+  let device =
+    {
+      Sim.dev_name = "msp-memory";
+      dev_comb = (fun read write -> write_port rdata_port write mem.(word_index read));
+      dev_clock =
+        (fun read ->
+          if read_port wen_port read = 1 then
+            mem.(word_index read) <- read_port wdata_port read land 0xFFFF);
+      dev_save = array_saver mem;
+    }
+  in
+  (mem, device)

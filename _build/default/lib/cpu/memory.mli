@@ -1,0 +1,29 @@
+(** Environment devices for the two cores: instruction ROM, data RAM,
+    unified memory, and input pins. These model everything outside the
+    synthesized netlist (the paper's system model injects faults only into
+    the CPU's flip-flops; memories are architectural state). *)
+
+type backing = int array
+(** Live view of a memory device's contents. *)
+
+val read_port : Pruning_netlist.Netlist.port -> Pruning_sim.Sim.reader -> int
+(** Decode a port's wires into an integer (LSB first). *)
+
+val write_port : Pruning_netlist.Netlist.port -> Pruning_sim.Sim.writer -> int -> unit
+
+val avr_rom : Pruning_netlist.Netlist.t -> program:int array -> Pruning_sim.Sim.device
+(** Combinational program ROM: drives [instr] with [program.(pmem_addr)]
+    (NOP beyond the end). *)
+
+val avr_ram : Pruning_netlist.Netlist.t -> backing * Pruning_sim.Sim.device
+(** 256-byte data RAM on ports [dmem_addr]/[dmem_rdata]/[dmem_wdata]/
+    [dmem_wen]. Reads are combinational; writes latch at the clock edge. *)
+
+val avr_pins : Pruning_netlist.Netlist.t -> value:int -> Pruning_sim.Sim.device
+(** Constant input pins on [io_in]. *)
+
+val msp_memory :
+  Pruning_netlist.Netlist.t -> words:int -> program:int array -> backing * Pruning_sim.Sim.device
+(** Unified 16-bit-word memory for the MSP430 core on ports [mem_addr]
+    (byte address; bit 0 ignored) / [mem_rdata] / [mem_wdata] / [mem_wen].
+    [program] is loaded from word 0. *)

@@ -1,0 +1,60 @@
+type item =
+  | L of string
+  | I of Msp_isa.t
+
+let resolve_target labels next_address = function
+  | Msp_isa.Rel _ as t -> t
+  | Msp_isa.Label name -> begin
+    match Hashtbl.find_opt labels name with
+    | Some dest -> Msp_isa.Rel (dest - next_address)
+    | None -> invalid_arg (Printf.sprintf "Msp_asm: undefined label %s" name)
+  end
+
+let resolve labels address (insn : Msp_isa.t) : Msp_isa.t =
+  (* Jump offsets are relative to the address after the (one-word) jump. *)
+  let r = resolve_target labels (address + 1) in
+  match insn with
+  | Msp_isa.Jnz t -> Msp_isa.Jnz (r t)
+  | Msp_isa.Jz t -> Msp_isa.Jz (r t)
+  | Msp_isa.Jnc t -> Msp_isa.Jnc (r t)
+  | Msp_isa.Jc t -> Msp_isa.Jc (r t)
+  | Msp_isa.Jn t -> Msp_isa.Jn (r t)
+  | Msp_isa.Jge t -> Msp_isa.Jge (r t)
+  | Msp_isa.Jl t -> Msp_isa.Jl (r t)
+  | Msp_isa.Jmp t -> Msp_isa.Jmp (r t)
+  | Msp_isa.Mov _ | Msp_isa.Add _ | Msp_isa.Addc _ | Msp_isa.Sub _ | Msp_isa.Subc _
+  | Msp_isa.Cmp _ | Msp_isa.Bit _ | Msp_isa.Bic _ | Msp_isa.Bis _ | Msp_isa.Xor _
+  | Msp_isa.And_ _ | Msp_isa.Rrc _ | Msp_isa.Rra _ | Msp_isa.Swpb _ | Msp_isa.Sxt _ -> insn
+
+let assemble items =
+  let labels = Hashtbl.create 16 in
+  let address = ref 0 in
+  List.iter
+    (function
+      | L name ->
+        if Hashtbl.mem labels name then
+          invalid_arg (Printf.sprintf "Msp_asm: duplicate label %s" name);
+        Hashtbl.add labels name !address
+      | I insn -> address := !address + Msp_isa.size insn)
+    items;
+  let words = ref [] in
+  let address = ref 0 in
+  List.iter
+    (function
+      | L _ -> ()
+      | I insn ->
+        let encoded = Msp_isa.encode (resolve labels !address insn) in
+        List.iter (fun w -> words := w :: !words) encoded;
+        address := !address + Msp_isa.size insn)
+    items;
+  Array.of_list (List.rev !words)
+
+let disassemble words =
+  let rec go i acc =
+    if i >= Array.length words then List.rev acc
+    else
+      match Msp_isa.decode words i with
+      | Some (insn, size) -> go (i + size) (Msp_isa.to_string insn :: acc)
+      | None -> go (i + 1) (Printf.sprintf ".word 0x%04X" words.(i) :: acc)
+  in
+  go 0 []

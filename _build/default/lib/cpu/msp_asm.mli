@@ -1,0 +1,13 @@
+(** Two-pass assembler for the MSP430 subset. Instructions may span
+    several words (immediates and indexed operands add extension words);
+    jump offsets are resolved in words. *)
+
+type item =
+  | L of string
+  | I of Msp_isa.t
+
+val assemble : item list -> int array
+(** Raises [Invalid_argument] on duplicate/undefined labels or encoding
+    errors. *)
+
+val disassemble : int array -> string list

@@ -1,0 +1,209 @@
+open Pruning_rtl.Signal
+
+let rf_prefix = "rf_"
+
+let state_fetch = 0
+let state_src = 1
+let state_src_idx = 2
+let state_dst = 3
+let state_dst_idx = 4
+let state_exec = 5
+let state_wb = 6
+
+let circuit () =
+  let c = create_circuit "msp430" in
+  let zero16 = const c ~width:16 0 in
+  let two16 = const c ~width:16 2 in
+  let st k = const c ~width:3 k in
+
+  (* ---- primary inputs ------------------------------------------------ *)
+  let mem_rdata = input c "mem_rdata" 16 in
+
+  (* ---- state ----------------------------------------------------------- *)
+  let pc = reg c "pc" 16 in
+  let sp = reg c "sp" 16 in
+  let sr = reg c "sr" 4 in
+  let ir = reg c "ir" 16 in
+  let state = reg c "state" 3 in
+  let srcval = reg c "srcval" 16 in
+  let dstval = reg c "dstval" 16 in
+  let ea = reg c "ea" 16 in
+  let res = reg c "res" 16 in
+  let rf = Array.init 12 (fun i -> reg c (Printf.sprintf "%s%d" rf_prefix (i + 4)) 16) in
+
+  let sq = q state in
+  let s_fetch = eq_const sq state_fetch in
+  let s_src = eq_const sq state_src in
+  let s_src_idx = eq_const sq state_src_idx in
+  let s_dst = eq_const sq state_dst in
+  let s_dst_idx = eq_const sq state_dst_idx in
+  let s_exec = eq_const sq state_exec in
+  let s_wb = eq_const sq state_wb in
+  ignore s_src_idx;
+  ignore s_dst_idx;
+
+  let c_flag = bit (q sr) 0 in
+  let z_flag = bit (q sr) 1 in
+  let n_flag = bit (q sr) 2 in
+  let v_flag = bit (q sr) 3 in
+
+  (* ---- decode ----------------------------------------------------------- *)
+  let irq = q ir in
+  let is_jump = eq_const (select irq ~hi:15 ~lo:13) 0b001 in
+  let is_fmt2 = eq_const (select irq ~hi:15 ~lo:10) 0b000100 in
+  let op4 = select irq ~hi:15 ~lo:12 in
+  let s_field = select irq ~hi:11 ~lo:8 in
+  let d_field = select irq ~hi:3 ~lo:0 in
+  let as_mode = select irq ~hi:5 ~lo:4 in
+  let ad = bit irq 7 in
+  let fmt2_op = select irq ~hi:9 ~lo:7 in
+  let cond = select irq ~hi:12 ~lo:10 in
+  let operand_reg = mux2 is_fmt2 d_field s_field in
+  let as00 = eq_const as_mode 0b00 in
+  let as01 = eq_const as_mode 0b01 in
+  let as10 = eq_const as_mode 0b10 in
+  let as11 = eq_const as_mode 0b11 in
+  let is_fmt1 op = eq_const op4 op &: ~:is_jump &: ~:is_fmt2 in
+  let is_mov = is_fmt1 0x4 in
+  let is_add = is_fmt1 0x5 in
+  let is_addc = is_fmt1 0x6 in
+  let is_subc = is_fmt1 0x7 in
+  let is_sub = is_fmt1 0x8 in
+  let is_cmp = is_fmt1 0x9 in
+  let is_bit = is_fmt1 0xB in
+  let is_bic = is_fmt1 0xC in
+  let is_bis = is_fmt1 0xD in
+  let is_xor = is_fmt1 0xE in
+  let is_and = is_fmt1 0xF in
+  let is_rrc = is_fmt2 &: eq_const fmt2_op 0b000 in
+  let is_swpb = is_fmt2 &: eq_const fmt2_op 0b001 in
+  let is_rra = is_fmt2 &: eq_const fmt2_op 0b010 in
+  let is_sxt = is_fmt2 &: eq_const fmt2_op 0b011 in
+
+  (* ---- register-file read port (single, state-muxed) -------------------- *)
+  let read_sel = mux2 s_dst d_field operand_reg in
+  let read_val =
+    mux read_sel
+      ([ q pc; q sp; uresize (q sr) 16; zero16 ] @ Array.to_list (Array.map q rf))
+  in
+
+  (* ---- ALU (operands from the operand latches) --------------------------- *)
+  let src_op = q srcval in
+  let alu_dst = mux2 is_fmt2 (q srcval) (q dstval) in
+  let is_sub_like = is_sub |: is_subc |: is_cmp in
+  let is_arith = is_add |: is_addc |: is_sub_like in
+  let b_add = mux2 is_sub_like ~:src_op src_op in
+  let cin = mux2 (is_sub |: is_cmp) (vdd c) (mux2 (is_addc |: is_subc) c_flag (gnd c)) in
+  let aresult, cout = add_carry alu_dst b_add ~cin in
+  let and_r = alu_dst &: src_op in
+  let bic_r = alu_dst &: ~:src_op in
+  let bis_r = alu_dst |: src_op in
+  let xor_r = alu_dst ^: src_op in
+  let rrc_r = cat c_flag (select alu_dst ~hi:15 ~lo:1) in
+  let rra_r = cat (bit alu_dst 15) (select alu_dst ~hi:15 ~lo:1) in
+  let swpb_r = cat (select alu_dst ~hi:7 ~lo:0) (select alu_dst ~hi:15 ~lo:8) in
+  let sxt_r = sresize (select alu_dst ~hi:7 ~lo:0) 16 in
+  let result =
+    mux2 is_mov src_op
+      (mux2 is_arith aresult
+         (mux2 (is_and |: is_bit) and_r
+            (mux2 is_bic bic_r
+               (mux2 is_bis bis_r
+                  (mux2 is_xor xor_r
+                     (mux2 is_rrc rrc_r
+                        (mux2 is_rra rra_r (mux2 is_swpb swpb_r (mux2 is_sxt sxt_r zero16)))))))))
+  in
+
+  (* ---- flags -------------------------------------------------------------- *)
+  let res_zero = is_zero result in
+  let res_neg = bit result 15 in
+  let logic_flags = is_and |: is_bit |: is_xor |: is_sxt in
+  let shift_flags = is_rrc |: is_rra in
+  let sets_flags = is_arith |: logic_flags |: shift_flags in
+  let v_arith =
+    let a15 = bit alu_dst 15 and b15 = bit b_add 15 and r15 = bit aresult 15 in
+    a15 &: b15 &: ~:r15 |: (~:a15 &: ~:b15 &: r15)
+  in
+  let c_val = mux2 is_arith cout (mux2 shift_flags (bit alu_dst 0) ~:res_zero) in
+  let v_val = mux2 is_arith v_arith (mux2 is_xor (bit src_op 15 &: bit (q dstval) 15) (gnd c)) in
+  let flags = concat [ v_val; res_neg; res_zero; c_val ] in
+  connect sr (mux2 (s_exec &: sets_flags) flags (q sr));
+
+  (* ---- jump resolution (in the SRC state, straight after fetch) ----------- *)
+  let taken =
+    mux cond
+      [
+        ~:z_flag; z_flag; ~:c_flag; c_flag; n_flag; ~:(n_flag ^: v_flag); n_flag ^: v_flag;
+        vdd c;
+      ]
+  in
+  let jump_offset = sll (sresize (select irq ~hi:9 ~lo:0) 16) 1 in
+  let jump_target = q pc +: jump_offset in
+
+  (* ---- write-back control --------------------------------------------------- *)
+  let writes_result = ~:(is_cmp |: is_bit) in
+  let wb_to_reg = mux2 is_fmt2 as00 ~:ad in
+  let inc_write = s_src &: ~:is_jump &: as11 in
+  let inc_val = read_val +: two16 in
+  let wb_write = s_wb &: writes_result &: wb_to_reg in
+  Array.iteri
+    (fun i r ->
+      let rn = i + 4 in
+      let write_inc = inc_write &: eq_const operand_reg rn in
+      let write_wb = wb_write &: eq_const d_field rn in
+      connect r (mux2 write_inc inc_val (mux2 write_wb (q res) (q r))))
+    rf;
+  connect sp
+    (mux2
+       (inc_write &: eq_const operand_reg 1)
+       inc_val
+       (mux2 (wb_write &: eq_const d_field 1) (q res) (q sp)));
+
+  (* ---- PC ---------------------------------------------------------------------- *)
+  let pc_plus2 = q pc +: two16 in
+  let pc_src =
+    mux2 is_jump
+      (mux2 taken jump_target (q pc))
+      (mux2 (as01 |: (as11 &: eq_const operand_reg 0)) pc_plus2 (q pc))
+  in
+  let pc_dst = mux2 (ad &: ~:is_fmt2) pc_plus2 (q pc) in
+  let pc_wb = mux2 (wb_write &: eq_const d_field 0) (q res) (q pc) in
+  connect pc (mux sq [ pc_plus2; pc_src; q pc; pc_dst; q pc; q pc; pc_wb ]);
+
+  (* ---- microarchitectural latches ----------------------------------------------- *)
+  connect ir (mux2 s_fetch mem_rdata irq);
+  let src_in_src = mux2 as00 read_val (mux2 (as10 |: as11) mem_rdata (q srcval)) in
+  connect srcval
+    (mux2 (s_src &: ~:is_jump) src_in_src (mux2 s_src_idx mem_rdata (q srcval)));
+  connect dstval
+    (mux2 (s_dst &: ~:ad) read_val (mux2 s_dst_idx mem_rdata (q dstval)));
+  let ea_capture = (s_src &: ~:is_jump &: as01) |: (s_dst &: ad) in
+  connect ea (mux2 ea_capture (read_val +: mem_rdata) (q ea));
+  connect res (mux2 s_exec result (q res));
+
+  (* ---- FSM ------------------------------------------------------------------------ *)
+  let after_src = mux2 is_fmt2 (st state_exec) (st state_dst) in
+  let next_src =
+    mux2 is_jump (st state_fetch) (mux2 as01 (st state_src_idx) after_src)
+  in
+  let next_dst = mux2 ad (st state_dst_idx) (st state_exec) in
+  connect state
+    (mux sq
+       [
+         st state_src; next_src; after_src; next_dst; st state_exec; st state_wb;
+         st state_fetch;
+       ]);
+
+  (* ---- memory port (primary outputs) ------------------------------------------------ *)
+  let mem_wen = s_wb &: writes_result &: ~:wb_to_reg in
+  let addr_src =
+    mux2 is_jump zero16 (mux2 as01 (q pc) (mux2 (as10 |: as11) read_val zero16))
+  in
+  let addr_dst = mux2 (ad &: ~:is_fmt2) (q pc) zero16 in
+  let addr_wb = mux2 mem_wen (q ea) zero16 in
+  output c "mem_addr" (mux sq [ q pc; addr_src; q ea; addr_dst; q ea; zero16; addr_wb ]);
+  output c "mem_wen" mem_wen;
+  output c "mem_wdata" (mux2 mem_wen (q res) zero16);
+  c
+
+let build () = Pruning_rtl.Synth.to_netlist (circuit ())

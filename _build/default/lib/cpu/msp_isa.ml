@@ -1,0 +1,271 @@
+type target =
+  | Label of string
+  | Rel of int
+
+type src =
+  | Reg of int
+  | Indexed of int * int
+  | Indirect of int
+  | Indirect_inc of int
+  | Imm of int
+
+type dst =
+  | Dreg of int
+  | Dindexed of int * int
+
+type t =
+  | Mov of src * dst
+  | Add of src * dst
+  | Addc of src * dst
+  | Sub of src * dst
+  | Subc of src * dst
+  | Cmp of src * dst
+  | Bit of src * dst
+  | Bic of src * dst
+  | Bis of src * dst
+  | Xor of src * dst
+  | And_ of src * dst
+  | Rrc of int
+  | Rra of int
+  | Swpb of int
+  | Sxt of int
+  | Jnz of target
+  | Jz of target
+  | Jnc of target
+  | Jc of target
+  | Jn of target
+  | Jge of target
+  | Jl of target
+  | Jmp of target
+
+let bad fmt = Printf.ksprintf invalid_arg fmt
+
+let check_reg what r = if r < 0 || r > 15 then bad "Msp_isa: %s: r%d out of range" what r
+
+let check_gp what r =
+  check_reg what r;
+  if r = 2 || r = 3 then bad "Msp_isa: %s: r%d (SR/CG) not usable here" what r
+
+let check_word what v = if v < 0 || v > 0xFFFF then bad "Msp_isa: %s: %d not a 16-bit word" what v
+
+let src_fields what = function
+  | Reg r ->
+    check_reg what r;
+    (r, 0b00, [])
+  | Indexed (r, x) ->
+    check_gp what r;
+    check_word what (x land 0xFFFF);
+    (r, 0b01, [ x land 0xFFFF ])
+  | Indirect r ->
+    check_gp what r;
+    (r, 0b10, [])
+  | Indirect_inc r ->
+    check_gp what r;
+    (r, 0b11, [])
+  | Imm v ->
+    check_word what (v land 0xFFFF);
+    (0 (* PC *), 0b11, [ v land 0xFFFF ])
+
+let dst_fields what = function
+  | Dreg r ->
+    check_reg what r;
+    (r, 0, [])
+  | Dindexed (r, x) ->
+    check_gp what r;
+    check_word what (x land 0xFFFF);
+    (r, 1, [ x land 0xFFFF ])
+
+let format1 opcode src dst what =
+  let sreg, as_mode, src_ext = src_fields what src in
+  let dreg, ad, dst_ext = dst_fields what dst in
+  ((opcode lsl 12) lor (sreg lsl 8) lor (ad lsl 7) lor (as_mode lsl 4) lor dreg)
+  :: (src_ext @ dst_ext)
+
+let format2 op3 r what =
+  check_gp what r;
+  [ 0x1000 lor (op3 lsl 7) lor r ]
+
+let jump cond target what =
+  match target with
+  | Label l -> bad "Msp_isa: %s: unresolved label %s" what l
+  | Rel off ->
+    if off < -512 || off > 511 then bad "Msp_isa: %s: offset %d out of range" what off;
+    [ 0x2000 lor (cond lsl 10) lor (off land 0x3FF) ]
+
+let encode = function
+  | Mov (s, d) -> format1 0x4 s d "MOV"
+  | Add (s, d) -> format1 0x5 s d "ADD"
+  | Addc (s, d) -> format1 0x6 s d "ADDC"
+  | Subc (s, d) -> format1 0x7 s d "SUBC"
+  | Sub (s, d) -> format1 0x8 s d "SUB"
+  | Cmp (s, d) -> format1 0x9 s d "CMP"
+  | Bit (s, d) -> format1 0xB s d "BIT"
+  | Bic (s, d) -> format1 0xC s d "BIC"
+  | Bis (s, d) -> format1 0xD s d "BIS"
+  | Xor (s, d) -> format1 0xE s d "XOR"
+  | And_ (s, d) -> format1 0xF s d "AND"
+  | Rrc r -> format2 0b000 r "RRC"
+  | Swpb r -> format2 0b001 r "SWPB"
+  | Rra r -> format2 0b010 r "RRA"
+  | Sxt r -> format2 0b011 r "SXT"
+  | Jnz t -> jump 0 t "JNZ"
+  | Jz t -> jump 1 t "JZ"
+  | Jnc t -> jump 2 t "JNC"
+  | Jc t -> jump 3 t "JC"
+  | Jn t -> jump 4 t "JN"
+  | Jge t -> jump 5 t "JGE"
+  | Jl t -> jump 6 t "JL"
+  | Jmp t -> jump 7 t "JMP"
+
+let src_size = function
+  | Reg _ | Indirect _ | Indirect_inc _ -> 0
+  | Indexed _ | Imm _ -> 1
+
+let dst_size = function
+  | Dreg _ -> 0
+  | Dindexed _ -> 1
+
+let size = function
+  | Mov (s, d)
+  | Add (s, d)
+  | Addc (s, d)
+  | Sub (s, d)
+  | Subc (s, d)
+  | Cmp (s, d)
+  | Bit (s, d)
+  | Bic (s, d)
+  | Bis (s, d)
+  | Xor (s, d)
+  | And_ (s, d) -> 1 + src_size s + dst_size d
+  | Rrc _ | Rra _ | Swpb _ | Sxt _ -> 1
+  | Jnz _ | Jz _ | Jnc _ | Jc _ | Jn _ | Jge _ | Jl _ | Jmp _ -> 1
+
+let sign_extend bits v = if v land (1 lsl (bits - 1)) <> 0 then v - (1 lsl bits) else v
+
+let decode words i =
+  if i < 0 || i >= Array.length words then None
+  else
+    let word = words.(i) in
+    let next = ref (i + 1) in
+    let ext () =
+      if !next >= Array.length words then None
+      else begin
+        let v = words.(!next) in
+        incr next;
+        Some v
+      end
+    in
+    let bind o f =
+      match o with
+      | Some v -> f v
+      | None -> None
+    in
+    if word lsr 13 = 0b001 then begin
+      let off = sign_extend 10 (word land 0x3FF) in
+      let t = Rel off in
+      let jump =
+        match (word lsr 10) land 0x7 with
+        | 0 -> Jnz t
+        | 1 -> Jz t
+        | 2 -> Jnc t
+        | 3 -> Jc t
+        | 4 -> Jn t
+        | 5 -> Jge t
+        | 6 -> Jl t
+        | _ -> Jmp t
+      in
+      Some (jump, 1)
+    end
+    else if word lsr 10 = 0b000100 then begin
+      let r = word land 0xF in
+      if (word lsr 4) land 0x3 <> 0 then None
+      else
+        match (word lsr 7) land 0x7 with
+        | 0 -> Some (Rrc r, 1)
+        | 1 -> Some (Swpb r, 1)
+        | 2 -> Some (Rra r, 1)
+        | 3 -> Some (Sxt r, 1)
+        | _ -> None
+    end
+    else begin
+      let op = word lsr 12 in
+      let sreg = (word lsr 8) land 0xF in
+      let dreg = word land 0xF in
+      let ad = (word lsr 7) land 1 in
+      let as_mode = (word lsr 4) land 0x3 in
+      let src =
+        match as_mode with
+        | 0b00 -> Some (Reg sreg)
+        | 0b01 -> bind (ext ()) (fun x -> Some (Indexed (sreg, x)))
+        | 0b10 -> Some (Indirect sreg)
+        | _ -> if sreg = 0 then bind (ext ()) (fun v -> Some (Imm v)) else Some (Indirect_inc sreg)
+      in
+      bind src (fun src ->
+          let dst =
+            if ad = 0 then Some (Dreg dreg)
+            else bind (ext ()) (fun x -> Some (Dindexed (dreg, x)))
+          in
+          bind dst (fun dst ->
+              let mk ctor = Some (ctor, !next - i) in
+              match op with
+              | 0x4 -> mk (Mov (src, dst))
+              | 0x5 -> mk (Add (src, dst))
+              | 0x6 -> mk (Addc (src, dst))
+              | 0x7 -> mk (Subc (src, dst))
+              | 0x8 -> mk (Sub (src, dst))
+              | 0x9 -> mk (Cmp (src, dst))
+              | 0xB -> mk (Bit (src, dst))
+              | 0xC -> mk (Bic (src, dst))
+              | 0xD -> mk (Bis (src, dst))
+              | 0xE -> mk (Xor (src, dst))
+              | 0xF -> mk (And_ (src, dst))
+              | _ -> None))
+    end
+
+let reg_name r =
+  match r with
+  | 0 -> "PC"
+  | 1 -> "SP"
+  | 2 -> "SR"
+  | 3 -> "CG"
+  | _ -> Printf.sprintf "R%d" r
+
+let src_to_string = function
+  | Reg r -> reg_name r
+  | Indexed (r, x) -> Printf.sprintf "%d(%s)" x (reg_name r)
+  | Indirect r -> Printf.sprintf "@%s" (reg_name r)
+  | Indirect_inc r -> Printf.sprintf "@%s+" (reg_name r)
+  | Imm v -> Printf.sprintf "#%d" v
+
+let dst_to_string = function
+  | Dreg r -> reg_name r
+  | Dindexed (r, x) -> Printf.sprintf "%d(%s)" x (reg_name r)
+
+let target_to_string = function
+  | Label l -> l
+  | Rel k -> Printf.sprintf ".%+d" k
+
+let to_string = function
+  | Mov (s, d) -> Printf.sprintf "MOV %s, %s" (src_to_string s) (dst_to_string d)
+  | Add (s, d) -> Printf.sprintf "ADD %s, %s" (src_to_string s) (dst_to_string d)
+  | Addc (s, d) -> Printf.sprintf "ADDC %s, %s" (src_to_string s) (dst_to_string d)
+  | Sub (s, d) -> Printf.sprintf "SUB %s, %s" (src_to_string s) (dst_to_string d)
+  | Subc (s, d) -> Printf.sprintf "SUBC %s, %s" (src_to_string s) (dst_to_string d)
+  | Cmp (s, d) -> Printf.sprintf "CMP %s, %s" (src_to_string s) (dst_to_string d)
+  | Bit (s, d) -> Printf.sprintf "BIT %s, %s" (src_to_string s) (dst_to_string d)
+  | Bic (s, d) -> Printf.sprintf "BIC %s, %s" (src_to_string s) (dst_to_string d)
+  | Bis (s, d) -> Printf.sprintf "BIS %s, %s" (src_to_string s) (dst_to_string d)
+  | Xor (s, d) -> Printf.sprintf "XOR %s, %s" (src_to_string s) (dst_to_string d)
+  | And_ (s, d) -> Printf.sprintf "AND %s, %s" (src_to_string s) (dst_to_string d)
+  | Rrc r -> Printf.sprintf "RRC %s" (reg_name r)
+  | Rra r -> Printf.sprintf "RRA %s" (reg_name r)
+  | Swpb r -> Printf.sprintf "SWPB %s" (reg_name r)
+  | Sxt r -> Printf.sprintf "SXT %s" (reg_name r)
+  | Jnz t -> Printf.sprintf "JNZ %s" (target_to_string t)
+  | Jz t -> Printf.sprintf "JZ %s" (target_to_string t)
+  | Jnc t -> Printf.sprintf "JNC %s" (target_to_string t)
+  | Jc t -> Printf.sprintf "JC %s" (target_to_string t)
+  | Jn t -> Printf.sprintf "JN %s" (target_to_string t)
+  | Jge t -> Printf.sprintf "JGE %s" (target_to_string t)
+  | Jl t -> Printf.sprintf "JL %s" (target_to_string t)
+  | Jmp t -> Printf.sprintf "JMP %s" (target_to_string t)

@@ -1,0 +1,66 @@
+(** MSP430 instruction subset: encoding and decoding.
+
+    Word-sized operations only (B/W bit forced to word). Source addressing
+    modes: register, indexed [X(Rn)], indirect [@Rn], indirect
+    auto-increment [@Rn+]; immediates are emitted as [@PC+] exactly like
+    the real ISA. Destination modes: register and indexed. The constant
+    generator (r2/r3 special cases) is not used by the assembler; r3 reads
+    as zero in the core.
+
+    Registers: r0 = PC, r1 = SP, r2 = SR, r3 = CG, r4..r15 general
+    purpose. *)
+
+type target =
+  | Label of string
+  | Rel of int  (** signed word offset relative to the next instruction *)
+
+type src =
+  | Reg of int
+  | Indexed of int * int  (** [Indexed (rn, x)] = x(Rn) *)
+  | Indirect of int  (** @Rn *)
+  | Indirect_inc of int  (** @Rn+ *)
+  | Imm of int  (** #x, encoded as @PC+ *)
+
+type dst =
+  | Dreg of int
+  | Dindexed of int * int
+
+(** Two-operand instructions are [op src dst] with dst as the left ALU
+    operand (e.g. [Sub (src, dst)] computes dst - src). *)
+type t =
+  | Mov of src * dst
+  | Add of src * dst
+  | Addc of src * dst
+  | Sub of src * dst
+  | Subc of src * dst
+  | Cmp of src * dst
+  | Bit of src * dst
+  | Bic of src * dst
+  | Bis of src * dst
+  | Xor of src * dst
+  | And_ of src * dst
+  | Rrc of int  (** register mode only in this subset *)
+  | Rra of int
+  | Swpb of int
+  | Sxt of int
+  | Jnz of target
+  | Jz of target
+  | Jnc of target
+  | Jc of target
+  | Jn of target
+  | Jge of target
+  | Jl of target
+  | Jmp of target
+
+val size : t -> int
+(** Number of 16-bit words the instruction occupies (1..3). *)
+
+val encode : t -> int list
+(** Instruction word followed by extension words (source first). Raises
+    [Invalid_argument] on bad operands or unresolved labels. *)
+
+val decode : int array -> int -> (t * int) option
+(** [decode words i] decodes the instruction starting at word index [i],
+    returning it and its size. *)
+
+val to_string : t -> string

@@ -1,0 +1,176 @@
+type t = {
+  mem : int array;
+  mutable pc : int;
+  regs : int array;
+  mutable flag_c : bool;
+  mutable flag_z : bool;
+  mutable flag_n : bool;
+  mutable flag_v : bool;
+  mutable halted : bool;
+  mutable steps : int;
+}
+
+let create ~words ~program =
+  if Array.length program > words then invalid_arg "Msp_ref.create: program too large";
+  let mem = Array.make words 0 in
+  Array.blit program 0 mem 0 (Array.length program);
+  {
+    mem;
+    pc = 0;
+    regs = Array.make 16 0;
+    flag_c = false;
+    flag_z = false;
+    flag_n = false;
+    flag_v = false;
+    halted = false;
+    steps = 0;
+  }
+
+let sr_value t =
+  Bool.to_int t.flag_c lor (Bool.to_int t.flag_z lsl 1) lor (Bool.to_int t.flag_n lsl 2)
+  lor (Bool.to_int t.flag_v lsl 3)
+
+let read_reg t r =
+  match r with
+  | 0 -> t.pc
+  | 2 -> sr_value t
+  | 3 -> 0
+  | _ -> t.regs.(r)
+
+let write_reg t r v =
+  match r with
+  | 0 -> t.pc <- v land 0xFFFE
+  | 2 | 3 -> () (* MOV to SR/CG unsupported in the core, ignored here too *)
+  | _ -> t.regs.(r) <- v land 0xFFFF
+
+let word_index t byte_addr = byte_addr lsr 1 mod Array.length t.mem
+
+let read_mem t addr = t.mem.(word_index t addr)
+let write_mem t addr v = t.mem.(word_index t addr) <- v land 0xFFFF
+
+let bit15 v = v land 0x8000 <> 0
+
+let set_zn t r =
+  t.flag_z <- r = 0;
+  t.flag_n <- bit15 r
+
+let resolve_src t = function
+  | Msp_isa.Reg r -> read_reg t r
+  | Msp_isa.Indexed (r, x) -> read_mem t ((read_reg t r + x) land 0xFFFF)
+  | Msp_isa.Indirect r -> read_mem t (read_reg t r)
+  | Msp_isa.Indirect_inc r ->
+    let v = read_mem t (read_reg t r) in
+    write_reg t r (read_reg t r + 2);
+    v
+  | Msp_isa.Imm v -> v land 0xFFFF
+
+(* Destination as an lvalue: (current value, writer). *)
+let resolve_dst t = function
+  | Msp_isa.Dreg r -> (read_reg t r, fun v -> write_reg t r v)
+  | Msp_isa.Dindexed (r, x) ->
+    let addr = (read_reg t r + x) land 0xFFFF in
+    (read_mem t addr, fun v -> write_mem t addr v)
+
+let arith t dst b cin =
+  let total = dst + b + cin in
+  let r = total land 0xFFFF in
+  t.flag_c <- total > 0xFFFF;
+  t.flag_v <-
+    (bit15 dst && bit15 b && not (bit15 r)) || ((not (bit15 dst)) && not (bit15 b) && bit15 r);
+  set_zn t r;
+  r
+
+let logic_flags t r v =
+  set_zn t r;
+  t.flag_c <- r <> 0;
+  t.flag_v <- v
+
+let fmt1 t src dst ~write compute =
+  let s = resolve_src t src in
+  let d, writer = resolve_dst t dst in
+  let r = compute s d in
+  if write then writer r
+
+let fmt2 t r compute =
+  let v = read_reg t r in
+  write_reg t r (compute v)
+
+let jump t taken off =
+  (* pc has already advanced past the (one-word) jump. *)
+  if taken then begin
+    if off = -1 then t.halted <- true else t.pc <- (t.pc + (2 * off)) land 0xFFFF
+  end
+
+let off_of = function
+  | Msp_isa.Rel k -> k
+  | Msp_isa.Label _ -> invalid_arg "Msp_ref: unresolved label in program"
+
+let step t =
+  if not t.halted then begin
+    match Msp_isa.decode t.mem (word_index t t.pc) with
+    | None -> t.pc <- (t.pc + 2) land 0xFFFF
+    | Some (insn, size) ->
+      t.pc <- (t.pc + (2 * size)) land 0xFFFF;
+      (match insn with
+      | Msp_isa.Mov (s, d) -> fmt1 t s d ~write:true (fun s _ -> s)
+      | Msp_isa.Add (s, d) -> fmt1 t s d ~write:true (fun s d -> arith t d s 0)
+      | Msp_isa.Addc (s, d) ->
+        fmt1 t s d ~write:true (fun s d -> arith t d s (Bool.to_int t.flag_c))
+      | Msp_isa.Sub (s, d) -> fmt1 t s d ~write:true (fun s d -> arith t d (lnot s land 0xFFFF) 1)
+      | Msp_isa.Subc (s, d) ->
+        fmt1 t s d ~write:true (fun s d -> arith t d (lnot s land 0xFFFF) (Bool.to_int t.flag_c))
+      | Msp_isa.Cmp (s, d) -> fmt1 t s d ~write:false (fun s d -> arith t d (lnot s land 0xFFFF) 1)
+      | Msp_isa.Bit (s, d) ->
+        fmt1 t s d ~write:false (fun s d ->
+            let r = s land d in
+            logic_flags t r false;
+            r)
+      | Msp_isa.Bic (s, d) -> fmt1 t s d ~write:true (fun s d -> d land lnot s land 0xFFFF)
+      | Msp_isa.Bis (s, d) -> fmt1 t s d ~write:true (fun s d -> s lor d)
+      | Msp_isa.Xor (s, d) ->
+        fmt1 t s d ~write:true (fun s d ->
+            let r = s lxor d in
+            logic_flags t r (bit15 s && bit15 d);
+            r)
+      | Msp_isa.And_ (s, d) ->
+        fmt1 t s d ~write:true (fun s d ->
+            let r = s land d in
+            logic_flags t r false;
+            r)
+      | Msp_isa.Rrc r ->
+        fmt2 t r (fun v ->
+            let res = (v lsr 1) lor if t.flag_c then 0x8000 else 0 in
+            t.flag_c <- v land 1 = 1;
+            set_zn t res;
+            t.flag_v <- false;
+            res)
+      | Msp_isa.Rra r ->
+        fmt2 t r (fun v ->
+            let res = (v lsr 1) lor (v land 0x8000) in
+            t.flag_c <- v land 1 = 1;
+            set_zn t res;
+            t.flag_v <- false;
+            res)
+      | Msp_isa.Swpb r -> fmt2 t r (fun v -> ((v land 0xFF) lsl 8) lor (v lsr 8))
+      | Msp_isa.Sxt r ->
+        fmt2 t r (fun v ->
+            let res = if v land 0x80 <> 0 then v lor 0xFF00 else v land 0xFF in
+            logic_flags t res false;
+            res)
+      | Msp_isa.Jnz tg -> jump t (not t.flag_z) (off_of tg)
+      | Msp_isa.Jz tg -> jump t t.flag_z (off_of tg)
+      | Msp_isa.Jnc tg -> jump t (not t.flag_c) (off_of tg)
+      | Msp_isa.Jc tg -> jump t t.flag_c (off_of tg)
+      | Msp_isa.Jn tg -> jump t t.flag_n (off_of tg)
+      | Msp_isa.Jge tg -> jump t (t.flag_n = t.flag_v) (off_of tg)
+      | Msp_isa.Jl tg -> jump t (t.flag_n <> t.flag_v) (off_of tg)
+      | Msp_isa.Jmp tg -> jump t true (off_of tg));
+      t.steps <- t.steps + 1
+  end
+
+let run t ~max_steps =
+  let budget = ref max_steps in
+  while (not t.halted) && !budget > 0 do
+    step t;
+    decr budget
+  done

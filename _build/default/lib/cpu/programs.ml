@@ -1,0 +1,285 @@
+(* ------------------------------------------------------------------ *)
+(* AVR                                                                  *)
+
+let fib_terms = 24
+
+(* Register allocation for the AVR programs:
+   r16 multiplicand / fib a     r17 multiplier / fib b
+   r18 product / fill counter   r19 mul bit counter / fib tmp
+   r20 accumulator              r21 outer index n
+   r26 X pointer *)
+
+let avr_fib_body jump_back =
+  let open Avr_isa in
+  let open Avr_asm in
+  [
+    L "start";
+    I (Ldi (16, 0));
+    I (Ldi (17, 1));
+    I (Ldi (26, 0));
+    I (Ldi (18, fib_terms));
+    L "loop";
+    I (St_x_inc 16);
+    I (Out (io_portb, 16));
+    I (Mov (19, 16));
+    I (Add (16, 17));
+    I (Mov (17, 19));
+    I (Dec 18);
+    I (Brne (Label "loop"));
+  ]
+  @ jump_back
+
+let avr_fib = avr_fib_body [ Avr_asm.I (Avr_isa.Rjmp (Avr_isa.Label "start")) ]
+
+let avr_fib_halting =
+  avr_fib_body [ Avr_asm.L "halt"; Avr_asm.I (Avr_isa.Rjmp (Avr_isa.Label "halt")) ]
+
+let avr_fib_expected =
+  let out = Array.make fib_terms 0 in
+  let a = ref 0 and b = ref 1 in
+  for i = 0 to fib_terms - 1 do
+    out.(i) <- !a;
+    let next = (!a + !b) land 0xFF in
+    a := !b;
+    b := next
+  done;
+  (* The program stores a before updating, so fix the off-by-one: out
+     holds a_0 .. a_23 with a_0 = 0, matching the loop above where a is
+     stored first. *)
+  ignore b;
+  out
+
+(* Shift-add multiply macro: r18 = r16 * r17 (clobbers r16, r17, r19). *)
+let avr_mul_macro suffix =
+  let open Avr_isa in
+  let open Avr_asm in
+  let mull = "mul" ^ suffix and skipl = "skip" ^ suffix in
+  [
+    I (Ldi (18, 0));
+    I (Ldi (19, 8));
+    L mull;
+    I (Lsr 17);
+    I (Brcc (Label skipl));
+    I (Add (18, 16));
+    L skipl;
+    I (Add (16, 16)) (* LSL r16 *);
+    I (Dec 19);
+    I (Brne (Label mull));
+  ]
+
+let avr_conv_term suffix ~delta ~coeff =
+  let open Avr_isa in
+  let open Avr_asm in
+  [ I (Mov (26, 21)) ]
+  @ (if delta > 0 then [ I (Subi (26, delta)) ] else [])
+  @ [ I (Ld_x 16); I (Ldi (17, coeff)) ]
+  @ avr_mul_macro suffix
+  @ [ I (Add (20, 18)) ]
+
+let avr_conv_coeffs = [ 3; 5; 7 ]
+let avr_conv_n = 16
+let avr_conv_out_base = 34
+
+let avr_conv_body jump_back =
+  let open Avr_isa in
+  let open Avr_asm in
+  [
+    L "start";
+    (* fill x[0..15] with 3 + 7i *)
+    I (Ldi (26, 0));
+    I (Ldi (16, 3));
+    I (Ldi (17, 7));
+    I (Ldi (18, avr_conv_n));
+    L "fill";
+    I (St_x_inc 16);
+    I (Add (16, 17));
+    I (Dec 18);
+    I (Brne (Label "fill"));
+    I (Ldi (21, 2));
+    L "outer";
+    I (Ldi (20, 0));
+  ]
+  @ avr_conv_term "0" ~delta:0 ~coeff:(List.nth avr_conv_coeffs 0)
+  @ avr_conv_term "1" ~delta:1 ~coeff:(List.nth avr_conv_coeffs 1)
+  @ avr_conv_term "2" ~delta:2 ~coeff:(List.nth avr_conv_coeffs 2)
+  @ [
+      I (Mov (26, 21));
+      I (Subi (26, (256 - avr_conv_out_base) land 0xFF)) (* r26 += out_base *);
+      I (St_x 20);
+      I (Out (io_portb, 20));
+      I (Subi (21, 0xFF)) (* n += 1 *);
+      I (Cpi (21, avr_conv_n));
+      I (Brne (Label "outer"));
+    ]
+  @ jump_back
+
+let avr_conv = avr_conv_body [ Avr_asm.I (Avr_isa.Rjmp (Avr_isa.Label "start")) ]
+
+let avr_conv_halting =
+  avr_conv_body [ Avr_asm.L "halt"; Avr_asm.I (Avr_isa.Rjmp (Avr_isa.Label "halt")) ]
+
+(* Bubble sort over RAM[0..15]: r16/r17 scratch, r20 pass counter, r21
+   inner counter, X the compare pointer. *)
+let avr_sort_body jump_back =
+  let open Avr_isa in
+  let open Avr_asm in
+  [
+    L "start";
+    I (Ldi (26, 0));
+    I (Ldi (16, 231));
+    I (Ldi (17, 13));
+    I (Ldi (18, 16));
+    L "fill";
+    I (St_x_inc 16);
+    I (Sub (16, 17));
+    I (Dec 18);
+    I (Brne (Label "fill"));
+    I (Ldi (20, 15));
+    L "pass";
+    I (Ldi (26, 0));
+    I (Mov (21, 20));
+    L "inner";
+    I (Ld_x 16);
+    I (Adiw (26, 1));
+    I (Ld_x 17);
+    I (Cp (17, 16));
+    I (Brcc (Label "noswap"));
+    I (St_x 16);
+    I (Sbiw (26, 1));
+    I (St_x 17);
+    I (Adiw (26, 1));
+    L "noswap";
+    I (Dec 21);
+    I (Brne (Label "inner"));
+    I (Dec 20);
+    I (Brne (Label "pass"));
+    I (Ldi (26, 0));
+    I (Ld_x 16);
+    I (Out (io_portb, 16));
+  ]
+  @ jump_back
+
+let avr_sort = avr_sort_body [ Avr_asm.I (Avr_isa.Rjmp (Avr_isa.Label "start")) ]
+
+let avr_sort_halting =
+  avr_sort_body [ Avr_asm.L "halt"; Avr_asm.I (Avr_isa.Rjmp (Avr_isa.Label "halt")) ]
+
+let avr_sort_expected =
+  let values = Array.init 16 (fun i -> (231 - (13 * i)) land 0xFF) in
+  Array.sort compare values;
+  values
+
+let conv_x i = (3 + (7 * i)) land 0xFF
+
+let avr_conv_expected =
+  List.init (avr_conv_n - 2) (fun i ->
+      let n = i + 2 in
+      let y = (3 * conv_x n) + (5 * conv_x (n - 1)) + (7 * conv_x (n - 2)) in
+      (avr_conv_out_base + n, y land 0xFF))
+
+(* ------------------------------------------------------------------ *)
+(* MSP430                                                               *)
+
+let msp_fib_base = 0x200
+let msp_conv_x_base = 0x200
+let msp_conv_y_base = 0x240
+
+let msp_fib_body jump_back =
+  let open Msp_isa in
+  let open Msp_asm in
+  [
+    L "start";
+    I (Mov (Imm 0, Dreg 4));
+    I (Mov (Imm 1, Dreg 5));
+    I (Mov (Imm msp_fib_base, Dreg 6));
+    I (Mov (Imm fib_terms, Dreg 7));
+    L "loop";
+    I (Mov (Reg 4, Dindexed (6, 0)));
+    I (Add (Imm 2, Dreg 6));
+    I (Mov (Reg 4, Dreg 8));
+    I (Add (Reg 5, Dreg 4));
+    I (Mov (Reg 8, Dreg 5));
+    I (Sub (Imm 1, Dreg 7));
+    I (Jnz (Label "loop"));
+  ]
+  @ jump_back
+
+let msp_fib = msp_fib_body [ Msp_asm.I (Msp_isa.Jmp (Msp_isa.Label "start")) ]
+
+let msp_fib_halting =
+  msp_fib_body [ Msp_asm.L "halt"; Msp_asm.I (Msp_isa.Jmp (Msp_isa.Label "halt")) ]
+
+let msp_fib_expected =
+  let out = Array.make fib_terms 0 in
+  let a = ref 0 and b = ref 1 in
+  for i = 0 to fib_terms - 1 do
+    out.(i) <- !a;
+    let next = (!a + !b) land 0xFFFF in
+    a := !b;
+    b := next
+  done;
+  out
+
+(* acc += coeff * x (repeated addition): expects the x word in R10, uses
+   R11 as the repeat counter, accumulates into R8. *)
+let msp_term suffix ~coeff =
+  let open Msp_isa in
+  let open Msp_asm in
+  let looplabel = "term" ^ suffix in
+  [ I (Mov (Imm coeff, Dreg 11)); L looplabel; I (Add (Reg 10, Dreg 8));
+    I (Sub (Imm 1, Dreg 11)); I (Jnz (Label looplabel)) ]
+
+let msp_conv_n = 16
+
+let msp_conv_body jump_back =
+  let open Msp_isa in
+  let open Msp_asm in
+  [
+    L "start";
+    (* fill x[0..15] with 3 + 7i *)
+    I (Mov (Imm msp_conv_x_base, Dreg 6));
+    I (Mov (Imm 3, Dreg 4));
+    I (Mov (Imm msp_conv_n, Dreg 7));
+    L "fill";
+    I (Mov (Reg 4, Dindexed (6, 0)));
+    I (Add (Imm 2, Dreg 6));
+    I (Add (Imm 7, Dreg 4));
+    I (Sub (Imm 1, Dreg 7));
+    I (Jnz (Label "fill"));
+    I (Mov (Imm 2, Dreg 5));
+    L "outer";
+    I (Mov (Imm 0, Dreg 8));
+    (* R6 = &x[n] *)
+    I (Mov (Reg 5, Dreg 6));
+    I (Add (Reg 6, Dreg 6));
+    I (Add (Imm msp_conv_x_base, Dreg 6));
+    I (Mov (Indirect 6, Dreg 10));
+  ]
+  @ msp_term "0" ~coeff:3
+  @ [ I (Sub (Imm 2, Dreg 6)); I (Mov (Indirect 6, Dreg 10)) ]
+  @ msp_term "1" ~coeff:5
+  @ [ I (Sub (Imm 2, Dreg 6)); I (Mov (Indirect 6, Dreg 10)) ]
+  @ msp_term "2" ~coeff:7
+  @ [
+      (* store y[n] at y_base + 2n *)
+      I (Mov (Reg 5, Dreg 6));
+      I (Add (Reg 6, Dreg 6));
+      I (Add (Imm msp_conv_y_base, Dreg 6));
+      I (Mov (Reg 8, Dindexed (6, 0)));
+      I (Add (Imm 1, Dreg 5));
+      I (Cmp (Imm msp_conv_n, Dreg 5));
+      I (Jnz (Label "outer"));
+    ]
+  @ jump_back
+
+let msp_conv = msp_conv_body [ Msp_asm.I (Msp_isa.Jmp (Msp_isa.Label "start")) ]
+
+let msp_conv_halting =
+  msp_conv_body [ Msp_asm.L "halt"; Msp_asm.I (Msp_isa.Jmp (Msp_isa.Label "halt")) ]
+
+let msp_conv_expected =
+  let x i = (3 + (7 * i)) land 0xFFFF in
+  List.init (msp_conv_n - 2) (fun i ->
+      let n = i + 2 in
+      let y = (3 * x n) + (5 * x (n - 1)) + (7 * x (n - 2)) in
+      (msp_conv_y_base + (2 * n), y land 0xFFFF))

@@ -1,0 +1,59 @@
+(** The paper's two test programs — a Fibonacci sequence computation and a
+    convolution — for both cores, plus their architecturally expected
+    results (used by integration tests and by the fault-injection campaign
+    to classify outcomes).
+
+    Both programs run forever: they recompute their result and jump back
+    to the start, so any trace length (the paper uses 8500 cycles) is
+    meaningful. The [\*_halting] variants end in a self-jump after one
+    pass, for golden-model comparisons. *)
+
+(** {1 AVR} *)
+
+val avr_fib : Avr_asm.item list
+(** 24 Fibonacci numbers (mod 256) stored at RAM\[0..23\] and mirrored to
+    PORTB. *)
+
+val avr_fib_halting : Avr_asm.item list
+
+val avr_fib_expected : int array
+(** Expected RAM\[0..23\]. *)
+
+val avr_conv : Avr_asm.item list
+(** x\[i\] = 3 + 7i (mod 256) for i < 16 at RAM\[0..15\]; y = x * \[3;5;7\]
+    (shift-add multiply) at RAM\[34..47\]; each y\[n\] also goes to PORTB. *)
+
+val avr_conv_halting : Avr_asm.item list
+
+val avr_conv_expected : (int * int) list
+(** (address, value) pairs for y. *)
+
+val avr_sort : Avr_asm.item list
+(** Bubble sort of 16 bytes at RAM\[0..15\] (filled with 231 - 13i), using
+    the ADIW/SBIW pointer arithmetic; the smallest element goes to PORTB. *)
+
+val avr_sort_halting : Avr_asm.item list
+
+val avr_sort_expected : int array
+(** Expected RAM\[0..15\] after one pass of the program. *)
+
+(** {1 MSP430} *)
+
+val msp_fib : Msp_asm.item list
+(** 24 Fibonacci numbers (mod 2^16) at word address 0x200/2 upward. *)
+
+val msp_fib_halting : Msp_asm.item list
+
+val msp_fib_expected : int array
+
+val msp_fib_base : int
+(** Byte address of the fib output array (0x200). *)
+
+val msp_conv : Msp_asm.item list
+(** x\[i\] = 3 + 7i at 0x200; y\[n\] = 3x\[n\] + 5x\[n-1\] + 7x\[n-2\]
+    (multiply by repeated addition) at 0x240 + 2n, n in 2..15. *)
+
+val msp_conv_halting : Msp_asm.item list
+
+val msp_conv_expected : (int * int) list
+(** (byte address, value) pairs for y. *)

@@ -1,0 +1,50 @@
+module Netlist = Pruning_netlist.Netlist
+module Sim = Pruning_sim.Sim
+module Trace = Pruning_sim.Trace
+
+type kind =
+  | Avr
+  | Msp430
+
+type t = {
+  kind : kind;
+  name : string;
+  netlist : Netlist.t;
+  sim : Sim.t;
+  ram : Memory.backing;
+  rf_prefix : string;
+}
+
+let avr_netlist () = Avr_core.build ()
+let msp_netlist () = Msp_core.build ()
+
+let create_avr ?(pins = 0x5A) ?netlist ~program name =
+  let netlist =
+    match netlist with
+    | Some nl -> nl
+    | None -> avr_netlist ()
+  in
+  let sim = Sim.create netlist in
+  Sim.add_device sim (Memory.avr_rom netlist ~program);
+  let ram, ram_device = Memory.avr_ram netlist in
+  Sim.add_device sim ram_device;
+  Sim.add_device sim (Memory.avr_pins netlist ~value:pins);
+  { kind = Avr; name; netlist; sim; ram; rf_prefix = Avr_core.rf_prefix }
+
+let create_msp ?(words = 2048) ?netlist ~program name =
+  let netlist =
+    match netlist with
+    | Some nl -> nl
+    | None -> msp_netlist ()
+  in
+  let sim = Sim.create netlist in
+  let ram, mem_device = Memory.msp_memory netlist ~words ~program in
+  Sim.add_device sim mem_device;
+  { kind = Msp430; name; netlist; sim; ram; rf_prefix = Msp_core.rf_prefix }
+
+let run t ~cycles = Sim.run t.sim ~cycles ()
+
+let record t ~cycles =
+  let trace = Trace.create ~n_wires:(Netlist.n_wires t.netlist) in
+  Sim.run t.sim ~trace ~cycles ();
+  trace

@@ -1,0 +1,35 @@
+(** A complete hardware-software system under test: a synthesized core,
+    its environment devices (ROM/RAM or unified memory) and a loaded
+    program — the unit the fault-injection substrate and the evaluation
+    harness operate on. *)
+
+type kind =
+  | Avr
+  | Msp430
+
+type t = {
+  kind : kind;
+  name : string;  (** e.g. ["avr8/fib"] *)
+  netlist : Pruning_netlist.Netlist.t;
+  sim : Pruning_sim.Sim.t;  (** devices attached, program loaded *)
+  ram : Memory.backing;
+      (** AVR: the 256-byte data RAM; MSP430: the unified word memory *)
+  rf_prefix : string;
+}
+
+val create_avr : ?pins:int -> ?netlist:Pruning_netlist.Netlist.t -> program:int array -> string -> t
+(** [create_avr ~program name]. [netlist] allows reusing an already
+    synthesized core (the netlist itself is stateless). *)
+
+val create_msp : ?words:int -> ?netlist:Pruning_netlist.Netlist.t -> program:int array -> string -> t
+(** [words] is the unified memory size (default 2048 words). *)
+
+val run : t -> cycles:int -> unit
+
+val record : t -> cycles:int -> Pruning_sim.Trace.t
+(** Run while recording every wire each cycle. *)
+
+val avr_netlist : unit -> Pruning_netlist.Netlist.t
+(** Build (once per call) the AVR core netlist. *)
+
+val msp_netlist : unit -> Pruning_netlist.Netlist.t

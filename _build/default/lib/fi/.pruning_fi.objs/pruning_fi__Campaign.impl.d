@@ -1,0 +1,1 @@
+lib/fi/campaign.ml: Array Fault_space Format List Pruning_cpu Pruning_netlist Pruning_sim Pruning_util

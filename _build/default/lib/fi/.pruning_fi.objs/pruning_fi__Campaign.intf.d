@@ -1,0 +1,1 @@
+lib/fi/campaign.mli: Fault_space Format Pruning_cpu Pruning_util

@@ -1,0 +1,1 @@
+lib/fi/fault_space.ml: Array Pruning_netlist

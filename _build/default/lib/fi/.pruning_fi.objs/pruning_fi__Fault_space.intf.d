@@ -1,0 +1,1 @@
+lib/fi/fault_space.mli: Pruning_netlist

@@ -1,0 +1,1 @@
+lib/fi/intercycle.ml: Array Oracle Pruning_netlist Pruning_sim

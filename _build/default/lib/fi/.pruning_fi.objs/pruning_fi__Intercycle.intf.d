@@ -1,0 +1,1 @@
+lib/fi/intercycle.mli: Pruning_netlist Pruning_sim

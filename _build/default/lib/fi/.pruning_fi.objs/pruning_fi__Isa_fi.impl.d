@@ -1,0 +1,1 @@
+lib/fi/isa_fi.ml: Array Format Fun Hashtbl List Pruning_cpu Pruning_util

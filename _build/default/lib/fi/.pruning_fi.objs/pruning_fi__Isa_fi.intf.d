@@ -1,0 +1,1 @@
+lib/fi/isa_fi.mli: Format Pruning_util

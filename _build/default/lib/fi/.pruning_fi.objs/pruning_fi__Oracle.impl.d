@@ -1,0 +1,1 @@
+lib/fi/oracle.ml: Array List Pruning_netlist Pruning_sim

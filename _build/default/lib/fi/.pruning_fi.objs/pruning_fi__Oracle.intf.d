@@ -1,0 +1,1 @@
+lib/fi/oracle.mli: Pruning_netlist Pruning_sim

@@ -1,0 +1,110 @@
+module Netlist = Pruning_netlist.Netlist
+module Sim = Pruning_sim.Sim
+module System = Pruning_cpu.System
+module Prng = Pruning_util.Prng
+
+type verdict =
+  | Benign
+  | Latent
+  | Sdc of int
+
+type t = {
+  make : unit -> System.t;
+  total_cycles : int;
+  out_wires : int array;
+  golden_outputs : bool array array;  (** per cycle *)
+  golden_flops : bool array;  (** at horizon *)
+  golden_ram : int array;  (** at horizon *)
+}
+
+let output_wires nl =
+  List.concat_map
+    (fun (p : Netlist.port) -> Array.to_list p.Netlist.port_wires)
+    nl.Netlist.outputs
+  |> Array.of_list
+
+let read_outputs sim out_wires = Array.map (fun w -> Sim.peek sim w) out_wires
+
+let read_flops sim nl =
+  Array.map (fun (f : Netlist.flop) -> Sim.peek sim f.Netlist.q) nl.Netlist.flops
+
+let create ~make ~total_cycles =
+  let sys = make () in
+  let nl = sys.System.netlist in
+  let out_wires = output_wires nl in
+  let golden_outputs = Array.make total_cycles [||] in
+  for cycle = 0 to total_cycles - 1 do
+    Sim.eval sys.System.sim;
+    golden_outputs.(cycle) <- read_outputs sys.System.sim out_wires;
+    Sim.latch sys.System.sim
+  done;
+  Sim.eval sys.System.sim;
+  {
+    make;
+    total_cycles;
+    out_wires;
+    golden_outputs;
+    golden_flops = read_flops sys.System.sim nl;
+    golden_ram = Array.copy sys.System.ram;
+  }
+
+let inject t ~flop_id ~cycle =
+  if cycle < 0 || cycle >= t.total_cycles then invalid_arg "Campaign.inject: cycle out of range";
+  let sys = t.make () in
+  let sim = sys.System.sim in
+  let nl = sys.System.netlist in
+  (* Run fault-free up to the injection cycle. *)
+  for _ = 1 to cycle do
+    Sim.step sim ()
+  done;
+  Sim.eval sim;
+  Sim.set_flop sim flop_id (not (Sim.get_flop sim flop_id));
+  (* Continue, watching the outputs. *)
+  let divergence = ref None in
+  let c = ref cycle in
+  while !divergence = None && !c < t.total_cycles do
+    Sim.eval sim;
+    if read_outputs sim t.out_wires <> t.golden_outputs.(!c) then divergence := Some !c
+    else begin
+      Sim.latch sim;
+      incr c
+    end
+  done;
+  match !divergence with
+  | Some n -> Sdc n
+  | None ->
+    Sim.eval sim;
+    if read_flops sim nl = t.golden_flops && sys.System.ram = t.golden_ram then Benign
+    else Latent
+
+type stats = {
+  injections : int;
+  benign : int;
+  latent : int;
+  sdc : int;
+}
+
+let run_sample t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false) () =
+  let flops = space.Fault_space.flops in
+  let stats = ref { injections = 0; benign = 0; latent = 0; sdc = 0 } in
+  for _ = 1 to n do
+    let flop = flops.(Prng.int rng (Array.length flops)) in
+    let cycle = Prng.int rng (min space.Fault_space.cycles t.total_cycles) in
+    let flop_id = flop.Netlist.flop_id in
+    let s = !stats in
+    if skip ~flop_id ~cycle then stats := { s with benign = s.benign + 1 }
+    else begin
+      let s = { s with injections = s.injections + 1 } in
+      stats :=
+        (match inject t ~flop_id ~cycle with
+        | Benign -> { s with benign = s.benign + 1 }
+        | Latent -> { s with latent = s.latent + 1 }
+        | Sdc _ -> { s with sdc = s.sdc + 1 })
+    end
+  done;
+  !stats
+
+let pp_verdict ppf = function
+  | Benign -> Format.fprintf ppf "benign"
+  | Latent -> Format.fprintf ppf "latent"
+  | Sdc n -> Format.fprintf ppf "SDC@%d" n

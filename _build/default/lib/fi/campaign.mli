@@ -1,0 +1,47 @@
+(** End-to-end fault-injection campaign: the experiment a HAFI platform
+    runs for every non-pruned fault. Each experiment boots a fresh system,
+    runs it to the injection cycle, flips one flip-flop, and runs to the
+    campaign horizon while watching the primary outputs.
+
+    Verdicts:
+    - [Benign]: outputs matched the golden run at every cycle and the
+      final architectural state (flip-flops + memory) is identical;
+    - [Latent]: outputs matched throughout, but internal state differs at
+      the horizon (the fault may still surface later);
+    - [Sdc n]: silent data corruption — outputs first diverged from the
+      golden run at cycle [n]. *)
+
+type verdict =
+  | Benign
+  | Latent
+  | Sdc of int
+
+type t
+
+val create : make:(unit -> Pruning_cpu.System.t) -> total_cycles:int -> t
+(** Runs the golden experiment once and caches its observables. [make]
+    must produce a fresh, deterministic system each call. *)
+
+val inject : t -> flop_id:int -> cycle:int -> verdict
+(** One fault-injection experiment. [cycle] must be < [total_cycles]. *)
+
+type stats = {
+  injections : int;
+  benign : int;
+  latent : int;
+  sdc : int;
+}
+
+val run_sample :
+  t ->
+  space:Fault_space.t ->
+  rng:Pruning_util.Prng.t ->
+  n:int ->
+  ?skip:(flop_id:int -> cycle:int -> bool) ->
+  unit ->
+  stats
+(** Randomly sample [n] faults from [space] and run them. [skip] marks
+    faults already pruned (counted as [benign] without running — exactly
+    what a MATE-enriched platform would do). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,28 @@
+module Netlist = Pruning_netlist.Netlist
+
+type t = {
+  netlist : Netlist.t;
+  flops : Netlist.flop array;
+  cycles : int;
+}
+
+let check_cycles cycles = if cycles <= 0 then invalid_arg "Fault_space: cycles must be positive"
+
+let full netlist ~cycles =
+  check_cycles cycles;
+  { netlist; flops = Array.copy netlist.Netlist.flops; cycles }
+
+let without_prefix netlist ~prefix ~cycles =
+  check_cycles cycles;
+  { netlist; flops = Array.of_list (Netlist.flops_excluding netlist ~prefix); cycles }
+
+let size t = Array.length t.flops * t.cycles
+
+let flop_index t flop_id =
+  let n = Array.length t.flops in
+  let rec go i =
+    if i >= n then None
+    else if t.flops.(i).Netlist.flop_id = flop_id then Some i
+    else go (i + 1)
+  in
+  go 0

@@ -1,0 +1,21 @@
+(** The fault space of a HAFI campaign: (flip-flops x clock cycles), per
+    the paper's system model. An SEU manifests as a state flip of one
+    flip-flop in one cycle. *)
+
+type t = {
+  netlist : Pruning_netlist.Netlist.t;
+  flops : Pruning_netlist.Netlist.flop array;  (** flops under injection *)
+  cycles : int;
+}
+
+val full : Pruning_netlist.Netlist.t -> cycles:int -> t
+(** Every flip-flop ("FF" in the paper's tables). *)
+
+val without_prefix : Pruning_netlist.Netlist.t -> prefix:string -> cycles:int -> t
+(** Excluding a named register bank, e.g. the register file ("FF w/o RF"). *)
+
+val size : t -> int
+(** |flops| x |cycles|. *)
+
+val flop_index : t -> int -> int option
+(** Map a netlist [flop_id] to this space's dense flop index. *)

@@ -1,0 +1,47 @@
+module Netlist = Pruning_netlist.Netlist
+module Sim = Pruning_sim.Sim
+
+type t = {
+  flops : Netlist.flop array;
+  cycles : int;
+  class_id : int array array;
+  n_classes : int;
+}
+
+let compute sim ~flops ~cycles =
+  let nf = Array.length flops in
+  let class_id = Array.init cycles (fun _ -> Array.make nf (-1)) in
+  let next_class = ref 0 in
+  (* The class of each flop's currently open run; -1 when no run is open. *)
+  let open_run = Array.make nf (-1) in
+  for cycle = 0 to cycles - 1 do
+    Sim.eval sim;
+    Array.iteri
+      (fun fi (f : Netlist.flop) ->
+        let id =
+          match open_run.(fi) with
+          | -1 ->
+            let id = !next_class in
+            incr next_class;
+            id
+          | id -> id
+        in
+        class_id.(cycle).(fi) <- id;
+        (* If the fault defers, (f, cycle+1) joins the same class. *)
+        if cycle < cycles - 1 && Oracle.defers sim ~flop_id:f.Netlist.flop_id then
+          open_run.(fi) <- id
+        else open_run.(fi) <- -1)
+      flops;
+    Sim.latch sim
+  done;
+  { flops; cycles; class_id; n_classes = !next_class }
+
+let n_faults t = Array.length t.flops * t.cycles
+
+let reduction_factor t =
+  if t.n_classes = 0 then 1. else float_of_int (n_faults t) /. float_of_int t.n_classes
+
+let representative t ~flop_index ~cycle =
+  let id = t.class_id.(cycle).(flop_index) in
+  let rec back c = if c > 0 && t.class_id.(c - 1).(flop_index) = id then back (c - 1) else c in
+  back cycle

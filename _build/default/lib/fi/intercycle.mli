@@ -1,0 +1,34 @@
+(** Inter-cycle fault equivalence classes.
+
+    The paper points out that faults in the general-purpose register file
+    "naturally live longer than one clock cycle" and are "more likely to
+    be pruned on an inter-cycle pruning strategy" — the def/use-style
+    collapsing used by ISA-level tools. This module computes those classes
+    on the gate level: consecutive cycles in which a flop's fault defers
+    unchanged (per {!Oracle.defers}) form one equivalence class, and a
+    campaign needs to run only one experiment per class.
+
+    MATEs (intra-cycle) and these classes (inter-cycle) compose: a class
+    whose representative is pruned by a MATE... cannot exist — a deferring
+    fault is by definition not masked — so the two prune disjoint parts of
+    the fault space, exactly the complementarity the paper describes. *)
+
+type t = {
+  flops : Pruning_netlist.Netlist.flop array;
+  cycles : int;
+  class_id : int array array;  (** [cycle].(flop position): class index *)
+  n_classes : int;
+}
+
+val compute : Pruning_sim.Sim.t -> flops:Pruning_netlist.Netlist.flop array -> cycles:int -> t
+(** Advance the simulation [cycles] cycles, computing the deferral runs of
+    every listed flop. *)
+
+val n_faults : t -> int
+
+val reduction_factor : t -> float
+(** [n_faults / n_classes]: how many times fewer experiments an
+    equivalence-aware campaign runs. *)
+
+val representative : t -> flop_index:int -> cycle:int -> int
+(** First cycle of the (flop, cycle) fault's class. *)

@@ -1,0 +1,127 @@
+module Netlist = Pruning_netlist.Netlist
+module Sim = Pruning_sim.Sim
+
+let output_wires nl =
+  List.concat_map
+    (fun (p : Netlist.port) -> Array.to_list p.Netlist.port_wires)
+    nl.Netlist.outputs
+  |> Array.of_list
+
+let observe nl out_wires sim =
+  let flops = nl.Netlist.flops in
+  let nf = Array.length flops in
+  let no = Array.length out_wires in
+  let snapshot = Array.make (nf + no) false in
+  for i = 0 to nf - 1 do
+    snapshot.(i) <- Sim.peek sim flops.(i).Netlist.d
+  done;
+  for i = 0 to no - 1 do
+    snapshot.(nf + i) <- Sim.peek sim out_wires.(i)
+  done;
+  snapshot
+
+let one_cycle_benign sim ~flop_id =
+  let nl = Sim.netlist sim in
+  let out_wires = output_wires nl in
+  let golden = observe nl out_wires sim in
+  let original = Sim.get_flop sim flop_id in
+  Sim.set_flop sim flop_id (not original);
+  Sim.eval sim;
+  let faulty = observe nl out_wires sim in
+  Sim.set_flop sim flop_id original;
+  Sim.eval sim;
+  golden = faulty
+
+let defers sim ~flop_id =
+  let nl = Sim.netlist sim in
+  let out_wires = output_wires nl in
+  let flops = nl.Netlist.flops in
+  let own = flops.(flop_id) in
+  let golden = observe nl out_wires sim in
+  let original = Sim.get_flop sim flop_id in
+  Sim.set_flop sim flop_id (not original);
+  Sim.eval sim;
+  let faulty = observe nl out_wires sim in
+  let self_d = Sim.peek sim own.Netlist.d in
+  Sim.set_flop sim flop_id original;
+  Sim.eval sim;
+  (* Everything but the flop's own D must match; the own D must carry the
+     flipped value forward, and would have carried the original one in the
+     golden run (a reload that merely coincides with the flip is an
+     overwrite, not a deferral). *)
+  let nf = Array.length flops in
+  let ok = ref (self_d = not original && golden.(flop_id) = original) in
+  for i = 0 to nf - 1 do
+    if i <> flop_id && faulty.(i) <> golden.(i) then ok := false
+  done;
+  for i = nf to nf + Array.length out_wires - 1 do
+    if faulty.(i) <> golden.(i) then ok := false
+  done;
+  !ok
+
+let pair_benign sim ~flop_a ~flop_b =
+  let nl = Sim.netlist sim in
+  let out_wires = output_wires nl in
+  let golden = observe nl out_wires sim in
+  let va = Sim.get_flop sim flop_a and vb = Sim.get_flop sim flop_b in
+  Sim.set_flop sim flop_a (not va);
+  Sim.set_flop sim flop_b (not vb);
+  Sim.eval sim;
+  let faulty = observe nl out_wires sim in
+  Sim.set_flop sim flop_a va;
+  Sim.set_flop sim flop_b vb;
+  Sim.eval sim;
+  golden = faulty
+
+let sustained_benign sim ~flop_id ~hold =
+  if hold < 1 then invalid_arg "Oracle.sustained_benign: hold must be positive";
+  let nl = Sim.netlist sim in
+  let out_wires = output_wires nl in
+  let restore = Sim.save_state sim in
+  (* Golden observables and the flop's golden per-cycle value. *)
+  let golden =
+    Array.init hold (fun _ ->
+        let v = Sim.get_flop sim flop_id in
+        Sim.eval sim;
+        let obs = observe nl out_wires sim in
+        Sim.latch sim;
+        (v, obs))
+  in
+  restore ();
+  (* Faulty run: force the complement of the golden value each cycle. *)
+  let benign = ref true in
+  Array.iter
+    (fun (golden_v, golden_obs) ->
+      if !benign then begin
+        Sim.set_flop sim flop_id (not golden_v);
+        Sim.eval sim;
+        (* Observe with the golden flop value restored virtually: the
+           upset is in the flop itself; its victims are the D inputs and
+           outputs, which [observe] covers. *)
+        if observe nl out_wires sim <> golden_obs then benign := false else Sim.latch sim
+      end)
+    golden;
+  restore ();
+  Sim.eval sim;
+  !benign
+
+let sweep sim ~flops ~cycles =
+  let nl = Sim.netlist sim in
+  let out_wires = output_wires nl in
+  Array.init cycles (fun _ ->
+      Sim.eval sim;
+      let golden = observe nl out_wires sim in
+      let verdicts =
+        Array.map
+          (fun (f : Netlist.flop) ->
+            let original = Sim.get_flop sim f.Netlist.flop_id in
+            Sim.set_flop sim f.Netlist.flop_id (not original);
+            Sim.eval sim;
+            let faulty = observe nl out_wires sim in
+            Sim.set_flop sim f.Netlist.flop_id original;
+            faulty = golden)
+          flops
+      in
+      Sim.eval sim;
+      Sim.latch sim;
+      verdicts)

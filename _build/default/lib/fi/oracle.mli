@@ -1,0 +1,48 @@
+(** Ground truth for single-cycle fault masking.
+
+    [one_cycle_benign] performs the experiment a MATE predicts: flip one
+    flip-flop at the current cycle, re-evaluate the combinational logic
+    (devices included) and compare every flip-flop's next-state input and
+    every primary output with the fault-free evaluation. If nothing
+    differs, the SEU provably dies at the next clock edge.
+
+    MATEs are {e sufficient} conditions, so the library-wide soundness
+    invariant (tested extensively) is: whenever a MATE triggers, this
+    oracle says benign. The converse need not hold. *)
+
+val one_cycle_benign : Pruning_sim.Sim.t -> flop_id:int -> bool
+(** Must be called on an evaluated simulator ([Sim.eval] already run for
+    the current cycle); restores the simulator state (including a final
+    re-eval) before returning. *)
+
+val pair_benign : Pruning_sim.Sim.t -> flop_a:int -> flop_b:int -> bool
+(** Section 6.2 extension: simultaneous 2-bit upset. Flip both flops and
+    check all next-state inputs and primary outputs as in
+    {!one_cycle_benign}. *)
+
+val sustained_benign : Pruning_sim.Sim.t -> flop_id:int -> hold:int -> bool
+(** Section 6.2 extension: an upset that holds the flip-flop at the wrong
+    value for [hold] consecutive cycles (starting at the current cycle).
+    Benign iff every flip-flop next-state input and every primary output
+    matches the golden run in each of the [hold] cycles — after the
+    window, the state is then provably golden again. The simulator is
+    restored (same cycle, golden state) before returning. *)
+
+val defers : Pruning_sim.Sim.t -> flop_id:int -> bool
+(** Inter-cycle equivalence (the paper's complementary pruning for
+    register-file faults): true when a fault in the flop at the current
+    cycle transfers {e unchanged} into the next cycle without any other
+    effect — every other flip-flop's D input and every primary output
+    matches the golden run, and the flop reloads its own (flipped) value.
+    Then the fault (flop, t) is equivalent to (flop, t+1): a campaign
+    needs to inject only one representative of the run. *)
+
+val sweep :
+  Pruning_sim.Sim.t ->
+  flops:Pruning_netlist.Netlist.flop array ->
+  cycles:int ->
+  bool array array
+(** Run the simulation [cycles] cycles forward from its current state; the
+    result is indexed [cycle].(flop position in [flops]) and holds the
+    benign verdict of each (flop, cycle) fault. The simulator is advanced
+    by [cycles] cycles. *)

@@ -1,0 +1,1 @@
+lib/mate/cost.ml: Array Fun List Mateset Pruning_util Term

@@ -1,0 +1,1 @@
+lib/mate/cost.mli: Mateset Term

@@ -1,0 +1,1 @@
+lib/mate/mateset.ml: Array Hashtbl List Pruning_netlist Search Term

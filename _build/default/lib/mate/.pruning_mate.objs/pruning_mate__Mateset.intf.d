@@ -1,0 +1,1 @@
+lib/mate/mateset.mli: Search Term

@@ -1,0 +1,1 @@
+lib/mate/replay.ml: Array Bytes Char Fun List Mateset Pruning_fi Pruning_netlist Pruning_sim Pruning_util Term

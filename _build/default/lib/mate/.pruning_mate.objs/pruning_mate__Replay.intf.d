@@ -1,0 +1,1 @@
+lib/mate/replay.mli: Mateset Pruning_fi Pruning_sim

@@ -1,0 +1,1 @@
+lib/mate/search.ml: Array Bytes Char Hashtbl List Pruning_cell Pruning_netlist Pruning_sim Pruning_util Queue String Term Unix

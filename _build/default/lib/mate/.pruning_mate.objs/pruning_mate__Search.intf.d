@@ -1,0 +1,1 @@
+lib/mate/search.mli: Pruning_netlist Pruning_sim Term

@@ -1,0 +1,1 @@
+lib/mate/select.ml: Array Fun List Mateset Pruning_fi Pruning_netlist Replay Term

@@ -1,0 +1,1 @@
+lib/mate/select.mli: Mateset Pruning_fi Replay

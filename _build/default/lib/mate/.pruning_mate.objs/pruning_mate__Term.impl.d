@@ -1,0 +1,1 @@
+lib/mate/term.ml: List Pruning_netlist Stdlib String

@@ -1,0 +1,1 @@
+lib/mate/term.mli: Pruning_netlist

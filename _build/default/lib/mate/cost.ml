@@ -1,0 +1,35 @@
+module Stats = Pruning_util.Stats
+
+let lut_width = 6
+
+let luts_for_inputs n =
+  if n <= 0 then 0
+  else if n <= lut_width then 1
+  else 1 + ((n - lut_width + (lut_width - 2)) / (lut_width - 1))
+
+let mate_luts term = luts_for_inputs (Term.n_inputs term)
+
+type summary = {
+  n_mates : int;
+  avg_inputs : float;
+  stddev_inputs : float;
+  max_inputs : int;
+  total_luts : int;
+}
+
+let summarize (set : Mateset.t) ?subset () =
+  let indices =
+    match subset with
+    | Some l -> l
+    | None -> List.init (Array.length set.Mateset.mates) Fun.id
+  in
+  let input_counts =
+    List.map (fun i -> Term.n_inputs set.Mateset.mates.(i).Mateset.term) indices
+  in
+  {
+    n_mates = List.length indices;
+    avg_inputs = Stats.mean_int input_counts;
+    stddev_inputs = Stats.stddev (List.map float_of_int input_counts);
+    max_inputs = List.fold_left max 0 input_counts;
+    total_luts = List.fold_left (fun acc n -> acc + luts_for_inputs n) 0 input_counts;
+  }

@@ -1,0 +1,22 @@
+(** FPGA cost model for MATE sets (Section 6.1 of the paper).
+
+    A MATE is a product term; an FPGA k-LUT (k = 6 assumed, as on the
+    Virtex-6 class devices the paper cites) absorbs 6 inputs, and each
+    additional cascaded LUT contributes 5 more (one input chains the
+    previous stage). *)
+
+val luts_for_inputs : int -> int
+(** [luts_for_inputs n] for an [n]-input product term; 0 inputs cost no
+    logic. *)
+
+val mate_luts : Term.t -> int
+
+type summary = {
+  n_mates : int;
+  avg_inputs : float;
+  stddev_inputs : float;
+  max_inputs : int;
+  total_luts : int;
+}
+
+val summarize : Mateset.t -> ?subset:int list -> unit -> summary

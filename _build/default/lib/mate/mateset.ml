@@ -1,0 +1,42 @@
+type mate = {
+  term : Term.t;
+  flop_ids : int list;
+}
+
+type t = { mates : mate array }
+
+let build pairs =
+  let by_term : (Term.t, int list ref) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (flop_id, terms) ->
+      List.iter
+        (fun term ->
+          match Hashtbl.find_opt by_term term with
+          | Some flops -> if not (List.mem flop_id !flops) then flops := flop_id :: !flops
+          | None -> Hashtbl.add by_term term (ref [ flop_id ]))
+        terms)
+    pairs;
+  let mates =
+    Hashtbl.fold
+      (fun term flops acc -> { term; flop_ids = List.sort compare !flops } :: acc)
+      by_term []
+  in
+  (* Deterministic order: by term shape. *)
+  { mates = Array.of_list (List.sort (fun a b -> Term.compare a.term b.term) mates) }
+
+let of_report (report : Search.report) =
+  build
+    (List.filter_map
+       (fun (fr : Search.flop_result) ->
+         match fr.Search.result.Search.outcome with
+         | Search.Unmaskable -> None
+         | Search.Mates terms -> Some (fr.Search.flop.Pruning_netlist.Netlist.flop_id, terms))
+       report.Search.flop_results)
+
+let size t = Array.length t.mates
+
+let subset t indices =
+  { mates = Array.of_list (List.map (fun i -> t.mates.(i)) indices) }
+
+let total_masked_flops t =
+  Array.fold_left (fun acc m -> acc + List.length m.flop_ids) 0 t.mates

@@ -1,0 +1,121 @@
+module Trace = Pruning_sim.Trace
+module Fault_space = Pruning_fi.Fault_space
+module Netlist = Pruning_netlist.Netlist
+
+type triggers = {
+  t_cycles : int;
+  bits : Bytes.t array;  (** per mate, bitset over cycles *)
+}
+
+let triggers (set : Mateset.t) trace =
+  let cycles = Trace.n_cycles trace in
+  let bytes_per_mate = (cycles + 7) / 8 in
+  let bits =
+    Array.map
+      (fun (m : Mateset.mate) ->
+        let b = Bytes.make bytes_per_mate '\000' in
+        let literals = Array.of_list (Term.literals m.Mateset.term) in
+        for cycle = 0 to cycles - 1 do
+          let holds = ref true in
+          let i = ref 0 in
+          let n = Array.length literals in
+          while !holds && !i < n do
+            let l = literals.(!i) in
+            if Trace.get trace ~cycle l.Term.wire <> l.Term.value then holds := false;
+            incr i
+          done;
+          if !holds then
+            Bytes.set b (cycle lsr 3)
+              (Char.chr (Char.code (Bytes.get b (cycle lsr 3)) lor (1 lsl (cycle land 7))))
+        done;
+        b)
+      set.Mateset.mates
+  in
+  { t_cycles = cycles; bits }
+
+let n_cycles t = t.t_cycles
+
+let triggered t ~mate ~cycle =
+  Char.code (Bytes.get t.bits.(mate) (cycle lsr 3)) land (1 lsl (cycle land 7)) <> 0
+
+let trigger_count t i =
+  let count = ref 0 in
+  Bytes.iter
+    (fun c ->
+      let rec pop n = if n = 0 then 0 else (n land 1) + pop (n lsr 1) in
+      count := !count + pop (Char.code c))
+    t.bits.(i);
+  !count
+
+let effective_indices t =
+  let out = ref [] in
+  for i = Array.length t.bits - 1 downto 0 do
+    if trigger_count t i > 0 then out := i :: !out
+  done;
+  !out
+
+(* Map netlist flop ids to dense indices of the fault space. *)
+let space_index_table (space : Fault_space.t) =
+  let max_id =
+    Array.fold_left
+      (fun acc (f : Netlist.flop) -> max acc f.Netlist.flop_id)
+      (-1)
+      space.Fault_space.netlist.Netlist.flops
+  in
+  let table = Array.make (max_id + 1) (-1) in
+  Array.iteri (fun i (f : Netlist.flop) -> table.(f.Netlist.flop_id) <- i) space.Fault_space.flops;
+  table
+
+let masked (set : Mateset.t) t ~space ?subset () =
+  let cycles = space.Fault_space.cycles in
+  if cycles > t.t_cycles then invalid_arg "Replay.masked: space has more cycles than the trace";
+  let nf = Array.length space.Fault_space.flops in
+  let table = space_index_table space in
+  let matrix = Array.init cycles (fun _ -> Array.make nf false) in
+  let indices =
+    match subset with
+    | Some l -> l
+    | None -> List.init (Array.length set.Mateset.mates) Fun.id
+  in
+  List.iter
+    (fun i ->
+      let m = set.Mateset.mates.(i) in
+      let space_flops =
+        List.filter_map
+          (fun fid -> if fid < Array.length table && table.(fid) >= 0 then Some table.(fid) else None)
+          m.Mateset.flop_ids
+      in
+      if space_flops <> [] then
+        for cycle = 0 to cycles - 1 do
+          if triggered t ~mate:i ~cycle then
+            List.iter (fun fi -> matrix.(cycle).(fi) <- true) space_flops
+        done)
+    indices;
+  matrix
+
+let masked_count matrix =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun acc b -> if b then acc + 1 else acc) acc row)
+    0 matrix
+
+let reduction_percent set t ~space ?subset () =
+  let matrix = masked set t ~space ?subset () in
+  Pruning_util.Stats.percentage (masked_count matrix) (Fault_space.size space)
+
+let raw_masked_per_mate (set : Mateset.t) t ~space =
+  let table = space_index_table space in
+  let cycles = min space.Fault_space.cycles t.t_cycles in
+  Array.mapi
+    (fun i (m : Mateset.mate) ->
+      let nf =
+        List.length
+          (List.filter
+             (fun fid -> fid < Array.length table && table.(fid) >= 0)
+             m.Mateset.flop_ids)
+      in
+      let count = ref 0 in
+      for cycle = 0 to cycles - 1 do
+        if triggered t ~mate:i ~cycle then incr count
+      done;
+      !count * nf)
+    set.Mateset.mates

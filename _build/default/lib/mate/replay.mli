@@ -1,0 +1,37 @@
+(** Trace replay: evaluating a MATE set against a recorded fault-free
+    execution (Figure 1b / Section 5.3 of the paper).
+
+    MATE literals mention only wires outside the hypothetical fault's
+    cone, so their fault-free (golden) trace values are exactly the values
+    a MATE-enriched HAFI platform would see; a term that holds in cycle
+    [t] removes its flip-flops' (flop, t) faults from the fault space. *)
+
+type triggers
+(** Per-mate trigger bitsets over trace cycles (the expensive replay pass,
+    computed once and reused by coverage, selection and cost analyses). *)
+
+val triggers : Mateset.t -> Pruning_sim.Trace.t -> triggers
+
+val n_cycles : triggers -> int
+
+val triggered : triggers -> mate:int -> cycle:int -> bool
+
+val trigger_count : triggers -> int -> int
+(** Cycles in which mate [i] held. *)
+
+val effective_indices : triggers -> int list
+(** Mates that triggered at least once ("#Effective MATEs"). *)
+
+val masked : Mateset.t -> triggers -> space:Pruning_fi.Fault_space.t -> ?subset:int list -> unit -> bool array array
+(** [masked set trig ~space ()] is indexed [cycle].(space flop index): the
+    (flop, cycle) faults proven benign. [subset] restricts to chosen mate
+    indices. The space's cycle count must not exceed the trace length. *)
+
+val masked_count : bool array array -> int
+
+val reduction_percent : Mateset.t -> triggers -> space:Pruning_fi.Fault_space.t -> ?subset:int list -> unit -> float
+(** Percentage of the fault space proven benign ("Masked Faults"). *)
+
+val raw_masked_per_mate : Mateset.t -> triggers -> space:Pruning_fi.Fault_space.t -> int array
+(** Per-mate masked-fault count ignoring overlap with other mates (the
+    ranking key used before greedy selection). *)

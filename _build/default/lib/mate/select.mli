@@ -1,0 +1,16 @@
+(** Trace-driven selection of high-impact MATEs (Section 4, step 3).
+
+    The paper's procedure: rank MATEs by the number of faults they mask
+    over a selection trace, then walk the trace crediting each MATE only
+    with faults no higher-ranked MATE already masks in that cycle, and
+    keep the top N by credited hits. A subset selected on one program can
+    then be evaluated on another (the cross-validation of Tables 2/3). *)
+
+val rank :
+  Mateset.t -> Replay.triggers -> space:Pruning_fi.Fault_space.t -> (int * int) list
+(** Mate indices with credited hit counts, most useful first. Ties break
+    toward cheaper terms (fewer inputs). *)
+
+val top : (int * int) list -> n:int -> int list
+(** The first [n] mate indices of a ranking (all of them when the ranking
+    is shorter). Mates with zero credited hits are dropped. *)

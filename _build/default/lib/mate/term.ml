@@ -1,0 +1,35 @@
+module Netlist = Pruning_netlist.Netlist
+
+type literal = {
+  wire : Netlist.wire;
+  value : bool;
+}
+
+type t = literal list
+
+let always_true = []
+
+let of_literals pairs =
+  let sorted = List.sort_uniq compare (List.map (fun (wire, value) -> { wire; value }) pairs) in
+  let rec consistent = function
+    | a :: (b :: _ as rest) -> if a.wire = b.wire then None else consistent rest
+    | [ _ ] | [] -> Some sorted
+  in
+  consistent sorted
+
+let conjoin a b = of_literals (List.map (fun l -> (l.wire, l.value)) (a @ b))
+
+let holds t valuation = List.for_all (fun l -> valuation l.wire = l.value) t
+
+let literals t = t
+let inputs t = List.map (fun l -> l.wire) t
+let n_inputs t = List.length t
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let to_string nl t =
+  match t with
+  | [] -> "(true)"
+  | _ ->
+    let literal l = (if l.value then "" else "!") ^ Netlist.wire_name nl l.wire in
+    "(" ^ String.concat " & " (List.map literal t) ^ ")"

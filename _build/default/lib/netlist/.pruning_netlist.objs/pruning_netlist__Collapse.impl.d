@@ -1,0 +1,1 @@
+lib/netlist/collapse.ml: Array Fun Hashtbl List Netlist Option Pruning_cell

@@ -1,0 +1,1 @@
+lib/netlist/collapse.mli: Netlist

@@ -1,0 +1,1 @@
+lib/netlist/dot.ml: Array Buffer Cone List Netlist Printf Pruning_cell String

@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Hashtbl List Option Printf Pruning_cell Queue String

@@ -1,0 +1,1 @@
+lib/netlist/textio.ml: Array Buffer Filename List Netlist Option Printf Pruning_cell String

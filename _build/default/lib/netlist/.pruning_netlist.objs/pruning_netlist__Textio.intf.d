@@ -1,0 +1,1 @@
+lib/netlist/textio.mli: Netlist

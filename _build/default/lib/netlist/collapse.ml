@@ -1,0 +1,100 @@
+module Cell = Pruning_cell.Cell
+
+type polarity =
+  | Stuck_at_0
+  | Stuck_at_1
+
+type fault = {
+  wire : Netlist.wire;
+  polarity : polarity;
+}
+
+type t = {
+  parent : int array;  (** union-find over 2 x wires *)
+  n_wires : int;
+}
+
+let id f = (2 * f.wire) + match f.polarity with Stuck_at_0 -> 0 | Stuck_at_1 -> 1
+
+let fault_of_id i =
+  { wire = i / 2; polarity = (if i land 1 = 0 then Stuck_at_0 else Stuck_at_1) }
+
+let rec find t i =
+  if t.parent.(i) = i then i
+  else begin
+    let root = find t t.parent.(i) in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then t.parent.(max ra rb) <- min ra rb
+
+(* The net-level soundness condition: an input-pin rule may only be
+   applied when the pin's net has no other observer (single gate reader,
+   no flop, not a primary output) — otherwise the input fault has side
+   effects the output fault does not. *)
+let single_observer (nl : Netlist.t) w =
+  Array.length nl.Netlist.readers.(w) = 1
+  && Array.length nl.Netlist.flop_readers.(w) = 0
+  && not nl.Netlist.is_primary_output.(w)
+
+let compute (nl : Netlist.t) =
+  let n_wires = Netlist.n_wires nl in
+  let t = { parent = Array.init (2 * n_wires) Fun.id; n_wires } in
+  let sa0 w = { wire = w; polarity = Stuck_at_0 } in
+  let sa1 w = { wire = w; polarity = Stuck_at_1 } in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let out = g.Netlist.output in
+      let each_input rule =
+        Array.iter (fun w -> if single_observer nl w then rule w) g.Netlist.inputs
+      in
+      match g.Netlist.cell.Cell.kind with
+      | Cell.AND2 | Cell.AND3 | Cell.AND4 ->
+        each_input (fun w -> union t (id (sa0 w)) (id (sa0 out)))
+      | Cell.NAND2 | Cell.NAND3 | Cell.NAND4 ->
+        each_input (fun w -> union t (id (sa0 w)) (id (sa1 out)))
+      | Cell.OR2 | Cell.OR3 | Cell.OR4 ->
+        each_input (fun w -> union t (id (sa1 w)) (id (sa1 out)))
+      | Cell.NOR2 | Cell.NOR3 | Cell.NOR4 ->
+        each_input (fun w -> union t (id (sa1 w)) (id (sa0 out)))
+      | Cell.INV ->
+        each_input (fun w ->
+            union t (id (sa0 w)) (id (sa1 out));
+            union t (id (sa1 w)) (id (sa0 out)))
+      | Cell.BUF ->
+        each_input (fun w ->
+            union t (id (sa0 w)) (id (sa0 out));
+            union t (id (sa1 w)) (id (sa1 out)))
+      | Cell.XOR2 | Cell.XNOR2 | Cell.MUX2 | Cell.AOI21 | Cell.AOI22 | Cell.OAI21
+      | Cell.OAI22 | Cell.XOR3 | Cell.MAJ3 | Cell.TIEL | Cell.TIEH -> ())
+    nl.Netlist.gates;
+  t
+
+let n_faults t = 2 * t.n_wires
+
+let n_classes t =
+  let count = ref 0 in
+  for i = 0 to (2 * t.n_wires) - 1 do
+    if find t i = i then incr count
+  done;
+  !count
+
+let collapse_ratio t = float_of_int (n_classes t) /. float_of_int (n_faults t)
+
+let representative t f = fault_of_id (find t (id f))
+
+let equivalent t a b = find t (id a) = find t (id b)
+
+let classes t =
+  let by_root = Hashtbl.create 64 in
+  for i = 0 to (2 * t.n_wires) - 1 do
+    let root = find t i in
+    let members = Option.value ~default:[] (Hashtbl.find_opt by_root root) in
+    Hashtbl.replace by_root root (fault_of_id i :: members)
+  done;
+  Hashtbl.fold (fun _ members acc -> if List.length members > 1 then members :: acc else acc)
+    by_root []
+  |> List.sort (fun a b -> compare (List.length b) (List.length a))

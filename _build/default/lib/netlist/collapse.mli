@@ -1,0 +1,53 @@
+(** Structural stuck-at fault collapsing.
+
+    The paper's related-work section contrasts MATEs with classic fault
+    collapsing, which statically groups stuck-at faults with identical
+    error behaviour before any test/injection campaign, and notes that
+    "the combination of MATEs and fault collapsing could be profitable
+    when all wires are subject to injection". This module provides that
+    static layer: the textbook equivalence rules per gate type, closed
+    under union-find.
+
+    Rules implemented (single-output gates):
+    - AND: output s-a-0 == each input s-a-0; NAND: output s-a-1 == each
+      input s-a-0;
+    - OR: output s-a-1 == each input s-a-1; NOR: output s-a-0 == each
+      input s-a-1;
+    - INV: output s-a-0 == input s-a-1 and vice versa; BUF: both
+      polarities pass through;
+    - fanout-free chains collapse transitively (via union-find).
+
+    XOR/XNOR/MUX/AOI/OAI have no input-output equivalences under the
+    single-fault assumption and contribute no rules. *)
+
+type polarity =
+  | Stuck_at_0
+  | Stuck_at_1
+
+type fault = {
+  wire : Netlist.wire;
+  polarity : polarity;
+}
+
+type t
+(** Collapsed fault universe of one netlist. *)
+
+val compute : Netlist.t -> t
+
+val n_faults : t -> int
+(** Total stuck-at faults: 2 x wires. *)
+
+val n_classes : t -> int
+(** Number of equivalence classes after collapsing. *)
+
+val collapse_ratio : t -> float
+(** [n_classes / n_faults] — the fraction of faults an injection campaign
+    must still consider (always <= 1). *)
+
+val representative : t -> fault -> fault
+(** Canonical representative of a fault's equivalence class. *)
+
+val equivalent : t -> fault -> fault -> bool
+
+val classes : t -> fault list list
+(** All classes with more than one member, largest first. *)

@@ -1,0 +1,86 @@
+type t = {
+  source : Netlist.wire;
+  in_cone : bool array;
+  gates : Netlist.gate list;
+  border : Netlist.wire list;
+  sinks_flops : int list;
+  sinks_outputs : Netlist.wire list;
+  source_is_sink : bool;
+}
+
+let compute_multi (nl : Netlist.t) sources =
+  let source =
+    match sources with
+    | [] -> invalid_arg "Cone.compute_multi: no sources"
+    | s :: _ -> s
+  in
+  let nw = Netlist.n_wires nl in
+  let in_cone = Array.make nw false in
+  let gate_in_cone = Array.make (Netlist.n_gates nl) false in
+  let frontier = Queue.create () in
+  List.iter
+    (fun s ->
+      if not in_cone.(s) then begin
+        in_cone.(s) <- true;
+        Queue.add s frontier
+      end)
+    sources;
+  while not (Queue.is_empty frontier) do
+    let w = Queue.pop frontier in
+    Array.iter
+      (fun gid ->
+        if not gate_in_cone.(gid) then begin
+          gate_in_cone.(gid) <- true;
+          let out = nl.gates.(gid).output in
+          if not in_cone.(out) then begin
+            in_cone.(out) <- true;
+            Queue.add out frontier
+          end
+        end)
+      nl.readers.(w)
+  done;
+  (* Cone gates in topological order: filter the precomputed order. *)
+  let gates =
+    Array.to_list nl.topo
+    |> List.filter_map (fun gid -> if gate_in_cone.(gid) then Some nl.gates.(gid) else None)
+  in
+  (* Border wires: inputs of cone gates outside the cone. *)
+  let border_flags = Array.make nw false in
+  List.iter
+    (fun (g : Netlist.gate) ->
+      Array.iter (fun w -> if not in_cone.(w) then border_flags.(w) <- true) g.inputs)
+    gates;
+  let border = ref [] in
+  for w = nw - 1 downto 0 do
+    if border_flags.(w) then border := w :: !border
+  done;
+  (* Sinks. *)
+  let sinks_flops = ref [] in
+  let sinks_outputs = ref [] in
+  for w = nw - 1 downto 0 do
+    if in_cone.(w) then begin
+      if Array.length nl.flop_readers.(w) > 0 then
+        sinks_flops := Array.to_list nl.flop_readers.(w) @ !sinks_flops;
+      if nl.is_primary_output.(w) then sinks_outputs := w :: !sinks_outputs
+    end
+  done;
+  let source_is_sink =
+    List.exists
+      (fun s -> nl.is_primary_output.(s) || Array.length nl.flop_readers.(s) > 0)
+      sources
+  in
+  {
+    source;
+    in_cone;
+    gates;
+    border = !border;
+    sinks_flops = !sinks_flops;
+    sinks_outputs = !sinks_outputs;
+    source_is_sink;
+  }
+
+let compute nl source = compute_multi nl [ source ]
+
+let size t = List.length t.gates
+let member t w = t.in_cone.(w)
+let border_count t = List.length t.border

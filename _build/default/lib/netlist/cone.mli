@@ -1,0 +1,36 @@
+(** Fault cones (Section 3 of the paper).
+
+    The fault cone of a wire [w] is the set of wires and combinational
+    gates that a wrong value on [w] could reach within the current clock
+    cycle: the forward closure of [w] through gates, stopping at flip-flop
+    D pins and primary outputs. {e Border wires} are inputs of cone gates
+    driven from outside the cone; only they can carry trusted values into
+    the cone and mask the fault. *)
+
+type t = {
+  source : Netlist.wire;
+  in_cone : bool array;  (** per wire: belongs to the cone *)
+  gates : Netlist.gate list;  (** cone gates, in netlist topological order *)
+  border : Netlist.wire list;  (** distinct border wires, ascending *)
+  sinks_flops : int list;  (** flop ids whose D pin lies in the cone *)
+  sinks_outputs : Netlist.wire list;  (** primary-output wires in the cone *)
+  source_is_sink : bool;
+      (** the faulty wire itself feeds a flop D or is a primary output, so
+          no gate can ever mask it *)
+}
+
+val compute : Netlist.t -> Netlist.wire -> t
+(** Forward cone of one wire. *)
+
+val compute_multi : Netlist.t -> Netlist.wire list -> t
+(** Joint forward cone of several simultaneously faulty wires (the paper's
+    Section 6.2 multi-bit fault extension). [source] is the first wire;
+    [source_is_sink] is true when {e any} source feeds a sink directly.
+    Raises [Invalid_argument] on an empty list. *)
+
+val size : t -> int
+(** Number of gates in the cone (the paper's cone-size metric). *)
+
+val member : t -> Netlist.wire -> bool
+
+val border_count : t -> int

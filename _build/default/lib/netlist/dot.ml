@@ -1,0 +1,77 @@
+module Cell = Pruning_cell.Cell
+
+let escape s =
+  String.concat "" (List.map (fun c -> if c = '"' then "\\\"" else String.make 1 c)
+      (List.init (String.length s) (String.get s)))
+
+let to_string ?highlight_cone (nl : Netlist.t) =
+  let buffer = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  let in_cone w =
+    match highlight_cone with
+    | Some cone -> Cone.member cone w
+    | None -> false
+  in
+  let gate_in_cone (g : Netlist.gate) = in_cone g.output in
+  out "digraph \"%s\" {\n  rankdir=LR;\n  node [fontname=monospace];\n" (escape nl.name);
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let style = if gate_in_cone g then ", style=filled, fillcolor=lightsalmon" else "" in
+      out "  g%d [shape=box, label=\"%s\"%s];\n" g.gate_id
+        (Cell.kind_to_string g.cell.Cell.kind)
+        style)
+    nl.gates;
+  Array.iter
+    (fun (f : Netlist.flop) ->
+      out "  f%d [shape=Msquare, label=\"%s\"];\n" f.flop_id (escape f.flop_name))
+    nl.flops;
+  let wire_source w =
+    match nl.driver.(w) with
+    | Netlist.Driver_gate gid -> Printf.sprintf "g%d" gid
+    | Netlist.Driver_flop fid -> Printf.sprintf "f%d" fid
+    | Netlist.Driver_input ->
+      Printf.sprintf "w%d" w (* a dedicated node per primary-input wire *)
+  in
+  (* Primary inputs and outputs as ovals. *)
+  List.iter
+    (fun (p : Netlist.port) ->
+      Array.iter
+        (fun w -> out "  w%d [shape=oval, label=\"%s\"];\n" w (escape (Netlist.wire_name nl w)))
+        p.port_wires)
+    nl.inputs;
+  List.iter
+    (fun (p : Netlist.port) ->
+      Array.iter
+        (fun w ->
+          out "  o%d [shape=oval, label=\"%s\", peripheries=2];\n" w
+            (escape (Netlist.wire_name nl w));
+          out "  %s -> o%d;\n" (wire_source w) w)
+        p.port_wires)
+    nl.outputs;
+  let edge_attr w =
+    let border =
+      match highlight_cone with
+      | Some cone -> List.mem w cone.Cone.border
+      | None -> false
+    in
+    if in_cone w then " [color=red, penwidth=2]"
+    else if border then " [style=dashed, color=blue]"
+    else ""
+  in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      Array.iter (fun w -> out "  %s -> g%d%s;\n" (wire_source w) g.gate_id (edge_attr w)) g.inputs)
+    nl.gates;
+  Array.iter
+    (fun (f : Netlist.flop) -> out "  %s -> f%d%s;\n" (wire_source f.d) f.flop_id (edge_attr f.d))
+    nl.flops;
+  out "}\n";
+  Buffer.contents buffer
+
+let to_file ?highlight_cone nl path =
+  let oc = open_out path in
+  (try output_string oc (to_string ?highlight_cone nl)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,9 @@
+(** Graphviz export, mainly for debugging small circuits and for the
+    quickstart example. *)
+
+val to_string : ?highlight_cone:Cone.t -> Netlist.t -> string
+(** Render the netlist as a [dot] digraph. When [highlight_cone] is given,
+    cone gates and wires are drawn filled and border wires dashed, matching
+    Figure 1a of the paper. *)
+
+val to_file : ?highlight_cone:Cone.t -> Netlist.t -> string -> unit

@@ -1,0 +1,255 @@
+module Cell = Pruning_cell.Cell
+
+type wire = int
+
+type gate = {
+  gate_id : int;
+  cell : Cell.t;
+  inputs : wire array;
+  output : wire;
+}
+
+type flop = {
+  flop_id : int;
+  flop_name : string;
+  d : wire;
+  q : wire;
+  init : bool;
+}
+
+type driver =
+  | Driver_input
+  | Driver_gate of int
+  | Driver_flop of int
+
+type port = {
+  port_name : string;
+  port_wires : wire array;
+}
+
+type t = {
+  name : string;
+  wire_names : string array;
+  gates : gate array;
+  flops : flop array;
+  inputs : port list;
+  outputs : port list;
+  driver : driver array;
+  readers : int array array;
+  flop_readers : int array array;
+  is_primary_output : bool array;
+  topo : int array;
+  level : int array;
+}
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let n_wires t = Array.length t.wire_names
+let n_gates t = Array.length t.gates
+let n_flops t = Array.length t.flops
+
+let wire_name t w = t.wire_names.(w)
+
+let find_wire t name =
+  let n = Array.length t.wire_names in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if String.equal t.wire_names.(i) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let find_flop t name =
+  match Array.find_opt (fun f -> String.equal f.flop_name name) t.flops with
+  | Some f -> f
+  | None -> raise Not_found
+
+let find_port ports name =
+  match List.find_opt (fun p -> String.equal p.port_name name) ports with
+  | Some p -> p
+  | None -> raise Not_found
+
+let find_input_port t name = find_port t.inputs name
+let find_output_port t name = find_port t.outputs name
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let flops_matching t ~prefix =
+  Array.to_list t.flops |> List.filter (fun f -> has_prefix ~prefix f.flop_name)
+
+let flops_excluding t ~prefix =
+  Array.to_list t.flops
+  |> List.filter (fun f -> not (has_prefix ~prefix f.flop_name))
+
+let cell_histogram t =
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (fun g ->
+      let k = g.cell.Cell.kind in
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    t.gates;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+module Builder = struct
+  type builder = {
+    bname : string;
+    mutable bwires : string list; (* reversed *)
+    mutable bn_wires : int;
+    mutable bgates : (Cell.t * wire array * wire) list; (* reversed *)
+    mutable bn_gates : int;
+    mutable bflops : (string * wire * wire * bool) list; (* reversed *)
+    mutable binputs : port list; (* reversed *)
+    mutable boutputs : port list; (* reversed *)
+  }
+
+  type t = builder
+
+  let create name =
+    {
+      bname = name;
+      bwires = [];
+      bn_wires = 0;
+      bgates = [];
+      bn_gates = 0;
+      bflops = [];
+      binputs = [];
+      boutputs = [];
+    }
+
+  let add_wire b name =
+    let w = b.bn_wires in
+    b.bwires <- name :: b.bwires;
+    b.bn_wires <- w + 1;
+    w
+
+  let add_gate b cell inputs output =
+    b.bgates <- (cell, inputs, output) :: b.bgates;
+    b.bn_gates <- b.bn_gates + 1
+
+  let add_flop b ?(init = false) name ~d ~q =
+    b.bflops <- (name, d, q, init) :: b.bflops
+
+  let add_input_port b name wires =
+    b.binputs <- { port_name = name; port_wires = wires } :: b.binputs
+
+  let add_output_port b name wires =
+    b.boutputs <- { port_name = name; port_wires = wires } :: b.boutputs
+
+  let check_wire b what w =
+    if w < 0 || w >= b.bn_wires then invalid "%s references unknown wire %d" what w
+
+  let finalize b =
+    let wire_names = Array.of_list (List.rev b.bwires) in
+    let nw = Array.length wire_names in
+    let gates =
+      List.rev b.bgates
+      |> List.mapi (fun gate_id (cell, inputs, output) -> { gate_id; cell; inputs; output })
+      |> Array.of_list
+    in
+    let flops =
+      List.rev b.bflops
+      |> List.mapi (fun flop_id (flop_name, d, q, init) -> { flop_id; flop_name; d; q; init })
+      |> Array.of_list
+    in
+    let inputs = List.rev b.binputs in
+    let outputs = List.rev b.boutputs in
+    (* Arity and range checks. *)
+    Array.iter
+      (fun (g : gate) ->
+        if Array.length g.inputs <> g.cell.Cell.arity then
+          invalid "gate %d (%s): %d connections for arity %d" g.gate_id
+            g.cell.Cell.name (Array.length g.inputs) g.cell.Cell.arity;
+        check_wire b (Printf.sprintf "gate %d" g.gate_id) g.output;
+        Array.iter (check_wire b (Printf.sprintf "gate %d" g.gate_id)) g.inputs)
+      gates;
+    Array.iter
+      (fun f ->
+        check_wire b ("flop " ^ f.flop_name) f.d;
+        check_wire b ("flop " ^ f.flop_name) f.q)
+      flops;
+    List.iter
+      (fun p -> Array.iter (check_wire b ("port " ^ p.port_name)) p.port_wires)
+      (inputs @ outputs);
+    (* Single-driver discipline. *)
+    let driver = Array.make nw None in
+    let set_driver w d =
+      match driver.(w) with
+      | None -> driver.(w) <- Some d
+      | Some _ -> invalid "wire %s has multiple drivers" wire_names.(w)
+    in
+    Array.iter (fun (g : gate) -> set_driver g.output (Driver_gate g.gate_id)) gates;
+    Array.iter (fun f -> set_driver f.q (Driver_flop f.flop_id)) flops;
+    List.iter
+      (fun p -> Array.iter (fun w -> set_driver w Driver_input) p.port_wires)
+      inputs;
+    let driver =
+      Array.mapi
+        (fun w d ->
+          match d with
+          | Some d -> d
+          | None -> invalid "wire %s has no driver" wire_names.(w))
+        driver
+    in
+    (* Reader maps. *)
+    let readers = Array.make nw [] in
+    Array.iter
+      (fun (g : gate) -> Array.iter (fun w -> readers.(w) <- g.gate_id :: readers.(w)) g.inputs)
+      gates;
+    let flop_readers = Array.make nw [] in
+    Array.iter (fun f -> flop_readers.(f.d) <- f.flop_id :: flop_readers.(f.d)) flops;
+    let readers = Array.map (fun l -> Array.of_list (List.rev l)) readers in
+    let flop_readers = Array.map (fun l -> Array.of_list (List.rev l)) flop_readers in
+    let is_primary_output = Array.make nw false in
+    List.iter
+      (fun p -> Array.iter (fun w -> is_primary_output.(w) <- true) p.port_wires)
+      outputs;
+    (* Kahn topological sort of gates; sources are wires driven by inputs
+       or flop Q pins. *)
+    let ng = Array.length gates in
+    let pending = Array.make ng 0 in
+    Array.iter
+      (fun g ->
+        Array.iter
+          (fun w ->
+            match driver.(w) with
+            | Driver_gate _ -> pending.(g.gate_id) <- pending.(g.gate_id) + 1
+            | Driver_input | Driver_flop _ -> ())
+          g.inputs)
+      gates;
+    let queue = Queue.create () in
+    Array.iter (fun g -> if pending.(g.gate_id) = 0 then Queue.add g.gate_id queue) gates;
+    let topo = Array.make ng 0 in
+    let level = Array.make ng 0 in
+    let count = ref 0 in
+    while not (Queue.is_empty queue) do
+      let gid = Queue.pop queue in
+      topo.(!count) <- gid;
+      incr count;
+      Array.iter
+        (fun reader ->
+          pending.(reader) <- pending.(reader) - 1;
+          level.(reader) <- max level.(reader) (level.(gid) + 1);
+          if pending.(reader) = 0 then Queue.add reader queue)
+        readers.(gates.(gid).output)
+    done;
+    if !count <> ng then invalid "combinational cycle through %d gate(s)" (ng - !count);
+    {
+      name = b.bname;
+      wire_names;
+      gates;
+      flops;
+      inputs;
+      outputs;
+      driver;
+      readers;
+      flop_readers;
+      is_primary_output;
+      topo;
+      level;
+    }
+end

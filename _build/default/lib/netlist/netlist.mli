@@ -1,0 +1,111 @@
+(** Flat gate-level netlist of a synchronous circuit.
+
+    A netlist is a set of wires, each driven by exactly one of: a primary
+    input, the output of a combinational gate (a {!Pruning_cell.Cell.t}
+    instance), or the Q pin of a D flip-flop. Flip-flops are the state
+    elements of the fault model: an SEU flips one flip-flop in one cycle.
+
+    Netlists are immutable once built; construct them through {!Builder},
+    whose [finalize] validates single-driver discipline, pin arities and
+    combinational acyclicity, and precomputes the topological gate order
+    used by the simulator and the fault-cone analysis. *)
+
+type wire = int
+(** Wire index, dense in [0, n_wires). *)
+
+type gate = {
+  gate_id : int;
+  cell : Pruning_cell.Cell.t;
+  inputs : wire array;
+  output : wire;
+}
+
+type flop = {
+  flop_id : int;
+  flop_name : string;
+  d : wire;
+  q : wire;
+  init : bool;  (** reset value *)
+}
+
+type driver =
+  | Driver_input  (** primary input *)
+  | Driver_gate of int  (** gate id *)
+  | Driver_flop of int  (** flop id, via its Q pin *)
+
+type port = {
+  port_name : string;
+  port_wires : wire array;  (** LSB first *)
+}
+
+type t = private {
+  name : string;
+  wire_names : string array;
+  gates : gate array;
+  flops : flop array;
+  inputs : port list;  (** primary input ports *)
+  outputs : port list;  (** primary output ports *)
+  driver : driver array;  (** indexed by wire *)
+  readers : int array array;  (** gate ids reading each wire *)
+  flop_readers : int array array;  (** flop ids whose D is each wire *)
+  is_primary_output : bool array;
+  topo : int array;  (** gate ids in topological evaluation order *)
+  level : int array;  (** logic level of each gate (inputs/flops at 0) *)
+}
+
+val n_wires : t -> int
+val n_gates : t -> int
+val n_flops : t -> int
+
+val wire_name : t -> wire -> string
+
+val find_wire : t -> string -> wire
+(** Raises [Not_found] for unknown names. *)
+
+val find_flop : t -> string -> flop
+(** Find a flop by name. Raises [Not_found]. *)
+
+val find_input_port : t -> string -> port
+val find_output_port : t -> string -> port
+(** Raise [Not_found] for unknown ports. *)
+
+val flops_matching : t -> prefix:string -> flop list
+(** All flops whose name starts with [prefix] (e.g. the register file). *)
+
+val flops_excluding : t -> prefix:string -> flop list
+(** All flops whose name does {e not} start with [prefix]. *)
+
+val cell_histogram : t -> (Pruning_cell.Cell.kind * int) list
+(** Gate count per cell kind, descending. *)
+
+exception Invalid of string
+(** Raised by {!Builder.finalize} on malformed netlists, with a message
+    naming the offending wire or gate. *)
+
+module Builder : sig
+  type netlist := t
+
+  type t
+
+  val create : string -> t
+  (** [create name] starts an empty netlist named [name]. *)
+
+  val add_wire : t -> string -> wire
+  (** Create a fresh wire. Names need not be unique but should be; lookup
+      returns the first match. *)
+
+  val add_gate : t -> Pruning_cell.Cell.t -> wire array -> wire -> unit
+  (** [add_gate b cell inputs output]: instantiate [cell]. Arity is checked
+      at [finalize]. *)
+
+  val add_flop : t -> ?init:bool -> string -> d:wire -> q:wire -> unit
+  (** Add a D flip-flop whose Q drives [q]. [init] defaults to [false]. *)
+
+  val add_input_port : t -> string -> wire array -> unit
+  val add_output_port : t -> string -> wire array -> unit
+
+  val finalize : t -> netlist
+  (** Validate and freeze. Raises {!Invalid} when a wire has zero or
+      multiple drivers, a gate arity mismatches its cell, a port wire is
+      out of range, or the combinational logic is cyclic. *)
+end

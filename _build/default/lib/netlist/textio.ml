@@ -1,0 +1,93 @@
+module Cell = Pruning_cell.Cell
+
+let to_string (nl : Netlist.t) =
+  let buffer = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  out "netlist %s\n" nl.name;
+  Array.iteri (fun w name -> out "wire %d %s\n" w name) nl.wire_names;
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      out "gate %s %d %s\n" g.cell.Cell.name g.output
+        (String.concat " " (List.map string_of_int (Array.to_list g.inputs))))
+    nl.gates;
+  Array.iter
+    (fun (f : Netlist.flop) ->
+      out "flop %s %d %d %d\n" f.flop_name (if f.init then 1 else 0) f.d f.q)
+    nl.flops;
+  let port kind (p : Netlist.port) =
+    out "%s %s %s\n" kind p.port_name
+      (String.concat " " (List.map string_of_int (Array.to_list p.port_wires)))
+  in
+  List.iter (port "input") nl.inputs;
+  List.iter (port "output") nl.outputs;
+  Buffer.contents buffer
+
+let save nl path =
+  let oc = open_out path in
+  (try output_string oc (to_string nl)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc
+
+let split_words line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let of_string ~name text =
+  let lines = String.split_on_char '\n' text in
+  let declared_name =
+    List.find_map
+      (fun line ->
+        match split_words line with
+        | [ "netlist"; n ] -> Some n
+        | _ -> None)
+      lines
+  in
+  let builder = Netlist.Builder.create (Option.value ~default:name declared_name) in
+  let expected_wire = ref 0 in
+  let parse_wire s =
+    match int_of_string_opt s with
+    | Some w -> w
+    | None -> failwith (Printf.sprintf "Textio: bad wire id %S" s)
+  in
+  let handle_line lineno line =
+    match split_words line with
+    | [] -> ()
+    | "#" :: _ -> ()
+    | [ "netlist"; _ ] -> ()
+    | [ "wire"; id; wname ] ->
+      let id = parse_wire id in
+      if id <> !expected_wire then
+        failwith
+          (Printf.sprintf "Textio: line %d: wire id %d, expected %d" lineno id !expected_wire);
+      incr expected_wire;
+      ignore (Netlist.Builder.add_wire builder wname)
+    | "gate" :: cellname :: out :: ins ->
+      let cell =
+        match Cell.find_by_name cellname with
+        | Some c -> c
+        | None -> failwith (Printf.sprintf "Textio: line %d: unknown cell %s" lineno cellname)
+      in
+      Netlist.Builder.add_gate builder cell
+        (Array.of_list (List.map parse_wire ins))
+        (parse_wire out)
+    | [ "flop"; fname; init; d; q ] ->
+      Netlist.Builder.add_flop builder ~init:(init = "1") fname ~d:(parse_wire d)
+        ~q:(parse_wire q)
+    | "input" :: pname :: wires ->
+      Netlist.Builder.add_input_port builder pname
+        (Array.of_list (List.map parse_wire wires))
+    | "output" :: pname :: wires ->
+      Netlist.Builder.add_output_port builder pname
+        (Array.of_list (List.map parse_wire wires))
+    | _ -> failwith (Printf.sprintf "Textio: line %d: unparseable: %s" lineno line)
+  in
+  List.iteri (fun i l -> handle_line (i + 1) l) lines;
+  Netlist.Builder.finalize builder
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string ~name:(Filename.remove_extension (Filename.basename path)) text

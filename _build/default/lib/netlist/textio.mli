@@ -1,0 +1,29 @@
+(** Textual netlist interchange format.
+
+    A small line-oriented format standing in for the structural Verilog the
+    paper's flow exchanged between Design Compiler and the MATE search. One
+    declaration per line:
+
+    {v
+netlist <name>
+wire <id> <name>
+gate <cellname> <out> <in...>
+flop <name> <init:0|1> <d> <q>
+input <port> <wire...>
+output <port> <wire...>
+    v}
+
+    Wires must be declared before use; ids must be dense and ascending. *)
+
+val save : Netlist.t -> string -> unit
+(** Write a netlist to a file. *)
+
+val to_string : Netlist.t -> string
+
+val load : string -> Netlist.t
+(** Read a netlist from a file. Raises [Netlist.Invalid] or [Failure] on
+    malformed input. *)
+
+val of_string : name:string -> string -> Netlist.t
+(** Parse from a string; [name] is a fallback if the text has no
+    [netlist] line. *)

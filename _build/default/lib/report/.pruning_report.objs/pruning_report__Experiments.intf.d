@@ -1,0 +1,1 @@
+lib/report/experiments.mli: Pruning_cpu Pruning_fi Pruning_mate Pruning_netlist Pruning_sim Pruning_util

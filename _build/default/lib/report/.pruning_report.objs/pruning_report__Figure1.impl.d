@@ -1,0 +1,1 @@
+lib/report/figure1.ml: Array Buffer Fun List Option Printf Pruning_cell Pruning_fi Pruning_mate Pruning_netlist Pruning_sim Pruning_util String

@@ -1,0 +1,1 @@
+lib/report/figure1.mli: Pruning_netlist

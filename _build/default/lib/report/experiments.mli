@@ -1,0 +1,69 @@
+(** Evaluation harness: reproduces the paper's experiments (Tables 1-3)
+    on the two cores and the two test programs.
+
+    [prepare] does the heavy lifting once per core — synthesize, simulate
+    fib and conv for the trace length (the paper's 8500 cycles), run the
+    MATE search for both faulty-wire sets ("FF" and "FF w/o RF") and
+    replay the traces — and the table builders render the paper's rows
+    from it. *)
+
+type setup = {
+  core_name : string;  (** "AVR" or "MSP430" *)
+  netlist : Pruning_netlist.Netlist.t;
+  rf_prefix : string;
+  programs : (string * (Pruning_netlist.Netlist.t -> Pruning_cpu.System.t)) list;
+      (** program name -> fresh system on a shared netlist *)
+}
+
+val avr_setup : unit -> setup
+(** fib and conv on the AVR core. *)
+
+val msp_setup : unit -> setup
+
+type prepared = {
+  setup : setup;
+  params : Pruning_mate.Search.params;
+  cycles : int;
+  traces : (string * Pruning_sim.Trace.t) list;
+  report_ff : Pruning_mate.Search.report;
+  report_norf : Pruning_mate.Search.report;
+  set_ff : Pruning_mate.Mateset.t;
+  set_norf : Pruning_mate.Mateset.t;
+  triggers_ff : (string * Pruning_mate.Replay.triggers) list;
+  triggers_norf : (string * Pruning_mate.Replay.triggers) list;
+  space_ff : Pruning_fi.Fault_space.t;
+  space_norf : Pruning_fi.Fault_space.t;
+}
+
+val prepare :
+  ?params:Pruning_mate.Search.params -> ?cycles:int -> setup -> prepared
+(** [cycles] defaults to the paper's 8500. *)
+
+val table1 : prepared list -> Pruning_util.Table.t
+(** "Statistic for the heuristic MATE search": faulty wires, average and
+    median cone, runtime, unmaskable wires, candidates, MATEs — one column
+    pair (FF, FF w/o RF) per prepared core. *)
+
+val table23 : prepared -> Pruning_util.Table.t
+(** The paper's Table 2 (AVR) / Table 3 (MSP430): complete-set statistics
+    per program and fault set, then top-\{10,50,100,200\} subsets selected
+    on each program and cross-evaluated on both. *)
+
+val mate_cost_table : prepared -> Pruning_util.Table.t
+(** Section 6.1: LUT cost of the effective and top-N MATE sets. *)
+
+type reduction_summary = {
+  program : string;
+  ff_percent : float;
+  norf_percent : float;
+}
+
+val reductions : prepared -> reduction_summary list
+(** Complete-set fault-space reduction per program (used by tests to check
+    the headline shape claims). *)
+
+val top_n_reduction :
+  prepared -> select_on:string -> evaluate_on:string -> rf:bool -> n:int -> float
+(** Percentage of the fault space pruned by the top-[n] MATEs selected on
+    one program's trace and evaluated on another's. [rf] = include the
+    register file (the "FF" column). *)

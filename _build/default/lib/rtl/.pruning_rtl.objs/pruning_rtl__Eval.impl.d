@@ -1,0 +1,1 @@
+lib/rtl/eval.ml: Array Hashtbl List Printf Signal

@@ -1,0 +1,1 @@
+lib/rtl/signal.ml: Array Hashtbl List Printf String

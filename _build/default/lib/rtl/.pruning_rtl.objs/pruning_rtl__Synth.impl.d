@@ -1,0 +1,1 @@
+lib/rtl/synth.ml: Array Hashtbl List Option Printf Pruning_cell Pruning_netlist Signal

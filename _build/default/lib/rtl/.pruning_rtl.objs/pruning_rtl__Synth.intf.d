@@ -1,0 +1,1 @@
+lib/rtl/synth.mli: Pruning_netlist Signal

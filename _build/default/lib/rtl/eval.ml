@@ -1,0 +1,110 @@
+type t = {
+  circuit : Signal.circuit;
+  inputs : (string, int) Hashtbl.t;
+  regs : (string, int) Hashtbl.t;  (** current state per register *)
+  reg_defs : Signal.reg_def list;
+  outputs : (string * Signal.t) list;
+  memo : (int, bool) Hashtbl.t;  (** per-evaluation bit cache *)
+  mutable cyc : int;
+}
+
+let create circuit =
+  let reg_defs = Signal.circuit_regs circuit in
+  List.iter
+    (fun (r : Signal.reg_def) ->
+      if r.Signal.reg_next = None then
+        invalid_arg (Printf.sprintf "Eval: register %s never connected" r.Signal.reg_name))
+    reg_defs;
+  let regs = Hashtbl.create 16 in
+  List.iter (fun (r : Signal.reg_def) -> Hashtbl.replace regs r.Signal.reg_name r.Signal.reg_init) reg_defs;
+  let inputs = Hashtbl.create 16 in
+  List.iter (fun (name, _) -> Hashtbl.replace inputs name 0) (Signal.circuit_inputs circuit);
+  {
+    circuit;
+    inputs;
+    regs;
+    reg_defs;
+    outputs = Signal.circuit_outputs circuit;
+    memo = Hashtbl.create 1024;
+    cyc = 0;
+  }
+
+let set_input t name value =
+  (match List.assoc_opt name (Signal.circuit_inputs t.circuit) with
+  | None -> raise Not_found
+  | Some width ->
+    if value < 0 || value lsr width <> 0 then
+      invalid_arg (Printf.sprintf "Eval.set_input %s: %d does not fit in %d bits" name value width));
+  Hashtbl.replace t.inputs name value
+
+let node_id (b : Signal.bit_node) =
+  match b with
+  | Signal.Const _ -> -1
+  | Signal.Input { id; _ } | Signal.Regq { id; _ } | Signal.Op { id; _ } -> id
+
+let rec eval_bit t (b : Signal.bit_node) =
+  match b with
+  | Signal.Const v -> v
+  | Signal.Input { port; index; _ } -> Hashtbl.find t.inputs port land (1 lsl index) <> 0
+  | Signal.Regq { reg; index; _ } ->
+    Hashtbl.find t.regs reg.Signal.reg_name land (1 lsl index) <> 0
+  | Signal.Op { op; args; id } -> begin
+    match Hashtbl.find_opt t.memo id with
+    | Some v -> v
+    | None ->
+      let v =
+        match op with
+        | Signal.Op_not -> not (eval_bit t args.(0))
+        | Signal.Op_and -> eval_bit t args.(0) && eval_bit t args.(1)
+        | Signal.Op_or -> eval_bit t args.(0) || eval_bit t args.(1)
+        | Signal.Op_xor -> eval_bit t args.(0) <> eval_bit t args.(1)
+        | Signal.Op_mux ->
+          if eval_bit t args.(2) then eval_bit t args.(1) else eval_bit t args.(0)
+        | Signal.Op_xor3 -> eval_bit t args.(0) <> eval_bit t args.(1) <> eval_bit t args.(2)
+        | Signal.Op_maj3 ->
+          let a = eval_bit t args.(0) and b = eval_bit t args.(1) and c = eval_bit t args.(2) in
+          (a && b) || (b && c) || (a && c)
+      in
+      Hashtbl.replace t.memo id v;
+      v
+  end
+
+let eval_bits t bits =
+  let v = ref 0 in
+  Array.iteri (fun i b -> if eval_bit t b then v := !v lor (1 lsl i)) bits;
+  !v
+
+let output t name =
+  match List.assoc_opt name t.outputs with
+  | Some signal -> eval_bits t (Signal.bits signal)
+  | None -> raise Not_found
+
+let reg_value t name =
+  match Hashtbl.find_opt t.regs name with
+  | Some v -> v
+  | None -> raise Not_found
+
+let step t =
+  (* All next-values from the pre-latch state (memo shared across the
+     whole evaluation of this cycle), then commit. *)
+  let nexts =
+    List.map
+      (fun (r : Signal.reg_def) ->
+        match r.Signal.reg_next with
+        | Some bits -> (r.Signal.reg_name, eval_bits t bits)
+        | None -> assert false)
+      t.reg_defs
+  in
+  List.iter (fun (name, v) -> Hashtbl.replace t.regs name v) nexts;
+  Hashtbl.reset t.memo;
+  t.cyc <- t.cyc + 1
+
+let cycle t = t.cyc
+
+(* The memo must also be invalidated when inputs change between
+   evaluations within a cycle; wrap the accessors. *)
+let set_input t name value =
+  set_input t name value;
+  Hashtbl.reset t.memo
+
+let _ = node_id

@@ -1,0 +1,32 @@
+(** Direct evaluation of an RTL {!Signal.circuit}, without synthesis.
+
+    This is an independent reference semantics for the DSL: it interprets
+    the hash-consed bit DAG per cycle. Cross-checking it against
+    {!Synth.to_netlist} + the netlist simulator validates the technology
+    mapper end to end (used extensively by the test suite, including on
+    the full CPU cores).
+
+    The evaluator is register-accurate and cycle-accurate: {!step}
+    computes every register's next value from the current state and the
+    primary inputs, then latches. *)
+
+type t
+
+val create : Signal.circuit -> t
+(** Registers start at their [init] values; inputs at 0. Raises
+    [Invalid_argument] if some register was never connected. *)
+
+val set_input : t -> string -> int -> unit
+(** Drive an input port (LSB-first integer). Raises [Not_found] for
+    unknown ports, [Invalid_argument] for out-of-range values. *)
+
+val output : t -> string -> int
+(** Value of an output port under the current state and inputs. *)
+
+val reg_value : t -> string -> int
+(** Current value of a register bank. Raises [Not_found]. *)
+
+val step : t -> unit
+(** Advance one clock cycle. *)
+
+val cycle : t -> int

@@ -1,0 +1,152 @@
+module Cell = Pruning_cell.Cell
+module Netlist = Pruning_netlist.Netlist
+
+let cell_of_op : Signal.op -> Cell.kind = function
+  | Signal.Op_not -> Cell.INV
+  | Signal.Op_and -> Cell.AND2
+  | Signal.Op_or -> Cell.OR2
+  | Signal.Op_xor -> Cell.XOR2
+  | Signal.Op_mux -> Cell.MUX2
+  | Signal.Op_xor3 -> Cell.XOR3
+  | Signal.Op_maj3 -> Cell.MAJ3
+
+let fused_kind : Signal.op -> Cell.kind option = function
+  | Signal.Op_and -> Some Cell.NAND2
+  | Signal.Op_or -> Some Cell.NOR2
+  | Signal.Op_xor -> Some Cell.XNOR2
+  | Signal.Op_not | Signal.Op_mux | Signal.Op_xor3 | Signal.Op_maj3 -> None
+
+let node_id (b : Signal.bit_node) =
+  match b with
+  | Signal.Const _ -> -1
+  | Signal.Input { id; _ } | Signal.Regq { id; _ } | Signal.Op { id; _ } -> id
+
+let to_netlist circuit =
+  let builder = Netlist.Builder.create (Signal.circuit_name circuit) in
+  let regs = Signal.circuit_regs circuit in
+  let outputs = Signal.circuit_outputs circuit in
+  (* Root bit arrays: every register next-state plus every output. *)
+  let reg_roots =
+    List.map
+      (fun (r : Signal.reg_def) ->
+        match r.Signal.reg_next with
+        | Some next -> (r, next)
+        | None ->
+          invalid_arg (Printf.sprintf "Synth: register %s never connected" r.Signal.reg_name))
+      regs
+  in
+  (* Fanout counting over the DAG, multiplicity included, so the NAND/NOR/
+     XNOR fusion only triggers for single-use inner nodes. *)
+  let fanout : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let bump b =
+    let id = node_id b in
+    if id >= 0 then Hashtbl.replace fanout id (1 + Option.value ~default:0 (Hashtbl.find_opt fanout id))
+  in
+  let visited : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let rec visit (b : Signal.bit_node) =
+    let id = node_id b in
+    if id < 0 || Hashtbl.mem visited id then ()
+    else begin
+      Hashtbl.add visited id ();
+      match b with
+      | Signal.Op { args; _ } ->
+        Array.iter bump args;
+        Array.iter visit args
+      | Signal.Const _ | Signal.Input _ | Signal.Regq _ -> ()
+    end
+  in
+  let visit_roots bits = Array.iter (fun b -> bump b; visit b) bits in
+  List.iter (fun (_, next) -> visit_roots next) reg_roots;
+  List.iter (fun (_, v) -> visit_roots (Signal.bits v)) outputs;
+  let fanout_of b = Option.value ~default:0 (Hashtbl.find_opt fanout (node_id b)) in
+  (* Pre-create input-port and flop-Q wires so references resolve without
+     ordering concerns (registers may feed back into themselves). *)
+  let input_wires : (string, Netlist.wire array) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (name, w) ->
+      let wires =
+        Array.init w (fun i -> Netlist.Builder.add_wire builder (Printf.sprintf "%s[%d]" name i))
+      in
+      Hashtbl.add input_wires name wires;
+      Netlist.Builder.add_input_port builder name wires)
+    (Signal.circuit_inputs circuit);
+  let q_wires : (string, Netlist.wire array) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Signal.reg_def) ->
+      let wires =
+        Array.init r.Signal.reg_width (fun i ->
+            Netlist.Builder.add_wire builder (Printf.sprintf "%s[%d]" r.Signal.reg_name i))
+      in
+      Hashtbl.add q_wires r.Signal.reg_name wires)
+    regs;
+  (* Shared constant drivers, created on demand. *)
+  let const_wire_cache = [| None; None |] in
+  let const_wire v =
+    let idx = if v then 1 else 0 in
+    match const_wire_cache.(idx) with
+    | Some w -> w
+    | None ->
+      let w = Netlist.Builder.add_wire builder (if v then "const1" else "const0") in
+      Netlist.Builder.add_gate builder
+        (Cell.of_kind (if v then Cell.TIEH else Cell.TIEL))
+        [||] w;
+      const_wire_cache.(idx) <- Some w;
+      w
+  in
+  let memo : (int, Netlist.wire) Hashtbl.t = Hashtbl.create 4096 in
+  let gate_counter = ref 0 in
+  let new_wire () =
+    incr gate_counter;
+    Netlist.Builder.add_wire builder (Printf.sprintf "n%d" !gate_counter)
+  in
+  let rec emit (b : Signal.bit_node) : Netlist.wire =
+    match b with
+    | Signal.Const v -> const_wire v
+    | Signal.Input { port; index; _ } -> (Hashtbl.find input_wires port).(index)
+    | Signal.Regq { reg; index; _ } -> (Hashtbl.find q_wires reg.Signal.reg_name).(index)
+    | Signal.Op { op; args; id } -> begin
+      match Hashtbl.find_opt memo id with
+      | Some w -> w
+      | None ->
+        let w =
+          match (op, args) with
+          | Signal.Op_not, [| Signal.Op { op = inner_op; args = inner_args; _ } as inner |]
+            when fused_kind inner_op <> None
+                 && fanout_of inner = 1
+                 && not (Hashtbl.mem memo (node_id inner)) ->
+            (* Fuse NOT(AND/OR/XOR) into NAND2/NOR2/XNOR2. *)
+            let kind = Option.get (fused_kind inner_op) in
+            let in_wires = Array.map emit inner_args in
+            let out = new_wire () in
+            Netlist.Builder.add_gate builder (Cell.of_kind kind) in_wires out;
+            out
+          | _ ->
+            let in_wires = Array.map emit args in
+            let out = new_wire () in
+            Netlist.Builder.add_gate builder (Cell.of_kind (cell_of_op op)) in_wires out;
+            out
+        in
+        Hashtbl.add memo id w;
+        w
+    end
+  in
+  (* Flops. *)
+  List.iter
+    (fun ((r : Signal.reg_def), next) ->
+      let qs = Hashtbl.find q_wires r.Signal.reg_name in
+      Array.iteri
+        (fun i d_bit ->
+          let d = emit d_bit in
+          let init = r.Signal.reg_init land (1 lsl i) <> 0 in
+          Netlist.Builder.add_flop builder ~init
+            (Printf.sprintf "%s[%d]" r.Signal.reg_name i)
+            ~d ~q:qs.(i))
+        next)
+    reg_roots;
+  (* Output ports. *)
+  List.iter
+    (fun (name, v) ->
+      let wires = Array.map emit (Signal.bits v) in
+      Netlist.Builder.add_output_port builder name wires)
+    outputs;
+  Netlist.Builder.finalize builder

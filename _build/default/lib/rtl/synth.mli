@@ -1,0 +1,14 @@
+(** Technology mapping: lower an RTL {!Signal.circuit} onto the standard
+    cell library, producing a flat {!Pruning_netlist.Netlist.t}.
+
+    The mapping is structural: every hash-consed DAG node becomes one gate
+    ([Op_and] -> AND2, [Op_mux] -> MUX2, [Op_xor3] -> XOR3 full-adder sum,
+    [Op_maj3] -> MAJ3 carry, ...), with a peephole pass that fuses a
+    single-fanout AND/OR/XOR feeding a NOT into NAND2/NOR2/XNOR2 cells, as
+    an area-optimizing ASIC flow would. Registers become D flip-flops named
+    [<reg>[<i>]]; input/output ports become netlist ports with wires named
+    [<port>[<i>]]. Constants are driven by TIEL/TIEH cells (and are rare,
+    because the DSL constant-folds). *)
+
+val to_netlist : Signal.circuit -> Pruning_netlist.Netlist.t
+(** Raises [Invalid_argument] if some register was never [connect]ed. *)

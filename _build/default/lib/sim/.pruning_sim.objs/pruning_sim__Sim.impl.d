@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array List Printf Pruning_cell Pruning_netlist Trace

@@ -1,0 +1,1 @@
+lib/sim/waveform.ml: Array Buffer List Printf Pruning_netlist String Trace

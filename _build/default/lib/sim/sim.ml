@@ -1,0 +1,151 @@
+module Netlist = Pruning_netlist.Netlist
+module Cell = Pruning_cell.Cell
+
+type reader = Netlist.wire -> bool
+type writer = Netlist.wire -> bool -> unit
+
+type device = {
+  dev_name : string;
+  dev_comb : reader -> writer -> unit;
+  dev_clock : reader -> unit;
+  dev_save : unit -> unit -> unit;
+}
+
+let pure_device name dev_comb =
+  { dev_name = name; dev_comb; dev_clock = (fun _ -> ()); dev_save = (fun () () -> ()) }
+
+(* Gates flattened for the inner loop: truth table + wire indices. *)
+type packed_gate = {
+  table : int;
+  g_inputs : int array;
+  g_output : int;
+}
+
+type t = {
+  nl : Netlist.t;
+  values : bool array;
+  is_input : bool array;
+  packed : packed_gate array; (* in topological order *)
+  mutable devices : device list; (* in attach order *)
+  mutable cyc : int;
+}
+
+let create nl =
+  let nw = Netlist.n_wires nl in
+  let values = Array.make nw false in
+  Array.iter (fun (f : Netlist.flop) -> values.(f.q) <- f.init) nl.Netlist.flops;
+  let is_input = Array.make nw false in
+  List.iter
+    (fun (p : Netlist.port) -> Array.iter (fun w -> is_input.(w) <- true) p.Netlist.port_wires)
+    nl.Netlist.inputs;
+  let packed =
+    Array.map
+      (fun gid ->
+        let g = nl.Netlist.gates.(gid) in
+        { table = g.Netlist.cell.Cell.table; g_inputs = g.Netlist.inputs; g_output = g.Netlist.output })
+      nl.Netlist.topo
+  in
+  { nl; values; is_input; packed; devices = []; cyc = 0 }
+
+let netlist t = t.nl
+let cycle t = t.cyc
+let add_device t d = t.devices <- t.devices @ [ d ]
+
+let set_input t w v =
+  if not t.is_input.(w) then
+    invalid_arg (Printf.sprintf "Sim.set_input: %s is not a primary input" (Netlist.wire_name t.nl w));
+  t.values.(w) <- v
+
+let peek t w = t.values.(w)
+
+let set_port t name value =
+  let port = Netlist.find_input_port t.nl name in
+  Array.iteri (fun i w -> set_input t w (value land (1 lsl i) <> 0)) port.Netlist.port_wires
+
+let get_port t name =
+  let port =
+    try Netlist.find_output_port t.nl name
+    with Not_found -> Netlist.find_input_port t.nl name
+  in
+  let v = ref 0 in
+  Array.iteri (fun i w -> if t.values.(w) then v := !v lor (1 lsl i)) port.Netlist.port_wires;
+  !v
+
+let eval_combinational t =
+  let values = t.values in
+  Array.iter
+    (fun g ->
+      let pattern = ref 0 in
+      let ins = g.g_inputs in
+      for j = 0 to Array.length ins - 1 do
+        if values.(ins.(j)) then pattern := !pattern lor (1 lsl j)
+      done;
+      values.(g.g_output) <- g.table land (1 lsl !pattern) <> 0)
+    t.packed
+
+let max_device_rounds = 5
+
+let eval t =
+  eval_combinational t;
+  if t.devices <> [] then begin
+    let changed = ref true in
+    let rounds = ref 0 in
+    let reader w = t.values.(w) in
+    let writer w v =
+      if not t.is_input.(w) then
+        invalid_arg
+          (Printf.sprintf "Sim device: %s is not a primary input" (Netlist.wire_name t.nl w));
+      if t.values.(w) <> v then begin
+        t.values.(w) <- v;
+        changed := true
+      end
+    in
+    while !changed do
+      changed := false;
+      List.iter (fun d -> d.dev_comb reader writer) t.devices;
+      if !changed then begin
+        incr rounds;
+        if !rounds > max_device_rounds then
+          failwith "Sim.eval: device inputs failed to stabilize";
+        eval_combinational t
+      end
+    done
+  end
+
+let latch t =
+  let reader w = t.values.(w) in
+  List.iter (fun d -> d.dev_clock reader) t.devices;
+  let flops = t.nl.Netlist.flops in
+  let n = Array.length flops in
+  let next = Array.make n false in
+  for i = 0 to n - 1 do
+    next.(i) <- t.values.(flops.(i).Netlist.d)
+  done;
+  for i = 0 to n - 1 do
+    t.values.(flops.(i).Netlist.q) <- next.(i)
+  done;
+  t.cyc <- t.cyc + 1
+
+let step t ?trace () =
+  eval t;
+  (match trace with
+  | Some tr -> Trace.append tr t.values
+  | None -> ());
+  latch t
+
+let run t ?trace ~cycles () =
+  for _ = 1 to cycles do
+    step t ?trace ()
+  done
+
+let get_flop t fid = t.values.(t.nl.Netlist.flops.(fid).Netlist.q)
+let set_flop t fid v = t.values.(t.nl.Netlist.flops.(fid).Netlist.q) <- v
+
+let save_state t =
+  let values = Array.copy t.values in
+  let cyc = t.cyc in
+  let device_restores = List.map (fun d -> d.dev_save ()) t.devices in
+  fun () ->
+    Array.blit values 0 t.values 0 (Array.length values);
+    t.cyc <- cyc;
+    List.iter (fun restore -> restore ()) device_restores

@@ -1,0 +1,53 @@
+type t = {
+  n_wires : int;
+  bytes_per_cycle : int;
+  mutable rows : Bytes.t array; (* capacity-grown *)
+  mutable n_cycles : int;
+}
+
+let create ~n_wires =
+  if n_wires <= 0 then invalid_arg "Trace.create";
+  { n_wires; bytes_per_cycle = (n_wires + 7) / 8; rows = Array.make 64 Bytes.empty; n_cycles = 0 }
+
+let n_wires t = t.n_wires
+let n_cycles t = t.n_cycles
+
+let ensure_capacity t =
+  if t.n_cycles >= Array.length t.rows then begin
+    let bigger = Array.make (2 * Array.length t.rows) Bytes.empty in
+    Array.blit t.rows 0 bigger 0 t.n_cycles;
+    t.rows <- bigger
+  end
+
+let append t values =
+  if Array.length values <> t.n_wires then invalid_arg "Trace.append: width mismatch";
+  ensure_capacity t;
+  let row = Bytes.make t.bytes_per_cycle '\000' in
+  for w = 0 to t.n_wires - 1 do
+    if values.(w) then begin
+      let byte = Char.code (Bytes.get row (w lsr 3)) in
+      Bytes.set row (w lsr 3) (Char.chr (byte lor (1 lsl (w land 7))))
+    end
+  done;
+  t.rows.(t.n_cycles) <- row;
+  t.n_cycles <- t.n_cycles + 1
+
+let check t ~cycle w =
+  if cycle < 0 || cycle >= t.n_cycles then invalid_arg "Trace: cycle out of range";
+  if w < 0 || w >= t.n_wires then invalid_arg "Trace: wire out of range"
+
+let get_unchecked t cycle w =
+  Char.code (Bytes.get t.rows.(cycle) (w lsr 3)) land (1 lsl (w land 7)) <> 0
+
+let get t ~cycle w =
+  check t ~cycle w;
+  get_unchecked t cycle w
+
+let row t ~cycle =
+  if cycle < 0 || cycle >= t.n_cycles then invalid_arg "Trace.row: cycle out of range";
+  Array.init t.n_wires (fun w -> get_unchecked t cycle w)
+
+let changed t ~cycle w =
+  check t ~cycle w;
+  if cycle = 0 then true
+  else get_unchecked t cycle w <> get_unchecked t (cycle - 1) w

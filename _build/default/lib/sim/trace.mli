@@ -1,0 +1,28 @@
+(** Recorded wire-level execution trace.
+
+    One packed bit row per clock cycle holding the stabilized value of
+    every wire in that cycle (the paper's VCD-equivalent input to MATE
+    selection and fault-space accounting). *)
+
+type t
+
+val create : n_wires:int -> t
+
+val n_wires : t -> int
+
+val n_cycles : t -> int
+
+val append : t -> bool array -> unit
+(** Record one cycle; the array length must equal [n_wires]. The array is
+    copied. *)
+
+val get : t -> cycle:int -> int -> bool
+(** [get t ~cycle wire]. Raises [Invalid_argument] out of range. *)
+
+val row : t -> cycle:int -> bool array
+(** A fresh array with all wire values of one cycle. *)
+
+val changed : t -> cycle:int -> int -> bool
+(** [changed t ~cycle w] is true when the value of [w] differs from the
+    previous cycle (always true at cycle 0): the VCD writer's delta
+    source. *)

@@ -1,0 +1,117 @@
+module Netlist = Pruning_netlist.Netlist
+
+type t = {
+  nl : Netlist.t;
+  trace : Trace.t;
+}
+
+let create nl trace =
+  if Trace.n_wires trace <> Netlist.n_wires nl then
+    invalid_arg "Waveform.create: trace does not match netlist";
+  { nl; trace }
+
+let check_window t ~from_cycle ~cycles =
+  if from_cycle < 0 || cycles < 1 || from_cycle + cycles > Trace.n_cycles t.trace then
+    invalid_arg "Waveform: window out of range"
+
+let label_width = 14
+let label name = Printf.sprintf "%-*s" label_width name
+
+let vector_wires t base =
+  (* A group is either a named port or a family of base[i] wires. *)
+  let from_port =
+    match Netlist.find_output_port t.nl base with
+    | p -> Some p.Netlist.port_wires
+    | exception Not_found -> begin
+      match Netlist.find_input_port t.nl base with
+      | p -> Some p.Netlist.port_wires
+      | exception Not_found -> None
+    end
+  in
+  match from_port with
+  | Some wires when Array.length wires > 0 -> wires
+  | _ -> begin
+    let rec collect i acc =
+      match Netlist.find_wire t.nl (Printf.sprintf "%s[%d]" base i) with
+      | w -> collect (i + 1) (w :: acc)
+      | exception Not_found -> List.rev acc
+    in
+    match collect 0 [] with
+    | [] -> raise Not_found
+    | wires -> Array.of_list wires
+  end
+
+let vector_value t wires cycle =
+  let v = ref 0 in
+  Array.iteri (fun i w -> if Trace.get t.trace ~cycle w then v := !v lor (1 lsl i)) wires;
+  !v
+
+(* Every lane renders one fixed-width cell per cycle so lanes align. *)
+let wire_cells t name ~cell ~from_cycle ~cycles =
+  let w = Netlist.find_wire t.nl name in
+  let buffer = Buffer.create (cycles * cell) in
+  for cycle = from_cycle to from_cycle + cycles - 1 do
+    Buffer.add_string buffer
+      (String.make cell (if Trace.get t.trace ~cycle w then '-' else '_'))
+  done;
+  Buffer.contents buffer
+
+let vector_cells t base ~cell ~from_cycle ~cycles =
+  let wires = vector_wires t base in
+  let hex_digits = (Array.length wires + 3) / 4 in
+  let buffer = Buffer.create (cycles * cell) in
+  let previous = ref (-1) in
+  for cycle = from_cycle to from_cycle + cycles - 1 do
+    let v = vector_value t wires cycle in
+    if v <> !previous then begin
+      let s = Printf.sprintf "|%0*x" hex_digits v in
+      let s = if String.length s > cell then String.sub s 0 cell else s in
+      Buffer.add_string buffer (Printf.sprintf "%-*s" cell s);
+      previous := v
+    end
+    else Buffer.add_string buffer (String.make cell ' ')
+  done;
+  Buffer.contents buffer
+
+let is_vector t name =
+  match vector_wires t name with
+  | _ -> true
+  | exception Not_found -> false
+
+let cell_width t names =
+  let digits =
+    List.filter_map
+      (fun name ->
+        if is_vector t name then Some (((Array.length (vector_wires t name) + 3) / 4) + 1)
+        else None)
+      names
+  in
+  List.fold_left max 2 digits
+
+let ruler ~cell ~from_cycle ~cycles =
+  let buffer = Buffer.create (cycles * cell) in
+  Buffer.add_string buffer (label "cycle");
+  for i = 0 to cycles - 1 do
+    let c = from_cycle + i in
+    if c mod 5 = 0 then Buffer.add_string buffer (Printf.sprintf "%-*d" cell c)
+    else Buffer.add_string buffer (String.make cell ' ')
+  done;
+  Buffer.contents buffer
+
+let wire_lane t name ~from_cycle ~cycles =
+  check_window t ~from_cycle ~cycles;
+  label name ^ wire_cells t name ~cell:1 ~from_cycle ~cycles
+
+let vector_lane t base ~from_cycle ~cycles =
+  check_window t ~from_cycle ~cycles;
+  let cell = cell_width t [ base ] in
+  label base ^ vector_cells t base ~cell ~from_cycle ~cycles
+
+let render t ~names ~from_cycle ~cycles =
+  check_window t ~from_cycle ~cycles;
+  let cell = cell_width t names in
+  let lane name =
+    if is_vector t name then label name ^ vector_cells t name ~cell ~from_cycle ~cycles
+    else label name ^ wire_cells t name ~cell ~from_cycle ~cycles
+  in
+  String.concat "\n" (ruler ~cell ~from_cycle ~cycles :: List.map lane names) ^ "\n"

@@ -1,0 +1,27 @@
+(** ASCII waveform rendering of recorded traces — the debugging view for
+    traces and MATE trigger windows.
+
+    Single wires render as edge-styled lanes:
+    {v
+clk        _-_-_-_-
+ir_valid   ___-----
+    v}
+    and multi-bit groups (wires named [base[i]]) as hex-value lanes with
+    [|] marking change points. *)
+
+type t
+
+val create : Pruning_netlist.Netlist.t -> Trace.t -> t
+
+val wire_lane : t -> string -> from_cycle:int -> cycles:int -> string
+(** One wire by name, e.g. ["ir_valid[0]"]. Raises [Not_found]. *)
+
+val vector_lane : t -> string -> from_cycle:int -> cycles:int -> string
+(** A register/port group by base name, e.g. ["pc"] collects [pc[0..n]].
+    Values are rendered in hex, one change per [|]. Raises [Not_found]
+    when no wire matches. *)
+
+val render : t -> names:string list -> from_cycle:int -> cycles:int -> string
+(** Multi-lane view; each name is rendered as a vector when several wires
+    share the base name and as a single wire otherwise. Includes a cycle
+    ruler. *)

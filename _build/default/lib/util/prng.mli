@@ -1,0 +1,34 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    Used wherever the library needs reproducible randomness (random netlist
+    generation in tests, fault sampling in campaigns) so that experiments are
+    repeatable without threading OCaml's global [Random] state around. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a generator from a seed. Equal seeds yield equal
+    streams. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] draws a uniform integer in \[0, bound). [bound] must be
+    positive. *)
+
+val bool : t -> bool
+(** Uniform boolean. *)
+
+val float : t -> float
+(** Uniform float in \[0, 1). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. Raises [Invalid_argument] on []. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** Derive an independent generator (for parallel deterministic streams). *)

@@ -1,0 +1,26 @@
+let mean = function
+  | [] -> 0.
+  | values -> List.fold_left ( +. ) 0. values /. float_of_int (List.length values)
+
+let stddev values =
+  match values with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let m = mean values in
+    let sq = List.map (fun v -> (v -. m) *. (v -. m)) values in
+    sqrt (mean sq)
+
+let median values =
+  match values with
+  | [] -> 0.
+  | _ ->
+    let sorted = List.sort compare values in
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.
+
+let mean_int values = mean (List.map float_of_int values)
+let median_int values = median (List.map float_of_int values)
+
+let percentage part whole =
+  if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole

@@ -1,0 +1,21 @@
+(** Small descriptive-statistics helpers used by the evaluation harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean. Returns [0.] on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation. Returns [0.] on lists shorter than 2. *)
+
+val median : float list -> float
+(** Median (average of the two middle elements for even lengths). Returns
+    [0.] on the empty list. *)
+
+val mean_int : int list -> float
+(** [mean] over integers. *)
+
+val median_int : int list -> float
+(** [median] over integers. *)
+
+val percentage : int -> int -> float
+(** [percentage part whole] is [100. *. part / whole], or [0.] when [whole]
+    is zero. *)

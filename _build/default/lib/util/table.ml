@@ -1,0 +1,91 @@
+type align =
+  | Left
+  | Right
+
+type row =
+  | Cells of string list
+  | Separator
+
+type t = {
+  headers : string list;
+  align : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let default_align headers =
+  match headers with
+  | [] -> []
+  | _ :: rest -> Left :: List.map (fun _ -> Right) rest
+
+let create ?align headers =
+  let align =
+    match align with
+    | Some a -> a
+    | None -> default_align headers
+  in
+  { headers; align; rows = [] }
+
+let add_row t cells =
+  let ncols = List.length t.headers in
+  let n = List.length cells in
+  if n > ncols then invalid_arg "Table.add_row: too many cells";
+  let padded = cells @ List.init (ncols - n) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let column_widths t =
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let update cells =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) cells
+  in
+  update t.headers;
+  List.iter
+    (function
+      | Cells cells -> update cells
+      | Separator -> ())
+    t.rows;
+  widths
+
+let pad align width cell =
+  let n = String.length cell in
+  if n >= width then cell
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with
+    | Left -> cell ^ fill
+    | Right -> fill ^ cell
+
+let render t =
+  let widths = column_widths t in
+  let aligns = Array.of_list t.align in
+  let align_of i = if i < Array.length aligns then aligns.(i) else Right in
+  let render_cells cells =
+    cells
+    |> List.mapi (fun i cell -> pad (align_of i) widths.(i) cell)
+    |> String.concat "  "
+  in
+  let total = Array.fold_left ( + ) 0 widths + (2 * (Array.length widths - 1)) in
+  let rule = String.make (max total 1) '-' in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer (render_cells t.headers);
+  Buffer.add_char buffer '\n';
+  Buffer.add_string buffer rule;
+  Buffer.add_char buffer '\n';
+  List.iter
+    (function
+      | Cells cells ->
+        Buffer.add_string buffer (render_cells cells);
+        Buffer.add_char buffer '\n'
+      | Separator ->
+        Buffer.add_string buffer rule;
+        Buffer.add_char buffer '\n')
+    (List.rev t.rows);
+  Buffer.contents buffer
+
+let print ?title t =
+  (match title with
+  | Some s -> Printf.printf "%s\n" s
+  | None -> ());
+  print_string (render t)

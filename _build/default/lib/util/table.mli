@@ -1,0 +1,29 @@
+(** Plain-text table rendering for the evaluation harness.
+
+    Renders the rows of the paper's Tables 1-3 in aligned monospace columns,
+    in the spirit of the original publication. *)
+
+type align =
+  | Left
+  | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?align:align list -> string list -> t
+(** [create headers] starts a table with the given column headers.
+    [align] gives per-column alignment; it defaults to [Left] for the first
+    column and [Right] for the rest, a layout that suits label + numbers. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row. Rows shorter than the header are padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule (used to separate table sections). *)
+
+val render : t -> string
+(** Render to a string, including a title rule and header. *)
+
+val print : ?title:string -> t -> unit
+(** Render to stdout with an optional title line. *)

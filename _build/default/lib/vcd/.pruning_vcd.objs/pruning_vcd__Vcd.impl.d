@@ -1,0 +1,1 @@
+lib/vcd/vcd.ml: Array Buffer Char Hashtbl List Printf Pruning_netlist Pruning_sim String

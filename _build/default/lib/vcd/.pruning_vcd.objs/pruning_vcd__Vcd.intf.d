@@ -1,0 +1,1 @@
+lib/vcd/vcd.mli: Pruning_netlist Pruning_sim

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Pruning_cell Pruning_netlist Pruning_rtl Pruning_sim Pruning_util

@@ -1,0 +1,1 @@
+test/test_cell.ml: Alcotest Cell Gm Helpers List Printf String

@@ -1,0 +1,1 @@
+test/test_collapse.ml: Alcotest Array Cell Helpers List Netlist Pruning_cpu Pruning_netlist

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Helpers List Netlist Printf Prng Pruning_cpu Sim

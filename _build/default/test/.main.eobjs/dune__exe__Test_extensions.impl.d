@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Cone Helpers List Netlist Printf Prng Pruning_cpu Pruning_fi Pruning_mate Signal Sim Synth Test_mate

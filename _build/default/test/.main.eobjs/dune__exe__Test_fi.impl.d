@@ -1,0 +1,1 @@
+test/test_fi.ml: Alcotest Array Format Helpers Netlist Printf Prng Pruning_cpu Pruning_fi Signal Sim Synth

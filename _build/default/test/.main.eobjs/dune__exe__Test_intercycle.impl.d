@@ -1,0 +1,1 @@
+test/test_intercycle.ml: Alcotest Array Helpers Netlist Printf Prng Pruning_cpu Pruning_fi Signal Sim Synth

@@ -1,0 +1,1 @@
+test/test_mate.ml: Alcotest Array Cell Helpers List Netlist Option Printf Prng Pruning_fi Pruning_mate Sim Trace

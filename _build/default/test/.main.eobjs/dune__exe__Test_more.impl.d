@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Cell Char Fun Helpers List Netlist Printf Pruning_cpu Pruning_fi Pruning_mate Signal Sim String Trace

@@ -1,0 +1,1 @@
+test/test_msp_fsm.ml: Alcotest Array Helpers List Netlist Printf Pruning_cpu Sim

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Cell Cone Filename Helpers List Netlist Option Pruning_netlist String Sys

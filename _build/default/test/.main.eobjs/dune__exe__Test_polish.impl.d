@@ -1,0 +1,1 @@
+test/test_polish.ml: Alcotest Cell Format Gm Helpers List Netlist Option Pruning_cpu Pruning_mate Pruning_netlist Pruning_util Signal String Synth

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Cell Fun Gm Helpers List Netlist Prng Pruning_mate Pruning_util Pruning_vcd QCheck2 QCheck_alcotest Sim Trace

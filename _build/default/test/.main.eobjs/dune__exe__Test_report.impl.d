@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Helpers Lazy List Printf Pruning_mate Pruning_report Pruning_util String

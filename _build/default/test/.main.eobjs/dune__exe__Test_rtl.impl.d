@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array Cell Helpers List Netlist Printf Prng Signal Sim Synth

@@ -1,0 +1,1 @@
+test/test_rtl_eval.ml: Alcotest Array Helpers List Netlist Printf Prng Pruning_cpu Pruning_rtl Signal Sim Synth Trace

@@ -1,0 +1,1 @@
+test/test_search_extra.ml: Alcotest Array Helpers List Netlist Printf Prng Pruning_fi Pruning_mate Signal Sim Synth Test_mate Trace

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Helpers Netlist Printf Signal Sim Synth Trace

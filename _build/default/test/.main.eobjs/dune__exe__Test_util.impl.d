@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Fun Helpers List Prng Pruning_util String

@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Array Filename Helpers Netlist Printf Pruning_vcd Signal Sim String Synth Sys Trace

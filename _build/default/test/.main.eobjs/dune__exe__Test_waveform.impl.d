@@ -1,0 +1,1 @@
+test/test_waveform.ml: Alcotest Helpers List Netlist Pruning_sim Sim String Trace

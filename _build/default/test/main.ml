@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "pruning"
+    [
+      ("util", Test_util.suite);
+      ("cell", Test_cell.suite);
+      ("netlist", Test_netlist.suite);
+      ("rtl", Test_rtl.suite);
+      ("sim", Test_sim.suite);
+      ("vcd", Test_vcd.suite);
+      ("cpu", Test_cpu.suite);
+      ("fi", Test_fi.suite);
+      ("mate", Test_mate.suite);
+      ("properties", Test_properties.suite);
+      ("extensions", Test_extensions.suite);
+      ("collapse", Test_collapse.suite);
+      ("more", Test_more.suite);
+      ("msp-fsm", Test_msp_fsm.suite);
+      ("rtl-eval", Test_rtl_eval.suite);
+      ("intercycle", Test_intercycle.suite);
+      ("waveform", Test_waveform.suite);
+      ("polish", Test_polish.suite);
+      ("search-extra", Test_search_extra.suite);
+      ("report", Test_report.suite);
+    ]

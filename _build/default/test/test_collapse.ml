@@ -1,0 +1,106 @@
+open Helpers
+module Collapse = Pruning_netlist.Collapse
+
+let sa0 w = { Collapse.wire = w; Collapse.polarity = Collapse.Stuck_at_0 }
+let sa1 w = { Collapse.wire = w; Collapse.polarity = Collapse.Stuck_at_1 }
+
+(* A fanout-free chain: in -> INV -> AND2(with in2) -> out. *)
+let chain_netlist () =
+  let b = Netlist.Builder.create "chain" in
+  let wire = Netlist.Builder.add_wire b in
+  let i1 = wire "i1" and i2 = wire "i2" in
+  let m = wire "m" in
+  let o = wire "o" in
+  Netlist.Builder.add_gate b (Cell.of_kind Cell.INV) [| i1 |] m;
+  Netlist.Builder.add_gate b (Cell.of_kind Cell.AND2) [| m; i2 |] o;
+  Netlist.Builder.add_input_port b "i1" [| i1 |];
+  Netlist.Builder.add_input_port b "i2" [| i2 |];
+  Netlist.Builder.add_output_port b "o" [| o |];
+  Netlist.Builder.finalize b
+
+let test_chain_equivalences () =
+  let nl = chain_netlist () in
+  let t = Collapse.compute nl in
+  let w = Netlist.find_wire nl in
+  (* AND: input s-a-0 == output s-a-0 (both inputs are single-observer) *)
+  check_bool "m sa0 == o sa0" true (Collapse.equivalent t (sa0 (w "m")) (sa0 (w "o")));
+  check_bool "i2 sa0 == o sa0" true (Collapse.equivalent t (sa0 (w "i2")) (sa0 (w "o")));
+  (* INV: i1 sa1 == m sa0, which chains into o sa0 *)
+  check_bool "i1 sa1 == o sa0" true (Collapse.equivalent t (sa1 (w "i1")) (sa0 (w "o")));
+  check_bool "i1 sa0 == m sa1" true (Collapse.equivalent t (sa0 (w "i1")) (sa1 (w "m")));
+  (* Non-equivalences *)
+  check_bool "i2 sa1 distinct" false (Collapse.equivalent t (sa1 (w "i2")) (sa1 (w "o")));
+  check_bool "polarities distinct" false (Collapse.equivalent t (sa0 (w "o")) (sa1 (w "o")))
+
+let test_fanout_blocks_collapsing () =
+  (* When the AND input also feeds a second gate, the input fault is no
+     longer equivalent to the output fault. *)
+  let b = Netlist.Builder.create "fanout" in
+  let wire = Netlist.Builder.add_wire b in
+  let i1 = wire "i1" and i2 = wire "i2" in
+  let o1 = wire "o1" and o2 = wire "o2" in
+  Netlist.Builder.add_gate b (Cell.of_kind Cell.AND2) [| i1; i2 |] o1;
+  Netlist.Builder.add_gate b (Cell.of_kind Cell.BUF) [| i1 |] o2;
+  Netlist.Builder.add_input_port b "i1" [| i1 |];
+  Netlist.Builder.add_input_port b "i2" [| i2 |];
+  Netlist.Builder.add_output_port b "o1" [| o1 |];
+  Netlist.Builder.add_output_port b "o2" [| o2 |];
+  let nl = Netlist.Builder.finalize b in
+  let t = Collapse.compute nl in
+  let w = Netlist.find_wire nl in
+  check_bool "fanout stem not collapsed" false
+    (Collapse.equivalent t (sa0 (w "i1")) (sa0 (w "o1")));
+  check_bool "single-observer input still collapses" true
+    (Collapse.equivalent t (sa0 (w "i2")) (sa0 (w "o1")))
+
+let test_xor_no_rules () =
+  let nl = figure1_netlist () in
+  let t = Collapse.compute nl in
+  let w = Netlist.find_wire nl in
+  (* XOR gate B contributes no equivalences for c/d. *)
+  check_bool "xor input not collapsed" false (Collapse.equivalent t (sa0 (w "c")) (sa0 (w "g")));
+  (* But the NAND gate A does: a sa0 == f sa1. *)
+  check_bool "nand rule" true (Collapse.equivalent t (sa0 (w "a")) (sa1 (w "f")))
+
+let test_counts_and_ratio () =
+  let nl = chain_netlist () in
+  let t = Collapse.compute nl in
+  check_int "total faults" 8 (Collapse.n_faults t);
+  (* classes: {m0,i2_0,o0,i1_1}, {i1_0,m1}, {i2_1}, {o1} = 4 *)
+  check_int "classes" 4 (Collapse.n_classes t);
+  Alcotest.(check (float 1e-9)) "ratio" 0.5 (Collapse.collapse_ratio t);
+  let big = List.hd (Collapse.classes t) in
+  check_int "largest class" 4 (List.length big)
+
+let test_representative_idempotent () =
+  let nl = counter_netlist () in
+  let t = Collapse.compute nl in
+  for w = 0 to Netlist.n_wires nl - 1 do
+    List.iter
+      (fun f ->
+        let r = Collapse.representative t f in
+        check_bool "rep of rep" true (Collapse.representative t r = r);
+        check_bool "f ~ rep f" true (Collapse.equivalent t f r))
+      [ sa0 w; sa1 w ]
+  done
+
+let test_cores_collapse_meaningfully () =
+  (* The cores are mux/xor-heavy with high fanout, so net-level stuck-at
+     collapsing removes only a few percent — but it must remove some and
+     never merge across polarities of the same primary output. *)
+  let nl = Pruning_cpu.System.avr_netlist () in
+  let t = Collapse.compute nl in
+  check_bool "collapses something" true (Collapse.n_classes t < Collapse.n_faults t);
+  check_bool "ratio sane" true (Collapse.collapse_ratio t > 0.5 && Collapse.collapse_ratio t < 1.);
+  let out = (Netlist.find_output_port nl "pmem_addr").Netlist.port_wires.(0) in
+  check_bool "polarity split" false (Collapse.equivalent t (sa0 out) (sa1 out))
+
+let suite =
+  [
+    Alcotest.test_case "chain equivalences" `Quick test_chain_equivalences;
+    Alcotest.test_case "fanout blocks collapsing" `Quick test_fanout_blocks_collapsing;
+    Alcotest.test_case "xor has no rules" `Quick test_xor_no_rules;
+    Alcotest.test_case "counts and ratio" `Quick test_counts_and_ratio;
+    Alcotest.test_case "representative idempotent" `Quick test_representative_idempotent;
+    Alcotest.test_case "core collapse ratio" `Quick test_cores_collapse_meaningfully;
+  ]

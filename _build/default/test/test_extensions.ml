@@ -1,0 +1,233 @@
+open Helpers
+module Search = Pruning_mate.Search
+module Term = Pruning_mate.Term
+module Oracle = Pruning_fi.Oracle
+module Isa_fi = Pruning_fi.Isa_fi
+module Avr_asm = Pruning_cpu.Avr_asm
+module Programs = Pruning_cpu.Programs
+
+(* ------------------------------------------------------------------ *)
+(* Section 6.2: 2-bit faults                                            *)
+
+let test_pair_cone () =
+  let nl = figure1_netlist () in
+  let w = Netlist.find_wire nl in
+  let cone = Cone.compute_multi nl [ w "c"; w "d" ] in
+  (* Joint cone of c and d: both inputs of the XOR. *)
+  List.iter (fun n -> check_bool ("in: " ^ n) true (Cone.member cone (w n))) [ "c"; "d"; "g"; "k"; "l" ];
+  check_bool "f is border" true (List.mem (w "f") cone.Cone.border);
+  check_bool "c not border" false (List.mem (w "c") cone.Cone.border)
+
+let test_pair_search_figure1 () =
+  let nl = figure1_netlist () in
+  let w = Netlist.find_wire nl in
+  let result = Search.search_pair nl Search.default_params (w "c") (w "d") in
+  match result.Search.outcome with
+  | Search.Unmaskable -> Alcotest.fail "pair (c,d) should be maskable"
+  | Search.Mates mates ->
+    (* The same border MATE (!f & h) cuts both propagation trees. *)
+    let f = w "f" and h = w "h" in
+    check_bool "contains (!f & h)" true
+      (List.exists
+         (fun t ->
+           List.map (fun (l : Term.literal) -> (l.Term.wire, l.Term.value)) (Term.literals t)
+           = [ (f, false); (h, true) ])
+         mates)
+
+let test_pair_oracle_exhaustive () =
+  (* Every pair MATE on the sequential figure-1 circuit must satisfy the
+     2-bit oracle in every state where it holds. *)
+  let nl = figure1_seq_netlist () in
+  let flops = nl.Netlist.flops in
+  let sim = Sim.create nl in
+  let input_wires =
+    List.concat_map (fun (p : Netlist.port) -> Array.to_list p.Netlist.port_wires) nl.Netlist.inputs
+  in
+  let n = Array.length flops in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      let result =
+        Search.search_pair nl Search.default_params flops.(a).Netlist.q flops.(b).Netlist.q
+      in
+      match result.Search.outcome with
+      | Search.Unmaskable -> ()
+      | Search.Mates mates ->
+        for pattern = 0 to (1 lsl n) - 1 do
+          Array.iteri
+            (fun i (f : Netlist.flop) ->
+              Sim.set_flop sim f.Netlist.flop_id (pattern land (1 lsl i) <> 0))
+            flops;
+          List.iter (fun w -> Sim.set_input sim w false) input_wires;
+          Sim.eval sim;
+          List.iter
+            (fun term ->
+              if Term.holds term (fun w -> Sim.peek sim w) then
+                check_bool
+                  (Printf.sprintf "pair (%s,%s) sound at %d" flops.(a).Netlist.flop_name
+                     flops.(b).Netlist.flop_name pattern)
+                  true
+                  (Oracle.pair_benign sim ~flop_a:flops.(a).Netlist.flop_id
+                     ~flop_b:flops.(b).Netlist.flop_id))
+            mates
+        done
+    done
+  done
+
+let test_pair_soundness_random () =
+  let rng = Prng.create 777444 in
+  for index = 1 to 12 do
+    let nl = Test_mate.random_netlist rng index in
+    let flops = nl.Netlist.flops in
+    if Array.length flops >= 2 then begin
+      let a = flops.(0) and b = flops.(Array.length flops - 1) in
+      let result = Search.search_pair nl Search.default_params a.Netlist.q b.Netlist.q in
+      match result.Search.outcome with
+      | Search.Unmaskable -> ()
+      | Search.Mates mates ->
+        let sim = Sim.create nl in
+        let input_wires =
+          List.concat_map
+            (fun (p : Netlist.port) -> Array.to_list p.Netlist.port_wires)
+            nl.Netlist.inputs
+        in
+        for _ = 1 to 30 do
+          List.iter (fun w -> Sim.set_input sim w (Prng.bool rng)) input_wires;
+          Sim.eval sim;
+          List.iter
+            (fun term ->
+              if Term.holds term (fun w -> Sim.peek sim w) then
+                check_bool "pair mate sound" true
+                  (Oracle.pair_benign sim ~flop_a:a.Netlist.flop_id ~flop_b:b.Netlist.flop_id))
+            mates;
+          Sim.latch sim
+        done
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Section 6.2: upsets held over several cycles                          *)
+
+let test_sustained_counter_effective () =
+  (* A counter bit forced wrong over any window is never benign. *)
+  let nl = counter_netlist () in
+  let sim = Sim.create nl in
+  Sim.set_port sim "enable" 1;
+  Sim.run sim ~cycles:3 ();
+  Sim.eval sim;
+  check_bool "sustained counter fault effective" false
+    (Oracle.sustained_benign sim ~flop_id:0 ~hold:3)
+
+let test_sustained_restores_state () =
+  let nl = counter_netlist () in
+  let sim = Sim.create nl in
+  Sim.set_port sim "enable" 1;
+  Sim.run sim ~cycles:5 ();
+  Sim.eval sim;
+  let before = Sim.get_port sim "count_o" in
+  let cycle_before = Sim.cycle sim in
+  ignore (Oracle.sustained_benign sim ~flop_id:2 ~hold:4);
+  Sim.eval sim;
+  check_int "value restored" before (Sim.get_port sim "count_o");
+  check_int "cycle restored" cycle_before (Sim.cycle sim)
+
+let test_sustained_matches_mate_window () =
+  (* Paper 6.2: a MATE holding through a whole window proves a sustained
+     upset benign. The gated mux keeps register b deselected as long as
+     e1 & e2 stay high, so b's select-MATE holds for every cycle of the
+     window and a multi-cycle upset in b is benign. *)
+  let open Signal in
+  let c = create_circuit "gated2" in
+  let a_in = input c "a_in" 1 in
+  let b_in = input c "b_in" 1 in
+  let e1_in = input c "e1_in" 1 in
+  let e2_in = input c "e2_in" 1 in
+  let a = reg c "a" 1 in
+  let b = reg c "b" 1 in
+  let e1 = reg c "e1" 1 in
+  let e2 = reg c "e2" 1 in
+  connect a a_in;
+  connect b b_in;
+  connect e1 e1_in;
+  connect e2 e2_in;
+  output c "out" (mux2 (q e1 &: q e2) (q a) (q b));
+  let nl = Synth.to_netlist c in
+  let b_flop = Netlist.find_flop nl "b[0]" in
+  let result = Search.search_wire nl Search.default_params b_flop.Netlist.q in
+  let mates =
+    match result.Search.outcome with
+    | Search.Mates m -> m
+    | Search.Unmaskable -> Alcotest.fail "b maskable"
+  in
+  let sim = Sim.create nl in
+  Sim.set_port sim "a_in" 1;
+  Sim.set_port sim "b_in" 0;
+  Sim.set_port sim "e1_in" 1;
+  Sim.set_port sim "e2_in" 1;
+  Sim.run sim ~cycles:2 ();
+  Sim.eval sim;
+  (* The select MATE holds now and, with constant inputs, forever. *)
+  check_bool "a mate holds" true
+    (List.exists (fun t -> Term.holds t (fun w -> Sim.peek sim w)) mates);
+  check_bool "3-cycle upset in b benign" true
+    (Oracle.sustained_benign sim ~flop_id:b_flop.Netlist.flop_id ~hold:3);
+  (* Deselect: the same upset becomes effective. *)
+  Sim.set_port sim "e1_in" 0;
+  Sim.run sim ~cycles:2 ();
+  Sim.eval sim;
+  check_bool "upset effective when selected" false
+    (Oracle.sustained_benign sim ~flop_id:b_flop.Netlist.flop_id ~hold:3)
+
+(* ------------------------------------------------------------------ *)
+(* Section 6.3: ISA-level injection                                      *)
+
+let fib_program = Avr_asm.assemble Programs.avr_fib_halting
+
+let test_isa_benign_overwrite () =
+  (* r16 is loaded by the first instruction, so a pre-existing flip in it
+     is architecturally benign. *)
+  let v = Isa_fi.avr_inject ~program:fib_program ~max_steps:2000 { Isa_fi.reg = 16; bit = 3; at_step = 0 } in
+  check_bool "overwritten flip benign" true (v = Isa_fi.Benign)
+
+let test_isa_sdc_in_loop () =
+  (* Flipping the accumulator mid-loop corrupts the stored sequence. *)
+  let v = Isa_fi.avr_inject ~program:fib_program ~max_steps:2000 { Isa_fi.reg = 16; bit = 0; at_step = 40 } in
+  check_bool "accumulator flip is SDC" true (v = Isa_fi.Sdc)
+
+let test_isa_latent_unused_register () =
+  (* r5 is never touched by fib: the flip survives to the horizon but
+     never becomes visible. *)
+  let v = Isa_fi.avr_inject ~program:fib_program ~max_steps:2000 { Isa_fi.reg = 5; bit = 7; at_step = 10 } in
+  check_bool "unused register flip latent" true (v = Isa_fi.Latent)
+
+let test_isa_campaign_stats () =
+  let rng = Prng.create 11 in
+  let stats = Isa_fi.avr_campaign ~program:fib_program ~max_steps:1200 ~rng ~n:60 () in
+  check_int "all ran" 60 stats.Isa_fi.injections;
+  check_int "partition" 60 (stats.Isa_fi.benign + stats.Isa_fi.latent + stats.Isa_fi.sdc);
+  (* fib touches only a few registers: most random flips are latent *)
+  check_bool "latent dominates" true (stats.Isa_fi.latent > stats.Isa_fi.sdc);
+  (* restricting to an unused register: everything latent *)
+  let stats5 = Isa_fi.avr_campaign ~program:fib_program ~max_steps:1200 ~rng ~n:20 ~regs:[ 5 ] () in
+  check_int "unused register all latent" 20 stats5.Isa_fi.latent
+
+let test_isa_invalid_args () =
+  Alcotest.check_raises "bad reg" (Invalid_argument "Isa_fi: register out of range") (fun () ->
+      ignore (Isa_fi.avr_inject ~program:fib_program ~max_steps:10 { Isa_fi.reg = 32; bit = 0; at_step = 0 }));
+  Alcotest.check_raises "bad bit" (Invalid_argument "Isa_fi: bit out of range") (fun () ->
+      ignore (Isa_fi.avr_inject ~program:fib_program ~max_steps:10 { Isa_fi.reg = 0; bit = 8; at_step = 0 }))
+
+let suite =
+  [
+    Alcotest.test_case "pair cone" `Quick test_pair_cone;
+    Alcotest.test_case "pair search (fig1 c+d)" `Quick test_pair_search_figure1;
+    Alcotest.test_case "pair oracle exhaustive" `Quick test_pair_oracle_exhaustive;
+    Alcotest.test_case "pair soundness random" `Slow test_pair_soundness_random;
+    Alcotest.test_case "sustained: counter effective" `Quick test_sustained_counter_effective;
+    Alcotest.test_case "sustained: state restored" `Quick test_sustained_restores_state;
+    Alcotest.test_case "sustained: MATE window benign" `Slow test_sustained_matches_mate_window;
+    Alcotest.test_case "isa: benign overwrite" `Quick test_isa_benign_overwrite;
+    Alcotest.test_case "isa: SDC in loop" `Quick test_isa_sdc_in_loop;
+    Alcotest.test_case "isa: latent unused reg" `Quick test_isa_latent_unused_register;
+    Alcotest.test_case "isa: campaign stats" `Quick test_isa_campaign_stats;
+    Alcotest.test_case "isa: invalid args" `Quick test_isa_invalid_args;
+  ]

@@ -1,0 +1,144 @@
+open Helpers
+module Oracle = Pruning_fi.Oracle
+module Intercycle = Pruning_fi.Intercycle
+module System = Pruning_cpu.System
+module Avr_asm = Pruning_cpu.Avr_asm
+module Programs = Pruning_cpu.Programs
+module Campaign = Pruning_fi.Campaign
+
+(* A register that is written once and then sits still: its fault defers
+   through every idle cycle. *)
+let idle_register_netlist () =
+  let open Signal in
+  let c = create_circuit "idle" in
+  let load = input c "load" 1 in
+  let value = input c "value" 4 in
+  let r = reg c "r" 4 in
+  connect r (mux2 load value (q r));
+  (* Observable only through a gated output. *)
+  let expose = input c "expose" 1 in
+  output c "out" (mux2 expose (q r) (const c ~width:4 0));
+  Synth.to_netlist c
+
+let test_defers_idle_register () =
+  let nl = idle_register_netlist () in
+  let sim = Sim.create nl in
+  Sim.set_port sim "load" 0;
+  Sim.set_port sim "value" 5;
+  Sim.set_port sim "expose" 0;
+  Sim.eval sim;
+  let f = (Netlist.find_flop nl "r[2]").Netlist.flop_id in
+  check_bool "idle flop defers" true (Oracle.defers sim ~flop_id:f);
+  (* While exposed, the fault is visible: it does not defer. *)
+  Sim.set_port sim "expose" 1;
+  Sim.eval sim;
+  check_bool "exposed flop does not defer" false (Oracle.defers sim ~flop_id:f);
+  (* While being overwritten, the fault dies: it does not defer either
+     (it is benign instead). *)
+  Sim.set_port sim "expose" 0;
+  Sim.set_port sim "load" 1;
+  Sim.eval sim;
+  check_bool "overwritten flop does not defer" false (Oracle.defers sim ~flop_id:f);
+  check_bool "overwritten flop is benign" true (Oracle.one_cycle_benign sim ~flop_id:f)
+
+let test_defers_excludes_masked () =
+  (* Deferring and one-cycle-benign are mutually exclusive: a deferring
+     fault survives in its flop, a benign one dies. *)
+  let nl = idle_register_netlist () in
+  let sim = Sim.create nl in
+  let rng = Prng.create 5 in
+  for _ = 1 to 40 do
+    Sim.set_port sim "load" (Prng.int rng 2);
+    Sim.set_port sim "value" (Prng.int rng 16);
+    Sim.set_port sim "expose" (Prng.int rng 2);
+    Sim.eval sim;
+    Array.iter
+      (fun (f : Netlist.flop) ->
+        let d = Oracle.defers sim ~flop_id:f.Netlist.flop_id in
+        let b = Oracle.one_cycle_benign sim ~flop_id:f.Netlist.flop_id in
+        check_bool "not both" false (d && b))
+      nl.Netlist.flops;
+    Sim.latch sim
+  done
+
+let test_classes_on_idle_register () =
+  let nl = idle_register_netlist () in
+  let sim = Sim.create nl in
+  Sim.set_port sim "load" 0;
+  Sim.set_port sim "value" 9;
+  Sim.set_port sim "expose" 0;
+  (* 10 fully idle cycles: every flop forms a single class. *)
+  let t = Intercycle.compute sim ~flops:nl.Netlist.flops ~cycles:10 in
+  check_int "one class per flop" (Array.length nl.Netlist.flops) t.Intercycle.n_classes;
+  check_bool "10x reduction" true (Intercycle.reduction_factor t >= 10. -. 1e-9);
+  check_int "representative is cycle 0" 0 (Intercycle.representative t ~flop_index:0 ~cycle:7)
+
+let test_classes_respect_events () =
+  let nl = idle_register_netlist () in
+  let sim = Sim.create nl in
+  Sim.set_port sim "load" 0;
+  Sim.set_port sim "value" 3;
+  Sim.set_port sim "expose" 0;
+  (* Expose the register in cycle 2 only: runs break there. *)
+  let t =
+    (* drive inputs cycle by cycle via a device *)
+    let cycle = ref 0 in
+    let dev =
+      {
+        Sim.dev_name = "stim";
+        dev_comb =
+          (fun _ write ->
+            let port = Netlist.find_input_port nl "expose" in
+            write port.Netlist.port_wires.(0) (!cycle = 2));
+        dev_clock = (fun _ -> incr cycle);
+        dev_save =
+          (fun () ->
+            let saved = !cycle in
+            fun () -> cycle := saved);
+      }
+    in
+    Sim.add_device sim dev;
+    Intercycle.compute sim ~flops:nl.Netlist.flops ~cycles:6
+  in
+  (* A fault deferring from cycle 1 into the exposed cycle 2 behaves
+     exactly like one injected at 2, so [0..2] is one class; the run
+     breaks after the visible cycle: [3..5] is the next. *)
+  check_int "two classes per flop" (2 * Array.length nl.Netlist.flops) t.Intercycle.n_classes;
+  check_int "rep of cycle 1" 0 (Intercycle.representative t ~flop_index:1 ~cycle:1);
+  check_int "rep of cycle 2" 0 (Intercycle.representative t ~flop_index:1 ~cycle:2);
+  check_int "rep of cycle 5" 3 (Intercycle.representative t ~flop_index:1 ~cycle:5)
+
+let test_equivalence_sound_in_campaign () =
+  (* Representatives carry the class verdict: injecting any member of a
+     class gives the same campaign outcome as injecting the
+     representative (sampled on the AVR register file). *)
+  let program = Avr_asm.assemble Programs.avr_fib_halting in
+  let nl = System.avr_netlist () in
+  let make () = System.create_avr ~netlist:nl ~program "fib" in
+  let horizon = 220 in
+  let rf = Array.of_list (Netlist.flops_matching nl ~prefix:"rf_2") in
+  let sys = make () in
+  let t = Intercycle.compute sys.System.sim ~flops:rf ~cycles:horizon in
+  check_bool "rf classes collapse a lot" true (Intercycle.reduction_factor t > 5.);
+  let campaign = Campaign.create ~make ~total_cycles:horizon in
+  let rng = Prng.create 17 in
+  for _ = 1 to 12 do
+    let fi = Prng.int rng (Array.length rf) in
+    let cycle = Prng.int rng horizon in
+    let rep = Intercycle.representative t ~flop_index:fi ~cycle in
+    let flop_id = rf.(fi).Netlist.flop_id in
+    let v_member = Campaign.inject campaign ~flop_id ~cycle in
+    let v_rep = Campaign.inject campaign ~flop_id ~cycle:rep in
+    check_bool
+      (Printf.sprintf "class verdicts agree (%s, %d ~ %d)" rf.(fi).Netlist.flop_name cycle rep)
+      true (v_member = v_rep)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "defers: idle register" `Quick test_defers_idle_register;
+    Alcotest.test_case "defers excludes masked" `Quick test_defers_excludes_masked;
+    Alcotest.test_case "classes on idle register" `Quick test_classes_on_idle_register;
+    Alcotest.test_case "classes respect events" `Quick test_classes_respect_events;
+    Alcotest.test_case "equivalence sound in campaign" `Slow test_equivalence_sound_in_campaign;
+  ]

@@ -1,0 +1,119 @@
+(* Microarchitectural white-box checks of the MSP430 multi-cycle FSM:
+   state sequencing, memory-port activity and instruction timing. These
+   pin down the properties the MATE evaluation leans on (state-gated
+   masking windows). *)
+
+open Helpers
+module Msp_core = Pruning_cpu.Msp_core
+module Msp_asm = Pruning_cpu.Msp_asm
+module Msp_isa = Pruning_cpu.Msp_isa
+module System = Pruning_cpu.System
+
+let state_of sys =
+  let nl = sys.System.netlist in
+  let v = ref 0 in
+  for i = 0 to 2 do
+    let w = Netlist.find_wire nl (Printf.sprintf "state[%d]" i) in
+    if Sim.peek sys.System.sim w then v := !v lor (1 lsl i)
+  done;
+  !v
+
+let record_states items cycles =
+  let program = Msp_asm.assemble items in
+  let sys = System.create_msp ~program "fsm" in
+  List.init cycles (fun _ ->
+      Sim.eval sys.System.sim;
+      let s = state_of sys in
+      Sim.latch sys.System.sim;
+      s)
+
+let test_reg_reg_mov_timing () =
+  (* MOV R4, R5 is register-to-register: FETCH, SRC, DST, EXEC, WB. *)
+  let states =
+    record_states
+      [ Msp_asm.I (Msp_isa.Mov (Msp_isa.Reg 4, Msp_isa.Dreg 5)); Msp_asm.L "h";
+        Msp_asm.I (Msp_isa.Jmp (Msp_isa.Label "h")) ]
+      5
+  in
+  Alcotest.(check (list int)) "five states"
+    [ Msp_core.state_fetch; Msp_core.state_src; Msp_core.state_dst; Msp_core.state_exec;
+      Msp_core.state_wb ]
+    states
+
+let test_jump_timing () =
+  (* An unconditional jump resolves in SRC: two cycles per loop. *)
+  let states = record_states [ Msp_asm.L "h"; Msp_asm.I (Msp_isa.Jmp (Msp_isa.Label "h")) ] 6 in
+  Alcotest.(check (list int)) "fetch/src loop"
+    [ Msp_core.state_fetch; Msp_core.state_src; Msp_core.state_fetch; Msp_core.state_src;
+      Msp_core.state_fetch; Msp_core.state_src ]
+    states
+
+let test_indexed_source_timing () =
+  (* MOV 2(R6), R5: the indexed source needs an extension-word fetch and
+     an operand fetch (SRC, SRC_IDX). *)
+  let states =
+    record_states
+      [ Msp_asm.I (Msp_isa.Mov (Msp_isa.Indexed (6, 2), Msp_isa.Dreg 5)); Msp_asm.L "h";
+        Msp_asm.I (Msp_isa.Jmp (Msp_isa.Label "h")) ]
+      6
+  in
+  Alcotest.(check (list int)) "six states"
+    [ Msp_core.state_fetch; Msp_core.state_src; Msp_core.state_src_idx; Msp_core.state_dst;
+      Msp_core.state_exec; Msp_core.state_wb ]
+    states
+
+let test_memory_writes_only_in_wb () =
+  (* mem_wen may rise only in the WB state. *)
+  let program =
+    Msp_asm.assemble
+      [
+        Msp_asm.I (Msp_isa.Mov (Msp_isa.Imm 0x400, Msp_isa.Dreg 6));
+        Msp_asm.I (Msp_isa.Mov (Msp_isa.Imm 123, Msp_isa.Dindexed (6, 0)));
+        Msp_asm.L "h"; Msp_asm.I (Msp_isa.Jmp (Msp_isa.Label "h"));
+      ]
+  in
+  let sys = System.create_msp ~program "wb" in
+  let wrote = ref 0 in
+  for _ = 1 to 30 do
+    Sim.eval sys.System.sim;
+    if Sim.get_port sys.System.sim "mem_wen" = 1 then begin
+      incr wrote;
+      check_int "write only in WB" Msp_core.state_wb (state_of sys)
+    end;
+    Sim.latch sys.System.sim
+  done;
+  check_int "exactly one store" 1 !wrote;
+  check_int "value landed" 123 sys.System.ram.(0x400 / 2)
+
+let test_conditional_jump_not_taken_timing () =
+  (* CMP then JNZ not taken: the jump still costs FETCH+SRC and falls
+     through. *)
+  let program =
+    Msp_asm.assemble
+      [
+        Msp_asm.I (Msp_isa.Mov (Msp_isa.Imm 5, Msp_isa.Dreg 4));
+        Msp_asm.I (Msp_isa.Cmp (Msp_isa.Imm 5, Msp_isa.Dreg 4));
+        Msp_asm.I (Msp_isa.Jnz (Msp_isa.Rel 10));
+        Msp_asm.I (Msp_isa.Mov (Msp_isa.Imm 1, Msp_isa.Dreg 5));
+        Msp_asm.L "h"; Msp_asm.I (Msp_isa.Jmp (Msp_isa.Label "h"));
+      ]
+  in
+  let sys = System.create_msp ~program "nt" in
+  System.run sys ~cycles:40;
+  Sim.eval sys.System.sim;
+  let nl = sys.System.netlist in
+  let v = ref 0 in
+  for i = 0 to 15 do
+    if Sim.peek sys.System.sim (Netlist.find_wire nl (Printf.sprintf "rf_5[%d]" i)) then
+      v := !v lor (1 lsl i)
+  done;
+  check_int "fallthrough executed" 1 !v
+
+let suite =
+  [
+    Alcotest.test_case "reg-reg mov timing" `Quick test_reg_reg_mov_timing;
+    Alcotest.test_case "jump timing" `Quick test_jump_timing;
+    Alcotest.test_case "indexed source timing" `Quick test_indexed_source_timing;
+    Alcotest.test_case "memory writes only in WB" `Quick test_memory_writes_only_in_wb;
+    Alcotest.test_case "not-taken jump" `Quick test_conditional_jump_not_taken_timing;
+  ]

@@ -1,0 +1,195 @@
+open Helpers
+
+let test_figure1_structure () =
+  let nl = figure1_netlist () in
+  check_int "wires" 10 (Netlist.n_wires nl);
+  check_int "gates" 5 (Netlist.n_gates nl);
+  check_int "flops" 0 (Netlist.n_flops nl);
+  check_string "wire 0 name" "a" (Netlist.wire_name nl 0);
+  check_int "find d" 3 (Netlist.find_wire nl "d");
+  check_bool "k is primary output" true nl.Netlist.is_primary_output.(Netlist.find_wire nl "k");
+  check_bool "a is not primary output" false nl.Netlist.is_primary_output.(0)
+
+let test_topological_order () =
+  let nl = figure1_netlist () in
+  (* Gates D (id 3) and E (id 4) read wire g produced by gate B (id 1), so
+     B must come first. *)
+  let pos = Array.make (Netlist.n_gates nl) 0 in
+  Array.iteri (fun i gid -> pos.(gid) <- i) nl.Netlist.topo;
+  check_bool "B before D" true (pos.(1) < pos.(3));
+  check_bool "B before E" true (pos.(1) < pos.(4));
+  check_int "level of B" 0 nl.Netlist.level.(1);
+  check_int "level of D" 1 nl.Netlist.level.(3)
+
+let test_cone_of_d () =
+  let nl = figure1_netlist () in
+  let cone = Cone.compute nl (Netlist.find_wire nl "d") in
+  check_int "cone gates" 3 (Cone.size cone);
+  let wire = Netlist.find_wire nl in
+  List.iter
+    (fun n -> check_bool ("in cone: " ^ n) true (Cone.member cone (wire n)))
+    [ "d"; "g"; "k"; "l" ];
+  List.iter
+    (fun n -> check_bool ("not in cone: " ^ n) false (Cone.member cone (wire n)))
+    [ "a"; "b"; "c"; "e"; "f"; "h" ];
+  Alcotest.(check (list int)) "border wires" [ wire "c"; wire "f"; wire "h" ] cone.Cone.border;
+  Alcotest.(check (list int)) "output sinks" [ wire "k"; wire "l" ] cone.Cone.sinks_outputs;
+  check_bool "source not a sink" false cone.Cone.source_is_sink
+
+let test_cone_of_e () =
+  let nl = figure1_netlist () in
+  let cone = Cone.compute nl (Netlist.find_wire nl "e") in
+  check_int "cone gates" 2 (Cone.size cone);
+  check_int "border count" 1 (Cone.border_count cone);
+  Alcotest.(check (list int)) "border is g" [ Netlist.find_wire nl "g" ] cone.Cone.border
+
+let test_cone_source_is_sink () =
+  (* A wire that is directly a primary output can never be masked. *)
+  let b = Netlist.Builder.create "direct" in
+  let i = Netlist.Builder.add_wire b "i" in
+  let o = Netlist.Builder.add_wire b "o" in
+  Netlist.Builder.add_gate b (Cell.of_kind Cell.BUF) [| i |] o;
+  Netlist.Builder.add_input_port b "i" [| i |];
+  Netlist.Builder.add_output_port b "o" [| o |];
+  let nl = Netlist.Builder.finalize b in
+  let cone = Cone.compute nl o in
+  check_bool "output wire is its own sink" true cone.Cone.source_is_sink;
+  let cone_i = Cone.compute nl i in
+  check_bool "input feeding buf only" false cone_i.Cone.source_is_sink
+
+let test_builder_multiple_drivers () =
+  let b = Netlist.Builder.create "bad" in
+  let w1 = Netlist.Builder.add_wire b "w1" in
+  let w2 = Netlist.Builder.add_wire b "w2" in
+  Netlist.Builder.add_gate b (Cell.of_kind Cell.BUF) [| w1 |] w2;
+  Netlist.Builder.add_gate b (Cell.of_kind Cell.INV) [| w1 |] w2;
+  Netlist.Builder.add_input_port b "w1" [| w1 |];
+  Alcotest.check_raises "multiple drivers" (Netlist.Invalid "wire w2 has multiple drivers")
+    (fun () -> ignore (Netlist.Builder.finalize b))
+
+let test_builder_no_driver () =
+  let b = Netlist.Builder.create "bad" in
+  let w1 = Netlist.Builder.add_wire b "w1" in
+  let w2 = Netlist.Builder.add_wire b "w2" in
+  Netlist.Builder.add_gate b (Cell.of_kind Cell.BUF) [| w1 |] w2;
+  Alcotest.check_raises "no driver" (Netlist.Invalid "wire w1 has no driver") (fun () ->
+      ignore (Netlist.Builder.finalize b))
+
+let test_builder_arity_mismatch () =
+  let b = Netlist.Builder.create "bad" in
+  let w1 = Netlist.Builder.add_wire b "w1" in
+  let w2 = Netlist.Builder.add_wire b "w2" in
+  Netlist.Builder.add_gate b (Cell.of_kind Cell.AND2) [| w1 |] w2;
+  Netlist.Builder.add_input_port b "w1" [| w1 |];
+  Alcotest.check_raises "arity" (Netlist.Invalid "gate 0 (AND2_X1): 1 connections for arity 2")
+    (fun () -> ignore (Netlist.Builder.finalize b))
+
+let test_builder_combinational_cycle () =
+  let b = Netlist.Builder.create "bad" in
+  let w1 = Netlist.Builder.add_wire b "w1" in
+  let w2 = Netlist.Builder.add_wire b "w2" in
+  Netlist.Builder.add_gate b (Cell.of_kind Cell.INV) [| w2 |] w1;
+  Netlist.Builder.add_gate b (Cell.of_kind Cell.INV) [| w1 |] w2;
+  Alcotest.check_raises "cycle" (Netlist.Invalid "combinational cycle through 2 gate(s)")
+    (fun () -> ignore (Netlist.Builder.finalize b))
+
+let test_flop_breaks_cycle () =
+  (* Feedback through a flop is legal. *)
+  let b = Netlist.Builder.create "toggler" in
+  let q = Netlist.Builder.add_wire b "q" in
+  let d = Netlist.Builder.add_wire b "d" in
+  Netlist.Builder.add_gate b (Cell.of_kind Cell.INV) [| q |] d;
+  Netlist.Builder.add_flop b "bit" ~d ~q;
+  Netlist.Builder.add_output_port b "q" [| q |];
+  let nl = Netlist.Builder.finalize b in
+  check_int "one flop" 1 (Netlist.n_flops nl);
+  check_bool "driver of q" true (nl.Netlist.driver.(q) = Netlist.Driver_flop 0)
+
+let test_flop_queries () =
+  let b = Netlist.Builder.create "regs" in
+  let mk name =
+    let q = Netlist.Builder.add_wire b (name ^ "_q") in
+    Netlist.Builder.add_flop b name ~d:q ~q
+  in
+  mk "rf_0[0]";
+  mk "rf_0[1]";
+  mk "pc[0]";
+  mk "sreg[0]";
+  let nl = Netlist.Builder.finalize b in
+  check_int "rf flops" 2 (List.length (Netlist.flops_matching nl ~prefix:"rf_"));
+  check_int "non-rf flops" 2 (List.length (Netlist.flops_excluding nl ~prefix:"rf_"));
+  let f = Netlist.find_flop nl "pc[0]" in
+  check_string "found flop" "pc[0]" f.Netlist.flop_name;
+  Alcotest.check_raises "missing flop" Not_found (fun () ->
+      ignore (Netlist.find_flop nl "nope"))
+
+let test_cell_histogram () =
+  let nl = figure1_netlist () in
+  let hist = Netlist.cell_histogram nl in
+  let count k = Option.value ~default:0 (List.assoc_opt k hist) in
+  check_int "nand2 count" 1 (count Cell.NAND2);
+  check_int "and2 count" 1 (count Cell.AND2);
+  check_int "xor2 count" 1 (count Cell.XOR2);
+  check_int "inv count" 1 (count Cell.INV);
+  check_int "or2 count" 1 (count Cell.OR2)
+
+let test_textio_roundtrip () =
+  let nl = counter_netlist () in
+  let text = Pruning_netlist.Textio.to_string nl in
+  let nl' = Pruning_netlist.Textio.of_string ~name:"ignored" text in
+  check_string "name survives" nl.Netlist.name nl'.Netlist.name;
+  check_int "wires" (Netlist.n_wires nl) (Netlist.n_wires nl');
+  check_int "gates" (Netlist.n_gates nl) (Netlist.n_gates nl');
+  check_int "flops" (Netlist.n_flops nl) (Netlist.n_flops nl');
+  check_string "same text" text (Pruning_netlist.Textio.to_string nl')
+
+let test_textio_file_roundtrip () =
+  let nl = figure1_netlist () in
+  let path = Filename.temp_file "pruning" ".nl" in
+  Pruning_netlist.Textio.save nl path;
+  let nl' = Pruning_netlist.Textio.load path in
+  Sys.remove path;
+  check_string "text equal"
+    (Pruning_netlist.Textio.to_string nl)
+    (Pruning_netlist.Textio.to_string nl')
+
+let test_textio_errors () =
+  let bad = "wire 0 a\nwire 2 b\n" in
+  Alcotest.check_raises "non-dense ids" (Failure "Textio: line 2: wire id 2, expected 1")
+    (fun () -> ignore (Pruning_netlist.Textio.of_string ~name:"x" bad));
+  let bad2 = "wire 0 a\ngate FOO_X1 0\n" in
+  Alcotest.check_raises "unknown cell" (Failure "Textio: line 2: unknown cell FOO_X1") (fun () ->
+      ignore (Pruning_netlist.Textio.of_string ~name:"x" bad2))
+
+let test_dot_export () =
+  let nl = figure1_netlist () in
+  let cone = Cone.compute nl (Netlist.find_wire nl "d") in
+  let dot = Pruning_netlist.Dot.to_string ~highlight_cone:cone nl in
+  check_bool "has digraph" true (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  let contains needle haystack =
+    let nl_ = String.length needle and hl = String.length haystack in
+    let rec go i = i + nl_ <= hl && (String.sub haystack i nl_ = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "highlights cone gate" true (contains "lightsalmon" dot);
+  check_bool "mentions XOR2" true (contains "XOR2" dot)
+
+let suite =
+  [
+    Alcotest.test_case "figure1 structure" `Quick test_figure1_structure;
+    Alcotest.test_case "topological order" `Quick test_topological_order;
+    Alcotest.test_case "cone of d (paper fig 1a)" `Quick test_cone_of_d;
+    Alcotest.test_case "cone of e" `Quick test_cone_of_e;
+    Alcotest.test_case "cone source is sink" `Quick test_cone_source_is_sink;
+    Alcotest.test_case "builder: multiple drivers" `Quick test_builder_multiple_drivers;
+    Alcotest.test_case "builder: no driver" `Quick test_builder_no_driver;
+    Alcotest.test_case "builder: arity mismatch" `Quick test_builder_arity_mismatch;
+    Alcotest.test_case "builder: combinational cycle" `Quick test_builder_combinational_cycle;
+    Alcotest.test_case "flop breaks cycle" `Quick test_flop_breaks_cycle;
+    Alcotest.test_case "flop queries" `Quick test_flop_queries;
+    Alcotest.test_case "cell histogram" `Quick test_cell_histogram;
+    Alcotest.test_case "textio roundtrip" `Quick test_textio_roundtrip;
+    Alcotest.test_case "textio file roundtrip" `Quick test_textio_file_roundtrip;
+    Alcotest.test_case "textio errors" `Quick test_textio_errors;
+    Alcotest.test_case "dot export" `Quick test_dot_export;
+  ]

@@ -1,0 +1,111 @@
+(* Small-surface coverage: rendering functions, lookup errors, option
+   handling — the edges that integration tests do not reach. *)
+
+open Helpers
+module Table = Pruning_util.Table
+module Textio = Pruning_netlist.Textio
+module Term = Pruning_mate.Term
+module Cost = Pruning_mate.Cost
+module Avr_isa = Pruning_cpu.Avr_isa
+module Msp_isa = Pruning_cpu.Msp_isa
+
+let test_gm_term_rendering () =
+  let mux = Cell.of_kind Cell.MUX2 in
+  match Gm.masking_terms mux ~faulty:[ 2 ] with
+  | [ t1; t2 ] ->
+    let rendered = List.sort compare [ Gm.term_to_string mux t1; Gm.term_to_string mux t2 ] in
+    Alcotest.(check (list string)) "both terms" [ "(!a1 & !a2)"; "(a1 & a2)" ] rendered
+  | _ -> Alcotest.fail "expected two terms"
+
+let test_cell_pp () =
+  check_string "pp" "MUX2_X1" (Format.asprintf "%a" Cell.pp (Cell.of_kind Cell.MUX2));
+  List.iter
+    (fun (c : Cell.t) ->
+      check_bool "name ends with _X1" true
+        (String.length c.Cell.name > 3
+        && String.sub c.Cell.name (String.length c.Cell.name - 3) 3 = "_X1"))
+    Cell.all
+
+let test_table_custom_alignment () =
+  let t = Table.create ~align:[ Table.Right; Table.Left ] [ "n"; "name" ] in
+  Table.add_row t [ "1"; "x" ];
+  Table.add_row t [ "22"; "yy" ];
+  let lines = String.split_on_char '\n' (Table.render t) |> List.filter (( <> ) "") in
+  check_string "right-aligned first column" " 1  x   " (List.nth lines 2);
+  check_string "row 2" "22  yy  " (List.nth lines 3)
+
+let test_textio_comments () =
+  let text = "# a comment\nnetlist c\nwire 0 a\ninput p 0\n# trailing\n" in
+  let nl = Textio.of_string ~name:"x" text in
+  check_string "name from text" "c" nl.Netlist.name;
+  check_int "one wire" 1 (Netlist.n_wires nl)
+
+let test_netlist_port_lookup_errors () =
+  let nl = counter_netlist () in
+  Alcotest.check_raises "input port" Not_found (fun () ->
+      ignore (Netlist.find_input_port nl "nope"));
+  Alcotest.check_raises "output port" Not_found (fun () ->
+      ignore (Netlist.find_output_port nl "nope"));
+  Alcotest.check_raises "wire" Not_found (fun () -> ignore (Netlist.find_wire nl "nope"))
+
+let test_term_to_string_names () =
+  let nl = figure1_netlist () in
+  let f = Netlist.find_wire nl "f" and h = Netlist.find_wire nl "h" in
+  let t = Option.get (Term.of_literals [ (f, false); (h, true) ]) in
+  check_string "named literals" "(!f & h)" (Term.to_string nl t);
+  check_string "always true" "(true)" (Term.to_string nl Term.always_true);
+  check_int "inputs" 2 (Term.n_inputs t)
+
+let test_cost_mate_luts () =
+  let t = Option.get (Term.of_literals (List.init 9 (fun i -> (i, i mod 2 = 0)))) in
+  check_int "9 inputs -> 2 luts" 2 (Cost.mate_luts t);
+  check_int "empty -> 0" 0 (Cost.mate_luts Term.always_true)
+
+let test_isa_to_string_samples () =
+  check_string "adiw" "ADIW r27:26, 5" (Avr_isa.to_string (Avr_isa.Adiw (26, 5)));
+  check_string "swap" "SWAP r7" (Avr_isa.to_string (Avr_isa.Swap 7));
+  check_string "brge label" "BRGE out" (Avr_isa.to_string (Avr_isa.Brge (Avr_isa.Label "out")));
+  check_string "brlt rel" "BRLT .-3" (Avr_isa.to_string (Avr_isa.Brlt (Avr_isa.Rel (-3))));
+  check_string "msp indexed" "MOV 4(R6), R5"
+    (Msp_isa.to_string (Msp_isa.Mov (Msp_isa.Indexed (6, 4), Msp_isa.Dreg 5)));
+  check_string "msp imm" "CMP #16, R5"
+    (Msp_isa.to_string (Msp_isa.Cmp (Msp_isa.Imm 16, Msp_isa.Dreg 5)))
+
+let test_avr_word_op_encode_errors () =
+  Alcotest.check_raises "bad pair"
+    (Invalid_argument "Avr_isa: ADIW: register pair r25 invalid (24/26/28/30)") (fun () ->
+      ignore (Avr_isa.encode (Avr_isa.Adiw (25, 1))));
+  Alcotest.check_raises "bad constant"
+    (Invalid_argument "Avr_isa: SBIW: constant 64 out of range") (fun () ->
+      ignore (Avr_isa.encode (Avr_isa.Sbiw (24, 64))))
+
+let test_mux_deep_sharing () =
+  (* A regression guard on hash-consing through deep mux trees: two
+     identical 32-way muxes must not double the gate count. *)
+  let open Signal in
+  let c = create_circuit "share32" in
+  let sel = input c "sel" 5 in
+  let xs = List.init 32 (fun i -> const c ~width:8 ((i * 37) land 0xFF)) in
+  output c "a" (mux sel xs);
+  output c "b" (mux sel xs);
+  let nl = Synth.to_netlist c in
+  let single = Signal.create_circuit "single32" in
+  let sel1 = input single "sel" 5 in
+  let xs1 = List.init 32 (fun i -> const single ~width:8 ((i * 37) land 0xFF)) in
+  output single "a" (mux sel1 xs1);
+  let nl1 = Synth.to_netlist single in
+  check_int "shared" (Netlist.n_gates nl1) (Netlist.n_gates nl)
+
+let suite =
+  [
+    Alcotest.test_case "gm term rendering" `Quick test_gm_term_rendering;
+    Alcotest.test_case "cell pp" `Quick test_cell_pp;
+    Alcotest.test_case "table alignment" `Quick test_table_custom_alignment;
+    Alcotest.test_case "textio comments" `Quick test_textio_comments;
+    Alcotest.test_case "port lookup errors" `Quick test_netlist_port_lookup_errors;
+    Alcotest.test_case "term rendering (netlist)" `Quick test_term_to_string_names;
+    Alcotest.test_case "cost mate luts" `Quick test_cost_mate_luts;
+    Alcotest.test_case "isa to_string" `Quick test_isa_to_string_samples;
+    Alcotest.test_case "word op encode errors" `Quick test_avr_word_op_encode_errors;
+    Alcotest.test_case "mux sharing" `Quick test_mux_deep_sharing;
+  ]

@@ -1,0 +1,104 @@
+open Helpers
+module Experiments = Pruning_report.Experiments
+module Figure1 = Pruning_report.Figure1
+module Search = Pruning_mate.Search
+module Table = Pruning_util.Table
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+(* Tiny-scale preparation shared by the table tests. *)
+let tiny_params =
+  { Search.default_params with Search.max_candidates = 150; max_situations = 3 }
+
+let prepared_avr =
+  lazy (Experiments.prepare ~params:tiny_params ~cycles:250 (Experiments.avr_setup ()))
+
+let prepared_msp =
+  lazy (Experiments.prepare ~params:tiny_params ~cycles:250 (Experiments.msp_setup ()))
+
+let test_figure1a_contents () =
+  let text = Figure1.render_figure1a () in
+  check_bool "cone wires" true (contains "fault cone of d: {d, g, k, l}" text);
+  check_bool "border" true (contains "border wires: {c, f, h}" text);
+  check_bool "paper MATE for d" true (contains "MATE(d) = (!f & h)" text);
+  check_bool "e unmaskable" true (contains "e: unmaskable" text)
+
+let test_figure1b_contents () =
+  let text = Figure1.render_figure1b () in
+  check_bool "matrix header" true (contains "5 flops x 8 cycles" text);
+  check_bool "e row never pruned" true (contains "e          ########" text);
+  check_bool "some pruning happened" true (contains "pruned" text);
+  check_bool "a pruned somewhere" true (contains "a          " text)
+
+let test_table1_shape () =
+  let p = Lazy.force prepared_avr in
+  let rendered = Table.render (Experiments.table1 [ p ]) in
+  check_bool "has FF column" true (contains "AVR FF" rendered);
+  check_bool "has w/o RF column" true (contains "AVR FF w/o RF" rendered);
+  List.iter
+    (fun row -> check_bool row true (contains row rendered))
+    [ "Faulty wires"; "Avg. cone"; "Med. cone"; "Run time"; "#Unmaskable"; "#MATE" ];
+  (* 306 flops, 50 outside the register file *)
+  check_bool "306 wires" true (contains "306" rendered);
+  check_bool "50 wires w/o RF" true (contains "50" rendered)
+
+let test_table23_shape () =
+  let p = Lazy.force prepared_avr in
+  let rendered = Table.render (Experiments.table23 p) in
+  List.iter
+    (fun s -> check_bool s true (contains s rendered))
+    [
+      "fib FF"; "fib FF w/o RF"; "conv FF"; "#Effective MATEs"; "Avg. #inputs";
+      "Masked faults"; "Top 10 (sel. fib)"; "Top 200 (sel. conv)";
+    ]
+
+let test_reduction_shape_claims () =
+  (* The headline qualitative claims on the AVR at tiny scale: excluding
+     the register file raises the masked share. *)
+  let p = Lazy.force prepared_avr in
+  List.iter
+    (fun (r : Experiments.reduction_summary) ->
+      check_bool
+        (Printf.sprintf "w/o RF >= FF for %s" r.Experiments.program)
+        true
+        (r.Experiments.norf_percent >= r.Experiments.ff_percent -. 1e-9))
+    (Experiments.reductions p)
+
+let test_top_n_monotone () =
+  let p = Lazy.force prepared_avr in
+  let r n = Experiments.top_n_reduction p ~select_on:"fib" ~evaluate_on:"fib" ~rf:false ~n in
+  check_bool "10 <= 50" true (r 10 <= r 50 +. 1e-9);
+  check_bool "50 <= 200" true (r 50 <= r 200 +. 1e-9)
+
+let test_msp_prepared () =
+  let p = Lazy.force prepared_msp in
+  let rendered = Table.render (Experiments.table23 p) in
+  check_bool "MSP table renders" true (String.length rendered > 100);
+  let reductions = Experiments.reductions p in
+  check_int "two programs" 2 (List.length reductions);
+  List.iter
+    (fun (r : Experiments.reduction_summary) ->
+      check_bool "percentages sane" true
+        (r.Experiments.ff_percent >= 0. && r.Experiments.norf_percent <= 100.))
+    reductions
+
+let test_cost_table () =
+  let p = Lazy.force prepared_avr in
+  let rendered = Table.render (Experiments.mate_cost_table p) in
+  check_bool "has complete row" true (contains "complete (FF)" rendered);
+  check_bool "has top 50 row" true (contains "top 50" rendered)
+
+let suite =
+  [
+    Alcotest.test_case "figure 1a contents" `Quick test_figure1a_contents;
+    Alcotest.test_case "figure 1b contents" `Quick test_figure1b_contents;
+    Alcotest.test_case "table 1 shape" `Slow test_table1_shape;
+    Alcotest.test_case "table 2/3 shape" `Slow test_table23_shape;
+    Alcotest.test_case "w/o RF >= FF" `Slow test_reduction_shape_claims;
+    Alcotest.test_case "top-n monotone" `Slow test_top_n_monotone;
+    Alcotest.test_case "msp430 prepared" `Slow test_msp_prepared;
+    Alcotest.test_case "cost table" `Slow test_cost_table;
+  ]

@@ -1,0 +1,324 @@
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Reference semantics for randomized equivalence checking: a small
+   expression AST evaluated both through the DSL->synthesis->simulator
+   pipeline and directly over integers. *)
+
+type expr =
+  | X of int
+  | Konst of int
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mux of expr * expr * expr  (* select by LSB of first *)
+  | Eq of expr * expr  (* 0/1 result, zero-extended *)
+  | Lt of expr * expr
+
+let w = 6
+let mask = (1 lsl w) - 1
+
+let rec eval_int env = function
+  | X i -> env.(i)
+  | Konst k -> k land mask
+  | Not e -> lnot (eval_int env e) land mask
+  | And (a, b) -> eval_int env a land eval_int env b
+  | Or (a, b) -> eval_int env a lor eval_int env b
+  | Xor (a, b) -> eval_int env a lxor eval_int env b
+  | Add (a, b) -> (eval_int env a + eval_int env b) land mask
+  | Sub (a, b) -> (eval_int env a - eval_int env b) land mask
+  | Mux (s, a, b) -> if eval_int env s land 1 = 1 then eval_int env a else eval_int env b
+  | Eq (a, b) -> if eval_int env a = eval_int env b then 1 else 0
+  | Lt (a, b) -> if eval_int env a < eval_int env b then 1 else 0
+
+let rec build c inputs = function
+  | X i -> inputs.(i)
+  | Konst k -> Signal.const c ~width:w (k land mask)
+  | Not e -> Signal.( ~: ) (build c inputs e)
+  | And (a, b) -> Signal.( &: ) (build c inputs a) (build c inputs b)
+  | Or (a, b) -> Signal.( |: ) (build c inputs a) (build c inputs b)
+  | Xor (a, b) -> Signal.( ^: ) (build c inputs a) (build c inputs b)
+  | Add (a, b) -> Signal.( +: ) (build c inputs a) (build c inputs b)
+  | Sub (a, b) -> Signal.( -: ) (build c inputs a) (build c inputs b)
+  | Mux (s, a, b) ->
+    Signal.mux2 (Signal.bit (build c inputs s) 0) (build c inputs a) (build c inputs b)
+  | Eq (a, b) -> Signal.uresize (Signal.( ==: ) (build c inputs a) (build c inputs b)) w
+  | Lt (a, b) -> Signal.uresize (Signal.( <: ) (build c inputs a) (build c inputs b)) w
+
+let rec random_expr rng depth =
+  if depth = 0 then if Prng.bool rng then X (Prng.int rng 3) else Konst (Prng.int rng (mask + 1))
+  else
+    let sub () = random_expr rng (depth - 1) in
+    match Prng.int rng 10 with
+    | 0 -> Not (sub ())
+    | 1 -> And (sub (), sub ())
+    | 2 -> Or (sub (), sub ())
+    | 3 -> Xor (sub (), sub ())
+    | 4 -> Add (sub (), sub ())
+    | 5 -> Sub (sub (), sub ())
+    | 6 -> Mux (sub (), sub (), sub ())
+    | 7 -> Eq (sub (), sub ())
+    | 8 -> Lt (sub (), sub ())
+    | _ -> X (Prng.int rng 3)
+
+let check_expr_equivalence expr vectors =
+  let c = Signal.create_circuit "expr" in
+  let inputs = Array.init 3 (fun i -> Signal.input c (Printf.sprintf "x%d" i) w) in
+  Signal.output c "y" (build c inputs expr);
+  let nl = Synth.to_netlist c in
+  let sim = Sim.create nl in
+  List.iter
+    (fun env ->
+      Array.iteri (fun i v -> Sim.set_port sim (Printf.sprintf "x%d" i) v) env;
+      Sim.eval sim;
+      let got = Sim.get_port sim "y" in
+      let expected = eval_int env expr land mask in
+      if got <> expected then
+        Alcotest.failf "expr mismatch: got %d, expected %d (inputs %d %d %d)" got expected
+          env.(0) env.(1) env.(2))
+    vectors
+
+let test_random_expressions () =
+  let rng = Prng.create 42 in
+  for _ = 1 to 60 do
+    let expr = random_expr rng 4 in
+    let vectors = List.init 20 (fun _ -> Array.init 3 (fun _ -> Prng.int rng (mask + 1))) in
+    check_expr_equivalence expr vectors
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Directed tests *)
+
+let test_constant_folding () =
+  let c = Signal.create_circuit "fold" in
+  let x = Signal.input c "x" 4 in
+  let zero = Signal.const c ~width:4 0 in
+  let ones = Signal.const c ~width:4 15 in
+  (* All of these should fold to constants or pass-throughs: no gates. *)
+  Signal.output c "and0" (Signal.( &: ) x zero);
+  Signal.output c "or1" (Signal.( |: ) x ones);
+  Signal.output c "xorx" (Signal.( ^: ) x x);
+  Signal.output c "passthrough" (Signal.( &: ) x ones);
+  let nl = Synth.to_netlist c in
+  (* Only TIE cells remain. *)
+  List.iter
+    (fun (kind, _) ->
+      if kind <> Cell.TIEL && kind <> Cell.TIEH then
+        Alcotest.failf "unexpected gate kind %s" (Cell.kind_to_string kind))
+    (Netlist.cell_histogram nl);
+  let sim = Sim.create nl in
+  Sim.set_port sim "x" 11;
+  Sim.eval sim;
+  check_int "and0" 0 (Sim.get_port sim "and0");
+  check_int "or1" 15 (Sim.get_port sim "or1");
+  check_int "xorx" 0 (Sim.get_port sim "xorx");
+  check_int "passthrough" 11 (Sim.get_port sim "passthrough")
+
+let test_hash_consing_shares () =
+  let c = Signal.create_circuit "share" in
+  let x = Signal.input c "x" 8 in
+  let y = Signal.input c "y" 8 in
+  let a = Signal.( &: ) x y in
+  let b = Signal.( &: ) x y in
+  Signal.output c "o1" a;
+  Signal.output c "o2" b;
+  let nl = Synth.to_netlist c in
+  check_int "only 8 AND gates" 8 (Netlist.n_gates nl)
+
+let test_nand_fusion () =
+  let c = Signal.create_circuit "fuse" in
+  let x = Signal.input c "x" 1 in
+  let y = Signal.input c "y" 1 in
+  Signal.output c "nand" (Signal.( ~: ) (Signal.( &: ) x y));
+  let nl = Synth.to_netlist c in
+  check_int "one gate" 1 (Netlist.n_gates nl);
+  Alcotest.(check (list (pair string int)))
+    "fused to NAND2"
+    [ ("NAND2", 1) ]
+    (List.map (fun (k, n) -> (Cell.kind_to_string k, n)) (Netlist.cell_histogram nl))
+
+let test_no_fusion_with_fanout () =
+  (* When the AND output is used elsewhere too, the fusion must not fire. *)
+  let c = Signal.create_circuit "nofuse" in
+  let x = Signal.input c "x" 1 in
+  let y = Signal.input c "y" 1 in
+  let a = Signal.( &: ) x y in
+  Signal.output c "nand" (Signal.( ~: ) a);
+  Signal.output c "and" a;
+  let nl = Synth.to_netlist c in
+  let hist = List.map (fun (k, n) -> (Cell.kind_to_string k, n)) (Netlist.cell_histogram nl) in
+  check_int "two gates" 2 (Netlist.n_gates nl);
+  check_bool "has AND2" true (List.mem_assoc "AND2" hist);
+  check_bool "has INV" true (List.mem_assoc "INV" hist)
+
+let test_adder_carry () =
+  let c = Signal.create_circuit "adder" in
+  let x = Signal.input c "x" 4 in
+  let y = Signal.input c "y" 4 in
+  let cin = Signal.input c "cin" 1 in
+  let sum, cout = Signal.add_carry x y ~cin in
+  Signal.output c "sum" sum;
+  Signal.output c "cout" cout;
+  let nl = Synth.to_netlist c in
+  let sim = Sim.create nl in
+  for x_v = 0 to 15 do
+    for y_v = 0 to 15 do
+      for c_v = 0 to 1 do
+        Sim.set_port sim "x" x_v;
+        Sim.set_port sim "y" y_v;
+        Sim.set_port sim "cin" c_v;
+        Sim.eval sim;
+        let total = x_v + y_v + c_v in
+        check_int "sum" (total land 15) (Sim.get_port sim "sum");
+        check_int "cout" (total lsr 4) (Sim.get_port sim "cout")
+      done
+    done
+  done
+
+let test_sub_borrow () =
+  let c = Signal.create_circuit "sub" in
+  let x = Signal.input c "x" 4 in
+  let y = Signal.input c "y" 4 in
+  let diff, borrow = Signal.sub_borrow x y ~bin:(Signal.gnd c) in
+  Signal.output c "diff" diff;
+  Signal.output c "borrow" borrow;
+  let sim = Sim.create (Synth.to_netlist c) in
+  for x_v = 0 to 15 do
+    for y_v = 0 to 15 do
+      Sim.set_port sim "x" x_v;
+      Sim.set_port sim "y" y_v;
+      Sim.eval sim;
+      check_int "diff" ((x_v - y_v) land 15) (Sim.get_port sim "diff");
+      check_int "borrow" (if x_v < y_v then 1 else 0) (Sim.get_port sim "borrow")
+    done
+  done
+
+let test_mux_tree () =
+  let c = Signal.create_circuit "muxtree" in
+  let sel = Signal.input c "sel" 3 in
+  let cases = List.init 5 (fun i -> Signal.const c ~width:8 (10 * (i + 1))) in
+  Signal.output c "y" (Signal.mux sel cases);
+  let sim = Sim.create (Synth.to_netlist c) in
+  List.iteri
+    (fun i expected ->
+      Sim.set_port sim "sel" i;
+      Sim.eval sim;
+      check_int (Printf.sprintf "case %d" i) expected (Sim.get_port sim "y"))
+    [ 10; 20; 30; 40; 50 ];
+  (* Out-of-range selects replicate the last case. *)
+  Sim.set_port sim "sel" 7;
+  Sim.eval sim;
+  check_int "padded case" 50 (Sim.get_port sim "y")
+
+let test_register_counter () =
+  let nl = counter_netlist () in
+  check_int "four flops" 4 (Netlist.n_flops nl);
+  let sim = Sim.create nl in
+  Sim.set_port sim "enable" 1;
+  for i = 0 to 20 do
+    Sim.eval sim;
+    check_int (Printf.sprintf "count at %d" i) (i land 15) (Sim.get_port sim "count_o");
+    let expected_wrap = if i land 15 = 15 then 1 else 0 in
+    check_int "wrap" expected_wrap (Sim.get_port sim "wrap");
+    Sim.latch sim
+  done;
+  (* Disable holds the value. *)
+  Sim.set_port sim "enable" 0;
+  let held = ref (-1) in
+  Sim.eval sim;
+  held := Sim.get_port sim "count_o";
+  for _ = 1 to 5 do
+    Sim.latch sim;
+    Sim.eval sim;
+    check_int "held" !held (Sim.get_port sim "count_o")
+  done
+
+let test_register_init () =
+  let open Signal in
+  let c = create_circuit "init" in
+  let r = reg c ~init:9 "r" 4 in
+  connect r (q r);
+  output c "o" (q r);
+  let sim = Sim.create (Synth.to_netlist c) in
+  Sim.eval sim;
+  check_int "init value" 9 (Sim.get_port sim "o")
+
+let test_unconnected_register_rejected () =
+  let open Signal in
+  let c = create_circuit "dangling" in
+  let r = reg c "r" 2 in
+  output c "o" (q r);
+  Alcotest.check_raises "unconnected" (Invalid_argument "Synth: register r never connected")
+    (fun () -> ignore (Synth.to_netlist c))
+
+let test_width_mismatch_rejected () =
+  let open Signal in
+  let c = create_circuit "bad" in
+  let x = input c "x" 4 in
+  let y = input c "y" 5 in
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Signal.(&:): width mismatch (4 vs 5)") (fun () ->
+      ignore (( &: ) x y))
+
+let test_resize_and_slice () =
+  let open Signal in
+  let c = create_circuit "slice" in
+  let x = input c "x" 8 in
+  output c "hi" (select x ~hi:7 ~lo:4);
+  output c "lo" (select x ~hi:3 ~lo:0);
+  output c "ext" (uresize (select x ~hi:3 ~lo:0) 8);
+  output c "sext" (sresize (select x ~hi:3 ~lo:0) 8);
+  output c "cat" (cat (select x ~hi:3 ~lo:0) (select x ~hi:7 ~lo:4));
+  output c "sll" (sll x 3);
+  output c "srl" (srl x 3);
+  let sim = Sim.create (Synth.to_netlist c) in
+  Sim.set_port sim "x" 0xAC;
+  Sim.eval sim;
+  check_int "hi nibble" 0xA (Sim.get_port sim "hi");
+  check_int "lo nibble" 0xC (Sim.get_port sim "lo");
+  check_int "zero extend" 0x0C (Sim.get_port sim "ext");
+  check_int "sign extend" 0xFC (Sim.get_port sim "sext");
+  check_int "swapped" 0xCA (Sim.get_port sim "cat");
+  check_int "sll" 0x60 (Sim.get_port sim "sll");
+  check_int "srl" 0x15 (Sim.get_port sim "srl")
+
+let test_reductions () =
+  let open Signal in
+  let c = create_circuit "reduce" in
+  let x = input c "x" 5 in
+  output c "any" (reduce_or x);
+  output c "all" (reduce_and x);
+  output c "parity" (reduce_xor x);
+  output c "zero" (is_zero x);
+  let sim = Sim.create (Synth.to_netlist c) in
+  let cases = [ (0, 0, 0, 0, 1); (31, 1, 1, 1, 0); (5, 1, 0, 0, 0); (7, 1, 0, 1, 0) ] in
+  List.iter
+    (fun (v, any, all, parity, zero) ->
+      Sim.set_port sim "x" v;
+      Sim.eval sim;
+      check_int "any" any (Sim.get_port sim "any");
+      check_int "all" all (Sim.get_port sim "all");
+      check_int "parity" parity (Sim.get_port sim "parity");
+      check_int "zero" zero (Sim.get_port sim "zero"))
+    cases
+
+let suite =
+  [
+    Alcotest.test_case "random expression equivalence" `Quick test_random_expressions;
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "hash consing shares" `Quick test_hash_consing_shares;
+    Alcotest.test_case "nand fusion" `Quick test_nand_fusion;
+    Alcotest.test_case "no fusion with fanout" `Quick test_no_fusion_with_fanout;
+    Alcotest.test_case "adder exhaustive" `Quick test_adder_carry;
+    Alcotest.test_case "subtractor exhaustive" `Quick test_sub_borrow;
+    Alcotest.test_case "mux tree" `Quick test_mux_tree;
+    Alcotest.test_case "register counter" `Quick test_register_counter;
+    Alcotest.test_case "register init" `Quick test_register_init;
+    Alcotest.test_case "unconnected register rejected" `Quick test_unconnected_register_rejected;
+    Alcotest.test_case "width mismatch rejected" `Quick test_width_mismatch_rejected;
+    Alcotest.test_case "resize and slice" `Quick test_resize_and_slice;
+    Alcotest.test_case "reductions" `Quick test_reductions;
+  ]

@@ -1,0 +1,159 @@
+(* Cross-validation of the technology mapper: the direct RTL evaluator
+   (Eval) and the synthesized netlist in the gate-level simulator must
+   agree cycle by cycle — on combinational expressions, on registered
+   designs, and on the full CPU cores replaying recorded stimuli. *)
+
+open Helpers
+module Eval = Pruning_rtl.Eval
+module System = Pruning_cpu.System
+module Avr_asm = Pruning_cpu.Avr_asm
+module Msp_asm = Pruning_cpu.Msp_asm
+module Programs = Pruning_cpu.Programs
+
+let test_eval_counter () =
+  let open Signal in
+  let c = create_circuit "counter4" in
+  let enable = input c "enable" 1 in
+  let r = reg c "count" 4 in
+  connect r (mux2 enable (q r +: const c ~width:4 1) (q r));
+  output c "count_o" (q r);
+  output c "wrap" (eq_const (q r) 15 &: enable);
+  let ev = Eval.create c in
+  Eval.set_input ev "enable" 1;
+  for i = 0 to 20 do
+    check_int (Printf.sprintf "count at %d" i) (i land 15) (Eval.output ev "count_o");
+    check_int "wrap" (if i land 15 = 15 then 1 else 0) (Eval.output ev "wrap");
+    Eval.step ev
+  done;
+  Eval.set_input ev "enable" 0;
+  let held = Eval.output ev "count_o" in
+  Eval.step ev;
+  Eval.step ev;
+  check_int "held" held (Eval.output ev "count_o");
+  check_int "cycle counter" 23 (Eval.cycle ev)
+
+let test_eval_vs_sim_random_exprs () =
+  let rng = Prng.create 4141 in
+  for _ = 1 to 25 do
+    let open Signal in
+    let c = create_circuit "expr" in
+    let x = input c "x" 8 in
+    let y = input c "y" 8 in
+    (* A handful of mixed expressions. *)
+    output c "sum" (x +: y);
+    output c "diff" (x -: y);
+    output c "logic" (x &: ~:y |: (x ^: y));
+    output c "cmp" (uresize (x <: y) 8);
+    output c "sel" (mux2 (bit x 0) y x);
+    let nl = Synth.to_netlist c in
+    let sim = Sim.create nl in
+    let ev = Eval.create c in
+    for _ = 1 to 15 do
+      let xv = Prng.int rng 256 and yv = Prng.int rng 256 in
+      Sim.set_port sim "x" xv;
+      Sim.set_port sim "y" yv;
+      Eval.set_input ev "x" xv;
+      Eval.set_input ev "y" yv;
+      Sim.eval sim;
+      List.iter
+        (fun port ->
+          check_int port (Eval.output ev port) (Sim.get_port sim port))
+        [ "sum"; "diff"; "logic"; "cmp"; "sel" ]
+    done
+  done
+
+let test_eval_vs_sim_avr_core () =
+  (* Replay the netlist simulation's input-port values into the RTL
+     evaluator and compare every output port and every register, every
+     cycle — end-to-end validation of Synth on the real core. *)
+  let circuit = Pruning_cpu.Avr_core.circuit () in
+  let program = Avr_asm.assemble Programs.avr_fib in
+  let sys = System.create_avr ~program "fib" in
+  let nl = sys.System.netlist in
+  let cycles = 120 in
+  let trace = System.record sys ~cycles in
+  let ev = Eval.create circuit in
+  let in_ports = List.map (fun (p : Netlist.port) -> p) nl.Netlist.inputs in
+  let out_ports = List.map (fun (p : Netlist.port) -> p.Netlist.port_name) nl.Netlist.outputs in
+  for cycle = 0 to cycles - 1 do
+    List.iter
+      (fun (p : Netlist.port) ->
+        let v = ref 0 in
+        Array.iteri
+          (fun i w -> if Trace.get trace ~cycle w then v := !v lor (1 lsl i))
+          p.Netlist.port_wires;
+        Eval.set_input ev p.Netlist.port_name !v)
+      in_ports;
+    List.iter
+      (fun name ->
+        let expected = ref 0 in
+        let port = Netlist.find_output_port nl name in
+        Array.iteri
+          (fun i w -> if Trace.get trace ~cycle w then expected := !expected lor (1 lsl i))
+          port.Netlist.port_wires;
+        check_int (Printf.sprintf "%s at %d" name cycle) !expected (Eval.output ev name))
+      out_ports;
+    (* Spot-check registers against the traced flop wires. *)
+    List.iter
+      (fun reg_name ->
+        let width =
+          List.length (Netlist.flops_matching nl ~prefix:(reg_name ^ "["))
+        in
+        let expected = ref 0 in
+        for i = 0 to width - 1 do
+          if Trace.get trace ~cycle (Netlist.find_wire nl (Printf.sprintf "%s[%d]" reg_name i))
+          then expected := !expected lor (1 lsl i)
+        done;
+        check_int (Printf.sprintf "%s at %d" reg_name cycle) !expected (Eval.reg_value ev reg_name))
+      [ "pc"; "ir"; "sreg"; "rf_16"; "rf_17"; "portb" ];
+    Eval.step ev
+  done
+
+let test_eval_vs_sim_msp_core () =
+  let circuit = Pruning_cpu.Msp_core.circuit () in
+  let program = Msp_asm.assemble Programs.msp_fib in
+  let sys = System.create_msp ~program "fib" in
+  let nl = sys.System.netlist in
+  let cycles = 150 in
+  let trace = System.record sys ~cycles in
+  let ev = Eval.create circuit in
+  for cycle = 0 to cycles - 1 do
+    let rdata = ref 0 in
+    let port = Netlist.find_input_port nl "mem_rdata" in
+    Array.iteri
+      (fun i w -> if Trace.get trace ~cycle w then rdata := !rdata lor (1 lsl i))
+      port.Netlist.port_wires;
+    Eval.set_input ev "mem_rdata" !rdata;
+    List.iter
+      (fun name ->
+        let expected = ref 0 in
+        let port = Netlist.find_output_port nl name in
+        Array.iteri
+          (fun i w -> if Trace.get trace ~cycle w then expected := !expected lor (1 lsl i))
+          port.Netlist.port_wires;
+        check_int (Printf.sprintf "%s at %d" name cycle) !expected (Eval.output ev name))
+      [ "mem_addr"; "mem_wen"; "mem_wdata" ];
+    Eval.step ev
+  done
+
+let test_eval_errors () =
+  let open Signal in
+  let c = create_circuit "err" in
+  let r = reg c "r" 2 in
+  output c "o" (q r);
+  Alcotest.check_raises "unconnected" (Invalid_argument "Eval: register r never connected")
+    (fun () -> ignore (Eval.create c));
+  connect r (q r);
+  let ev = Eval.create c in
+  Alcotest.check_raises "unknown port" Not_found (fun () -> Eval.set_input ev "nope" 0);
+  Alcotest.check_raises "unknown output" Not_found (fun () -> ignore (Eval.output ev "nope"));
+  Alcotest.check_raises "unknown reg" Not_found (fun () -> ignore (Eval.reg_value ev "nope"))
+
+let suite =
+  [
+    Alcotest.test_case "eval counter" `Quick test_eval_counter;
+    Alcotest.test_case "eval vs sim: random exprs" `Quick test_eval_vs_sim_random_exprs;
+    Alcotest.test_case "eval vs sim: AVR core" `Quick test_eval_vs_sim_avr_core;
+    Alcotest.test_case "eval vs sim: MSP430 core" `Quick test_eval_vs_sim_msp_core;
+    Alcotest.test_case "eval errors" `Quick test_eval_errors;
+  ]

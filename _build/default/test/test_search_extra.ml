@@ -1,0 +1,186 @@
+open Helpers
+module Search = Pruning_mate.Search
+module Term = Pruning_mate.Term
+module Oracle = Pruning_fi.Oracle
+
+(* Extra search-level properties: trace-seeded generation, literal
+   pinning through the support logic, restrict, and soundness of seeded
+   MATEs on sequential circuits driven by real stimuli. *)
+
+(* A circuit with derived support logic: out = (en1 & en2) ? a : b, all
+   registered; en = en1 & en2 is a support gate between the literal wires
+   and the cone. *)
+let gated_netlist () =
+  let open Signal in
+  let c = create_circuit "gated" in
+  let a_in = input c "a_in" 1 in
+  let b_in = input c "b_in" 1 in
+  let e1_in = input c "e1_in" 1 in
+  let e2_in = input c "e2_in" 1 in
+  let a = reg c "a" 1 in
+  let b = reg c "b" 1 in
+  let e1 = reg c "e1" 1 in
+  let e2 = reg c "e2" 1 in
+  connect a a_in;
+  connect b b_in;
+  connect e1 e1_in;
+  connect e2 e2_in;
+  output c "out" (mux2 (q e1 &: q e2) (q a) (q b));
+  Synth.to_netlist c
+
+let record_gated stimulus =
+  let nl = gated_netlist () in
+  let sim = Sim.create nl in
+  let trace = Trace.create ~n_wires:(Netlist.n_wires nl) in
+  List.iter
+    (fun (a, b, e1, e2) ->
+      Sim.set_port sim "a_in" a;
+      Sim.set_port sim "b_in" b;
+      Sim.set_port sim "e1_in" e1;
+      Sim.set_port sim "e2_in" e2;
+      Sim.step sim ~trace ())
+    stimulus;
+  (nl, trace)
+
+let test_seeded_search_finds_mates () =
+  (* With e1=e2=1 the mux selects a, so faults in b are benign; the trace
+     contains such cycles and seeding must find a MATE for b that holds
+     there. *)
+  let stimulus =
+    [ (1, 0, 1, 1); (0, 1, 1, 1); (1, 1, 0, 1); (0, 0, 1, 0); (1, 0, 1, 1) ]
+  in
+  let nl, trace = record_gated stimulus in
+  let b_flop = Netlist.find_flop nl "b[0]" in
+  let result =
+    Search.search_wire ~traces:[ trace ] nl Search.default_params b_flop.Netlist.q
+  in
+  match result.Search.outcome with
+  | Search.Unmaskable -> Alcotest.fail "b is maskable when deselected"
+  | Search.Mates mates ->
+    check_bool "found mates" true (mates <> []);
+    (* At least one mate holds in a cycle where e1 & e2 were both 1
+       (cycles 1 and 2 carry state loaded from rows 0 and 1). *)
+    let holds_somewhere t =
+      List.exists
+        (fun cycle -> Term.holds t (fun w -> Trace.get trace ~cycle w))
+        [ 1; 2 ]
+    in
+    check_bool "a seeded mate triggers on the trace" true (List.exists holds_somewhere mates)
+
+let test_seeded_soundness_against_oracle () =
+  (* Every seeded MATE that holds in some cycle of a fresh run must agree
+     with the one-cycle oracle. *)
+  let rng = Prng.create 99 in
+  let stimulus =
+    List.init 24 (fun _ -> (Prng.int rng 2, Prng.int rng 2, Prng.int rng 2, Prng.int rng 2))
+  in
+  let nl, trace = record_gated stimulus in
+  let report =
+    Search.search_flops ~traces:[ trace ] nl (Array.to_list nl.Netlist.flops)
+  in
+  let sim = Sim.create nl in
+  List.iter
+    (fun (a, b, e1, e2) ->
+      Sim.set_port sim "a_in" a;
+      Sim.set_port sim "b_in" b;
+      Sim.set_port sim "e1_in" e1;
+      Sim.set_port sim "e2_in" e2;
+      Sim.eval sim;
+      List.iter
+        (fun (fr : Search.flop_result) ->
+          match fr.Search.result.Search.outcome with
+          | Search.Unmaskable -> ()
+          | Search.Mates mates ->
+            List.iter
+              (fun term ->
+                if Term.holds term (fun w -> Sim.peek sim w) then
+                  check_bool
+                    (Printf.sprintf "%s sound" fr.Search.flop.Netlist.flop_name)
+                    true
+                    (Oracle.one_cycle_benign sim ~flop_id:fr.Search.flop.Netlist.flop_id))
+              mates)
+        report.Search.flop_results;
+      Sim.latch sim)
+    stimulus
+
+let test_seeded_soundness_random_netlists () =
+  (* Random netlists driven by random stimuli: seeded + structural MATEs
+     must all satisfy the oracle. Reuses the generator from Test_mate. *)
+  let rng = Prng.create 31337 in
+  for index = 1 to 25 do
+    let nl = Test_mate.random_netlist rng index in
+    let input_wires =
+      List.concat_map (fun (p : Netlist.port) -> Array.to_list p.Netlist.port_wires)
+        nl.Netlist.inputs
+    in
+    let sim = Sim.create nl in
+    let trace = Trace.create ~n_wires:(Netlist.n_wires nl) in
+    let stimulus =
+      List.init 25 (fun _ -> List.map (fun w -> (w, Prng.bool rng)) input_wires)
+    in
+    List.iter
+      (fun values ->
+        List.iter (fun (w, v) -> Sim.set_input sim w v) values;
+        Sim.step sim ~trace ())
+      stimulus;
+    let report = Search.search_flops ~traces:[ trace ] nl (Array.to_list nl.Netlist.flops) in
+    let sim2 = Sim.create nl in
+    List.iter
+      (fun values ->
+        List.iter (fun (w, v) -> Sim.set_input sim2 w v) values;
+        Sim.eval sim2;
+        List.iter
+          (fun (fr : Search.flop_result) ->
+            match fr.Search.result.Search.outcome with
+            | Search.Unmaskable -> ()
+            | Search.Mates mates ->
+              List.iter
+                (fun term ->
+                  if Term.holds term (fun w -> Sim.peek sim2 w) then
+                    if
+                      not
+                        (Oracle.one_cycle_benign sim2 ~flop_id:fr.Search.flop.Netlist.flop_id)
+                    then
+                      Alcotest.failf "netlist %d: unsound seeded MATE %s for %s" index
+                        (Term.to_string nl term) fr.Search.flop.Netlist.flop_name)
+                mates)
+          report.Search.flop_results;
+        Sim.latch sim2)
+      stimulus
+  done
+
+let test_restrict () =
+  let nl = figure1_seq_netlist () in
+  let report = Search.search_flops nl (Array.to_list nl.Netlist.flops) in
+  let restricted =
+    Search.restrict report (fun f -> f.Netlist.flop_name <> "e")
+  in
+  check_int "one fewer wire" (Search.n_faulty_wires report - 1)
+    (Search.n_faulty_wires restricted);
+  check_int "e was the unmaskable one" 0 (Search.n_unmaskable restricted);
+  check_bool "runtime non-negative" true (restricted.Search.runtime_s >= 0.)
+
+let test_literal_pinning_through_support () =
+  (* The select of the gated mux is en = e1 & e2 (a support gate). A MATE
+     using literals on e1 and e2 relies on constant propagation; a MATE
+     with a literal directly on en must not be clobbered by the support
+     update of its driver. Both must validate for faults in b. *)
+  let stimulus = [ (1, 0, 1, 1); (1, 0, 1, 1) ] in
+  let nl, trace = record_gated stimulus in
+  ignore trace;
+  let b_flop = Netlist.find_flop nl "b[0]" in
+  let result = Search.search_wire nl Search.default_params b_flop.Netlist.q in
+  match result.Search.outcome with
+  | Search.Unmaskable -> Alcotest.fail "maskable"
+  | Search.Mates mates ->
+    (* Structural search alone must find a select-based mate. *)
+    check_bool "structural mates exist" true (mates <> [])
+
+let suite =
+  [
+    Alcotest.test_case "seeding finds trace mates" `Quick test_seeded_search_finds_mates;
+    Alcotest.test_case "seeded mates sound (gated)" `Quick test_seeded_soundness_against_oracle;
+    Alcotest.test_case "seeded mates sound (random)" `Slow test_seeded_soundness_random_netlists;
+    Alcotest.test_case "report restrict" `Quick test_restrict;
+    Alcotest.test_case "literal pinning" `Quick test_literal_pinning_through_support;
+  ]

@@ -1,0 +1,105 @@
+open Helpers
+module Stats = Pruning_util.Stats
+module Table = Pruning_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_stats_mean () =
+  check_float "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ]);
+  check_float "mean empty" 0. (Stats.mean []);
+  check_float "mean_int" 2. (Stats.mean_int [ 1; 2; 3 ])
+
+let test_stats_median () =
+  check_float "odd" 3. (Stats.median [ 5.; 3.; 1. ]);
+  check_float "even" 2.5 (Stats.median [ 4.; 1.; 2.; 3. ]);
+  check_float "empty" 0. (Stats.median []);
+  check_float "median_int" 2.5 (Stats.median_int [ 1; 2; 3; 4 ])
+
+let test_stats_stddev () =
+  check_float "constant" 0. (Stats.stddev [ 5.; 5.; 5. ]);
+  check_float "pair" 1. (Stats.stddev [ 1.; 3. ]);
+  check_float "singleton" 0. (Stats.stddev [ 7. ])
+
+let test_percentage () =
+  check_float "half" 50. (Stats.percentage 1 2);
+  check_float "zero denominator" 0. (Stats.percentage 5 0)
+
+let test_prng_determinism () =
+  let a = Prng.create 7 in
+  let b = Prng.create 7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_bounds () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_prng_split_independent () =
+  let rng = Prng.create 11 in
+  let forked = Prng.split rng in
+  let xs = List.init 20 (fun _ -> Prng.int rng 1000) in
+  let ys = List.init 20 (fun _ -> Prng.int forked 1000) in
+  check_bool "streams differ" true (xs <> ys)
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create 5 in
+  let original = List.init 50 Fun.id in
+  let shuffled = Prng.shuffle rng original in
+  check_bool "same multiset" true (List.sort compare shuffled = original);
+  check_bool "actually moved" true (shuffled <> original)
+
+let test_prng_float_range () =
+  let rng = Prng.create 23 in
+  for _ = 1 to 1000 do
+    let f = Prng.float rng in
+    check_bool "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_prng_pick () =
+  let rng = Prng.create 9 in
+  for _ = 1 to 50 do
+    check_bool "member" true (List.mem (Prng.pick rng [ 1; 2; 3 ]) [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty list") (fun () ->
+      ignore (Prng.pick rng ([] : int list)))
+
+let test_table_render () =
+  let t = Table.create [ "name"; "n" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "b"; "22" ];
+  let rendered = Table.render t in
+  let lines = String.split_on_char '\n' rendered |> List.filter (fun l -> l <> "") in
+  check_int "line count" 5 (List.length lines);
+  check_string "header" "name    n" (List.nth lines 0);
+  check_string "row 1" "alpha   1" (List.nth lines 2);
+  check_string "row 2" "b      22" (List.nth lines 4)
+
+let test_table_padding_and_errors () =
+  let t = Table.create [ "a"; "b"; "c" ] in
+  Table.add_row t [ "x" ];
+  check_bool "padded ok" true (String.length (Table.render t) > 0);
+  Alcotest.check_raises "too many" (Invalid_argument "Table.add_row: too many cells") (fun () ->
+      Table.add_row t [ "1"; "2"; "3"; "4" ])
+
+let suite =
+  [
+    Alcotest.test_case "stats mean" `Quick test_stats_mean;
+    Alcotest.test_case "stats median" `Quick test_stats_median;
+    Alcotest.test_case "stats stddev" `Quick test_stats_stddev;
+    Alcotest.test_case "stats percentage" `Quick test_percentage;
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng shuffle" `Quick test_prng_shuffle_permutes;
+    Alcotest.test_case "prng float" `Quick test_prng_float_range;
+    Alcotest.test_case "prng pick" `Quick test_prng_pick;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table padding and errors" `Quick test_table_padding_and_errors;
+  ]

@@ -1,0 +1,100 @@
+open Helpers
+module Vcd = Pruning_vcd.Vcd
+
+let record_counter_trace cycles =
+  let nl = counter_netlist () in
+  let sim = Sim.create nl in
+  Sim.set_port sim "enable" 1;
+  let trace = Trace.create ~n_wires:(Netlist.n_wires nl) in
+  Sim.run sim ~trace ~cycles ();
+  (nl, trace)
+
+let test_roundtrip () =
+  let nl, trace = record_counter_trace 12 in
+  let text = Vcd.to_string nl trace in
+  let parsed = Vcd.parse text in
+  check_int "wire count" (Netlist.n_wires nl) (Array.length parsed.Vcd.wire_names);
+  let back = Vcd.reorder parsed nl in
+  check_int "cycles" (Trace.n_cycles trace) (Trace.n_cycles back);
+  for cycle = 0 to Trace.n_cycles trace - 1 do
+    for w = 0 to Netlist.n_wires nl - 1 do
+      check_bool
+        (Printf.sprintf "wire %d cycle %d" w cycle)
+        (Trace.get trace ~cycle w)
+        (Trace.get back ~cycle w)
+    done
+  done
+
+let test_file_roundtrip () =
+  let nl, trace = record_counter_trace 5 in
+  let path = Filename.temp_file "pruning" ".vcd" in
+  Vcd.write_file nl trace path;
+  let parsed = Vcd.parse_file path in
+  Sys.remove path;
+  let back = Vcd.reorder parsed nl in
+  check_int "cycles" 5 (Trace.n_cycles back)
+
+let test_header_contents () =
+  let nl, trace = record_counter_trace 1 in
+  let text = Vcd.to_string nl trace in
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "has timescale" true (contains "$timescale" text);
+  check_bool "has module scope" true (contains "$scope module counter4" text);
+  check_bool "has enddefinitions" true (contains "$enddefinitions" text);
+  check_bool "declares count[0]" true (contains "count[0]" text)
+
+let test_parse_errors () =
+  Alcotest.check_raises "no vars" (Failure "Vcd.parse: no variables declared") (fun () ->
+      ignore (Vcd.parse "$enddefinitions $end\n#0\n"));
+  let bad =
+    "$var wire 1 ! x $end\n$enddefinitions $end\n#0\nz!\n"
+  in
+  Alcotest.check_raises "bad value" (Failure "Vcd.parse: line 4: unsupported: z!") (fun () ->
+      ignore (Vcd.parse bad))
+
+let test_reorder_missing_wire () =
+  let nl, _trace = record_counter_trace 2 in
+  let other = "$var wire 1 ! bogus $end\n$enddefinitions $end\n#0\n1!\n#1\n" in
+  let parsed = Vcd.parse other in
+  Alcotest.check_raises "missing wire" (Failure "Vcd.reorder: wire enable[0] not in dump")
+    (fun () -> ignore (Vcd.reorder parsed nl))
+
+let test_identifier_uniqueness () =
+  (* More wires than single-character ids to exercise multi-char codes. *)
+  let open Signal in
+  let c = create_circuit "wide" in
+  let x = input c "x" 32 in
+  let acc = ref (select x ~hi:0 ~lo:0) in
+  for i = 1 to 31 do
+    acc := ( ^: ) !acc (select x ~hi:i ~lo:i)
+  done;
+  (* Build some depth so we get > 94 wires in total. *)
+  let y = input c "y" 32 in
+  output c "p" !acc;
+  output c "s" (x +: y);
+  let nl = Synth.to_netlist c in
+  check_bool "enough wires" true (Netlist.n_wires nl > 94);
+  let sim = Sim.create nl in
+  Sim.set_port sim "x" 12345;
+  Sim.set_port sim "y" 54321;
+  let trace = Trace.create ~n_wires:(Netlist.n_wires nl) in
+  Sim.run sim ~trace ~cycles:2 ();
+  let parsed = Vcd.parse (Vcd.to_string nl trace) in
+  let back = Vcd.reorder parsed nl in
+  for w = 0 to Netlist.n_wires nl - 1 do
+    check_bool "value survives" (Trace.get trace ~cycle:1 w) (Trace.get back ~cycle:1 w)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "header contents" `Quick test_header_contents;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "reorder missing wire" `Quick test_reorder_missing_wire;
+    Alcotest.test_case "multi-character identifiers" `Quick test_identifier_uniqueness;
+  ]

@@ -1,0 +1,60 @@
+open Helpers
+module Waveform = Pruning_sim.Waveform
+
+let counter_waveform cycles =
+  let nl = counter_netlist () in
+  let sim = Sim.create nl in
+  Sim.set_port sim "enable" 1;
+  let trace = Trace.create ~n_wires:(Netlist.n_wires nl) in
+  Sim.run sim ~trace ~cycles ();
+  (nl, Waveform.create nl trace)
+
+let test_wire_lane () =
+  let _, wf = counter_waveform 8 in
+  let lane = Waveform.wire_lane wf "count[0]" ~from_cycle:0 ~cycles:8 in
+  check_string "toggling lsb" "count[0]      _-_-_-_-" lane;
+  let lane1 = Waveform.wire_lane wf "count[1]" ~from_cycle:0 ~cycles:8 in
+  check_string "bit1" "count[1]      __--__--" lane1
+
+let test_vector_lane () =
+  let _, wf = counter_waveform 6 in
+  let lane = Waveform.vector_lane wf "count" ~from_cycle:0 ~cycles:6 in
+  check_string "hex changes" "count         |0|1|2|3|4|5" lane
+
+let test_vector_holds_value () =
+  (* With enable off, the vector lane shows one change then silence. *)
+  let nl = counter_netlist () in
+  let sim = Sim.create nl in
+  Sim.set_port sim "enable" 0;
+  let trace = Trace.create ~n_wires:(Netlist.n_wires nl) in
+  Sim.run sim ~trace ~cycles:5 ();
+  let wf = Waveform.create nl trace in
+  check_string "held" "count         |0        " (Waveform.vector_lane wf "count" ~from_cycle:0 ~cycles:5)
+
+let test_render_multi_lane () =
+  let _, wf = counter_waveform 10 in
+  let view = Waveform.render wf ~names:[ "count"; "wrap"; "count[3]" ] ~from_cycle:0 ~cycles:10 in
+  let lines = String.split_on_char '\n' view |> List.filter (fun l -> l <> "") in
+  check_int "ruler + three lanes" 4 (List.length lines);
+  check_bool "ruler first" true (String.length (List.nth lines 0) > 5);
+  (* all lanes share one width *)
+  let widths = List.map String.length lines in
+  List.iter (fun w -> check_int "aligned" (List.hd widths) w) widths
+
+let test_window_validation () =
+  let _, wf = counter_waveform 4 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Waveform: window out of range")
+    (fun () -> ignore (Waveform.wire_lane wf "count[0]" ~from_cycle:2 ~cycles:10));
+  Alcotest.check_raises "unknown wire" Not_found (fun () ->
+      ignore (Waveform.wire_lane wf "nope" ~from_cycle:0 ~cycles:2));
+  Alcotest.check_raises "unknown vector" Not_found (fun () ->
+      ignore (Waveform.vector_lane wf "nope" ~from_cycle:0 ~cycles:2))
+
+let suite =
+  [
+    Alcotest.test_case "wire lane" `Quick test_wire_lane;
+    Alcotest.test_case "vector lane" `Quick test_vector_lane;
+    Alcotest.test_case "vector holds value" `Quick test_vector_holds_value;
+    Alcotest.test_case "multi-lane render" `Quick test_render_multi_lane;
+    Alcotest.test_case "window validation" `Quick test_window_validation;
+  ]
