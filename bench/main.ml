@@ -3,7 +3,8 @@
    primitives.
 
    Usage: dune exec bench/main.exe -- [all|table1|table2|table3|figures|
-                                       cost|ablation|campaign|micro] [--quick]
+                                       cost|ablation|campaign|perf|micro]
+                                      [--quick] [--smoke]
 
    Experiment index (see DESIGN.md):
      T1  table1    MATE-search statistics per core and fault set
@@ -35,9 +36,12 @@ module Table = Pruning_util.Table
 module Prng = Pruning_util.Prng
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
 let mode =
-  let named = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--quick") in
+  let named =
+    Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--quick" && a <> "--smoke")
+  in
   match named with
   | [] -> "all"
   | m :: _ -> m
@@ -140,7 +144,7 @@ let run_campaign () =
   let program = Avr_asm.assemble Programs.avr_fib in
   let make () = System.create_avr ~netlist:nl ~program "avr/fib" in
   let space = Fault_space.full nl ~cycles:horizon in
-  let campaign = Campaign.create ~make ~total_cycles:horizon in
+  let campaign = Campaign.create ~make ~total_cycles:horizon () in
   let plain = Campaign.run_sample campaign ~space ~rng:(Prng.create 7) ~n:samples () in
   let trace = System.record (make ()) ~cycles:horizon in
   let report = Search.search_flops ~params ~traces:[ trace ] nl (Array.to_list nl.Netlist.flops) in
@@ -153,20 +157,20 @@ let run_campaign () =
     | None -> false
   in
   let pruned = Campaign.run_sample campaign ~space ~rng:(Prng.create 7) ~n:samples ~skip () in
-  let t = Table.create [ "campaign"; "injections"; "benign"; "latent"; "SDC" ] in
+  let t = Table.create [ "campaign"; "injections"; "skipped"; "benign"; "latent"; "SDC" ] in
   let row label (s : Campaign.stats) =
     Table.add_row t
       [
-        label; string_of_int s.Campaign.injections; string_of_int s.Campaign.benign;
-        string_of_int s.Campaign.latent; string_of_int s.Campaign.sdc;
+        label; string_of_int s.Campaign.injections; string_of_int s.Campaign.skipped;
+        string_of_int s.Campaign.benign; string_of_int s.Campaign.latent;
+        string_of_int s.Campaign.sdc;
       ]
   in
   row "plain" plain;
   row "MATE-pruned" pruned;
   Table.print t;
-  Printf.printf "experiments avoided: %d of %d (verdict distribution unchanged)\n"
-    (plain.Campaign.injections - pruned.Campaign.injections)
-    plain.Campaign.injections;
+  Printf.printf "experiments avoided: %d of %d (executed verdicts stay sound)\n"
+    pruned.Campaign.skipped plain.Campaign.injections;
   (* Complementary inter-cycle equivalence on a register-file slice. *)
   let rf_slice = Array.of_list (Netlist.flops_matching nl ~prefix:"rf_1") in
   let sys = make () in
@@ -175,6 +179,66 @@ let run_campaign () =
     "inter-cycle equivalence (rf_1x slice): %d faults -> %d classes (%.1fx fewer experiments)\n"
     (Intercycle.n_faults classes) classes.Intercycle.n_classes
     (Intercycle.reduction_factor classes)
+
+(* Campaign-engine throughput: from-scratch re-simulation (checkpointing
+   effectively disabled with an interval beyond the horizon) vs the
+   checkpointed engine, single-domain and multi-domain. The headline
+   number for the checkpointed-campaign work: injections/second. *)
+let run_perf () =
+  section "Campaign engine performance (AVR/fib, full fault space)";
+  let horizon = if smoke then 300 else if quick then 800 else 2000 in
+  let samples = if smoke then 40 else if quick then 200 else 2000 in
+  let base_samples = max 10 (samples / 20) in
+  let jobs = 4 in
+  let nl = System.avr_netlist () in
+  let program = Avr_asm.assemble Programs.avr_fib in
+  let make () = System.create_avr ~netlist:nl ~program "avr/fib" in
+  let space = Fault_space.full nl ~cycles:horizon in
+  Printf.printf "fault space: %d flops x %d cycles; %d samples (baseline %d)\n%!"
+    (Array.length space.Fault_space.flops) horizon samples base_samples;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let baseline = Campaign.create ~checkpoint_interval:(horizon + 1) ~make ~total_cycles:horizon () in
+  let bstats, bt =
+    time (fun () -> Campaign.run_sample baseline ~space ~rng:(Prng.create 11) ~n:base_samples ())
+  in
+  let ckpt = Campaign.create ~make ~total_cycles:horizon () in
+  let cstats, ct =
+    time (fun () -> Campaign.run_sample ckpt ~space ~rng:(Prng.create 11) ~n:samples ())
+  in
+  (* A second, cold campaign for the multi-domain row so its verdict memo
+     is not pre-warmed by the single-domain run. *)
+  let ckpt2 = Campaign.create ~make ~total_cycles:horizon () in
+  let pstats, pt =
+    time (fun () -> Campaign.run_sample ckpt2 ~space ~rng:(Prng.create 11) ~n:samples ~jobs ())
+  in
+  let rate (s : Campaign.stats) elapsed = float_of_int s.Campaign.injections /. max 1e-9 elapsed in
+  let t = Table.create [ "engine"; "injections"; "time [s]"; "inj/s"; "speedup" ] in
+  let base_rate = rate bstats bt in
+  let row label stats elapsed =
+    Table.add_row t
+      [
+        label;
+        string_of_int stats.Campaign.injections;
+        Printf.sprintf "%.2f" elapsed;
+        Printf.sprintf "%.1f" (rate stats elapsed);
+        Printf.sprintf "%.1fx" (rate stats elapsed /. base_rate);
+      ]
+  in
+  row "from-scratch (seed engine)" bstats bt;
+  row (Printf.sprintf "checkpointed (K=%d, 1 domain)" (Campaign.checkpoint_interval ckpt)) cstats ct;
+  row (Printf.sprintf "checkpointed (K=%d, %d domains)" (Campaign.checkpoint_interval ckpt) jobs)
+    pstats pt;
+  Table.print t;
+  (* The two checkpointed runs share the seed: identical sample list, so
+     identical stats regardless of domain count. *)
+  assert (cstats = pstats);
+  Printf.printf "single-domain speedup over from-scratch: %.1fx\n" (rate cstats ct /. base_rate);
+  Printf.printf "(multi-domain wall clock scales with physical cores; this host has %d)\n"
+    (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks, including one Test per paper table at a
@@ -251,6 +315,7 @@ let () =
   | "cost" -> run_cost ()
   | "ablation" -> run_ablation ()
   | "campaign" -> run_campaign ()
+  | "perf" -> run_perf ()
   | "micro" -> run_micro ()
   | "all" ->
     run_figures ();
@@ -260,6 +325,7 @@ let () =
     run_cost ();
     run_ablation ();
     run_campaign ();
+    run_perf ();
     run_micro ()
   | other ->
     Printf.eprintf "unknown mode %s\n" other;

@@ -27,7 +27,7 @@ let make_system core program =
     Some (fun nl -> System.create_msp ?netlist:nl ~program:(Msp_asm.assemble Programs.msp_conv) "msp/conv")
   | _ -> None
 
-let run core program cycles samples seed prune =
+let run core program cycles samples seed prune jobs checkpoint_interval =
   match make_system core program with
   | None ->
     prerr_endline "campaign: unknown core/program (avr|msp430 x fib|conv)";
@@ -37,7 +37,12 @@ let run core program cycles samples seed prune =
     let space = Fault_space.full nl ~cycles in
     Printf.printf "%s/%s: fault space = %d flops x %d cycles = %d faults; sampling %d\n%!"
       core program (Array.length space.Fault_space.flops) cycles (Fault_space.size space) samples;
-    let campaign = Fi_campaign.create ~make:(fun () -> make (Some nl)) ~total_cycles:cycles in
+    let checkpoint_interval = if checkpoint_interval > 0 then Some checkpoint_interval else None in
+    let campaign =
+      Fi_campaign.create ?checkpoint_interval ~make:(fun () -> make (Some nl)) ~total_cycles:cycles ()
+    in
+    Printf.printf "checkpoint interval: %d cycles; jobs: %d\n%!"
+      (Fi_campaign.checkpoint_interval campaign) jobs;
     let skip =
       if not prune then None
       else begin
@@ -62,10 +67,11 @@ let run core program cycles samples seed prune =
     in
     let rng = Prng.create seed in
     let start = Unix.gettimeofday () in
-    let stats = Fi_campaign.run_sample campaign ~space ~rng ~n:samples ?skip () in
+    let stats = Fi_campaign.run_sample campaign ~space ~rng ~n:samples ?skip ~jobs () in
     let elapsed = Unix.gettimeofday () -. start in
-    Printf.printf "ran %d injections (%d skipped as pruned) in %.1fs\n" stats.Fi_campaign.injections
-      (samples - stats.Fi_campaign.injections) elapsed;
+    Printf.printf "ran %d injections (%d skipped as pruned) in %.1fs (%.1f injections/s)\n"
+      stats.Fi_campaign.injections stats.Fi_campaign.skipped elapsed
+      (float_of_int stats.Fi_campaign.injections /. max 1e-9 elapsed);
     Printf.printf "verdicts: %d benign, %d latent, %d SDC\n" stats.Fi_campaign.benign
       stats.Fi_campaign.latent stats.Fi_campaign.sdc;
     0
@@ -77,9 +83,18 @@ let samples = Arg.(value & opt int 200 & info [ "samples" ] ~doc:"Number of samp
 let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Sampling seed.")
 let prune = Arg.(value & flag & info [ "prune" ] ~doc:"Prune the fault list with MATEs first.")
 
+let jobs =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc:"Number of OCaml domains to inject from.")
+
+let checkpoint_interval =
+  Arg.(
+    value & opt int 0
+    & info [ "checkpoint-interval" ]
+        ~doc:"Golden-run checkpoint spacing in cycles (0 = auto: total/64).")
+
 let cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc:"sampled fault-injection campaign with optional MATE pruning")
-    Term.(const run $ core $ program $ cycles $ samples $ seed $ prune)
+    Term.(const run $ core $ program $ cycles $ samples $ seed $ prune $ jobs $ checkpoint_interval)
 
 let () = exit (Cmd.eval' cmd)

@@ -42,6 +42,8 @@ let create_msp ?(words = 2048) ?netlist ~program name =
   Sim.add_device sim mem_device;
   { kind = Msp430; name; netlist; sim; ram; rf_prefix = Msp_core.rf_prefix }
 
+let save_state t = Sim.save_state t.sim
+
 let run t ~cycles = Sim.run t.sim ~cycles ()
 
 let record t ~cycles =

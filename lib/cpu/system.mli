@@ -24,6 +24,12 @@ val create_avr : ?pins:int -> ?netlist:Pruning_netlist.Netlist.t -> program:int 
 val create_msp : ?words:int -> ?netlist:Pruning_netlist.Netlist.t -> program:int array -> string -> t
 (** [words] is the unified memory size (default 2048 words). *)
 
+val save_state : t -> unit -> unit
+(** Whole-system snapshot: wire/flop values, cycle count and every
+    attached device's internal state — including the RAM backing, which
+    memory devices capture through their [dev_save] hook. Returns a
+    restorer closure; the campaign engine uses this for checkpointing. *)
+
 val run : t -> cycles:int -> unit
 
 val record : t -> cycles:int -> Pruning_sim.Trace.t

@@ -8,13 +8,35 @@ type verdict =
   | Latent
   | Sdc of int
 
+(* A memo key is the exact architectural difference from the golden run at
+   a checkpoint: (checkpoint index, differing flops with their faulty
+   values, differing RAM cells with their faulty values), both in
+   ascending index order. The simulator is deterministic, so equal state
+   at an equal cycle implies an identical remainder of the run — the
+   verdict can be replayed from the table instead of re-simulated. *)
+type memo_key = int * (int * bool) list * (int * int) list
+
+type worker = {
+  w_sys : System.t;
+  w_restores : (unit -> unit) array;
+      (* w_restores.(i) rewinds w_sys to the start of cycle i*interval *)
+}
+
 type t = {
   make : unit -> System.t;
   total_cycles : int;
+  interval : int;  (* checkpoint spacing in cycles *)
   out_wires : int array;
   golden_outputs : bool array array;  (** per cycle *)
   golden_flops : bool array;  (** at horizon *)
   golden_ram : int array;  (** at horizon *)
+  cp_flops : bool array array;  (** golden flop state per checkpoint *)
+  cp_ram : int array array;  (** golden RAM per checkpoint *)
+  memo : (memo_key, verdict) Hashtbl.t;
+      (* shared across workers: one domain's classified divergence state
+         short-circuits every other domain's matching runs *)
+  memo_lock : Mutex.t;
+  primary : worker;  (** worker for the calling domain (not domain-safe) *)
 }
 
 let output_wires nl =
@@ -28,81 +50,238 @@ let read_outputs sim out_wires = Array.map (fun w -> Sim.peek sim w) out_wires
 let read_flops sim nl =
   Array.map (fun (f : Netlist.flop) -> Sim.peek sim f.Netlist.q) nl.Netlist.flops
 
-let create ~make ~total_cycles =
+let create ?checkpoint_interval ~make ~total_cycles () =
+  if total_cycles <= 0 then invalid_arg "Campaign.create: total_cycles must be positive";
+  let interval =
+    match checkpoint_interval with
+    | Some k ->
+      if k <= 0 then invalid_arg "Campaign.create: checkpoint_interval must be positive";
+      k
+    | None -> max 1 (total_cycles / 64)
+  in
+  let n_cp = 1 + ((total_cycles - 1) / interval) in
   let sys = make () in
+  let sim = sys.System.sim in
   let nl = sys.System.netlist in
   let out_wires = output_wires nl in
   let golden_outputs = Array.make total_cycles [||] in
+  let cp_flops = Array.make n_cp [||] in
+  let cp_ram = Array.make n_cp [||] in
+  let restores = Array.make n_cp (fun () -> ()) in
   for cycle = 0 to total_cycles - 1 do
-    Sim.eval sys.System.sim;
-    golden_outputs.(cycle) <- read_outputs sys.System.sim out_wires;
-    Sim.latch sys.System.sim
+    if cycle mod interval = 0 then begin
+      let i = cycle / interval in
+      cp_flops.(i) <- read_flops sim nl;
+      cp_ram.(i) <- Array.copy sys.System.ram;
+      restores.(i) <- System.save_state sys
+    end;
+    Sim.eval sim;
+    golden_outputs.(cycle) <- read_outputs sim out_wires;
+    Sim.latch sim
   done;
-  Sim.eval sys.System.sim;
+  Sim.eval sim;
   {
     make;
     total_cycles;
+    interval;
     out_wires;
     golden_outputs;
-    golden_flops = read_flops sys.System.sim nl;
+    golden_flops = read_flops sim nl;
     golden_ram = Array.copy sys.System.ram;
+    cp_flops;
+    cp_ram;
+    memo = Hashtbl.create 256;
+    memo_lock = Mutex.create ();
+    primary = { w_sys = sys; w_restores = restores };
   }
 
-let inject t ~flop_id ~cycle =
-  if cycle < 0 || cycle >= t.total_cycles then invalid_arg "Campaign.inject: cycle out of range";
+let checkpoint_interval t = t.interval
+
+(* A fresh worker for another domain: its own system plus its own
+   checkpoint snapshots, rebuilt by replaying the golden run up to the
+   last checkpoint (the prefix cost is paid once per worker and amortized
+   over all its injections). *)
+let fresh_worker t =
   let sys = t.make () in
   let sim = sys.System.sim in
+  let n_cp = Array.length t.cp_flops in
+  let restores = Array.make n_cp (fun () -> ()) in
+  restores.(0) <- System.save_state sys;
+  for cycle = 1 to (n_cp - 1) * t.interval do
+    Sim.step sim ();
+    if cycle mod t.interval = 0 then restores.(cycle / t.interval) <- System.save_state sys
+  done;
+  { w_sys = sys; w_restores = restores }
+
+let outputs_match t sim cycle =
+  let golden = t.golden_outputs.(cycle) in
+  let n = Array.length t.out_wires in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    if Sim.peek sim t.out_wires.(!i) <> golden.(!i) then ok := false;
+    incr i
+  done;
+  !ok
+
+(* Bound on tracked state differences: larger diffs (e.g. a derailed PC
+   smearing state everywhere) almost never recur exactly, so memoizing
+   them would only cost memory. *)
+let max_memo_diff = 32
+let max_memo_entries = 1 lsl 20
+
+(* Architectural diff of the worker's current state against the golden
+   state at checkpoint [cp]; [None] when more than [max_memo_diff] cells
+   differ. [Some ([], [])] means the faulty run has re-converged. *)
+let state_diff t w ~cp =
+  let sim = w.w_sys.System.sim in
+  let flops = w.w_sys.System.netlist.Netlist.flops in
+  let gf = t.cp_flops.(cp) in
+  let gr = t.cp_ram.(cp) in
+  let ram = w.w_sys.System.ram in
+  let exception Too_big in
+  try
+    let count = ref 0 in
+    let fd = ref [] in
+    for i = Array.length flops - 1 downto 0 do
+      let v = Sim.peek sim flops.(i).Netlist.q in
+      if v <> gf.(i) then begin
+        incr count;
+        if !count > max_memo_diff then raise Too_big;
+        fd := (i, v) :: !fd
+      end
+    done;
+    let rd = ref [] in
+    for a = Array.length ram - 1 downto 0 do
+      if ram.(a) <> gr.(a) then begin
+        incr count;
+        if !count > max_memo_diff then raise Too_big;
+        rd := (a, ram.(a)) :: !rd
+      end
+    done;
+    Some (!fd, !rd)
+  with Too_big -> None
+
+let inject_with t w ~flop_id ~cycle =
+  if cycle < 0 || cycle >= t.total_cycles then invalid_arg "Campaign.inject: cycle out of range";
+  let sys = w.w_sys in
+  let sim = sys.System.sim in
   let nl = sys.System.netlist in
-  (* Run fault-free up to the injection cycle. *)
-  for _ = 1 to cycle do
+  (* Rewind to the nearest checkpoint at or before the injection cycle and
+     replay the (fault-free) remainder of the prefix. *)
+  let cp = cycle / t.interval in
+  w.w_restores.(cp) ();
+  for _ = 1 to cycle - (cp * t.interval) do
     Sim.step sim ()
   done;
   Sim.eval sim;
   Sim.set_flop sim flop_id (not (Sim.get_flop sim flop_id));
-  (* Continue, watching the outputs. *)
-  let divergence = ref None in
+  (* Continue, watching the outputs; at every checkpoint boundary compare
+     the architectural state against the golden run to (a) return Benign
+     as soon as the fault has been fully masked and (b) reuse or record a
+     memoized verdict for the exact remaining divergence. *)
+  let result = ref None in
+  let pending = ref [] in
   let c = ref cycle in
-  while !divergence = None && !c < t.total_cycles do
-    Sim.eval sim;
-    if read_outputs sim t.out_wires <> t.golden_outputs.(!c) then divergence := Some !c
-    else begin
-      Sim.latch sim;
-      incr c
+  while !result = None && !c < t.total_cycles do
+    if !c mod t.interval = 0 then begin
+      let i = !c / t.interval in
+      match state_diff t w ~cp:i with
+      | Some ([], []) -> result := Some Benign
+      | Some (fd, rd) -> (
+        let key = (i, fd, rd) in
+        Mutex.lock t.memo_lock;
+        let hit = Hashtbl.find_opt t.memo key in
+        Mutex.unlock t.memo_lock;
+        match hit with
+        | Some v -> result := Some v
+        | None -> pending := key :: !pending)
+      | None -> ()
+    end;
+    if !result = None then begin
+      Sim.eval sim;
+      if not (outputs_match t sim !c) then result := Some (Sdc !c)
+      else begin
+        Sim.latch sim;
+        incr c
+      end
     end
   done;
-  match !divergence with
-  | Some n -> Sdc n
-  | None ->
-    Sim.eval sim;
-    if read_flops sim nl = t.golden_flops && sys.System.ram = t.golden_ram then Benign
-    else Latent
+  let verdict =
+    match !result with
+    | Some v -> v
+    | None ->
+      Sim.eval sim;
+      if read_flops sim nl = t.golden_flops && sys.System.ram = t.golden_ram then Benign
+      else Latent
+  in
+  if !pending <> [] then begin
+    Mutex.lock t.memo_lock;
+    if Hashtbl.length t.memo < max_memo_entries then
+      List.iter (fun key -> Hashtbl.replace t.memo key verdict) !pending;
+    Mutex.unlock t.memo_lock
+  end;
+  verdict
+
+let inject t ~flop_id ~cycle = inject_with t t.primary ~flop_id ~cycle
 
 type stats = {
   injections : int;
   benign : int;
   latent : int;
   sdc : int;
+  skipped : int;
 }
 
-let run_sample t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false) () =
-  let flops = space.Fault_space.flops in
-  let stats = ref { injections = 0; benign = 0; latent = 0; sdc = 0 } in
-  for _ = 1 to n do
-    let flop = flops.(Prng.int rng (Array.length flops)) in
-    let cycle = Prng.int rng (min space.Fault_space.cycles t.total_cycles) in
-    let flop_id = flop.Netlist.flop_id in
-    let s = !stats in
-    if skip ~flop_id ~cycle then stats := { s with benign = s.benign + 1 }
-    else begin
-      let s = { s with injections = s.injections + 1 } in
-      stats :=
-        (match inject t ~flop_id ~cycle with
-        | Benign -> { s with benign = s.benign + 1 }
-        | Latent -> { s with latent = s.latent + 1 }
-        | Sdc _ -> { s with sdc = s.sdc + 1 })
+let count_chunk t w samples skipped lo hi =
+  let b = ref 0 and l = ref 0 and s = ref 0 in
+  for i = lo to hi do
+    if not skipped.(i) then begin
+      let flop_id, cycle = samples.(i) in
+      match inject_with t w ~flop_id ~cycle with
+      | Benign -> incr b
+      | Latent -> incr l
+      | Sdc _ -> incr s
     end
   done;
-  !stats
+  (!b, !l, !s)
+
+let run_sample t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false) ?(jobs = 1) () =
+  if n < 0 then invalid_arg "Campaign.run_sample: n must be non-negative";
+  let flops = space.Fault_space.flops in
+  let cycle_bound = min space.Fault_space.cycles t.total_cycles in
+  (* Draw all samples up front with the single caller-provided generator:
+     the fault list — and therefore the stats — is a function of the seed
+     alone, independent of [jobs]. *)
+  let samples = Array.make n (0, 0) in
+  for i = 0 to n - 1 do
+    let flop = flops.(Prng.int rng (Array.length flops)) in
+    let cycle = Prng.int rng cycle_bound in
+    samples.(i) <- (flop.Netlist.flop_id, cycle)
+  done;
+  let skipped = Array.map (fun (flop_id, cycle) -> skip ~flop_id ~cycle) samples in
+  let n_skipped = Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 skipped in
+  let jobs = max 1 (min jobs (max 1 n)) in
+  let b, l, s =
+    if jobs = 1 then count_chunk t t.primary samples skipped 0 (n - 1)
+    else begin
+      let chunk = (n + jobs - 1) / jobs in
+      let domains =
+        List.init jobs (fun j ->
+            let lo = j * chunk in
+            let hi = min (n - 1) ((j + 1) * chunk - 1) in
+            Domain.spawn (fun () ->
+                if lo > hi then (0, 0, 0)
+                else count_chunk t (fresh_worker t) samples skipped lo hi))
+      in
+      List.fold_left
+        (fun (b, l, s) d ->
+          let b', l', s' = Domain.join d in
+          (b + b', l + l', s + s'))
+        (0, 0, 0) domains
+    end
+  in
+  { injections = n - n_skipped; benign = b; latent = l; sdc = s; skipped = n_skipped }
 
 let pp_verdict ppf = function
   | Benign -> Format.fprintf ppf "benign"

@@ -1,6 +1,6 @@
 (** End-to-end fault-injection campaign: the experiment a HAFI platform
-    runs for every non-pruned fault. Each experiment boots a fresh system,
-    runs it to the injection cycle, flips one flip-flop, and runs to the
+    runs for every non-pruned fault. Each experiment rewinds a simulated
+    system to the injection cycle, flips one flip-flop, and runs to the
     campaign horizon while watching the primary outputs.
 
     Verdicts:
@@ -9,7 +9,24 @@
     - [Latent]: outputs matched throughout, but internal state differs at
       the horizon (the fault may still surface later);
     - [Sdc n]: silent data corruption — outputs first diverged from the
-      golden run at cycle [n]. *)
+      golden run at cycle [n].
+
+    The engine is checkpointed: the golden run records a whole-system
+    snapshot plus the golden architectural state (flops + RAM) every
+    [checkpoint_interval] cycles. An injection restores the nearest
+    checkpoint at or before the injection cycle instead of re-simulating
+    from reset, and the faulty run compares its architectural state
+    against the golden checkpoints as it crosses them — a run that has
+    re-converged returns [Benign] early, and runs whose exact state
+    difference was classified before replay the memoized verdict. Both
+    short cuts are sound (the simulator is deterministic, so equal state
+    at an equal cycle implies an identical future), keeping verdicts
+    bit-identical to a from-scratch simulation.
+
+    Campaigns fan out over OCaml domains: {!run_sample} with [~jobs:k]
+    classifies the same deterministic fault list on [k] domains, each with
+    its own system and checkpoint set, and merges the per-domain counts.
+    The stats are independent of [jobs]. *)
 
 type verdict =
   | Benign
@@ -18,19 +35,34 @@ type verdict =
 
 type t
 
-val create : make:(unit -> Pruning_cpu.System.t) -> total_cycles:int -> t
-(** Runs the golden experiment once and caches its observables. [make]
-    must produce a fresh, deterministic system each call. *)
+val create :
+  ?checkpoint_interval:int -> make:(unit -> Pruning_cpu.System.t) -> total_cycles:int -> unit -> t
+(** Runs the golden experiment once, caching its observables and the
+    periodic checkpoints. [make] must produce a fresh, deterministic
+    system each call (it is also invoked once per extra domain by
+    {!run_sample}, so it must be safe to call from other domains).
+    [checkpoint_interval] defaults to [max 1 (total_cycles / 64)]; a value
+    larger than [total_cycles] effectively disables checkpointing (single
+    snapshot at reset, no early verdicts). *)
+
+val checkpoint_interval : t -> int
+(** The checkpoint spacing actually in use. *)
 
 val inject : t -> flop_id:int -> cycle:int -> verdict
-(** One fault-injection experiment. [cycle] must be < [total_cycles]. *)
+(** One fault-injection experiment. [cycle] must be < [total_cycles]. Not
+    safe to call concurrently from several domains (it reuses the
+    campaign's primary worker); use {!run_sample} with [~jobs] for
+    parallel campaigns. *)
 
 type stats = {
-  injections : int;
+  injections : int;  (** experiments actually executed *)
   benign : int;
   latent : int;
   sdc : int;
+  skipped : int;  (** faults skipped by the [skip] predicate, not run *)
 }
+(** Invariant: [injections = benign + latent + sdc]; [skipped] is counted
+    separately ([injections + skipped] = total faults sampled). *)
 
 val run_sample :
   t ->
@@ -38,10 +70,14 @@ val run_sample :
   rng:Pruning_util.Prng.t ->
   n:int ->
   ?skip:(flop_id:int -> cycle:int -> bool) ->
+  ?jobs:int ->
   unit ->
   stats
 (** Randomly sample [n] faults from [space] and run them. [skip] marks
-    faults already pruned (counted as [benign] without running — exactly
-    what a MATE-enriched platform would do). *)
+    faults already pruned (skipped without an experiment — exactly what a
+    MATE-enriched platform would do); it is evaluated on the calling
+    domain. [jobs] (default 1) fans the experiments out over that many
+    OCaml domains; the sampled fault list is drawn up front from [rng],
+    so the resulting stats are identical for every [jobs] value. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

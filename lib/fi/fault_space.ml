@@ -4,25 +4,36 @@ type t = {
   netlist : Netlist.t;
   flops : Netlist.flop array;
   cycles : int;
+  index : int array;
 }
 
 let check_cycles cycles = if cycles <= 0 then invalid_arg "Fault_space: cycles must be positive"
 
+(* Dense flop_id -> space-index table, so lookups are O(1) instead of a
+   linear scan per fault (campaign skip predicates call this per sample). *)
+let make_index (netlist : Netlist.t) flops =
+  let max_id =
+    Array.fold_left (fun acc (f : Netlist.flop) -> max acc f.Netlist.flop_id) (-1) netlist.Netlist.flops
+  in
+  let table = Array.make (max_id + 1) (-1) in
+  Array.iteri (fun i (f : Netlist.flop) -> table.(f.Netlist.flop_id) <- i) flops;
+  table
+
 let full netlist ~cycles =
   check_cycles cycles;
-  { netlist; flops = Array.copy netlist.Netlist.flops; cycles }
+  let flops = Array.copy netlist.Netlist.flops in
+  { netlist; flops; cycles; index = make_index netlist flops }
 
 let without_prefix netlist ~prefix ~cycles =
   check_cycles cycles;
-  { netlist; flops = Array.of_list (Netlist.flops_excluding netlist ~prefix); cycles }
+  let flops = Array.of_list (Netlist.flops_excluding netlist ~prefix) in
+  { netlist; flops; cycles; index = make_index netlist flops }
 
 let size t = Array.length t.flops * t.cycles
 
 let flop_index t flop_id =
-  let n = Array.length t.flops in
-  let rec go i =
-    if i >= n then None
-    else if t.flops.(i).Netlist.flop_id = flop_id then Some i
-    else go (i + 1)
-  in
-  go 0
+  if flop_id < 0 || flop_id >= Array.length t.index then None
+  else
+    match t.index.(flop_id) with
+    | -1 -> None
+    | i -> Some i

@@ -6,6 +6,9 @@ type t = {
   netlist : Pruning_netlist.Netlist.t;
   flops : Pruning_netlist.Netlist.flop array;  (** flops under injection *)
   cycles : int;
+  index : int array;
+      (** flop_id -> dense flop index, [-1] for flops outside the space
+          (precomputed so {!flop_index} is O(1)) *)
 }
 
 val full : Pruning_netlist.Netlist.t -> cycles:int -> t

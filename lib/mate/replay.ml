@@ -54,23 +54,13 @@ let effective_indices t =
   done;
   !out
 
-(* Map netlist flop ids to dense indices of the fault space. *)
-let space_index_table (space : Fault_space.t) =
-  let max_id =
-    Array.fold_left
-      (fun acc (f : Netlist.flop) -> max acc f.Netlist.flop_id)
-      (-1)
-      space.Fault_space.netlist.Netlist.flops
-  in
-  let table = Array.make (max_id + 1) (-1) in
-  Array.iteri (fun i (f : Netlist.flop) -> table.(f.Netlist.flop_id) <- i) space.Fault_space.flops;
-  table
-
 let masked (set : Mateset.t) t ~space ?subset () =
   let cycles = space.Fault_space.cycles in
-  if cycles > t.t_cycles then invalid_arg "Replay.masked: space has more cycles than the trace";
+  (* Cycles beyond the recorded trace cannot be proven benign: clamp the
+     replay to the trace length and leave the excess rows all-false. *)
+  let covered = min cycles t.t_cycles in
   let nf = Array.length space.Fault_space.flops in
-  let table = space_index_table space in
+  let table = space.Fault_space.index in
   let matrix = Array.init cycles (fun _ -> Array.make nf false) in
   let indices =
     match subset with
@@ -86,7 +76,7 @@ let masked (set : Mateset.t) t ~space ?subset () =
           m.Mateset.flop_ids
       in
       if space_flops <> [] then
-        for cycle = 0 to cycles - 1 do
+        for cycle = 0 to covered - 1 do
           if triggered t ~mate:i ~cycle then
             List.iter (fun fi -> matrix.(cycle).(fi) <- true) space_flops
         done)
@@ -103,7 +93,7 @@ let reduction_percent set t ~space ?subset () =
   Pruning_util.Stats.percentage (masked_count matrix) (Fault_space.size space)
 
 let raw_masked_per_mate (set : Mateset.t) t ~space =
-  let table = space_index_table space in
+  let table = space.Fault_space.index in
   let cycles = min space.Fault_space.cycles t.t_cycles in
   Array.mapi
     (fun i (m : Mateset.mate) ->

@@ -25,7 +25,10 @@ val effective_indices : triggers -> int list
 val masked : Mateset.t -> triggers -> space:Pruning_fi.Fault_space.t -> ?subset:int list -> unit -> bool array array
 (** [masked set trig ~space ()] is indexed [cycle].(space flop index): the
     (flop, cycle) faults proven benign. [subset] restricts to chosen mate
-    indices. The space's cycle count must not exceed the trace length. *)
+    indices. If the space spans more cycles than the recorded trace, the
+    replay is clamped to [min space.cycles trace_cycles] — like
+    {!raw_masked_per_mate} — and the rows beyond the trace are all-false
+    (nothing can be proven benign without trace data). *)
 
 val masked_count : bool array array -> int
 
@@ -34,4 +37,5 @@ val reduction_percent : Mateset.t -> triggers -> space:Pruning_fi.Fault_space.t 
 
 val raw_masked_per_mate : Mateset.t -> triggers -> space:Pruning_fi.Fault_space.t -> int array
 (** Per-mate masked-fault count ignoring overlap with other mates (the
-    ranking key used before greedy selection). *)
+    ranking key used before greedy selection). Clamps to
+    [min space.cycles trace_cycles], like {!masked}. *)

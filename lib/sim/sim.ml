@@ -26,7 +26,8 @@ type t = {
   values : bool array;
   is_input : bool array;
   packed : packed_gate array; (* in topological order *)
-  mutable devices : device list; (* in attach order *)
+  mutable devices_rev : device list; (* newest first; O(1) attach *)
+  mutable devices_ord : device list option; (* cached attach order *)
   mutable cyc : int;
 }
 
@@ -45,11 +46,22 @@ let create nl =
         { table = g.Netlist.cell.Cell.table; g_inputs = g.Netlist.inputs; g_output = g.Netlist.output })
       nl.Netlist.topo
   in
-  { nl; values; is_input; packed; devices = []; cyc = 0 }
+  { nl; values; is_input; packed; devices_rev = []; devices_ord = None; cyc = 0 }
 
 let netlist t = t.nl
 let cycle t = t.cyc
-let add_device t d = t.devices <- t.devices @ [ d ]
+
+let devices t =
+  match t.devices_ord with
+  | Some ds -> ds
+  | None ->
+    let ds = List.rev t.devices_rev in
+    t.devices_ord <- Some ds;
+    ds
+
+let add_device t d =
+  t.devices_rev <- d :: t.devices_rev;
+  t.devices_ord <- None
 
 let set_input t w v =
   if not t.is_input.(w) then
@@ -87,7 +99,7 @@ let max_device_rounds = 5
 
 let eval t =
   eval_combinational t;
-  if t.devices <> [] then begin
+  if t.devices_rev <> [] then begin
     let changed = ref true in
     let rounds = ref 0 in
     let reader w = t.values.(w) in
@@ -102,7 +114,7 @@ let eval t =
     in
     while !changed do
       changed := false;
-      List.iter (fun d -> d.dev_comb reader writer) t.devices;
+      List.iter (fun d -> d.dev_comb reader writer) (devices t);
       if !changed then begin
         incr rounds;
         if !rounds > max_device_rounds then
@@ -114,7 +126,7 @@ let eval t =
 
 let latch t =
   let reader w = t.values.(w) in
-  List.iter (fun d -> d.dev_clock reader) t.devices;
+  List.iter (fun d -> d.dev_clock reader) (devices t);
   let flops = t.nl.Netlist.flops in
   let n = Array.length flops in
   let next = Array.make n false in
@@ -144,7 +156,7 @@ let set_flop t fid v = t.values.(t.nl.Netlist.flops.(fid).Netlist.q) <- v
 let save_state t =
   let values = Array.copy t.values in
   let cyc = t.cyc in
-  let device_restores = List.map (fun d -> d.dev_save ()) t.devices in
+  let device_restores = List.map (fun d -> d.dev_save ()) (devices t) in
   fun () ->
     Array.blit values 0 t.values 0 (Array.length values);
     t.cyc <- cyc;

@@ -75,5 +75,7 @@ val set_flop : t -> int -> bool -> unit
     on the next {!eval}. *)
 
 val save_state : t -> unit -> unit
-(** Capture flop values, input values, cycle count and device states;
-    returns a restorer closure. *)
+(** Capture flop values, input values, cycle count and device states
+    (every attached device's [dev_save], which for memory devices covers
+    their RAM backing); returns a restorer closure. Snapshots are the
+    basis of the masking oracle and of campaign checkpointing. *)

@@ -13,10 +13,19 @@ let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
+(* Draws are 62 uniform bits; values falling into the final partial bucket
+   of [bound] are rejected so every residue is equally likely (no modulo
+   bias). Rejection probability is < bound / 2^62 per draw. *)
+let max_raw = 0x3FFFFFFFFFFFFFFF (* 2^62 - 1 *)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
-  let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  raw mod bound
+  let rec draw () =
+    let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    let v = raw mod bound in
+    if raw - v > max_raw - bound + 1 then draw () else v
+  in
+  draw ()
 
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 

@@ -15,7 +15,8 @@ val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] draws a uniform integer in \[0, bound). [bound] must be
+(** [int t bound] draws a uniform integer in \[0, bound) by rejection
+    sampling (exactly uniform — no modulo bias). [bound] must be
     positive. *)
 
 val bool : t -> bool

@@ -9,6 +9,7 @@ let () =
       ("vcd", Test_vcd.suite);
       ("cpu", Test_cpu.suite);
       ("fi", Test_fi.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("mate", Test_mate.suite);
       ("properties", Test_properties.suite);
       ("extensions", Test_extensions.suite);

@@ -96,7 +96,7 @@ let test_oracle_sweep_counter () =
 let test_campaign_verdicts () =
   let program = Avr_asm.assemble Programs.avr_fib_halting in
   let make () = System.create_avr ~program "fib" in
-  let campaign = Campaign.create ~make ~total_cycles:300 in
+  let campaign = Campaign.create ~make ~total_cycles:300 () in
   let nl = (make ()).System.netlist in
   (* A fault in the high PC bit early on derails the program: SDC. *)
   let pc11 = (Netlist.find_flop nl "pc[11]").Netlist.flop_id in
@@ -122,7 +122,7 @@ let test_campaign_benign_via_oracle_agreement () =
      full campaign as well (sufficiency of intra-cycle masking). *)
   let program = Avr_asm.assemble Programs.avr_fib_halting in
   let make () = System.create_avr ~program "fib" in
-  let campaign = Campaign.create ~make ~total_cycles:260 in
+  let campaign = Campaign.create ~make ~total_cycles:260 () in
   let sys = make () in
   let nl = sys.System.netlist in
   let rng = Prng.create 2024 in
@@ -151,19 +151,23 @@ let test_campaign_benign_via_oracle_agreement () =
 let test_campaign_sampling () =
   let program = Avr_asm.assemble Programs.avr_fib_halting in
   let make () = System.create_avr ~program "fib" in
-  let campaign = Campaign.create ~make ~total_cycles:150 in
+  let campaign = Campaign.create ~make ~total_cycles:150 () in
   let nl = (make ()).System.netlist in
   let space = Fault_space.full nl ~cycles:150 in
   let rng = Prng.create 7 in
   let stats = Campaign.run_sample campaign ~space ~rng ~n:30 () in
   check_int "all accounted" 30 (stats.Campaign.benign + stats.Campaign.latent + stats.Campaign.sdc);
   check_int "all injected" 30 stats.Campaign.injections;
-  (* With a skip-everything filter no experiments run. *)
+  check_int "none skipped" 0 stats.Campaign.skipped;
+  (* With a skip-everything filter no experiments run: skips are counted
+     in their own field, keeping injections = benign + latent + sdc. *)
   let stats2 =
     Campaign.run_sample campaign ~space ~rng ~n:10 ~skip:(fun ~flop_id:_ ~cycle:_ -> true) ()
   in
   check_int "all skipped" 0 stats2.Campaign.injections;
-  check_int "skipped count as benign" 10 stats2.Campaign.benign
+  check_int "skipped counted apart" 10 stats2.Campaign.skipped;
+  check_int "no verdicts for skips" 0
+    (stats2.Campaign.benign + stats2.Campaign.latent + stats2.Campaign.sdc)
 
 let suite =
   [

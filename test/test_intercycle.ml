@@ -120,7 +120,7 @@ let test_equivalence_sound_in_campaign () =
   let sys = make () in
   let t = Intercycle.compute sys.System.sim ~flops:rf ~cycles:horizon in
   check_bool "rf classes collapse a lot" true (Intercycle.reduction_factor t > 5.);
-  let campaign = Campaign.create ~make ~total_cycles:horizon in
+  let campaign = Campaign.create ~make ~total_cycles:horizon () in
   let rng = Prng.create 17 in
   for _ = 1 to 12 do
     let fi = Prng.int rng (Array.length rf) in

@@ -179,12 +179,21 @@ let test_select_top_overshoot () =
   ignore nl
 
 let test_space_cycles_exceed_trace () =
+  (* A space longer than the trace is clamped: the replayable prefix masks
+     exactly what a trace-length space masks, and the rows beyond the
+     trace stay all-false (nothing provable without trace data). *)
   let nl, set, trace = tiny_setup () in
   let triggers = Replay.triggers set trace in
   let space = Fault_space.full nl ~cycles:50 in
-  Alcotest.check_raises "space too long"
-    (Invalid_argument "Replay.masked: space has more cycles than the trace") (fun () ->
-      ignore (Replay.masked set triggers ~space ()))
+  let matrix = Replay.masked set triggers ~space () in
+  check_int "matrix spans the space" 50 (Array.length matrix);
+  let clamped = Fault_space.full nl ~cycles:(Replay.n_cycles triggers) in
+  let prefix = Replay.masked set triggers ~space:clamped () in
+  check_int "same masking as trace-length space" (Replay.masked_count prefix)
+    (Replay.masked_count matrix);
+  for cycle = Replay.n_cycles triggers to 49 do
+    Array.iter (fun b -> check_bool "beyond trace all-false" false b) matrix.(cycle)
+  done
 
 (* ---- search statistics ------------------------------------------------ *)
 
