@@ -193,6 +193,7 @@ let run_perf () =
   let nl = System.avr_netlist () in
   let program = Avr_asm.assemble Programs.avr_fib in
   let make () = System.create_avr ~netlist:nl ~program "avr/fib" in
+  let make_lanes () = System.create_avr_lanes ~netlist:nl ~program "avr/fib" in
   let space = Fault_space.full nl ~cycles:horizon in
   Printf.printf "fault space: %d flops x %d cycles; %d samples (baseline %d)\n%!"
     (Array.length space.Fault_space.flops) horizon samples base_samples;
@@ -215,6 +216,12 @@ let run_perf () =
   let pstats, pt =
     time (fun () -> Campaign.run_sample ckpt2 ~space ~rng:(Prng.create 11) ~n:samples ~jobs ())
   in
+  (* Lane-parallel (PPSFP) engine, also on a cold campaign. The timing
+     includes building the lane worker and its checkpoint set. *)
+  let batched = Campaign.create ~make ~make_lanes ~total_cycles:horizon () in
+  let lstats, lt =
+    time (fun () -> Campaign.run_sample_batched batched ~space ~rng:(Prng.create 11) ~n:samples ())
+  in
   let rate (s : Campaign.stats) elapsed = float_of_int s.Campaign.injections /. max 1e-9 elapsed in
   let t = Table.create [ "engine"; "injections"; "time [s]"; "inj/s"; "speedup" ] in
   let base_rate = rate bstats bt in
@@ -232,11 +239,18 @@ let run_perf () =
   row (Printf.sprintf "checkpointed (K=%d, 1 domain)" (Campaign.checkpoint_interval ckpt)) cstats ct;
   row (Printf.sprintf "checkpointed (K=%d, %d domains)" (Campaign.checkpoint_interval ckpt) jobs)
     pstats pt;
+  row
+    (Printf.sprintf "bit-parallel (%d lanes, K=%d, 1 domain)" Campaign.max_fault_lanes
+       (Campaign.checkpoint_interval batched))
+    lstats lt;
   Table.print t;
-  (* The two checkpointed runs share the seed: identical sample list, so
-     identical stats regardless of domain count. *)
+  (* The checkpointed and batched runs share the seed: identical sample
+     list, so identical stats regardless of domain count or engine. *)
   assert (cstats = pstats);
+  assert (cstats = lstats);
   Printf.printf "single-domain speedup over from-scratch: %.1fx\n" (rate cstats ct /. base_rate);
+  Printf.printf "bit-parallel speedup over checkpointed single-domain: %.1fx\n"
+    (rate lstats lt /. rate cstats ct);
   Printf.printf "(multi-domain wall clock scales with physical cores; this host has %d)\n"
     (Domain.recommended_domain_count ())
 

@@ -18,28 +18,43 @@ open Cmdliner
 let make_system core program =
   match (core, program) with
   | "avr", "fib" ->
-    Some (fun nl -> System.create_avr ?netlist:nl ~program:(Avr_asm.assemble Programs.avr_fib) "avr/fib")
+    let p = lazy (Avr_asm.assemble Programs.avr_fib) in
+    Some
+      ( (fun nl -> System.create_avr ?netlist:nl ~program:(Lazy.force p) "avr/fib"),
+        fun nl -> System.create_avr_lanes ?netlist:nl ~program:(Lazy.force p) "avr/fib" )
   | "avr", "conv" ->
-    Some (fun nl -> System.create_avr ?netlist:nl ~program:(Avr_asm.assemble Programs.avr_conv) "avr/conv")
+    let p = lazy (Avr_asm.assemble Programs.avr_conv) in
+    Some
+      ( (fun nl -> System.create_avr ?netlist:nl ~program:(Lazy.force p) "avr/conv"),
+        fun nl -> System.create_avr_lanes ?netlist:nl ~program:(Lazy.force p) "avr/conv" )
   | "msp430", "fib" ->
-    Some (fun nl -> System.create_msp ?netlist:nl ~program:(Msp_asm.assemble Programs.msp_fib) "msp/fib")
+    let p = lazy (Msp_asm.assemble Programs.msp_fib) in
+    Some
+      ( (fun nl -> System.create_msp ?netlist:nl ~program:(Lazy.force p) "msp/fib"),
+        fun nl -> System.create_msp_lanes ?netlist:nl ~program:(Lazy.force p) "msp/fib" )
   | "msp430", "conv" ->
-    Some (fun nl -> System.create_msp ?netlist:nl ~program:(Msp_asm.assemble Programs.msp_conv) "msp/conv")
+    let p = lazy (Msp_asm.assemble Programs.msp_conv) in
+    Some
+      ( (fun nl -> System.create_msp ?netlist:nl ~program:(Lazy.force p) "msp/conv"),
+        fun nl -> System.create_msp_lanes ?netlist:nl ~program:(Lazy.force p) "msp/conv" )
   | _ -> None
 
-let run core program cycles samples seed prune jobs checkpoint_interval =
+let run core program cycles samples seed prune jobs checkpoint_interval batched =
   match make_system core program with
   | None ->
     prerr_endline "campaign: unknown core/program (avr|msp430 x fib|conv)";
     1
-  | Some make ->
+  | Some (make, make_lanes) ->
     let nl = (make None).System.netlist in
     let space = Fault_space.full nl ~cycles in
     Printf.printf "%s/%s: fault space = %d flops x %d cycles = %d faults; sampling %d\n%!"
       core program (Array.length space.Fault_space.flops) cycles (Fault_space.size space) samples;
     let checkpoint_interval = if checkpoint_interval > 0 then Some checkpoint_interval else None in
     let campaign =
-      Fi_campaign.create ?checkpoint_interval ~make:(fun () -> make (Some nl)) ~total_cycles:cycles ()
+      Fi_campaign.create ?checkpoint_interval
+        ~make:(fun () -> make (Some nl))
+        ~make_lanes:(fun () -> make_lanes (Some nl))
+        ~total_cycles:cycles ()
     in
     Printf.printf "checkpoint interval: %d cycles; jobs: %d\n%!"
       (Fi_campaign.checkpoint_interval campaign) jobs;
@@ -67,7 +82,14 @@ let run core program cycles samples seed prune jobs checkpoint_interval =
     in
     let rng = Prng.create seed in
     let start = Unix.gettimeofday () in
-    let stats = Fi_campaign.run_sample campaign ~space ~rng ~n:samples ?skip ~jobs () in
+    let stats =
+      if batched then begin
+        if jobs > 1 then
+          Printf.printf "(--batched runs the lane-parallel engine on one domain; ignoring --jobs)\n%!";
+        Fi_campaign.run_sample_batched campaign ~space ~rng ~n:samples ?skip ()
+      end
+      else Fi_campaign.run_sample campaign ~space ~rng ~n:samples ?skip ~jobs ()
+    in
     let elapsed = Unix.gettimeofday () -. start in
     Printf.printf "ran %d injections (%d skipped as pruned) in %.1fs (%.1f injections/s)\n"
       stats.Fi_campaign.injections stats.Fi_campaign.skipped elapsed
@@ -92,9 +114,19 @@ let checkpoint_interval =
     & info [ "checkpoint-interval" ]
         ~doc:"Golden-run checkpoint spacing in cycles (0 = auto: total/64).")
 
+let batched =
+  Arg.(
+    value & flag
+    & info [ "batched" ]
+        ~doc:
+          "Use the bit-parallel (PPSFP) engine: up to 62 faults simulated at once in the bit-lanes \
+           of one machine word. Verdicts are identical to the scalar engine.")
+
 let cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc:"sampled fault-injection campaign with optional MATE pruning")
-    Term.(const run $ core $ program $ cycles $ samples $ seed $ prune $ jobs $ checkpoint_interval)
+    Term.(
+      const run $ core $ program $ cycles $ samples $ seed $ prune $ jobs $ checkpoint_interval
+      $ batched)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,6 +1,8 @@
 module Netlist = Pruning_netlist.Netlist
 module Sim = Pruning_sim.Sim
+module Bitsim = Pruning_sim.Bitsim
 module System = Pruning_cpu.System
+module Memory = Pruning_cpu.Memory
 module Prng = Pruning_util.Prng
 
 type verdict =
@@ -22,8 +24,18 @@ type worker = {
       (* w_restores.(i) rewinds w_sys to the start of cycle i*interval *)
 }
 
+(* Lane-parallel worker: a Bitsim system plus its own checkpoint
+   snapshots, rebuilt once by replaying the golden prefix with all lanes
+   in lockstep. *)
+type lane_worker = {
+  lw_sys : System.lanes;
+  lw_restores : (unit -> unit) array;
+}
+
 type t = {
   make : unit -> System.t;
+  make_lanes : (unit -> System.lanes) option;
+  mutable lane_worker : lane_worker option;  (* built lazily on first batched run *)
   total_cycles : int;
   interval : int;  (* checkpoint spacing in cycles *)
   out_wires : int array;
@@ -50,7 +62,7 @@ let read_outputs sim out_wires = Array.map (fun w -> Sim.peek sim w) out_wires
 let read_flops sim nl =
   Array.map (fun (f : Netlist.flop) -> Sim.peek sim f.Netlist.q) nl.Netlist.flops
 
-let create ?checkpoint_interval ~make ~total_cycles () =
+let create ?checkpoint_interval ?make_lanes ~make ~total_cycles () =
   if total_cycles <= 0 then invalid_arg "Campaign.create: total_cycles must be positive";
   let interval =
     match checkpoint_interval with
@@ -82,6 +94,8 @@ let create ?checkpoint_interval ~make ~total_cycles () =
   Sim.eval sim;
   {
     make;
+    make_lanes;
+    lane_worker = None;
     total_cycles;
     interval;
     out_wires;
@@ -212,8 +226,24 @@ let inject_with t w ~flop_id ~cycle =
     | Some v -> v
     | None ->
       Sim.eval sim;
-      if read_flops sim nl = t.golden_flops && sys.System.ram = t.golden_ram then Benign
-      else Latent
+      (* Allocation-free horizon comparison: walk flops and RAM in place
+         instead of materializing a flop array per injection. *)
+      let flops = nl.Netlist.flops in
+      let ram = sys.System.ram in
+      let same = ref true in
+      let i = ref 0 in
+      let nf = Array.length flops in
+      while !same && !i < nf do
+        if Sim.peek sim flops.(!i).Netlist.q <> t.golden_flops.(!i) then same := false;
+        incr i
+      done;
+      let a = ref 0 in
+      let na = Array.length ram in
+      while !same && !a < na do
+        if ram.(!a) <> t.golden_ram.(!a) then same := false;
+        incr a
+      done;
+      if !same then Benign else Latent
   in
   if !pending <> [] then begin
     Mutex.lock t.memo_lock;
@@ -224,6 +254,256 @@ let inject_with t w ~flop_id ~cycle =
   verdict
 
 let inject t ~flop_id ~cycle = inject_with t t.primary ~flop_id ~cycle
+
+(* ------------------------------------------------------------------ *)
+(* Lane-parallel batched injection (PPSFP): lane 0 of a Bitsim worker
+   replays the golden run, lanes 1..N each carry one pending fault. All
+   comparisons are XOR-against-lane-0 masks, so one word operation
+   checks every lane at once; verdict semantics are exactly the scalar
+   engine's (the differential tests assert bit-identical results,
+   divergence cycles included). *)
+
+let fresh_lane_worker t make_lanes =
+  let sys = make_lanes () in
+  let bsim = sys.System.l_bsim in
+  let n_cp = Array.length t.cp_flops in
+  let restores = Array.make n_cp (fun () -> ()) in
+  restores.(0) <- System.save_lanes_state sys;
+  for cycle = 1 to (n_cp - 1) * t.interval do
+    Bitsim.step bsim;
+    if cycle mod t.interval = 0 then restores.(cycle / t.interval) <- System.save_lanes_state sys
+  done;
+  { lw_sys = sys; lw_restores = restores }
+
+let lane_worker t =
+  match t.lane_worker with
+  | Some w -> w
+  | None ->
+    let make_lanes =
+      match t.make_lanes with
+      | Some f -> f
+      | None ->
+        invalid_arg "Campaign: batched injection needs ~make_lanes at Campaign.create"
+    in
+    let w = fresh_lane_worker t make_lanes in
+    t.lane_worker <- Some w;
+    w
+
+(* Bit l of [v] as a full-width mask of lane 0's bit: a wire packed word
+   XORed with [replicate_lane0 v] has bit l set iff lane l disagrees
+   with the golden lane. *)
+let replicate_lane0 v = -(v land 1)
+
+let rec lsb_index v i = if v land 1 = 1 then i else lsb_index (v lsr 1) (i + 1)
+
+(* One pass over the horizon: restore the checkpoint covering the
+   earliest queued fault, then run forward, filling free lanes with
+   queued faults whose injection cycle has not passed yet, flipping each
+   lane's flop at its cycle, retiring lanes at checkpoint boundaries
+   (re-convergence -> Benign, memo hit -> replayed verdict) and on
+   output divergence (-> Sdc), and classifying survivors at the horizon.
+   Returns the queue of faults whose injection cycle was overtaken
+   before a lane freed up (classified by the next pass). *)
+let run_lane_pass t lw ~lanes faults verdicts queue =
+  let sys = lw.lw_sys in
+  let bsim = sys.System.l_bsim in
+  let nl = sys.System.l_netlist in
+  let ram = sys.System.l_ram in
+  let flops = nl.Netlist.flops in
+  let n_flops = Array.length flops in
+  let cp = (snd faults.(List.hd queue)) / t.interval in
+  lw.lw_restores.(cp) ();
+  let lane_fault = Array.make (lanes + 1) (-1) in
+  let lane_pending = Array.make (lanes + 1) [] in
+  let active = ref 0 in
+  let injected = ref 0 in
+  let free = ref (List.init lanes (fun i -> i + 1)) in
+  let pending_q = ref queue in
+  let leftover = ref [] in
+  let c = ref (cp * t.interval) in
+  let retire lane verdict =
+    verdicts.(lane_fault.(lane)) <- verdict;
+    (match lane_pending.(lane) with
+    | [] -> ()
+    | keys ->
+      Mutex.lock t.memo_lock;
+      if Hashtbl.length t.memo < max_memo_entries then
+        List.iter (fun key -> Hashtbl.replace t.memo key verdict) keys;
+      Mutex.unlock t.memo_lock;
+      lane_pending.(lane) <- []);
+    lane_fault.(lane) <- -1;
+    let m = lnot (1 lsl lane) in
+    active := !active land m;
+    injected := !injected land m;
+    (* Re-synchronize with the golden lane so the freed lane stops
+       producing divergence noise and can host the next fault. *)
+    Bitsim.reset_lane bsim ~lane;
+    Memory.lane_reset ram ~lane;
+    free := lane :: !free
+  in
+  let flop_diff_mask () =
+    let acc = ref 0 in
+    for i = 0 to n_flops - 1 do
+      let v = Bitsim.peek bsim flops.(i).Netlist.q in
+      acc := !acc lor (v lxor replicate_lane0 v)
+    done;
+    !acc
+  in
+  (* Per-lane architectural diff against lane 0 at a checkpoint
+     boundary: Benign retirement for re-converged lanes, memo lookup for
+     small divergences — the batched mirror of [state_diff]. *)
+  let boundary_check () =
+    let flop_diff = flop_diff_mask () in
+    let ram_mask = Memory.lane_diff_mask ram in
+    let diff_mask = (flop_diff lor ram_mask) land !injected in
+    let benign_mask = !injected land lnot diff_mask in
+    if benign_mask <> 0 then
+      for lane = 1 to lanes do
+        if benign_mask land (1 lsl lane) <> 0 then retire lane Benign
+      done;
+    if diff_mask <> 0 then begin
+      let counts = Array.make (lanes + 1) 0 in
+      let fd = Array.make (lanes + 1) [] in
+      let over = ref 0 in
+      for i = 0 to n_flops - 1 do
+        let v = Bitsim.peek bsim flops.(i).Netlist.q in
+        let d = ref ((v lxor replicate_lane0 v) land diff_mask land lnot !over) in
+        while !d <> 0 do
+          let lane = lsb_index !d 0 in
+          d := !d land (!d - 1);
+          counts.(lane) <- counts.(lane) + 1;
+          if counts.(lane) > max_memo_diff then over := !over lor (1 lsl lane)
+          else fd.(lane) <- (i, (v lsr lane) land 1 = 1) :: fd.(lane)
+        done
+      done;
+      let i_cp = !c / t.interval in
+      for lane = 1 to lanes do
+        if diff_mask land (1 lsl lane) <> 0 then begin
+          let key =
+            if !over land (1 lsl lane) <> 0 then None
+            else begin
+              let rd = Memory.lane_diffs ram ~lane in
+              if counts.(lane) + List.length rd > max_memo_diff then None
+              else Some (i_cp, List.rev fd.(lane), rd)
+            end
+          in
+          match key with
+          | None -> ()
+          | Some key -> (
+            Mutex.lock t.memo_lock;
+            let hit = Hashtbl.find_opt t.memo key in
+            Mutex.unlock t.memo_lock;
+            match hit with
+            | Some v -> retire lane v
+            | None -> lane_pending.(lane) <- key :: lane_pending.(lane))
+        end
+      done
+    end;
+    Memory.lane_compact ram
+  in
+  (try
+     while !c < t.total_cycles do
+       (* Refill free lanes with queued faults still injectable at !c;
+          overtaken faults go to the next pass. *)
+       let rec refill () =
+         match (!free, !pending_q) with
+         | [], _ | _, [] -> ()
+         | lane :: frest, idx :: qrest ->
+           let _, fc = faults.(idx) in
+           pending_q := qrest;
+           if fc < !c then leftover := idx :: !leftover
+           else begin
+             free := frest;
+             lane_fault.(lane) <- idx;
+             active := !active lor (1 lsl lane)
+           end;
+           refill ()
+       in
+       refill ();
+       if !active = 0 then raise Exit;
+       let to_inject = !active land lnot !injected in
+       if to_inject <> 0 then
+         for lane = 1 to lanes do
+           if to_inject land (1 lsl lane) <> 0 then begin
+             let flop_id, fc = faults.(lane_fault.(lane)) in
+             if fc = !c then begin
+               Bitsim.flip_flop_lane bsim flop_id ~lane;
+               injected := !injected lor (1 lsl lane)
+             end
+           end
+         done;
+       if !c mod t.interval = 0 && !injected <> 0 then boundary_check ();
+       Bitsim.eval bsim;
+       if !injected <> 0 then begin
+         let sdc = ref 0 in
+         Array.iter
+           (fun w ->
+             let v = Bitsim.peek bsim w in
+             sdc := !sdc lor (v lxor replicate_lane0 v))
+           t.out_wires;
+         let sdc = !sdc land !injected in
+         if sdc <> 0 then
+           for lane = 1 to lanes do
+             if sdc land (1 lsl lane) <> 0 then retire lane (Sdc !c)
+           done
+       end;
+       Bitsim.latch bsim;
+       incr c
+     done
+   with Exit -> ());
+  if !active <> 0 then begin
+    (* Horizon: same final architectural comparison as the scalar path
+       (lane 0 holds the golden horizon state). *)
+    Bitsim.eval bsim;
+    let diff = (flop_diff_mask () lor Memory.lane_diff_mask ram) land !active in
+    for lane = 1 to lanes do
+      if !active land (1 lsl lane) <> 0 then
+        retire lane (if diff land (1 lsl lane) <> 0 then Latent else Benign)
+    done
+  end;
+  (* Unclassified faults for the next pass: those overtaken while every
+     lane was busy, plus the queue tail never popped. Both lists are
+     ascending by (cycle, index); keep the merged queue sorted so the
+     next pass restores the right checkpoint for its head. *)
+  let by_cycle a b =
+    let ca = snd faults.(a) and cb = snd faults.(b) in
+    if ca <> cb then compare ca cb else compare a b
+  in
+  List.merge by_cycle (List.rev !leftover) !pending_q
+
+let max_fault_lanes = Bitsim.n_lanes - 1
+
+let inject_batch t ?lanes ~faults () =
+  let lanes =
+    match lanes with
+    | None -> max_fault_lanes
+    | Some l ->
+      if l < 1 || l > max_fault_lanes then
+        invalid_arg
+          (Printf.sprintf "Campaign.inject_batch: lanes must be in [1, %d]" max_fault_lanes);
+      l
+  in
+  Array.iter
+    (fun (_, cycle) ->
+      if cycle < 0 || cycle >= t.total_cycles then
+        invalid_arg "Campaign.inject_batch: cycle out of range")
+    faults;
+  let lw = lane_worker t in
+  let n = Array.length faults in
+  let verdicts = Array.make n Benign in
+  (* Classify in injection-cycle order so each pass drains as many
+     faults as possible before their cycles are overtaken. *)
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let ca = snd faults.(a) and cb = snd faults.(b) in
+      if ca <> cb then compare ca cb else compare a b)
+    order;
+  let queue = ref (Array.to_list order) in
+  while !queue <> [] do
+    queue := run_lane_pass t lw ~lanes faults verdicts !queue
+  done;
+  verdicts
 
 type stats = {
   injections : int;
@@ -282,6 +562,38 @@ let run_sample t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false) ?(job
     end
   in
   { injections = n - n_skipped; benign = b; latent = l; sdc = s; skipped = n_skipped }
+
+let run_sample_batched t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false) ?lanes () =
+  if n < 0 then invalid_arg "Campaign.run_sample_batched: n must be non-negative";
+  let flops = space.Fault_space.flops in
+  let cycle_bound = min space.Fault_space.cycles t.total_cycles in
+  (* Same draw order as [run_sample]: equal seeds yield equal fault
+     lists, so the batched stats must equal the scalar stats exactly. *)
+  let samples = Array.make n (0, 0) in
+  for i = 0 to n - 1 do
+    let flop = flops.(Prng.int rng (Array.length flops)) in
+    let cycle = Prng.int rng cycle_bound in
+    samples.(i) <- (flop.Netlist.flop_id, cycle)
+  done;
+  let skipped = Array.map (fun (flop_id, cycle) -> skip ~flop_id ~cycle) samples in
+  let n_skipped = Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 skipped in
+  let faults = Array.make (n - n_skipped) (0, 0) in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    if not skipped.(i) then begin
+      faults.(!j) <- samples.(i);
+      incr j
+    end
+  done;
+  let verdicts = inject_batch t ?lanes ~faults () in
+  let b = ref 0 and l = ref 0 and s = ref 0 in
+  Array.iter
+    (function
+      | Benign -> incr b
+      | Latent -> incr l
+      | Sdc _ -> incr s)
+    verdicts;
+  { injections = n - n_skipped; benign = !b; latent = !l; sdc = !s; skipped = n_skipped }
 
 let pp_verdict ppf = function
   | Benign -> Format.fprintf ppf "benign"

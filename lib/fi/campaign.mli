@@ -26,7 +26,17 @@
     Campaigns fan out over OCaml domains: {!run_sample} with [~jobs:k]
     classifies the same deterministic fault list on [k] domains, each with
     its own system and checkpoint set, and merges the per-domain counts.
-    The stats are independent of [jobs]. *)
+    The stats are independent of [jobs].
+
+    The batched path ({!inject_batch}, {!run_sample_batched}) instead
+    packs up to [Pruning_sim.Bitsim.n_lanes - 1] experiments into the
+    bit-lanes of one lane-parallel simulation: lane 0 replays the golden
+    run and every other lane carries one fault, so a single pass over the
+    netlist advances all pending experiments at once. Lanes retire early
+    exactly like the scalar engine (Benign re-convergence or memo hits at
+    checkpoint boundaries, SDC on output divergence) and freed lanes are
+    refilled from the remaining fault queue mid-run. Verdicts — including
+    SDC cycles — are bit-identical to {!inject}. *)
 
 type verdict =
   | Benign
@@ -36,11 +46,19 @@ type verdict =
 type t
 
 val create :
-  ?checkpoint_interval:int -> make:(unit -> Pruning_cpu.System.t) -> total_cycles:int -> unit -> t
+  ?checkpoint_interval:int ->
+  ?make_lanes:(unit -> Pruning_cpu.System.lanes) ->
+  make:(unit -> Pruning_cpu.System.t) ->
+  total_cycles:int ->
+  unit ->
+  t
 (** Runs the golden experiment once, caching its observables and the
     periodic checkpoints. [make] must produce a fresh, deterministic
     system each call (it is also invoked once per extra domain by
     {!run_sample}, so it must be safe to call from other domains).
+    [make_lanes] builds the same system over the lane-parallel simulator
+    and enables {!inject_batch} / {!run_sample_batched}; the lane worker
+    (and its own checkpoint set) is built lazily on first batched call.
     [checkpoint_interval] defaults to [max 1 (total_cycles / 64)]; a value
     larger than [total_cycles] effectively disables checkpointing (single
     snapshot at reset, no early verdicts). *)
@@ -79,5 +97,31 @@ val run_sample :
     domain. [jobs] (default 1) fans the experiments out over that many
     OCaml domains; the sampled fault list is drawn up front from [rng],
     so the resulting stats are identical for every [jobs] value. *)
+
+val max_fault_lanes : int
+(** Fault-carrying lanes per batch: [Pruning_sim.Bitsim.n_lanes - 1]
+    (lane 0 is the golden reference). *)
+
+val inject_batch : t -> ?lanes:int -> faults:(int * int) array -> unit -> verdict array
+(** Classify every [(flop_id, cycle)] fault on the lane-parallel worker
+    and return the verdicts in input order. [lanes] (default
+    {!max_fault_lanes}, must be in [\[1, max_fault_lanes\]]) caps how many
+    faults are in flight at once. Requires [~make_lanes] at {!create}.
+    Not safe to call concurrently from several domains (one shared lane
+    worker), but composes with the scalar paths: both share the campaign's
+    verdict memo. *)
+
+val run_sample_batched :
+  t ->
+  space:Fault_space.t ->
+  rng:Pruning_util.Prng.t ->
+  n:int ->
+  ?skip:(flop_id:int -> cycle:int -> bool) ->
+  ?lanes:int ->
+  unit ->
+  stats
+(** {!run_sample}, batched: draws the identical fault list for the same
+    [rng] seed and classifies it with {!inject_batch}, so the stats are
+    bit-identical to the scalar path's. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

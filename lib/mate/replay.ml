@@ -4,52 +4,71 @@ module Netlist = Pruning_netlist.Netlist
 
 type triggers = {
   t_cycles : int;
-  bits : Bytes.t array;  (** per mate, bitset over cycles *)
+  words : int array array;
+      (** per mate, column-packed bitset over cycles: bit [c mod word_size]
+          of word [c / word_size] *)
 }
 
+(* Evaluating a term over the whole trace is a handful of word-wide
+   AND/ANDN operations on column-packed wire histories: one word op
+   covers [Trace.bits_per_word] cycles, and columns are shared between
+   mates that mention the same wire. *)
 let triggers (set : Mateset.t) trace =
   let cycles = Trace.n_cycles trace in
-  let bytes_per_mate = (cycles + 7) / 8 in
-  let bits =
+  let n_words = Trace.n_words trace in
+  let columns = Hashtbl.create 64 in
+  let column wire =
+    match Hashtbl.find_opt columns wire with
+    | Some c -> c
+    | None ->
+      let c = Trace.column trace ~wire in
+      Hashtbl.add columns wire c;
+      c
+  in
+  (* All-ones out to [cycles], zero beyond: conjunction identity that
+     also masks the undefined tail bits of the last word. *)
+  let tail = cycles - (n_words - 1) * Trace.bits_per_word in
+  let full_word w = if w = n_words - 1 && tail < Trace.bits_per_word then (1 lsl tail) - 1 else -1 in
+  let words =
     Array.map
       (fun (m : Mateset.mate) ->
-        let b = Bytes.make bytes_per_mate '\000' in
-        let literals = Array.of_list (Term.literals m.Mateset.term) in
-        for cycle = 0 to cycles - 1 do
-          let holds = ref true in
-          let i = ref 0 in
-          let n = Array.length literals in
-          while !holds && !i < n do
-            let l = literals.(!i) in
-            if Trace.get trace ~cycle l.Term.wire <> l.Term.value then holds := false;
-            incr i
-          done;
-          if !holds then
-            Bytes.set b (cycle lsr 3)
-              (Char.chr (Char.code (Bytes.get b (cycle lsr 3)) lor (1 lsl (cycle land 7))))
-        done;
-        b)
+        let acc = Array.init n_words full_word in
+        List.iter
+          (fun (l : Term.literal) ->
+            let col = column l.Term.wire in
+            if l.Term.value then
+              for w = 0 to n_words - 1 do
+                acc.(w) <- acc.(w) land col.(w)
+              done
+            else
+              for w = 0 to n_words - 1 do
+                acc.(w) <- acc.(w) land lnot col.(w)
+              done)
+          (Term.literals m.Mateset.term);
+        acc)
       set.Mateset.mates
   in
-  { t_cycles = cycles; bits }
+  { t_cycles = cycles; words }
 
 let n_cycles t = t.t_cycles
 
 let triggered t ~mate ~cycle =
-  Char.code (Bytes.get t.bits.(mate) (cycle lsr 3)) land (1 lsl (cycle land 7)) <> 0
+  (t.words.(mate).(cycle / Trace.bits_per_word) lsr (cycle mod Trace.bits_per_word)) land 1 <> 0
 
-let trigger_count t i =
-  let count = ref 0 in
-  Bytes.iter
-    (fun c ->
-      let rec pop n = if n = 0 then 0 else (n land 1) + pop (n lsr 1) in
-      count := !count + pop (Char.code c))
-    t.bits.(i);
-  !count
+let popcount n =
+  let c = ref 0 in
+  let n = ref n in
+  while !n <> 0 do
+    n := !n land (!n - 1);
+    incr c
+  done;
+  !c
+
+let trigger_count t i = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words.(i)
 
 let effective_indices t =
   let out = ref [] in
-  for i = Array.length t.bits - 1 downto 0 do
+  for i = Array.length t.words - 1 downto 0 do
     if trigger_count t i > 0 then out := i :: !out
   done;
   !out

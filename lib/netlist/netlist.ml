@@ -30,6 +30,7 @@ type port = {
 type t = {
   name : string;
   wire_names : string array;
+  wire_index : (string, wire) Hashtbl.t;
   gates : gate array;
   flops : flop array;
   inputs : port list;
@@ -53,13 +54,9 @@ let n_flops t = Array.length t.flops
 let wire_name t w = t.wire_names.(w)
 
 let find_wire t name =
-  let n = Array.length t.wire_names in
-  let rec go i =
-    if i >= n then raise Not_found
-    else if String.equal t.wire_names.(i) name then i
-    else go (i + 1)
-  in
-  go 0
+  match Hashtbl.find_opt t.wire_index name with
+  | Some w -> w
+  | None -> raise Not_found
 
 let find_flop t name =
   match Array.find_opt (fun f -> String.equal f.flop_name name) t.flops with
@@ -238,9 +235,16 @@ module Builder = struct
         readers.(gates.(gid).output)
     done;
     if !count <> ng then invalid "combinational cycle through %d gate(s)" (ng - !count);
+    (* Name -> wire lookup table. Duplicate names keep the first (lowest)
+       wire, preserving the linear-scan semantics this replaces. *)
+    let wire_index = Hashtbl.create (2 * nw) in
+    Array.iteri
+      (fun w name -> if not (Hashtbl.mem wire_index name) then Hashtbl.add wire_index name w)
+      wire_names;
     {
       name = b.bname;
       wire_names;
+      wire_index;
       gates;
       flops;
       inputs;

@@ -41,6 +41,9 @@ type port = {
 type t = private {
   name : string;
   wire_names : string array;
+  wire_index : (string, wire) Hashtbl.t;
+      (** name -> wire, first occurrence wins (built at [finalize];
+          {!find_wire} is O(1)) *)
   gates : gate array;
   flops : flop array;
   inputs : port list;  (** primary input ports *)

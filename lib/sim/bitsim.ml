@@ -1,0 +1,199 @@
+module Netlist = Pruning_netlist.Netlist
+module Cell = Pruning_cell.Cell
+module Lower = Pruning_cell.Lower
+
+let n_lanes = Sys.int_size
+
+type reader = Netlist.wire -> int
+type writer = Netlist.wire -> int -> unit
+
+type device = {
+  dev_name : string;
+  dev_comb : reader -> writer -> unit;
+  dev_clock : reader -> unit;
+  dev_save : unit -> unit -> unit;
+}
+
+let pure_device name dev_comb =
+  { dev_name = name; dev_comb; dev_clock = (fun _ -> ()); dev_save = (fun () () -> ()) }
+
+(* One gate of the packed array: the cell's Shannon-lowered formula,
+   compiled once with the input wire indices baked in. *)
+type packed_gate = {
+  g_output : int;
+  g_eval : int array -> int;
+}
+
+type t = {
+  nl : Netlist.t;
+  values : int array;  (* per wire: one packed word, bit l = lane l *)
+  is_input : bool array;
+  packed : packed_gate array;  (* in topological order *)
+  latch_buf : int array;  (* scratch for the two-phase flop update *)
+  mutable devices_rev : device list;
+  mutable devices_ord : device list option;
+  mutable cyc : int;
+}
+
+let splat b = if b then -1 else 0
+
+let create nl =
+  let nw = Netlist.n_wires nl in
+  let values = Array.make nw 0 in
+  Array.iter
+    (fun (f : Netlist.flop) -> values.(f.Netlist.q) <- splat f.Netlist.init)
+    nl.Netlist.flops;
+  let is_input = Array.make nw false in
+  List.iter
+    (fun (p : Netlist.port) -> Array.iter (fun w -> is_input.(w) <- true) p.Netlist.port_wires)
+    nl.Netlist.inputs;
+  (* The library has ~25 distinct cells; lower each (arity, table) once
+     and share the expression across all its gate instances. *)
+  let lowered = Hashtbl.create 32 in
+  let lower (cell : Cell.t) =
+    let key = (cell.Cell.arity, cell.Cell.table) in
+    match Hashtbl.find_opt lowered key with
+    | Some e -> e
+    | None ->
+      let e = Lower.of_cell cell in
+      Hashtbl.add lowered key e;
+      e
+  in
+  let packed =
+    Array.map
+      (fun gid ->
+        let g = nl.Netlist.gates.(gid) in
+        {
+          g_output = g.Netlist.output;
+          g_eval = Lower.compile (lower g.Netlist.cell) ~inputs:g.Netlist.inputs;
+        })
+      nl.Netlist.topo
+  in
+  {
+    nl;
+    values;
+    is_input;
+    packed;
+    latch_buf = Array.make (Netlist.n_flops nl) 0;
+    devices_rev = [];
+    devices_ord = None;
+    cyc = 0;
+  }
+
+let netlist t = t.nl
+let cycle t = t.cyc
+
+let devices t =
+  match t.devices_ord with
+  | Some ds -> ds
+  | None ->
+    let ds = List.rev t.devices_rev in
+    t.devices_ord <- Some ds;
+    ds
+
+let add_device t d =
+  t.devices_rev <- d :: t.devices_rev;
+  t.devices_ord <- None
+
+let set_input t w v =
+  if not t.is_input.(w) then
+    invalid_arg
+      (Printf.sprintf "Bitsim.set_input: %s is not a primary input" (Netlist.wire_name t.nl w));
+  t.values.(w) <- v
+
+let peek t w = t.values.(w)
+
+let eval_combinational t =
+  let values = t.values in
+  let packed = t.packed in
+  for i = 0 to Array.length packed - 1 do
+    let g = Array.unsafe_get packed i in
+    Array.unsafe_set values g.g_output (g.g_eval values)
+  done
+
+let max_device_rounds = 5
+
+let eval t =
+  eval_combinational t;
+  if t.devices_rev <> [] then begin
+    let changed = ref true in
+    let rounds = ref 0 in
+    let reader w = t.values.(w) in
+    let writer w v =
+      if not t.is_input.(w) then
+        invalid_arg
+          (Printf.sprintf "Bitsim device: %s is not a primary input" (Netlist.wire_name t.nl w));
+      if t.values.(w) <> v then begin
+        t.values.(w) <- v;
+        changed := true
+      end
+    in
+    while !changed do
+      changed := false;
+      List.iter (fun d -> d.dev_comb reader writer) (devices t);
+      if !changed then begin
+        incr rounds;
+        if !rounds > max_device_rounds then
+          failwith "Bitsim.eval: device inputs failed to stabilize";
+        eval_combinational t
+      end
+    done
+  end
+
+let latch t =
+  let reader w = t.values.(w) in
+  List.iter (fun d -> d.dev_clock reader) (devices t);
+  let flops = t.nl.Netlist.flops in
+  let n = Array.length flops in
+  let next = t.latch_buf in
+  for i = 0 to n - 1 do
+    next.(i) <- t.values.(flops.(i).Netlist.d)
+  done;
+  for i = 0 to n - 1 do
+    t.values.(flops.(i).Netlist.q) <- next.(i)
+  done;
+  t.cyc <- t.cyc + 1
+
+let step t =
+  eval t;
+  latch t
+
+let run t ~cycles =
+  for _ = 1 to cycles do
+    step t
+  done
+
+let get_flop t fid = t.values.(t.nl.Netlist.flops.(fid).Netlist.q)
+let set_flop t fid v = t.values.(t.nl.Netlist.flops.(fid).Netlist.q) <- v
+
+let check_lane lane =
+  if lane < 0 || lane >= n_lanes then invalid_arg "Bitsim: lane out of range"
+
+let get_flop_lane t fid ~lane =
+  check_lane lane;
+  (get_flop t fid lsr lane) land 1 <> 0
+
+let flip_flop_lane t fid ~lane =
+  check_lane lane;
+  let q = t.nl.Netlist.flops.(fid).Netlist.q in
+  t.values.(q) <- t.values.(q) lxor (1 lsl lane)
+
+let reset_lane t ~lane =
+  check_lane lane;
+  let m = 1 lsl lane in
+  let keep = lnot m in
+  let values = t.values in
+  for w = 0 to Array.length values - 1 do
+    let v = Array.unsafe_get values w in
+    (* copy lane 0's bit into [lane] *)
+    Array.unsafe_set values w (v land keep lor ((v land 1) * m))
+  done
+
+let save_state t =
+  let values = Array.copy t.values in
+  let cyc = t.cyc in
+  let device_restores = List.map (fun d -> d.dev_save ()) (devices t) in
+  fun () ->
+    Array.blit values 0 t.values 0 (Array.length values);
+    t.cyc <- cyc;
+    List.iter (fun restore -> restore ()) device_restores

@@ -1,0 +1,87 @@
+(** Lane-parallel (PPSFP) netlist simulator.
+
+    The bit-parallel sibling of {!Sim}: every wire holds one packed
+    machine word of {!n_lanes} independent simulation lanes — by
+    convention lane 0 is the golden (fault-free) run and lanes
+    [1 .. n_lanes - 1] carry faulty machines. Each gate is lowered once
+    from its truth table into a straight-line bitwise formula
+    ({!Pruning_cell.Lower}), so one pass over the packed gate array
+    advances all lanes at once — the classic parallel fault simulation
+    trick that gives the campaign engine its throughput multiplier.
+
+    Two-phase semantics, devices and snapshots mirror {!Sim} exactly; a
+    lane-parallel run whose lanes never diverge is cycle-identical to the
+    scalar simulator (the differential tests assert this). Lane-aware
+    devices read and drive whole packed words; see
+    {!Pruning_cpu.Memory} for copy-on-write RAM models whose per-lane
+    contents materialize only when a lane's address/data/write-enable
+    diverges from lane 0. *)
+
+type t
+
+val n_lanes : int
+(** Number of lanes per machine word ([Sys.int_size], 63 on 64-bit). *)
+
+type reader = Pruning_netlist.Netlist.wire -> int
+type writer = Pruning_netlist.Netlist.wire -> int -> unit
+
+type device = {
+  dev_name : string;
+  dev_comb : reader -> writer -> unit;
+      (** Combinational response over packed words: read outputs, drive
+          primary inputs. *)
+  dev_clock : reader -> unit;  (** Clocked side effect at the latch edge. *)
+  dev_save : unit -> unit -> unit;
+      (** [dev_save ()] captures internal state and returns a restorer. *)
+}
+
+val pure_device : string -> (reader -> writer -> unit) -> device
+
+val create : Pruning_netlist.Netlist.t -> t
+(** Fresh simulator; every lane of a flop starts at its [init] value,
+    primary inputs at 0. *)
+
+val netlist : t -> Pruning_netlist.Netlist.t
+val cycle : t -> int
+
+val add_device : t -> device -> unit
+
+val set_input : t -> Pruning_netlist.Netlist.wire -> int -> unit
+(** Drive a primary-input wire with a packed word. *)
+
+val peek : t -> Pruning_netlist.Netlist.wire -> int
+(** Packed word of any wire as of the last {!eval}. *)
+
+val splat : bool -> int
+(** [splat b] is the packed word holding [b] in every lane ([-1] or [0]). *)
+
+val eval : t -> unit
+(** Stabilize combinational logic and devices for the current cycle. *)
+
+val latch : t -> unit
+(** Clock edge: device clocked hooks, flop update, cycle advance. *)
+
+val step : t -> unit
+(** [eval] then [latch]. *)
+
+val run : t -> cycles:int -> unit
+
+val get_flop : t -> int -> int
+(** Packed Q word of a flop (by [flop_id]). *)
+
+val set_flop : t -> int -> int -> unit
+
+val get_flop_lane : t -> int -> lane:int -> bool
+
+val flip_flop_lane : t -> int -> lane:int -> unit
+(** XOR one lane's bit of a flop's Q — the per-lane SEU injection
+    primitive. Takes effect on the next {!eval}. *)
+
+val reset_lane : t -> lane:int -> unit
+(** Copy lane 0's bit into [lane] for every wire, re-synchronizing the
+    lane with the golden run (device state is handled by the devices
+    themselves, e.g. {!Pruning_cpu.Memory.lane_reset}). *)
+
+val save_state : t -> unit -> unit
+(** Whole-simulator snapshot (wire words, cycle count, device states);
+    returns a restorer closure. *)

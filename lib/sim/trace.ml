@@ -22,12 +22,19 @@ let ensure_capacity t =
 let append t values =
   if Array.length values <> t.n_wires then invalid_arg "Trace.append: width mismatch";
   ensure_capacity t;
-  let row = Bytes.make t.bytes_per_cycle '\000' in
-  for w = 0 to t.n_wires - 1 do
-    if values.(w) then begin
-      let byte = Char.code (Bytes.get row (w lsr 3)) in
-      Bytes.set row (w lsr 3) (Char.chr (byte lor (1 lsl (w land 7))))
-    end
+  (* Pack 8 wires per byte in one pass: accumulate the byte in a local
+     int and store it once, instead of a read-modify-write through
+     Char.code/Char.chr for every set bit. *)
+  let row = Bytes.create t.bytes_per_cycle in
+  let n = t.n_wires in
+  for b = 0 to t.bytes_per_cycle - 1 do
+    let base = b lsl 3 in
+    let lim = min 8 (n - base) in
+    let byte = ref 0 in
+    for j = 0 to lim - 1 do
+      if Array.unsafe_get values (base + j) then byte := !byte lor (1 lsl j)
+    done;
+    Bytes.unsafe_set row b (Char.unsafe_chr !byte)
   done;
   t.rows.(t.n_cycles) <- row;
   t.n_cycles <- t.n_cycles + 1
@@ -43,9 +50,34 @@ let get t ~cycle w =
   check t ~cycle w;
   get_unchecked t cycle w
 
-let row t ~cycle =
+let row ?into t ~cycle =
   if cycle < 0 || cycle >= t.n_cycles then invalid_arg "Trace.row: cycle out of range";
-  Array.init t.n_wires (fun w -> get_unchecked t cycle w)
+  let out =
+    match into with
+    | None -> Array.make t.n_wires false
+    | Some buf ->
+      if Array.length buf <> t.n_wires then invalid_arg "Trace.row: buffer width mismatch";
+      buf
+  in
+  for w = 0 to t.n_wires - 1 do
+    out.(w) <- get_unchecked t cycle w
+  done;
+  out
+
+let bits_per_word = Sys.int_size
+
+let n_words t = (t.n_cycles + bits_per_word - 1) / bits_per_word
+
+let column t ~wire =
+  if wire < 0 || wire >= t.n_wires then invalid_arg "Trace.column: wire out of range";
+  let words = Array.make (n_words t) 0 in
+  let byte = wire lsr 3 and bit = wire land 7 in
+  for cycle = 0 to t.n_cycles - 1 do
+    if Char.code (Bytes.unsafe_get t.rows.(cycle) byte) land (1 lsl bit) <> 0 then
+      words.(cycle / bits_per_word) <-
+        words.(cycle / bits_per_word) lor (1 lsl (cycle mod bits_per_word))
+  done;
+  words
 
 let changed t ~cycle w =
   check t ~cycle w;

@@ -19,8 +19,22 @@ val append : t -> bool array -> unit
 val get : t -> cycle:int -> int -> bool
 (** [get t ~cycle wire]. Raises [Invalid_argument] out of range. *)
 
-val row : t -> cycle:int -> bool array
-(** A fresh array with all wire values of one cycle. *)
+val row : ?into:bool array -> t -> cycle:int -> bool array
+(** All wire values of one cycle. With [~into] the values are written
+    into the caller's buffer (length must be [n_wires]) and that buffer
+    is returned — no allocation; otherwise a fresh array is allocated. *)
+
+val bits_per_word : int
+(** Cycles packed per word by {!column} ([Sys.int_size]). *)
+
+val n_words : t -> int
+(** Words per column: [ceil (n_cycles / bits_per_word)]. *)
+
+val column : t -> wire:int -> int array
+(** Column-packed view of one wire: bit [c mod bits_per_word] of word
+    [c / bits_per_word] is the wire's value at cycle [c]. Lets replay
+    loops (e.g. {!Pruning_mate.Replay.triggers}) evaluate a literal over
+    [bits_per_word] cycles per machine operation. *)
 
 val changed : t -> cycle:int -> int -> bool
 (** [changed t ~cycle w] is true when the value of [w] differs from the

@@ -10,6 +10,7 @@ let () =
       ("cpu", Test_cpu.suite);
       ("fi", Test_fi.suite);
       ("checkpoint", Test_checkpoint.suite);
+      ("bitsim", Test_bitsim.suite);
       ("mate", Test_mate.suite);
       ("properties", Test_properties.suite);
       ("extensions", Test_extensions.suite);

@@ -1,0 +1,235 @@
+(* The bit-parallel (PPSFP) engine.
+
+   Three layers of evidence:
+   - every cell's Shannon-lowered formula equals its truth table on every
+     input pattern, in every lane (exhaustive, plus random tables);
+   - the lane-parallel simulator is cycle-identical to the scalar
+     simulator on whole CPU systems while no lane diverges, and lane
+     flips stay confined to their lane;
+   - batched campaign verdicts — SDC cycles included — are bit-identical
+     to the scalar checkpointed engine over hundreds of random faults on
+     both cores, across lane fills and checkpoint intervals. *)
+
+open Helpers
+module Lower = Pruning_cell.Lower
+module Bitsim = Pruning_sim.Bitsim
+module Campaign = Pruning_fi.Campaign
+module Fault_space = Pruning_fi.Fault_space
+module System = Pruning_cpu.System
+module Memory = Pruning_cpu.Memory
+module Avr_asm = Pruning_cpu.Avr_asm
+module Msp_asm = Pruning_cpu.Msp_asm
+module Programs = Pruning_cpu.Programs
+
+(* ------------------------------------------------------------------ *)
+(* Lowering: formula = truth table, all patterns, all lanes. *)
+
+(* Pack every input pattern of an [arity]-pin cell across the lanes: lane
+   [l] carries pattern [l mod 2^arity], so all [Bitsim.n_lanes] lanes are
+   exercised even for small cells. Pin [j]'s packed word has bit [l] set
+   iff pattern [l mod 2^arity] sets pin [j]. *)
+let packed_pins arity =
+  let n_patterns = 1 lsl arity in
+  Array.init arity (fun j ->
+      let w = ref 0 in
+      for lane = 0 to Bitsim.n_lanes - 1 do
+        if (lane mod n_patterns) lsr j land 1 = 1 then w := !w lor (1 lsl lane)
+      done;
+      !w)
+
+let check_table ~what ~arity ~table out =
+  let n_patterns = 1 lsl arity in
+  for lane = 0 to Bitsim.n_lanes - 1 do
+    let expect = table lsr (lane mod n_patterns) land 1 in
+    if (out lsr lane) land 1 <> expect then
+      Alcotest.failf "%s (arity %d, table %#x): lane %d (pattern %d) got %d, want %d" what arity
+        table lane (lane mod n_patterns)
+        ((out lsr lane) land 1)
+        expect
+  done
+
+let test_lower_cells_exhaustive () =
+  List.iter
+    (fun (cell : Cell.t) ->
+      let e = Lower.of_cell cell in
+      let pins = packed_pins cell.Cell.arity in
+      check_table ~what:(cell.Cell.name ^ "/eval") ~arity:cell.Cell.arity ~table:cell.Cell.table
+        (Lower.eval e pins);
+      (* The compiled closure reads pins through a wire-value array. *)
+      let inputs = Array.init cell.Cell.arity (fun j -> j) in
+      let f = Lower.compile e ~inputs in
+      check_table ~what:(cell.Cell.name ^ "/compile") ~arity:cell.Cell.arity ~table:cell.Cell.table
+        (f pins))
+    Cell.all
+
+let test_lower_random_tables () =
+  let rng = Prng.create 0xBEEF in
+  for _ = 1 to 500 do
+    let arity = Prng.int rng (Cell.max_arity + 1) in
+    let table = Prng.int rng (1 lsl (1 lsl arity)) in
+    let e = Lower.of_table ~arity ~table in
+    check_table ~what:"random" ~arity ~table (Lower.eval e (packed_pins arity))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Whole-system lockstep: with no injected divergence, every lane of the
+   bit-parallel simulator equals the scalar simulator on every wire of
+   every cycle. *)
+
+let check_lockstep name sim bsim nl ~cycles =
+  let n_wires = Netlist.n_wires nl in
+  for cycle = 0 to cycles - 1 do
+    Sim.eval sim;
+    Bitsim.eval bsim;
+    for w = 0 to n_wires - 1 do
+      let expect = Bitsim.splat (Sim.peek sim w) in
+      let got = Bitsim.peek bsim w in
+      if got <> expect then
+        Alcotest.failf "%s: cycle %d wire %d (%s): packed %#x, scalar %b" name cycle w
+          (Netlist.wire_name nl w) got (Sim.peek sim w)
+    done;
+    Sim.latch sim;
+    Bitsim.latch bsim
+  done
+
+let test_lockstep_avr () =
+  let nl = System.avr_netlist () in
+  let program = Avr_asm.assemble Programs.avr_fib in
+  let sys = System.create_avr ~netlist:nl ~program "avr/fib" in
+  let lanes = System.create_avr_lanes ~netlist:nl ~program "avr/fib" in
+  check_lockstep "avr" sys.System.sim lanes.System.l_bsim nl ~cycles:150
+
+let test_lockstep_msp () =
+  let nl = System.msp_netlist () in
+  let program = Msp_asm.assemble Programs.msp_fib in
+  let sys = System.create_msp ~netlist:nl ~program "msp/fib" in
+  let lanes = System.create_msp_lanes ~netlist:nl ~program "msp/fib" in
+  check_lockstep "msp430" sys.System.sim lanes.System.l_bsim nl ~cycles:150
+
+let test_lane_isolation () =
+  (* Flip one flop in one lane of a live AVR run: only that lane may ever
+     differ from lane 0, and resetting the lane restores full agreement. *)
+  let nl = System.avr_netlist () in
+  let program = Avr_asm.assemble Programs.avr_fib in
+  let lanes = System.create_avr_lanes ~netlist:nl ~program "avr/fib" in
+  let bsim = lanes.System.l_bsim in
+  Bitsim.run bsim ~cycles:20;
+  let lane = 17 in
+  let fid = (Netlist.find_flop nl "pc[1]").Netlist.flop_id in
+  Bitsim.flip_flop_lane bsim fid ~lane;
+  let others = lnot (1 lsl lane) in
+  for _ = 1 to 30 do
+    Bitsim.eval bsim;
+    for w = 0 to Netlist.n_wires nl - 1 do
+      let v = Bitsim.peek bsim w in
+      let diff = (v lxor - (v land 1)) land others in
+      if diff <> 0 then
+        Alcotest.failf "lane isolation: wire %s differs outside lane %d (diff %#x)"
+          (Netlist.wire_name nl w) lane diff
+    done;
+    Bitsim.latch bsim
+  done;
+  Bitsim.reset_lane bsim ~lane;
+  Memory.lane_reset lanes.System.l_ram ~lane;
+  Bitsim.eval bsim;
+  for w = 0 to Netlist.n_wires nl - 1 do
+    let v = Bitsim.peek bsim w in
+    if v lxor - (v land 1) <> 0 then
+      Alcotest.failf "reset_lane: wire %s still diverged" (Netlist.wire_name nl w)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Differential campaign: batched verdicts = scalar verdicts. *)
+
+let total_cycles = 120
+let n_pairs = 500
+
+let avr_makers () =
+  let nl = System.avr_netlist () in
+  let program = Avr_asm.assemble Programs.avr_fib_halting in
+  ( nl,
+    (fun () -> System.create_avr ~netlist:nl ~program "avr/fib"),
+    fun () -> System.create_avr_lanes ~netlist:nl ~program "avr/fib" )
+
+let msp_makers () =
+  let nl = System.msp_netlist () in
+  let program = Msp_asm.assemble Programs.msp_fib_halting in
+  ( nl,
+    (fun () -> System.create_msp ~netlist:nl ~program "msp/fib"),
+    fun () -> System.create_msp_lanes ~netlist:nl ~program "msp/fib" )
+
+let verdict_to_string v = Format.asprintf "%a" Campaign.pp_verdict v
+
+let check_batched_matches_scalar name (nl, make, make_lanes) =
+  let n_flops = Array.length nl.Netlist.flops in
+  let rng = Prng.create 0xDECAF in
+  let faults =
+    Array.init n_pairs (fun _ ->
+        (nl.Netlist.flops.(Prng.int rng n_flops).Netlist.flop_id, Prng.int rng total_cycles))
+  in
+  (* Scalar reference verdicts (checkpointed engine, validated against
+     from-scratch re-simulation by the checkpoint suite). *)
+  let scalar = Campaign.create ~make ~total_cycles () in
+  let expected =
+    Array.map (fun (flop_id, cycle) -> Campaign.inject scalar ~flop_id ~cycle) faults
+  in
+  (* Several checkpoint intervals — including every-cycle snapshots and
+     checkpointing disabled — and several lane fills, down to 3 lanes
+     (heavy refill pressure: most faults wait for a freed lane). *)
+  List.iter
+    (fun (interval, lanes) ->
+      let campaign =
+        Campaign.create ~checkpoint_interval:interval ~make ~make_lanes ~total_cycles ()
+      in
+      let got = Campaign.inject_batch campaign ~lanes ~faults () in
+      Array.iteri
+        (fun i v ->
+          if v <> expected.(i) then
+            Alcotest.failf "%s K=%d lanes=%d (flop %d, cycle %d): batched=%s, scalar=%s" name
+              interval lanes (fst faults.(i)) (snd faults.(i)) (verdict_to_string v)
+              (verdict_to_string expected.(i)))
+        got)
+    [
+      (1, Campaign.max_fault_lanes);
+      (13, Campaign.max_fault_lanes);
+      (37, Campaign.max_fault_lanes);
+      (total_cycles + 5, Campaign.max_fault_lanes);
+      (13, 3);
+      (13, 7);
+    ]
+
+let test_batched_avr () = check_batched_matches_scalar "avr" (avr_makers ())
+let test_batched_msp () = check_batched_matches_scalar "msp430" (msp_makers ())
+
+let test_run_sample_batched_stats () =
+  (* Identical seed => identical fault list => identical stats, with and
+     without a skip predicate. *)
+  let nl, make, make_lanes = avr_makers () in
+  let space = Fault_space.full nl ~cycles:total_cycles in
+  let campaign = Campaign.create ~make ~make_lanes ~total_cycles () in
+  let scalar = Campaign.run_sample campaign ~space ~rng:(Prng.create 4242) ~n:150 () in
+  let batched = Campaign.run_sample_batched campaign ~space ~rng:(Prng.create 4242) ~n:150 () in
+  check_bool "stats equal" true (scalar = batched);
+  let skip ~flop_id ~cycle = (flop_id + cycle) mod 3 = 0 in
+  let scalar_s = Campaign.run_sample campaign ~space ~rng:(Prng.create 7) ~n:150 ~skip () in
+  let batched_s =
+    Campaign.run_sample_batched campaign ~space ~rng:(Prng.create 7) ~n:150 ~skip ()
+  in
+  check_bool "stats equal (skip)" true (scalar_s = batched_s);
+  check_bool "some skipped" true (batched_s.Campaign.skipped > 0);
+  check_int "invariant" batched_s.Campaign.injections
+    (batched_s.Campaign.benign + batched_s.Campaign.latent + batched_s.Campaign.sdc)
+
+let suite =
+  [
+    Alcotest.test_case "lowered cells = truth tables (all lanes)" `Quick
+      test_lower_cells_exhaustive;
+    Alcotest.test_case "lowered random tables (500)" `Quick test_lower_random_tables;
+    Alcotest.test_case "bitsim = sim lockstep (AVR)" `Quick test_lockstep_avr;
+    Alcotest.test_case "bitsim = sim lockstep (MSP430)" `Quick test_lockstep_msp;
+    Alcotest.test_case "lane flip stays confined; reset restores" `Quick test_lane_isolation;
+    Alcotest.test_case "batched = scalar verdicts (AVR, 500 faults)" `Quick test_batched_avr;
+    Alcotest.test_case "batched = scalar verdicts (MSP430, 500 faults)" `Quick test_batched_msp;
+    Alcotest.test_case "run_sample_batched = run_sample stats" `Quick
+      test_run_sample_batched_stats;
+  ]
