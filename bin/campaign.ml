@@ -1,6 +1,13 @@
 (* campaign: sampled end-to-end fault-injection campaign on a built-in
    core/program, with and without MATE-based fault-space pruning — the
-   HAFI use case of the paper, emulated in the simulator. *)
+   HAFI use case of the paper, emulated in the simulator.
+
+   Long campaigns are survivable: --journal streams every verdict into a
+   crash-safe CRC-checksummed journal, --resume picks a killed campaign
+   up where the journal ends (bit-identical final stats), --watchdog and
+   the supervisor's retries contain runaway or crashing experiments, and
+   --audit cross-checks the MATE pruner by actually injecting a fraction
+   of the "pruned" faults. *)
 
 module Netlist = Pruning_netlist.Netlist
 module System = Pruning_cpu.System
@@ -9,11 +16,24 @@ module Msp_asm = Pruning_cpu.Msp_asm
 module Programs = Pruning_cpu.Programs
 module Fi_campaign = Pruning_fi.Campaign
 module Fault_space = Pruning_fi.Fault_space
+module Durable = Pruning_fi.Durable
+module Journal = Pruning_fi.Journal
 module Search = Pruning_mate.Search
 module Mateset = Pruning_mate.Mateset
 module Replay = Pruning_mate.Replay
 module Prng = Pruning_util.Prng
 open Cmdliner
+
+(* Distinct exit codes so scripts (and the CI crash-resume smoke test)
+   can tell validation failures apart; documented in the man page. *)
+let exit_bad_core = 10
+let exit_bad_cycles = 11
+let exit_bad_samples = 12
+let exit_bad_seed = 13
+let exit_bad_interval = 14
+let exit_bad_audit = 15
+let exit_bad_supervisor = 16
+let exit_journal = 17
 
 let make_system core program =
   match (core, program) with
@@ -39,16 +59,82 @@ let make_system core program =
         fun nl -> System.create_msp_lanes ?netlist:nl ~program:(Lazy.force p) "msp/conv" )
   | _ -> None
 
-let run core program cycles samples seed prune jobs checkpoint_interval batched =
-  match make_system core program with
+(* Upfront validation: every bad argument gets its own exit code and an
+   actionable message instead of an exception (or silent misbehaviour)
+   halfway into the campaign. *)
+let validate ~core ~program ~cycles ~samples ~seed ~checkpoint_interval ~audit ~watchdog ~retries
+    ~jobs ~prune ~resume ~journal =
+  let fail code fmt = Printf.ksprintf (fun s -> prerr_endline ("campaign: " ^ s); Some code) fmt in
+  if make_system core program = None then
+    fail exit_bad_core
+      "unknown core/program %S/%S (valid: avr|msp430 x fib|conv)" core program
+  else if cycles <= 0 then
+    fail exit_bad_cycles "--cycles must be positive (got %d)" cycles
+  else if samples < 0 then
+    fail exit_bad_samples "--samples must be non-negative (got %d)" samples
+  else if seed < 0 then
+    fail exit_bad_seed
+      "--seed must be non-negative (got %d); seeds are recorded in journal headers as-is" seed
+  else if checkpoint_interval < 0 then
+    fail exit_bad_interval
+      "--checkpoint-interval must be non-negative (got %d); 0 selects the automatic interval"
+      checkpoint_interval
+  else if not (audit >= 0. && audit <= 1.) then
+    fail exit_bad_audit "--audit must be a fraction in [0, 1] (got %g)" audit
+  else if audit > 0. && not prune then
+    fail exit_bad_audit "--audit %g needs --prune: without pruning there is nothing to audit" audit
+  else if watchdog < 0 then
+    fail exit_bad_supervisor "--watchdog must be non-negative cycles (got %d); 0 disables it"
+      watchdog
+  else if retries < 0 then fail exit_bad_supervisor "--retries must be non-negative (got %d)" retries
+  else if jobs < 1 then fail exit_bad_supervisor "--jobs must be positive (got %d)" jobs
+  else if resume && journal = None then
+    fail exit_journal "--resume needs --journal pointing at the journal to resume"
+  else None
+
+(* Cooperative SIGINT/SIGTERM shutdown: the durable runner polls the
+   flag between experiments, journals everything finished so far and
+   returns; we then report how to resume and exit with the conventional
+   128+signal code. *)
+let stop_signal = Atomic.make 0
+
+let install_signal_handlers () =
+  let handle signum = Sys.Signal_handle (fun _ -> Atomic.set stop_signal signum) in
+  (try Sys.set_signal Sys.sigint (handle Sys.sigint) with Invalid_argument _ -> ());
+  try Sys.set_signal Sys.sigterm (handle Sys.sigterm) with Invalid_argument _ -> ()
+
+let report_unknown_flops pruner =
+  match pruner with
+  | Some p when Replay.unknown_count p > 0 ->
+    Printf.printf
+      "warning: %d prune lookups named flops outside the fault space (injected, not pruned)\n"
+      (Replay.unknown_count p)
+  | _ -> ()
+
+let print_stats (stats : Fi_campaign.stats) elapsed =
+  Printf.printf "ran %d injections (%d skipped as pruned, %d crashed) in %.1fs (%.1f injections/s)\n"
+    stats.Fi_campaign.injections stats.Fi_campaign.skipped stats.Fi_campaign.crashed elapsed
+    (float_of_int stats.Fi_campaign.injections /. max 1e-9 elapsed);
+  Printf.printf "verdicts: %d benign, %d latent, %d SDC\n" stats.Fi_campaign.benign
+    stats.Fi_campaign.latent stats.Fi_campaign.sdc
+
+let run core program cycles samples seed prune jobs checkpoint_interval batched journal resume
+    audit watchdog retries =
+  match
+    validate ~core ~program ~cycles ~samples ~seed ~checkpoint_interval ~audit ~watchdog ~retries
+      ~jobs ~prune ~resume ~journal
+  with
+  | Some code -> code
   | None ->
-    prerr_endline "campaign: unknown core/program (avr|msp430 x fib|conv)";
-    1
-  | Some (make, make_lanes) ->
+    let make, make_lanes =
+      match make_system core program with
+      | Some m -> m
+      | None -> assert false
+    in
     let nl = (make None).System.netlist in
     let space = Fault_space.full nl ~cycles in
-    Printf.printf "%s/%s: fault space = %d flops x %d cycles = %d faults; sampling %d\n%!"
-      core program (Array.length space.Fault_space.flops) cycles (Fault_space.size space) samples;
+    Printf.printf "%s/%s: fault space = %d flops x %d cycles = %d faults; sampling %d\n%!" core
+      program (Array.length space.Fault_space.flops) cycles (Fault_space.size space) samples;
     let checkpoint_interval = if checkpoint_interval > 0 then Some checkpoint_interval else None in
     let campaign =
       Fi_campaign.create ?checkpoint_interval
@@ -58,7 +144,7 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
     in
     Printf.printf "checkpoint interval: %d cycles; jobs: %d\n%!"
       (Fi_campaign.checkpoint_interval campaign) jobs;
-    let skip =
+    let pruner =
       if not prune then None
       else begin
         Printf.printf "searching MATEs...\n%!";
@@ -68,35 +154,96 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
         let sys = make (Some nl) in
         let trace = System.record sys ~cycles in
         let triggers = Replay.triggers set trace in
-        let matrix = Replay.masked set triggers ~space () in
-        let pruned = Replay.masked_count matrix in
+        let pruner = Replay.pruner set triggers ~space () in
+        let pruned = Replay.pruner_masked_count pruner in
         Printf.printf "MATEs prune %d of %d faults (%.2f%%) before injection\n%!" pruned
           (Fault_space.size space)
           (Pruning_util.Stats.percentage pruned (Fault_space.size space));
-        Some
-          (fun ~flop_id ~cycle ->
-            match Fault_space.flop_index space flop_id with
-            | Some fi -> matrix.(cycle).(fi)
-            | None -> false)
+        Some pruner
       end
     in
-    let rng = Prng.create seed in
+    let skip = Option.map (fun p -> fun ~flop_id ~cycle -> Replay.pruned p ~flop_id ~cycle) pruner in
+    let durable = journal <> None || resume || audit > 0. || watchdog > 0 in
+    if batched && jobs > 1 then
+      Printf.printf "(--batched runs the lane-parallel engine on one domain; ignoring --jobs)\n%!";
     let start = Unix.gettimeofday () in
-    let stats =
-      if batched then begin
-        if jobs > 1 then
-          Printf.printf "(--batched runs the lane-parallel engine on one domain; ignoring --jobs)\n%!";
-        Fi_campaign.run_sample_batched campaign ~space ~rng ~n:samples ?skip ()
-      end
-      else Fi_campaign.run_sample campaign ~space ~rng ~n:samples ?skip ~jobs ()
-    in
-    let elapsed = Unix.gettimeofday () -. start in
-    Printf.printf "ran %d injections (%d skipped as pruned) in %.1fs (%.1f injections/s)\n"
-      stats.Fi_campaign.injections stats.Fi_campaign.skipped elapsed
-      (float_of_int stats.Fi_campaign.injections /. max 1e-9 elapsed);
-    Printf.printf "verdicts: %d benign, %d latent, %d SDC\n" stats.Fi_campaign.benign
-      stats.Fi_campaign.latent stats.Fi_campaign.sdc;
-    0
+    if not durable then begin
+      let rng = Prng.create seed in
+      let stats =
+        if batched then Fi_campaign.run_sample_batched campaign ~space ~rng ~n:samples ?skip ()
+        else Fi_campaign.run_sample campaign ~space ~rng ~n:samples ?skip ~jobs ()
+      in
+      print_stats stats (Unix.gettimeofday () -. start);
+      report_unknown_flops pruner;
+      0
+    end
+    else begin
+      install_signal_handlers ();
+      let audit_arg =
+        match (pruner, audit) with
+        | Some p, a when a > 0. ->
+          Some
+            ( a,
+              {
+                Durable.masking = (fun ~flop_id ~cycle -> Replay.masking p ~flop_id ~cycle);
+                quarantine = Replay.quarantine p;
+                describe = Replay.describe_mate p;
+              } )
+        | _ -> None
+      in
+      match
+        Durable.run campaign ~space ~seed ~n:samples ~ident:(core, program) ?skip ?audit:audit_arg
+          ~jobs ~batched
+          ?budget:(if watchdog > 0 then Some watchdog else None)
+          ~retries ?journal ~resume
+          ~should_stop:(fun () -> Atomic.get stop_signal <> 0)
+          ()
+      with
+      | exception Journal.Error msg ->
+        prerr_endline ("campaign: " ^ msg);
+        exit_journal
+      | result ->
+        let elapsed = Unix.gettimeofday () -. start in
+        if result.Durable.recovered > 0 then
+          Printf.printf "resumed: %d verdicts recovered from the journal%s\n"
+            result.Durable.recovered
+            (if result.Durable.dropped_bytes > 0 then
+               Printf.sprintf " (%d torn trailing bytes truncated)" result.Durable.dropped_bytes
+             else "");
+        if result.Durable.retried > 0 then
+          Printf.printf "supervisor: %d experiment retries on fresh systems\n" result.Durable.retried;
+        print_stats result.Durable.stats elapsed;
+        if audit > 0. then begin
+          let a = result.Durable.audit in
+          Printf.printf "audit: %d pruned faults injected, %d soundness violations, %d MATEs quarantined\n"
+            a.Durable.audited
+            (List.length a.Durable.violations)
+            (List.length a.Durable.quarantined);
+          List.iter
+            (fun v ->
+              Printf.printf "  VIOLATION sample %d (flop %d, cycle %d): verdict %s, quarantined %s\n"
+                v.Durable.v_index v.Durable.v_flop_id v.Durable.v_cycle
+                (Format.asprintf "%a" Fi_campaign.pp_verdict v.Durable.v_verdict)
+                (String.concat ", "
+                   (List.map
+                      (fun m ->
+                        match pruner with
+                        | Some p -> Replay.describe_mate p m
+                        | None -> string_of_int m)
+                      v.Durable.v_mates)))
+            a.Durable.violations
+        end;
+        report_unknown_flops pruner;
+        if not result.Durable.completed then begin
+          let signum = Atomic.get stop_signal in
+          Printf.printf "interrupted — progress is journaled%s\n"
+            (match journal with
+            | Some dir -> Printf.sprintf "; resume with --resume --journal %s" dir
+            | None -> " only in this process (no --journal given)");
+          if signum = Sys.sigterm then 143 else 130
+        end
+        else 0
+    end
 
 let core = Arg.(value & opt string "avr" & info [ "core" ] ~doc:"avr or msp430.")
 let program = Arg.(value & opt string "fib" & info [ "program" ] ~doc:"fib or conv.")
@@ -122,11 +269,70 @@ let batched =
           "Use the bit-parallel (PPSFP) engine: up to 62 faults simulated at once in the bit-lanes \
            of one machine word. Verdicts are identical to the scalar engine.")
 
+let journal =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"DIR"
+        ~doc:
+          "Stream every verdict into a crash-safe CRC-checksummed journal at $(docv). A killed \
+           campaign resumes from it with $(b,--resume) and finishes with bit-identical statistics.")
+
+let resume =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume the campaign recorded in $(b,--journal): recorded verdicts are replayed, only \
+           missing experiments run. The journal header must match this invocation.")
+
+let audit =
+  Arg.(
+    value & opt float 0.
+    & info [ "audit" ] ~docv:"P"
+        ~doc:
+          "MATE soundness sentinel: inject fraction $(docv) of the faults the pruner claims \
+           benign and verify the verdict. A violation quarantines the offending MATE (its faults \
+           are injected, not pruned, from then on) and is reported; the campaign never aborts. \
+           Requires $(b,--prune).")
+
+let watchdog =
+  Arg.(
+    value & opt int 0
+    & info [ "watchdog" ] ~docv:"CYCLES"
+        ~doc:
+          "Per-experiment watchdog: an experiment consuming more than $(docv) simulated cycles is \
+           aborted, retried on a fresh system, and eventually recorded as crashed (0 = off; \
+           scalar engine only).")
+
+let retries =
+  Arg.(
+    value & opt int 2
+    & info [ "retries" ]
+        ~doc:
+          "Supervisor retries per failing experiment, each on a freshly built system, before it \
+           is recorded as crashed.")
+
 let cmd =
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P "0 on success. Validation failures use distinct codes:";
+      `P "10: unknown core/program; 11: bad --cycles; 12: bad --samples; 13: bad --seed; 14: bad \
+          --checkpoint-interval; 15: bad --audit (or --audit without --prune); 16: bad \
+          --watchdog/--retries/--jobs; 17: journal error (corrupt, mismatched, or missing for \
+          --resume).";
+      `P "130/143: interrupted by SIGINT/SIGTERM after a clean journal flush (resumable with \
+          --resume).";
+    ]
+  in
   Cmd.v
-    (Cmd.info "campaign" ~doc:"sampled fault-injection campaign with optional MATE pruning")
+    (Cmd.info "campaign" ~man
+       ~doc:
+         "sampled fault-injection campaign with optional MATE pruning, crash-safe journaling, \
+          supervised execution and MATE soundness auditing")
     Term.(
       const run $ core $ program $ cycles $ samples $ seed $ prune $ jobs $ checkpoint_interval
-      $ batched)
+      $ batched $ journal $ resume $ audit $ watchdog $ retries)
 
 let () = exit (Cmd.eval' cmd)

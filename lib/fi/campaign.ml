@@ -110,6 +110,7 @@ let create ?checkpoint_interval ?make_lanes ~make ~total_cycles () =
   }
 
 let checkpoint_interval t = t.interval
+let total_cycles t = t.total_cycles
 
 (* A fresh worker for another domain: its own system plus its own
    checkpoint snapshots, rebuilt by replaying the golden run up to the
@@ -176,16 +177,32 @@ let state_diff t w ~cp =
     Some (!fd, !rd)
   with Too_big -> None
 
-let inject_with t w ~flop_id ~cycle =
+exception Budget_exceeded
+
+let inject_with ?budget t w ~flop_id ~cycle =
   if cycle < 0 || cycle >= t.total_cycles then invalid_arg "Campaign.inject: cycle out of range";
   let sys = w.w_sys in
   let sim = sys.System.sim in
   let nl = sys.System.netlist in
+  (* Cooperative watchdog: charge every simulated cycle (prefix replay
+     included) against the caller's budget. The raise may abandon the
+     worker mid-run, which is safe — every injection starts by restoring
+     a checkpoint. *)
+  let used = ref 0 in
+  let charge =
+    match budget with
+    | None -> fun () -> ()
+    | Some b ->
+      fun () ->
+        incr used;
+        if !used > b then raise Budget_exceeded
+  in
   (* Rewind to the nearest checkpoint at or before the injection cycle and
      replay the (fault-free) remainder of the prefix. *)
   let cp = cycle / t.interval in
   w.w_restores.(cp) ();
   for _ = 1 to cycle - (cp * t.interval) do
+    charge ();
     Sim.step sim ()
   done;
   Sim.eval sim;
@@ -216,6 +233,7 @@ let inject_with t w ~flop_id ~cycle =
       Sim.eval sim;
       if not (outputs_match t sim !c) then result := Some (Sdc !c)
       else begin
+        charge ();
         Sim.latch sim;
         incr c
       end
@@ -254,6 +272,7 @@ let inject_with t w ~flop_id ~cycle =
   verdict
 
 let inject t ~flop_id ~cycle = inject_with t t.primary ~flop_id ~cycle
+let primary_worker t = t.primary
 
 (* ------------------------------------------------------------------ *)
 (* Lane-parallel batched injection (PPSFP): lane 0 of a Bitsim worker
@@ -473,6 +492,11 @@ let run_lane_pass t lw ~lanes faults verdicts queue =
 
 let max_fault_lanes = Bitsim.n_lanes - 1
 
+(* Drop the (lazily rebuilt) lane worker — the supervisor's recovery
+   path after an exception escaped mid-batch and left its lanes in an
+   unknown state. *)
+let reset_lane_worker t = t.lane_worker <- None
+
 let inject_batch t ?lanes ~faults () =
   let lanes =
     match lanes with
@@ -511,6 +535,7 @@ type stats = {
   latent : int;
   sdc : int;
   skipped : int;
+  crashed : int;
 }
 
 let count_chunk t w samples skipped lo hi =
@@ -561,7 +586,7 @@ let run_sample t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false) ?(job
         (0, 0, 0) domains
     end
   in
-  { injections = n - n_skipped; benign = b; latent = l; sdc = s; skipped = n_skipped }
+  { injections = n - n_skipped; benign = b; latent = l; sdc = s; skipped = n_skipped; crashed = 0 }
 
 let run_sample_batched t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false) ?lanes () =
   if n < 0 then invalid_arg "Campaign.run_sample_batched: n must be non-negative";
@@ -593,7 +618,14 @@ let run_sample_batched t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> fals
       | Latent -> incr l
       | Sdc _ -> incr s)
     verdicts;
-  { injections = n - n_skipped; benign = !b; latent = !l; sdc = !s; skipped = n_skipped }
+  {
+    injections = n - n_skipped;
+    benign = !b;
+    latent = !l;
+    sdc = !s;
+    skipped = n_skipped;
+    crashed = 0;
+  }
 
 let pp_verdict ppf = function
   | Benign -> Format.fprintf ppf "benign"

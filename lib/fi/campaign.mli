@@ -66,11 +66,39 @@ val create :
 val checkpoint_interval : t -> int
 (** The checkpoint spacing actually in use. *)
 
+val total_cycles : t -> int
+(** The campaign horizon. *)
+
 val inject : t -> flop_id:int -> cycle:int -> verdict
 (** One fault-injection experiment. [cycle] must be < [total_cycles]. Not
     safe to call concurrently from several domains (it reuses the
     campaign's primary worker); use {!run_sample} with [~jobs] for
     parallel campaigns. *)
+
+type worker
+(** One domain's private injection state: a system plus its own
+    checkpoint snapshots. A worker must only ever be driven from one
+    domain at a time. *)
+
+val primary_worker : t -> worker
+(** The calling domain's built-in worker (the one {!inject} uses). *)
+
+val fresh_worker : t -> worker
+(** Build a new worker by replaying the golden prefix on a fresh system
+    from [make] — the unit of isolation for parallel shards, and the
+    supervisor's recovery action after a worker is lost to a crash or a
+    watchdog kill. Safe to call from any domain. *)
+
+exception Budget_exceeded
+(** Raised by {!inject_with} when an experiment's simulated-cycle budget
+    runs out (the per-experiment watchdog). *)
+
+val inject_with : ?budget:int -> t -> worker -> flop_id:int -> cycle:int -> verdict
+(** {!inject} on an explicit worker. [budget], if given, bounds the
+    simulated cycles the experiment may consume (checkpoint-replay prefix
+    included); exceeding it raises {!Budget_exceeded}, after which the
+    worker remains usable (every injection starts from a checkpoint
+    restore). *)
 
 type stats = {
   injections : int;  (** experiments actually executed *)
@@ -78,9 +106,14 @@ type stats = {
   latent : int;
   sdc : int;
   skipped : int;  (** faults skipped by the [skip] predicate, not run *)
+  crashed : int;
+      (** experiments that failed persistently under a supervised
+          ({!Durable}) run — never aborts the campaign; always [0] on the
+          unsupervised paths *)
 }
-(** Invariant: [injections = benign + latent + sdc]; [skipped] is counted
-    separately ([injections + skipped] = total faults sampled). *)
+(** Invariant: [injections = benign + latent + sdc]; [skipped] and
+    [crashed] are counted separately
+    ([injections + skipped + crashed] = total faults sampled). *)
 
 val run_sample :
   t ->
@@ -101,6 +134,11 @@ val run_sample :
 val max_fault_lanes : int
 (** Fault-carrying lanes per batch: [Pruning_sim.Bitsim.n_lanes - 1]
     (lane 0 is the golden reference). *)
+
+val reset_lane_worker : t -> unit
+(** Discard the cached lane worker; the next batched call rebuilds it
+    from scratch. The supervisor's recovery action when an exception
+    escaped mid-batch and the lanes' state is no longer trustworthy. *)
 
 val inject_batch : t -> ?lanes:int -> faults:(int * int) array -> unit -> verdict array
 (** Classify every [(flop_id, cycle)] fault on the lane-parallel worker

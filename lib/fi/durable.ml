@@ -1,0 +1,379 @@
+module Netlist = Pruning_netlist.Netlist
+module Prng = Pruning_util.Prng
+
+type audit_hooks = {
+  masking : flop_id:int -> cycle:int -> int list;
+  quarantine : int -> unit;
+  describe : int -> string;
+}
+
+type violation = {
+  v_index : int;
+  v_flop_id : int;
+  v_cycle : int;
+  v_verdict : Campaign.verdict;
+  v_mates : int list;
+}
+
+type audit_report = {
+  audited : int;
+  violations : violation list;
+  quarantined : int list;
+}
+
+type result = {
+  stats : Campaign.stats;
+  audit : audit_report;
+  completed : bool;
+  recovered : int;
+  dropped_bytes : int;
+  retried : int;
+}
+
+let outcome_of_verdict : Campaign.verdict -> Journal.outcome = function
+  | Campaign.Benign -> Journal.Benign
+  | Campaign.Latent -> Journal.Latent
+  | Campaign.Sdc c -> Journal.Sdc c
+
+(* Resuming under a different invocation would silently change what the
+   journal's verdicts mean; refuse with a message naming every mismatch. *)
+let validate_header ~dir (h : Journal.header) (want : Journal.header) =
+  let problems = ref [] in
+  let chk name same render_h render_w =
+    if not same then
+      problems :=
+        Printf.sprintf "%s: journal has %s, invocation has %s" name render_h render_w :: !problems
+  in
+  chk "core" (h.Journal.core = want.Journal.core) h.Journal.core want.Journal.core;
+  chk "program" (h.Journal.program = want.Journal.program) h.Journal.program want.Journal.program;
+  chk "cycles"
+    (h.Journal.cycles = want.Journal.cycles)
+    (string_of_int h.Journal.cycles)
+    (string_of_int want.Journal.cycles);
+  chk "seed" (h.Journal.seed = want.Journal.seed) (string_of_int h.Journal.seed)
+    (string_of_int want.Journal.seed);
+  chk "samples"
+    (h.Journal.samples = want.Journal.samples)
+    (string_of_int h.Journal.samples)
+    (string_of_int want.Journal.samples);
+  chk "prune" (h.Journal.prune = want.Journal.prune) (string_of_bool h.Journal.prune)
+    (string_of_bool want.Journal.prune);
+  chk "audit" (h.Journal.audit = want.Journal.audit)
+    (Printf.sprintf "%g" h.Journal.audit)
+    (Printf.sprintf "%g" want.Journal.audit);
+  chk "shards (--jobs)"
+    (h.Journal.shards = want.Journal.shards)
+    (string_of_int h.Journal.shards)
+    (string_of_int want.Journal.shards);
+  chk "batched" (h.Journal.batched = want.Journal.batched) (string_of_bool h.Journal.batched)
+    (string_of_bool want.Journal.batched);
+  chk "prng" (h.Journal.prng = want.Journal.prng) h.Journal.prng want.Journal.prng;
+  if !problems <> [] then
+    raise
+      (Journal.Error
+         (Printf.sprintf "%s: cannot resume, the journal was written by a different campaign:\n  %s"
+            dir
+            (String.concat "\n  " (List.rev !problems))))
+
+let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit ?(jobs = 1)
+    ?(batched = false) ?budget ?(retries = 2) ?journal ?(resume = false) ?records_per_segment
+    ?(should_stop = fun () -> false) ?chaos () =
+  if n < 0 then invalid_arg "Durable.run: n must be non-negative";
+  if jobs < 1 then invalid_arg "Durable.run: jobs must be positive";
+  if retries < 0 then invalid_arg "Durable.run: retries must be non-negative";
+  (match audit with
+  | Some (p, _) when not (p >= 0. && p <= 1.) ->
+    invalid_arg "Durable.run: audit fraction must be in [0, 1]"
+  | _ -> ());
+  (match budget with
+  | Some b when b <= 0 -> invalid_arg "Durable.run: budget must be positive"
+  | _ -> ());
+  if resume && journal = None then invalid_arg "Durable.run: resume requires a journal";
+  let core, program = ident in
+  (* Identical draw order to [Campaign.run_sample]: the fault list is a
+     function of the seed alone, so journal resume, jobs count and the
+     batched engine all see the same samples. *)
+  let rng = Prng.create seed in
+  let master_state = Prng.save rng in
+  let flops = space.Fault_space.flops in
+  let cycle_bound = min space.Fault_space.cycles (Campaign.total_cycles campaign) in
+  let samples = Array.make n (0, 0) in
+  for i = 0 to n - 1 do
+    let flop = flops.(Prng.int rng (Array.length flops)) in
+    let cycle = Prng.int rng cycle_bound in
+    samples.(i) <- (flop.Netlist.flop_id, cycle)
+  done;
+  let shards = if batched then 1 else max 1 (min jobs (max 1 n)) in
+  (* Per-shard audit samplers, split off deterministically after the
+     sample draw; their initial states are pinned in the journal header
+     so a resumed run replays the identical audit decisions. *)
+  let shard_states = Array.init shards (fun _ -> Prng.save (Prng.split rng)) in
+  let audit_p, hooks =
+    match audit with
+    | Some (p, h) -> (p, Some h)
+    | None -> (0., None)
+  in
+  let header : Journal.header =
+    {
+      Journal.core;
+      program;
+      cycles = Campaign.total_cycles campaign;
+      seed;
+      samples = n;
+      prune = skip <> None;
+      audit = audit_p;
+      shards;
+      batched;
+      prng = master_state;
+      shard_prng = shard_states;
+    }
+  in
+  (* Shared supervisor state; [lock] guards everything but [outcomes],
+     whose cells are each written by exactly one shard. *)
+  let lock = Mutex.create () in
+  let outcomes : Journal.outcome option array = Array.make n None in
+  let violations = ref [] in
+  let quarantined = ref [] in
+  let audited = ref 0 in
+  let retried = ref 0 in
+  let pre_quarantine m =
+    match hooks with
+    | Some h ->
+      h.quarantine m;
+      quarantined := m :: !quarantined
+    | None -> quarantined := m :: !quarantined
+  in
+  let writer, recovered, dropped_bytes =
+    match journal with
+    | None -> (None, 0, 0)
+    | Some dir when resume ->
+      let h, entries, dropped, w = Journal.resume ?records_per_segment ~dir () in
+      validate_header ~dir h header;
+      let recovered = ref 0 in
+      Array.iter
+        (function
+          | Journal.Outcome (i, o) ->
+            if i >= 0 && i < n && outcomes.(i) = None then begin
+              outcomes.(i) <- Some o;
+              incr recovered
+            end
+          | Journal.Quarantine m -> pre_quarantine m)
+        entries;
+      (Some w, !recovered, dropped)
+    | Some dir -> (Some (Journal.create ?records_per_segment ~dir header), 0, 0)
+  in
+  let journal_entry e =
+    match writer with
+    | Some w -> Journal.append w e
+    | None -> ()
+  in
+  let record i (o : Journal.outcome) =
+    outcomes.(i) <- Some o;
+    journal_entry (Journal.Outcome (i, o))
+  in
+  let is_pruned ~flop_id ~cycle =
+    match skip with
+    | Some f -> f ~flop_id ~cycle
+    | None -> false
+  in
+  (* A pruned fault's non-benign verdict: quarantine what claimed it
+     benign, journal the quarantines before the verdict (so a resume
+     replays them in order), and count the fault by its real verdict. *)
+  let handle_violation i ~flop_id ~cycle v =
+    let mates =
+      match hooks with
+      | Some h -> h.masking ~flop_id ~cycle
+      | None -> []
+    in
+    Mutex.lock lock;
+    (match hooks with
+    | Some h -> List.iter h.quarantine mates
+    | None -> ());
+    quarantined := List.rev_append mates !quarantined;
+    violations :=
+      { v_index = i; v_flop_id = flop_id; v_cycle = cycle; v_verdict = v; v_mates = mates }
+      :: !violations;
+    Mutex.unlock lock;
+    List.iter (fun m -> journal_entry (Journal.Quarantine m)) mates
+  in
+  let bump r =
+    Mutex.lock lock;
+    incr r;
+    Mutex.unlock lock
+  in
+  (* ---------------------------------------------------------------- *)
+  (* Scalar shards.                                                    *)
+  let run_scalar_shard ~shard worker0 arng lo hi =
+    let worker = ref worker0 in
+    let i = ref lo in
+    while !i <= hi && not (should_stop ()) do
+      let idx = !i in
+      let flop_id, cycle = samples.(idx) in
+      (* One audit draw per index, consumed whether or not it is used:
+         resumed runs and quarantine-perturbed runs stay stream-aligned. *)
+      let draw = Prng.float arng in
+      if outcomes.(idx) = None then begin
+        let pruned = is_pruned ~flop_id ~cycle in
+        let auditing = pruned && hooks <> None && draw < audit_p in
+        if pruned && not auditing then record idx Journal.Skipped
+        else begin
+          let rec attempt k =
+            match
+              (match chaos with
+              | Some c -> c ~shard ~index:idx ~attempt:k
+              | None -> ());
+              Campaign.inject_with ?budget campaign !worker ~flop_id ~cycle
+            with
+            | v -> Some v
+            | exception _ ->
+              (* The worker may be mid-run; rebuild the whole system
+                 (fresh [make ()]) before retrying. *)
+              worker := Campaign.fresh_worker campaign;
+              bump retried;
+              if k < retries then attempt (k + 1) else None
+          in
+          match attempt 0 with
+          | None -> record idx Journal.Crashed
+          | Some v ->
+            if auditing then begin
+              bump audited;
+              if v = Campaign.Benign then
+                (* The prune was sound: keep the unaudited accounting. *)
+                record idx Journal.Skipped
+              else begin
+                handle_violation idx ~flop_id ~cycle v;
+                record idx (outcome_of_verdict v)
+              end
+            end
+            else record idx (outcome_of_verdict v)
+        end
+      end;
+      incr i
+    done
+  in
+  (* ---------------------------------------------------------------- *)
+  (* Batched (lane-parallel) shard: one domain, journaled per window.  *)
+  let run_batched arng =
+    let window = 4 * Campaign.max_fault_lanes in
+    let lo = ref 0 in
+    while !lo < n && not (should_stop ()) do
+      let hi = min (n - 1) (!lo + window - 1) in
+      (* Classify the window: what to record directly, what to inject.
+         [fresh] excludes journal-recovered outcomes from re-journaling. *)
+      let fresh = Array.init (hi - !lo + 1) (fun j -> outcomes.(!lo + j) = None) in
+      let to_inject = ref [] in
+      for idx = !lo to hi do
+        let flop_id, cycle = samples.(idx) in
+        let draw = Prng.float arng in
+        if outcomes.(idx) = None then begin
+          let pruned = is_pruned ~flop_id ~cycle in
+          let auditing = pruned && hooks <> None && draw < audit_p in
+          if pruned && not auditing then outcomes.(idx) <- Some Journal.Skipped
+          else to_inject := (idx, auditing) :: !to_inject
+        end
+      done;
+      let to_inject = List.rev !to_inject in
+      (if to_inject <> [] then begin
+         let faults = Array.of_list (List.map (fun (idx, _) -> samples.(idx)) to_inject) in
+         let rec attempt k =
+           match
+             (match chaos with
+             | Some c -> c ~shard:0 ~index:!lo ~attempt:k
+             | None -> ());
+             Campaign.inject_batch campaign ~faults ()
+           with
+           | verdicts -> Some verdicts
+           | exception _ ->
+             (* The lane worker's state is unknown; rebuild it. *)
+             Campaign.reset_lane_worker campaign;
+             bump retried;
+             if k < retries then attempt (k + 1) else None
+         in
+         match attempt 0 with
+         | None ->
+           (* A persistently failing window is recorded at window
+              granularity — the batch engine classifies it as a unit. *)
+           List.iter (fun (idx, _) -> outcomes.(idx) <- Some Journal.Crashed) to_inject
+         | Some verdicts ->
+           List.iteri
+             (fun j (idx, auditing) ->
+               let v = verdicts.(j) in
+               let flop_id, cycle = samples.(idx) in
+               if auditing then begin
+                 bump audited;
+                 if v = Campaign.Benign then outcomes.(idx) <- Some Journal.Skipped
+                 else begin
+                   handle_violation idx ~flop_id ~cycle v;
+                   outcomes.(idx) <- Some (outcome_of_verdict v)
+                 end
+               end
+               else outcomes.(idx) <- Some (outcome_of_verdict v))
+             to_inject
+       end);
+      (* Journal the window's new outcomes in index order once it is
+         classified (a kill mid-window loses at most one window of
+         work, which the resume simply re-runs). *)
+      for idx = !lo to hi do
+        if fresh.(idx - !lo) then
+          match outcomes.(idx) with
+          | Some o -> journal_entry (Journal.Outcome (idx, o))
+          | None -> ()
+      done;
+      lo := hi + 1
+    done
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Journal.close writer) @@ fun () ->
+  (if batched then run_batched (Prng.restore shard_states.(0))
+   else if shards = 1 then
+     run_scalar_shard ~shard:0 (Campaign.primary_worker campaign)
+       (Prng.restore shard_states.(0))
+       0 (n - 1)
+   else begin
+     let chunk = (n + shards - 1) / shards in
+     let domains =
+       List.init shards (fun s ->
+           let lo = s * chunk in
+           let hi = min (n - 1) (((s + 1) * chunk) - 1) in
+           Domain.spawn (fun () ->
+               if lo <= hi then
+                 run_scalar_shard ~shard:s
+                   (Campaign.fresh_worker campaign)
+                   (Prng.restore shard_states.(s))
+                   lo hi))
+     in
+     List.iter Domain.join domains
+   end);
+  let b = ref 0 and l = ref 0 and s = ref 0 and sk = ref 0 and cr = ref 0 and done_ = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some o ->
+        incr done_;
+        (match o with
+        | Journal.Benign -> incr b
+        | Journal.Latent -> incr l
+        | Journal.Sdc _ -> incr s
+        | Journal.Skipped -> incr sk
+        | Journal.Crashed -> incr cr))
+    outcomes;
+  {
+    stats =
+      {
+        Campaign.injections = !b + !l + !s;
+        benign = !b;
+        latent = !l;
+        sdc = !s;
+        skipped = !sk;
+        crashed = !cr;
+      };
+    audit =
+      {
+        audited = !audited;
+        violations = List.rev !violations;
+        quarantined = List.rev !quarantined;
+      };
+    completed = !done_ = n;
+    recovered;
+    dropped_bytes;
+    retried = !retried;
+  }

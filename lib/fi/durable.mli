@@ -1,0 +1,112 @@
+(** Durable, supervised, self-auditing campaigns.
+
+    {!Campaign} classifies faults fast; this layer makes a long campaign
+    survive the real world on top of it:
+
+    - {b Crash safety}: with [~journal], every verdict is streamed into
+      an append-only, CRC-checksummed {!Journal} the moment it is
+      produced. A campaign killed at any point — SIGKILL included — is
+      resumed with [~resume:true]: the journal header pins the campaign
+      identity (core, program, cycles, seed, sample count, prune/audit
+      configuration, shard count and every serialized PRNG state), the
+      fault list is re-derived from the restored sampler, recorded
+      verdicts are replayed, and only the missing experiments run. The
+      final statistics are bit-identical to an uninterrupted run.
+
+    - {b Supervision}: the sample list is split into per-domain shards.
+      Each experiment runs under an optional simulated-cycle watchdog
+      ({!Campaign.Budget_exceeded}); an experiment that raises — watchdog,
+      simulator bug, test-injected chaos — is retried up to [retries]
+      times, each time on a freshly built system
+      ({!Campaign.fresh_worker}), and a persistent failure is recorded as
+      [Crashed] in the stats instead of aborting the campaign.
+
+    - {b MATE soundness sentinel}: with [~audit:(p, hooks)], a
+      [p]-fraction of the faults the [skip] predicate claims pruned are
+      injected anyway. A non-[Benign] verdict for a "pruned" fault is a
+      soundness violation: the offending MATEs are quarantined through
+      [hooks] (their flops stop being pruned for the rest of the run),
+      the event is journaled, and the fault is counted by its real
+      verdict — the campaign degrades from "prune" to "inject" rather
+      than producing wrong statistics. Audited faults whose verdict is
+      [Benign] stay counted as [skipped], so a campaign over sound MATEs
+      reports statistics identical to an unaudited one. *)
+
+type audit_hooks = {
+  masking : flop_id:int -> cycle:int -> int list;
+      (** the enabled MATEs that claimed this fault benign *)
+  quarantine : int -> unit;  (** disable one MATE for the rest of the run *)
+  describe : int -> string;  (** for the audit summary *)
+}
+(** The pruning side of the audit sentinel, kept abstract so this library
+    does not depend on the MATE layer; [Pruning_mate.Replay.pruner]
+    provides a direct implementation ([masking]/[quarantine]/
+    [describe_mate]). *)
+
+type violation = {
+  v_index : int;  (** sample index *)
+  v_flop_id : int;
+  v_cycle : int;
+  v_verdict : Campaign.verdict;  (** the real, non-benign verdict *)
+  v_mates : int list;  (** MATEs quarantined for it *)
+}
+
+type audit_report = {
+  audited : int;  (** pruned faults injected for auditing (this process) *)
+  violations : violation list;  (** in detection order *)
+  quarantined : int list;
+      (** every quarantined MATE, journal-replayed ones included *)
+}
+
+type result = {
+  stats : Campaign.stats;
+  audit : audit_report;
+  completed : bool;  (** false iff [should_stop] ended the run early *)
+  recovered : int;  (** verdicts replayed from the journal, not re-run *)
+  dropped_bytes : int;  (** torn journal tail truncated on resume *)
+  retried : int;  (** supervisor retries performed *)
+}
+
+val run :
+  Campaign.t ->
+  space:Fault_space.t ->
+  seed:int ->
+  n:int ->
+  ?ident:string * string ->
+  ?skip:(flop_id:int -> cycle:int -> bool) ->
+  ?audit:float * audit_hooks ->
+  ?jobs:int ->
+  ?batched:bool ->
+  ?budget:int ->
+  ?retries:int ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?records_per_segment:int ->
+  ?should_stop:(unit -> bool) ->
+  ?chaos:(shard:int -> index:int -> attempt:int -> unit) ->
+  unit ->
+  result
+(** Durable counterpart of {!Campaign.run_sample} /
+    {!Campaign.run_sample_batched}: draws the identical fault list for
+    the same [seed] (so its stats are bit-identical to theirs when
+    nothing crashes), then runs it under journal + supervisor + sentinel.
+
+    [ident] is the (core, program) pair recorded in the journal header
+    and checked on resume. [skip] marks pruned faults; it may be called
+    from several domains and must be pure except for quarantine effects.
+    [audit] enables the sentinel ([p] in \[0, 1\]; audit decisions are
+    drawn from per-shard PRNGs whose states live in the journal header,
+    so a resumed run audits exactly the faults the original would have).
+    [jobs] is the shard/domain count for the scalar path; [batched] uses
+    the lane-parallel engine on one shard ([jobs] is ignored).
+    [budget] is the per-experiment watchdog in simulated cycles (scalar
+    path only). [retries] (default 2) bounds the supervisor's fresh-system
+    retries per experiment (per batch window when [batched]).
+    [journal] is the journal directory; [resume] reopens it instead of
+    creating it, raising {!Journal.Error} with an actionable message if
+    the header does not match the invocation. [should_stop] is polled
+    between experiments for cooperative shutdown (SIGINT/SIGTERM
+    handlers); a stopped run journals everything it finished and reports
+    [completed = false]. [chaos] is a test-only fault-injection hook for
+    the supervisor itself, called before every attempt; an exception it
+    raises is handled exactly like a crashed experiment. *)

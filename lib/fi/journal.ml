@@ -1,0 +1,329 @@
+module Crc = Pruning_util.Crc
+
+type outcome =
+  | Benign
+  | Latent
+  | Sdc of int
+  | Skipped
+  | Crashed
+
+type entry =
+  | Outcome of int * outcome
+  | Quarantine of int
+
+type header = {
+  core : string;
+  program : string;
+  cycles : int;
+  seed : int;
+  samples : int;
+  prune : bool;
+  audit : float;
+  shards : int;
+  batched : bool;
+  prng : string;
+  shard_prng : string array;
+}
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Records: [kind:1][a:4 LE][b:4 LE][crc32(first 9 bytes):4 LE].       *)
+
+let record_size = 13
+
+let kind_of_entry = function
+  | Outcome (_, Benign) -> 0
+  | Outcome (_, Latent) -> 1
+  | Outcome (_, Sdc _) -> 2
+  | Outcome (_, Skipped) -> 3
+  | Outcome (_, Crashed) -> 4
+  | Quarantine _ -> 5
+
+let args_of_entry = function
+  | Outcome (i, Sdc c) -> (i, c)
+  | Outcome (i, _) -> (i, 0)
+  | Quarantine m -> (m, 0)
+
+let put32 buf pos v =
+  for k = 0 to 3 do
+    Bytes.set buf (pos + k) (Char.chr ((v lsr (8 * k)) land 0xFF))
+  done
+
+let get32 buf pos =
+  let v = ref 0 in
+  for k = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get buf (pos + k))
+  done;
+  !v
+
+let encode_record buf entry =
+  Bytes.set buf 0 (Char.chr (kind_of_entry entry));
+  let a, b = args_of_entry entry in
+  put32 buf 1 a;
+  put32 buf 5 b;
+  put32 buf 9 (Crc.bytes buf ~pos:0 ~len:9)
+
+(* [None] on CRC mismatch or unknown kind (a torn or corrupt record). *)
+let decode_record buf pos =
+  let crc = get32 buf (pos + 9) in
+  if crc <> Crc.bytes buf ~pos ~len:9 then None
+  else
+    let a = get32 buf (pos + 1) and b = get32 buf (pos + 5) in
+    match Char.code (Bytes.get buf pos) with
+    | 0 -> Some (Outcome (a, Benign))
+    | 1 -> Some (Outcome (a, Latent))
+    | 2 -> Some (Outcome (a, Sdc b))
+    | 3 -> Some (Outcome (a, Skipped))
+    | 4 -> Some (Outcome (a, Crashed))
+    | 5 -> Some (Quarantine a)
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Paths and atomic writes.                                            *)
+
+let header_file dir = Filename.concat dir "header"
+let active_file dir = Filename.concat dir "active.bin"
+let segment_file dir i = Filename.concat dir (Printf.sprintf "seg-%06d.bin" i)
+
+(* Tempfile + rename: readers and resumers never observe a half-written
+   file, and a kill mid-write leaves only a stale [.tmp] behind. *)
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let buf = Bytes.create len in
+  really_input ic buf 0 len;
+  close_in ic;
+  buf
+
+(* ------------------------------------------------------------------ *)
+(* Header serialization: key=value lines guarded by a trailing CRC.    *)
+
+let magic = "pruning-verdict-journal v1"
+
+let header_to_string h =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (magic ^ "\n");
+  let kv k v = Buffer.add_string b (Printf.sprintf "%s=%s\n" k v) in
+  kv "core" h.core;
+  kv "program" h.program;
+  kv "cycles" (string_of_int h.cycles);
+  kv "seed" (string_of_int h.seed);
+  kv "samples" (string_of_int h.samples);
+  kv "prune" (if h.prune then "1" else "0");
+  (* %h is exact: the audit fraction must survive the round-trip
+     bit-for-bit for resumed audit draws to replay identically. *)
+  kv "audit" (Printf.sprintf "%h" h.audit);
+  kv "shards" (string_of_int h.shards);
+  kv "batched" (if h.batched then "1" else "0");
+  kv "prng" h.prng;
+  Array.iteri (fun i s -> kv (Printf.sprintf "shard%d" i) s) h.shard_prng;
+  let body = Buffer.contents b in
+  body ^ Printf.sprintf "crc=%08x\n" (Crc.string body)
+
+let header_of_string dir s =
+  let lines = String.split_on_char '\n' s in
+  let lines = List.filter (fun l -> l <> "") lines in
+  (match lines with
+  | m :: _ when m = magic -> ()
+  | _ -> error "%s: not a verdict journal (bad magic)" dir);
+  let fields = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      match String.index_opt line '=' with
+      | None -> ()
+      | Some i ->
+        Hashtbl.replace fields (String.sub line 0 i)
+          (String.sub line (i + 1) (String.length line - i - 1)))
+    (List.tl lines);
+  let get k =
+    match Hashtbl.find_opt fields k with
+    | Some v -> v
+    | None -> error "%s: journal header is missing field %S" dir k
+  in
+  let crc_line = Printf.sprintf "crc=%s\n" (get "crc") in
+  let body_len = String.length s - String.length crc_line in
+  if body_len < 0 || String.sub s body_len (String.length crc_line) <> crc_line then
+    error "%s: journal header CRC line is malformed" dir;
+  if Printf.sprintf "%08x" (Crc.string (String.sub s 0 body_len)) <> get "crc" then
+    error "%s: journal header CRC mismatch" dir;
+  let int k =
+    match int_of_string_opt (get k) with
+    | Some v -> v
+    | None -> error "%s: journal header field %S is not an integer" dir k
+  in
+  let shards = int "shards" in
+  {
+    core = get "core";
+    program = get "program";
+    cycles = int "cycles";
+    seed = int "seed";
+    samples = int "samples";
+    prune = get "prune" = "1";
+    audit =
+      (match float_of_string_opt (get "audit") with
+      | Some f -> f
+      | None -> error "%s: journal header field \"audit\" is not a float" dir);
+    shards;
+    batched = get "batched" = "1";
+    prng = get "prng";
+    shard_prng = Array.init shards (fun i -> get (Printf.sprintf "shard%d" i));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Writer.                                                             *)
+
+type writer = {
+  dir : string;
+  records_per_segment : int;
+  lock : Mutex.t;
+  mutable chan : out_channel;  (* the active segment *)
+  mutable in_active : int;  (* records in the active segment *)
+  mutable next_segment : int;
+  mutable closed : bool;
+}
+
+let default_rps = 4096
+
+let rotate w =
+  close_out w.chan;
+  Sys.rename (active_file w.dir) (segment_file w.dir w.next_segment);
+  w.next_segment <- w.next_segment + 1;
+  w.chan <- open_out_bin (active_file w.dir);
+  w.in_active <- 0
+
+let append w entry =
+  Mutex.lock w.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock w.lock) @@ fun () ->
+  if w.closed then error "%s: journal writer is closed" w.dir;
+  let buf = Bytes.create record_size in
+  encode_record buf entry;
+  output_bytes w.chan buf;
+  (* Flush every record: a SIGKILL then loses at most the record the OS
+     was handed mid-write (the torn tail resume truncates), never a
+     buffered batch. *)
+  flush w.chan;
+  w.in_active <- w.in_active + 1;
+  if w.in_active >= w.records_per_segment then rotate w
+
+let close w =
+  Mutex.lock w.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock w.lock) @@ fun () ->
+  if not w.closed then begin
+    w.closed <- true;
+    close_out w.chan
+  end
+
+let exists ~dir = Sys.file_exists (header_file dir)
+
+let create ?(records_per_segment = default_rps) ~dir header =
+  if records_per_segment <= 0 then invalid_arg "Journal.create: records_per_segment must be positive";
+  if exists ~dir then
+    error "%s: a journal already exists here (resume it with --resume, or remove it)" dir;
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  write_atomic (header_file dir) (header_to_string header);
+  {
+    dir;
+    records_per_segment;
+    lock = Mutex.create ();
+    chan = open_out_bin (active_file dir);
+    in_active = 0;
+    next_segment = 0;
+    closed = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reading back.                                                       *)
+
+let list_segments dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f = String.length "seg-000000.bin"
+         && String.sub f 0 4 = "seg-"
+         && Filename.check_suffix f ".bin")
+  |> List.sort compare
+
+(* Decode a whole segment buffer. [strict] (finalized segments) raises on
+   any damage; otherwise (the active segment) decoding stops at the first
+   short or corrupt record and the number of dropped tail bytes is
+   returned alongside the intact prefix. *)
+let decode_buffer ~strict ~what buf =
+  let len = Bytes.length buf in
+  let n_whole = len / record_size in
+  let out = ref [] in
+  let good = ref 0 in
+  (try
+     for r = 0 to n_whole - 1 do
+       match decode_record buf (r * record_size) with
+       | Some e ->
+         out := e :: !out;
+         incr good
+       | None ->
+         if strict then error "%s: corrupt record %d in finalized segment" what r;
+         raise Exit
+     done;
+     if strict && len mod record_size <> 0 then
+       error "%s: finalized segment has a partial trailing record" what
+   with Exit -> ());
+  (List.rev !out, len - (!good * record_size))
+
+let read_journal ~dir =
+  if not (exists ~dir) then error "%s: no journal here (missing header)" dir;
+  let header = header_of_string dir (Bytes.to_string (read_file (header_file dir))) in
+  let segments = list_segments dir in
+  let finalized =
+    List.concat_map
+      (fun seg ->
+        let entries, _ =
+          decode_buffer ~strict:true ~what:(Filename.concat dir seg)
+            (read_file (Filename.concat dir seg))
+        in
+        entries)
+      segments
+  in
+  let active, dropped =
+    if Sys.file_exists (active_file dir) then
+      decode_buffer ~strict:false ~what:(active_file dir) (read_file (active_file dir))
+    else ([], 0)
+  in
+  (header, finalized, active, dropped, List.length segments)
+
+let load ~dir =
+  let header, finalized, active, dropped, _ = read_journal ~dir in
+  (header, Array.of_list (finalized @ active), dropped)
+
+let resume ?(records_per_segment = default_rps) ~dir () =
+  if records_per_segment <= 0 then invalid_arg "Journal.resume: records_per_segment must be positive";
+  let header, finalized, active, dropped, n_segments = read_journal ~dir in
+  (* Truncate the torn tail by atomically rewriting the active segment
+     with only its intact records, then reopen it for appending. *)
+  let buf = Bytes.create (List.length active * record_size) in
+  List.iteri
+    (fun i e ->
+      let rec_buf = Bytes.create record_size in
+      encode_record rec_buf e;
+      Bytes.blit rec_buf 0 buf (i * record_size) record_size)
+    active;
+  write_atomic (active_file dir) (Bytes.to_string buf);
+  let w =
+    {
+      dir;
+      records_per_segment;
+      lock = Mutex.create ();
+      chan = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 (active_file dir);
+      in_active = List.length active;
+      next_segment = n_segments;
+      closed = false;
+    }
+  in
+  if w.in_active >= w.records_per_segment then rotate w;
+  (header, Array.of_list (finalized @ active), dropped, w)

@@ -1,0 +1,84 @@
+(** Crash-safe verdict journal for fault-injection campaigns.
+
+    A journal is a directory holding one immutable [header] file plus a
+    sequence of binary record segments. Every verdict a campaign produces
+    is appended as a fixed-size CRC-32-checksummed record and flushed to
+    the OS before the campaign moves on, so a campaign killed at any
+    point (including SIGKILL) can be resumed from the journal and finish
+    with final statistics bit-identical to an uninterrupted run.
+
+    Layout:
+    - [header]: textual key=value block (campaign identity: core,
+      program, cycles, seed, sample count, prune/audit configuration,
+      shard count and the serialized {!Pruning_util.Prng} state of the
+      master sampler and of every shard), protected by a trailing CRC-32
+      line and written atomically (tempfile + rename);
+    - [seg-NNNNNN.bin]: finalized segments of exactly
+      [records_per_segment] records each, sealed by an atomic rename of
+      the active segment — a finalized segment is never written again,
+      so any CRC failure inside one is real corruption;
+    - [active.bin]: the segment currently being appended to. Only its
+      final record can be torn by a kill; {!resume} detects the torn
+      tail (short or CRC-mismatching record), truncates it — again via
+      tempfile + rename — and reports how many bytes were dropped.
+
+    Record layout (13 bytes, little-endian): kind byte, two 32-bit
+    arguments, CRC-32 of the preceding 9 bytes. *)
+
+type outcome =
+  | Benign
+  | Latent
+  | Sdc of int  (** first divergence cycle *)
+  | Skipped  (** pruned (or audited and confirmed benign), not injected *)
+  | Crashed  (** experiment failed persistently under the supervisor *)
+
+type entry =
+  | Outcome of int * outcome  (** sample index, its classification *)
+  | Quarantine of int
+      (** MATE of this index was caught misclassifying and is disabled
+          for the rest of the campaign *)
+
+type header = {
+  core : string;
+  program : string;
+  cycles : int;
+  seed : int;
+  samples : int;
+  prune : bool;
+  audit : float;  (** audited fraction of pruned faults, 0 = off *)
+  shards : int;
+  batched : bool;
+  prng : string;  (** master sampler state, before any draw *)
+  shard_prng : string array;  (** per-shard audit-sampler states *)
+}
+
+type writer
+
+exception Error of string
+(** Unusable journal: corrupt finalized segment, malformed header,
+    or an attempt to create over an existing journal. *)
+
+val exists : dir:string -> bool
+(** A journal (its header) is present at [dir]. *)
+
+val create : ?records_per_segment:int -> dir:string -> header -> writer
+(** Start a fresh journal ([records_per_segment] defaults to 4096).
+    Creates [dir] if needed; raises {!Error} if a journal already lives
+    there (resume it or remove it explicitly — never overwrite). *)
+
+val resume : ?records_per_segment:int -> dir:string -> unit -> header * entry array * int * writer
+(** Reopen a journal for appending: validates the header and every
+    finalized segment, truncates a torn tail of the active segment, and
+    returns the header, every intact entry in append order, the number
+    of torn bytes dropped, and a writer positioned after the last intact
+    record. *)
+
+val load : dir:string -> header * entry array * int
+(** Read-only {!resume}: same validation and torn-tail detection, but
+    nothing on disk is modified and no writer is opened. *)
+
+val append : writer -> entry -> unit
+(** Append one record and flush it to the OS. Thread-safe (campaign
+    shards on several domains share one writer). *)
+
+val close : writer -> unit

@@ -111,6 +111,108 @@ let reduction_percent set t ~space ?subset () =
   let matrix = masked set t ~space ?subset () in
   Pruning_util.Stats.percentage (masked_count matrix) (Fault_space.size space)
 
+(* ------------------------------------------------------------------ *)
+(* Online pruner: the skip predicate a durable campaign consults per
+   fault, with two properties the precomputed [masked] matrix lacks:
+   individual mates can be disabled mid-run (the audit sentinel
+   quarantines a mate caught misclassifying), and a lookup for a flop
+   outside the fault space is an explicit, counted error path instead of
+   a silent "not pruned". *)
+
+type pruner = {
+  p_set : Mateset.t;
+  p_trig : triggers;
+  p_space : Fault_space.t;
+  p_enabled : bool array;
+  p_by_flop : int list array;  (* space flop index -> mates masking it *)
+  p_quarantined : int list ref;  (* newest first *)
+  p_unknown : int ref;
+  p_warned : bool ref;
+  p_lock : Mutex.t;
+}
+
+let pruner (set : Mateset.t) t ~space ?subset () =
+  let n_mates = Array.length set.Mateset.mates in
+  let enabled = Array.make n_mates (subset = None) in
+  (match subset with
+  | None -> ()
+  | Some l -> List.iter (fun i -> enabled.(i) <- true) l);
+  let table = space.Fault_space.index in
+  let by_flop = Array.make (Array.length space.Fault_space.flops) [] in
+  Array.iteri
+    (fun i (m : Mateset.mate) ->
+      if enabled.(i) then
+        List.iter
+          (fun fid ->
+            if fid >= 0 && fid < Array.length table && table.(fid) >= 0 then
+              by_flop.(table.(fid)) <- i :: by_flop.(table.(fid)))
+          m.Mateset.flop_ids)
+    set.Mateset.mates;
+  {
+    p_set = set;
+    p_trig = t;
+    p_space = space;
+    p_enabled = enabled;
+    p_by_flop = Array.map List.rev by_flop;
+    p_quarantined = ref [];
+    p_unknown = ref 0;
+    p_warned = ref false;
+    p_lock = Mutex.create ();
+  }
+
+let unknown_flop p flop_id =
+  Mutex.lock p.p_lock;
+  incr p.p_unknown;
+  let first = not !(p.p_warned) in
+  p.p_warned := true;
+  Mutex.unlock p.p_lock;
+  if first then
+    Printf.eprintf
+      "[mate] warning: prune lookup for flop %d, which is outside the fault space — the fault \
+       will be injected, not silently treated as pruned (further occurrences are counted, not \
+       logged)\n\
+       %!"
+      flop_id
+
+let masking p ~flop_id ~cycle =
+  match Fault_space.flop_index p.p_space flop_id with
+  | None ->
+    unknown_flop p flop_id;
+    []
+  | Some fi ->
+    if cycle < 0 || cycle >= p.p_trig.t_cycles then []
+    else
+      List.filter
+        (fun m -> p.p_enabled.(m) && triggered p.p_trig ~mate:m ~cycle)
+        p.p_by_flop.(fi)
+
+let pruned p ~flop_id ~cycle = masking p ~flop_id ~cycle <> []
+
+let quarantine p m =
+  if m < 0 || m >= Array.length p.p_enabled then invalid_arg "Replay.quarantine: no such mate";
+  Mutex.lock p.p_lock;
+  if p.p_enabled.(m) then begin
+    p.p_enabled.(m) <- false;
+    p.p_quarantined := m :: !(p.p_quarantined)
+  end;
+  Mutex.unlock p.p_lock
+
+let quarantined p = List.rev !(p.p_quarantined)
+let unknown_count p = !(p.p_unknown)
+
+let enabled_indices p =
+  let out = ref [] in
+  for i = Array.length p.p_enabled - 1 downto 0 do
+    if p.p_enabled.(i) then out := i :: !out
+  done;
+  !out
+
+let pruner_masked_count p =
+  masked p.p_set p.p_trig ~space:p.p_space ~subset:(enabled_indices p) () |> masked_count
+
+let describe_mate p m =
+  Mateset.describe p.p_space.Fault_space.netlist p.p_set m
+
 let raw_masked_per_mate (set : Mateset.t) t ~space =
   let table = space.Fault_space.index in
   let cycles = min space.Fault_space.cycles t.t_cycles in

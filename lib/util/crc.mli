@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+    guarding every record of the campaign verdict journal. Pure OCaml,
+    table-driven; values are in \[0, 2^32). *)
+
+val string : ?crc:int -> string -> int
+(** [string s] is the CRC-32 of [s]; [?crc] continues a running digest
+    (pass a previous result to checksum a concatenation
+    incrementally). *)
+
+val bytes : ?crc:int -> Bytes.t -> pos:int -> len:int -> int
+(** CRC-32 of [len] bytes of [b] starting at [pos]. *)

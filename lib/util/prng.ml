@@ -48,3 +48,17 @@ let shuffle t items =
   Array.to_list arr
 
 let split t = { state = mix (next_int64 t) }
+
+(* The whole generator state is the single splitmix counter; the
+   serialization is its unsigned hex rendering, prefixed so malformed or
+   truncated journal fields fail loudly in [restore]. *)
+let save t = Printf.sprintf "splitmix64:%016Lx" t.state
+
+let restore s =
+  let prefix = "splitmix64:" in
+  let plen = String.length prefix in
+  if String.length s <> plen + 16 || not (String.sub s 0 plen = prefix) then
+    invalid_arg "Prng.restore: malformed state";
+  match Int64.of_string_opt ("0x" ^ String.sub s plen 16) with
+  | Some state -> { state }
+  | None -> invalid_arg "Prng.restore: malformed state"

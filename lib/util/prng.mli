@@ -33,3 +33,12 @@ val shuffle : t -> 'a list -> 'a list
 
 val split : t -> t
 (** Derive an independent generator (for parallel deterministic streams). *)
+
+val save : t -> string
+(** Serialize the exact generator state (a short printable token). The
+    source generator is not advanced. *)
+
+val restore : string -> t
+(** Rebuild a generator from {!save}'s output; the restored generator
+    replays the identical stream the saved one would have produced.
+    Raises [Invalid_argument] on a malformed token. *)

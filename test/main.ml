@@ -11,6 +11,7 @@ let () =
       ("fi", Test_fi.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("bitsim", Test_bitsim.suite);
+      ("durable", Test_durable.suite);
       ("mate", Test_mate.suite);
       ("properties", Test_properties.suite);
       ("extensions", Test_extensions.suite);

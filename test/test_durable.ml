@@ -1,0 +1,513 @@
+(* The durable campaign layer: crash-safe journal (round-trip, segment
+   rotation, torn-tail truncation at awkward byte offsets), kill/resume
+   bit-identity on both cores and both engines, the supervisor's
+   retry/crash accounting, the per-experiment watchdog, and the MATE
+   soundness sentinel (sound MATEs audit clean; an artificially unsound
+   MATE is quarantined without aborting the campaign). *)
+
+open Helpers
+module Campaign = Pruning_fi.Campaign
+module Durable = Pruning_fi.Durable
+module Journal = Pruning_fi.Journal
+module Fault_space = Pruning_fi.Fault_space
+module System = Pruning_cpu.System
+module Avr_asm = Pruning_cpu.Avr_asm
+module Msp_asm = Pruning_cpu.Msp_asm
+module Programs = Pruning_cpu.Programs
+module Mateset = Pruning_mate.Mateset
+module Replay = Pruning_mate.Replay
+module Term = Pruning_mate.Term
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
+let check_stats label (a : Campaign.stats) (b : Campaign.stats) =
+  check_int (label ^ ": injections") a.Campaign.injections b.Campaign.injections;
+  check_int (label ^ ": benign") a.Campaign.benign b.Campaign.benign;
+  check_int (label ^ ": latent") a.Campaign.latent b.Campaign.latent;
+  check_int (label ^ ": sdc") a.Campaign.sdc b.Campaign.sdc;
+  check_int (label ^ ": skipped") a.Campaign.skipped b.Campaign.skipped;
+  check_int (label ^ ": crashed") a.Campaign.crashed b.Campaign.crashed
+
+(* --- scratch directories (self-cleaning, collision-free) ------------- *)
+
+let scratch_counter = ref 0
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let scratch_dir () =
+  incr scratch_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pruning-durable-%d" !scratch_counter)
+  in
+  rm_rf d;
+  d
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let len = in_channel_length ic in
+  let buf = really_input_string ic len in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc buf;
+  close_out oc
+
+let copy_journal src dst =
+  rm_rf dst;
+  Sys.mkdir dst 0o755;
+  Array.iter (fun e -> copy_file (Filename.concat src e) (Filename.concat dst e)) (Sys.readdir src)
+
+let truncate_file path bytes_off_end =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let keep = max 0 (len - bytes_off_end) in
+  let buf = really_input_string ic keep in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc buf;
+  close_out oc
+
+let append_garbage path bytes =
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc (String.make bytes '\x5a');
+  close_out oc
+
+(* --- journal unit tests ---------------------------------------------- *)
+
+let header ?(shards = 1) ?(batched = false) ?(audit = 0.) ?(samples = 10) () =
+  {
+    Journal.core = "avr";
+    program = "fib";
+    cycles = 120;
+    seed = 42;
+    samples;
+    prune = audit > 0.;
+    audit;
+    shards;
+    batched;
+    prng = Prng.save (Prng.create 42);
+    shard_prng = Array.init shards (fun s -> Prng.save (Prng.create (100 + s)));
+  }
+
+let entries_10 =
+  [|
+    Journal.Outcome (0, Journal.Benign);
+    Journal.Outcome (1, Journal.Latent);
+    Journal.Outcome (2, Journal.Sdc 37);
+    Journal.Outcome (3, Journal.Skipped);
+    Journal.Quarantine 4;
+    Journal.Outcome (4, Journal.Sdc 0);
+    Journal.Outcome (5, Journal.Crashed);
+    Journal.Outcome (6, Journal.Benign);
+    Journal.Quarantine 0;
+    Journal.Outcome (7, Journal.Skipped);
+  |]
+
+let test_journal_round_trip () =
+  let dir = scratch_dir () in
+  let h = header ~shards:3 ~audit:0.25 () in
+  let w = Journal.create ~records_per_segment:4 ~dir h in
+  Array.iter (Journal.append w) entries_10;
+  Journal.close w;
+  (* 10 records at 4 per segment: two sealed segments plus an active one. *)
+  check_bool "exists" true (Journal.exists ~dir);
+  check_bool "seg 0 sealed" true (Sys.file_exists (Filename.concat dir "seg-000000.bin"));
+  check_bool "seg 1 sealed" true (Sys.file_exists (Filename.concat dir "seg-000001.bin"));
+  check_bool "active present" true (Sys.file_exists (Filename.concat dir "active.bin"));
+  let h', entries, dropped = Journal.load ~dir in
+  check_bool "header round-trips" true (h' = h);
+  check_int "no torn bytes" 0 dropped;
+  check_bool "entries round-trip" true (entries = entries_10);
+  (* Creating over a live journal must refuse, not overwrite. *)
+  (match Journal.create ~dir h with
+  | exception Journal.Error _ -> ()
+  | w ->
+    Journal.close w;
+    Alcotest.fail "create over an existing journal must raise");
+  rm_rf dir
+
+(* Chop the active segment at several byte offsets — mid-CRC, mid-record
+   body, exactly one record, the whole file — and check resume keeps only
+   whole intact records and reports exactly the torn remainder. *)
+let test_journal_torn_tail () =
+  let reference = scratch_dir () in
+  let w = Journal.create ~records_per_segment:4 ~dir:reference (header ()) in
+  Array.iter (Journal.append w) entries_10;
+  Journal.close w;
+  (* records_per_segment = 4: 8 records sealed in two segments, records
+     8 and 9 (26 bytes) in active.bin. *)
+  List.iter
+    (fun cut ->
+      let dir = scratch_dir () in
+      copy_journal reference dir;
+      truncate_file (Filename.concat dir "active.bin") cut;
+      let active_len = max 0 (26 - cut) in
+      let expect_n = 8 + (active_len / 13) in
+      let expect_dropped = active_len mod 13 in
+      let _, entries, dropped, w = Journal.resume ~records_per_segment:4 ~dir () in
+      Journal.close w;
+      check_int (Printf.sprintf "cut %d: entries" cut) expect_n (Array.length entries);
+      check_bool
+        (Printf.sprintf "cut %d: prefix" cut)
+        true
+        (entries = Array.sub entries_10 0 expect_n);
+      check_int (Printf.sprintf "cut %d: dropped" cut) expect_dropped dropped;
+      (* The truncation is persisted: a second open sees a clean tail. *)
+      let _, entries2, dropped2 = Journal.load ~dir in
+      check_bool (Printf.sprintf "cut %d: clean reopen" cut) true (entries2 = entries);
+      check_int (Printf.sprintf "cut %d: clean reopen drop" cut) 0 dropped2;
+      rm_rf dir)
+    [ 1; 4; 12; 13; 14; 25; 26; 100 ];
+  rm_rf reference
+
+(* A bit flipped inside a sealed segment is real corruption, not a torn
+   tail: resume must refuse loudly rather than resume wrong statistics. *)
+let test_journal_sealed_corruption () =
+  let dir = scratch_dir () in
+  let w = Journal.create ~records_per_segment:4 ~dir (header ()) in
+  Array.iter (Journal.append w) entries_10;
+  Journal.close w;
+  let seg = Filename.concat dir "seg-000001.bin" in
+  let ic = open_in_bin seg in
+  let buf = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+  close_in ic;
+  Bytes.set buf 20 (Char.chr (Char.code (Bytes.get buf 20) lxor 1));
+  let oc = open_out_bin seg in
+  output_bytes oc buf;
+  close_out oc;
+  (match Journal.load ~dir with
+  | exception Journal.Error _ -> ()
+  | _ -> Alcotest.fail "corrupt sealed segment must raise");
+  rm_rf dir
+
+(* --- durable runs on the real cores ---------------------------------- *)
+
+let total_cycles = 120
+let n_samples = 400
+
+let avr_makers () =
+  let nl = System.avr_netlist () in
+  let program = Avr_asm.assemble Programs.avr_fib_halting in
+  ( nl,
+    (fun () -> System.create_avr ~netlist:nl ~program "avr/fib"),
+    fun () -> System.create_avr_lanes ~netlist:nl ~program "avr/fib" )
+
+let msp_makers () =
+  let nl = System.msp_netlist () in
+  let program = Msp_asm.assemble Programs.msp_fib_halting in
+  ( nl,
+    (fun () -> System.create_msp ~netlist:nl ~program "msp/fib"),
+    fun () -> System.create_msp_lanes ~netlist:nl ~program "msp/fib" )
+
+let build makers =
+  let nl, make, make_lanes = makers in
+  let space = Fault_space.full nl ~cycles:total_cycles in
+  let campaign = Campaign.create ~make ~make_lanes ~total_cycles () in
+  (space, campaign)
+
+(* A fresh durable run (no journal) must be a drop-in replacement for the
+   plain engines: bit-identical statistics for the same seed. *)
+let test_durable_matches_run_sample () =
+  let space, campaign = build (avr_makers ()) in
+  let seed = 7 in
+  let plain =
+    Campaign.run_sample campaign ~space ~rng:(Prng.create seed) ~n:n_samples ()
+  in
+  let durable = Durable.run campaign ~space ~seed ~n:n_samples () in
+  check_stats "scalar" plain durable.Durable.stats;
+  check_bool "completed" true durable.Durable.completed;
+  let batched =
+    Durable.run campaign ~space ~seed ~n:n_samples ~batched:true ()
+  in
+  check_stats "batched" plain batched.Durable.stats
+
+(* Kill/resume bit-identity: run to completion for the reference stats,
+   then run the same campaign with a stop switch thrown partway, tear the
+   journal's tail (as a SIGKILL mid-append would), resume, and require
+   statistics bit-identical to the uninterrupted run. *)
+let check_kill_resume label makers ~jobs ~batched =
+  let space, campaign = build makers in
+  let seed = 13 in
+  let ident = ("test", label) in
+  let run ?journal ?resume ?should_stop () =
+    Durable.run campaign ~space ~seed ~n:n_samples ~ident ~jobs ~batched
+      ~records_per_segment:64 ?journal ?resume ?should_stop ()
+  in
+  let reference = run () in
+  check_bool (label ^ ": reference complete") true reference.Durable.completed;
+  let dir = scratch_dir () in
+  (* The batched engine polls once per window (~250 samples), the scalar
+     shards once per sample; pick a threshold that stops both partway. *)
+  let stop_after = if batched then 1 else 120 in
+  let polls = Atomic.make 0 in
+  let interrupted =
+    run ~journal:dir
+      ~should_stop:(fun () ->
+        Atomic.incr polls;
+        Atomic.get polls > stop_after)
+      ()
+  in
+  check_bool (label ^ ": interrupted early") false interrupted.Durable.completed;
+  append_garbage (Filename.concat dir "active.bin") 7;
+  let resumed = run ~journal:dir ~resume:true () in
+  check_bool (label ^ ": resumed complete") true resumed.Durable.completed;
+  check_bool (label ^ ": recovered something") true (resumed.Durable.recovered > 0);
+  check_bool
+    (label ^ ": recovered partially")
+    true
+    (resumed.Durable.recovered < n_samples);
+  check_int (label ^ ": torn bytes dropped") 7 resumed.Durable.dropped_bytes;
+  check_stats label reference.Durable.stats resumed.Durable.stats;
+  rm_rf dir
+
+let test_kill_resume_avr_scalar () = check_kill_resume "avr-scalar" (avr_makers ()) ~jobs:1 ~batched:false
+let test_kill_resume_avr_jobs () = check_kill_resume "avr-jobs4" (avr_makers ()) ~jobs:4 ~batched:false
+let test_kill_resume_avr_batched () = check_kill_resume "avr-batched" (avr_makers ()) ~jobs:1 ~batched:true
+let test_kill_resume_msp_scalar () = check_kill_resume "msp-scalar" (msp_makers ()) ~jobs:1 ~batched:false
+let test_kill_resume_msp_batched () = check_kill_resume "msp-batched" (msp_makers ()) ~jobs:1 ~batched:true
+
+(* Resuming under a different invocation must refuse with Journal.Error
+   (a silent mismatch would make the journal's verdicts mean the wrong
+   thing). *)
+let test_resume_mismatch () =
+  let space, campaign = build (avr_makers ()) in
+  let dir = scratch_dir () in
+  let r =
+    Durable.run campaign ~space ~seed:3 ~n:50 ~ident:("avr", "fib") ~journal:dir ()
+  in
+  check_bool "complete" true r.Durable.completed;
+  (match
+     Durable.run campaign ~space ~seed:3 ~n:60 ~ident:("avr", "fib") ~journal:dir ~resume:true ()
+   with
+  | exception Journal.Error msg -> check_bool "names the field" true (contains msg "samples")
+  | _ -> Alcotest.fail "mismatched resume must raise");
+  (match
+     Durable.run campaign ~space ~seed:4 ~n:50 ~ident:("avr", "fib") ~journal:dir ~resume:true ()
+   with
+  | exception Journal.Error _ -> ()
+  | _ -> Alcotest.fail "mismatched seed must raise");
+  rm_rf dir
+
+(* --- a tiny hand-built system for supervisor/sentinel tests ----------- *)
+
+(* figure1_seq with undriven inputs: every flop reloads false each cycle,
+   so the golden run is constant and a flipped flop perturbs at most its
+   injection cycle. Flipping [a] is invisible on the outputs (f = NAND(a,
+   0) = 1 either way) — always benign; flipping [e] inverts output h —
+   always SDC. That gives us one honestly-prunable flop and one flop any
+   MATE claim about is a lie. *)
+let toy_cycles = 8
+
+let toy_campaign () =
+  let nl = figure1_seq_netlist () in
+  let make () =
+    {
+      System.kind = System.Avr;
+      name = "toy";
+      netlist = nl;
+      sim = Sim.create nl;
+      ram = [||];
+      rf_prefix = "!none";
+    }
+  in
+  let space = Fault_space.full nl ~cycles:toy_cycles in
+  let campaign = Campaign.create ~make ~total_cycles:toy_cycles () in
+  (nl, make, space, campaign)
+
+let flop_named (nl : Netlist.t) name =
+  let found = ref None in
+  Array.iter
+    (fun (f : Netlist.flop) -> if f.Netlist.flop_name = name then found := Some f.Netlist.flop_id)
+    nl.Netlist.flops;
+  match !found with
+  | Some id -> id
+  | None -> Alcotest.fail ("no flop named " ^ name)
+
+let toy_pruner _nl make space ~flop =
+  let set = Mateset.build [ (flop, [ Term.always_true ]) ] in
+  let trace = System.record (make ()) ~cycles:toy_cycles in
+  let triggers = Replay.triggers set trace in
+  Replay.pruner set triggers ~space ()
+
+let hooks_of_pruner p =
+  {
+    Durable.masking = (fun ~flop_id ~cycle -> Replay.masking p ~flop_id ~cycle);
+    quarantine = Replay.quarantine p;
+    describe = Replay.describe_mate p;
+  }
+
+let toy_n = 60
+
+(* Transient failures are retried on fresh systems and leave the
+   statistics untouched; a persistent failure becomes [Crashed] for that
+   one sample and the campaign still completes. *)
+let test_supervisor_retries () =
+  let _, _, space, campaign = toy_campaign () in
+  let seed = 21 in
+  let clean = Durable.run campaign ~space ~seed ~n:toy_n () in
+  let transient =
+    Durable.run campaign ~space ~seed ~n:toy_n
+      ~chaos:(fun ~shard:_ ~index ~attempt ->
+        if index = 3 && attempt = 0 then failwith "chaos: transient")
+      ()
+  in
+  check_bool "transient retried" true (transient.Durable.retried >= 1);
+  check_stats "transient stats unchanged" clean.Durable.stats transient.Durable.stats;
+  let persistent =
+    Durable.run campaign ~space ~seed ~n:toy_n ~retries:2
+      ~chaos:(fun ~shard:_ ~index ~attempt:_ ->
+        if index = 5 then failwith "chaos: persistent")
+      ()
+  in
+  check_bool "persistent completes" true persistent.Durable.completed;
+  check_int "persistent crashed" 1 persistent.Durable.stats.Campaign.crashed;
+  check_int "persistent retried" 3 persistent.Durable.retried;
+  check_int "one fewer injection" (clean.Durable.stats.Campaign.injections - 1)
+    persistent.Durable.stats.Campaign.injections
+
+(* The watchdog kills over-budget experiments; the supervisor records
+   them as crashed and the campaign finishes. A generous budget changes
+   nothing. Runs on the AVR core: its experiments genuinely consume many
+   simulated cycles (the toy circuit resolves every fault within one). *)
+let test_watchdog_budget () =
+  let n = 100 in
+  let seed = 22 in
+  let space, campaign = build (avr_makers ()) in
+  let clean = Durable.run campaign ~space ~seed ~n () in
+  let generous = Durable.run campaign ~space ~seed ~n ~budget:1_000_000 () in
+  check_stats "generous budget is invisible" clean.Durable.stats generous.Durable.stats;
+  (* A fresh campaign so the clean run's memoized verdicts cannot rescue
+     over-budget experiments. *)
+  let space, campaign = build (avr_makers ()) in
+  let starved = Durable.run campaign ~space ~seed ~n ~budget:1 ~retries:1 () in
+  check_bool "starved completes" true starved.Durable.completed;
+  check_bool "some experiments crash" true (starved.Durable.stats.Campaign.crashed > 0);
+  check_int "accounting closes" n
+    (starved.Durable.stats.Campaign.injections + starved.Durable.stats.Campaign.skipped
+   + starved.Durable.stats.Campaign.crashed)
+
+(* Sound MATE + audit 1.0: every pruned fault is injected for auditing,
+   confirmed benign, and counted as skipped — statistics identical to the
+   unaudited pruned run, zero violations, zero quarantines. *)
+let test_audit_sound_mate () =
+  let nl, make, space, campaign = toy_campaign () in
+  let seed = 23 in
+  let a = flop_named nl "a" in
+  let p0 = toy_pruner nl make space ~flop:a in
+  let skip ~flop_id ~cycle = Replay.pruned p0 ~flop_id ~cycle in
+  let unaudited = Durable.run campaign ~space ~seed ~n:toy_n ~skip () in
+  check_bool "something was pruned" true (unaudited.Durable.stats.Campaign.skipped > 0);
+  let p1 = toy_pruner nl make space ~flop:a in
+  let audited =
+    Durable.run campaign ~space ~seed ~n:toy_n
+      ~skip:(fun ~flop_id ~cycle -> Replay.pruned p1 ~flop_id ~cycle)
+      ~audit:(1.0, hooks_of_pruner p1) ()
+  in
+  check_stats "audit of a sound MATE is invisible" unaudited.Durable.stats audited.Durable.stats;
+  check_int "every pruned fault audited" unaudited.Durable.stats.Campaign.skipped
+    audited.Durable.audit.Durable.audited;
+  check_int "no violations" 0 (List.length audited.Durable.audit.Durable.violations);
+  check_int "no quarantines" 0 (List.length audited.Durable.audit.Durable.quarantined);
+  check_bool "pruner untouched" true (Replay.quarantined p1 = [])
+
+(* Unsound MATE (claims flop e benign; flipping e is always SDC): the
+   sentinel catches the first audited e-fault, quarantines the MATE, and
+   the campaign degrades to injecting e's faults — final statistics equal
+   the completely unpruned run, and nothing aborts. *)
+let test_audit_quarantines_unsound_mate () =
+  let nl, make, space, campaign = toy_campaign () in
+  let seed = 24 in
+  let clean = Durable.run campaign ~space ~seed ~n:toy_n () in
+  let p = toy_pruner nl make space ~flop:(flop_named nl "e") in
+  let audited =
+    Durable.run campaign ~space ~seed ~n:toy_n
+      ~skip:(fun ~flop_id ~cycle -> Replay.pruned p ~flop_id ~cycle)
+      ~audit:(1.0, hooks_of_pruner p) ()
+  in
+  check_bool "completes despite violations" true audited.Durable.completed;
+  check_int "no crashes" 0 audited.Durable.stats.Campaign.crashed;
+  check_bool "violation detected" true (audited.Durable.audit.Durable.violations <> []);
+  check_bool "MATE quarantined" true
+    (List.mem 0 audited.Durable.audit.Durable.quarantined && Replay.quarantined p = [ 0 ]);
+  (let v = List.hd audited.Durable.audit.Durable.violations in
+   check_int "violating flop" (flop_named nl "e") v.Durable.v_flop_id;
+   check_bool "real verdict is non-benign" true (v.Durable.v_verdict <> Campaign.Benign);
+   check_bool "names the MATE" true (List.mem 0 v.Durable.v_mates));
+  check_stats "degrades to the unpruned statistics" clean.Durable.stats audited.Durable.stats
+
+(* Quarantine events live in the journal: a resumed run re-applies them
+   to its (fresh) pruner before re-running anything, so the statistics
+   still converge to the unpruned run's. *)
+let test_audit_resume_replays_quarantine () =
+  let nl, make, space, campaign = toy_campaign () in
+  let seed = 25 in
+  let clean = Durable.run campaign ~space ~seed ~n:toy_n () in
+  let e = flop_named nl "e" in
+  let dir = scratch_dir () in
+  let p0 = toy_pruner nl make space ~flop:e in
+  let polls = ref 0 in
+  let first =
+    Durable.run campaign ~space ~seed ~n:toy_n
+      ~skip:(fun ~flop_id ~cycle -> Replay.pruned p0 ~flop_id ~cycle)
+      ~audit:(1.0, hooks_of_pruner p0) ~journal:dir
+      ~should_stop:(fun () ->
+        incr polls;
+        (* Stop once the sentinel has fired at least once. *)
+        Replay.quarantined p0 <> [] && !polls > 2)
+      ()
+  in
+  check_bool "stopped early" false first.Durable.completed;
+  check_bool "quarantine journaled before stop" true (Replay.quarantined p0 = [ 0 ]);
+  let p1 = toy_pruner nl make space ~flop:e in
+  let resumed =
+    Durable.run campaign ~space ~seed ~n:toy_n
+      ~skip:(fun ~flop_id ~cycle -> Replay.pruned p1 ~flop_id ~cycle)
+      ~audit:(1.0, hooks_of_pruner p1) ~journal:dir ~resume:true ()
+  in
+  check_bool "resumed completes" true resumed.Durable.completed;
+  check_bool "quarantine replayed into the fresh pruner" true (Replay.quarantined p1 = [ 0 ]);
+  check_stats "resumed equals unpruned" clean.Durable.stats resumed.Durable.stats;
+  rm_rf dir
+
+(* Satellite fix: a skip/prune lookup for a flop outside the fault space
+   is an explicit error path (logged once, counted), never a silent
+   "not pruned" that hides a stale fault list. *)
+let test_pruner_unknown_flop () =
+  let nl, make, space, _ = toy_campaign () in
+  let p = toy_pruner nl make space ~flop:(flop_named nl "a") in
+  check_int "starts clean" 0 (Replay.unknown_count p);
+  check_bool "unknown flop injects" false (Replay.pruned p ~flop_id:9999 ~cycle:0);
+  check_bool "unknown flop masks nothing" true (Replay.masking p ~flop_id:9999 ~cycle:0 = []);
+  check_int "counted" 2 (Replay.unknown_count p);
+  check_bool "known flop still pruned" true
+    (Replay.pruned p ~flop_id:(flop_named nl "a") ~cycle:0)
+
+let suite =
+  [
+    Alcotest.test_case "journal round trip and rotation" `Quick test_journal_round_trip;
+    Alcotest.test_case "journal torn tail truncation" `Quick test_journal_torn_tail;
+    Alcotest.test_case "journal sealed-segment corruption" `Quick test_journal_sealed_corruption;
+    Alcotest.test_case "durable matches run_sample" `Slow test_durable_matches_run_sample;
+    Alcotest.test_case "kill/resume avr scalar" `Slow test_kill_resume_avr_scalar;
+    Alcotest.test_case "kill/resume avr jobs=4" `Slow test_kill_resume_avr_jobs;
+    Alcotest.test_case "kill/resume avr batched" `Slow test_kill_resume_avr_batched;
+    Alcotest.test_case "kill/resume msp scalar" `Slow test_kill_resume_msp_scalar;
+    Alcotest.test_case "kill/resume msp batched" `Slow test_kill_resume_msp_batched;
+    Alcotest.test_case "resume mismatch refused" `Quick test_resume_mismatch;
+    Alcotest.test_case "supervisor retries and crash accounting" `Quick test_supervisor_retries;
+    Alcotest.test_case "watchdog budget" `Quick test_watchdog_budget;
+    Alcotest.test_case "audit: sound MATE is invisible" `Quick test_audit_sound_mate;
+    Alcotest.test_case "audit: unsound MATE quarantined" `Quick test_audit_quarantines_unsound_mate;
+    Alcotest.test_case "audit: resume replays quarantine" `Quick test_audit_resume_replays_quarantine;
+    Alcotest.test_case "pruner: unknown flop is an error path" `Quick test_pruner_unknown_flop;
+  ]
