@@ -7,7 +7,13 @@
    up where the journal ends (bit-identical final stats), --watchdog and
    the supervisor's retries contain runaway or crashing experiments, and
    --audit cross-checks the MATE pruner by actually injecting a fraction
-   of the "pruned" faults. *)
+   of the "pruned" faults.
+
+   Campaigns also distribute: `campaign serve` runs the fault-tolerant
+   coordinator (sharding, leases, journal, dedup) and `campaign work
+   HOST:PORT` runs any number of stateless workers against it; final
+   statistics are bit-identical to a single-process run with the same
+   seed no matter how many workers join, die, or straggle. *)
 
 module Netlist = Pruning_netlist.Netlist
 module System = Pruning_cpu.System
@@ -18,6 +24,8 @@ module Fi_campaign = Pruning_fi.Campaign
 module Fault_space = Pruning_fi.Fault_space
 module Durable = Pruning_fi.Durable
 module Journal = Pruning_fi.Journal
+module Coordinator = Pruning_fi.Coordinator
+module Worker = Pruning_fi.Worker
 module Search = Pruning_mate.Search
 module Mateset = Pruning_mate.Mateset
 module Replay = Pruning_mate.Replay
@@ -34,6 +42,10 @@ let exit_bad_interval = 14
 let exit_bad_audit = 15
 let exit_bad_supervisor = 16
 let exit_journal = 17
+let exit_bad_dist = 18
+let exit_network = 19
+
+let fail code fmt = Printf.ksprintf (fun s -> prerr_endline ("campaign: " ^ s); Some code) fmt
 
 let make_system core program =
   match (core, program) with
@@ -64,7 +76,6 @@ let make_system core program =
    halfway into the campaign. *)
 let validate ~core ~program ~cycles ~samples ~seed ~checkpoint_interval ~audit ~watchdog ~retries
     ~jobs ~prune ~resume ~journal =
-  let fail code fmt = Printf.ksprintf (fun s -> prerr_endline ("campaign: " ^ s); Some code) fmt in
   if make_system core program = None then
     fail exit_bad_core
       "unknown core/program %S/%S (valid: avr|msp430 x fib|conv)" core program
@@ -92,16 +103,19 @@ let validate ~core ~program ~cycles ~samples ~seed ~checkpoint_interval ~audit ~
     fail exit_journal "--resume needs --journal pointing at the journal to resume"
   else None
 
-(* Cooperative SIGINT/SIGTERM shutdown: the durable runner polls the
-   flag between experiments, journals everything finished so far and
-   returns; we then report how to resume and exit with the conventional
-   128+signal code. *)
+(* Cooperative SIGINT/SIGTERM shutdown: the durable runner, coordinator
+   and workers all poll the flag between experiments, journal/submit
+   everything finished so far and return; we then report how to resume
+   and exit with the conventional 128+signal code. *)
 let stop_signal = Atomic.make 0
 
 let install_signal_handlers () =
   let handle signum = Sys.Signal_handle (fun _ -> Atomic.set stop_signal signum) in
   (try Sys.set_signal Sys.sigint (handle Sys.sigint) with Invalid_argument _ -> ());
   try Sys.set_signal Sys.sigterm (handle Sys.sigterm) with Invalid_argument _ -> ()
+
+let stop_requested () = Atomic.get stop_signal <> 0
+let stop_exit_code () = if Atomic.get stop_signal = Sys.sigterm then 143 else 130
 
 let report_unknown_flops pruner =
   match pruner with
@@ -117,6 +131,26 @@ let print_stats (stats : Fi_campaign.stats) elapsed =
     (float_of_int stats.Fi_campaign.injections /. max 1e-9 elapsed);
   Printf.printf "verdicts: %d benign, %d latent, %d SDC\n" stats.Fi_campaign.benign
     stats.Fi_campaign.latent stats.Fi_campaign.sdc
+
+(* The deterministic MATE-pruner build shared by the local runner and
+   every distributed worker: identical inputs, identical skip set. *)
+let build_pruner nl ~make ~cycles ~space =
+  Printf.printf "searching MATEs...\n%!";
+  let report = Search.search_flops nl (Array.to_list nl.Netlist.flops) in
+  let set = Mateset.of_report report in
+  Printf.printf "replaying golden trace over %d MATEs...\n%!" (Mateset.size set);
+  let sys = make (Some nl) in
+  let trace = System.record sys ~cycles in
+  let triggers = Replay.triggers set trace in
+  let pruner = Replay.pruner set triggers ~space () in
+  let pruned = Replay.pruner_masked_count pruner in
+  Printf.printf "MATEs prune %d of %d faults (%.2f%%) before injection\n%!" pruned
+    (Fault_space.size space)
+    (Pruning_util.Stats.percentage pruned (Fault_space.size space));
+  pruner
+
+(* ------------------------------------------------------------------ *)
+(* campaign [run]: the single-process engine of PR 1-3.                 *)
 
 let run core program cycles samples seed prune jobs checkpoint_interval batched journal resume
     audit watchdog retries =
@@ -144,24 +178,7 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
     in
     Printf.printf "checkpoint interval: %d cycles; jobs: %d\n%!"
       (Fi_campaign.checkpoint_interval campaign) jobs;
-    let pruner =
-      if not prune then None
-      else begin
-        Printf.printf "searching MATEs...\n%!";
-        let report = Search.search_flops nl (Array.to_list nl.Netlist.flops) in
-        let set = Mateset.of_report report in
-        Printf.printf "replaying golden trace over %d MATEs...\n%!" (Mateset.size set);
-        let sys = make (Some nl) in
-        let trace = System.record sys ~cycles in
-        let triggers = Replay.triggers set trace in
-        let pruner = Replay.pruner set triggers ~space () in
-        let pruned = Replay.pruner_masked_count pruner in
-        Printf.printf "MATEs prune %d of %d faults (%.2f%%) before injection\n%!" pruned
-          (Fault_space.size space)
-          (Pruning_util.Stats.percentage pruned (Fault_space.size space));
-        Some pruner
-      end
-    in
+    let pruner = if prune then Some (build_pruner nl ~make ~cycles ~space) else None in
     let skip = Option.map (fun p -> fun ~flop_id ~cycle -> Replay.pruned p ~flop_id ~cycle) pruner in
     let durable = journal <> None || resume || audit > 0. || watchdog > 0 in
     if batched && jobs > 1 then
@@ -195,9 +212,7 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
         Durable.run campaign ~space ~seed ~n:samples ~ident:(core, program) ?skip ?audit:audit_arg
           ~jobs ~batched
           ?budget:(if watchdog > 0 then Some watchdog else None)
-          ~retries ?journal ~resume
-          ~should_stop:(fun () -> Atomic.get stop_signal <> 0)
-          ()
+          ~retries ?journal ~resume ~should_stop:stop_requested ()
       with
       | exception Journal.Error msg ->
         prerr_endline ("campaign: " ^ msg);
@@ -235,15 +250,238 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
         end;
         report_unknown_flops pruner;
         if not result.Durable.completed then begin
-          let signum = Atomic.get stop_signal in
           Printf.printf "interrupted — progress is journaled%s\n"
             (match journal with
             | Some dir -> Printf.sprintf "; resume with --resume --journal %s" dir
             | None -> " only in this process (no --journal given)");
-          if signum = Sys.sigterm then 143 else 130
+          stop_exit_code ()
         end
         else 0
     end
+
+(* ------------------------------------------------------------------ *)
+(* campaign serve: the distributed coordinator.                         *)
+
+let serve core program cycles samples seed prune listen port port_file chunk_size lease journal
+    resume verbose =
+  let dist_checks () =
+    if port < 0 || port > 65535 then
+      fail exit_bad_dist "--port must be in [0, 65535] (got %d); 0 picks an ephemeral port" port
+    else if chunk_size < 1 then
+      fail exit_bad_dist "--chunk-size must be positive (got %d)" chunk_size
+    else if lease <= 0. then
+      fail exit_bad_dist "--lease must be positive seconds (got %g)" lease
+    else None
+  in
+  match
+    match
+      validate ~core ~program ~cycles ~samples ~seed ~checkpoint_interval:0 ~audit:0. ~watchdog:0
+        ~retries:0 ~jobs:1 ~prune ~resume ~journal
+    with
+    | Some code -> Some code
+    | None -> dist_checks ()
+  with
+  | Some code -> code
+  | None -> (
+    (* The coordinator is engine-free: the campaign identity (and with
+       it, the exact fault list every worker derives) is pinned entirely
+       by this header. shards=0 / batched=false marks the journal as
+       distributed so local --resume refuses it and vice versa. *)
+    let header : Journal.header =
+      {
+        Journal.core;
+        program;
+        cycles;
+        seed;
+        samples;
+        prune;
+        audit = 0.;
+        shards = 0;
+        batched = false;
+        prng = Prng.save (Prng.create seed);
+        shard_prng = [||];
+      }
+    in
+    let config =
+      { Coordinator.default_config with Coordinator.listen; port; chunk_size; lease }
+    in
+    match Coordinator.create ~config () with
+    | exception Unix.Unix_error (e, _, _) ->
+      Option.get (fail exit_bad_dist "cannot listen on %s:%d: %s" listen port (Unix.error_message e))
+    | coordinator -> (
+      let bound = Coordinator.port coordinator in
+      Printf.printf "%s/%s: serving %d samples (seed %d%s) on %s:%d\n%!" core program samples seed
+        (if prune then ", pruned" else "") listen bound;
+      (match port_file with
+      | None -> ()
+      | Some f ->
+        let oc = open_out f in
+        Printf.fprintf oc "%d\n" bound;
+        close_out oc);
+      install_signal_handlers ();
+      let on_event e =
+        match e with
+        | Coordinator.Progress _ when not verbose -> ()
+        | _ -> Format.printf "%a@.%!" Coordinator.pp_event e
+      in
+      let start = Unix.gettimeofday () in
+      match
+        Coordinator.serve coordinator ~header ?journal ~resume ~should_stop:stop_requested
+          ~on_event ()
+      with
+      | exception Journal.Error msg ->
+        prerr_endline ("campaign: " ^ msg);
+        exit_journal
+      | r ->
+        if r.Coordinator.recovered > 0 then
+          Printf.printf "resumed: %d verdicts recovered from the journal%s\n"
+            r.Coordinator.recovered
+            (if r.Coordinator.dropped_bytes > 0 then
+               Printf.sprintf " (%d torn trailing bytes truncated)" r.Coordinator.dropped_bytes
+             else "");
+        Printf.printf "workers: %d joined, %d chunk leases re-dispatched, %d duplicate verdicts\n"
+          r.Coordinator.workers r.Coordinator.redispatched r.Coordinator.duplicates;
+        print_stats r.Coordinator.stats (Unix.gettimeofday () -. start);
+        if r.Coordinator.mismatches > 0 then begin
+          Printf.eprintf
+            "campaign: %d determinism violations (workers disagreed on a verdict; first kept)\n%!"
+            r.Coordinator.mismatches;
+          exit_network
+        end
+        else if not r.Coordinator.completed then begin
+          Printf.printf "interrupted — progress is journaled%s\n"
+            (match journal with
+            | Some dir -> Printf.sprintf "; resume with serve --resume --journal %s" dir
+            | None -> " only in this process (no --journal given)");
+          stop_exit_code ()
+        end
+        else 0))
+
+(* ------------------------------------------------------------------ *)
+(* campaign work: a stateless worker fleet member.                      *)
+
+exception Unknown_identity of string
+
+let parse_hostport s =
+  match String.rindex_opt s ':' with
+  | None -> None
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p >= 1 && p <= 65535 && host <> "" -> Some (host, p)
+    | _ -> None)
+
+(* One worker process: engines are built lazily from the coordinator's
+   Welcome header, so a worker needs no campaign flags at all. *)
+let work_one ~host ~port ~name ~batched ~checkpoint_interval ~retries ~max_reconnects =
+  let resolve (h : Journal.header) =
+    Printf.printf "campaign: %s/%s, %d cycles, %d samples, seed %d%s%s\n%!" h.Journal.core
+      h.Journal.program h.Journal.cycles h.Journal.samples h.Journal.seed
+      (if h.Journal.prune then ", pruned" else "")
+      (if batched then " [batched]" else "");
+    match make_system h.Journal.core h.Journal.program with
+    | None ->
+      raise
+        (Unknown_identity
+           (Printf.sprintf "coordinator asked for unknown core/program %S/%S" h.Journal.core
+              h.Journal.program))
+    | Some (make, make_lanes) ->
+      let nl = (make None).System.netlist in
+      let space = Fault_space.full nl ~cycles:h.Journal.cycles in
+      let checkpoint_interval = if checkpoint_interval > 0 then Some checkpoint_interval else None in
+      let campaign =
+        Fi_campaign.create ?checkpoint_interval
+          ~make:(fun () -> make (Some nl))
+          ~make_lanes:(fun () -> make_lanes (Some nl))
+          ~total_cycles:h.Journal.cycles ()
+      in
+      let skip =
+        if not h.Journal.prune then None
+        else begin
+          let pruner = build_pruner nl ~make ~cycles:h.Journal.cycles ~space in
+          Some (fun ~flop_id ~cycle -> Replay.pruned pruner ~flop_id ~cycle)
+        end
+      in
+      { Worker.campaign; space; skip; batched }
+  in
+  match
+    Worker.run ~host ~port ~resolve ?name ~retries ~max_reconnects ~should_stop:stop_requested ()
+  with
+  | exception Unknown_identity msg ->
+    prerr_endline ("campaign: " ^ msg);
+    exit_bad_dist
+  | report -> (
+    Printf.printf "worker: %d chunks, %d verdicts submitted, %d crashes, %d reconnects\n"
+      report.Worker.chunks report.Worker.submitted report.Worker.crashes report.Worker.reconnects;
+    match report.Worker.ended with
+    | Worker.Campaign_done -> 0
+    | Worker.Stopped -> stop_exit_code ()
+    | Worker.Gave_up why ->
+      prerr_endline ("campaign: giving up: " ^ why);
+      exit_network)
+
+let work hostport name workers batched checkpoint_interval retries max_reconnects =
+  match
+    match parse_hostport hostport with
+    | None ->
+      fail exit_bad_dist "expected HOST:PORT with port in [1, 65535] (got %S)" hostport
+    | Some _ when workers < 1 -> fail exit_bad_dist "--workers must be positive (got %d)" workers
+    | Some _ when workers > 1 && name <> None ->
+      fail exit_bad_dist
+        "--name and --workers %d are mutually exclusive: worker names must be unique" workers
+    | Some _ when checkpoint_interval < 0 ->
+      fail exit_bad_interval "--checkpoint-interval must be non-negative (got %d)"
+        checkpoint_interval
+    | Some _ when retries < 0 ->
+      fail exit_bad_supervisor "--retries must be non-negative (got %d)" retries
+    | Some _ when max_reconnects < 0 ->
+      fail exit_bad_dist "--max-reconnects must be non-negative (got %d)" max_reconnects
+    | Some hp -> (
+      install_signal_handlers ();
+      let host, port = hp in
+      let one () = work_one ~host ~port ~name ~batched ~checkpoint_interval ~retries ~max_reconnects in
+      if workers = 1 then Some (one ())
+      else begin
+        (* A local fleet: fork first (no domains/threads exist yet), let
+           every process run its own engine, and report the worst exit. *)
+        let pids =
+          List.init workers (fun _ ->
+              match Unix.fork () with
+              | 0 ->
+                (* _exit skips at_exit, so flush the report lines explicitly. *)
+                let code = try one () with _ -> exit_network in
+                (try flush_all () with Sys_error _ -> ());
+                Unix._exit code
+              | pid -> pid)
+        in
+        let worst = ref 0 in
+        let forwarded = ref false in
+        List.iter
+          (fun pid ->
+            let rec wait () =
+              match Unix.waitpid [] pid with
+              | _, Unix.WEXITED c -> if c > !worst then worst := c
+              | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> worst := max !worst exit_network
+              | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                if stop_requested () && not !forwarded then begin
+                  forwarded := true;
+                  List.iter
+                    (fun p -> try Unix.kill p Sys.sigterm with Unix.Unix_error _ -> ())
+                    pids
+                end;
+                wait ()
+            in
+            wait ())
+          pids;
+        Some (if stop_requested () then stop_exit_code () else !worst)
+      end)
+  with
+  | Some code -> code
+  | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* CLI.                                                                 *)
 
 let core = Arg.(value & opt string "avr" & info [ "core" ] ~doc:"avr or msp430.")
 let program = Arg.(value & opt string "fib" & info [ "program" ] ~doc:"fib or conv.")
@@ -313,26 +551,121 @@ let retries =
           "Supervisor retries per failing experiment, each on a freshly built system, before it \
            is recorded as crashed.")
 
-let cmd =
-  let man =
-    [
-      `S Manpage.s_exit_status;
-      `P "0 on success. Validation failures use distinct codes:";
-      `P "10: unknown core/program; 11: bad --cycles; 12: bad --samples; 13: bad --seed; 14: bad \
-          --checkpoint-interval; 15: bad --audit (or --audit without --prune); 16: bad \
-          --watchdog/--retries/--jobs; 17: journal error (corrupt, mismatched, or missing for \
-          --resume).";
-      `P "130/143: interrupted by SIGINT/SIGTERM after a clean journal flush (resumable with \
-          --resume).";
-    ]
+let exit_doc =
+  [
+    `S Manpage.s_exit_status;
+    `P "0 on success. Validation failures use distinct codes:";
+    `P "10: unknown core/program; 11: bad --cycles; 12: bad --samples; 13: bad --seed; 14: bad \
+        --checkpoint-interval; 15: bad --audit (or --audit without --prune); 16: bad \
+        --watchdog/--retries/--jobs; 17: journal error (corrupt, mismatched, or missing for \
+        --resume); 18: bad distributed argument (--port, --chunk-size, --lease, HOST:PORT, \
+        --workers, --max-reconnects, or --name with --workers > 1); 19: network failure (a \
+        worker gave up reconnecting) or a determinism violation between workers.";
+    `P "130/143: interrupted by SIGINT/SIGTERM after a clean journal flush (resumable with \
+        --resume).";
+  ]
+
+let run_term =
+  Term.(
+    const run $ core $ program $ cycles $ samples $ seed $ prune $ jobs $ checkpoint_interval
+    $ batched $ journal $ resume $ audit $ watchdog $ retries)
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~man:exit_doc
+       ~doc:
+         "single-process sampled fault-injection campaign with optional MATE pruning, crash-safe \
+          journaling, supervised execution and MATE soundness auditing (the default subcommand)")
+    run_term
+
+let serve_cmd =
+  let listen =
+    Arg.(value & opt string "127.0.0.1" & info [ "listen" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(
+      value & opt int 7447
+      & info [ "port" ] ~docv:"PORT" ~doc:"TCP port; 0 picks an ephemeral port (printed).")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:"Write the actually bound port to $(docv) (useful with --port 0 in scripts).")
+  in
+  let chunk_size =
+    Arg.(
+      value & opt int 256
+      & info [ "chunk-size" ] ~docv:"N" ~doc:"Samples per chunk lease handed to a worker.")
+  in
+  let lease =
+    Arg.(
+      value & opt float 10.
+      & info [ "lease" ] ~docv:"SECONDS"
+          ~doc:
+            "Worker silence tolerated before its chunks are re-dispatched to other workers. Any \
+             frame (results or heartbeat) renews the lease.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Also print per-frame progress events.")
   in
   Cmd.v
-    (Cmd.info "campaign" ~man
+    (Cmd.info "serve" ~man:exit_doc
+       ~doc:
+         "distributed-campaign coordinator: owns the fault-space sharding, the verdict journal \
+          and the chunk-lease table; workers connect with $(b,campaign work). Survives worker \
+          crashes, stragglers and its own restart (--journal + --resume); final statistics are \
+          bit-identical to $(b,campaign run) with the same seed.")
+    Term.(
+      const serve $ core $ program $ cycles $ samples $ seed $ prune $ listen $ port $ port_file
+      $ chunk_size $ lease $ journal $ resume $ verbose)
+
+let work_cmd =
+  let hostport =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"HOST:PORT" ~doc:"The coordinator to work for.")
+  in
+  let worker_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~docv:"NAME"
+          ~doc:"Worker name in coordinator logs (default worker-PID; requires --workers 1).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N" ~doc:"Fork $(docv) local worker processes.")
+  in
+  let max_reconnects =
+    Arg.(
+      value & opt int 8
+      & info [ "max-reconnects" ] ~docv:"N"
+          ~doc:
+            "Consecutive connection failures tolerated (with capped exponential backoff) before \
+             the worker gives up; the counter resets after every successful handshake.")
+  in
+  Cmd.v
+    (Cmd.info "work" ~man:exit_doc
+       ~doc:
+         "stateless campaign worker: connects to a $(b,campaign serve) coordinator, derives the \
+          campaign (engine, fault list, pruner) from the pinned identity it is sent, and streams \
+          verdicts back until the campaign completes. Safe to kill at any time — at most the \
+          current chunk is re-dispatched.")
+    Term.(
+      const work $ hostport $ worker_name $ workers $ batched $ checkpoint_interval $ retries
+      $ max_reconnects)
+
+let cmd =
+  Cmd.group ~default:run_term
+    (Cmd.info "campaign" ~man:exit_doc
        ~doc:
          "sampled fault-injection campaign with optional MATE pruning, crash-safe journaling, \
-          supervised execution and MATE soundness auditing")
-    Term.(
-      const run $ core $ program $ cycles $ samples $ seed $ prune $ jobs $ checkpoint_interval
-      $ batched $ journal $ resume $ audit $ watchdog $ retries)
+          supervised execution, MATE soundness auditing and distributed coordinator/worker \
+          operation")
+    [ run_cmd; serve_cmd; work_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -551,19 +551,28 @@ let count_chunk t w samples skipped lo hi =
   done;
   (!b, !l, !s)
 
-let run_sample t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false) ?(jobs = 1) () =
-  if n < 0 then invalid_arg "Campaign.run_sample: n must be non-negative";
+(* The one sample-draw everybody shares: scalar, batched, durable and
+   distributed campaigns all derive their fault list through this exact
+   loop, so equal seeds yield equal fault lists — the foundation of every
+   bit-identical-statistics guarantee in the stack (a worker fleet and a
+   single process must classify the very same faults). *)
+let draw_samples t ~space ~rng ~n =
+  if n < 0 then invalid_arg "Campaign.draw_samples: n must be non-negative";
   let flops = space.Fault_space.flops in
   let cycle_bound = min space.Fault_space.cycles t.total_cycles in
-  (* Draw all samples up front with the single caller-provided generator:
-     the fault list — and therefore the stats — is a function of the seed
-     alone, independent of [jobs]. *)
   let samples = Array.make n (0, 0) in
   for i = 0 to n - 1 do
     let flop = flops.(Prng.int rng (Array.length flops)) in
     let cycle = Prng.int rng cycle_bound in
     samples.(i) <- (flop.Netlist.flop_id, cycle)
   done;
+  samples
+
+let run_sample t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false) ?(jobs = 1) () =
+  (* Draw all samples up front with the single caller-provided generator:
+     the fault list — and therefore the stats — is a function of the seed
+     alone, independent of [jobs]. *)
+  let samples = draw_samples t ~space ~rng ~n in
   let skipped = Array.map (fun (flop_id, cycle) -> skip ~flop_id ~cycle) samples in
   let n_skipped = Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 skipped in
   let jobs = max 1 (min jobs (max 1 n)) in
@@ -589,17 +598,9 @@ let run_sample t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false) ?(job
   { injections = n - n_skipped; benign = b; latent = l; sdc = s; skipped = n_skipped; crashed = 0 }
 
 let run_sample_batched t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false) ?lanes () =
-  if n < 0 then invalid_arg "Campaign.run_sample_batched: n must be non-negative";
-  let flops = space.Fault_space.flops in
-  let cycle_bound = min space.Fault_space.cycles t.total_cycles in
   (* Same draw order as [run_sample]: equal seeds yield equal fault
      lists, so the batched stats must equal the scalar stats exactly. *)
-  let samples = Array.make n (0, 0) in
-  for i = 0 to n - 1 do
-    let flop = flops.(Prng.int rng (Array.length flops)) in
-    let cycle = Prng.int rng cycle_bound in
-    samples.(i) <- (flop.Netlist.flop_id, cycle)
-  done;
+  let samples = draw_samples t ~space ~rng ~n in
   let skipped = Array.map (fun (flop_id, cycle) -> skip ~flop_id ~cycle) samples in
   let n_skipped = Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 skipped in
   let faults = Array.make (n - n_skipped) (0, 0) in

@@ -115,6 +115,14 @@ type stats = {
     [crashed] are counted separately
     ([injections + skipped + crashed] = total faults sampled). *)
 
+val draw_samples :
+  t -> space:Fault_space.t -> rng:Pruning_util.Prng.t -> n:int -> (int * int) array
+(** Draw the campaign's fault list: [n] [(flop_id, cycle)] pairs sampled
+    uniformly from [space] (cycles clipped to the campaign horizon). This
+    is {e the} canonical draw — {!run_sample}, {!run_sample_batched}, the
+    durable runner and the distributed worker all use it, so every engine
+    given generators in the same state classifies the identical faults. *)
+
 val run_sample :
   t ->
   space:Fault_space.t ->

@@ -1,0 +1,385 @@
+type config = {
+  listen : string;
+  port : int;
+  chunk_size : int;
+  lease : float;
+  write_timeout : float;
+  tick : float;
+  drain : float;
+}
+
+let default_config =
+  {
+    listen = "127.0.0.1";
+    port = 0;
+    chunk_size = 256;
+    lease = 10.;
+    write_timeout = 5.;
+    tick = 0.05;
+    drain = 5.;
+  }
+
+type event =
+  | Joined of { worker : string }
+  | Left of { worker : string; reason : string }
+  | Assigned of { worker : string; chunk : Proto.chunk }
+  | Redispatched of { worker : string; chunk_id : int; reason : string }
+  | Progress of { done_ : int; total : int }
+  | Duplicate of { worker : string; index : int }
+  | Mismatch of { worker : string; index : int }
+  | Completed
+
+let pp_event ppf = function
+  | Joined { worker } -> Format.fprintf ppf "worker %s joined" worker
+  | Left { worker; reason } -> Format.fprintf ppf "worker %s left (%s)" worker reason
+  | Assigned { worker; chunk } ->
+    Format.fprintf ppf "chunk %d [%d..%d] -> %s" chunk.Proto.chunk_id chunk.Proto.lo
+      chunk.Proto.hi worker
+  | Redispatched { worker; chunk_id; reason } ->
+    Format.fprintf ppf "chunk %d requeued from %s (%s)" chunk_id worker reason
+  | Progress { done_; total } -> Format.fprintf ppf "%d/%d verdicts" done_ total
+  | Duplicate { worker; index } ->
+    Format.fprintf ppf "duplicate verdict for sample %d from %s (deduplicated)" index worker
+  | Mismatch { worker; index } ->
+    Format.fprintf ppf "DETERMINISM VIOLATION on sample %d from %s (first verdict kept)" index
+      worker
+  | Completed -> Format.fprintf ppf "campaign complete"
+
+type result = {
+  stats : Campaign.stats;
+  completed : bool;
+  recovered : int;
+  dropped_bytes : int;
+  duplicates : int;
+  mismatches : int;
+  redispatched : int;
+  workers : int;
+}
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  mutable served : bool;
+}
+
+let rec restart f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> restart f
+
+let create ?(config = default_config) () =
+  if config.chunk_size < 1 then invalid_arg "Coordinator.create: chunk_size must be positive";
+  if config.lease <= 0. then invalid_arg "Coordinator.create: lease must be positive";
+  if config.drain < 0. then invalid_arg "Coordinator.create: drain must be non-negative";
+  (* A worker death must surface as a socket error on our side, not kill
+     the coordinator process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.listen, config.port) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd addr;
+     Unix.listen fd 64;
+     Unix.set_nonblock fd
+   with e ->
+     Unix.close fd;
+     raise e);
+  { config; listen_fd = fd; served = false }
+
+let port t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | Unix.ADDR_UNIX _ -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection state.                                               *)
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Proto.decoder;
+  mutable name : string;  (* peer address until Hello names it *)
+  mutable greeted : bool;
+  mutable last_seen : float;
+  mutable leases : int list;  (* chunk ids this connection holds *)
+}
+
+type chunk_state =
+  | Pending
+  | Leased
+  | Complete
+
+let serve t ~header ?journal ?(resume = false) ?records_per_segment
+    ?(should_stop = fun () -> false) ?(on_event = fun _ -> ()) () =
+  if t.served then invalid_arg "Coordinator.serve: already served";
+  t.served <- true;
+  if header.Journal.audit <> 0. then
+    invalid_arg "Coordinator.serve: the audit sentinel is single-process only (audit must be 0)";
+  if resume && journal = None then invalid_arg "Coordinator.serve: resume requires a journal";
+  let cfg = t.config in
+  let n = header.Journal.samples in
+  let outcomes : Journal.outcome option array = Array.make n None in
+  let n_done = ref 0 in
+  let recovered = ref 0 in
+  let dropped_bytes = ref 0 in
+  let duplicates = ref 0 in
+  let mismatches = ref 0 in
+  let redispatched = ref 0 in
+  let workers = Hashtbl.create 16 in
+  let writer =
+    match journal with
+    | None -> None
+    | Some dir when resume ->
+      let h, entries, dropped, w = Journal.resume ?records_per_segment ~dir () in
+      Journal.require_match ~what:dir h header;
+      Array.iter
+        (function
+          | Journal.Outcome (i, o) ->
+            if i >= 0 && i < n && outcomes.(i) = None then begin
+              outcomes.(i) <- Some o;
+              incr n_done;
+              incr recovered
+            end
+          | Journal.Quarantine _ -> ())
+        entries;
+      dropped_bytes := dropped;
+      Some w
+    | Some dir -> Some (Journal.create ?records_per_segment ~dir header)
+  in
+  (* ---------------------------------------------------------------- *)
+  (* Chunk table. Coverage of the outcome range is the ground truth;   *)
+  (* the state array only caches whether a chunk is queued, out on a   *)
+  (* lease, or retired.                                                *)
+  let n_chunks = (n + cfg.chunk_size - 1) / cfg.chunk_size in
+  let chunk_lo c = c * cfg.chunk_size in
+  let chunk_hi c = min (n - 1) (((c + 1) * cfg.chunk_size) - 1) in
+  let covered c =
+    let ok = ref true in
+    for i = chunk_lo c to chunk_hi c do
+      if outcomes.(i) = None then ok := false
+    done;
+    !ok
+  in
+  let state = Array.make n_chunks Pending in
+  let pending = Queue.create () in
+  for c = 0 to n_chunks - 1 do
+    if covered c then state.(c) <- Complete else Queue.push c pending
+  done;
+  (* [pending] may hold stale ids (requeued chunks completed meanwhile by
+     a straggler's duplicates); [pop_chunk] re-validates on the way out. *)
+  let rec pop_chunk () =
+    match Queue.pop pending with
+    | exception Queue.Empty -> None
+    | c when state.(c) <> Pending -> pop_chunk ()
+    | c when covered c ->
+      state.(c) <- Complete;
+      pop_chunk ()
+    | c -> Some c
+  in
+  let requeue ~reason conn =
+    List.iter
+      (fun c ->
+        if state.(c) = Leased then begin
+          state.(c) <- Pending;
+          Queue.push c pending;
+          incr redispatched;
+          on_event (Redispatched { worker = conn.name; chunk_id = c; reason })
+        end)
+      conn.leases;
+    conn.leases <- []
+  in
+  (* ---------------------------------------------------------------- *)
+  (* Connections.                                                      *)
+  let conns : conn list ref = ref [] in
+  let drop ~reason conn =
+    if List.memq conn !conns then begin
+      conns := List.filter (fun c -> not (c == conn)) !conns;
+      requeue ~reason conn;
+      (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+      on_event (Left { worker = conn.name; reason })
+    end
+  in
+  let send conn msg =
+    try Proto.send ~deadline:(Unix.gettimeofday () +. cfg.write_timeout) conn.fd msg with
+    | Proto.Error reason -> drop ~reason conn
+    | Unix.Unix_error (e, _, _) -> drop ~reason:(Unix.error_message e) conn
+  in
+  let record i o =
+    outcomes.(i) <- Some o;
+    incr n_done;
+    match writer with
+    | Some w -> Journal.append w (Journal.Outcome (i, o))
+    | None -> ()
+  in
+  (* Fatal per-connection protocol violations are raised as [Proto.Error]
+     and only drop the offending connection, never the campaign. *)
+  let handle conn msg =
+    conn.last_seen <- Unix.gettimeofday ();
+    match msg with
+    | Proto.Hello { version; name } ->
+      if version <> Proto.version then
+        raise (Proto.Error (Printf.sprintf "protocol version %d, expected %d" version Proto.version));
+      conn.name <- name;
+      conn.greeted <- true;
+      Hashtbl.replace workers name ();
+      on_event (Joined { worker = name });
+      send conn (Proto.Welcome header)
+    | _ when not conn.greeted -> raise (Proto.Error "first message must be Hello")
+    | Proto.Request -> (
+      match pop_chunk () with
+      | Some c ->
+        state.(c) <- Leased;
+        conn.leases <- c :: conn.leases;
+        let chunk = { Proto.chunk_id = c; lo = chunk_lo c; hi = chunk_hi c } in
+        on_event (Assigned { worker = conn.name; chunk });
+        send conn (Proto.Assign chunk)
+      | None -> send conn (if !n_done >= n then Proto.Done else Proto.Wait))
+    | Proto.Results { chunk_id; results } ->
+      if chunk_id < 0 || chunk_id >= n_chunks then
+        raise (Proto.Error (Printf.sprintf "results for unknown chunk %d" chunk_id));
+      Array.iter
+        (fun (i, o) ->
+          if i < 0 || i >= n then
+            raise (Proto.Error (Printf.sprintf "result for sample %d outside [0, %d)" i n));
+          match outcomes.(i) with
+          | None -> record i o
+          | Some prev when prev = o ->
+            (* A re-dispatched chunk's second delivery: verdicts are
+               deterministic, so equal is the only legal outcome —
+               dropped, not double-counted. *)
+            incr duplicates;
+            on_event (Duplicate { worker = conn.name; index = i })
+          | Some _ ->
+            incr mismatches;
+            on_event (Mismatch { worker = conn.name; index = i });
+            raise (Proto.Error (Printf.sprintf "determinism violation on sample %d" i)))
+        results;
+      on_event (Progress { done_ = !n_done; total = n })
+    | Proto.Chunk_done { chunk_id } ->
+      if chunk_id < 0 || chunk_id >= n_chunks then
+        raise (Proto.Error (Printf.sprintf "done for unknown chunk %d" chunk_id));
+      conn.leases <- List.filter (fun c -> c <> chunk_id) conn.leases;
+      if covered chunk_id then state.(chunk_id) <- Complete
+      else if state.(chunk_id) = Leased then begin
+        (* The worker claims completion but the range has holes (lost
+           frames?): requeue rather than trust the claim. *)
+        state.(chunk_id) <- Pending;
+        Queue.push chunk_id pending;
+        incr redispatched;
+        on_event (Redispatched { worker = conn.name; chunk_id; reason = "incomplete chunk" })
+      end
+    | Proto.Heartbeat -> ()
+    | Proto.Welcome _ | Proto.Assign _ | Proto.Wait | Proto.Done ->
+      raise (Proto.Error "coordinator-only message from a worker")
+  in
+  let accept () =
+    match restart (fun () -> Unix.accept t.listen_fd) with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | fd, peer ->
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      let name =
+        match peer with
+        | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+        | Unix.ADDR_UNIX s -> s
+      in
+      conns :=
+        { fd; dec = Proto.decoder (); name; greeted = false; last_seen = Unix.gettimeofday ();
+          leases = [] }
+        :: !conns
+  in
+  let read_buf = Bytes.create 65536 in
+  let pump conn =
+    match restart (fun () -> Unix.read conn.fd read_buf 0 (Bytes.length read_buf)) with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) -> drop ~reason:(Unix.error_message e) conn
+    | 0 -> drop ~reason:"disconnected" conn
+    | k -> (
+      Proto.feed conn.dec read_buf k;
+      try
+        let quit = ref false in
+        while not !quit do
+          match Proto.next_frame conn.dec with
+          | None -> quit := true
+          | Some payload -> handle conn (Proto.decode payload)
+        done
+      with Proto.Error reason -> drop ~reason conn)
+  in
+  let expire_leases () =
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun conn ->
+        (* Keep the connection: a straggler may still deliver (its late
+           results deduplicate); only its claim on the chunks lapses. *)
+        if conn.leases <> [] && now -. conn.last_seen > cfg.lease then
+          requeue ~reason:"lease expired" conn)
+      !conns
+  in
+  (* ---------------------------------------------------------------- *)
+  (* Event loop.                                                       *)
+  let select_tick () =
+    let fds = t.listen_fd :: List.map (fun c -> c.fd) !conns in
+    let readable, _, _ =
+      match restart (fun () -> Unix.select fds [] [] cfg.tick) with
+      | r -> r
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ([], [], [])
+    in
+    if List.memq t.listen_fd readable then accept ();
+    (* [!conns] is a snapshot: [drop] inside [pump] only rebinds the ref,
+       and [drop]/[pump] are harmless on already-dropped connections. *)
+    List.iter (fun conn -> if List.memq conn.fd readable then pump conn) !conns
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter Journal.close writer;
+      try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  while !n_done < n && not (should_stop ()) do
+    select_tick ();
+    expire_leases ()
+  done;
+  let completed = !n_done >= n in
+  if completed then begin
+    on_event Completed;
+    (* Keep answering Requests (each now gets Done) until every worker
+       reads its Done and hangs up, or the drain window lapses. Slamming
+       the sockets shut here instead would race a worker's in-flight
+       Request: the RST discards the buffered Done and the worker sees a
+       lost session instead of a finished campaign. An interrupted
+       campaign skips the drain: no Done is ever sent for an incomplete
+       run, and workers fall back to their reconnect loop (the
+       coordinator may be resumed). *)
+    let deadline = Unix.gettimeofday () +. cfg.drain in
+    while !conns <> [] && Unix.gettimeofday () < deadline do
+      select_tick ()
+    done
+  end;
+  List.iter (fun conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ()) !conns;
+  conns := [];
+  let b = ref 0 and l = ref 0 and s = ref 0 and sk = ref 0 and cr = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some Journal.Benign -> incr b
+      | Some Journal.Latent -> incr l
+      | Some (Journal.Sdc _) -> incr s
+      | Some Journal.Skipped -> incr sk
+      | Some Journal.Crashed -> incr cr)
+    outcomes;
+  {
+    stats =
+      {
+        Campaign.injections = !b + !l + !s;
+        benign = !b;
+        latent = !l;
+        sdc = !s;
+        skipped = !sk;
+        crashed = !cr;
+      };
+    completed;
+    recovered = !recovered;
+    dropped_bytes = !dropped_bytes;
+    duplicates = !duplicates;
+    mismatches = !mismatches;
+    redispatched = !redispatched;
+    workers = Hashtbl.length workers;
+  }

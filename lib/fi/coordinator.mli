@@ -1,0 +1,106 @@
+(** The fault-tolerant campaign coordinator.
+
+    One process owns the campaign: it derives nothing but hands out work
+    — the fault list is a pure function of the journal header (seed), so
+    the coordinator never touches a netlist or simulator. It shards the
+    sample range into fixed-size chunks, leases them to whatever workers
+    connect, collects verdict streams, journals every fresh verdict
+    through {!Journal}, and declares the campaign complete when every
+    sample index has exactly one verdict.
+
+    {b Robustness model.}
+    - {e Leases with heartbeat expiry}: any frame from a worker counts as
+      liveness. A worker that stays silent longer than the lease window
+      has its chunks requeued and re-dispatched to other workers — but
+      its connection is kept: a straggler (not dead, just slow) may still
+      deliver.
+    - {e Idempotent dedup}: verdicts are deterministic per experiment, so
+      a re-dispatched chunk's second result set must agree with the
+      first. Duplicates are asserted equal and dropped, never
+      double-counted; a disagreement is a determinism violation — the
+      offending worker is disconnected, the first verdict kept, and the
+      violation surfaced in the {!result}.
+    - {e Worker death}: EOF or a write failure requeues the worker's
+      chunks immediately.
+    - {e Coordinator death}: every verdict is already journaled; a new
+      coordinator started with [resume:true] on the same journal picks
+      up where the old one stopped.
+    - {e Graceful degradation}: the campaign completes with bit-identical
+      statistics as long as any non-empty subset of workers survives
+      long enough to drain the chunk queue. *)
+
+type config = {
+  listen : string;  (** bind address *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  chunk_size : int;  (** samples per lease *)
+  lease : float;
+      (** seconds of worker silence before its chunks are re-dispatched;
+          must comfortably exceed the time a worker needs between frames
+          (one experiment, or one whole batched chunk) *)
+  write_timeout : float;  (** per-frame send deadline towards a worker *)
+  tick : float;  (** event-loop wakeup period (lease/stop polling) *)
+  drain : float;
+      (** after completion, how long to keep answering [Request]s with
+          [Done] while workers hang up — closing immediately would race
+          a worker's in-flight request and lose the buffered [Done] *)
+}
+
+val default_config : config
+(** [{ listen = "127.0.0.1"; port = 0; chunk_size = 256; lease = 10.;
+      write_timeout = 5.; tick = 0.05; drain = 5. }] *)
+
+type event =
+  | Joined of { worker : string }
+  | Left of { worker : string; reason : string }
+  | Assigned of { worker : string; chunk : Proto.chunk }
+  | Redispatched of { worker : string; chunk_id : int; reason : string }
+      (** a lease expired (straggler) or its holder disconnected *)
+  | Progress of { done_ : int; total : int }  (** after each results frame *)
+  | Duplicate of { worker : string; index : int }
+  | Mismatch of { worker : string; index : int }
+      (** determinism violation: two workers disagreed on one experiment *)
+  | Completed
+
+val pp_event : Format.formatter -> event -> unit
+
+type result = {
+  stats : Campaign.stats;
+  completed : bool;  (** false iff [should_stop] ended the run early *)
+  recovered : int;  (** verdicts replayed from the journal on resume *)
+  dropped_bytes : int;  (** torn journal tail truncated on resume *)
+  duplicates : int;  (** re-submitted verdicts asserted equal, dropped *)
+  mismatches : int;  (** determinism violations (first verdict kept) *)
+  redispatched : int;  (** chunk leases requeued (expiry or disconnect) *)
+  workers : int;  (** distinct worker names that completed a handshake *)
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Bind and listen. Raises [Unix.Unix_error] if the address is taken or
+    unbindable — before any campaign state exists. *)
+
+val port : t -> int
+(** The actually bound port (useful with [port = 0]). *)
+
+val serve :
+  t ->
+  header:Journal.header ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?records_per_segment:int ->
+  ?should_stop:(unit -> bool) ->
+  ?on_event:(event -> unit) ->
+  unit ->
+  result
+(** Run the campaign described by [header] ([header.samples] is the
+    sample count; [header.shards] should be [0], the distributed
+    marker, so local resume refuses distributed journals and vice
+    versa; [header.audit] must be [0.] — the audit sentinel is a
+    single-process feature). Blocks until every sample has a verdict or
+    [should_stop] (polled every [tick]) returns true; either way every
+    connection and the journal are closed before returning, and with
+    [journal] every recorded verdict survives a SIGKILL of the
+    coordinator itself. Raises {!Journal.Error} on journal
+    create/resume problems. [serve] consumes [t]: it closes the
+    listening socket on return. *)

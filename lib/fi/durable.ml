@@ -1,5 +1,5 @@
-module Netlist = Pruning_netlist.Netlist
 module Prng = Pruning_util.Prng
+module Backoff = Pruning_util.Backoff
 
 type audit_hooks = {
   masking : flop_id:int -> cycle:int -> int list;
@@ -35,49 +35,9 @@ let outcome_of_verdict : Campaign.verdict -> Journal.outcome = function
   | Campaign.Latent -> Journal.Latent
   | Campaign.Sdc c -> Journal.Sdc c
 
-(* Resuming under a different invocation would silently change what the
-   journal's verdicts mean; refuse with a message naming every mismatch. *)
-let validate_header ~dir (h : Journal.header) (want : Journal.header) =
-  let problems = ref [] in
-  let chk name same render_h render_w =
-    if not same then
-      problems :=
-        Printf.sprintf "%s: journal has %s, invocation has %s" name render_h render_w :: !problems
-  in
-  chk "core" (h.Journal.core = want.Journal.core) h.Journal.core want.Journal.core;
-  chk "program" (h.Journal.program = want.Journal.program) h.Journal.program want.Journal.program;
-  chk "cycles"
-    (h.Journal.cycles = want.Journal.cycles)
-    (string_of_int h.Journal.cycles)
-    (string_of_int want.Journal.cycles);
-  chk "seed" (h.Journal.seed = want.Journal.seed) (string_of_int h.Journal.seed)
-    (string_of_int want.Journal.seed);
-  chk "samples"
-    (h.Journal.samples = want.Journal.samples)
-    (string_of_int h.Journal.samples)
-    (string_of_int want.Journal.samples);
-  chk "prune" (h.Journal.prune = want.Journal.prune) (string_of_bool h.Journal.prune)
-    (string_of_bool want.Journal.prune);
-  chk "audit" (h.Journal.audit = want.Journal.audit)
-    (Printf.sprintf "%g" h.Journal.audit)
-    (Printf.sprintf "%g" want.Journal.audit);
-  chk "shards (--jobs)"
-    (h.Journal.shards = want.Journal.shards)
-    (string_of_int h.Journal.shards)
-    (string_of_int want.Journal.shards);
-  chk "batched" (h.Journal.batched = want.Journal.batched) (string_of_bool h.Journal.batched)
-    (string_of_bool want.Journal.batched);
-  chk "prng" (h.Journal.prng = want.Journal.prng) h.Journal.prng want.Journal.prng;
-  if !problems <> [] then
-    raise
-      (Journal.Error
-         (Printf.sprintf "%s: cannot resume, the journal was written by a different campaign:\n  %s"
-            dir
-            (String.concat "\n  " (List.rev !problems))))
-
 let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit ?(jobs = 1)
-    ?(batched = false) ?budget ?(retries = 2) ?journal ?(resume = false) ?records_per_segment
-    ?(should_stop = fun () -> false) ?chaos () =
+    ?(batched = false) ?budget ?(retries = 2) ?(retry_backoff = Backoff.retry_policy) ?journal
+    ?(resume = false) ?records_per_segment ?(should_stop = fun () -> false) ?chaos () =
   if n < 0 then invalid_arg "Durable.run: n must be non-negative";
   if jobs < 1 then invalid_arg "Durable.run: jobs must be positive";
   if retries < 0 then invalid_arg "Durable.run: retries must be non-negative";
@@ -95,14 +55,7 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
      batched engine all see the same samples. *)
   let rng = Prng.create seed in
   let master_state = Prng.save rng in
-  let flops = space.Fault_space.flops in
-  let cycle_bound = min space.Fault_space.cycles (Campaign.total_cycles campaign) in
-  let samples = Array.make n (0, 0) in
-  for i = 0 to n - 1 do
-    let flop = flops.(Prng.int rng (Array.length flops)) in
-    let cycle = Prng.int rng cycle_bound in
-    samples.(i) <- (flop.Netlist.flop_id, cycle)
-  done;
+  let samples = Campaign.draw_samples campaign ~space ~rng ~n in
   let shards = if batched then 1 else max 1 (min jobs (max 1 n)) in
   (* Per-shard audit samplers, split off deterministically after the
      sample draw; their initial states are pinned in the journal header
@@ -148,7 +101,7 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
     | None -> (None, 0, 0)
     | Some dir when resume ->
       let h, entries, dropped, w = Journal.resume ?records_per_segment ~dir () in
-      validate_header ~dir h header;
+      Journal.require_match ~what:dir h header;
       let recovered = ref 0 in
       Array.iter
         (function
@@ -161,6 +114,12 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
         entries;
       (Some w, !recovered, dropped)
     | Some dir -> (Some (Journal.create ?records_per_segment ~dir header), 0, 0)
+  in
+  (* Retry pacing: capped exponential backoff whose jitter is drawn from
+     a generator split off the shard's pinned PRNG state — a rerun that
+     hits the same failures sleeps the same schedule. *)
+  let shard_backoff s =
+    Backoff.create ~policy:retry_backoff (Prng.split (Prng.restore shard_states.(s)))
   in
   let journal_entry e =
     match writer with
@@ -205,6 +164,7 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
   (* Scalar shards.                                                    *)
   let run_scalar_shard ~shard worker0 arng lo hi =
     let worker = ref worker0 in
+    let bo = shard_backoff shard in
     let i = ref lo in
     while !i <= hi && not (should_stop ()) do
       let idx = !i in
@@ -217,6 +177,7 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
         let auditing = pruned && hooks <> None && draw < audit_p in
         if pruned && not auditing then record idx Journal.Skipped
         else begin
+          Backoff.reset bo;
           let rec attempt k =
             match
               (match chaos with
@@ -227,10 +188,16 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
             | v -> Some v
             | exception _ ->
               (* The worker may be mid-run; rebuild the whole system
-                 (fresh [make ()]) before retrying. *)
+                 (fresh [make ()]) before retrying, and back off so a
+                 systemic failure (disk full, OOM-adjacent) is not
+                 hammered at full speed. *)
               worker := Campaign.fresh_worker campaign;
               bump retried;
-              if k < retries then attempt (k + 1) else None
+              if k < retries then begin
+                Unix.sleepf (Backoff.next bo);
+                attempt (k + 1)
+              end
+              else None
           in
           match attempt 0 with
           | None -> record idx Journal.Crashed
@@ -255,6 +222,7 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
   (* Batched (lane-parallel) shard: one domain, journaled per window.  *)
   let run_batched arng =
     let window = 4 * Campaign.max_fault_lanes in
+    let bo = shard_backoff 0 in
     let lo = ref 0 in
     while !lo < n && not (should_stop ()) do
       let hi = min (n - 1) (!lo + window - 1) in
@@ -275,6 +243,7 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
       let to_inject = List.rev !to_inject in
       (if to_inject <> [] then begin
          let faults = Array.of_list (List.map (fun (idx, _) -> samples.(idx)) to_inject) in
+         Backoff.reset bo;
          let rec attempt k =
            match
              (match chaos with
@@ -287,7 +256,11 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
              (* The lane worker's state is unknown; rebuild it. *)
              Campaign.reset_lane_worker campaign;
              bump retried;
-             if k < retries then attempt (k + 1) else None
+             if k < retries then begin
+               Unix.sleepf (Backoff.next bo);
+               attempt (k + 1)
+             end
+             else None
          in
          match attempt 0 with
          | None ->

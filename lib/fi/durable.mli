@@ -79,6 +79,7 @@ val run :
   ?batched:bool ->
   ?budget:int ->
   ?retries:int ->
+  ?retry_backoff:Pruning_util.Backoff.policy ->
   ?journal:string ->
   ?resume:bool ->
   ?records_per_segment:int ->
@@ -101,7 +102,11 @@ val run :
     the lane-parallel engine on one shard ([jobs] is ignored).
     [budget] is the per-experiment watchdog in simulated cycles (scalar
     path only). [retries] (default 2) bounds the supervisor's fresh-system
-    retries per experiment (per batch window when [batched]).
+    retries per experiment (per batch window when [batched]); between
+    retries the shard sleeps per [retry_backoff] (default
+    {!Pruning_util.Backoff.retry_policy}: capped exponential with jitter
+    drawn deterministically from the shard's pinned PRNG state, so reruns
+    hitting the same failures pace identically).
     [journal] is the journal directory; [resume] reopens it instead of
     creating it, raising {!Journal.Error} with an actionable message if
     the header does not match the invocation. [should_stop] is polled

@@ -88,14 +88,36 @@ let header_file dir = Filename.concat dir "header"
 let active_file dir = Filename.concat dir "active.bin"
 let segment_file dir i = Filename.concat dir (Printf.sprintf "seg-%06d.bin" i)
 
+(* fsync is best-effort by design: some filesystems refuse it on
+   directories (or at all), and a campaign must not die because its
+   journal lives on one of those — the journal then degrades to
+   crash-safe-but-not-power-loss-safe, exactly what it was before fsync
+   support. *)
+let fsync_fd fd = try Unix.fsync fd with Unix.Unix_error _ -> ()
+
+let fsync_channel oc =
+  flush oc;
+  fsync_fd (Unix.descr_of_out_channel oc)
+
+(* A rename is only durable once the directory entry itself is on disk;
+   fsync the directory after every rename that must survive power loss. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd -> Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> fsync_fd fd)
+
 (* Tempfile + rename: readers and resumers never observe a half-written
-   file, and a kill mid-write leaves only a stale [.tmp] behind. *)
+   file, and a kill mid-write leaves only a stale [.tmp] behind. The
+   content is fsynced before the rename and the directory after it, so
+   the renamed file is durable, not merely atomic. *)
 let write_atomic path content =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   output_string oc content;
+  fsync_channel oc;
   close_out oc;
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -130,7 +152,7 @@ let header_to_string h =
   let body = Buffer.contents b in
   body ^ Printf.sprintf "crc=%08x\n" (Crc.string body)
 
-let header_of_string dir s =
+let header_of_string ~what:dir s =
   let lines = String.split_on_char '\n' s in
   let lines = List.filter (fun l -> l <> "") lines in
   (match lines with
@@ -179,6 +201,33 @@ let header_of_string dir s =
     shard_prng = Array.init shards (fun i -> get (Printf.sprintf "shard%d" i));
   }
 
+(* Resuming (or serving) under a different invocation would silently
+   change what the recorded verdicts mean; refuse with a message naming
+   every mismatched identity field. *)
+let require_match ~what (h : header) (want : header) =
+  let problems = ref [] in
+  let chk name same render_h render_w =
+    if not same then
+      problems :=
+        Printf.sprintf "%s: journal has %s, invocation has %s" name render_h render_w :: !problems
+  in
+  chk "core" (h.core = want.core) h.core want.core;
+  chk "program" (h.program = want.program) h.program want.program;
+  chk "cycles" (h.cycles = want.cycles) (string_of_int h.cycles) (string_of_int want.cycles);
+  chk "seed" (h.seed = want.seed) (string_of_int h.seed) (string_of_int want.seed);
+  chk "samples" (h.samples = want.samples) (string_of_int h.samples) (string_of_int want.samples);
+  chk "prune" (h.prune = want.prune) (string_of_bool h.prune) (string_of_bool want.prune);
+  chk "audit" (h.audit = want.audit)
+    (Printf.sprintf "%g" h.audit)
+    (Printf.sprintf "%g" want.audit);
+  chk "shards (--jobs)" (h.shards = want.shards) (string_of_int h.shards)
+    (string_of_int want.shards);
+  chk "batched" (h.batched = want.batched) (string_of_bool h.batched) (string_of_bool want.batched);
+  chk "prng" (h.prng = want.prng) h.prng want.prng;
+  if !problems <> [] then
+    error "%s: cannot resume, the journal was written by a different campaign:\n  %s" what
+      (String.concat "\n  " (List.rev !problems))
+
 (* ------------------------------------------------------------------ *)
 (* Writer.                                                             *)
 
@@ -195,8 +244,14 @@ type writer = {
 let default_rps = 4096
 
 let rotate w =
+  (* Push the segment's bytes all the way to disk before the seal
+     rename: [flush] alone only hands them to the OS, and a power loss
+     after the rename would otherwise leave a "finalized" segment with
+     missing tail records — indistinguishable from corruption. *)
+  fsync_channel w.chan;
   close_out w.chan;
   Sys.rename (active_file w.dir) (segment_file w.dir w.next_segment);
+  fsync_dir w.dir;
   w.next_segment <- w.next_segment + 1;
   w.chan <- open_out_bin (active_file w.dir);
   w.in_active <- 0
@@ -278,7 +333,7 @@ let decode_buffer ~strict ~what buf =
 
 let read_journal ~dir =
   if not (exists ~dir) then error "%s: no journal here (missing header)" dir;
-  let header = header_of_string dir (Bytes.to_string (read_file (header_file dir))) in
+  let header = header_of_string ~what:dir (Bytes.to_string (read_file (header_file dir))) in
   let segments = list_segments dir in
   let finalized =
     List.concat_map

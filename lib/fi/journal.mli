@@ -54,6 +54,24 @@ type header = {
 
 type writer
 
+val header_to_string : header -> string
+(** The textual key=value rendering (trailing CRC-32 line included) used
+    for the on-disk header file — and, verbatim, as the coordinator's
+    [Welcome] payload on the distributed-campaign wire protocol, so both
+    sides pin the identical campaign identity. *)
+
+val header_of_string : what:string -> string -> header
+(** Parse {!header_to_string}'s output, verifying the CRC. [what] names
+    the source (a directory, a network peer) in error messages. Raises
+    {!Error}. *)
+
+val require_match : what:string -> header -> header -> unit
+(** [require_match ~what recorded wanted] raises {!Error} with a message
+    naming every mismatched campaign-identity field unless the two
+    headers describe the same campaign. Resuming — locally or in the
+    distributed coordinator — under a different invocation would
+    silently change what recorded verdicts mean. *)
+
 exception Error of string
 (** Unusable journal: corrupt finalized segment, malformed header,
     or an attempt to create over an existing journal. *)

@@ -1,0 +1,269 @@
+module Crc = Pruning_util.Crc
+
+exception Error of string
+exception Closed
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+let max_frame = 1 lsl 24
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Little-endian integer plumbing shared by frames and messages.       *)
+
+let put32 buf v =
+  for k = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * k)) land 0xFF))
+  done
+
+let get32 s pos =
+  let v = ref 0 in
+  for k = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code (String.unsafe_get s (pos + k))
+  done;
+  !v
+
+(* EINTR-restarting wrappers: a SIGINT arriving mid-syscall must reach
+   the signal handler and then resume the I/O, not kill the campaign. *)
+let rec restart f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> restart f
+
+(* ------------------------------------------------------------------ *)
+(* Frames.                                                             *)
+
+let frame_header_size = 8
+
+let encode_frame payload =
+  let len = String.length payload in
+  if len > max_frame then error "frame payload of %d bytes exceeds the %d cap" len max_frame;
+  let buf = Buffer.create (frame_header_size + len) in
+  put32 buf len;
+  put32 buf (Crc.string payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let write_frame ?deadline fd payload =
+  let s = Bytes.unsafe_of_string (encode_frame payload) in
+  let total = Bytes.length s in
+  let off = ref 0 in
+  while !off < total do
+    match restart (fun () -> Unix.write fd s !off (total - !off)) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* Non-blocking socket with a full buffer: wait for writability,
+         bounded by the caller's deadline so a stalled peer cannot wedge
+         the writer forever. *)
+      let timeout =
+        match deadline with
+        | None -> -1.
+        | Some d ->
+          let left = d -. Unix.gettimeofday () in
+          if left <= 0. then error "write stalled past its deadline" else left
+      in
+      ignore (restart (fun () -> Unix.select [] [ fd ] [] timeout))
+  done
+
+let check_len len =
+  if len < 0 || len > max_frame then error "frame length %d is outside [0, %d]" len max_frame
+
+(* Read exactly [n] bytes. [at_boundary] selects whether EOF is a clean
+   close ([Closed]) or a truncated frame ([Error]). *)
+let really_read fd n ~at_boundary =
+  let buf = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    let k = restart (fun () -> Unix.read fd buf !off (n - !off)) in
+    if k = 0 then
+      if !off = 0 && at_boundary then raise Closed else error "connection closed mid-frame";
+    off := !off + k
+  done;
+  Bytes.unsafe_to_string buf
+
+let read_frame fd =
+  let header = really_read fd frame_header_size ~at_boundary:true in
+  let len = get32 header 0 in
+  let crc = get32 header 4 in
+  check_len len;
+  let payload = really_read fd len ~at_boundary:false in
+  if Crc.string payload <> crc then error "frame CRC mismatch";
+  payload
+
+(* ------------------------------------------------------------------ *)
+(* Streaming decoder.                                                  *)
+
+type decoder = { mutable pending : Buffer.t }
+
+let decoder () = { pending = Buffer.create 4096 }
+let feed d buf n = Buffer.add_subbytes d.pending buf 0 n
+
+let next_frame d =
+  let have = Buffer.length d.pending in
+  if have < frame_header_size then None
+  else begin
+    let s = Buffer.contents d.pending in
+    let len = get32 s 0 in
+    check_len len;
+    if have < frame_header_size + len then None
+    else begin
+      let payload = String.sub s frame_header_size len in
+      if Crc.string payload <> get32 s 4 then error "frame CRC mismatch";
+      let rest = Buffer.create 4096 in
+      Buffer.add_substring rest s (frame_header_size + len) (have - frame_header_size - len);
+      d.pending <- rest;
+      Some payload
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Messages.                                                           *)
+
+type chunk = {
+  chunk_id : int;
+  lo : int;
+  hi : int;
+}
+
+type msg =
+  | Hello of { version : int; name : string }
+  | Welcome of Journal.header
+  | Request
+  | Assign of chunk
+  | Wait
+  | Results of { chunk_id : int; results : (int * Journal.outcome) array }
+  | Chunk_done of { chunk_id : int }
+  | Heartbeat
+  | Done
+
+let add_string32 buf s =
+  put32 buf (String.length s);
+  Buffer.add_string buf s
+
+(* Outcomes reuse the journal's record vocabulary: kind byte + one
+   32-bit argument (the SDC divergence cycle). *)
+let add_outcome buf (o : Journal.outcome) =
+  let kind, arg =
+    match o with
+    | Journal.Benign -> (0, 0)
+    | Journal.Latent -> (1, 0)
+    | Journal.Sdc c -> (2, c)
+    | Journal.Skipped -> (3, 0)
+    | Journal.Crashed -> (4, 0)
+  in
+  Buffer.add_char buf (Char.chr kind);
+  put32 buf arg
+
+let encode msg =
+  let buf = Buffer.create 64 in
+  (match msg with
+  | Hello { version; name } ->
+    Buffer.add_char buf 'H';
+    put32 buf version;
+    add_string32 buf name
+  | Welcome h ->
+    Buffer.add_char buf 'W';
+    add_string32 buf (Journal.header_to_string h)
+  | Request -> Buffer.add_char buf 'R'
+  | Assign { chunk_id; lo; hi } ->
+    Buffer.add_char buf 'A';
+    put32 buf chunk_id;
+    put32 buf lo;
+    put32 buf hi
+  | Wait -> Buffer.add_char buf 'w'
+  | Results { chunk_id; results } ->
+    Buffer.add_char buf 'r';
+    put32 buf chunk_id;
+    put32 buf (Array.length results);
+    Array.iter
+      (fun (index, outcome) ->
+        put32 buf index;
+        add_outcome buf outcome)
+      results
+  | Chunk_done { chunk_id } ->
+    Buffer.add_char buf 'C';
+    put32 buf chunk_id
+  | Heartbeat -> Buffer.add_char buf 'h'
+  | Done -> Buffer.add_char buf 'D');
+  Buffer.contents buf
+
+(* A cursor over the payload; every read is bounds-checked so a short or
+   trailing-garbage message fails loudly instead of decoding nonsense. *)
+type cursor = { s : string; mutable pos : int }
+
+let need c n = if c.pos + n > String.length c.s then error "truncated message"
+
+let take_u8 c =
+  need c 1;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let take_u32 c =
+  need c 4;
+  let v = get32 c.s c.pos in
+  c.pos <- c.pos + 4;
+  v
+
+let take_string32 c =
+  let len = take_u32 c in
+  need c len;
+  let v = String.sub c.s c.pos len in
+  c.pos <- c.pos + len;
+  v
+
+let take_outcome c : Journal.outcome =
+  let kind = take_u8 c in
+  let arg = take_u32 c in
+  match kind with
+  | 0 -> Journal.Benign
+  | 1 -> Journal.Latent
+  | 2 -> Journal.Sdc arg
+  | 3 -> Journal.Skipped
+  | 4 -> Journal.Crashed
+  | k -> error "unknown outcome kind %d" k
+
+let decode payload =
+  if payload = "" then error "empty message";
+  let c = { s = payload; pos = 1 } in
+  let msg =
+    match payload.[0] with
+    | 'H' ->
+      let version = take_u32 c in
+      let name = take_string32 c in
+      Hello { version; name }
+    | 'W' -> (
+      let text = take_string32 c in
+      match Journal.header_of_string ~what:"peer" text with
+      | h -> Welcome h
+      | exception Journal.Error msg -> error "bad Welcome header: %s" msg)
+    | 'R' -> Request
+    | 'A' ->
+      let chunk_id = take_u32 c in
+      let lo = take_u32 c in
+      let hi = take_u32 c in
+      Assign { chunk_id; lo; hi }
+    | 'w' -> Wait
+    | 'r' ->
+      let chunk_id = take_u32 c in
+      let n = take_u32 c in
+      (* 9 bytes per result: cheap sanity bound before allocating. *)
+      if n * 9 > String.length payload then error "results count %d exceeds the payload" n;
+      (* Explicit loop: [Array.init]'s evaluation order is unspecified
+         and the cursor reads must happen left to right. *)
+      let results = Array.make n (0, Journal.Benign) in
+      for i = 0 to n - 1 do
+        let index = take_u32 c in
+        let outcome = take_outcome c in
+        results.(i) <- (index, outcome)
+      done;
+      Results { chunk_id; results }
+    | 'C' -> Chunk_done { chunk_id = take_u32 c }
+    | 'h' -> Heartbeat
+    | 'D' -> Done
+    | t -> error "unknown message tag %C" t
+  in
+  if c.pos <> String.length payload then error "trailing garbage after message";
+  msg
+
+let send ?deadline fd msg = write_frame ?deadline fd (encode msg)
+let recv fd = decode (read_frame fd)

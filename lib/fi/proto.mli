@@ -1,0 +1,97 @@
+(** Wire protocol of the distributed campaign layer.
+
+    {b Framing.} Every message travels in a frame:
+    [\[len:4 LE\]\[crc:4 LE\]\[payload:len bytes\]] where [crc] is the
+    CRC-32 ({!Pruning_util.Crc}) of the payload. A frame whose CRC does
+    not match, whose length field exceeds {!max_frame}, or whose stream
+    ends mid-frame raises {!Error} — a coordinator never acts on bytes a
+    flaky link or a half-dead peer mangled.
+
+    {b Messages.} The conversation is worker-driven: a worker greets with
+    [Hello], the coordinator pins the campaign identity with [Welcome]
+    (the {!Journal.header}, verbatim in its CRC-guarded textual form),
+    and the worker then pulls [Request] → [Assign]/[Wait]/[Done], streams
+    [Results] while computing, and closes each chunk with [Chunk_done].
+    Any frame counts as liveness for the heartbeat/lease machinery;
+    [Heartbeat] exists for when a worker has nothing else to say. *)
+
+exception Error of string
+(** Corrupt, truncated or oversized frame, or an undecodable message. *)
+
+exception Closed
+(** The peer closed the connection at a clean frame boundary. *)
+
+val max_frame : int
+(** Upper bound on a frame's payload size (frames above it are treated
+    as corruption, not honored — a garbage length field must not make
+    the receiver allocate gigabytes). *)
+
+(** {1 Frames} *)
+
+val encode_frame : string -> string
+(** The full frame encoding of a payload (for tests and buffering). *)
+
+val write_frame : ?deadline:float -> Unix.file_descr -> string -> unit
+(** Write one frame, looping over partial writes. [deadline] (absolute,
+    [Unix.gettimeofday] clock) bounds the total time spent blocked on an
+    unwritable socket — needed on non-blocking descriptors, where EAGAIN
+    is awaited with [select] until the deadline, then {!Error} is raised
+    (a stalled peer must not wedge the coordinator). *)
+
+val read_frame : Unix.file_descr -> string
+(** Blocking read of one frame's payload. Raises {!Closed} on EOF at a
+    frame boundary, {!Error} on EOF mid-frame or CRC mismatch. *)
+
+(** {1 Streaming decoder}
+
+    For select-loop receivers: feed whatever bytes arrived, pop complete
+    frames. *)
+
+type decoder
+
+val decoder : unit -> decoder
+
+val feed : decoder -> Bytes.t -> int -> unit
+(** [feed d buf n] appends the first [n] bytes of [buf]. *)
+
+val next_frame : decoder -> string option
+(** Pop the next complete frame's payload, [None] if more bytes are
+    needed. Raises {!Error} on a corrupt or oversized frame. *)
+
+(** {1 Messages} *)
+
+val version : int
+(** Protocol version; [Hello]/[Welcome] with a different version are
+    refused. *)
+
+type chunk = {
+  chunk_id : int;
+  lo : int;  (** first sample index, inclusive *)
+  hi : int;  (** last sample index, inclusive *)
+}
+
+type msg =
+  | Hello of { version : int; name : string }  (** worker → coordinator *)
+  | Welcome of Journal.header  (** coordinator → worker: campaign identity *)
+  | Request  (** worker → coordinator: give me a chunk *)
+  | Assign of chunk
+  | Wait  (** nothing assignable now; heartbeat and ask again *)
+  | Results of { chunk_id : int; results : (int * Journal.outcome) array }
+      (** worker → coordinator: classified sample indices, streamed as
+          they are produced *)
+  | Chunk_done of { chunk_id : int }
+  | Heartbeat  (** worker → coordinator: liveness only *)
+  | Done  (** coordinator → worker: campaign complete, disconnect *)
+
+val encode : msg -> string
+(** Message payload bytes (to be framed). *)
+
+val decode : string -> msg
+(** Raises {!Error} on undecodable payloads (including a [Welcome]
+    header whose own CRC fails). *)
+
+val send : ?deadline:float -> Unix.file_descr -> msg -> unit
+(** [write_frame] ∘ [encode]. *)
+
+val recv : Unix.file_descr -> msg
+(** [decode] ∘ [read_frame]. *)

@@ -1,0 +1,296 @@
+module Prng = Pruning_util.Prng
+module Backoff = Pruning_util.Backoff
+
+type engine = {
+  campaign : Campaign.t;
+  space : Fault_space.t;
+  skip : (flop_id:int -> cycle:int -> bool) option;
+  batched : bool;
+}
+
+type ended =
+  | Campaign_done
+  | Stopped
+  | Gave_up of string
+
+type report = {
+  ended : ended;
+  chunks : int;
+  submitted : int;
+  crashes : int;
+  reconnects : int;
+}
+
+(* Cooperative shutdown mid-chunk: flush what we have, close the session,
+   report [Stopped]. *)
+exception Stop
+
+let outcome_of_verdict : Campaign.verdict -> Journal.outcome = function
+  | Campaign.Benign -> Journal.Benign
+  | Campaign.Latent -> Journal.Latent
+  | Campaign.Sdc c -> Journal.Sdc c
+
+let connect host port =
+  let addrs =
+    Unix.getaddrinfo host (string_of_int port)
+      [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+  in
+  let addrs =
+    if addrs = [] then
+      [
+        {
+          Unix.ai_family = Unix.PF_INET;
+          ai_socktype = Unix.SOCK_STREAM;
+          ai_protocol = 0;
+          ai_addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port);
+          ai_canonname = "";
+        };
+      ]
+    else addrs
+  in
+  let rec try_addrs = function
+    | [] -> raise (Unix.Unix_error (Unix.ECONNREFUSED, "connect", host))
+    | ai :: rest -> (
+      let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype ai.Unix.ai_protocol in
+      match Unix.connect fd ai.Unix.ai_addr with
+      | () ->
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        fd
+      | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if rest = [] then raise e else try_addrs rest)
+  in
+  try_addrs addrs
+
+let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(retries = 2)
+    ?(retry_backoff = Backoff.retry_policy) ?(reconnect_backoff = Backoff.default_policy)
+    ?(max_reconnects = 8) ?(results_per_frame = 64) ?(should_stop = fun () -> false) ?chaos () =
+  if heartbeat <= 0. then invalid_arg "Worker.run: heartbeat must be positive";
+  if retries < 0 then invalid_arg "Worker.run: retries must be non-negative";
+  if max_reconnects < 0 then invalid_arg "Worker.run: max_reconnects must be non-negative";
+  if results_per_frame < 1 then invalid_arg "Worker.run: results_per_frame must be positive";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "worker-%d" (Unix.getpid ())
+  in
+  (* Jitter sources are seeded from the worker name: schedules differ
+     across a fleet (no reconnect stampede) yet are stable per worker. *)
+  let rbo = Backoff.create ~policy:reconnect_backoff (Prng.create (Hashtbl.hash (name, "rc"))) in
+  let ebo = Backoff.create ~policy:retry_backoff (Prng.create (Hashtbl.hash (name, "xp"))) in
+  let chunks = ref 0 in
+  let submitted = ref 0 in
+  let crashes = ref 0 in
+  let reconnects = ref 0 in
+  let failures = ref 0 in
+  (* One engine per distinct campaign identity, cached across
+     reconnects; the fault list is re-derived from the header's pinned
+     master PRNG state — the same list every worker and the
+     single-process engines compute. *)
+  let cache : (Journal.header * engine * (int * int) array * Campaign.worker option ref) option ref
+      =
+    ref None
+  in
+  let resolve_cached header =
+    match !cache with
+    | Some (h, e, s, w) when h = header -> (e, s, w)
+    | _ ->
+      let e = resolve header in
+      if Campaign.total_cycles e.campaign <> header.Journal.cycles then
+        invalid_arg "Worker.run: resolve built an engine with the wrong cycle horizon";
+      let samples =
+        Campaign.draw_samples e.campaign ~space:e.space
+          ~rng:(Prng.restore header.Journal.prng)
+          ~n:header.Journal.samples
+      in
+      let w = ref None in
+      cache := Some (header, e, samples, w);
+      (e, samples, w)
+  in
+  (* ---------------------------------------------------------------- *)
+  (* One chunk, scalar or batched, streaming results as they appear.   *)
+  let run_chunk fd engine samples cworker { Proto.chunk_id; lo; hi } =
+    let last_sent = ref (Unix.gettimeofday ()) in
+    let tell msg =
+      Proto.send fd msg;
+      last_sent := Unix.gettimeofday ()
+    in
+    let acc = ref [] in
+    let acc_n = ref 0 in
+    let flush () =
+      if !acc_n > 0 then begin
+        tell (Proto.Results { chunk_id; results = Array.of_list (List.rev !acc) });
+        submitted := !submitted + !acc_n;
+        acc := [];
+        acc_n := 0
+      end
+    in
+    let push idx outcome =
+      acc := (idx, outcome) :: !acc;
+      incr acc_n;
+      if !acc_n >= results_per_frame then flush ()
+    in
+    let alive () =
+      if Unix.gettimeofday () -. !last_sent > heartbeat then
+        if !acc_n > 0 then flush () else tell Proto.Heartbeat
+    in
+    let fresh_scalar () =
+      let w = Campaign.fresh_worker engine.campaign in
+      cworker := Some w;
+      w
+    in
+    let get_scalar () =
+      match !cworker with
+      | Some w -> w
+      | None -> fresh_scalar ()
+    in
+    let is_pruned ~flop_id ~cycle =
+      match engine.skip with
+      | Some f -> f ~flop_id ~cycle
+      | None -> false
+    in
+    let chaos_hook ~index ~attempt =
+      match chaos with
+      | Some c -> c ~chunk_id ~index ~attempt
+      | None -> ()
+    in
+    if engine.batched then begin
+      (* Classify the skip decisions first, then push the remainder
+         through the lane-parallel engine in one supervised batch. *)
+      alive ();
+      let inject_idx = ref [] in
+      for idx = lo to hi do
+        let flop_id, cycle = samples.(idx) in
+        if is_pruned ~flop_id ~cycle then push idx Journal.Skipped
+        else inject_idx := idx :: !inject_idx
+      done;
+      let inject_idx = Array.of_list (List.rev !inject_idx) in
+      if Array.length inject_idx > 0 then begin
+        let faults = Array.map (fun idx -> samples.(idx)) inject_idx in
+        Backoff.reset ebo;
+        let rec attempt k =
+          match
+            chaos_hook ~index:inject_idx.(0) ~attempt:k;
+            Campaign.inject_batch engine.campaign ~faults ()
+          with
+          | verdicts -> Some verdicts
+          | exception Stop -> raise Stop
+          | exception _ ->
+            Campaign.reset_lane_worker engine.campaign;
+            if k < retries then begin
+              Unix.sleepf (Backoff.next ebo);
+              attempt (k + 1)
+            end
+            else None
+        in
+        match attempt 0 with
+        | None ->
+          crashes := !crashes + Array.length inject_idx;
+          Array.iter (fun idx -> push idx Journal.Crashed) inject_idx
+        | Some verdicts ->
+          Array.iteri (fun j idx -> push idx (outcome_of_verdict verdicts.(j))) inject_idx
+      end
+    end
+    else
+      for idx = lo to hi do
+        if should_stop () then begin
+          flush ();
+          raise Stop
+        end;
+        let flop_id, cycle = samples.(idx) in
+        if is_pruned ~flop_id ~cycle then push idx Journal.Skipped
+        else begin
+          Backoff.reset ebo;
+          let rec attempt k =
+            match
+              chaos_hook ~index:idx ~attempt:k;
+              Campaign.inject_with engine.campaign (get_scalar ()) ~flop_id ~cycle
+            with
+            | v -> Some v
+            | exception Stop -> raise Stop
+            | exception _ ->
+              ignore (fresh_scalar ());
+              if k < retries then begin
+                Unix.sleepf (Backoff.next ebo);
+                attempt (k + 1)
+              end
+              else None
+          in
+          (match attempt 0 with
+          | None ->
+            incr crashes;
+            push idx Journal.Crashed
+          | Some v -> push idx (outcome_of_verdict v));
+          alive ()
+        end
+      done;
+    flush ();
+    tell (Proto.Chunk_done { chunk_id });
+    incr chunks
+  in
+  (* ---------------------------------------------------------------- *)
+  (* One session: handshake, then pull work until Done/Stop/error.     *)
+  let session fd =
+    Proto.send fd (Proto.Hello { version = Proto.version; name });
+    match Proto.recv fd with
+    | Proto.Welcome header ->
+      let engine, samples, cworker = resolve_cached header in
+      (* Handshake complete: the coordinator is reachable and sane, so
+         reconnect accounting starts afresh. *)
+      failures := 0;
+      Backoff.reset rbo;
+      let rec loop () =
+        if should_stop () then raise Stop;
+        Proto.send fd Proto.Request;
+        match Proto.recv fd with
+        | Proto.Assign chunk ->
+          run_chunk fd engine samples cworker chunk;
+          loop ()
+        | Proto.Wait ->
+          Unix.sleepf 0.1;
+          loop ()
+        | Proto.Done -> Campaign_done
+        | Proto.Heartbeat -> loop ()
+        | _ -> raise (Proto.Error "unexpected message from coordinator")
+      in
+      loop ()
+    | _ -> raise (Proto.Error "expected Welcome")
+  in
+  let result = ref None in
+  while !result = None do
+    if should_stop () then result := Some Stopped
+    else begin
+      match connect host port with
+      | exception Unix.Unix_error (e, _, _) ->
+        incr failures;
+        if !failures > max_reconnects then
+          result := Some (Gave_up ("cannot reach coordinator: " ^ Unix.error_message e))
+        else Unix.sleepf (Backoff.next rbo)
+      | fd -> (
+        let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+        match session fd with
+        | ended ->
+          close ();
+          result := Some ended
+        | exception Stop ->
+          close ();
+          result := Some Stopped
+        | exception (Proto.Closed | Proto.Error _ | Unix.Unix_error _) ->
+          (* Lost session: any chunk in flight is abandoned here and
+             re-dispatched by the coordinator's lease machinery; our
+             already-submitted verdicts deduplicate over there. *)
+          close ();
+          incr reconnects;
+          incr failures;
+          if !failures > max_reconnects then result := Some (Gave_up "connection lost")
+          else Unix.sleepf (Backoff.next rbo))
+    end
+  done;
+  {
+    ended = Option.get !result;
+    chunks = !chunks;
+    submitted = !submitted;
+    crashes = !crashes;
+    reconnects = !reconnects;
+  }

@@ -1,0 +1,79 @@
+(** A stateless campaign worker.
+
+    A worker connects to a {!Coordinator}, learns the campaign identity
+    from the [Welcome] header, builds (or reuses) a local engine through
+    the caller's [resolve] callback, re-derives the exact fault list from
+    the header's pinned PRNG state ({!Campaign.draw_samples}), and then
+    pulls chunk leases and streams verdicts back until the coordinator
+    says [Done].
+
+    Workers hold no campaign state the coordinator depends on: killing
+    one — SIGKILL included — costs at most the un-submitted remainder of
+    its current chunk, which the coordinator re-dispatches. Conversely a
+    worker outliving its coordinator reconnects with capped exponential
+    backoff ({!Pruning_util.Backoff}) and gives up cleanly after
+    [max_reconnects] consecutive failures.
+
+    Verdict production reuses the single-process engines unchanged
+    (scalar {!Campaign.inject_with} or the lane-parallel
+    {!Campaign.inject_batch}); since both produce bit-identical verdicts,
+    a fleet may freely mix scalar and batched workers. Experiments are
+    supervised exactly like {!Durable}: a raising experiment is retried
+    on a fresh system with backoff, a persistent failure is reported as
+    [Crashed]. *)
+
+type engine = {
+  campaign : Campaign.t;
+  space : Fault_space.t;
+  skip : (flop_id:int -> cycle:int -> bool) option;
+      (** the local pruner; must be the same deterministic predicate on
+          every worker (quarantine-free), or verdicts will mismatch *)
+  batched : bool;  (** drive {!Campaign.inject_batch} instead of scalar *)
+}
+
+type ended =
+  | Campaign_done  (** the coordinator reported the campaign complete *)
+  | Stopped  (** [should_stop] returned true *)
+  | Gave_up of string  (** [max_reconnects] consecutive failures *)
+
+type report = {
+  ended : ended;
+  chunks : int;  (** chunks fully processed and acknowledged *)
+  submitted : int;  (** verdict records sent *)
+  crashes : int;  (** experiments reported [Crashed] *)
+  reconnects : int;  (** sessions lost and re-established *)
+}
+
+val run :
+  host:string ->
+  port:int ->
+  resolve:(Journal.header -> engine) ->
+  ?name:string ->
+  ?heartbeat:float ->
+  ?retries:int ->
+  ?retry_backoff:Pruning_util.Backoff.policy ->
+  ?reconnect_backoff:Pruning_util.Backoff.policy ->
+  ?max_reconnects:int ->
+  ?results_per_frame:int ->
+  ?should_stop:(unit -> bool) ->
+  ?chaos:(chunk_id:int -> index:int -> attempt:int -> unit) ->
+  unit ->
+  report
+(** Work for the coordinator at [host]:[port] until the campaign is done.
+
+    [resolve] builds the engine for a campaign identity — typically a
+    core/program lookup plus a deterministic MATE-pruner build when
+    [header.prune] is set; it runs once per distinct header (cached
+    across reconnects) and may raise to refuse an unknown identity
+    (the exception escapes [run]). [name] (default ["worker-PID"])
+    identifies the worker in coordinator logs and must be unique per
+    connection. [heartbeat] (default [1.]) is the maximum silence
+    between frames while computing; keep it well under the
+    coordinator's lease. [retries] / [retry_backoff] supervise each
+    experiment like {!Durable.run}. [reconnect_backoff] /
+    [max_reconnects] (default 8) pace session re-establishment — the
+    counter resets after every successful handshake. [results_per_frame]
+    (default 64) batches verdict streaming. [should_stop] is polled
+    between experiments for cooperative shutdown. [chaos] is a test-only
+    hook called before every experiment attempt; an exception it raises
+    is handled exactly like a crashed experiment. *)

@@ -1,0 +1,29 @@
+type policy = {
+  base : float;
+  cap : float;
+  factor : float;
+}
+
+let default_policy = { base = 0.05; cap = 5.0; factor = 2.0 }
+let retry_policy = { base = 0.002; cap = 0.05; factor = 4.0 }
+
+type t = {
+  policy : policy;
+  rng : Prng.t;
+  mutable attempt : int;
+}
+
+let create ?(policy = default_policy) rng =
+  if not (policy.base > 0. && policy.cap >= policy.base && policy.factor >= 1.) then
+    invalid_arg "Backoff.create: need 0 < base <= cap and factor >= 1";
+  { policy; rng; attempt = 0 }
+
+let next t =
+  (* factor^attempt overflows to infinity for large attempt counts; the
+     [min] then simply holds the ceiling at [cap]. *)
+  let ceiling = min t.policy.cap (t.policy.base *. (t.policy.factor ** float_of_int t.attempt)) in
+  t.attempt <- t.attempt + 1;
+  (ceiling /. 2.) +. (Prng.float t.rng *. ceiling /. 2.)
+
+let attempts t = t.attempt
+let reset t = t.attempt <- 0

@@ -1,0 +1,46 @@
+(** Capped exponential backoff with deterministic jitter.
+
+    The delay for attempt [k] is drawn uniformly from the upper half of
+    [\[0, min cap (base * factor^k)\]] ("equal jitter"): retries spread
+    out instead of stampeding in lockstep, but never collapse to a
+    near-zero sleep. The jitter comes from an explicit {!Prng}, so a run
+    that hits the same failures sleeps the same amounts — campaign
+    reproducibility extends to the retry schedule.
+
+    Used by the {!Pruning_fi.Durable} supervisor between fresh-system
+    retries and by {!Pruning_fi.Worker} between coordinator
+    reconnects. *)
+
+type policy = {
+  base : float;  (** first delay ceiling, in seconds *)
+  cap : float;  (** delay ceiling every later attempt saturates at *)
+  factor : float;  (** ceiling growth per attempt *)
+}
+
+val default_policy : policy
+(** [{ base = 0.05; cap = 5.0; factor = 2.0 }] — a network client's
+    reconnect schedule. *)
+
+val retry_policy : policy
+(** [{ base = 0.002; cap = 0.05; factor = 4.0 }] — in-process retry
+    pacing (the {!Pruning_fi.Durable} supervisor), fast enough to be
+    invisible in tests. *)
+
+type t
+
+val create : ?policy:policy -> Prng.t -> t
+(** Fresh backoff state at attempt 0. Raises [Invalid_argument] unless
+    [0 < base <= cap] and [factor >= 1]. The generator is advanced one
+    draw per {!next}. *)
+
+val next : t -> float
+(** The delay (seconds) to sleep before the next attempt; advances the
+    attempt counter. *)
+
+val attempts : t -> int
+(** Attempts consumed so far (the number of {!next} calls since the last
+    {!reset}). *)
+
+val reset : t -> unit
+(** Back to attempt 0 — call after a success so the next failure starts
+    from [base] again. *)

@@ -1,0 +1,30 @@
+(* Test helper for test_dist: a worker that completes the handshake,
+   takes a chunk lease, and then stalls forever on its first experiment.
+   The SIGKILL chaos test launches it as a real OS process (via
+   create_process — Unix.fork is unavailable once domains exist) and
+   kills it mid-chunk; it must never submit a single verdict. *)
+
+module Journal = Pruning_fi.Journal
+module Campaign = Pruning_fi.Campaign
+module Fault_space = Pruning_fi.Fault_space
+module Worker = Pruning_fi.Worker
+module System = Pruning_cpu.System
+module Avr_asm = Pruning_cpu.Avr_asm
+module Programs = Pruning_cpu.Programs
+
+let () =
+  let port = int_of_string Sys.argv.(1) in
+  (* Any engine works: the stall fires before the first injection, so
+     the fault list and verdicts of this engine are never used. *)
+  let resolve (h : Journal.header) =
+    let nl = System.avr_netlist () in
+    let program = Avr_asm.assemble Programs.avr_fib_halting in
+    let make () = System.create_avr ~netlist:nl ~program "avr/fib" in
+    let campaign = Campaign.create ~make ~total_cycles:h.Journal.cycles () in
+    let space = Fault_space.full nl ~cycles:h.Journal.cycles in
+    { Worker.campaign; space; skip = None; batched = false }
+  in
+  ignore
+    (Worker.run ~host:"127.0.0.1" ~port ~resolve ~name:"victim"
+       ~chaos:(fun ~chunk_id:_ ~index:_ ~attempt:_ -> Unix.sleep 3600)
+       ())

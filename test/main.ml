@@ -12,6 +12,7 @@ let () =
       ("checkpoint", Test_checkpoint.suite);
       ("bitsim", Test_bitsim.suite);
       ("durable", Test_durable.suite);
+      ("dist", Test_dist.suite);
       ("mate", Test_mate.suite);
       ("properties", Test_properties.suite);
       ("extensions", Test_extensions.suite);

@@ -109,6 +109,46 @@ let test_crc32 () =
   check_int "incremental" whole (Pruning_util.Crc.bytes ~crc:part b ~pos:6 ~len:6);
   check_bool "bit flip detected" true (whole <> Pruning_util.Crc.string "hello, worle")
 
+let test_backoff_envelope () =
+  (* Equal jitter: attempt k draws from [c/2, c) with c = min(cap,
+     base*factor^k), so delays are bounded, grow towards the cap, and
+     never collapse to zero (no same-instant retry storms). *)
+  let module Backoff = Pruning_util.Backoff in
+  let policy = { Backoff.base = 0.1; cap = 1.; factor = 2. } in
+  let bo = Backoff.create ~policy (Prng.create 5) in
+  List.iteri
+    (fun k ceiling ->
+      let d = Backoff.next bo in
+      check_bool
+        (Printf.sprintf "attempt %d in envelope" k)
+        true
+        (d >= (ceiling /. 2.) -. 1e-9 && d < ceiling);
+      check_int "attempts counted" (k + 1) (Backoff.attempts bo))
+    [ 0.1; 0.2; 0.4; 0.8; 1.0; 1.0; 1.0 ];
+  Backoff.reset bo;
+  check_int "reset clears attempts" 0 (Backoff.attempts bo);
+  let d = Backoff.next bo in
+  check_bool "reset restarts at base" true (d >= 0.05 -. 1e-9 && d < 0.1)
+
+let test_backoff_deterministic () =
+  let module Backoff = Pruning_util.Backoff in
+  let draws seed =
+    let bo = Backoff.create ~policy:Backoff.default_policy (Prng.create seed) in
+    List.init 10 (fun _ -> Backoff.next bo)
+  in
+  check_bool "same rng, same schedule" true (draws 7 = draws 7);
+  check_bool "different rng, different jitter" true (draws 7 <> draws 8);
+  List.iter
+    (fun policy ->
+      match Backoff.create ~policy (Prng.create 1) with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "invalid policy must be rejected")
+    [
+      { Backoff.base = 0.; cap = 1.; factor = 2. };
+      { Backoff.base = 2.; cap = 1.; factor = 2. };
+      { Backoff.base = 0.1; cap = 1.; factor = 0.5 };
+    ]
+
 let test_table_render () =
   let t = Table.create [ "name"; "n" ] in
   Table.add_row t [ "alpha"; "1" ];
@@ -142,6 +182,8 @@ let suite =
     Alcotest.test_case "prng pick" `Quick test_prng_pick;
     Alcotest.test_case "prng save/restore" `Quick test_prng_save_restore;
     Alcotest.test_case "crc32" `Quick test_crc32;
+    Alcotest.test_case "backoff envelope and reset" `Quick test_backoff_envelope;
+    Alcotest.test_case "backoff determinism and validation" `Quick test_backoff_deterministic;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table padding and errors" `Quick test_table_padding_and_errors;
   ]
