@@ -26,6 +26,7 @@ module Durable = Pruning_fi.Durable
 module Journal = Pruning_fi.Journal
 module Coordinator = Pruning_fi.Coordinator
 module Worker = Pruning_fi.Worker
+module Chaos = Pruning_fi.Chaos
 module Search = Pruning_mate.Search
 module Mateset = Pruning_mate.Mateset
 module Replay = Pruning_mate.Replay
@@ -44,8 +45,23 @@ let exit_bad_supervisor = 16
 let exit_journal = 17
 let exit_bad_dist = 18
 let exit_network = 19
+let exit_poisoned = 20
 
 let fail code fmt = Printf.ksprintf (fun s -> prerr_endline ("campaign: " ^ s); Some code) fmt
+
+(* Self-chaos: a deterministic infrastructure fault plan, armed by
+   --chaos SEED. The plan is a pure function of the seed (and budget),
+   so a chaotic run is replayable bit-for-bit. *)
+let make_chaos ~chaos_seed ~chaos_budget =
+  Option.map
+    (fun seed ->
+      Chaos.create ~profile:{ Chaos.default_profile with Chaos.budget = chaos_budget } ~seed ())
+    chaos_seed
+
+let validate_chaos ~chaos_budget =
+  if chaos_budget < 0 then
+    fail exit_bad_supervisor "--chaos-budget must be non-negative (got %d)" chaos_budget
+  else None
 
 let make_system core program =
   match (core, program) with
@@ -153,10 +169,14 @@ let build_pruner nl ~make ~cycles ~space =
 (* campaign [run]: the single-process engine of PR 1-3.                 *)
 
 let run core program cycles samples seed prune jobs checkpoint_interval batched journal resume
-    audit watchdog retries =
+    audit watchdog retries chaos_seed chaos_budget =
   match
-    validate ~core ~program ~cycles ~samples ~seed ~checkpoint_interval ~audit ~watchdog ~retries
-      ~jobs ~prune ~resume ~journal
+    match
+      validate ~core ~program ~cycles ~samples ~seed ~checkpoint_interval ~audit ~watchdog
+        ~retries ~jobs ~prune ~resume ~journal
+    with
+    | Some code -> Some code
+    | None -> validate_chaos ~chaos_budget
   with
   | Some code -> code
   | None ->
@@ -180,7 +200,9 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
       (Fi_campaign.checkpoint_interval campaign) jobs;
     let pruner = if prune then Some (build_pruner nl ~make ~cycles ~space) else None in
     let skip = Option.map (fun p -> fun ~flop_id ~cycle -> Replay.pruned p ~flop_id ~cycle) pruner in
-    let durable = journal <> None || resume || audit > 0. || watchdog > 0 in
+    let durable =
+      journal <> None || resume || audit > 0. || watchdog > 0 || chaos_seed <> None
+    in
     if batched && jobs > 1 then
       Printf.printf "(--batched runs the lane-parallel engine on one domain; ignoring --jobs)\n%!";
     let start = Unix.gettimeofday () in
@@ -212,7 +234,8 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
         Durable.run campaign ~space ~seed ~n:samples ~ident:(core, program) ?skip ?audit:audit_arg
           ~jobs ~batched
           ?budget:(if watchdog > 0 then Some watchdog else None)
-          ~retries ?journal ~resume ~should_stop:stop_requested ()
+          ~retries ?journal ~resume ~should_stop:stop_requested
+          ?chaos:(make_chaos ~chaos_seed ~chaos_budget) ()
       with
       | exception Journal.Error msg ->
         prerr_endline ("campaign: " ^ msg);
@@ -262,8 +285,9 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
 (* ------------------------------------------------------------------ *)
 (* campaign serve: the distributed coordinator.                         *)
 
-let serve core program cycles samples seed prune listen port port_file chunk_size lease journal
-    resume verbose =
+let serve core program cycles samples seed prune listen port port_file chunk_size lease
+    idle_timeout poison_threshold blacklist_threshold verify_frac journal resume verbose
+    chaos_seed chaos_budget =
   let dist_checks () =
     if port < 0 || port > 65535 then
       fail exit_bad_dist "--port must be in [0, 65535] (got %d); 0 picks an ephemeral port" port
@@ -271,7 +295,24 @@ let serve core program cycles samples seed prune listen port port_file chunk_siz
       fail exit_bad_dist "--chunk-size must be positive (got %d)" chunk_size
     else if lease <= 0. then
       fail exit_bad_dist "--lease must be positive seconds (got %g)" lease
-    else None
+    else if idle_timeout < 0. then
+      fail exit_bad_dist "--idle-timeout must be non-negative seconds (got %g); 0 disables it"
+        idle_timeout
+    else if idle_timeout > 0. && idle_timeout <= lease then
+      fail exit_bad_dist
+        "--idle-timeout (%g) must exceed --lease (%g): a lapsed lease keeps the connection, the \
+         read deadline closes it"
+        idle_timeout lease
+    else if poison_threshold < 0 then
+      fail exit_bad_dist "--poison-threshold must be non-negative (got %d); 0 disables quarantine"
+        poison_threshold
+    else if blacklist_threshold < 0 then
+      fail exit_bad_dist
+        "--blacklist-threshold must be non-negative (got %d); 0 disables blacklisting"
+        blacklist_threshold
+    else if not (verify_frac >= 0. && verify_frac <= 1.) then
+      fail exit_bad_dist "--verify-frac must be a fraction in [0, 1] (got %g)" verify_frac
+    else validate_chaos ~chaos_budget
   in
   match
     match
@@ -303,7 +344,17 @@ let serve core program cycles samples seed prune listen port port_file chunk_siz
       }
     in
     let config =
-      { Coordinator.default_config with Coordinator.listen; port; chunk_size; lease }
+      {
+        Coordinator.default_config with
+        Coordinator.listen;
+        port;
+        chunk_size;
+        lease;
+        idle_timeout;
+        poison_threshold;
+        blacklist_threshold;
+        verify_frac;
+      }
     in
     match Coordinator.create ~config () with
     | exception Unix.Unix_error (e, _, _) ->
@@ -327,7 +378,7 @@ let serve core program cycles samples seed prune listen port port_file chunk_siz
       let start = Unix.gettimeofday () in
       match
         Coordinator.serve coordinator ~header ?journal ~resume ~should_stop:stop_requested
-          ~on_event ()
+          ?chaos:(make_chaos ~chaos_seed ~chaos_budget) ~on_event ()
       with
       | exception Journal.Error msg ->
         prerr_endline ("campaign: " ^ msg);
@@ -341,12 +392,31 @@ let serve core program cycles samples seed prune listen port port_file chunk_siz
              else "");
         Printf.printf "workers: %d joined, %d chunk leases re-dispatched, %d duplicate verdicts\n"
           r.Coordinator.workers r.Coordinator.redispatched r.Coordinator.duplicates;
+        if r.Coordinator.verified > 0 then
+          Printf.printf "verify: %d chunks cross-validated on a second worker\n"
+            r.Coordinator.verified;
+        if r.Coordinator.blacklisted > 0 then
+          Printf.printf "blacklist: %d misbehaving workers refused re-admission\n"
+            r.Coordinator.blacklisted;
         print_stats r.Coordinator.stats (Unix.gettimeofday () -. start);
         if r.Coordinator.mismatches > 0 then begin
           Printf.eprintf
             "campaign: %d determinism violations (workers disagreed on a verdict; first kept)\n%!"
             r.Coordinator.mismatches;
           exit_network
+        end
+        else if r.Coordinator.poisoned <> [] then begin
+          Printf.eprintf
+            "campaign: %d chunks quarantined as poisoned (each killed %d distinct workers): %s\n%s%!"
+            (List.length r.Coordinator.poisoned)
+            poison_threshold
+            (String.concat ", " (List.map string_of_int r.Coordinator.poisoned))
+            (match journal with
+            | Some dir ->
+              Printf.sprintf "campaign: stats above exclude them; retry with serve --resume \
+                              --journal %s\n" dir
+            | None -> "campaign: stats above exclude them (no --journal given to retry from)\n");
+          exit_poisoned
         end
         else if not r.Coordinator.completed then begin
           Printf.printf "interrupted — progress is journaled%s\n"
@@ -374,7 +444,8 @@ let parse_hostport s =
 
 (* One worker process: engines are built lazily from the coordinator's
    Welcome header, so a worker needs no campaign flags at all. *)
-let work_one ~host ~port ~name ~batched ~checkpoint_interval ~retries ~max_reconnects =
+let work_one ~host ~port ~name ~batched ~checkpoint_interval ~retries ~max_reconnects
+    ~recv_timeout ~chaos =
   let resolve (h : Journal.header) =
     Printf.printf "campaign: %s/%s, %d cycles, %d samples, seed %d%s%s\n%!" h.Journal.core
       h.Journal.program h.Journal.cycles h.Journal.samples h.Journal.seed
@@ -406,7 +477,8 @@ let work_one ~host ~port ~name ~batched ~checkpoint_interval ~retries ~max_recon
       { Worker.campaign; space; skip; batched }
   in
   match
-    Worker.run ~host ~port ~resolve ?name ~retries ~max_reconnects ~should_stop:stop_requested ()
+    Worker.run ~host ~port ~resolve ?name ~recv_timeout ~retries ~max_reconnects
+      ~should_stop:stop_requested ?chaos ()
   with
   | exception Unknown_identity msg ->
     prerr_endline ("campaign: " ^ msg);
@@ -421,7 +493,8 @@ let work_one ~host ~port ~name ~batched ~checkpoint_interval ~retries ~max_recon
       prerr_endline ("campaign: giving up: " ^ why);
       exit_network)
 
-let work hostport name workers batched checkpoint_interval retries max_reconnects =
+let work hostport name workers batched checkpoint_interval retries max_reconnects recv_timeout
+    chaos_seed chaos_budget =
   match
     match parse_hostport hostport with
     | None ->
@@ -437,20 +510,29 @@ let work hostport name workers batched checkpoint_interval retries max_reconnect
       fail exit_bad_supervisor "--retries must be non-negative (got %d)" retries
     | Some _ when max_reconnects < 0 ->
       fail exit_bad_dist "--max-reconnects must be non-negative (got %d)" max_reconnects
+    | Some _ when recv_timeout <= 0. ->
+      fail exit_bad_dist "--recv-timeout must be positive seconds (got %g)" recv_timeout
+    | Some _ when chaos_budget < 0 -> validate_chaos ~chaos_budget
     | Some hp -> (
       install_signal_handlers ();
       let host, port = hp in
-      let one () = work_one ~host ~port ~name ~batched ~checkpoint_interval ~retries ~max_reconnects in
-      if workers = 1 then Some (one ())
+      (* Forked fleet members get distinct chaos streams (seed + index):
+         identical plans on every worker would fault in lockstep. *)
+      let one i =
+        work_one ~host ~port ~name ~batched ~checkpoint_interval ~retries ~max_reconnects
+          ~recv_timeout
+          ~chaos:(make_chaos ~chaos_seed:(Option.map (fun s -> s + i) chaos_seed) ~chaos_budget)
+      in
+      if workers = 1 then Some (one 0)
       else begin
         (* A local fleet: fork first (no domains/threads exist yet), let
            every process run its own engine, and report the worst exit. *)
         let pids =
-          List.init workers (fun _ ->
+          List.init workers (fun i ->
               match Unix.fork () with
               | 0 ->
                 (* _exit skips at_exit, so flush the report lines explicitly. *)
-                let code = try one () with _ -> exit_network in
+                let code = try one i with _ -> exit_network in
                 (try flush_all () with Sys_error _ -> ());
                 Unix._exit code
               | pid -> pid)
@@ -551,16 +633,40 @@ let retries =
           "Supervisor retries per failing experiment, each on a freshly built system, before it \
            is recorded as crashed.")
 
+let chaos_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos" ] ~docv:"SEED"
+        ~doc:
+          "Arm the deterministic self-chaos fault plan seeded with $(docv): injected frame \
+           delays, truncations, bit corruptions, connection resets, short journal writes, \
+           ENOSPC/EIO, fsync failures, torn renames, experiment crashes and stalls, duplicate \
+           verdict frames. The plan is a pure function of the seed; the final statistics are \
+           bit-identical to a chaos-free run (directly or after $(b,--resume)).")
+
+let chaos_budget_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "chaos-budget" ] ~docv:"N"
+        ~doc:
+          "Total faults the chaos plan may inject before going quiet (per process). A finite \
+           budget guarantees the campaign eventually makes progress.")
+
 let exit_doc =
   [
     `S Manpage.s_exit_status;
     `P "0 on success. Validation failures use distinct codes:";
     `P "10: unknown core/program; 11: bad --cycles; 12: bad --samples; 13: bad --seed; 14: bad \
         --checkpoint-interval; 15: bad --audit (or --audit without --prune); 16: bad \
-        --watchdog/--retries/--jobs; 17: journal error (corrupt, mismatched, or missing for \
-        --resume); 18: bad distributed argument (--port, --chunk-size, --lease, HOST:PORT, \
-        --workers, --max-reconnects, or --name with --workers > 1); 19: network failure (a \
-        worker gave up reconnecting) or a determinism violation between workers.";
+        --watchdog/--retries/--jobs/--chaos-budget; 17: journal error (corrupt, mismatched, \
+        missing for --resume, or the disk failed mid-run — resumable); 18: bad distributed \
+        argument (--port, --chunk-size, --lease, --idle-timeout, --poison-threshold, \
+        --blacklist-threshold, --verify-frac, --recv-timeout, HOST:PORT, --workers, \
+        --max-reconnects, or --name with --workers > 1); 19: network failure (a worker gave up \
+        reconnecting) or a determinism violation between workers (disagreeing or \
+        cross-validation verdicts); 20: chunks quarantined as poisoned after repeatedly killing \
+        workers (stats exclude them; resumable with --resume).";
     `P "130/143: interrupted by SIGINT/SIGTERM after a clean journal flush (resumable with \
         --resume).";
   ]
@@ -568,7 +674,7 @@ let exit_doc =
 let run_term =
   Term.(
     const run $ core $ program $ cycles $ samples $ seed $ prune $ jobs $ checkpoint_interval
-    $ batched $ journal $ resume $ audit $ watchdog $ retries)
+    $ batched $ journal $ resume $ audit $ watchdog $ retries $ chaos_seed_arg $ chaos_budget_arg)
 
 let run_cmd =
   Cmd.v
@@ -607,6 +713,41 @@ let serve_cmd =
             "Worker silence tolerated before its chunks are re-dispatched to other workers. Any \
              frame (results or heartbeat) renews the lease.")
   in
+  let idle_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Read deadline per connection: a worker completely silent this long is disconnected \
+             (its leases re-dispatch) instead of pinning a coordinator slot forever. Must exceed \
+             $(b,--lease); 0 disables it.")
+  in
+  let poison_threshold =
+    Arg.(
+      value & opt int 3
+      & info [ "poison-threshold" ] ~docv:"N"
+          ~doc:
+            "Quarantine a chunk once $(docv) distinct workers die holding its lease: it is \
+             journaled, reported, excluded from the stats (exit 20) and never re-dispatched — \
+             instead of killing the whole fleet worker by worker. 0 disables quarantine.")
+  in
+  let blacklist_threshold =
+    Arg.(
+      value & opt int 3
+      & info [ "blacklist-threshold" ] ~docv:"N"
+          ~doc:
+            "Refuse further connections from a worker name after $(docv) protocol violations \
+             (corrupt frames, out-of-protocol messages). 0 disables blacklisting.")
+  in
+  let verify_frac =
+    Arg.(
+      value & opt float 0.
+      & info [ "verify-frac" ] ~docv:"R"
+          ~doc:
+            "Cross-validation sampling: re-dispatch a deterministic fraction $(docv) of completed \
+             chunks to a second (different when possible) worker and compare verdicts. Any \
+             disagreement is a determinism violation (exit 19).")
+  in
   let verbose =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Also print per-frame progress events.")
   in
@@ -615,11 +756,12 @@ let serve_cmd =
        ~doc:
          "distributed-campaign coordinator: owns the fault-space sharding, the verdict journal \
           and the chunk-lease table; workers connect with $(b,campaign work). Survives worker \
-          crashes, stragglers and its own restart (--journal + --resume); final statistics are \
-          bit-identical to $(b,campaign run) with the same seed.")
+          crashes, stragglers, misbehaving clients and its own restart (--journal + --resume); \
+          final statistics are bit-identical to $(b,campaign run) with the same seed.")
     Term.(
       const serve $ core $ program $ cycles $ samples $ seed $ prune $ listen $ port $ port_file
-      $ chunk_size $ lease $ journal $ resume $ verbose)
+      $ chunk_size $ lease $ idle_timeout $ poison_threshold $ blacklist_threshold $ verify_frac
+      $ journal $ resume $ verbose $ chaos_seed_arg $ chaos_budget_arg)
 
 let work_cmd =
   let hostport =
@@ -648,6 +790,15 @@ let work_cmd =
             "Consecutive connection failures tolerated (with capped exponential backoff) before \
              the worker gives up; the counter resets after every successful handshake.")
   in
+  let recv_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "recv-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Read deadline on every frame expected from the coordinator: a coordinator silent \
+             this long mid-reply counts as a lost session and the worker backs off and \
+             reconnects instead of hanging.")
+  in
   Cmd.v
     (Cmd.info "work" ~man:exit_doc
        ~doc:
@@ -657,7 +808,7 @@ let work_cmd =
           current chunk is re-dispatched.")
     Term.(
       const work $ hostport $ worker_name $ workers $ batched $ checkpoint_interval $ retries
-      $ max_reconnects)
+      $ max_reconnects $ recv_timeout $ chaos_seed_arg $ chaos_budget_arg)
 
 let cmd =
   Cmd.group ~default:run_term

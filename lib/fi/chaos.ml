@@ -1,0 +1,215 @@
+module Prng = Pruning_util.Prng
+
+exception Injected of string
+
+type action =
+  | Pass
+  | Delay of float
+  | Corrupt_bit of int
+  | Truncate of float
+  | Reset
+  | Slow_loris of float
+  | Short_write of float
+  | Io_error of Unix.error
+  | Fsync_fail
+  | Torn_rename
+  | Crash
+  | Stall of float
+  | Duplicate
+
+type site =
+  | Send
+  | Recv
+  | Journal_write
+  | Journal_fsync
+  | Journal_rename
+  | Exec
+
+let site_index = function
+  | Send -> 0
+  | Recv -> 1
+  | Journal_write -> 2
+  | Journal_fsync -> 3
+  | Journal_rename -> 4
+  | Exec -> 5
+
+let n_sites = 6
+
+let site_name = function
+  | Send -> "send"
+  | Recv -> "recv"
+  | Journal_write -> "journal-write"
+  | Journal_fsync -> "journal-fsync"
+  | Journal_rename -> "journal-rename"
+  | Exec -> "exec"
+
+type profile = {
+  net_delay : float;
+  net_corrupt : float;
+  net_truncate : float;
+  net_reset : float;
+  net_slow : float;
+  max_delay : float;
+  journal_short : float;
+  journal_enospc : float;
+  journal_eio : float;
+  journal_fsync : float;
+  journal_torn : float;
+  exec_crash : float;
+  exec_stall : float;
+  exec_dup : float;
+  stall : float;
+  budget : int;
+}
+
+(* Moderate rates everywhere: enough to exercise every recovery path in
+   a short campaign without starving it of forward progress. *)
+let default_profile =
+  {
+    net_delay = 0.02;
+    net_corrupt = 0.01;
+    net_truncate = 0.005;
+    net_reset = 0.005;
+    net_slow = 0.005;
+    max_delay = 0.05;
+    journal_short = 0.002;
+    journal_enospc = 0.001;
+    journal_eio = 0.001;
+    journal_fsync = 0.002;
+    journal_torn = 0.02;
+    exec_crash = 0.02;
+    exec_stall = 0.005;
+    exec_dup = 0.02;
+    stall = 0.3;
+    budget = 64;
+  }
+
+let quiet_profile =
+  {
+    net_delay = 0.;
+    net_corrupt = 0.;
+    net_truncate = 0.;
+    net_reset = 0.;
+    net_slow = 0.;
+    max_delay = 0.;
+    journal_short = 0.;
+    journal_enospc = 0.;
+    journal_eio = 0.;
+    journal_fsync = 0.;
+    journal_torn = 0.;
+    exec_crash = 0.;
+    exec_stall = 0.;
+    exec_dup = 0.;
+    stall = 0.;
+    budget = 0;
+  }
+
+type t = {
+  profile : profile;
+  streams : Prng.t array;
+  mutable remaining : int;
+  mutable injected : int;
+}
+
+(* Each site draws from its own PRNG stream, all derived from the one
+   seed: the action sequence a given site sees is a pure function of
+   (seed, profile, site, draw index), independent of how draws at other
+   sites interleave with it. *)
+let create ?(profile = default_profile) ~seed () =
+  if profile.budget < 0 then invalid_arg "Chaos.create: budget must be non-negative";
+  {
+    profile;
+    streams =
+      Array.init n_sites (fun i ->
+          Prng.split (Prng.create (seed + ((i + 1) * 0x9E3779B9))));
+    remaining = profile.budget;
+    injected = 0;
+  }
+
+let injected t = t.injected
+let exhausted t = t.remaining <= 0
+
+let draw t site =
+  if t.remaining <= 0 then Pass
+  else begin
+    let p = t.profile in
+    let g = t.streams.(site_index site) in
+    let r = Prng.float g in
+    let choose classes =
+      let rec go acc = function
+        | [] -> Pass
+        | (prob, mk) :: rest ->
+          let acc = acc +. prob in
+          if r < acc then mk () else go acc rest
+      in
+      go 0. classes
+    in
+    let a =
+      match site with
+      | Send ->
+        choose
+          [
+            (p.net_delay, fun () -> Delay (Prng.float g *. p.max_delay));
+            (p.net_corrupt, fun () -> Corrupt_bit (Prng.int g 0x3FFFFFFF));
+            (p.net_truncate, fun () -> Truncate (Prng.float g));
+            (p.net_reset, fun () -> Reset);
+            (p.net_slow, fun () -> Slow_loris (Prng.float g *. p.max_delay));
+          ]
+      | Recv ->
+        choose
+          [
+            (p.net_delay, fun () -> Delay (Prng.float g *. p.max_delay));
+            (p.net_reset, fun () -> Reset);
+          ]
+      | Journal_write ->
+        choose
+          [
+            (p.journal_short, fun () -> Short_write (Prng.float g));
+            (p.journal_enospc, fun () -> Io_error Unix.ENOSPC);
+            (p.journal_eio, fun () -> Io_error Unix.EIO);
+          ]
+      | Journal_fsync -> choose [ (p.journal_fsync, fun () -> Fsync_fail) ]
+      | Journal_rename -> choose [ (p.journal_torn, fun () -> Torn_rename) ]
+      | Exec ->
+        choose
+          [
+            (p.exec_crash, fun () -> Crash);
+            (p.exec_stall, fun () -> Stall p.stall);
+            (p.exec_dup, fun () -> Duplicate);
+          ]
+    in
+    (match a with
+    | Pass -> ()
+    | _ ->
+      t.remaining <- t.remaining - 1;
+      t.injected <- t.injected + 1);
+    a
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Plans: materialized draw sequences, for determinism tests and logs.  *)
+
+(* %h renders floats exactly, so two plans compare byte-identical iff
+   every drawn parameter is bit-identical. *)
+let action_to_string = function
+  | Pass -> "pass"
+  | Delay s -> Printf.sprintf "delay(%h)" s
+  | Corrupt_bit k -> Printf.sprintf "corrupt-bit(%d)" k
+  | Truncate f -> Printf.sprintf "truncate(%h)" f
+  | Reset -> "reset"
+  | Slow_loris s -> Printf.sprintf "slow-loris(%h)" s
+  | Short_write f -> Printf.sprintf "short-write(%h)" f
+  | Io_error e -> Printf.sprintf "io-error(%s)" (Unix.error_message e)
+  | Fsync_fail -> "fsync-fail"
+  | Torn_rename -> "torn-rename"
+  | Crash -> "crash"
+  | Stall s -> Printf.sprintf "stall(%h)" s
+  | Duplicate -> "duplicate"
+
+let plan ?profile ~seed site ~n =
+  if n < 0 then invalid_arg "Chaos.plan: n must be non-negative";
+  let t = create ?profile ~seed () in
+  Array.init n (fun _ -> draw t site)
+
+let plan_to_string actions =
+  String.concat ";" (Array.to_list (Array.map action_to_string actions))

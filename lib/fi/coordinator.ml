@@ -1,3 +1,6 @@
+module Mono = Pruning_util.Mono
+module Prng = Pruning_util.Prng
+
 type config = {
   listen : string;
   port : int;
@@ -6,6 +9,10 @@ type config = {
   write_timeout : float;
   tick : float;
   drain : float;
+  idle_timeout : float;
+  poison_threshold : int;
+  blacklist_threshold : int;
+  verify_frac : float;
 }
 
 let default_config =
@@ -17,6 +24,10 @@ let default_config =
     write_timeout = 5.;
     tick = 0.05;
     drain = 5.;
+    idle_timeout = 30.;
+    poison_threshold = 3;
+    blacklist_threshold = 3;
+    verify_frac = 0.;
   }
 
 type event =
@@ -27,6 +38,9 @@ type event =
   | Progress of { done_ : int; total : int }
   | Duplicate of { worker : string; index : int }
   | Mismatch of { worker : string; index : int }
+  | Quarantined of { chunk_id : int; deaths : int }
+  | Blacklisted of { worker : string; strikes : int }
+  | Verified of { chunk_id : int; worker : string }
   | Completed
 
 let pp_event ppf = function
@@ -43,6 +57,13 @@ let pp_event ppf = function
   | Mismatch { worker; index } ->
     Format.fprintf ppf "DETERMINISM VIOLATION on sample %d from %s (first verdict kept)" index
       worker
+  | Quarantined { chunk_id; deaths } ->
+    Format.fprintf ppf "chunk %d POISONED (killed %d distinct workers), quarantined" chunk_id
+      deaths
+  | Blacklisted { worker; strikes } ->
+    Format.fprintf ppf "worker %s blacklisted after %d corrupt frames" worker strikes
+  | Verified { chunk_id; worker } ->
+    Format.fprintf ppf "chunk %d cross-validated by %s" chunk_id worker
   | Completed -> Format.fprintf ppf "campaign complete"
 
 type result = {
@@ -54,6 +75,9 @@ type result = {
   mismatches : int;
   redispatched : int;
   workers : int;
+  poisoned : int list;
+  blacklisted : int;
+  verified : int;
 }
 
 type t = {
@@ -71,6 +95,12 @@ let create ?(config = default_config) () =
   if config.chunk_size < 1 then invalid_arg "Coordinator.create: chunk_size must be positive";
   if config.lease <= 0. then invalid_arg "Coordinator.create: lease must be positive";
   if config.drain < 0. then invalid_arg "Coordinator.create: drain must be non-negative";
+  if config.poison_threshold < 0 then
+    invalid_arg "Coordinator.create: poison_threshold must be non-negative";
+  if config.blacklist_threshold < 0 then
+    invalid_arg "Coordinator.create: blacklist_threshold must be non-negative";
+  if config.verify_frac < 0. || config.verify_frac > 1. then
+    invalid_arg "Coordinator.create: verify_frac must be in [0, 1]";
   (* A worker death must surface as a socket error on our side, not kill
      the coordinator process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -99,16 +129,18 @@ type conn = {
   dec : Proto.decoder;
   mutable name : string;  (* peer address until Hello names it *)
   mutable greeted : bool;
-  mutable last_seen : float;
+  mutable last_seen : float;  (* Mono.now of the last complete message *)
   mutable leases : int list;  (* chunk ids this connection holds *)
+  mutable vleases : int list;  (* chunk ids held for cross-validation *)
 }
 
 type chunk_state =
   | Pending
   | Leased
   | Complete
+  | Poisoned  (* quarantined: killed too many workers, never re-dispatched *)
 
-let serve t ~header ?journal ?(resume = false) ?records_per_segment
+let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
     ?(should_stop = fun () -> false) ?(on_event = fun _ -> ()) () =
   if t.served then invalid_arg "Coordinator.serve: already served";
   t.served <- true;
@@ -125,11 +157,20 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment
   let mismatches = ref 0 in
   let redispatched = ref 0 in
   let workers = Hashtbl.create 16 in
+  (* Poisoning: per-chunk distinct worker names that died (connection
+     gone, not merely a lapsed lease) while holding it. *)
+  let deaths : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let poisoned = ref [] in
+  let poisoned_holes = ref 0 in
+  (* Blacklisting: per-name corrupt-frame/protocol-violation strikes. *)
+  let strikes : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let refused : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let verified = ref 0 in
   let writer =
     match journal with
     | None -> None
     | Some dir when resume ->
-      let h, entries, dropped, w = Journal.resume ?records_per_segment ~dir () in
+      let h, entries, dropped, w = Journal.resume ?records_per_segment ?chaos ~dir () in
       Journal.require_match ~what:dir h header;
       Array.iter
         (function
@@ -139,11 +180,15 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment
               incr n_done;
               incr recovered
             end
-          | Journal.Quarantine _ -> ())
+          (* A recorded [Poisoned] is deliberately ignored: a resumed
+             campaign retries the quarantined chunk from scratch, with
+             the death count reset — quarantine is a property of one
+             service run, not of the fault space. *)
+          | Journal.Quarantine _ | Journal.Poisoned _ -> ())
         entries;
       dropped_bytes := dropped;
       Some w
-    | Some dir -> Some (Journal.create ?records_per_segment ~dir header)
+    | Some dir -> Some (Journal.create ?records_per_segment ?chaos ~dir header)
   in
   (* ---------------------------------------------------------------- *)
   (* Chunk table. Coverage of the outcome range is the ground truth;   *)
@@ -175,50 +220,144 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment
       pop_chunk ()
     | c -> Some c
   in
-  let requeue ~reason conn =
+  (* ---------------------------------------------------------------- *)
+  (* Cross-validation. Whether a chunk gets re-issued for verification *)
+  (* is a deterministic per-chunk draw from the campaign seed, so the  *)
+  (* verified subset is reproducible across runs and restarts.         *)
+  let vpending = ref [] in
+  let vorigin : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let verify_outstanding = ref 0 in
+  let should_verify c =
+    cfg.verify_frac > 0.
+    && Prng.float (Prng.create (header.Journal.seed lxor ((c + 1) * 0x9E3779B9))) < cfg.verify_frac
+  in
+  let schedule_verify ~origin c =
+    if should_verify c && not (Hashtbl.mem vorigin c) then begin
+      Hashtbl.replace vorigin c origin;
+      vpending := !vpending @ [ c ];
+      incr verify_outstanding
+    end
+  in
+  let quarantine ~deaths:d c =
+    state.(c) <- Poisoned;
+    poisoned := c :: !poisoned;
+    for i = chunk_lo c to chunk_hi c do
+      if outcomes.(i) = None then incr poisoned_holes
+    done;
+    (match writer with
+    | Some w -> Journal.append w (Journal.Poisoned c)
+    | None -> ());
+    on_event (Quarantined { chunk_id = c; deaths = d })
+  in
+  (* Release a connection's chunk claims. [death] distinguishes a dead
+     connection from a merely lapsed lease: only deaths count toward
+     poisoning, and only once per distinct worker name — a flaky worker
+     that reconnects and dies on the same chunk again is one data point,
+     not an accumulating vote. *)
+  let release ~death ~reason conn =
     List.iter
       (fun c ->
-        if state.(c) = Leased then begin
-          state.(c) <- Pending;
-          Queue.push c pending;
-          incr redispatched;
-          on_event (Redispatched { worker = conn.name; chunk_id = c; reason })
-        end)
+        if state.(c) = Leased then
+          if covered c then state.(c) <- Complete
+          else begin
+            let killers =
+              if not death then Option.value ~default:[] (Hashtbl.find_opt deaths c)
+              else begin
+                let prev = Option.value ~default:[] (Hashtbl.find_opt deaths c) in
+                let cur = if List.mem conn.name prev then prev else conn.name :: prev in
+                Hashtbl.replace deaths c cur;
+                cur
+              end
+            in
+            if death && cfg.poison_threshold > 0 && List.length killers >= cfg.poison_threshold
+            then quarantine ~deaths:(List.length killers) c
+            else begin
+              state.(c) <- Pending;
+              Queue.push c pending;
+              incr redispatched;
+              on_event (Redispatched { worker = conn.name; chunk_id = c; reason })
+            end
+          end)
       conn.leases;
-    conn.leases <- []
+    conn.leases <- [];
+    List.iter (fun c -> vpending := c :: !vpending) conn.vleases;
+    conn.vleases <- []
   in
   (* ---------------------------------------------------------------- *)
   (* Connections.                                                      *)
   let conns : conn list ref = ref [] in
-  let drop ~reason conn =
+  let drop ?(death = false) ~reason conn =
     if List.memq conn !conns then begin
       conns := List.filter (fun c -> not (c == conn)) !conns;
-      requeue ~reason conn;
+      release ~death ~reason conn;
       (try Unix.close conn.fd with Unix.Unix_error _ -> ());
       on_event (Left { worker = conn.name; reason })
     end
   in
+  (* One strike per dropped-for-misbehavior connection, keyed by the
+     announced worker name (the peer address until Hello): enough
+     strikes and the name's next Hello is refused. *)
+  let strike conn =
+    if cfg.blacklist_threshold > 0 then
+      Hashtbl.replace strikes conn.name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt strikes conn.name))
+  in
   let send conn msg =
-    try Proto.send ~deadline:(Unix.gettimeofday () +. cfg.write_timeout) conn.fd msg with
-    | Proto.Error reason -> drop ~reason conn
-    | Unix.Unix_error (e, _, _) -> drop ~reason:(Unix.error_message e) conn
+    try Proto.send ~deadline:(Mono.now () +. cfg.write_timeout) ?chaos conn.fd msg with
+    | Proto.Error reason -> drop ~death:true ~reason conn
+    | Unix.Unix_error (e, _, _) -> drop ~death:true ~reason:(Unix.error_message e) conn
+  in
+  (* Pick a verification chunk for this connection, preferring one whose
+     original verdicts came from a different worker — re-running on the
+     same worker only checks repeatability, not the worker. With a lone
+     connection the origin is accepted rather than stalling the drain. *)
+  let pop_verify conn =
+    let alone = match !conns with [] | [ _ ] -> true | _ -> false in
+    let rec go acc = function
+      | [] -> None
+      | c :: rest when alone || Hashtbl.find_opt vorigin c <> Some conn.name ->
+        vpending := List.rev_append acc rest;
+        Some c
+      | c :: rest -> go (c :: acc) rest
+    in
+    go [] !vpending
   in
   let record i o =
     outcomes.(i) <- Some o;
     incr n_done;
+    let c = i / cfg.chunk_size in
+    if state.(c) = Poisoned then begin
+      (* A straggler is filling a quarantined range after all. *)
+      decr poisoned_holes;
+      if covered c then begin
+        state.(c) <- Complete;
+        poisoned := List.filter (fun p -> p <> c) !poisoned
+      end
+    end;
     match writer with
     | Some w -> Journal.append w (Journal.Outcome (i, o))
     | None -> ()
   in
+  (* The service is over when every sample has a verdict or lies in a
+     quarantined chunk, and no cross-validation is still outstanding. *)
+  let finished () = !n_done + !poisoned_holes >= n && !verify_outstanding <= 0 in
   (* Fatal per-connection protocol violations are raised as [Proto.Error]
      and only drop the offending connection, never the campaign. *)
   let handle conn msg =
-    conn.last_seen <- Unix.gettimeofday ();
+    conn.last_seen <- Mono.now ();
     match msg with
     | Proto.Hello { version; name } ->
       if version <> Proto.version then
         raise (Proto.Error (Printf.sprintf "protocol version %d, expected %d" version Proto.version));
       conn.name <- name;
+      (match Hashtbl.find_opt strikes name with
+      | Some k when cfg.blacklist_threshold > 0 && k >= cfg.blacklist_threshold ->
+        if not (Hashtbl.mem refused name) then begin
+          Hashtbl.replace refused name ();
+          on_event (Blacklisted { worker = name; strikes = k })
+        end;
+        raise (Proto.Error "blacklisted for repeated corrupt frames")
+      | _ -> ());
       conn.greeted <- true;
       Hashtbl.replace workers name ();
       on_event (Joined { worker = name });
@@ -232,10 +371,18 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment
         let chunk = { Proto.chunk_id = c; lo = chunk_lo c; hi = chunk_hi c } in
         on_event (Assigned { worker = conn.name; chunk });
         send conn (Proto.Assign chunk)
-      | None -> send conn (if !n_done >= n then Proto.Done else Proto.Wait))
+      | None -> (
+        match pop_verify conn with
+        | Some c ->
+          conn.vleases <- c :: conn.vleases;
+          let chunk = { Proto.chunk_id = c; lo = chunk_lo c; hi = chunk_hi c } in
+          on_event (Assigned { worker = conn.name; chunk });
+          send conn (Proto.Assign chunk)
+        | None -> send conn (if finished () then Proto.Done else Proto.Wait)))
     | Proto.Results { chunk_id; results } ->
       if chunk_id < 0 || chunk_id >= n_chunks then
         raise (Proto.Error (Printf.sprintf "results for unknown chunk %d" chunk_id));
+      let verifying = List.mem chunk_id conn.vleases in
       Array.iter
         (fun (i, o) ->
           if i < 0 || i >= n then
@@ -243,29 +390,51 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment
           match outcomes.(i) with
           | None -> record i o
           | Some prev when prev = o ->
-            (* A re-dispatched chunk's second delivery: verdicts are
-               deterministic, so equal is the only legal outcome —
-               dropped, not double-counted. *)
-            incr duplicates;
-            on_event (Duplicate { worker = conn.name; index = i })
+            (* A verification pass or a re-dispatched chunk's second
+               delivery: verdicts are deterministic, so equal is the
+               only legal outcome — dropped, not double-counted. *)
+            if not verifying then begin
+              incr duplicates;
+              on_event (Duplicate { worker = conn.name; index = i })
+            end
           | Some _ ->
             incr mismatches;
             on_event (Mismatch { worker = conn.name; index = i });
+            if verifying then begin
+              (* The chunk's verification is settled (it failed); do not
+                 hand it to yet another worker forever. *)
+              conn.vleases <- List.filter (fun c -> c <> chunk_id) conn.vleases;
+              decr verify_outstanding
+            end;
             raise (Proto.Error (Printf.sprintf "determinism violation on sample %d" i)))
         results;
       on_event (Progress { done_ = !n_done; total = n })
     | Proto.Chunk_done { chunk_id } ->
       if chunk_id < 0 || chunk_id >= n_chunks then
         raise (Proto.Error (Printf.sprintf "done for unknown chunk %d" chunk_id));
-      conn.leases <- List.filter (fun c -> c <> chunk_id) conn.leases;
-      if covered chunk_id then state.(chunk_id) <- Complete
-      else if state.(chunk_id) = Leased then begin
-        (* The worker claims completion but the range has holes (lost
-           frames?): requeue rather than trust the claim. *)
-        state.(chunk_id) <- Pending;
-        Queue.push chunk_id pending;
-        incr redispatched;
-        on_event (Redispatched { worker = conn.name; chunk_id; reason = "incomplete chunk" })
+      if List.mem chunk_id conn.vleases then begin
+        (* Every Results frame of the verification pass deduplicated
+           cleanly against the recorded verdicts (a mismatch would have
+           dropped the connection before its Chunk_done). *)
+        conn.vleases <- List.filter (fun c -> c <> chunk_id) conn.vleases;
+        decr verify_outstanding;
+        incr verified;
+        on_event (Verified { chunk_id; worker = conn.name })
+      end
+      else begin
+        conn.leases <- List.filter (fun c -> c <> chunk_id) conn.leases;
+        if covered chunk_id then begin
+          if state.(chunk_id) = Leased then schedule_verify ~origin:conn.name chunk_id;
+          if state.(chunk_id) <> Poisoned then state.(chunk_id) <- Complete
+        end
+        else if state.(chunk_id) = Leased then begin
+          (* The worker claims completion but the range has holes (lost
+             frames?): requeue rather than trust the claim. *)
+          state.(chunk_id) <- Pending;
+          Queue.push chunk_id pending;
+          incr redispatched;
+          on_event (Redispatched { worker = conn.name; chunk_id; reason = "incomplete chunk" })
+        end
       end
     | Proto.Heartbeat -> ()
     | Proto.Welcome _ | Proto.Assign _ | Proto.Wait | Proto.Done ->
@@ -283,16 +452,16 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment
         | Unix.ADDR_UNIX s -> s
       in
       conns :=
-        { fd; dec = Proto.decoder (); name; greeted = false; last_seen = Unix.gettimeofday ();
-          leases = [] }
+        { fd; dec = Proto.decoder (); name; greeted = false; last_seen = Mono.now ();
+          leases = []; vleases = [] }
         :: !conns
   in
   let read_buf = Bytes.create 65536 in
   let pump conn =
     match restart (fun () -> Unix.read conn.fd read_buf 0 (Bytes.length read_buf)) with
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-    | exception Unix.Unix_error (e, _, _) -> drop ~reason:(Unix.error_message e) conn
-    | 0 -> drop ~reason:"disconnected" conn
+    | exception Unix.Unix_error (e, _, _) -> drop ~death:true ~reason:(Unix.error_message e) conn
+    | 0 -> drop ~death:true ~reason:"disconnected" conn
     | k -> (
       Proto.feed conn.dec read_buf k;
       try
@@ -302,16 +471,25 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment
           | None -> quit := true
           | Some payload -> handle conn (Proto.decode payload)
         done
-      with Proto.Error reason -> drop ~reason conn)
+      with Proto.Error reason ->
+        (* Misbehavior (corrupt frame, protocol violation), not a death:
+           strike the name and drop the connection. *)
+        strike conn;
+        drop ~reason conn)
   in
   let expire_leases () =
-    let now = Unix.gettimeofday () in
+    let now = Mono.now () in
     List.iter
       (fun conn ->
-        (* Keep the connection: a straggler may still deliver (its late
+        (* A connection silent past the read deadline is gone (a live
+           worker requests, streams or heartbeats well inside it): close
+           it rather than carrying a dead peer forever. Short of that,
+           keep the connection — a straggler may still deliver (its late
            results deduplicate); only its claim on the chunks lapses. *)
-        if conn.leases <> [] && now -. conn.last_seen > cfg.lease then
-          requeue ~reason:"lease expired" conn)
+        if cfg.idle_timeout > 0. && now -. conn.last_seen > cfg.idle_timeout then
+          drop ~death:true ~reason:"read deadline: peer silent past idle-timeout" conn
+        else if (conn.leases <> [] || conn.vleases <> []) && now -. conn.last_seen > cfg.lease
+        then release ~death:false ~reason:"lease expired" conn)
       !conns
   in
   (* ---------------------------------------------------------------- *)
@@ -333,13 +511,13 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment
       Option.iter Journal.close writer;
       try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
   @@ fun () ->
-  while !n_done < n && not (should_stop ()) do
+  while (not (finished ())) && not (should_stop ()) do
     select_tick ();
     expire_leases ()
   done;
   let completed = !n_done >= n in
-  if completed then begin
-    on_event Completed;
+  if finished () then begin
+    if completed then on_event Completed;
     (* Keep answering Requests (each now gets Done) until every worker
        reads its Done and hangs up, or the drain window lapses. Slamming
        the sockets shut here instead would race a worker's in-flight
@@ -348,8 +526,8 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment
        campaign skips the drain: no Done is ever sent for an incomplete
        run, and workers fall back to their reconnect loop (the
        coordinator may be resumed). *)
-    let deadline = Unix.gettimeofday () +. cfg.drain in
-    while !conns <> [] && Unix.gettimeofday () < deadline do
+    let deadline = Mono.now () +. cfg.drain in
+    while !conns <> [] && Mono.now () < deadline do
       select_tick ()
     done
   end;
@@ -382,4 +560,7 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment
     mismatches = !mismatches;
     redispatched = !redispatched;
     workers = Hashtbl.length workers;
+    poisoned = List.sort compare !poisoned;
+    blacklisted = Hashtbl.length refused;
+    verified = !verified;
   }

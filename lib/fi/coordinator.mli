@@ -22,6 +22,25 @@
       violation surfaced in the {!result}.
     - {e Worker death}: EOF or a write failure requeues the worker's
       chunks immediately.
+    - {e Poisoned-chunk quarantine}: a chunk whose execution kills
+      [poison_threshold] {e distinct} workers (connection death while
+      holding it — lease expiry is mere straggling) is quarantined
+      instead of being re-dispatched forever: journaled as
+      {!Journal.Poisoned}, skipped, and reported in [result.poisoned].
+      The service then finishes degraded (exit 20 upstairs); resuming
+      retries quarantined chunks from scratch.
+    - {e Blacklisting}: every connection dropped for misbehavior
+      (corrupt frame, protocol violation, determinism mismatch) is a
+      strike against its announced worker name; a name with
+      [blacklist_threshold] strikes has its next [Hello] refused.
+    - {e Read deadline}: a connection silent past [idle_timeout] is
+      closed (a live worker requests, streams or heartbeats well inside
+      it) — the coordinator never carries a dead peer forever.
+    - {e Cross-validation} ([verify_frac] > 0): a deterministic per-chunk
+      draw from the campaign seed selects chunks to re-issue, after
+      completion, to a second worker (preferring one that is not the
+      chunk's origin). Re-delivered verdicts must dedup equal; a
+      disagreement is a determinism violation.
     - {e Coordinator death}: every verdict is already journaled; a new
       coordinator started with [resume:true] on the same journal picks
       up where the old one stopped.
@@ -43,11 +62,24 @@ type config = {
       (** after completion, how long to keep answering [Request]s with
           [Done] while workers hang up — closing immediately would race
           a worker's in-flight request and lose the buffered [Done] *)
+  idle_timeout : float;
+      (** read deadline: seconds of total silence before a connection is
+          closed as dead; must exceed [lease]. 0 disables *)
+  poison_threshold : int;
+      (** distinct workers a chunk may kill before it is quarantined
+          instead of re-dispatched. 0 disables quarantine *)
+  blacklist_threshold : int;
+      (** misbehavior strikes before a worker name's [Hello] is refused.
+          0 disables blacklisting *)
+  verify_frac : float;
+      (** fraction of completed chunks re-issued to a second worker for
+          cross-validation, in [0, 1]. 0 disables *)
 }
 
 val default_config : config
 (** [{ listen = "127.0.0.1"; port = 0; chunk_size = 256; lease = 10.;
-      write_timeout = 5.; tick = 0.05; drain = 5. }] *)
+      write_timeout = 5.; tick = 0.05; drain = 5.; idle_timeout = 30.;
+      poison_threshold = 3; blacklist_threshold = 3; verify_frac = 0. }] *)
 
 type event =
   | Joined of { worker : string }
@@ -59,6 +91,12 @@ type event =
   | Duplicate of { worker : string; index : int }
   | Mismatch of { worker : string; index : int }
       (** determinism violation: two workers disagreed on one experiment *)
+  | Quarantined of { chunk_id : int; deaths : int }
+      (** the chunk killed [deaths] distinct workers and is now skipped *)
+  | Blacklisted of { worker : string; strikes : int }
+      (** the name's [Hello] was refused after repeated misbehavior *)
+  | Verified of { chunk_id : int; worker : string }
+      (** a cross-validation pass re-derived identical verdicts *)
   | Completed
 
 val pp_event : Format.formatter -> event -> unit
@@ -72,6 +110,11 @@ type result = {
   mismatches : int;  (** determinism violations (first verdict kept) *)
   redispatched : int;  (** chunk leases requeued (expiry or disconnect) *)
   workers : int;  (** distinct worker names that completed a handshake *)
+  poisoned : int list;
+      (** quarantined chunk ids, ascending; non-empty means the campaign
+          finished degraded and should be resumed (exit 20 upstairs) *)
+  blacklisted : int;  (** worker names refused at [Hello] *)
+  verified : int;  (** chunks whose cross-validation pass agreed *)
 }
 
 type t
@@ -89,6 +132,7 @@ val serve :
   ?journal:string ->
   ?resume:bool ->
   ?records_per_segment:int ->
+  ?chaos:Chaos.t ->
   ?should_stop:(unit -> bool) ->
   ?on_event:(event -> unit) ->
   unit ->
@@ -97,10 +141,14 @@ val serve :
     sample count; [header.shards] should be [0], the distributed
     marker, so local resume refuses distributed journals and vice
     versa; [header.audit] must be [0.] — the audit sentinel is a
-    single-process feature). Blocks until every sample has a verdict or
-    [should_stop] (polled every [tick]) returns true; either way every
-    connection and the journal are closed before returning, and with
-    [journal] every recorded verdict survives a SIGKILL of the
-    coordinator itself. Raises {!Journal.Error} on journal
-    create/resume problems. [serve] consumes [t]: it closes the
+    single-process feature). Blocks until every sample has a verdict
+    (or lies in a quarantined chunk) with no cross-validation
+    outstanding, or until [should_stop] (polled every [tick]) returns
+    true; either way every connection and the journal are closed before
+    returning, and with [journal] every recorded verdict survives a
+    SIGKILL of the coordinator itself. [chaos] arms the coordinator's
+    own fault plan, threaded to its {!Proto} sends and the journal
+    writer. Raises {!Journal.Error} on journal create/resume problems
+    and on (real or injected) disk failures while appending — everything
+    already recorded is resumable. [serve] consumes [t]: it closes the
     listening socket on return. *)

@@ -37,7 +37,7 @@ let outcome_of_verdict : Campaign.verdict -> Journal.outcome = function
 
 let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit ?(jobs = 1)
     ?(batched = false) ?budget ?(retries = 2) ?(retry_backoff = Backoff.retry_policy) ?journal
-    ?(resume = false) ?records_per_segment ?(should_stop = fun () -> false) ?chaos () =
+    ?(resume = false) ?records_per_segment ?(should_stop = fun () -> false) ?chaos ?fault () =
   if n < 0 then invalid_arg "Durable.run: n must be non-negative";
   if jobs < 1 then invalid_arg "Durable.run: jobs must be positive";
   if retries < 0 then invalid_arg "Durable.run: retries must be non-negative";
@@ -100,7 +100,7 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
     match journal with
     | None -> (None, 0, 0)
     | Some dir when resume ->
-      let h, entries, dropped, w = Journal.resume ?records_per_segment ~dir () in
+      let h, entries, dropped, w = Journal.resume ?records_per_segment ?chaos ~dir () in
       Journal.require_match ~what:dir h header;
       let recovered = ref 0 in
       Array.iter
@@ -110,10 +110,13 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
               outcomes.(i) <- Some o;
               incr recovered
             end
-          | Journal.Quarantine m -> pre_quarantine m)
+          | Journal.Quarantine m -> pre_quarantine m
+          (* Distributed-only marker; a local journal never writes one,
+             but resuming must not choke on it either. *)
+          | Journal.Poisoned _ -> ())
         entries;
       (Some w, !recovered, dropped)
-    | Some dir -> (Some (Journal.create ?records_per_segment ~dir header), 0, 0)
+    | Some dir -> (Some (Journal.create ?records_per_segment ?chaos ~dir header), 0, 0)
   in
   (* Retry pacing: capped exponential backoff whose jitter is drawn from
      a generator split off the shard's pinned PRNG state — a rerun that
@@ -160,6 +163,16 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
     incr r;
     Mutex.unlock lock
   in
+  (* Infrastructure chaos around one experiment attempt. A [Crash]
+     raises {!Chaos.Injected}, retried without consuming the retry
+     budget: a finite chaos plan must never turn a healthy experiment
+     into a [Crashed] verdict, or chaos runs would change the stats. *)
+  let exec_chaos () =
+    match Option.map (fun c -> Chaos.draw c Chaos.Exec) chaos with
+    | Some Chaos.Crash -> raise (Chaos.Injected "experiment crashed")
+    | Some (Chaos.Stall s) -> Unix.sleepf s
+    | _ -> ()
+  in
   (* ---------------------------------------------------------------- *)
   (* Scalar shards.                                                    *)
   let run_scalar_shard ~shard worker0 arng lo hi =
@@ -180,12 +193,14 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
           Backoff.reset bo;
           let rec attempt k =
             match
-              (match chaos with
-              | Some c -> c ~shard ~index:idx ~attempt:k
+              exec_chaos ();
+              (match fault with
+              | Some f -> f ~shard ~index:idx ~attempt:k
               | None -> ());
               Campaign.inject_with ?budget campaign !worker ~flop_id ~cycle
             with
             | v -> Some v
+            | exception Chaos.Injected _ -> attempt k
             | exception _ ->
               (* The worker may be mid-run; rebuild the whole system
                  (fresh [make ()]) before retrying, and back off so a
@@ -246,12 +261,14 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
          Backoff.reset bo;
          let rec attempt k =
            match
-             (match chaos with
-             | Some c -> c ~shard:0 ~index:!lo ~attempt:k
+             exec_chaos ();
+             (match fault with
+             | Some f -> f ~shard:0 ~index:!lo ~attempt:k
              | None -> ());
              Campaign.inject_batch campaign ~faults ()
            with
            | verdicts -> Some verdicts
+           | exception Chaos.Injected _ -> attempt k
            | exception _ ->
              (* The lane worker's state is unknown; rebuild it. *)
              Campaign.reset_lane_worker campaign;

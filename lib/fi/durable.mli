@@ -84,7 +84,8 @@ val run :
   ?resume:bool ->
   ?records_per_segment:int ->
   ?should_stop:(unit -> bool) ->
-  ?chaos:(shard:int -> index:int -> attempt:int -> unit) ->
+  ?chaos:Chaos.t ->
+  ?fault:(shard:int -> index:int -> attempt:int -> unit) ->
   unit ->
   result
 (** Durable counterpart of {!Campaign.run_sample} /
@@ -112,6 +113,17 @@ val run :
     the header does not match the invocation. [should_stop] is polled
     between experiments for cooperative shutdown (SIGINT/SIGTERM
     handlers); a stopped run journals everything it finished and reports
-    [completed = false]. [chaos] is a test-only fault-injection hook for
-    the supervisor itself, called before every attempt; an exception it
-    raises is handled exactly like a crashed experiment. *)
+    [completed = false].
+
+    [chaos] arms this run's deterministic infrastructure fault plan:
+    execution chaos around every experiment attempt (a {!Chaos.Injected}
+    crash is retried without consuming [retries], so chaos never
+    manufactures [Crashed] verdicts) and journal chaos on the writer
+    (short writes, injected ENOSPC/EIO, fsync failures, torn seal
+    renames — all surfacing as {!Journal.Error}, from which [resume]
+    completes the campaign bit-identically). Chaos draws are not
+    synchronized across shards; with [jobs > 1] the plan is still
+    injected but not reproducible draw-for-draw. [fault] is a test-only
+    fault-injection hook for the supervisor itself, called before every
+    attempt; an exception it raises is handled exactly like a crashed
+    experiment. *)

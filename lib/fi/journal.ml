@@ -10,6 +10,7 @@ type outcome =
 type entry =
   | Outcome of int * outcome
   | Quarantine of int
+  | Poisoned of int
 
 type header = {
   core : string;
@@ -41,11 +42,13 @@ let kind_of_entry = function
   | Outcome (_, Skipped) -> 3
   | Outcome (_, Crashed) -> 4
   | Quarantine _ -> 5
+  | Poisoned _ -> 6
 
 let args_of_entry = function
   | Outcome (i, Sdc c) -> (i, c)
   | Outcome (i, _) -> (i, 0)
   | Quarantine m -> (m, 0)
+  | Poisoned c -> (c, 0)
 
 let put32 buf pos v =
   for k = 0 to 3 do
@@ -79,6 +82,7 @@ let decode_record buf pos =
     | 3 -> Some (Outcome (a, Skipped))
     | 4 -> Some (Outcome (a, Crashed))
     | 5 -> Some (Quarantine a)
+    | 6 -> Some (Poisoned a)
     | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -88,12 +92,18 @@ let header_file dir = Filename.concat dir "header"
 let active_file dir = Filename.concat dir "active.bin"
 let segment_file dir i = Filename.concat dir (Printf.sprintf "seg-%06d.bin" i)
 
-(* fsync is best-effort by design: some filesystems refuse it on
-   directories (or at all), and a campaign must not die because its
-   journal lives on one of those — the journal then degrades to
-   crash-safe-but-not-power-loss-safe, exactly what it was before fsync
-   support. *)
-let fsync_fd fd = try Unix.fsync fd with Unix.Unix_error _ -> ()
+(* Filesystems that simply cannot fsync this descriptor (directories on
+   some FS, odd mounts) degrade the journal to
+   crash-safe-but-not-power-loss-safe — tolerable, and exactly what it
+   was before fsync support. A failing fsync that *was* supported
+   (ENOSPC, EIO) is different: the records the OS accepted may never
+   reach the platter, so continuing would record verdicts that a power
+   loss silently unrecords. Surface those as {!Error} and let the
+   campaign fail cleanly and be resumed. *)
+let fsync_fd fd =
+  try Unix.fsync fd with
+  | Unix.Unix_error ((Unix.EINVAL | Unix.EOPNOTSUPP | Unix.ENOSYS), _, _) -> ()
+  | Unix.Unix_error (e, _, _) -> error "fsync failed: %s" (Unix.error_message e)
 
 let fsync_channel oc =
   flush oc;
@@ -235,22 +245,51 @@ type writer = {
   dir : string;
   records_per_segment : int;
   lock : Mutex.t;
+  chaos : Chaos.t option;
   mutable chan : out_channel;  (* the active segment *)
   mutable in_active : int;  (* records in the active segment *)
   mutable next_segment : int;
   mutable closed : bool;
+  mutable failed : string option;  (* first failure; all later appends refuse *)
 }
 
 let default_rps = 4096
 
+(* Disk failures are sticky: after the first failed write/fsync/rename
+   the writer refuses every further append with the original message.
+   Limping on past a failure would leave silent holes in the verdict
+   stream; failing fast keeps the journal a truthful prefix that
+   [resume] completes from. *)
+let fail w fmt =
+  Printf.ksprintf
+    (fun msg ->
+      let msg = w.dir ^ ": " ^ msg in
+      w.failed <- Some msg;
+      raise (Error msg))
+    fmt
+
+let chaos_draw w site =
+  match w.chaos with
+  | None -> Chaos.Pass
+  | Some c -> Chaos.draw c site
+
 let rotate w =
+  (match chaos_draw w Chaos.Journal_fsync with
+  | Chaos.Fsync_fail -> fail w "injected fsync failure sealing segment %d" w.next_segment
+  | _ -> ());
   (* Push the segment's bytes all the way to disk before the seal
      rename: [flush] alone only hands them to the OS, and a power loss
      after the rename would otherwise leave a "finalized" segment with
      missing tail records — indistinguishable from corruption. *)
   fsync_channel w.chan;
   close_out w.chan;
-  Sys.rename (active_file w.dir) (segment_file w.dir w.next_segment);
+  (match chaos_draw w Chaos.Journal_rename with
+  | Chaos.Torn_rename ->
+    (* The seal rename is lost, as if power died between the close and
+       the rename: the over-full active segment stays behind, which
+       [resume] seals on reopen. *)
+    fail w "injected torn rename sealing segment %d" w.next_segment
+  | _ -> Sys.rename (active_file w.dir) (segment_file w.dir w.next_segment));
   fsync_dir w.dir;
   w.next_segment <- w.next_segment + 1;
   w.chan <- open_out_bin (active_file w.dir);
@@ -260,27 +299,52 @@ let append w entry =
   Mutex.lock w.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock w.lock) @@ fun () ->
   if w.closed then error "%s: journal writer is closed" w.dir;
+  (match w.failed with Some msg -> raise (Error msg) | None -> ());
   let buf = Bytes.create record_size in
   encode_record buf entry;
-  output_bytes w.chan buf;
-  (* Flush every record: a SIGKILL then loses at most the record the OS
-     was handed mid-write (the torn tail resume truncates), never a
-     buffered batch. *)
-  flush w.chan;
+  (match chaos_draw w Chaos.Journal_write with
+  | Chaos.Short_write f ->
+    (* Leave the torn prefix a crash mid-write would leave — [resume]
+       must truncate it — then fail like the disk just died. *)
+    let keep = max 0 (min (record_size - 1) (int_of_float (f *. float_of_int record_size))) in
+    (try
+       output_bytes w.chan (Bytes.sub buf 0 keep);
+       flush w.chan
+     with Sys_error _ -> ());
+    fail w "injected short write (%d of %d bytes)" keep record_size
+  | Chaos.Io_error e -> fail w "injected %s on journal append" (Unix.error_message e)
+  | _ -> ());
+  (match
+     output_bytes w.chan buf;
+     (* Flush every record: a SIGKILL then loses at most the record the
+        OS was handed mid-write (the torn tail resume truncates), never
+        a buffered batch. *)
+     flush w.chan
+   with
+  | () -> ()
+  | exception Sys_error msg -> fail w "journal append failed: %s" msg);
   w.in_active <- w.in_active + 1;
-  if w.in_active >= w.records_per_segment then rotate w
+  if w.in_active >= w.records_per_segment then
+    match rotate w with
+    | () -> ()
+    | exception Sys_error msg -> fail w "segment rotation failed: %s" msg
+    | exception Error msg ->
+      w.failed <- Some msg;
+      raise (Error msg)
 
 let close w =
   Mutex.lock w.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock w.lock) @@ fun () ->
   if not w.closed then begin
     w.closed <- true;
-    close_out w.chan
+    match close_out w.chan with
+    | () -> ()
+    | exception Sys_error _ when w.failed <> None -> ()
   end
 
 let exists ~dir = Sys.file_exists (header_file dir)
 
-let create ?(records_per_segment = default_rps) ~dir header =
+let create ?(records_per_segment = default_rps) ?chaos ~dir header =
   if records_per_segment <= 0 then invalid_arg "Journal.create: records_per_segment must be positive";
   if exists ~dir then
     error "%s: a journal already exists here (resume it with --resume, or remove it)" dir;
@@ -290,10 +354,12 @@ let create ?(records_per_segment = default_rps) ~dir header =
     dir;
     records_per_segment;
     lock = Mutex.create ();
+    chaos;
     chan = open_out_bin (active_file dir);
     in_active = 0;
     next_segment = 0;
     closed = false;
+    failed = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -356,7 +422,7 @@ let load ~dir =
   let header, finalized, active, dropped, _ = read_journal ~dir in
   (header, Array.of_list (finalized @ active), dropped)
 
-let resume ?(records_per_segment = default_rps) ~dir () =
+let resume ?(records_per_segment = default_rps) ?chaos ~dir () =
   if records_per_segment <= 0 then invalid_arg "Journal.resume: records_per_segment must be positive";
   let header, finalized, active, dropped, n_segments = read_journal ~dir in
   (* Truncate the torn tail by atomically rewriting the active segment
@@ -374,10 +440,12 @@ let resume ?(records_per_segment = default_rps) ~dir () =
       dir;
       records_per_segment;
       lock = Mutex.create ();
+      chaos;
       chan = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 (active_file dir);
       in_active = List.length active;
       next_segment = n_segments;
       closed = false;
+      failed = None;
     }
   in
   if w.in_active >= w.records_per_segment then rotate w;

@@ -37,6 +37,11 @@ type entry =
   | Quarantine of int
       (** MATE of this index was caught misclassifying and is disabled
           for the rest of the campaign *)
+  | Poisoned of int
+      (** distributed campaigns: this chunk id killed enough distinct
+          workers to be quarantined and skipped; its samples have no
+          verdicts. Resume ignores these entries, so a resumed campaign
+          retries the chunk fresh. *)
 
 type header = {
   core : string;
@@ -73,18 +78,27 @@ val require_match : what:string -> header -> header -> unit
     silently change what recorded verdicts mean. *)
 
 exception Error of string
-(** Unusable journal: corrupt finalized segment, malformed header,
-    or an attempt to create over an existing journal. *)
+(** Unusable or failing journal: corrupt finalized segment, malformed
+    header, an attempt to create over an existing journal, or a disk
+    failure (real or injected) while appending — write errors, ENOSPC,
+    EIO, a supported-but-failing fsync. Disk failures are sticky: once a
+    writer has raised, every later {!append} re-raises the original
+    message, so a campaign fails fast instead of recording into a hole.
+    The campaign on top maps this to a clean resumable exit. *)
 
 val exists : dir:string -> bool
 (** A journal (its header) is present at [dir]. *)
 
-val create : ?records_per_segment:int -> dir:string -> header -> writer
+val create : ?records_per_segment:int -> ?chaos:Chaos.t -> dir:string -> header -> writer
 (** Start a fresh journal ([records_per_segment] defaults to 4096).
     Creates [dir] if needed; raises {!Error} if a journal already lives
-    there (resume it or remove it explicitly — never overwrite). *)
+    there (resume it or remove it explicitly — never overwrite).
+    [chaos] arms the writer's fault plan: appends consult
+    {!Chaos.Journal_write} (short writes, injected ENOSPC/EIO), segment
+    seals consult {!Chaos.Journal_fsync} and {!Chaos.Journal_rename};
+    injected faults raise {!Error} exactly as the real failure would. *)
 
-val resume : ?records_per_segment:int -> dir:string -> unit -> header * entry array * int * writer
+val resume : ?records_per_segment:int -> ?chaos:Chaos.t -> dir:string -> unit -> header * entry array * int * writer
 (** Reopen a journal for appending: validates the header and every
     finalized segment, truncates a torn tail of the active segment, and
     returns the header, every intact entry in append order, the number

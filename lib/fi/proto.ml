@@ -1,4 +1,5 @@
 module Crc = Pruning_util.Crc
+module Mono = Pruning_util.Mono
 
 exception Error of string
 exception Closed
@@ -43,8 +44,7 @@ let encode_frame payload =
   Buffer.add_string buf payload;
   Buffer.contents buf
 
-let write_frame ?deadline fd payload =
-  let s = Bytes.unsafe_of_string (encode_frame payload) in
+let write_all ?deadline fd s =
   let total = Bytes.length s in
   let off = ref 0 in
   while !off < total do
@@ -58,21 +58,76 @@ let write_frame ?deadline fd payload =
         match deadline with
         | None -> -1.
         | Some d ->
-          let left = d -. Unix.gettimeofday () in
+          let left = d -. Mono.now () in
           if left <= 0. then error "write stalled past its deadline" else left
       in
       ignore (restart (fun () -> Unix.select [] [ fd ] [] timeout))
   done
 
+let injected_reset () = raise (Unix.Unix_error (Unix.ECONNRESET, "chaos", "injected"))
+
+let write_frame ?deadline ?chaos fd payload =
+  let frame = encode_frame payload in
+  let plain () = write_all ?deadline fd (Bytes.unsafe_of_string frame) in
+  match Option.map (fun c -> Chaos.draw c Chaos.Send) chaos with
+  | None | Some Chaos.Pass -> plain ()
+  | Some (Chaos.Delay s) ->
+    Unix.sleepf s;
+    plain ()
+  | Some (Chaos.Corrupt_bit k) ->
+    (* Flip one payload bit after the CRC was computed: the receiver
+       must detect the corruption and drop us as misbehaving. *)
+    let b = Bytes.of_string frame in
+    let payload_bits = (Bytes.length b - frame_header_size) * 8 in
+    if payload_bits > 0 then begin
+      let bit = k mod payload_bits in
+      let pos = frame_header_size + (bit / 8) in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl (bit mod 8))))
+    end;
+    write_all ?deadline fd b
+  | Some (Chaos.Truncate f) ->
+    (* A connection reset mid-frame: the peer is left with a torn frame
+       (never acted upon), we see the reset and reconnect. *)
+    let keep = int_of_float (f *. float_of_int (String.length frame)) in
+    let keep = max 0 (min keep (String.length frame - 1)) in
+    write_all ?deadline fd (Bytes.unsafe_of_string (String.sub frame 0 keep));
+    injected_reset ()
+  | Some Chaos.Reset -> injected_reset ()
+  | Some (Chaos.Slow_loris s) ->
+    (* Dribble the frame out in four stalled installments — total extra
+       latency [s], bounded, to exercise peer read deadlines. *)
+    let len = String.length frame in
+    let step = max 1 ((len + 3) / 4) in
+    let off = ref 0 in
+    while !off < len do
+      let k = min step (len - !off) in
+      write_all ?deadline fd (Bytes.unsafe_of_string (String.sub frame !off k));
+      off := !off + k;
+      if !off < len then Unix.sleepf (s /. 4.)
+    done
+  | Some _ -> plain ()
+
 let check_len len =
   if len < 0 || len > max_frame then error "frame length %d is outside [0, %d]" len max_frame
 
+(* Select-before-read: bounds the time spent blocked waiting for the
+   peer's next bytes, so a slow-loris sender cannot wedge the reader. *)
+let wait_readable ?deadline fd =
+  match deadline with
+  | None -> ()
+  | Some d ->
+    let left = d -. Mono.now () in
+    if left <= 0. then error "read stalled past its deadline";
+    let ready, _, _ = restart (fun () -> Unix.select [ fd ] [] [] left) in
+    if ready = [] then error "read stalled past its deadline"
+
 (* Read exactly [n] bytes. [at_boundary] selects whether EOF is a clean
    close ([Closed]) or a truncated frame ([Error]). *)
-let really_read fd n ~at_boundary =
+let really_read ?deadline fd n ~at_boundary =
   let buf = Bytes.create n in
   let off = ref 0 in
   while !off < n do
+    wait_readable ?deadline fd;
     let k = restart (fun () -> Unix.read fd buf !off (n - !off)) in
     if k = 0 then
       if !off = 0 && at_boundary then raise Closed else error "connection closed mid-frame";
@@ -80,12 +135,17 @@ let really_read fd n ~at_boundary =
   done;
   Bytes.unsafe_to_string buf
 
-let read_frame fd =
-  let header = really_read fd frame_header_size ~at_boundary:true in
+let read_frame ?deadline ?chaos fd =
+  (match Option.map (fun c -> Chaos.draw c Chaos.Recv) chaos with
+  | None | Some Chaos.Pass -> ()
+  | Some (Chaos.Delay s) -> Unix.sleepf s
+  | Some Chaos.Reset -> injected_reset ()
+  | Some _ -> ());
+  let header = really_read ?deadline fd frame_header_size ~at_boundary:true in
   let len = get32 header 0 in
   let crc = get32 header 4 in
   check_len len;
-  let payload = really_read fd len ~at_boundary:false in
+  let payload = really_read ?deadline fd len ~at_boundary:false in
   if Crc.string payload <> crc then error "frame CRC mismatch";
   payload
 
@@ -265,5 +325,5 @@ let decode payload =
   if c.pos <> String.length payload then error "trailing garbage after message";
   msg
 
-let send ?deadline fd msg = write_frame ?deadline fd (encode msg)
-let recv fd = decode (read_frame fd)
+let send ?deadline ?chaos fd msg = write_frame ?deadline ?chaos fd (encode msg)
+let recv ?deadline ?chaos fd = decode (read_frame ?deadline ?chaos fd)

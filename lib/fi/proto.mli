@@ -31,15 +31,24 @@ val max_frame : int
 val encode_frame : string -> string
 (** The full frame encoding of a payload (for tests and buffering). *)
 
-val write_frame : ?deadline:float -> Unix.file_descr -> string -> unit
+val write_frame : ?deadline:float -> ?chaos:Chaos.t -> Unix.file_descr -> string -> unit
 (** Write one frame, looping over partial writes. [deadline] (absolute,
-    [Unix.gettimeofday] clock) bounds the total time spent blocked on an
-    unwritable socket — needed on non-blocking descriptors, where EAGAIN
-    is awaited with [select] until the deadline, then {!Error} is raised
-    (a stalled peer must not wedge the coordinator). *)
+    {!Pruning_util.Mono} monotonic clock) bounds the total time spent
+    blocked on an unwritable socket — needed on non-blocking
+    descriptors, where EAGAIN is awaited with [select] until the
+    deadline, then {!Error} is raised (a stalled peer must not wedge the
+    coordinator). [chaos] consults the fault plan at {!Chaos.Send}
+    before writing: injected delays and slow-loris dribbles keep the
+    frame intact; bit corruption flips one payload bit {e after} the CRC
+    was computed (the receiver must detect it); truncation and resets
+    raise the [ECONNRESET] a real dying link would. *)
 
-val read_frame : Unix.file_descr -> string
-(** Blocking read of one frame's payload. Raises {!Closed} on EOF at a
+val read_frame : ?deadline:float -> ?chaos:Chaos.t -> Unix.file_descr -> string
+(** Blocking read of one frame's payload. [deadline] (absolute,
+    {!Pruning_util.Mono} clock) bounds the total wait for the peer's
+    bytes — {!Error} once it passes, so a slow-loris or half-dead sender
+    cannot hang the reader. [chaos] consults the plan at {!Chaos.Recv}
+    (delays and connection resets only). Raises {!Closed} on EOF at a
     frame boundary, {!Error} on EOF mid-frame or CRC mismatch. *)
 
 (** {1 Streaming decoder}
@@ -90,8 +99,8 @@ val decode : string -> msg
 (** Raises {!Error} on undecodable payloads (including a [Welcome]
     header whose own CRC fails). *)
 
-val send : ?deadline:float -> Unix.file_descr -> msg -> unit
+val send : ?deadline:float -> ?chaos:Chaos.t -> Unix.file_descr -> msg -> unit
 (** [write_frame] ∘ [encode]. *)
 
-val recv : Unix.file_descr -> msg
+val recv : ?deadline:float -> ?chaos:Chaos.t -> Unix.file_descr -> msg
 (** [decode] ∘ [read_frame]. *)

@@ -1,5 +1,6 @@
 module Prng = Pruning_util.Prng
 module Backoff = Pruning_util.Backoff
+module Mono = Pruning_util.Mono
 
 type engine = {
   campaign : Campaign.t;
@@ -62,10 +63,12 @@ let connect host port =
   in
   try_addrs addrs
 
-let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(retries = 2)
+let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(retries = 2)
     ?(retry_backoff = Backoff.retry_policy) ?(reconnect_backoff = Backoff.default_policy)
-    ?(max_reconnects = 8) ?(results_per_frame = 64) ?(should_stop = fun () -> false) ?chaos () =
+    ?(max_reconnects = 8) ?(results_per_frame = 64) ?(should_stop = fun () -> false) ?chaos
+    ?fault () =
   if heartbeat <= 0. then invalid_arg "Worker.run: heartbeat must be positive";
+  if recv_timeout <= 0. then invalid_arg "Worker.run: recv_timeout must be positive";
   if retries < 0 then invalid_arg "Worker.run: retries must be non-negative";
   if max_reconnects < 0 then invalid_arg "Worker.run: max_reconnects must be non-negative";
   if results_per_frame < 1 then invalid_arg "Worker.run: results_per_frame must be positive";
@@ -111,16 +114,22 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(retries = 2)
   (* ---------------------------------------------------------------- *)
   (* One chunk, scalar or batched, streaming results as they appear.   *)
   let run_chunk fd engine samples cworker { Proto.chunk_id; lo; hi } =
-    let last_sent = ref (Unix.gettimeofday ()) in
+    let last_sent = ref (Mono.now ()) in
     let tell msg =
-      Proto.send fd msg;
-      last_sent := Unix.gettimeofday ()
+      Proto.send ?chaos fd msg;
+      last_sent := Mono.now ()
     in
     let acc = ref [] in
     let acc_n = ref 0 in
     let flush () =
       if !acc_n > 0 then begin
-        tell (Proto.Results { chunk_id; results = Array.of_list (List.rev !acc) });
+        let msg = Proto.Results { chunk_id; results = Array.of_list (List.rev !acc) } in
+        tell msg;
+        (* Duplicate-verdict replay: deliver the frame twice and let the
+           coordinator's dedup swallow the echo. *)
+        (match Option.map (fun c -> Chaos.draw c Chaos.Exec) chaos with
+        | Some Chaos.Duplicate -> tell msg
+        | _ -> ());
         submitted := !submitted + !acc_n;
         acc := [];
         acc_n := 0
@@ -132,7 +141,7 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(retries = 2)
       if !acc_n >= results_per_frame then flush ()
     in
     let alive () =
-      if Unix.gettimeofday () -. !last_sent > heartbeat then
+      if Mono.now () -. !last_sent > heartbeat then
         if !acc_n > 0 then flush () else tell Proto.Heartbeat
     in
     let fresh_scalar () =
@@ -150,10 +159,20 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(retries = 2)
       | Some f -> f ~flop_id ~cycle
       | None -> false
     in
-    let chaos_hook ~index ~attempt =
-      match chaos with
-      | Some c -> c ~chunk_id ~index ~attempt
+    let fault_hook ~index ~attempt =
+      match fault with
+      | Some f -> f ~chunk_id ~index ~attempt
       | None -> ()
+    in
+    (* Infrastructure chaos around one experiment attempt: a [Crash]
+       raises {!Chaos.Injected}, which the supervisor retries without
+       consuming its retry budget — injected faults must never turn a
+       healthy experiment into a [Crashed] verdict. *)
+    let exec_chaos () =
+      match Option.map (fun c -> Chaos.draw c Chaos.Exec) chaos with
+      | Some Chaos.Crash -> raise (Chaos.Injected "experiment crashed")
+      | Some (Chaos.Stall s) -> Unix.sleepf s
+      | _ -> ()
     in
     if engine.batched then begin
       (* Classify the skip decisions first, then push the remainder
@@ -171,11 +190,13 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(retries = 2)
         Backoff.reset ebo;
         let rec attempt k =
           match
-            chaos_hook ~index:inject_idx.(0) ~attempt:k;
+            exec_chaos ();
+            fault_hook ~index:inject_idx.(0) ~attempt:k;
             Campaign.inject_batch engine.campaign ~faults ()
           with
           | verdicts -> Some verdicts
           | exception Stop -> raise Stop
+          | exception Chaos.Injected _ -> attempt k
           | exception _ ->
             Campaign.reset_lane_worker engine.campaign;
             if k < retries then begin
@@ -204,11 +225,13 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(retries = 2)
           Backoff.reset ebo;
           let rec attempt k =
             match
-              chaos_hook ~index:idx ~attempt:k;
+              exec_chaos ();
+              fault_hook ~index:idx ~attempt:k;
               Campaign.inject_with engine.campaign (get_scalar ()) ~flop_id ~cycle
             with
             | v -> Some v
             | exception Stop -> raise Stop
+            | exception Chaos.Injected _ -> attempt k
             | exception _ ->
               ignore (fresh_scalar ());
               if k < retries then begin
@@ -231,9 +254,14 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(retries = 2)
   in
   (* ---------------------------------------------------------------- *)
   (* One session: handshake, then pull work until Done/Stop/error.     *)
+  (* Mirror of the coordinator's write_timeout on our read side: a
+     coordinator that stops talking mid-reply (half-dead, slow-loris)
+     raises [Proto.Error] here, which the outer loop treats as a lost
+     session — backoff and reconnect instead of hanging forever. *)
+  let recv fd = Proto.recv ~deadline:(Mono.now () +. recv_timeout) ?chaos fd in
   let session fd =
-    Proto.send fd (Proto.Hello { version = Proto.version; name });
-    match Proto.recv fd with
+    Proto.send ?chaos fd (Proto.Hello { version = Proto.version; name });
+    match recv fd with
     | Proto.Welcome header ->
       let engine, samples, cworker = resolve_cached header in
       (* Handshake complete: the coordinator is reachable and sane, so
@@ -242,8 +270,8 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(retries = 2)
       Backoff.reset rbo;
       let rec loop () =
         if should_stop () then raise Stop;
-        Proto.send fd Proto.Request;
-        match Proto.recv fd with
+        Proto.send ?chaos fd Proto.Request;
+        match recv fd with
         | Proto.Assign chunk ->
           run_chunk fd engine samples cworker chunk;
           loop ()

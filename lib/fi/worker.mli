@@ -50,13 +50,15 @@ val run :
   resolve:(Journal.header -> engine) ->
   ?name:string ->
   ?heartbeat:float ->
+  ?recv_timeout:float ->
   ?retries:int ->
   ?retry_backoff:Pruning_util.Backoff.policy ->
   ?reconnect_backoff:Pruning_util.Backoff.policy ->
   ?max_reconnects:int ->
   ?results_per_frame:int ->
   ?should_stop:(unit -> bool) ->
-  ?chaos:(chunk_id:int -> index:int -> attempt:int -> unit) ->
+  ?chaos:Chaos.t ->
+  ?fault:(chunk_id:int -> index:int -> attempt:int -> unit) ->
   unit ->
   report
 (** Work for the coordinator at [host]:[port] until the campaign is done.
@@ -69,11 +71,21 @@ val run :
     identifies the worker in coordinator logs and must be unique per
     connection. [heartbeat] (default [1.]) is the maximum silence
     between frames while computing; keep it well under the
-    coordinator's lease. [retries] / [retry_backoff] supervise each
-    experiment like {!Durable.run}. [reconnect_backoff] /
-    [max_reconnects] (default 8) pace session re-establishment — the
-    counter resets after every successful handshake. [results_per_frame]
-    (default 64) batches verdict streaming. [should_stop] is polled
-    between experiments for cooperative shutdown. [chaos] is a test-only
-    hook called before every experiment attempt; an exception it raises
-    is handled exactly like a crashed experiment. *)
+    coordinator's lease. [recv_timeout] (default [30.]) is the read
+    deadline mirroring the coordinator's write timeout: a coordinator
+    silent that long mid-reply counts as a lost session and the worker
+    backs off and reconnects instead of hanging. [retries] /
+    [retry_backoff] supervise each experiment like {!Durable.run}.
+    [reconnect_backoff] / [max_reconnects] (default 8) pace session
+    re-establishment — the counter resets after every successful
+    handshake. [results_per_frame] (default 64) batches verdict
+    streaming. [should_stop] is polled between experiments for
+    cooperative shutdown.
+
+    [chaos] arms this worker's deterministic fault plan: network chaos
+    on every frame sent and received, execution chaos around every
+    experiment attempt (a {!Chaos.Injected} crash is retried without
+    consuming the retry budget, so chaos never manufactures [Crashed]
+    verdicts), and duplicate-verdict replay at results flushes. [fault]
+    is a test-only hook called before every experiment attempt; an
+    exception it raises is handled exactly like a crashed experiment. *)

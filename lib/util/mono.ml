@@ -1,0 +1,1 @@
+external now : unit -> float = "pruning_mono_now"

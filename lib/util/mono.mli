@@ -1,0 +1,11 @@
+(** Monotonic clock for deadlines, leases and timeouts.
+
+    {!now} is [CLOCK_MONOTONIC]: seconds since an arbitrary fixed origin,
+    strictly unaffected by NTP steps, [settimeofday] or leap-second
+    smearing. Use it for every duration comparison ([deadline = now ()
+    +. timeout]); never mix its values with [Unix.gettimeofday] — the
+    origins differ. On (exotic) platforms without [clock_gettime] it
+    degrades to [gettimeofday]. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary origin, monotonically non-decreasing. *)

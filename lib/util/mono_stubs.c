@@ -1,0 +1,25 @@
+/* Monotonic wall-clock for lease/deadline arithmetic.
+
+   OCaml 5.1's Unix module exposes only gettimeofday, which an NTP step
+   can move by minutes in either direction; CLOCK_MONOTONIC cannot.
+   Falls back to gettimeofday only where clock_gettime is unavailable. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value pruning_mono_now(value unit)
+{
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+}

@@ -26,5 +26,5 @@ let () =
   in
   ignore
     (Worker.run ~host:"127.0.0.1" ~port ~resolve ~name:"victim"
-       ~chaos:(fun ~chunk_id:_ ~index:_ ~attempt:_ -> Unix.sleep 3600)
+       ~fault:(fun ~chunk_id:_ ~index:_ ~attempt:_ -> Unix.sleep 3600)
        ())

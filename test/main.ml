@@ -13,6 +13,7 @@ let () =
       ("bitsim", Test_bitsim.suite);
       ("durable", Test_durable.suite);
       ("dist", Test_dist.suite);
+      ("chaos", Test_chaos.suite);
       ("mate", Test_mate.suite);
       ("properties", Test_properties.suite);
       ("extensions", Test_extensions.suite);

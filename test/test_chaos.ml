@@ -1,0 +1,675 @@
+(* Self-chaos: the deterministic infrastructure fault plan and the
+   hardening it forces. Plan byte-identity and budget properties
+   (QCheck), poisoned-chunk quarantine with resume, misbehaving-client
+   blacklisting, cross-validation (clean pass and mismatch detection),
+   the worker's receive deadline, journal disk-failure surfacing, and
+   the headline invariant: a campaign under a full chaos plan either
+   completes with stats bit-identical to the chaos-free reference or
+   fails resumably and reaches them via --resume. *)
+
+open Helpers
+module Campaign = Pruning_fi.Campaign
+module Chaos = Pruning_fi.Chaos
+module Coordinator = Pruning_fi.Coordinator
+module Durable = Pruning_fi.Durable
+module Fault_space = Pruning_fi.Fault_space
+module Journal = Pruning_fi.Journal
+module Proto = Pruning_fi.Proto
+module Worker = Pruning_fi.Worker
+module System = Pruning_cpu.System
+module Backoff = Pruning_util.Backoff
+
+let all_sites =
+  [
+    Chaos.Send;
+    Chaos.Recv;
+    Chaos.Journal_write;
+    Chaos.Journal_fsync;
+    Chaos.Journal_rename;
+    Chaos.Exec;
+  ]
+
+(* --- the plan itself -------------------------------------------------- *)
+
+(* The headline determinism property: materializing the same seed twice
+   yields byte-identical plans at every site. *)
+let prop_plan_byte_identity =
+  QCheck2.Test.make ~name:"chaos: same seed, byte-identical plan" ~count:200 QCheck2.Gen.int
+    (fun seed ->
+      List.for_all
+        (fun site ->
+          Chaos.plan_to_string (Chaos.plan ~seed site ~n:96)
+          = Chaos.plan_to_string (Chaos.plan ~seed site ~n:96))
+        all_sites)
+
+(* Budget accounting: a plan never injects more than its budget, and the
+   live counters agree with the materialized plan. *)
+let prop_plan_budget =
+  QCheck2.Test.make ~name:"chaos: budget bounds injections" ~count:200
+    QCheck2.Gen.(pair int (int_range 0 16))
+    (fun (seed, budget) ->
+      let profile = { Chaos.default_profile with Chaos.budget } in
+      let faults =
+        Array.fold_left
+          (fun acc a -> if a = Chaos.Pass then acc else acc + 1)
+          0
+          (Chaos.plan ~profile ~seed Chaos.Send ~n:512)
+      in
+      faults <= budget)
+
+let test_plan_distinct_seeds () =
+  (* Not a certainty for an arbitrary pair of seeds, but for this fixed
+     pair (checked once, deterministic) the plans must differ. *)
+  let fingerprint seed =
+    String.concat "|"
+      (List.map (fun s -> Chaos.plan_to_string (Chaos.plan ~seed s ~n:512)) all_sites)
+  in
+  check_bool "seeds 1 and 2 give different plans" false (fingerprint 1 = fingerprint 2)
+
+(* Per-site streams are independent: the sequence one site observes does
+   not depend on how many draws other sites made in between. *)
+let test_site_stream_independence () =
+  let profile = { Chaos.default_profile with Chaos.budget = max_int } in
+  let seed = 7 in
+  let reference = Chaos.plan ~profile ~seed Chaos.Send ~n:64 in
+  let t = Chaos.create ~profile ~seed () in
+  let interleaved =
+    Array.init 64 (fun _ ->
+        ignore (Chaos.draw t Chaos.Recv);
+        ignore (Chaos.draw t Chaos.Exec);
+        let a = Chaos.draw t Chaos.Send in
+        ignore (Chaos.draw t Chaos.Journal_write);
+        a)
+  in
+  check_string "send stream unaffected by other sites"
+    (Chaos.plan_to_string reference)
+    (Chaos.plan_to_string interleaved)
+
+let test_exhaustion_and_quiet () =
+  let profile = { Chaos.quiet_profile with Chaos.net_reset = 1.; budget = 5 } in
+  let t = Chaos.create ~profile ~seed:3 () in
+  for i = 1 to 5 do
+    check_bool (Printf.sprintf "fault %d injected" i) true (Chaos.draw t Chaos.Send = Chaos.Reset)
+  done;
+  check_bool "budget spent" true (Chaos.exhausted t);
+  check_int "injected counter" 5 (Chaos.injected t);
+  for _ = 1 to 100 do
+    check_bool "quiet after exhaustion" true (Chaos.draw t Chaos.Send = Chaos.Pass)
+  done;
+  (* The all-zero profile is a plan that never fires at all. *)
+  Array.iter
+    (fun a -> check_bool "quiet profile is a no-op" true (a = Chaos.Pass))
+    (Chaos.plan ~profile:Chaos.quiet_profile ~seed:3 Chaos.Send ~n:64)
+
+(* --- shared toy-campaign scaffolding (mirrors test_dist) -------------- *)
+
+let toy_cycles = 8
+let toy_n = 60
+let toy_seed = 21
+
+let toy_parts () =
+  let nl = figure1_seq_netlist () in
+  let make () =
+    {
+      System.kind = System.Avr;
+      name = "toy";
+      netlist = nl;
+      sim = Sim.create nl;
+      ram = [||];
+      rf_prefix = "!none";
+    }
+  in
+  let space = Fault_space.full nl ~cycles:toy_cycles in
+  let campaign = Campaign.create ~make ~total_cycles:toy_cycles () in
+  (space, campaign)
+
+let toy_engine ?skip () =
+  let space, campaign = toy_parts () in
+  { Worker.campaign; space; skip; batched = false }
+
+let toy_reference () =
+  let space, campaign = toy_parts () in
+  Campaign.run_sample campaign ~space ~rng:(Prng.create toy_seed) ~n:toy_n ()
+
+let make_header () =
+  {
+    Journal.core = "toy";
+    program = "toy";
+    cycles = toy_cycles;
+    seed = toy_seed;
+    samples = toy_n;
+    prune = false;
+    audit = 0.;
+    shards = 0;
+    batched = false;
+    prng = Prng.save (Prng.create toy_seed);
+    shard_prng = [||];
+  }
+
+let check_stats label (a : Campaign.stats) (b : Campaign.stats) =
+  check_int (label ^ ": injections") a.Campaign.injections b.Campaign.injections;
+  check_int (label ^ ": benign") a.Campaign.benign b.Campaign.benign;
+  check_int (label ^ ": latent") a.Campaign.latent b.Campaign.latent;
+  check_int (label ^ ": sdc") a.Campaign.sdc b.Campaign.sdc;
+  check_int (label ^ ": skipped") a.Campaign.skipped b.Campaign.skipped;
+  check_int (label ^ ": crashed") a.Campaign.crashed b.Campaign.crashed
+
+let scratch_counter = ref 0
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let scratch_dir () =
+  incr scratch_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pruning-chaos-%d-%d" (Unix.getpid ()) !scratch_counter)
+  in
+  rm_rf d;
+  d
+
+let test_config =
+  {
+    Coordinator.default_config with
+    Coordinator.chunk_size = 4;
+    lease = 5.;
+    tick = 0.01;
+    drain = 10.;
+  }
+
+let event_log () =
+  let lock = Mutex.create () in
+  let events = ref [] in
+  let push e =
+    Mutex.lock lock;
+    events := e :: !events;
+    Mutex.unlock lock
+  in
+  let all () =
+    Mutex.lock lock;
+    let es = List.rev !events in
+    Mutex.unlock lock;
+    es
+  in
+  (push, all)
+
+let wait_for ?(timeout = 20.) pred what =
+  let deadline = Unix.gettimeofday () +. timeout in
+  while (not (pred ())) && Unix.gettimeofday () < deadline do
+    Thread.yield ();
+    Unix.sleepf 0.01
+  done;
+  if not (pred ()) then Alcotest.fail ("timed out waiting for " ^ what)
+
+let serve_bg coord ~header ?journal ?resume ?chaos ?on_event () =
+  let result = ref None in
+  let thread =
+    Thread.create
+      (fun () ->
+        result :=
+          Some
+            (match Coordinator.serve coord ~header ?journal ?resume ?chaos ?on_event () with
+            | r -> Ok r
+            | exception e -> Error e))
+      ()
+  in
+  let join () =
+    Thread.join thread;
+    match !result with
+    | Some (Ok r) -> r
+    | Some (Error e) -> raise e
+    | None -> assert false
+  in
+  join
+
+let work_bg ~port ~name ?reconnect_backoff ?max_reconnects ?recv_timeout ?chaos () =
+  let report = ref None in
+  let thread =
+    Thread.create
+      (fun () ->
+        report :=
+          Some
+            (match
+               Worker.run ~host:"127.0.0.1" ~port
+                 ~resolve:(fun _ -> toy_engine ())
+                 ~name ?reconnect_backoff ?max_reconnects ?recv_timeout ?chaos ()
+             with
+            | r -> Ok r
+            | exception e -> Error e))
+      ()
+  in
+  let join () =
+    Thread.join thread;
+    match !report with
+    | Some (Ok r) -> r
+    | Some (Error e) -> raise e
+    | None -> assert false
+  in
+  join
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+(* --- quarantine ------------------------------------------------------- *)
+
+(* A poisoned chunk: enough distinct workers die holding a chunk's lease
+   and the coordinator quarantines it — journaled, reported, excluded
+   from the stats — instead of re-dispatching it to (and killing) every
+   future worker. A later resume retries the chunk from scratch and
+   reaches the chaos-free stats. *)
+let test_poison_quarantine_and_resume () =
+  let reference = toy_reference () in
+  let dir = scratch_dir () in
+  let header = make_header () in
+  let config = { test_config with Coordinator.poison_threshold = 2 } in
+  let coord = Coordinator.create ~config () in
+  let port = Coordinator.port coord in
+  let push, all = event_log () in
+  let join = serve_bg coord ~header ~journal:dir ~on_event:push () in
+  (* Two "workers" that lease every chunk and die without a verdict:
+     after the second distinct death per chunk, every chunk must be
+     quarantined rather than requeued a third time. *)
+  List.iter
+    (fun name ->
+      let fd = connect port in
+      Proto.send fd (Proto.Hello { version = Proto.version; name });
+      (match Proto.recv fd with
+      | Proto.Welcome _ -> ()
+      | _ -> Alcotest.fail "expected Welcome");
+      let rec grab () =
+        Proto.send fd Proto.Request;
+        match Proto.recv fd with
+        | Proto.Assign _ -> grab ()
+        | Proto.Wait | Proto.Done -> ()
+        | _ -> Alcotest.fail "unexpected reply to Request"
+      in
+      grab ();
+      (* Die with every lease in hand. *)
+      Unix.close fd;
+      (* Let the coordinator notice the death before the next victim
+         joins, so the second victim re-leases the requeued chunks. *)
+      wait_for
+        (fun () ->
+          List.exists
+            (function
+              | Coordinator.Left { worker; _ } -> worker = name
+              | _ -> false)
+            (all ()))
+        (name ^ " to be seen dying"))
+    [ "victim-a"; "victim-b" ];
+  let r = join () in
+  let n_chunks = (toy_n + config.Coordinator.chunk_size - 1) / config.Coordinator.chunk_size in
+  check_bool "not completed" false r.Coordinator.completed;
+  check_int "every chunk quarantined" n_chunks (List.length r.Coordinator.poisoned);
+  check_bool "quarantine events emitted" true
+    (List.exists
+       (function
+         | Coordinator.Quarantined { deaths = 2; _ } -> true
+         | _ -> false)
+       (all ()));
+  (* The journal recorded the quarantines... *)
+  let _, entries, _, w = Journal.resume ~dir () in
+  Journal.close w;
+  check_bool "Poisoned entries journaled" true
+    (Array.exists
+       (function
+         | Journal.Poisoned _ -> true
+         | _ -> false)
+       entries);
+  (* ...and a resumed service retries the chunks fresh: with a healthy
+     worker the campaign completes bit-identically. *)
+  let coord2 = Coordinator.create ~config () in
+  let port2 = Coordinator.port coord2 in
+  let join2 = serve_bg coord2 ~header ~journal:dir ~resume:true () in
+  let wjoin = work_bg ~port:port2 ~name:"healthy" () in
+  let rep = wjoin () in
+  let r2 = join2 () in
+  check_bool "resume completed" true r2.Coordinator.completed;
+  check_bool "nothing quarantined on resume" true (r2.Coordinator.poisoned = []);
+  check_stats "quarantine resume parity" reference r2.Coordinator.stats;
+  check_bool "healthy worker done" true (rep.Worker.ended = Worker.Campaign_done);
+  rm_rf dir
+
+(* --- blacklisting ----------------------------------------------------- *)
+
+(* A client that keeps sending corrupt frames accumulates strikes and is
+   refused re-admission by name, while an honest worker finishes the
+   campaign untouched. *)
+let test_blacklist () =
+  let reference = toy_reference () in
+  let config = { test_config with Coordinator.blacklist_threshold = 2 } in
+  let coord = Coordinator.create ~config () in
+  let port = Coordinator.port coord in
+  let push, all = event_log () in
+  let join = serve_bg coord ~header:(make_header ()) ~on_event:push () in
+  let corrupt_frame () =
+    let b = Bytes.of_string (Proto.encode_frame (Proto.encode Proto.Request)) in
+    Bytes.set b 8 (Char.chr (Char.code (Bytes.get b 8) lxor 0x20));
+    Bytes.to_string b
+  in
+  let expect_disconnect label fd =
+    match Proto.recv fd with
+    | exception (Proto.Closed | Proto.Error _ | Unix.Unix_error _) -> Unix.close fd
+    | _ -> Alcotest.fail (label ^ ": connection must be dropped")
+  in
+  (* Two strikes under the same name... *)
+  for i = 1 to 2 do
+    let fd = connect port in
+    Proto.send fd (Proto.Hello { version = Proto.version; name = "evil" });
+    (match Proto.recv fd with
+    | Proto.Welcome _ -> ()
+    | _ -> Alcotest.fail "expected Welcome");
+    let garbage = corrupt_frame () in
+    ignore (Unix.write_substring fd garbage 0 (String.length garbage));
+    expect_disconnect (Printf.sprintf "strike %d" i) fd
+  done;
+  (* ...and the third Hello is refused outright. *)
+  let fd = connect port in
+  Proto.send fd (Proto.Hello { version = Proto.version; name = "evil" });
+  expect_disconnect "blacklisted hello" fd;
+  wait_for
+    (fun () ->
+      List.exists
+        (function
+          | Coordinator.Blacklisted { worker = "evil"; _ } -> true
+          | _ -> false)
+        (all ()))
+    "the blacklist event";
+  let wjoin = work_bg ~port ~name:"honest" () in
+  let rep = wjoin () in
+  let r = join () in
+  check_bool "completed" true r.Coordinator.completed;
+  check_int "one name blacklisted" 1 r.Coordinator.blacklisted;
+  check_int "no mismatches" 0 r.Coordinator.mismatches;
+  check_stats "blacklist parity" reference r.Coordinator.stats;
+  check_bool "honest worker done" true (rep.Worker.ended = Worker.Campaign_done)
+
+(* --- cross-validation ------------------------------------------------- *)
+
+(* verify_frac = 1: every chunk is re-issued once, preferring a second
+   worker; with honest workers the pass is silent (no duplicates, no
+   mismatches) and the stats are untouched. *)
+let test_verify_clean () =
+  let reference = toy_reference () in
+  let config = { test_config with Coordinator.verify_frac = 1. } in
+  let coord = Coordinator.create ~config () in
+  let port = Coordinator.port coord in
+  let join = serve_bg coord ~header:(make_header ()) () in
+  let w1 = work_bg ~port ~name:"w1" () in
+  let w2 = work_bg ~port ~name:"w2" () in
+  let r1 = w1 () and r2 = w2 () in
+  let r = join () in
+  let n_chunks = (toy_n + config.Coordinator.chunk_size - 1) / config.Coordinator.chunk_size in
+  check_bool "completed" true r.Coordinator.completed;
+  check_int "every chunk verified" n_chunks r.Coordinator.verified;
+  check_int "no mismatches" 0 r.Coordinator.mismatches;
+  check_int "verification not counted as duplicates" 0 r.Coordinator.duplicates;
+  check_stats "verified parity" reference r.Coordinator.stats;
+  check_bool "workers done" true
+    (r1.Worker.ended = Worker.Campaign_done && r2.Worker.ended = Worker.Campaign_done)
+
+(* A verifier that disagrees with the recorded verdicts is a determinism
+   violation: surfaced in [mismatches] (exit 19 at the CLI), and the
+   chunk's verification is settled rather than re-issued forever. *)
+let test_verify_mismatch () =
+  let config =
+    { test_config with Coordinator.verify_frac = 1.; chunk_size = toy_n (* one chunk *) }
+  in
+  let coord = Coordinator.create ~config () in
+  let port = Coordinator.port coord in
+  let push, all = event_log () in
+  let join = serve_bg coord ~header:(make_header ()) ~on_event:push () in
+  (* The rogue verifier connects first but stays quiet, so the honest
+     worker is never "alone" and the verification pass waits for the
+     rogue instead of self-verifying. *)
+  let rogue = connect port in
+  Proto.send rogue (Proto.Hello { version = Proto.version; name = "rogue" });
+  (match Proto.recv rogue with
+  | Proto.Welcome _ -> ()
+  | _ -> Alcotest.fail "expected Welcome");
+  let wjoin = work_bg ~port ~name:"honest" () in
+  wait_for
+    (fun () ->
+      List.exists
+        (function
+          | Coordinator.Progress { done_; _ } -> done_ = toy_n
+          | _ -> false)
+        (all ()))
+    "the honest worker to finish the data pass";
+  (* All data chunks are complete, so the rogue's Request yields the
+     verification lease (origin differs); it answers with a verdict that
+     can never be right. *)
+  Proto.send rogue Proto.Request;
+  (match Proto.recv rogue with
+  | Proto.Assign { chunk_id; lo; _ } ->
+    Proto.send rogue (Proto.Results { chunk_id; results = [| (lo, Journal.Sdc 999999) |] })
+  | _ -> Alcotest.fail "expected the verification Assign");
+  (match Proto.recv rogue with
+  | exception (Proto.Closed | Proto.Error _ | Unix.Unix_error _) -> Unix.close rogue
+  | _ -> Alcotest.fail "mismatching verifier must be dropped");
+  let rep = wjoin () in
+  let r = join () in
+  check_bool "completed" true r.Coordinator.completed;
+  check_int "mismatch surfaced" 1 r.Coordinator.mismatches;
+  check_int "failed verification is settled, not re-verified" 0 r.Coordinator.verified;
+  check_bool "mismatch event names the rogue" true
+    (List.exists
+       (function
+         | Coordinator.Mismatch { worker = "rogue"; _ } -> true
+         | _ -> false)
+       (all ()));
+  check_bool "honest worker done" true (rep.Worker.ended = Worker.Campaign_done)
+
+(* --- worker receive deadline ------------------------------------------ *)
+
+(* A coordinator that accepts and then never speaks must not hang the
+   worker: the read deadline converts the silence into a lost session,
+   and the worker gives up after its reconnect budget. *)
+let test_worker_recv_deadline () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 8;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let stop = ref false in
+  let accepted = ref [] in
+  let acceptor =
+    Thread.create
+      (fun () ->
+        while not !stop do
+          match Unix.select [ fd ] [] [] 0.05 with
+          | [ _ ], _, _ -> accepted := fst (Unix.accept fd) :: !accepted
+          | _ -> ()
+          | exception Unix.Unix_error _ -> ()
+        done)
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let fast = { Backoff.base = 0.01; cap = 0.05; factor = 2. } in
+  let report =
+    Worker.run ~host:"127.0.0.1" ~port
+      ~resolve:(fun _ -> toy_engine ())
+      ~name:"deadline" ~recv_timeout:0.3 ~reconnect_backoff:fast ~max_reconnects:2 ()
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  stop := true;
+  Thread.join acceptor;
+  List.iter (fun c -> try Unix.close c with Unix.Unix_error _ -> ()) !accepted;
+  Unix.close fd;
+  (match report.Worker.ended with
+  | Worker.Gave_up _ -> ()
+  | _ -> Alcotest.fail "silent coordinator must make the worker give up");
+  check_bool "gave up promptly, did not hang" true (elapsed < 15.)
+
+(* --- journal failure surfacing ---------------------------------------- *)
+
+(* An injected ENOSPC on the very first append must surface as a clean
+   [Journal.Error] (exit 17 at the CLI) — and a chaos-free resume of the
+   same directory completes with the reference statistics. *)
+let test_journal_enospc_resume () =
+  let space, campaign = toy_parts () in
+  let reference = Campaign.run_sample campaign ~space ~rng:(Prng.create toy_seed) ~n:toy_n () in
+  let dir = scratch_dir () in
+  let chaos =
+    Chaos.create
+      ~profile:{ Chaos.quiet_profile with Chaos.journal_enospc = 1.; budget = 1 }
+      ~seed:11 ()
+  in
+  (match
+     Durable.run campaign ~space ~seed:toy_seed ~n:toy_n ~ident:("toy", "toy") ~journal:dir
+       ~chaos ()
+   with
+  | exception Journal.Error msg ->
+    check_bool "names the injected errno" true
+      (let lower = String.lowercase_ascii msg in
+       let has needle =
+         let nl = String.length needle and ll = String.length lower in
+         let rec go i = i + nl <= ll && (String.sub lower i nl = needle || go (i + 1)) in
+         go 0
+       in
+       has "space" || has "enospc")
+  | _ -> Alcotest.fail "injected ENOSPC must raise Journal.Error");
+  let resumed =
+    Durable.run campaign ~space ~seed:toy_seed ~n:toy_n ~ident:("toy", "toy") ~journal:dir
+      ~resume:true ()
+  in
+  check_bool "resume completed" true resumed.Durable.completed;
+  check_stats "ENOSPC resume parity" reference resumed.Durable.stats;
+  rm_rf dir
+
+(* An injected fsync failure while sealing a segment: same contract —
+   sticky [Journal.Error], resumable, nothing lost. *)
+let test_journal_fsync_resume () =
+  let dir = scratch_dir () in
+  let header = make_header () in
+  let chaos =
+    Chaos.create
+      ~profile:{ Chaos.quiet_profile with Chaos.journal_fsync = 1.; budget = 1 }
+      ~seed:5 ()
+  in
+  let w = Journal.create ~records_per_segment:4 ~chaos ~dir header in
+  (match
+     for i = 0 to 5 do
+       Journal.append w (Journal.Outcome (i, Journal.Benign))
+     done
+   with
+  | exception Journal.Error _ -> ()
+  | () -> Alcotest.fail "injected fsync failure must raise Journal.Error");
+  Journal.close w;
+  let _, entries, _, w2 = Journal.resume ~dir () in
+  Journal.close w2;
+  check_bool "records before the failure survive" true (Array.length entries >= 4);
+  rm_rf dir
+
+(* --- the headline invariant ------------------------------------------- *)
+
+(* Under a full chaos plan on both sides of the wire (and on the
+   journal), a campaign either completes directly with stats
+   bit-identical to the chaos-free reference, or fails resumably and
+   reaches the identical stats after --resume. Every seed must land in
+   one of those two outcomes — nothing else. *)
+let test_soak_invariant () =
+  let reference = toy_reference () in
+  let header = make_header () in
+  (* Crank the journal and network rates well above the defaults so a
+     60-sample toy campaign actually meets some faults; keep stalls
+     short so the suite stays quick. *)
+  let soak_profile =
+    {
+      Chaos.default_profile with
+      Chaos.net_delay = 0.05;
+      net_corrupt = 0.03;
+      net_truncate = 0.02;
+      net_reset = 0.02;
+      net_slow = 0.01;
+      max_delay = 0.02;
+      journal_short = 0.02;
+      journal_enospc = 0.01;
+      journal_eio = 0.01;
+      stall = 0.05;
+      budget = 48;
+    }
+  in
+  (* Corrupt frames from a chaotic worker are indistinguishable from a
+     hostile client; disable blacklisting so chaos cannot lock the
+     worker out of its own campaign (the CLI soak keeps it on and
+     tolerates the locked-out worker instead). *)
+  let config = { test_config with Coordinator.blacklist_threshold = 0 } in
+  let fast = { Backoff.base = 0.01; cap = 0.1; factor = 2. } in
+  List.iter
+    (fun seed ->
+      let label what = Printf.sprintf "soak seed %d: %s" seed what in
+      let dir = scratch_dir () in
+      let run ~resume ~chaos_seed =
+        let coord = Coordinator.create ~config () in
+        let port = Coordinator.port coord in
+        let chaos =
+          Option.map
+            (fun s -> Chaos.create ~profile:soak_profile ~seed:s ())
+            chaos_seed
+        in
+        let join = serve_bg coord ~header ~journal:dir ~resume ?chaos () in
+        let workers =
+          List.init 2 (fun i ->
+              work_bg ~port
+                ~name:(Printf.sprintf "w%d" i)
+                ~reconnect_backoff:fast ~max_reconnects:30
+                ?chaos:
+                  (Option.map
+                     (fun s -> Chaos.create ~profile:soak_profile ~seed:(s + 1000 + i) ())
+                     chaos_seed)
+                ())
+        in
+        (* A worker may legitimately give up if chaos killed the
+           coordinator's journal; the resume round finishes the job. *)
+        List.iter (fun j -> ignore (j ())) workers;
+        match join () with
+        | r -> Some r
+        | exception Journal.Error _ -> None
+      in
+      let rec settle round ~resume ~chaos_seed =
+        if round > 4 then Alcotest.fail (label "did not settle in 4 rounds")
+        else
+          match run ~resume ~chaos_seed with
+          | Some r when r.Coordinator.completed && r.Coordinator.poisoned = [] -> r
+          | _ ->
+            (* Resumable failure (journal fault, quarantine, interrupted):
+               finish chaos-free from the journal. *)
+            settle (round + 1) ~resume:true ~chaos_seed:None
+      in
+      let r = settle 0 ~resume:false ~chaos_seed:(Some seed) in
+      check_int (label "no mismatches") 0 r.Coordinator.mismatches;
+      check_stats (label "bit-identical to the chaos-free reference") reference
+        r.Coordinator.stats;
+      rm_rf dir)
+    [ 1; 2; 3 ]
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest [ prop_plan_byte_identity; prop_plan_budget ]
+  @ [
+      Alcotest.test_case "plans differ across seeds" `Quick test_plan_distinct_seeds;
+      Alcotest.test_case "site streams are independent" `Quick test_site_stream_independence;
+      Alcotest.test_case "budget exhaustion and quiet profile" `Quick test_exhaustion_and_quiet;
+      Alcotest.test_case "poisoned chunks quarantined, resume recovers" `Quick
+        test_poison_quarantine_and_resume;
+      Alcotest.test_case "corrupt-frame clients blacklisted" `Quick test_blacklist;
+      Alcotest.test_case "cross-validation: clean pass" `Quick test_verify_clean;
+      Alcotest.test_case "cross-validation: mismatch detected" `Quick test_verify_mismatch;
+      Alcotest.test_case "worker receive deadline" `Quick test_worker_recv_deadline;
+      Alcotest.test_case "journal ENOSPC surfaces and resumes" `Quick test_journal_enospc_resume;
+      Alcotest.test_case "journal fsync failure surfaces and resumes" `Quick
+        test_journal_fsync_resume;
+      Alcotest.test_case "soak: chaos-free parity or resumable" `Slow test_soak_invariant;
+    ]

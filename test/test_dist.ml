@@ -288,7 +288,7 @@ let serve_bg coord ~header ?journal ?resume ?should_stop ?on_event () =
   join
 
 let work_bg ~port ~name ~resolve ?retry_backoff ?reconnect_backoff ?max_reconnects
-    ?results_per_frame ?heartbeat ?chaos () =
+    ?results_per_frame ?heartbeat ?fault () =
   let report = ref None in
   let thread =
     Thread.create
@@ -297,7 +297,7 @@ let work_bg ~port ~name ~resolve ?retry_backoff ?reconnect_backoff ?max_reconnec
           Some
             (match
                Worker.run ~host:"127.0.0.1" ~port ~resolve ~name ?retry_backoff ?reconnect_backoff
-                 ?max_reconnects ?results_per_frame ?heartbeat ?chaos ()
+                 ?max_reconnects ?results_per_frame ?heartbeat ?fault ()
              with
             | r -> Ok r
             | exception e -> Error e))
@@ -418,7 +418,7 @@ let test_straggler_dedup () =
     work_bg ~port ~name:"straggler"
       ~resolve:(fun _ -> toy_engine ())
       ~heartbeat:30. ~results_per_frame:1
-      ~chaos:(fun ~chunk_id:_ ~index:_ ~attempt:_ ->
+      ~fault:(fun ~chunk_id:_ ~index:_ ~attempt:_ ->
         if not !stalled then begin
           stalled := true;
           Unix.sleepf 1.2

@@ -357,7 +357,7 @@ let test_supervisor_retries () =
   let clean = Durable.run campaign ~space ~seed ~n:toy_n () in
   let transient =
     Durable.run campaign ~space ~seed ~n:toy_n
-      ~chaos:(fun ~shard:_ ~index ~attempt ->
+      ~fault:(fun ~shard:_ ~index ~attempt ->
         if index = 3 && attempt = 0 then failwith "chaos: transient")
       ()
   in
@@ -365,7 +365,7 @@ let test_supervisor_retries () =
   check_stats "transient stats unchanged" clean.Durable.stats transient.Durable.stats;
   let persistent =
     Durable.run campaign ~space ~seed ~n:toy_n ~retries:2
-      ~chaos:(fun ~shard:_ ~index ~attempt:_ ->
+      ~fault:(fun ~shard:_ ~index ~attempt:_ ->
         if index = 5 then failwith "chaos: persistent")
       ()
   in

@@ -1,6 +1,7 @@
 open Helpers
 module Stats = Pruning_util.Stats
 module Table = Pruning_util.Table
+module Mono = Pruning_util.Mono
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -168,8 +169,24 @@ let test_table_padding_and_errors () =
   Alcotest.check_raises "too many" (Invalid_argument "Table.add_row: too many cells") (fun () ->
       Table.add_row t [ "1"; "2"; "3"; "4" ])
 
+(* The monotonic clock never steps backwards and tracks real elapsed
+   time well enough for lease/deadline arithmetic. *)
+let test_mono_clock () =
+  let t0 = Mono.now () in
+  let prev = ref t0 in
+  for _ = 1 to 1000 do
+    let t = Mono.now () in
+    check_bool "monotone non-decreasing" true (t >= !prev);
+    prev := t
+  done;
+  Unix.sleepf 0.05;
+  let dt = Mono.now () -. t0 in
+  check_bool "advances with real time" true (dt >= 0.04);
+  check_bool "stays in the right ballpark" true (dt < 10.)
+
 let suite =
   [
+    Alcotest.test_case "monotonic clock" `Quick test_mono_clock;
     Alcotest.test_case "stats mean" `Quick test_stats_mean;
     Alcotest.test_case "stats median" `Quick test_stats_median;
     Alcotest.test_case "stats stddev" `Quick test_stats_stddev;
