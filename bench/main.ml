@@ -34,6 +34,7 @@ module Experiments = Pruning_report.Experiments
 module Figure1 = Pruning_report.Figure1
 module Table = Pruning_util.Table
 module Prng = Pruning_util.Prng
+module Mono = Pruning_util.Mono
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
@@ -69,9 +70,9 @@ let get_prepared which =
   | Some p -> p
   | None ->
     Printf.printf "[preparing %s: synthesis, %d-cycle traces, MATE search...]\n%!" label cycles;
-    let t0 = Unix.gettimeofday () in
+    let t0 = Mono.now () in
     let p = Experiments.prepare ~params ~cycles (setup_fn ()) in
-    Printf.printf "[%s prepared in %.1fs]\n%!" label (Unix.gettimeofday () -. t0);
+    Printf.printf "[%s prepared in %.1fs]\n%!" label (Mono.now () -. t0);
     cache := Some p;
     p
 
@@ -194,13 +195,14 @@ let run_perf () =
   let program = Avr_asm.assemble Programs.avr_fib in
   let make () = System.create_avr ~netlist:nl ~program "avr/fib" in
   let make_lanes () = System.create_avr_lanes ~netlist:nl ~program "avr/fib" in
+  let make_delta ~trace = System.create_avr_delta ~netlist:nl ~program ~trace "avr/fib" in
   let space = Fault_space.full nl ~cycles:horizon in
   Printf.printf "fault space: %d flops x %d cycles; %d samples (baseline %d)\n%!"
     (Array.length space.Fault_space.flops) horizon samples base_samples;
   let time f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Mono.now () in
     let r = f () in
-    (r, Unix.gettimeofday () -. t0)
+    (r, Mono.now () -. t0)
   in
   let baseline = Campaign.create ~checkpoint_interval:(horizon + 1) ~make ~total_cycles:horizon () in
   let bstats, bt =
@@ -222,10 +224,18 @@ let run_perf () =
   let lstats, lt =
     time (fun () -> Campaign.run_sample_batched batched ~space ~rng:(Prng.create 11) ~n:samples ())
   in
+  (* Activity-gated delta engine, again on a cold campaign; the timing
+     includes recording its golden trace and building the delta worker. *)
+  let delta = Campaign.create ~make ~make_delta ~total_cycles:horizon () in
+  let dstats, dt =
+    time (fun () -> Campaign.run_sample_delta delta ~space ~rng:(Prng.create 11) ~n:samples ())
+  in
   let rate (s : Campaign.stats) elapsed = float_of_int s.Campaign.injections /. max 1e-9 elapsed in
   let t = Table.create [ "engine"; "injections"; "time [s]"; "inj/s"; "speedup" ] in
   let base_rate = rate bstats bt in
-  let row label stats elapsed =
+  let json_rows = ref [] in
+  let row ?(key = "") label stats elapsed =
+    if key <> "" then json_rows := (key, stats, elapsed) :: !json_rows;
     Table.add_row t
       [
         label;
@@ -235,24 +245,48 @@ let run_perf () =
         Printf.sprintf "%.1fx" (rate stats elapsed /. base_rate);
       ]
   in
-  row "from-scratch (seed engine)" bstats bt;
-  row (Printf.sprintf "checkpointed (K=%d, 1 domain)" (Campaign.checkpoint_interval ckpt)) cstats ct;
+  row ~key:"from-scratch" "from-scratch (seed engine)" bstats bt;
+  row ~key:"scalar"
+    (Printf.sprintf "checkpointed (K=%d, 1 domain)" (Campaign.checkpoint_interval ckpt)) cstats ct;
   row (Printf.sprintf "checkpointed (K=%d, %d domains)" (Campaign.checkpoint_interval ckpt) jobs)
     pstats pt;
-  row
+  row ~key:"batched"
     (Printf.sprintf "bit-parallel (%d lanes, K=%d, 1 domain)" Campaign.max_fault_lanes
        (Campaign.checkpoint_interval batched))
     lstats lt;
+  row ~key:"delta" "delta (activity-gated, 1 domain)" dstats dt;
   Table.print t;
-  (* The checkpointed and batched runs share the seed: identical sample
-     list, so identical stats regardless of domain count or engine. *)
+  (* All engines share the seed: identical sample list, so identical
+     stats regardless of domain count or kernel. *)
   assert (cstats = pstats);
   assert (cstats = lstats);
+  assert (cstats = dstats);
   Printf.printf "single-domain speedup over from-scratch: %.1fx\n" (rate cstats ct /. base_rate);
   Printf.printf "bit-parallel speedup over checkpointed single-domain: %.1fx\n"
     (rate lstats lt /. rate cstats ct);
+  Printf.printf "delta speedup over bit-parallel: %.2fx (%.1f vs %.1f inj/s)\n"
+    (rate dstats dt /. rate lstats lt) (rate dstats dt) (rate lstats lt);
   Printf.printf "(multi-domain wall clock scales with physical cores; this host has %d)\n"
-    (Domain.recommended_domain_count ())
+    (Domain.recommended_domain_count ());
+  (* Machine-readable record for CI trend tracking; hand-rolled JSON so
+     the harness needs no extra dependency. *)
+  let json_path = "BENCH_campaign.json" in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"campaign-engines\",\n  \"core\": \"avr\",\n  \"program\": \"fib\",\n\
+    \  \"horizon_cycles\": %d,\n  \"samples\": %d,\n  \"engines\": [\n"
+    horizon samples;
+  let rows = List.rev !json_rows in
+  List.iteri
+    (fun i (key, (s : Campaign.stats), elapsed) ->
+      Printf.fprintf oc
+        "    { \"engine\": %S, \"injections\": %d, \"seconds\": %.3f, \"inj_per_s\": %.1f }%s\n"
+        key s.Campaign.injections elapsed (rate s elapsed)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "[wrote %s]\n" json_path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks, including one Test per paper table at a

@@ -31,6 +31,7 @@ module Search = Pruning_mate.Search
 module Mateset = Pruning_mate.Mateset
 module Replay = Pruning_mate.Replay
 module Prng = Pruning_util.Prng
+module Mono = Pruning_util.Mono
 open Cmdliner
 
 (* Distinct exit codes so scripts (and the CI crash-resume smoke test)
@@ -63,28 +64,44 @@ let validate_chaos ~chaos_budget =
     fail exit_bad_supervisor "--chaos-budget must be non-negative (got %d)" chaos_budget
   else None
 
+(* --engine names the classification kernel; the older --batched flag is
+   kept as an alias for --engine batched, and the two must agree. *)
+let resolve_kernel ~batched ~engine =
+  match engine with
+  | Some k when batched && k <> Fi_campaign.Batched ->
+    Error
+      (Option.get
+         (fail exit_bad_supervisor "--batched conflicts with --engine %s"
+            (Fi_campaign.kernel_name k)))
+  | Some k -> Ok k
+  | None -> Ok (if batched then Fi_campaign.Batched else Fi_campaign.Scalar)
+
 let make_system core program =
   match (core, program) with
   | "avr", "fib" ->
     let p = lazy (Avr_asm.assemble Programs.avr_fib) in
     Some
       ( (fun nl -> System.create_avr ?netlist:nl ~program:(Lazy.force p) "avr/fib"),
-        fun nl -> System.create_avr_lanes ?netlist:nl ~program:(Lazy.force p) "avr/fib" )
+        (fun nl -> System.create_avr_lanes ?netlist:nl ~program:(Lazy.force p) "avr/fib"),
+        fun nl ~trace -> System.create_avr_delta ?netlist:nl ~program:(Lazy.force p) ~trace "avr/fib" )
   | "avr", "conv" ->
     let p = lazy (Avr_asm.assemble Programs.avr_conv) in
     Some
       ( (fun nl -> System.create_avr ?netlist:nl ~program:(Lazy.force p) "avr/conv"),
-        fun nl -> System.create_avr_lanes ?netlist:nl ~program:(Lazy.force p) "avr/conv" )
+        (fun nl -> System.create_avr_lanes ?netlist:nl ~program:(Lazy.force p) "avr/conv"),
+        fun nl ~trace -> System.create_avr_delta ?netlist:nl ~program:(Lazy.force p) ~trace "avr/conv" )
   | "msp430", "fib" ->
     let p = lazy (Msp_asm.assemble Programs.msp_fib) in
     Some
       ( (fun nl -> System.create_msp ?netlist:nl ~program:(Lazy.force p) "msp/fib"),
-        fun nl -> System.create_msp_lanes ?netlist:nl ~program:(Lazy.force p) "msp/fib" )
+        (fun nl -> System.create_msp_lanes ?netlist:nl ~program:(Lazy.force p) "msp/fib"),
+        fun nl ~trace -> System.create_msp_delta ?netlist:nl ~program:(Lazy.force p) ~trace "msp/fib" )
   | "msp430", "conv" ->
     let p = lazy (Msp_asm.assemble Programs.msp_conv) in
     Some
       ( (fun nl -> System.create_msp ?netlist:nl ~program:(Lazy.force p) "msp/conv"),
-        fun nl -> System.create_msp_lanes ?netlist:nl ~program:(Lazy.force p) "msp/conv" )
+        (fun nl -> System.create_msp_lanes ?netlist:nl ~program:(Lazy.force p) "msp/conv"),
+        fun nl ~trace -> System.create_msp_delta ?netlist:nl ~program:(Lazy.force p) ~trace "msp/conv" )
   | _ -> None
 
 (* Upfront validation: every bad argument gets its own exit code and an
@@ -168,8 +185,11 @@ let build_pruner nl ~make ~cycles ~space =
 (* ------------------------------------------------------------------ *)
 (* campaign [run]: the single-process engine of PR 1-3.                 *)
 
-let run core program cycles samples seed prune jobs checkpoint_interval batched journal resume
-    audit watchdog retries chaos_seed chaos_budget =
+let run core program cycles samples seed prune jobs checkpoint_interval batched engine journal
+    resume audit watchdog retries chaos_seed chaos_budget =
+  match resolve_kernel ~batched ~engine with
+  | Error code -> code
+  | Ok kernel -> (
   match
     match
       validate ~core ~program ~cycles ~samples ~seed ~checkpoint_interval ~audit ~watchdog
@@ -180,7 +200,7 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
   with
   | Some code -> code
   | None ->
-    let make, make_lanes =
+    let make, make_lanes, make_delta =
       match make_system core program with
       | Some m -> m
       | None -> assert false
@@ -194,25 +214,29 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
       Fi_campaign.create ?checkpoint_interval
         ~make:(fun () -> make (Some nl))
         ~make_lanes:(fun () -> make_lanes (Some nl))
+        ~make_delta:(fun ~trace -> make_delta (Some nl) ~trace)
         ~total_cycles:cycles ()
     in
-    Printf.printf "checkpoint interval: %d cycles; jobs: %d\n%!"
-      (Fi_campaign.checkpoint_interval campaign) jobs;
+    Printf.printf "checkpoint interval: %d cycles; jobs: %d; engine: %s\n%!"
+      (Fi_campaign.checkpoint_interval campaign) jobs (Fi_campaign.kernel_name kernel);
     let pruner = if prune then Some (build_pruner nl ~make ~cycles ~space) else None in
     let skip = Option.map (fun p -> fun ~flop_id ~cycle -> Replay.pruned p ~flop_id ~cycle) pruner in
     let durable =
       journal <> None || resume || audit > 0. || watchdog > 0 || chaos_seed <> None
     in
-    if batched && jobs > 1 then
-      Printf.printf "(--batched runs the lane-parallel engine on one domain; ignoring --jobs)\n%!";
-    let start = Unix.gettimeofday () in
+    if kernel <> Fi_campaign.Scalar && jobs > 1 then
+      Printf.printf "(--engine %s runs on one domain; ignoring --jobs)\n%!"
+        (Fi_campaign.kernel_name kernel);
+    let start = Mono.now () in
     if not durable then begin
       let rng = Prng.create seed in
       let stats =
-        if batched then Fi_campaign.run_sample_batched campaign ~space ~rng ~n:samples ?skip ()
-        else Fi_campaign.run_sample campaign ~space ~rng ~n:samples ?skip ~jobs ()
+        match kernel with
+        | Fi_campaign.Scalar -> Fi_campaign.run_sample campaign ~space ~rng ~n:samples ?skip ~jobs ()
+        | Fi_campaign.Batched -> Fi_campaign.run_sample_batched campaign ~space ~rng ~n:samples ?skip ()
+        | Fi_campaign.Delta -> Fi_campaign.run_sample_delta campaign ~space ~rng ~n:samples ?skip ()
       in
-      print_stats stats (Unix.gettimeofday () -. start);
+      print_stats stats (Mono.now () -. start);
       report_unknown_flops pruner;
       0
     end
@@ -232,7 +256,7 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
       in
       match
         Durable.run campaign ~space ~seed ~n:samples ~ident:(core, program) ?skip ?audit:audit_arg
-          ~jobs ~batched
+          ~jobs ~kernel
           ?budget:(if watchdog > 0 then Some watchdog else None)
           ~retries ?journal ~resume ~should_stop:stop_requested
           ?chaos:(make_chaos ~chaos_seed ~chaos_budget) ()
@@ -241,7 +265,7 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
         prerr_endline ("campaign: " ^ msg);
         exit_journal
       | result ->
-        let elapsed = Unix.gettimeofday () -. start in
+        let elapsed = Mono.now () -. start in
         if result.Durable.recovered > 0 then
           Printf.printf "resumed: %d verdicts recovered from the journal%s\n"
             result.Durable.recovered
@@ -280,7 +304,7 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
           stop_exit_code ()
         end
         else 0
-    end
+    end)
 
 (* ------------------------------------------------------------------ *)
 (* campaign serve: the distributed coordinator.                         *)
@@ -375,7 +399,7 @@ let serve core program cycles samples seed prune listen port port_file chunk_siz
         | Coordinator.Progress _ when not verbose -> ()
         | _ -> Format.printf "%a@.%!" Coordinator.pp_event e
       in
-      let start = Unix.gettimeofday () in
+      let start = Mono.now () in
       match
         Coordinator.serve coordinator ~header ?journal ~resume ~should_stop:stop_requested
           ?chaos:(make_chaos ~chaos_seed ~chaos_budget) ~on_event ()
@@ -398,7 +422,7 @@ let serve core program cycles samples seed prune listen port port_file chunk_siz
         if r.Coordinator.blacklisted > 0 then
           Printf.printf "blacklist: %d misbehaving workers refused re-admission\n"
             r.Coordinator.blacklisted;
-        print_stats r.Coordinator.stats (Unix.gettimeofday () -. start);
+        print_stats r.Coordinator.stats (Mono.now () -. start);
         if r.Coordinator.mismatches > 0 then begin
           Printf.eprintf
             "campaign: %d determinism violations (workers disagreed on a verdict; first kept)\n%!"
@@ -444,20 +468,20 @@ let parse_hostport s =
 
 (* One worker process: engines are built lazily from the coordinator's
    Welcome header, so a worker needs no campaign flags at all. *)
-let work_one ~host ~port ~name ~batched ~checkpoint_interval ~retries ~max_reconnects
+let work_one ~host ~port ~name ~kernel ~checkpoint_interval ~retries ~max_reconnects
     ~recv_timeout ~chaos =
   let resolve (h : Journal.header) =
-    Printf.printf "campaign: %s/%s, %d cycles, %d samples, seed %d%s%s\n%!" h.Journal.core
+    Printf.printf "campaign: %s/%s, %d cycles, %d samples, seed %d%s [%s]\n%!" h.Journal.core
       h.Journal.program h.Journal.cycles h.Journal.samples h.Journal.seed
       (if h.Journal.prune then ", pruned" else "")
-      (if batched then " [batched]" else "");
+      (Fi_campaign.kernel_name kernel);
     match make_system h.Journal.core h.Journal.program with
     | None ->
       raise
         (Unknown_identity
            (Printf.sprintf "coordinator asked for unknown core/program %S/%S" h.Journal.core
               h.Journal.program))
-    | Some (make, make_lanes) ->
+    | Some (make, make_lanes, make_delta) ->
       let nl = (make None).System.netlist in
       let space = Fault_space.full nl ~cycles:h.Journal.cycles in
       let checkpoint_interval = if checkpoint_interval > 0 then Some checkpoint_interval else None in
@@ -465,6 +489,7 @@ let work_one ~host ~port ~name ~batched ~checkpoint_interval ~retries ~max_recon
         Fi_campaign.create ?checkpoint_interval
           ~make:(fun () -> make (Some nl))
           ~make_lanes:(fun () -> make_lanes (Some nl))
+          ~make_delta:(fun ~trace -> make_delta (Some nl) ~trace)
           ~total_cycles:h.Journal.cycles ()
       in
       let skip =
@@ -474,7 +499,7 @@ let work_one ~host ~port ~name ~batched ~checkpoint_interval ~retries ~max_recon
           Some (fun ~flop_id ~cycle -> Replay.pruned pruner ~flop_id ~cycle)
         end
       in
-      { Worker.campaign; space; skip; batched }
+      { Worker.campaign; space; skip; kernel }
   in
   match
     Worker.run ~host ~port ~resolve ?name ~recv_timeout ~retries ~max_reconnects
@@ -493,8 +518,11 @@ let work_one ~host ~port ~name ~batched ~checkpoint_interval ~retries ~max_recon
       prerr_endline ("campaign: giving up: " ^ why);
       exit_network)
 
-let work hostport name workers batched checkpoint_interval retries max_reconnects recv_timeout
-    chaos_seed chaos_budget =
+let work hostport name workers batched engine checkpoint_interval retries max_reconnects
+    recv_timeout chaos_seed chaos_budget =
+  match resolve_kernel ~batched ~engine with
+  | Error code -> code
+  | Ok kernel -> (
   match
     match parse_hostport hostport with
     | None ->
@@ -519,7 +547,7 @@ let work hostport name workers batched checkpoint_interval retries max_reconnect
       (* Forked fleet members get distinct chaos streams (seed + index):
          identical plans on every worker would fault in lockstep. *)
       let one i =
-        work_one ~host ~port ~name ~batched ~checkpoint_interval ~retries ~max_reconnects
+        work_one ~host ~port ~name ~kernel ~checkpoint_interval ~retries ~max_reconnects
           ~recv_timeout
           ~chaos:(make_chaos ~chaos_seed:(Option.map (fun s -> s + i) chaos_seed) ~chaos_budget)
       in
@@ -560,7 +588,7 @@ let work hostport name workers batched checkpoint_interval retries max_reconnect
       end)
   with
   | Some code -> code
-  | None -> assert false
+  | None -> assert false)
 
 (* ------------------------------------------------------------------ *)
 (* CLI.                                                                 *)
@@ -587,7 +615,28 @@ let batched =
     & info [ "batched" ]
         ~doc:
           "Use the bit-parallel (PPSFP) engine: up to 62 faults simulated at once in the bit-lanes \
-           of one machine word. Verdicts are identical to the scalar engine.")
+           of one machine word. Verdicts are identical to the scalar engine. Alias for \
+           $(b,--engine batched).")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [
+                ("scalar", Fi_campaign.Scalar);
+                ("batched", Fi_campaign.Batched);
+                ("delta", Fi_campaign.Delta);
+              ]))
+        None
+    & info [ "engine" ] ~docv:"KERNEL"
+        ~doc:
+          "Classification kernel: $(b,scalar) (one fault at a time from the nearest golden \
+           checkpoint), $(b,batched) (bit-parallel PPSFP: up to 62 faults in the bit-lanes of \
+           one machine word) or $(b,delta) (activity-gated: only wires differing from the golden \
+           run are re-evaluated, and a fault is retired the moment its difference set empties). \
+           All three produce bit-identical verdicts. Default scalar.")
 
 let journal =
   Arg.(
@@ -623,7 +672,7 @@ let watchdog =
         ~doc:
           "Per-experiment watchdog: an experiment consuming more than $(docv) simulated cycles is \
            aborted, retried on a fresh system, and eventually recorded as crashed (0 = off; \
-           scalar engine only).")
+           scalar and delta engines only).")
 
 let retries =
   Arg.(
@@ -674,7 +723,8 @@ let exit_doc =
 let run_term =
   Term.(
     const run $ core $ program $ cycles $ samples $ seed $ prune $ jobs $ checkpoint_interval
-    $ batched $ journal $ resume $ audit $ watchdog $ retries $ chaos_seed_arg $ chaos_budget_arg)
+    $ batched $ engine_arg $ journal $ resume $ audit $ watchdog $ retries $ chaos_seed_arg
+    $ chaos_budget_arg)
 
 let run_cmd =
   Cmd.v
@@ -807,8 +857,8 @@ let work_cmd =
           verdicts back until the campaign completes. Safe to kill at any time — at most the \
           current chunk is re-dispatched.")
     Term.(
-      const work $ hostport $ worker_name $ workers $ batched $ checkpoint_interval $ retries
-      $ max_reconnects $ recv_timeout $ chaos_seed_arg $ chaos_budget_arg)
+      const work $ hostport $ worker_name $ workers $ batched $ engine_arg $ checkpoint_interval
+      $ retries $ max_reconnects $ recv_timeout $ chaos_seed_arg $ chaos_budget_arg)
 
 let cmd =
   Cmd.group ~default:run_term

@@ -3,6 +3,7 @@
    step of the paper's flow. *)
 
 module Netlist = Pruning_netlist.Netlist
+module Mono = Pruning_util.Mono
 module Sim = Pruning_sim.Sim
 module Vcd = Pruning_vcd.Vcd
 module System = Pruning_cpu.System
@@ -30,15 +31,16 @@ let run core program cycles vcd_out ram_dump =
     let nl = sys.System.netlist in
     Printf.printf "%s: %d gates, %d flops, %d wires; running %d cycles\n%!" sys.System.name
       (Netlist.n_gates nl) (Netlist.n_flops nl) (Netlist.n_wires nl) cycles;
-    let start = Unix.gettimeofday () in
+    let start = Mono.now () in
     (match vcd_out with
     | Some path ->
       let trace = System.record sys ~cycles in
       Vcd.write_file nl trace path;
       Printf.printf "VCD written to %s (%d cycles)\n" path cycles
     | None -> System.run sys ~cycles);
-    Printf.printf "simulated in %.2fs (%.0f cycles/s)\n" (Unix.gettimeofday () -. start)
-      (float_of_int cycles /. (Unix.gettimeofday () -. start));
+    let elapsed = Mono.now () -. start in
+    Printf.printf "simulated in %.2fs (%.0f cycles/s)\n" elapsed
+      (float_of_int cycles /. elapsed);
     if ram_dump > 0 then begin
       Printf.printf "memory[0..%d]:" (ram_dump - 1);
       Array.iteri

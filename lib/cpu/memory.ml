@@ -1,6 +1,8 @@
 module Netlist = Pruning_netlist.Netlist
 module Sim = Pruning_sim.Sim
 module Bitsim = Pruning_sim.Bitsim
+module Deltasim = Pruning_sim.Deltasim
+module Trace = Pruning_sim.Trace
 
 type backing = int array
 
@@ -273,6 +275,159 @@ let msp_memory_lanes nl ~words ~program =
     }
   in
   (mem, device)
+
+(* ------------------------------------------------------------------ *)
+(* Delta devices for the activity-gated kernel.
+
+   The golden device behaviour is already baked into the recorded
+   trace, so a delta device only models the *difference* between the
+   faulty device and the golden one. ROMs and constant pins are
+   stateless: the faulty output is a pure function of the faulty
+   address, so a plain recompute-and-drive suffices (and constant pins
+   need no delta device at all — their faulty value can never differ).
+   RAMs carry state: we keep the golden contents [gram] replayed from
+   the trace's write stream (with periodic snapshots so [dd_seek] is
+   cheap) plus a sparse [diff] table of addresses where the faulty
+   contents diverge. A clean faulty run keeps [diff] empty and clocks
+   in O(1). *)
+
+let read_port_delta (port : Netlist.port) ds =
+  let v = ref 0 in
+  Array.iteri
+    (fun i w -> if Deltasim.faulty ds w then v := !v lor (1 lsl i))
+    port.Netlist.port_wires;
+  !v
+
+let write_port_delta (port : Netlist.port) ds value =
+  Array.iteri
+    (fun i w -> Deltasim.drive ds w (value land (1 lsl i) <> 0))
+    port.Netlist.port_wires
+
+let trace_port trace (port : Netlist.port) ~cycle =
+  let v = ref 0 in
+  Array.iteri
+    (fun i w -> if Trace.get trace ~cycle w then v := !v lor (1 lsl i))
+    port.Netlist.port_wires;
+  !v
+
+let avr_rom_delta ds nl ~program =
+  let addr_port = Netlist.find_output_port nl "pmem_addr" in
+  let instr_port = Netlist.find_input_port nl "instr" in
+  {
+    Deltasim.dd_name = "avr-rom";
+    dd_comb =
+      (fun () ->
+        let addr = read_port_delta addr_port ds in
+        let word = if addr < Array.length program then program.(addr) else 0 (* NOP *) in
+        write_port_delta instr_port ds word);
+    dd_clock = (fun () -> ());
+    dd_seek = (fun _ -> ());
+    dd_clean = (fun () -> true);
+    dd_diffs = (fun () -> []);
+    dd_watch = Array.append addr_port.Netlist.port_wires instr_port.Netlist.port_wires;
+  }
+
+(* Shared golden-replay RAM: [index] maps a port address to a cell,
+   [mask] truncates write data, [init_image] is the power-on contents.
+   Golden writes are prescanned from the trace once; snapshots every
+   [snap_interval] cycles bound the replay cost of a mid-trace seek. *)
+let delta_ram ds ~name ~trace ~index ~mask ~init_image ~addr_port ~rdata_port ~wdata_port
+    ~wen_port =
+  let size = Array.length init_image in
+  let total = Trace.n_cycles trace in
+  let g_wen = Array.make total false in
+  let g_addr = Array.make total 0 in
+  let g_data = Array.make total 0 in
+  for c = 0 to total - 1 do
+    g_wen.(c) <- trace_port trace wen_port ~cycle:c = 1;
+    g_addr.(c) <- index (trace_port trace addr_port ~cycle:c);
+    g_data.(c) <- trace_port trace wdata_port ~cycle:c land mask
+  done;
+  let snap_interval = 64 in
+  let n_snaps = (total + snap_interval - 1) / snap_interval in
+  let snaps = Array.make (max n_snaps 1) [||] in
+  let state = Array.copy init_image in
+  for c = 0 to total - 1 do
+    if c mod snap_interval = 0 then snaps.(c / snap_interval) <- Array.copy state;
+    if g_wen.(c) then state.(g_addr.(c)) <- g_data.(c)
+  done;
+  if snaps.(0) = [||] then snaps.(0) <- Array.copy init_image;
+  let gram = Array.copy init_image in
+  let diff : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let cur = ref 0 in
+  let faulty_at a = match Hashtbl.find_opt diff a with Some v -> v | None -> gram.(a) in
+  {
+    Deltasim.dd_name = name;
+    dd_comb =
+      (fun () ->
+        let a = index (read_port_delta addr_port ds) in
+        write_port_delta rdata_port ds (faulty_at a));
+    dd_clock =
+      (fun () ->
+        let c = !cur in
+        if c < total then begin
+          let fwen = read_port_delta wen_port ds = 1 in
+          let faddr = index (read_port_delta addr_port ds) in
+          let fdata = read_port_delta wdata_port ds land mask in
+          let gwen = g_wen.(c) and gaddr = g_addr.(c) and gdata = g_data.(c) in
+          if fwen || gwen then begin
+            (* New faulty value at the golden write address, computed
+               before any mutation (the faulty write may hit it too). *)
+            let nf_gaddr =
+              if gwen then if fwen && faddr = gaddr then fdata else faulty_at gaddr else 0
+            in
+            if gwen then gram.(gaddr) <- gdata;
+            if fwen then
+              if fdata = gram.(faddr) then Hashtbl.remove diff faddr
+              else Hashtbl.replace diff faddr fdata;
+            if gwen && ((not fwen) || faddr <> gaddr) then
+              if nf_gaddr = gram.(gaddr) then Hashtbl.remove diff gaddr
+              else Hashtbl.replace diff gaddr nf_gaddr
+          end
+        end;
+        incr cur);
+    dd_seek =
+      (fun cycle ->
+        Hashtbl.reset diff;
+        let s = cycle / snap_interval in
+        Array.blit snaps.(s) 0 gram 0 size;
+        for c = s * snap_interval to cycle - 1 do
+          if g_wen.(c) then gram.(g_addr.(c)) <- g_data.(c)
+        done;
+        cur := cycle);
+    dd_clean = (fun () -> Hashtbl.length diff = 0);
+    dd_diffs =
+      (fun () -> Hashtbl.fold (fun a v acc -> (a, v) :: acc) diff [] |> List.sort compare);
+    dd_watch =
+      Array.concat
+        [
+          addr_port.Netlist.port_wires;
+          rdata_port.Netlist.port_wires;
+          wdata_port.Netlist.port_wires;
+          wen_port.Netlist.port_wires;
+        ];
+  }
+
+let avr_ram_delta ds nl ~trace =
+  delta_ram ds ~name:"avr-ram" ~trace
+    ~index:(fun a -> a land 0xFF)
+    ~mask:0xFF ~init_image:(Array.make 256 0)
+    ~addr_port:(Netlist.find_output_port nl "dmem_addr")
+    ~rdata_port:(Netlist.find_input_port nl "dmem_rdata")
+    ~wdata_port:(Netlist.find_output_port nl "dmem_wdata")
+    ~wen_port:(Netlist.find_output_port nl "dmem_wen")
+
+let msp_memory_delta ds nl ~trace ~words ~program =
+  if Array.length program > words then invalid_arg "Memory.msp_memory_delta: program too large";
+  let init_image = Array.make words 0 in
+  Array.blit program 0 init_image 0 (Array.length program);
+  delta_ram ds ~name:"msp-memory" ~trace
+    ~index:(fun a -> a lsr 1 mod words)
+    ~mask:0xFFFF ~init_image
+    ~addr_port:(Netlist.find_output_port nl "mem_addr")
+    ~rdata_port:(Netlist.find_input_port nl "mem_rdata")
+    ~wdata_port:(Netlist.find_output_port nl "mem_wdata")
+    ~wen_port:(Netlist.find_output_port nl "mem_wen")
 
 let msp_memory nl ~words ~program =
   if Array.length program > words then invalid_arg "Memory.msp_memory: program too large";

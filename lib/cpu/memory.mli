@@ -100,3 +100,41 @@ val msp_memory_lanes :
   words:int ->
   program:int array ->
   lane_backing * Pruning_sim.Bitsim.device
+
+(** {1 Delta devices}
+
+    Counterparts for the activity-gated kernel
+    ({!Pruning_sim.Deltasim}). The golden device behaviour is baked
+    into the recorded trace, so these model only the {e difference}
+    between the faulty device and the golden one: ROMs are stateless
+    recomputes, RAMs keep the golden contents replayed from the
+    trace's write stream plus a sparse diff of faulty addresses. A
+    clean faulty run keeps the diff empty and clocks in O(1). *)
+
+val read_port_delta : Pruning_netlist.Netlist.port -> Pruning_sim.Deltasim.t -> int
+(** Decode a port's faulty value (LSB first). *)
+
+val write_port_delta : Pruning_netlist.Netlist.port -> Pruning_sim.Deltasim.t -> int -> unit
+(** Drive a port's faulty value. *)
+
+val avr_rom_delta :
+  Pruning_sim.Deltasim.t ->
+  Pruning_netlist.Netlist.t ->
+  program:int array ->
+  Pruning_sim.Deltasim.device
+
+val avr_ram_delta :
+  Pruning_sim.Deltasim.t ->
+  Pruning_netlist.Netlist.t ->
+  trace:Pruning_sim.Trace.t ->
+  Pruning_sim.Deltasim.device
+(** [trace] must be the same golden trace the kernel was created
+    over (its write stream defines the golden RAM contents). *)
+
+val msp_memory_delta :
+  Pruning_sim.Deltasim.t ->
+  Pruning_netlist.Netlist.t ->
+  trace:Pruning_sim.Trace.t ->
+  words:int ->
+  program:int array ->
+  Pruning_sim.Deltasim.device

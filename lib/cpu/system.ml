@@ -1,6 +1,7 @@
 module Netlist = Pruning_netlist.Netlist
 module Sim = Pruning_sim.Sim
 module Bitsim = Pruning_sim.Bitsim
+module Deltasim = Pruning_sim.Deltasim
 module Trace = Pruning_sim.Trace
 
 type kind =
@@ -76,6 +77,38 @@ let create_msp_lanes ?(words = 2048) ?netlist ~program name =
   let ram, mem_device = Memory.msp_memory_lanes netlist ~words ~program in
   Bitsim.add_device bsim mem_device;
   { l_kind = Msp430; l_name = name; l_netlist = netlist; l_bsim = bsim; l_ram = ram }
+
+(* Delta counterpart: the same core and environment as a sparse
+   difference against a recorded golden trace. *)
+type delta = {
+  d_kind : kind;
+  d_name : string;
+  d_netlist : Netlist.t;
+  d_dsim : Deltasim.t;
+}
+
+let create_avr_delta ?netlist ~program ~trace name =
+  let netlist =
+    match netlist with
+    | Some nl -> nl
+    | None -> avr_netlist ()
+  in
+  let dsim = Deltasim.create netlist trace in
+  Deltasim.add_device dsim (Memory.avr_rom_delta dsim netlist ~program);
+  Deltasim.add_device dsim (Memory.avr_ram_delta dsim netlist ~trace);
+  (* Constant pins need no delta device: their faulty value can never
+     differ from the recorded golden one. *)
+  { d_kind = Avr; d_name = name; d_netlist = netlist; d_dsim = dsim }
+
+let create_msp_delta ?(words = 2048) ?netlist ~program ~trace name =
+  let netlist =
+    match netlist with
+    | Some nl -> nl
+    | None -> msp_netlist ()
+  in
+  let dsim = Deltasim.create netlist trace in
+  Deltasim.add_device dsim (Memory.msp_memory_delta dsim netlist ~trace ~words ~program);
+  { d_kind = Msp430; d_name = name; d_netlist = netlist; d_dsim = dsim }
 
 let save_state t = Sim.save_state t.sim
 

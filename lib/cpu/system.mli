@@ -43,6 +43,33 @@ val create_avr_lanes :
 val create_msp_lanes :
   ?words:int -> ?netlist:Pruning_netlist.Netlist.t -> program:int array -> string -> lanes
 
+type delta = {
+  d_kind : kind;
+  d_name : string;
+  d_netlist : Pruning_netlist.Netlist.t;
+  d_dsim : Pruning_sim.Deltasim.t;  (** delta devices attached, program loaded *)
+}
+(** The same system over the activity-gated delta kernel: the faulty
+    run is represented as a sparse difference against a golden trace
+    recorded from {!t} (see {!record}). *)
+
+val create_avr_delta :
+  ?netlist:Pruning_netlist.Netlist.t ->
+  program:int array ->
+  trace:Pruning_sim.Trace.t ->
+  string ->
+  delta
+(** [trace] must be a golden recording of the {e same} core, program
+    and pin values (the delta devices replay its write stream). *)
+
+val create_msp_delta :
+  ?words:int ->
+  ?netlist:Pruning_netlist.Netlist.t ->
+  program:int array ->
+  trace:Pruning_sim.Trace.t ->
+  string ->
+  delta
+
 val save_lanes_state : lanes -> unit -> unit
 (** Whole-system snapshot of a lane-parallel system (packed wire words,
     cycle count, lane-memory base + overlay). *)

@@ -1,6 +1,8 @@
 module Netlist = Pruning_netlist.Netlist
 module Sim = Pruning_sim.Sim
 module Bitsim = Pruning_sim.Bitsim
+module Deltasim = Pruning_sim.Deltasim
+module Trace = Pruning_sim.Trace
 module System = Pruning_cpu.System
 module Memory = Pruning_cpu.Memory
 module Prng = Pruning_util.Prng
@@ -9,6 +11,25 @@ type verdict =
   | Benign
   | Latent
   | Sdc of int
+
+(* The three interchangeable classification engines. All are
+   verdict-bit-identical (SDC cycles included); they differ only in how
+   they spend the machine. *)
+type kernel =
+  | Scalar  (** one fault at a time, full netlist eval per cycle *)
+  | Batched  (** 62 faults per pass in the bit-lanes of one simulation *)
+  | Delta  (** one fault at a time, only the fault cone re-evaluated *)
+
+let kernel_name = function
+  | Scalar -> "scalar"
+  | Batched -> "batched"
+  | Delta -> "delta"
+
+let kernel_of_string = function
+  | "scalar" -> Some Scalar
+  | "batched" -> Some Batched
+  | "delta" -> Some Delta
+  | _ -> None
 
 (* A memo key is the exact architectural difference from the golden run at
    a checkpoint: (checkpoint index, differing flops with their faulty
@@ -35,7 +56,9 @@ type lane_worker = {
 type t = {
   make : unit -> System.t;
   make_lanes : (unit -> System.lanes) option;
+  make_delta : (trace:Trace.t -> System.delta) option;
   mutable lane_worker : lane_worker option;  (* built lazily on first batched run *)
+  mutable delta_worker : System.delta option;  (* built lazily on first delta run *)
   total_cycles : int;
   interval : int;  (* checkpoint spacing in cycles *)
   out_wires : int array;
@@ -62,7 +85,7 @@ let read_outputs sim out_wires = Array.map (fun w -> Sim.peek sim w) out_wires
 let read_flops sim nl =
   Array.map (fun (f : Netlist.flop) -> Sim.peek sim f.Netlist.q) nl.Netlist.flops
 
-let create ?checkpoint_interval ?make_lanes ~make ~total_cycles () =
+let create ?checkpoint_interval ?make_lanes ?make_delta ~make ~total_cycles () =
   if total_cycles <= 0 then invalid_arg "Campaign.create: total_cycles must be positive";
   let interval =
     match checkpoint_interval with
@@ -95,7 +118,9 @@ let create ?checkpoint_interval ?make_lanes ~make ~total_cycles () =
   {
     make;
     make_lanes;
+    make_delta;
     lane_worker = None;
+    delta_worker = None;
     total_cycles;
     interval;
     out_wires;
@@ -340,6 +365,7 @@ let run_lane_pass t lw ~lanes faults verdicts queue =
   let pending_q = ref queue in
   let leftover = ref [] in
   let c = ref (cp * t.interval) in
+  let to_reset = ref 0 in
   let retire lane verdict =
     verdicts.(lane_fault.(lane)) <- verdict;
     (match lane_pending.(lane) with
@@ -354,11 +380,25 @@ let run_lane_pass t lw ~lanes faults verdicts queue =
     let m = lnot (1 lsl lane) in
     active := !active land m;
     injected := !injected land m;
-    (* Re-synchronize with the golden lane so the freed lane stops
-       producing divergence noise and can host the next fault. *)
-    Bitsim.reset_lane bsim ~lane;
-    Memory.lane_reset ram ~lane;
+    to_reset := !to_reset lor (1 lsl lane);
     free := lane :: !free
+  in
+  (* Re-synchronize retired lanes with the golden lane so they stop
+     producing divergence noise and can host the next fault. Deferred to
+     just after the latch edge: [Bitsim.reset_lane] only rewrites flop Qs
+     and primary inputs, so resetting before the latch would let the
+     lane's stale faulty D values (and clocked device writes) leak right
+     back into the supposedly clean lane. *)
+  let flush_resets () =
+    if !to_reset <> 0 then begin
+      for lane = 1 to lanes do
+        if !to_reset land (1 lsl lane) <> 0 then begin
+          Bitsim.reset_lane bsim ~lane;
+          Memory.lane_reset ram ~lane
+        end
+      done;
+      to_reset := 0
+    end
   in
   let flop_diff_mask () =
     let acc = ref 0 in
@@ -467,6 +507,7 @@ let run_lane_pass t lw ~lanes faults verdicts queue =
            done
        end;
        Bitsim.latch bsim;
+       flush_resets ();
        incr c
      done
    with Exit -> ());
@@ -480,6 +521,7 @@ let run_lane_pass t lw ~lanes faults verdicts queue =
         retire lane (if diff land (1 lsl lane) <> 0 then Latent else Benign)
     done
   end;
+  flush_resets ();
   (* Unclassified faults for the next pass: those overtaken while every
      lane was busy, plus the queue tail never popped. Both lists are
      ascending by (cycle, index); keep the merged queue sorted so the
@@ -528,6 +570,133 @@ let inject_batch t ?lanes ~faults () =
     queue := run_lane_pass t lw ~lanes faults verdicts !queue
   done;
   verdicts
+
+(* ------------------------------------------------------------------ *)
+(* Delta injection: one fault at a time against the recorded golden
+   trace, re-evaluating only the fault cone's active frontier. No
+   checkpoint replay (attaching at the injection cycle is O(previous
+   dirty set)). The dirty-set machinery retires re-converged faults at
+   the earliest possible cycle, and at every checkpoint boundary the
+   surviving divergence is read straight off the flip flags and device
+   diffs to share the verdict memo with the scalar and batched engines:
+   a latent stuck bit costs one partial interval of sparse simulation
+   plus a memo lookup instead of a run to the horizon. *)
+
+let delta_worker t =
+  match t.delta_worker with
+  | Some d -> d
+  | None ->
+    let make_delta =
+      match t.make_delta with
+      | Some f -> f
+      | None -> invalid_arg "Campaign: delta injection needs ~make_delta at Campaign.create"
+    in
+    (* The golden baseline: one full recorded run of the scalar system. *)
+    let sys = t.make () in
+    let trace = System.record sys ~cycles:t.total_cycles in
+    let d = make_delta ~trace in
+    t.delta_worker <- Some d;
+    d
+
+(* Discard the (lazily rebuilt) delta worker — recovery after an
+   exception escaped mid-experiment and left its dirty set in an
+   unknown state. *)
+let reset_delta_worker t = t.delta_worker <- None
+
+let inject_delta ?budget t ~flop_id ~cycle =
+  if cycle < 0 || cycle >= t.total_cycles then
+    invalid_arg "Campaign.inject_delta: cycle out of range";
+  let d = delta_worker t in
+  let ds = d.System.d_dsim in
+  let used = ref 0 in
+  let charge =
+    match budget with
+    | None -> fun () -> ()
+    | Some b ->
+      fun () ->
+        incr used;
+        if !used > b then raise Budget_exceeded
+  in
+  Deltasim.attach ds ~cycle;
+  Deltasim.flip_flop ds flop_id;
+  let flops = (Deltasim.netlist ds).Netlist.flops in
+  (* The delta image of [state_diff]: a flipped Q flag is exactly a
+     differing flop and a device diff entry exactly a differing RAM
+     cell, so the scalar engine's memo keys fall out of the dirty set
+     directly — same indices, same faulty values, same ascending
+     order. *)
+  let delta_diff () =
+    let exception Too_big in
+    try
+      let count = ref 0 in
+      let fd = ref [] in
+      for i = Array.length flops - 1 downto 0 do
+        let q = flops.(i).Netlist.q in
+        if Deltasim.is_flipped ds q then begin
+          incr count;
+          if !count > max_memo_diff then raise Too_big;
+          fd := (i, Deltasim.faulty ds q) :: !fd
+        end
+      done;
+      let rd =
+        List.concat_map snd (Deltasim.device_diffs ds) |> List.sort compare
+      in
+      if !count + List.length rd > max_memo_diff then raise Too_big;
+      Some (!fd, rd)
+    with Too_big -> None
+  in
+  (* Same observation order as the scalar loop: settle the cycle, check
+     the outputs (SDC), then the clock edge. [converged] retires the
+     experiment the instant the dirty set empties — the faulty machine
+     is bit-exact golden, so by determinism the remainder is too. *)
+  let result = ref None in
+  let pending = ref [] in
+  let c = ref cycle in
+  while !result = None && !c < t.total_cycles do
+    Deltasim.propagate ds;
+    (* Checkpoint boundary: the scalar memo protocol. Checked after
+       [propagate] — combinational settling leaves flops and RAM
+       untouched, and the golden row must be current for [faulty]
+       reads — and before the SDC check, preserving the scalar
+       engine's priority between a memo hit and a same-cycle SDC. *)
+    if !c mod t.interval = 0 && not (Deltasim.converged ds) then begin
+      match delta_diff () with
+      | Some (fd, rd) -> (
+        let key = (!c / t.interval, fd, rd) in
+        Mutex.lock t.memo_lock;
+        let hit = Hashtbl.find_opt t.memo key in
+        Mutex.unlock t.memo_lock;
+        match hit with
+        | Some v -> result := Some v
+        | None -> pending := key :: !pending)
+      | None -> ()
+    end;
+    if !result = None then begin
+      if Deltasim.output_diverged ds then result := Some (Sdc !c)
+      else if Deltasim.converged ds then result := Some Benign
+      else begin
+        charge ();
+        Deltasim.latch ds;
+        incr c
+      end
+    end
+  done;
+  let verdict =
+    match !result with
+    | Some v -> v
+    | None ->
+      (* Horizon: the Q flip flags and device diffs are exact after the
+         final latch — the same flop + RAM comparison as the scalar path,
+         read off in O(divergence). *)
+      if Deltasim.flops_diverged ds || not (Deltasim.devices_clean ds) then Latent else Benign
+  in
+  if !pending <> [] then begin
+    Mutex.lock t.memo_lock;
+    if Hashtbl.length t.memo < max_memo_entries then
+      List.iter (fun key -> Hashtbl.replace t.memo key verdict) !pending;
+    Mutex.unlock t.memo_lock
+  end;
+  verdict
 
 type stats = {
   injections : int;
@@ -619,6 +788,31 @@ let run_sample_batched t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> fals
       | Latent -> incr l
       | Sdc _ -> incr s)
     verdicts;
+  {
+    injections = n - n_skipped;
+    benign = !b;
+    latent = !l;
+    sdc = !s;
+    skipped = n_skipped;
+    crashed = 0;
+  }
+
+let run_sample_delta t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false) () =
+  (* Same draw order again: equal seeds yield equal fault lists, so the
+     delta stats must equal the scalar and batched stats exactly. *)
+  let samples = draw_samples t ~space ~rng ~n in
+  let skipped = Array.map (fun (flop_id, cycle) -> skip ~flop_id ~cycle) samples in
+  let n_skipped = Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 skipped in
+  let b = ref 0 and l = ref 0 and s = ref 0 in
+  for i = 0 to n - 1 do
+    if not skipped.(i) then begin
+      let flop_id, cycle = samples.(i) in
+      match inject_delta t ~flop_id ~cycle with
+      | Benign -> incr b
+      | Latent -> incr l
+      | Sdc _ -> incr s
+    end
+  done;
   {
     injections = n - n_skipped;
     benign = !b;

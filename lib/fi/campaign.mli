@@ -36,18 +36,37 @@
     exactly like the scalar engine (Benign re-convergence or memo hits at
     checkpoint boundaries, SDC on output divergence) and freed lanes are
     refilled from the remaining fault queue mid-run. Verdicts — including
-    SDC cycles — are bit-identical to {!inject}. *)
+    SDC cycles — are bit-identical to {!inject}.
+
+    The delta path ({!inject_delta}, {!run_sample_delta}) instead
+    simulates each faulty run as a sparse difference against a recorded
+    golden trace ({!Pruning_sim.Deltasim}): only gates in the fault
+    cone's active frontier are re-evaluated, the experiment retires the
+    instant the difference dies out, and attaching at the injection
+    cycle replaces the checkpoint-replay prefix entirely. Verdicts are
+    again bit-identical to {!inject}. *)
 
 type verdict =
   | Benign
   | Latent
   | Sdc of int
 
+type kernel =
+  | Scalar  (** one fault at a time, full netlist eval per cycle *)
+  | Batched  (** 62 faults per pass in the bit-lanes of one simulation *)
+  | Delta  (** one fault at a time, only the fault cone re-evaluated *)
+(** The three interchangeable classification engines; selection changes
+    throughput only, never verdicts. *)
+
+val kernel_name : kernel -> string
+val kernel_of_string : string -> kernel option
+
 type t
 
 val create :
   ?checkpoint_interval:int ->
   ?make_lanes:(unit -> Pruning_cpu.System.lanes) ->
+  ?make_delta:(trace:Pruning_sim.Trace.t -> Pruning_cpu.System.delta) ->
   make:(unit -> Pruning_cpu.System.t) ->
   total_cycles:int ->
   unit ->
@@ -59,6 +78,9 @@ val create :
     [make_lanes] builds the same system over the lane-parallel simulator
     and enables {!inject_batch} / {!run_sample_batched}; the lane worker
     (and its own checkpoint set) is built lazily on first batched call.
+    [make_delta] builds the same system over the activity-gated delta
+    kernel (from a golden trace the campaign records lazily on first
+    delta call) and enables {!inject_delta} / {!run_sample_delta}.
     [checkpoint_interval] defaults to [max 1 (total_cycles / 64)]; a value
     larger than [total_cycles] effectively disables checkpointing (single
     snapshot at reset, no early verdicts). *)
@@ -169,5 +191,36 @@ val run_sample_batched :
 (** {!run_sample}, batched: draws the identical fault list for the same
     [rng] seed and classifies it with {!inject_batch}, so the stats are
     bit-identical to the scalar path's. *)
+
+val reset_delta_worker : t -> unit
+(** Discard the cached delta worker (trace and all); the next delta call
+    rebuilds it. Recovery action when an exception escaped
+    mid-experiment and the kernel's dirty set is no longer trustworthy. *)
+
+val inject_delta : ?budget:int -> t -> flop_id:int -> cycle:int -> verdict
+(** One experiment on the activity-gated delta kernel
+    ({!Pruning_sim.Deltasim}): attach at the injection cycle (no replay
+    prefix), flip, and propagate only the fault cone's active frontier,
+    retiring the instant the difference against the golden trace dies
+    out. Verdict-bit-identical to {!inject} — including SDC cycles — by
+    determinism; does not participate in the verdict memo (the dirty-set
+    machinery already retires re-converged faults at the earliest
+    possible cycle). [budget] bounds simulated cycles as in
+    {!inject_with}; the worker remains usable after {!Budget_exceeded}.
+    Requires [~make_delta] at {!create}; the kernel (and its golden
+    trace) is built lazily on first call. Not safe to call concurrently
+    from several domains (one shared delta worker). *)
+
+val run_sample_delta :
+  t ->
+  space:Fault_space.t ->
+  rng:Pruning_util.Prng.t ->
+  n:int ->
+  ?skip:(flop_id:int -> cycle:int -> bool) ->
+  unit ->
+  stats
+(** {!run_sample}, on the delta kernel: draws the identical fault list
+    for the same [rng] seed and classifies it with {!inject_delta}, so
+    the stats are bit-identical to the scalar and batched paths'. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

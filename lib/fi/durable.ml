@@ -36,11 +36,20 @@ let outcome_of_verdict : Campaign.verdict -> Journal.outcome = function
   | Campaign.Sdc c -> Journal.Sdc c
 
 let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit ?(jobs = 1)
-    ?(batched = false) ?budget ?(retries = 2) ?(retry_backoff = Backoff.retry_policy) ?journal
-    ?(resume = false) ?records_per_segment ?(should_stop = fun () -> false) ?chaos ?fault () =
+    ?(batched = false) ?kernel ?budget ?(retries = 2) ?(retry_backoff = Backoff.retry_policy)
+    ?journal ?(resume = false) ?records_per_segment ?(should_stop = fun () -> false) ?chaos
+    ?fault () =
   if n < 0 then invalid_arg "Durable.run: n must be non-negative";
   if jobs < 1 then invalid_arg "Durable.run: jobs must be positive";
   if retries < 0 then invalid_arg "Durable.run: retries must be non-negative";
+  let kernel =
+    match kernel with
+    | Some k ->
+      if batched && k <> Campaign.Batched then
+        invalid_arg "Durable.run: ~batched:true conflicts with ~kernel";
+      k
+    | None -> if batched then Campaign.Batched else Campaign.Scalar
+  in
   (match audit with
   | Some (p, _) when not (p >= 0. && p <= 1.) ->
     invalid_arg "Durable.run: audit fraction must be in [0, 1]"
@@ -56,7 +65,14 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
   let rng = Prng.create seed in
   let master_state = Prng.save rng in
   let samples = Campaign.draw_samples campaign ~space ~rng ~n in
-  let shards = if batched then 1 else max 1 (min jobs (max 1 n)) in
+  (* One shard for the single-worker engines (the lane worker and the
+     delta worker are shared, not domain-safe); the scalar engine fans
+     out over [jobs] domains. *)
+  let shards =
+    match kernel with
+    | Campaign.Batched | Campaign.Delta -> 1
+    | Campaign.Scalar -> max 1 (min jobs (max 1 n))
+  in
   (* Per-shard audit samplers, split off deterministically after the
      sample draw; their initial states are pinned in the journal header
      so a resumed run replays the identical audit decisions. *)
@@ -76,7 +92,7 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
       prune = skip <> None;
       audit = audit_p;
       shards;
-      batched;
+      batched = kernel = Campaign.Batched;
       prng = master_state;
       shard_prng = shard_states;
     }
@@ -174,9 +190,10 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
     | _ -> ()
   in
   (* ---------------------------------------------------------------- *)
-  (* Scalar shards.                                                    *)
-  let run_scalar_shard ~shard worker0 arng lo hi =
-    let worker = ref worker0 in
+  (* Sequential (one-fault-at-a-time) shards: the scalar and delta
+     kernels share this loop, differing only in the injector and in how
+     a crashed worker is recovered.                                    *)
+  let run_seq_shard ~shard ~inject ~recover arng lo hi =
     let bo = shard_backoff shard in
     let i = ref lo in
     while !i <= hi && not (should_stop ()) do
@@ -197,16 +214,15 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
               (match fault with
               | Some f -> f ~shard ~index:idx ~attempt:k
               | None -> ());
-              Campaign.inject_with ?budget campaign !worker ~flop_id ~cycle
+              inject ~flop_id ~cycle
             with
             | v -> Some v
             | exception Chaos.Injected _ -> attempt k
             | exception _ ->
-              (* The worker may be mid-run; rebuild the whole system
-                 (fresh [make ()]) before retrying, and back off so a
-                 systemic failure (disk full, OOM-adjacent) is not
-                 hammered at full speed. *)
-              worker := Campaign.fresh_worker campaign;
+              (* The worker may be mid-run; rebuild it before retrying,
+                 and back off so a systemic failure (disk full,
+                 OOM-adjacent) is not hammered at full speed. *)
+              recover ();
               bump retried;
               if k < retries then begin
                 Unix.sleepf (Backoff.next bo);
@@ -232,6 +248,15 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
       end;
       incr i
     done
+  in
+  (* Scalar instantiation: a private worker rebuilt from a fresh system
+     ([make ()]) on crash. *)
+  let run_scalar_shard ~shard worker0 arng lo hi =
+    let worker = ref worker0 in
+    run_seq_shard ~shard
+      ~inject:(fun ~flop_id ~cycle -> Campaign.inject_with ?budget campaign !worker ~flop_id ~cycle)
+      ~recover:(fun () -> worker := Campaign.fresh_worker campaign)
+      arng lo hi
   in
   (* ---------------------------------------------------------------- *)
   (* Batched (lane-parallel) shard: one domain, journaled per window.  *)
@@ -313,26 +338,36 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
     done
   in
   Fun.protect ~finally:(fun () -> Option.iter Journal.close writer) @@ fun () ->
-  (if batched then run_batched (Prng.restore shard_states.(0))
-   else if shards = 1 then
-     run_scalar_shard ~shard:0 (Campaign.primary_worker campaign)
-       (Prng.restore shard_states.(0))
-       0 (n - 1)
-   else begin
-     let chunk = (n + shards - 1) / shards in
-     let domains =
-       List.init shards (fun s ->
-           let lo = s * chunk in
-           let hi = min (n - 1) (((s + 1) * chunk) - 1) in
-           Domain.spawn (fun () ->
-               if lo <= hi then
-                 run_scalar_shard ~shard:s
-                   (Campaign.fresh_worker campaign)
-                   (Prng.restore shard_states.(s))
-                   lo hi))
-     in
-     List.iter Domain.join domains
-   end);
+  (match kernel with
+  | Campaign.Batched -> run_batched (Prng.restore shard_states.(0))
+  | Campaign.Delta ->
+    (* The delta worker (shared golden trace + devices) is not
+       domain-safe, so the delta kernel always runs one shard. *)
+    run_seq_shard ~shard:0
+      ~inject:(fun ~flop_id ~cycle -> Campaign.inject_delta ?budget campaign ~flop_id ~cycle)
+      ~recover:(fun () -> Campaign.reset_delta_worker campaign)
+      (Prng.restore shard_states.(0))
+      0 (n - 1)
+  | Campaign.Scalar ->
+    if shards = 1 then
+      run_scalar_shard ~shard:0 (Campaign.primary_worker campaign)
+        (Prng.restore shard_states.(0))
+        0 (n - 1)
+    else begin
+      let chunk = (n + shards - 1) / shards in
+      let domains =
+        List.init shards (fun s ->
+            let lo = s * chunk in
+            let hi = min (n - 1) (((s + 1) * chunk) - 1) in
+            Domain.spawn (fun () ->
+                if lo <= hi then
+                  run_scalar_shard ~shard:s
+                    (Campaign.fresh_worker campaign)
+                    (Prng.restore shard_states.(s))
+                    lo hi))
+      in
+      List.iter Domain.join domains
+    end);
   let b = ref 0 and l = ref 0 and s = ref 0 and sk = ref 0 and cr = ref 0 and done_ = ref 0 in
   Array.iter
     (function

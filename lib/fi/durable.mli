@@ -77,6 +77,7 @@ val run :
   ?audit:float * audit_hooks ->
   ?jobs:int ->
   ?batched:bool ->
+  ?kernel:Campaign.kernel ->
   ?budget:int ->
   ?retries:int ->
   ?retry_backoff:Pruning_util.Backoff.policy ->
@@ -100,9 +101,15 @@ val run :
     drawn from per-shard PRNGs whose states live in the journal header,
     so a resumed run audits exactly the faults the original would have).
     [jobs] is the shard/domain count for the scalar path; [batched] uses
-    the lane-parallel engine on one shard ([jobs] is ignored).
+    the lane-parallel engine on one shard ([jobs] is ignored). [kernel]
+    selects the engine directly ([Scalar] (default), [Batched] or the
+    activity-gated [Delta]); it subsumes [batched], and passing both
+    [~batched:true] and a non-[Batched] [kernel] is an error. The delta
+    kernel, like the batched one, runs on a single shard; its journals
+    carry the same header shape as scalar [jobs = 1] runs, and since the
+    kernels are verdict-bit-identical those two resume interchangeably.
     [budget] is the per-experiment watchdog in simulated cycles (scalar
-    path only). [retries] (default 2) bounds the supervisor's fresh-system
+    and delta paths only). [retries] (default 2) bounds the supervisor's fresh-system
     retries per experiment (per batch window when [batched]); between
     retries the shard sleeps per [retry_backoff] (default
     {!Pruning_util.Backoff.retry_policy}: capped exponential with jitter

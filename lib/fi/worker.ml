@@ -6,7 +6,7 @@ type engine = {
   campaign : Campaign.t;
   space : Fault_space.t;
   skip : (flop_id:int -> cycle:int -> bool) option;
-  batched : bool;
+  kernel : Campaign.kernel;
 }
 
 type ended =
@@ -174,7 +174,8 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
       | Some (Chaos.Stall s) -> Unix.sleepf s
       | _ -> ()
     in
-    if engine.batched then begin
+    (match engine.kernel with
+    | Campaign.Batched -> begin
       (* Classify the skip decisions first, then push the remainder
          through the lane-parallel engine in one supervised batch. *)
       alive ();
@@ -213,7 +214,19 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
           Array.iteri (fun j idx -> push idx (outcome_of_verdict verdicts.(j))) inject_idx
       end
     end
-    else
+    | (Campaign.Scalar | Campaign.Delta) as kernel ->
+      (* The two per-fault kernels share the chunk loop; they differ only
+         in the injector and in how a crashed worker is recovered. *)
+      let inject, recover =
+        match kernel with
+        | Campaign.Scalar ->
+          ( (fun ~flop_id ~cycle ->
+              Campaign.inject_with engine.campaign (get_scalar ()) ~flop_id ~cycle),
+            fun () -> ignore (fresh_scalar ()) )
+        | _ ->
+          ( (fun ~flop_id ~cycle -> Campaign.inject_delta engine.campaign ~flop_id ~cycle),
+            fun () -> Campaign.reset_delta_worker engine.campaign )
+      in
       for idx = lo to hi do
         if should_stop () then begin
           flush ();
@@ -227,13 +240,13 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
             match
               exec_chaos ();
               fault_hook ~index:idx ~attempt:k;
-              Campaign.inject_with engine.campaign (get_scalar ()) ~flop_id ~cycle
+              inject ~flop_id ~cycle
             with
             | v -> Some v
             | exception Stop -> raise Stop
             | exception Chaos.Injected _ -> attempt k
             | exception _ ->
-              ignore (fresh_scalar ());
+              recover ();
               if k < retries then begin
                 Unix.sleepf (Backoff.next ebo);
                 attempt (k + 1)
@@ -247,7 +260,7 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
           | Some v -> push idx (outcome_of_verdict v));
           alive ()
         end
-      done;
+      done);
     flush ();
     tell (Proto.Chunk_done { chunk_id });
     incr chunks

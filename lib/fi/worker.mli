@@ -15,9 +15,11 @@
     [max_reconnects] consecutive failures.
 
     Verdict production reuses the single-process engines unchanged
-    (scalar {!Campaign.inject_with} or the lane-parallel
-    {!Campaign.inject_batch}); since both produce bit-identical verdicts,
-    a fleet may freely mix scalar and batched workers. Experiments are
+    (scalar {!Campaign.inject_with}, the lane-parallel
+    {!Campaign.inject_batch} or the activity-gated
+    {!Campaign.inject_delta}); since all three produce bit-identical
+    verdicts, a fleet may freely mix workers running different kernels.
+    Experiments are
     supervised exactly like {!Durable}: a raising experiment is retried
     on a fresh system with backoff, a persistent failure is reported as
     [Crashed]. *)
@@ -28,7 +30,9 @@ type engine = {
   skip : (flop_id:int -> cycle:int -> bool) option;
       (** the local pruner; must be the same deterministic predicate on
           every worker (quarantine-free), or verdicts will mismatch *)
-  batched : bool;  (** drive {!Campaign.inject_batch} instead of scalar *)
+  kernel : Campaign.kernel;
+      (** which classification engine this worker drives; any mix across
+          a fleet yields identical verdicts *)
 }
 
 type ended =

@@ -28,8 +28,16 @@ type t = {
   nl : Netlist.t;
   values : int array;  (* per wire: one packed word, bit l = lane l *)
   is_input : bool array;
+  input_wires : int array;  (* primary-input wires, for cheap lane resets *)
   packed : packed_gate array;  (* in topological order *)
   latch_buf : int array;  (* scratch for the two-phase flop update *)
+  (* Divergence summary: a conservative superset of the flops whose Q
+     word is non-uniform across lanes. Exact after every [latch] (the
+     latch loop rebuilds it for free); [flip_flop_lane]/[set_flop] add
+     marks in between. Lets [reset_lane] touch only diverged state. *)
+  div_mark : bool array;  (* per flop *)
+  div_list : int array;  (* marked flop ids, first [div_count] entries *)
+  mutable div_count : int;
   mutable devices_rev : device list;
   mutable devices_ord : device list option;
   mutable cyc : int;
@@ -69,12 +77,23 @@ let create nl =
         })
       nl.Netlist.topo
   in
+  let input_wires =
+    List.concat_map
+      (fun (p : Netlist.port) -> Array.to_list p.Netlist.port_wires)
+      nl.Netlist.inputs
+    |> Array.of_list
+  in
+  let n_flops = Netlist.n_flops nl in
   {
     nl;
     values;
     is_input;
+    input_wires;
     packed;
-    latch_buf = Array.make (Netlist.n_flops nl) 0;
+    latch_buf = Array.make n_flops 0;
+    div_mark = Array.make n_flops false;
+    div_list = Array.make n_flops 0;
+    div_count = 0;
     devices_rev = [];
     devices_ord = None;
     cyc = 0;
@@ -140,6 +159,32 @@ let eval t =
     done
   end
 
+let mark_flop t fid =
+  if not t.div_mark.(fid) then begin
+    t.div_mark.(fid) <- true;
+    t.div_list.(t.div_count) <- fid;
+    t.div_count <- t.div_count + 1
+  end
+
+(* Rebuild the divergence summary from the current Q words: the latch
+   (and state-restore) loops already visit every flop, so exactness
+   there costs one uniformity test per flop. *)
+let rescan_divergence t =
+  let flops = t.nl.Netlist.flops in
+  let n = Array.length flops in
+  for i = 0 to t.div_count - 1 do
+    t.div_mark.(t.div_list.(i)) <- false
+  done;
+  t.div_count <- 0;
+  for i = 0 to n - 1 do
+    let v = t.values.(flops.(i).Netlist.q) in
+    if v lxor - (v land 1) <> 0 then begin
+      t.div_mark.(i) <- true;
+      t.div_list.(t.div_count) <- i;
+      t.div_count <- t.div_count + 1
+    end
+  done
+
 let latch t =
   let reader w = t.values.(w) in
   List.iter (fun d -> d.dev_clock reader) (devices t);
@@ -149,8 +194,18 @@ let latch t =
   for i = 0 to n - 1 do
     next.(i) <- t.values.(flops.(i).Netlist.d)
   done;
+  for i = 0 to t.div_count - 1 do
+    t.div_mark.(t.div_list.(i)) <- false
+  done;
+  t.div_count <- 0;
   for i = 0 to n - 1 do
-    t.values.(flops.(i).Netlist.q) <- next.(i)
+    let v = next.(i) in
+    t.values.(flops.(i).Netlist.q) <- v;
+    if v lxor - (v land 1) <> 0 then begin
+      t.div_mark.(i) <- true;
+      t.div_list.(t.div_count) <- i;
+      t.div_count <- t.div_count + 1
+    end
   done;
   t.cyc <- t.cyc + 1
 
@@ -164,7 +219,10 @@ let run t ~cycles =
   done
 
 let get_flop t fid = t.values.(t.nl.Netlist.flops.(fid).Netlist.q)
-let set_flop t fid v = t.values.(t.nl.Netlist.flops.(fid).Netlist.q) <- v
+
+let set_flop t fid v =
+  t.values.(t.nl.Netlist.flops.(fid).Netlist.q) <- v;
+  if v lxor - (v land 1) <> 0 then mark_flop t fid
 
 let check_lane lane =
   if lane < 0 || lane >= n_lanes then invalid_arg "Bitsim: lane out of range"
@@ -176,17 +234,30 @@ let get_flop_lane t fid ~lane =
 let flip_flop_lane t fid ~lane =
   check_lane lane;
   let q = t.nl.Netlist.flops.(fid).Netlist.q in
-  t.values.(q) <- t.values.(q) lxor (1 lsl lane)
+  t.values.(q) <- t.values.(q) lxor (1 lsl lane);
+  mark_flop t fid
 
+(* Only flop Q wires and primary inputs carry state across [eval]: every
+   gate output is recomputed from them by the next [eval_combinational]
+   before anything reads it. So a lane refill needs to copy lane 0's bit
+   only into the (tracked) diverged Q words plus the handful of input
+   wires — not all of the netlist's wires. *)
 let reset_lane t ~lane =
   check_lane lane;
   let m = 1 lsl lane in
   let keep = lnot m in
   let values = t.values in
-  for w = 0 to Array.length values - 1 do
-    let v = Array.unsafe_get values w in
-    (* copy lane 0's bit into [lane] *)
-    Array.unsafe_set values w (v land keep lor ((v land 1) * m))
+  let flops = t.nl.Netlist.flops in
+  for i = 0 to t.div_count - 1 do
+    let q = flops.(t.div_list.(i)).Netlist.q in
+    let v = values.(q) in
+    values.(q) <- v land keep lor ((v land 1) * m)
+  done;
+  let inputs = t.input_wires in
+  for i = 0 to Array.length inputs - 1 do
+    let w = inputs.(i) in
+    let v = values.(w) in
+    values.(w) <- v land keep lor ((v land 1) * m)
   done
 
 let save_state t =
@@ -196,4 +267,5 @@ let save_state t =
   fun () ->
     Array.blit values 0 t.values 0 (Array.length values);
     t.cyc <- cyc;
-    List.iter (fun restore -> restore ()) device_restores
+    List.iter (fun restore -> restore ()) device_restores;
+    rescan_divergence t

@@ -78,9 +78,14 @@ val flip_flop_lane : t -> int -> lane:int -> unit
     primitive. Takes effect on the next {!eval}. *)
 
 val reset_lane : t -> lane:int -> unit
-(** Copy lane 0's bit into [lane] for every wire, re-synchronizing the
-    lane with the golden run (device state is handled by the devices
-    themselves, e.g. {!Pruning_cpu.Memory.lane_reset}). *)
+(** Re-synchronize [lane] with the golden run at a cost proportional to
+    the number of diverged flops, not the wire count: lane 0's bit is
+    copied into [lane] only for flops tracked as diverged since the last
+    full sync, plus every primary input. Combinational wires are left
+    stale and repaired by the next {!eval}, so callers must invoke this
+    between {!latch} and the next {!eval} — never between {!eval} and a
+    read of combinational values. Device state is handled by the devices
+    themselves, e.g. {!Pruning_cpu.Memory.lane_reset}. *)
 
 val save_state : t -> unit -> unit
 (** Whole-simulator snapshot (wire words, cycle count, device states);

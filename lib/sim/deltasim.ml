@@ -1,0 +1,338 @@
+module Netlist = Pruning_netlist.Netlist
+module Cell = Pruning_cell.Cell
+
+(* Activity-gated delta kernel: one faulty run simulated as a sparse
+   difference against a recorded golden trace.
+
+   Invariant (the "dirty-set invariant"): after every [propagate], for
+   every wire [w], [flipped.(w)] is true iff the faulty value of [w]
+   this cycle differs from the golden trace row, and every flipped wire
+   is listed in the dirty set. Gates whose inputs are all clean are
+   never re-evaluated — their golden output is already correct — so the
+   per-cycle cost is proportional to the fault cone's active frontier,
+   not to the netlist. When the dirty set empties and every attached
+   device reports a clean diff, the faulty machine state is bit-exact
+   golden; determinism makes every later cycle golden too, so the lane
+   can retire immediately (same soundness argument as the campaign's
+   early-Benign checkpoint compare). *)
+
+type device = {
+  dd_name : string;
+  dd_comb : unit -> unit;  (* fixed-point phase: read faulty ports, drive faulty values *)
+  dd_clock : unit -> unit;  (* clock edge: advance internal state one cycle *)
+  dd_seek : int -> unit;  (* rewind internal state to the start of a cycle *)
+  dd_clean : unit -> bool;  (* internal state identical to golden? *)
+  dd_diffs : unit -> (int * int) list;  (* (address, faulty value), sorted *)
+  dd_watch : int array;  (* port wires (read and write) whose flip wakes the device *)
+}
+
+(* One gate flattened for the sweep: truth table, input wires, output
+   wire and logic level, indexed by gate id. *)
+type dgate = {
+  dg_table : int;
+  dg_ins : int array;
+  dg_out : int;
+  dg_level : int;
+}
+
+type t = {
+  nl : Netlist.t;
+  trace : Trace.t;
+  total : int;  (* trace cycles; faulty cycles run in [0, total) *)
+  gates : dgate array;  (* indexed by gate id *)
+  wire_readers : int array array;
+  flop_readers : int array array;
+  driver_gate : int array;  (* wire -> driving gate id, or -1 *)
+  flop_q : int array;  (* flop id -> Q wire *)
+  is_out : bool array;  (* wire is a primary output *)
+  is_q : bool array;  (* wire is some flop's Q *)
+  flipped : bool array;  (* wire differs from golden this cycle *)
+  in_list : bool array;  (* wire present in [dirty] *)
+  dirty : int array;  (* flipped wires (plus not-yet-compacted clears) *)
+  mutable n_dirty : int;
+  mutable flip_count : int;  (* wires currently flipped *)
+  mutable out_count : int;  (* flipped primary outputs *)
+  mutable q_count : int;  (* flipped flop Qs *)
+  buckets : int array array;  (* scheduled gate ids, one bucket per level *)
+  bucket_n : int array;
+  scheduled : bool array;  (* per gate *)
+  latch_list : int array;  (* flops latching a flipped D this edge *)
+  mutable latch_n : int;
+  mutable row : Bytes.t;  (* golden trace row of the current cycle *)
+  mutable devices_rev : device list;
+  mutable devices_ord : device list option;
+  mutable drive_changed : bool;  (* a device changed a port flip this round *)
+  mutable cyc : int;
+}
+
+let create nl trace =
+  if Trace.n_wires trace <> Netlist.n_wires nl then
+    invalid_arg "Deltasim.create: trace width does not match netlist";
+  if Trace.n_cycles trace = 0 then invalid_arg "Deltasim.create: empty trace";
+  let nw = Netlist.n_wires nl in
+  let ng = Netlist.n_gates nl in
+  let nf = Netlist.n_flops nl in
+  let gates =
+    Array.map
+      (fun (g : Netlist.gate) ->
+        {
+          dg_table = g.Netlist.cell.Cell.table;
+          dg_ins = g.Netlist.inputs;
+          dg_out = g.Netlist.output;
+          dg_level = nl.Netlist.level.(g.Netlist.gate_id);
+        })
+      nl.Netlist.gates
+  in
+  let max_level = Array.fold_left (fun acc g -> max acc g.dg_level) 0 gates in
+  let per_level = Array.make (max_level + 1) 0 in
+  Array.iter (fun g -> per_level.(g.dg_level) <- per_level.(g.dg_level) + 1) gates;
+  let driver_gate =
+    Array.map
+      (function Netlist.Driver_gate g -> g | Netlist.Driver_input | Netlist.Driver_flop _ -> -1)
+      nl.Netlist.driver
+  in
+  let is_q = Array.make nw false in
+  let flop_q = Array.make nf 0 in
+  Array.iter
+    (fun (f : Netlist.flop) ->
+      is_q.(f.Netlist.q) <- true;
+      flop_q.(f.Netlist.flop_id) <- f.Netlist.q)
+    nl.Netlist.flops;
+  {
+    nl;
+    trace;
+    total = Trace.n_cycles trace;
+    gates;
+    wire_readers = nl.Netlist.readers;
+    flop_readers = nl.Netlist.flop_readers;
+    driver_gate;
+    flop_q;
+    is_out = nl.Netlist.is_primary_output;
+    is_q;
+    flipped = Array.make nw false;
+    in_list = Array.make nw false;
+    dirty = Array.make nw 0;
+    n_dirty = 0;
+    flip_count = 0;
+    out_count = 0;
+    q_count = 0;
+    buckets = Array.map (fun n -> Array.make (max n 1) 0) per_level;
+    bucket_n = Array.make (max_level + 1) 0;
+    scheduled = Array.make (max ng 1) false;
+    latch_list = Array.make (max nf 1) 0;
+    latch_n = 0;
+    row = Trace.row_bytes trace ~cycle:0;
+    devices_rev = [];
+    devices_ord = None;
+    drive_changed = false;
+    cyc = 0;
+  }
+
+let netlist t = t.nl
+let cycle t = t.cyc
+let total_cycles t = t.total
+
+let devices t =
+  match t.devices_ord with
+  | Some ds -> ds
+  | None ->
+    let ds = List.rev t.devices_rev in
+    t.devices_ord <- Some ds;
+    ds
+
+let add_device t d =
+  t.devices_rev <- d :: t.devices_rev;
+  t.devices_ord <- None
+
+let golden t w = Char.code (Bytes.unsafe_get t.row (w lsr 3)) land (1 lsl (w land 7)) <> 0
+let faulty t w = golden t w <> Array.unsafe_get t.flipped w
+let is_flipped t w = t.flipped.(w)
+
+let schedule t gid =
+  if not (Array.unsafe_get t.scheduled gid) then begin
+    Array.unsafe_set t.scheduled gid true;
+    let lvl = (Array.unsafe_get t.gates gid).dg_level in
+    let n = Array.unsafe_get t.bucket_n lvl in
+    (Array.unsafe_get t.buckets lvl).(n) <- gid;
+    Array.unsafe_set t.bucket_n lvl (n + 1)
+  end
+
+(* Flip or clear one wire, maintaining the dirty set, the divergence
+   counters, and the schedule: readers re-evaluate on both edges (an
+   input going clean can clean the output too). *)
+let set_flip t w nf =
+  if t.flipped.(w) <> nf then begin
+    t.flipped.(w) <- nf;
+    let d = if nf then 1 else -1 in
+    t.flip_count <- t.flip_count + d;
+    if t.is_out.(w) then t.out_count <- t.out_count + d;
+    if t.is_q.(w) then t.q_count <- t.q_count + d;
+    if nf && not t.in_list.(w) then begin
+      t.in_list.(w) <- true;
+      t.dirty.(t.n_dirty) <- w;
+      t.n_dirty <- t.n_dirty + 1
+    end;
+    let rs = t.wire_readers.(w) in
+    for i = 0 to Array.length rs - 1 do
+      schedule t (Array.unsafe_get rs i)
+    done
+  end
+
+let eval_gate t gid =
+  let g = Array.unsafe_get t.gates gid in
+  let ins = g.dg_ins in
+  let pattern = ref 0 in
+  for j = 0 to Array.length ins - 1 do
+    if faulty t (Array.unsafe_get ins j) then pattern := !pattern lor (1 lsl j)
+  done;
+  let fv = g.dg_table land (1 lsl !pattern) <> 0 in
+  set_flip t g.dg_out (fv <> golden t g.dg_out)
+
+(* Drain the schedule level by level. A gate's readers sit at strictly
+   higher levels (Netlist invariant), so one pass settles all
+   combinational fallout of the current flips. *)
+let sweep t =
+  let buckets = t.buckets in
+  for lvl = 0 to Array.length buckets - 1 do
+    let b = Array.unsafe_get buckets lvl in
+    let n = Array.unsafe_get t.bucket_n lvl in
+    Array.unsafe_set t.bucket_n lvl 0;
+    for i = 0 to n - 1 do
+      let gid = Array.unsafe_get b i in
+      Array.unsafe_set t.scheduled gid false;
+      eval_gate t gid
+    done
+  done
+
+(* A device must run when its internal state differs from golden or any
+   of its port wires (read or write side) is flipped: a stale flip on a
+   write port can only be cleared by the device re-driving it. *)
+let device_needed t d =
+  (not (d.dd_clean ()))
+  ||
+  let watch = d.dd_watch in
+  let n = Array.length watch in
+  let rec scan i = i < n && (t.flipped.(watch.(i)) || scan (i + 1)) in
+  scan 0
+
+let max_device_rounds = 5
+
+(* Called by device comb hooks: assert the faulty value of a port wire. *)
+let drive t w v =
+  let nf = v <> golden t w in
+  if nf <> t.flipped.(w) then begin
+    set_flip t w nf;
+    t.drive_changed <- true
+  end
+
+(* Settle the current cycle: refresh stale flips against this cycle's
+   golden row, then run gates and devices to a fixed point — the delta
+   image of [Sim.eval]. *)
+let propagate t =
+  t.row <- Trace.row_bytes t.trace ~cycle:t.cyc;
+  (* Cycle start: every surviving flip re-schedules its driver (so the
+     flag is recomputed against the new golden row) and its readers;
+     wires that went clean leave the dirty set here. *)
+  let j = ref 0 in
+  for i = 0 to t.n_dirty - 1 do
+    let w = t.dirty.(i) in
+    if t.flipped.(w) then begin
+      t.dirty.(!j) <- w;
+      incr j;
+      let dg = t.driver_gate.(w) in
+      if dg >= 0 then schedule t dg;
+      let rs = t.wire_readers.(w) in
+      for k = 0 to Array.length rs - 1 do
+        schedule t rs.(k)
+      done
+    end
+    else t.in_list.(w) <- false
+  done;
+  t.n_dirty <- !j;
+  sweep t;
+  if t.devices_rev <> [] then begin
+    let running = ref true in
+    let rounds = ref 0 in
+    while !running do
+      t.drive_changed <- false;
+      List.iter (fun d -> if device_needed t d then d.dd_comb ()) (devices t);
+      if t.drive_changed then begin
+        incr rounds;
+        if !rounds > max_device_rounds then
+          failwith "Deltasim.propagate: device inputs failed to stabilize";
+        sweep t
+      end
+      else running := false
+    done
+  end
+
+(* Clock edge. Golden latches D into Q, so the Q flip flag for the next
+   cycle is exactly the D flip flag of this one — no golden lookup
+   crosses the row boundary. Devices clock unconditionally: a clean
+   device's clock is O(1) golden replay. *)
+let latch t =
+  List.iter (fun d -> d.dd_clock ()) (devices t);
+  (* Phase A: snapshot the flops latching a flipped D before any flag
+     changes (a Q wire may itself be another flop's D). *)
+  t.latch_n <- 0;
+  for i = 0 to t.n_dirty - 1 do
+    let w = t.dirty.(i) in
+    if t.flipped.(w) then begin
+      let frs = t.flop_readers.(w) in
+      for k = 0 to Array.length frs - 1 do
+        t.latch_list.(t.latch_n) <- frs.(k);
+        t.latch_n <- t.latch_n + 1
+      done
+    end
+  done;
+  (* Phase B: clear every flipped Q; Phase C: flip the Qs that latched a
+     flipped D. Gate-output flags go stale here by design — the next
+     [propagate] refreshes them against the new golden row. *)
+  for i = 0 to t.n_dirty - 1 do
+    let w = t.dirty.(i) in
+    if t.flipped.(w) && t.is_q.(w) then set_flip t w false
+  done;
+  for i = 0 to t.latch_n - 1 do
+    let q = t.flop_q.(t.latch_list.(i)) in
+    if not t.flipped.(q) then set_flip t q true
+  done;
+  t.cyc <- t.cyc + 1
+
+(* Reset all delta state and position the kernel at the start of
+   [cycle], ready for an injection: the faulty machine is bit-exact
+   golden until the first [flip_flop]/[drive]. *)
+let attach t ~cycle =
+  if cycle < 0 || cycle >= t.total then invalid_arg "Deltasim.attach: cycle out of range";
+  for i = 0 to t.n_dirty - 1 do
+    let w = t.dirty.(i) in
+    t.flipped.(w) <- false;
+    t.in_list.(w) <- false
+  done;
+  t.n_dirty <- 0;
+  t.flip_count <- 0;
+  t.out_count <- 0;
+  t.q_count <- 0;
+  for lvl = 0 to Array.length t.buckets - 1 do
+    let b = t.buckets.(lvl) in
+    for i = 0 to t.bucket_n.(lvl) - 1 do
+      t.scheduled.(b.(i)) <- false
+    done;
+    t.bucket_n.(lvl) <- 0
+  done;
+  t.drive_changed <- false;
+  t.cyc <- cycle;
+  t.row <- Trace.row_bytes t.trace ~cycle;
+  List.iter (fun d -> d.dd_seek cycle) (devices t)
+
+let flip_flop t fid =
+  if fid < 0 || fid >= Netlist.n_flops t.nl then invalid_arg "Deltasim.flip_flop: bad flop id";
+  let q = t.flop_q.(fid) in
+  set_flip t q (not t.flipped.(q))
+
+let devices_clean t = List.for_all (fun d -> d.dd_clean ()) (devices t)
+let converged t = t.flip_count = 0 && devices_clean t
+let output_diverged t = t.out_count > 0
+let flops_diverged t = t.q_count > 0
+let n_dirty t = t.flip_count
+
+let device_diffs t = List.map (fun d -> (d.dd_name, d.dd_diffs ())) (devices t)

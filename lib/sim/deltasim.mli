@@ -1,0 +1,114 @@
+(** Activity-gated delta simulation against a recorded golden trace.
+
+    The third campaign kernel. A golden {!Sim} run recorded into a
+    {!Trace} provides every wire's fault-free value; a faulty run is
+    then represented only by its {e dirty set} — the sparse set of
+    wires whose value differs from golden this cycle. Propagation is
+    levelized and event-driven: flipping a flop schedules its fanout
+    gates, and each cycle re-evaluates only gates with a dirty input,
+    walking levels low to high (the [Netlist.level] array guarantees a
+    gate's readers sit strictly above it, so one pass settles).
+
+    Dirty-set invariant: after {!propagate}, [is_flipped t w] is true
+    iff the faulty value of [w] differs from the golden trace at the
+    current cycle — exactly, for every wire, not conservatively.
+
+    Retirement soundness: when {!converged} holds (empty dirty set and
+    every device diff empty) the faulty machine is bit-identical to the
+    golden one; simulation is deterministic, so all later cycles are
+    golden too and the experiment is Benign without simulating them. *)
+
+module Netlist := Pruning_netlist.Netlist
+
+type t
+
+type device = {
+  dd_name : string;
+  dd_comb : unit -> unit;
+      (** Fixed-point phase: read faulty port values (via {!faulty})
+          and {!drive} faulty values onto output ports. Only called
+          when the device's state diverges or a watched wire is
+          flipped. *)
+  dd_clock : unit -> unit;
+      (** Clock edge: advance internal faulty state one cycle. Called
+          every cycle (must be O(1) when clean — golden replay). *)
+  dd_seek : int -> unit;
+      (** Rewind internal state to golden at the start of a cycle. *)
+  dd_clean : unit -> bool;
+      (** True when internal state is identical to golden. *)
+  dd_diffs : unit -> (int * int) list;
+      (** [(address, faulty_value)] pairs where state diverges,
+          sorted by address — the horizon Latent check. *)
+  dd_watch : int array;
+      (** Port wires, read {e and} write side: a flip on any of them
+          forces [dd_comb] to run (a stale flip on a write port can
+          only be cleared by the device re-driving it). *)
+}
+
+val create : Netlist.t -> Trace.t -> t
+(** [create nl trace]: build a kernel over [nl] whose golden baseline
+    is [trace] (one row per cycle, recorded post-[eval]). Raises
+    [Invalid_argument] on width mismatch or an empty trace. *)
+
+val netlist : t -> Netlist.t
+
+val cycle : t -> int
+(** Current cycle (the trace row {!propagate} compares against). *)
+
+val total_cycles : t -> int
+(** Cycles in the golden trace; valid cycles are [0, total_cycles). *)
+
+val add_device : t -> device -> unit
+(** Attach a delta device. Comb hooks run in attach order. *)
+
+val attach : t -> cycle:int -> unit
+(** Clear all delta state and position the kernel at the start of
+    [cycle]: the faulty machine is bit-exact golden until the first
+    {!flip_flop} or {!drive}. Reuses all internal buffers — the
+    per-injection cost is proportional to the {e previous} fault's
+    dirty set, not the netlist. *)
+
+val flip_flop : t -> int -> unit
+(** Flip one flop's Q for the current cycle — the SEU. *)
+
+val propagate : t -> unit
+(** Settle the current cycle: refresh surviving flips against this
+    cycle's golden row and run gates + devices to a fixed point (the
+    delta image of [Sim.eval]). Raises [Failure] if devices fail to
+    stabilize within the same round budget as the scalar engine. *)
+
+val latch : t -> unit
+(** Clock edge: Q flips for the next cycle become exactly the D flips
+    of this one; devices clock (golden replay when clean). Advances
+    {!cycle}. *)
+
+val golden : t -> Netlist.wire -> bool
+(** Golden value of a wire at the current cycle. *)
+
+val faulty : t -> Netlist.wire -> bool
+(** Faulty value: golden XOR flip flag. Exact after {!propagate}. *)
+
+val is_flipped : t -> Netlist.wire -> bool
+
+val drive : t -> Netlist.wire -> bool -> unit
+(** Assert the faulty value of a port wire (device comb hooks only). *)
+
+val converged : t -> bool
+(** Empty dirty set and every device clean: the lane is golden again
+    and can retire Benign. *)
+
+val output_diverged : t -> bool
+(** Some primary output is flipped this cycle (check after
+    {!propagate} — the SDC test). *)
+
+val flops_diverged : t -> bool
+(** Some flop Q is flipped (the horizon Latent test, with
+    {!devices_clean}). *)
+
+val devices_clean : t -> bool
+
+val n_dirty : t -> int
+(** Current dirty-set size (flipped wires). *)
+
+val device_diffs : t -> (string * (int * int) list) list
+(** Per-device divergence, for debugging and tests. *)

@@ -26,6 +26,7 @@ type t = {
   values : bool array;
   is_input : bool array;
   packed : packed_gate array; (* in topological order *)
+  latch_buf : bool array; (* scratch for the two-phase flop update *)
   mutable devices_rev : device list; (* newest first; O(1) attach *)
   mutable devices_ord : device list option; (* cached attach order *)
   mutable cyc : int;
@@ -46,7 +47,16 @@ let create nl =
         { table = g.Netlist.cell.Cell.table; g_inputs = g.Netlist.inputs; g_output = g.Netlist.output })
       nl.Netlist.topo
   in
-  { nl; values; is_input; packed; devices_rev = []; devices_ord = None; cyc = 0 }
+  {
+    nl;
+    values;
+    is_input;
+    packed;
+    latch_buf = Array.make (Netlist.n_flops nl) false;
+    devices_rev = [];
+    devices_ord = None;
+    cyc = 0;
+  }
 
 let netlist t = t.nl
 let cycle t = t.cyc
@@ -129,7 +139,7 @@ let latch t =
   List.iter (fun d -> d.dev_clock reader) (devices t);
   let flops = t.nl.Netlist.flops in
   let n = Array.length flops in
-  let next = Array.make n false in
+  let next = t.latch_buf in
   for i = 0 to n - 1 do
     next.(i) <- t.values.(flops.(i).Netlist.d)
   done;

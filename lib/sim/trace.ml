@@ -50,6 +50,10 @@ let get t ~cycle w =
   check t ~cycle w;
   get_unchecked t cycle w
 
+let row_bytes t ~cycle =
+  if cycle < 0 || cycle >= t.n_cycles then invalid_arg "Trace.row_bytes: cycle out of range";
+  t.rows.(cycle)
+
 let row ?into t ~cycle =
   if cycle < 0 || cycle >= t.n_cycles then invalid_arg "Trace.row: cycle out of range";
   let out =

@@ -24,6 +24,11 @@ val row : ?into:bool array -> t -> cycle:int -> bool array
     into the caller's buffer (length must be [n_wires]) and that buffer
     is returned — no allocation; otherwise a fresh array is allocated. *)
 
+val row_bytes : t -> cycle:int -> Bytes.t
+(** The internal packed row of one cycle (bit [w land 7] of byte
+    [w lsr 3] is wire [w]): a zero-copy read-only view for the delta
+    kernel's golden lookups. Callers must not mutate the bytes. *)
+
 val bits_per_word : int
 (** Cycles packed per word by {!column} ([Sys.int_size]). *)
 

@@ -22,7 +22,7 @@ let () =
     let make () = System.create_avr ~netlist:nl ~program "avr/fib" in
     let campaign = Campaign.create ~make ~total_cycles:h.Journal.cycles () in
     let space = Fault_space.full nl ~cycles:h.Journal.cycles in
-    { Worker.campaign; space; skip = None; batched = false }
+    { Worker.campaign; space; skip = None; kernel = Campaign.Scalar }
   in
   ignore
     (Worker.run ~host:"127.0.0.1" ~port ~resolve ~name:"victim"

@@ -11,6 +11,7 @@ let () =
       ("fi", Test_fi.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("bitsim", Test_bitsim.suite);
+      ("deltasim", Test_deltasim.suite);
       ("durable", Test_durable.suite);
       ("dist", Test_dist.suite);
       ("chaos", Test_chaos.suite);

@@ -125,7 +125,7 @@ let toy_parts () =
 
 let toy_engine ?skip () =
   let space, campaign = toy_parts () in
-  { Worker.campaign; space; skip; batched = false }
+  { Worker.campaign; space; skip; kernel = Campaign.Scalar }
 
 let toy_reference () =
   let space, campaign = toy_parts () in

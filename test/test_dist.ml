@@ -200,7 +200,7 @@ let toy_parts () =
 
 let toy_engine ?skip () =
   let _, _, space, campaign = toy_parts () in
-  { Worker.campaign; space; skip; batched = false }
+  { Worker.campaign; space; skip; kernel = Campaign.Scalar }
 
 (* One MATE claiming flop [a] always benign — honestly prunable in this
    circuit, and rebuilt deterministically by every worker. *)
@@ -351,13 +351,13 @@ let test_parity_toy () =
     [ false; true ]
 
 (* Distributed-vs-local parity on the real cores, with a mixed fleet:
-   one scalar and one batched worker (their verdicts are bit-identical,
-   so mixing engines is legal). *)
+   one scalar, one batched and one delta worker (their verdicts are
+   bit-identical, so mixing kernels is legal). *)
 let check_parity_core label makers =
   let build () =
-    let nl, make, make_lanes = makers in
+    let nl, make, make_lanes, make_delta = makers in
     let space = Fault_space.full nl ~cycles:120 in
-    let campaign = Campaign.create ~make ~make_lanes ~total_cycles:120 () in
+    let campaign = Campaign.create ~make ~make_lanes ~make_delta ~total_cycles:120 () in
     (space, campaign)
   in
   let n = 200 in
@@ -371,33 +371,38 @@ let check_parity_core label makers =
   let port = Coordinator.port coord in
   let header = make_header ~core:label ~program:"fib" ~cycles:120 ~samples:n ~seed () in
   let join = serve_bg coord ~header () in
-  let engine batched _ =
+  let engine kernel _ =
     let space, campaign = build () in
-    { Worker.campaign; space; skip = None; batched }
+    { Worker.campaign; space; skip = None; kernel }
   in
-  let w1 = work_bg ~port ~name:"scalar" ~resolve:(engine false) () in
-  let w2 = work_bg ~port ~name:"batched" ~resolve:(engine true) () in
-  let r1 = w1 () and r2 = w2 () in
+  let w1 = work_bg ~port ~name:"scalar" ~resolve:(engine Campaign.Scalar) () in
+  let w2 = work_bg ~port ~name:"batched" ~resolve:(engine Campaign.Batched) () in
+  let w3 = work_bg ~port ~name:"delta" ~resolve:(engine Campaign.Delta) () in
+  let r1 = w1 () and r2 = w2 () and r3 = w3 () in
   let r = join () in
   check_bool (label ^ ": completed") true r.Coordinator.completed;
   check_int (label ^ ": mismatches") 0 r.Coordinator.mismatches;
   check_stats (label ^ ": mixed fleet parity") reference r.Coordinator.stats;
-  check_bool (label ^ ": both finished") true
-    (r1.Worker.ended = Worker.Campaign_done && r2.Worker.ended = Worker.Campaign_done)
+  check_bool (label ^ ": all finished") true
+    (r1.Worker.ended = Worker.Campaign_done
+    && r2.Worker.ended = Worker.Campaign_done
+    && r3.Worker.ended = Worker.Campaign_done)
 
 let avr_makers () =
   let nl = System.avr_netlist () in
   let program = Avr_asm.assemble Programs.avr_fib_halting in
   ( nl,
     (fun () -> System.create_avr ~netlist:nl ~program "avr/fib"),
-    fun () -> System.create_avr_lanes ~netlist:nl ~program "avr/fib" )
+    (fun () -> System.create_avr_lanes ~netlist:nl ~program "avr/fib"),
+    fun ~trace -> System.create_avr_delta ~netlist:nl ~program ~trace "avr/fib" )
 
 let msp_makers () =
   let nl = System.msp_netlist () in
   let program = Msp_asm.assemble Programs.msp_fib_halting in
   ( nl,
     (fun () -> System.create_msp ~netlist:nl ~program "msp/fib"),
-    fun () -> System.create_msp_lanes ~netlist:nl ~program "msp/fib" )
+    (fun () -> System.create_msp_lanes ~netlist:nl ~program "msp/fib"),
+    fun ~trace -> System.create_msp_delta ~netlist:nl ~program ~trace "msp/fib" )
 
 let test_parity_avr () = check_parity_core "avr" (avr_makers ())
 let test_parity_msp () = check_parity_core "msp430" (msp_makers ())
@@ -609,8 +614,8 @@ let suite =
     Alcotest.test_case "frames over sockets, EOF semantics" `Quick test_frame_sockets;
     Alcotest.test_case "malformed messages rejected" `Quick test_malformed_messages;
     Alcotest.test_case "parity: toy fleet, plain and pruned" `Quick test_parity_toy;
-    Alcotest.test_case "parity: avr mixed scalar+batched fleet" `Slow test_parity_avr;
-    Alcotest.test_case "parity: msp430 mixed scalar+batched fleet" `Slow test_parity_msp;
+    Alcotest.test_case "parity: avr mixed scalar+batched+delta fleet" `Slow test_parity_avr;
+    Alcotest.test_case "parity: msp430 mixed scalar+batched+delta fleet" `Slow test_parity_msp;
     Alcotest.test_case "straggler lease re-dispatch + dedup" `Quick test_straggler_dedup;
     Alcotest.test_case "SIGKILLed worker mid-chunk" `Quick test_sigkill_worker;
     Alcotest.test_case "coordinator kill/resume from journal" `Quick test_coordinator_resume;

@@ -200,19 +200,21 @@ let avr_makers () =
   let program = Avr_asm.assemble Programs.avr_fib_halting in
   ( nl,
     (fun () -> System.create_avr ~netlist:nl ~program "avr/fib"),
-    fun () -> System.create_avr_lanes ~netlist:nl ~program "avr/fib" )
+    (fun () -> System.create_avr_lanes ~netlist:nl ~program "avr/fib"),
+    fun ~trace -> System.create_avr_delta ~netlist:nl ~program ~trace "avr/fib" )
 
 let msp_makers () =
   let nl = System.msp_netlist () in
   let program = Msp_asm.assemble Programs.msp_fib_halting in
   ( nl,
     (fun () -> System.create_msp ~netlist:nl ~program "msp/fib"),
-    fun () -> System.create_msp_lanes ~netlist:nl ~program "msp/fib" )
+    (fun () -> System.create_msp_lanes ~netlist:nl ~program "msp/fib"),
+    fun ~trace -> System.create_msp_delta ~netlist:nl ~program ~trace "msp/fib" )
 
 let build makers =
-  let nl, make, make_lanes = makers in
+  let nl, make, make_lanes, make_delta = makers in
   let space = Fault_space.full nl ~cycles:total_cycles in
-  let campaign = Campaign.create ~make ~make_lanes ~total_cycles () in
+  let campaign = Campaign.create ~make ~make_lanes ~make_delta ~total_cycles () in
   (space, campaign)
 
 (* A fresh durable run (no journal) must be a drop-in replacement for the
@@ -229,26 +231,37 @@ let test_durable_matches_run_sample () =
   let batched =
     Durable.run campaign ~space ~seed ~n:n_samples ~batched:true ()
   in
-  check_stats "batched" plain batched.Durable.stats
+  check_stats "batched" plain batched.Durable.stats;
+  let delta =
+    Durable.run campaign ~space ~seed ~n:n_samples ~kernel:Campaign.Delta ()
+  in
+  check_stats "delta" plain delta.Durable.stats;
+  (* ~batched:true and a conflicting ~kernel must be rejected. *)
+  match
+    Durable.run campaign ~space ~seed ~n:1 ~batched:true ~kernel:Campaign.Delta ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "conflicting ~batched/~kernel must raise"
 
 (* Kill/resume bit-identity: run to completion for the reference stats,
    then run the same campaign with a stop switch thrown partway, tear the
    journal's tail (as a SIGKILL mid-append would), resume, and require
    statistics bit-identical to the uninterrupted run. *)
-let check_kill_resume label makers ~jobs ~batched =
+let check_kill_resume label makers ~jobs ~kernel =
   let space, campaign = build makers in
   let seed = 13 in
   let ident = ("test", label) in
   let run ?journal ?resume ?should_stop () =
-    Durable.run campaign ~space ~seed ~n:n_samples ~ident ~jobs ~batched
+    Durable.run campaign ~space ~seed ~n:n_samples ~ident ~jobs ~kernel
       ~records_per_segment:64 ?journal ?resume ?should_stop ()
   in
   let reference = run () in
   check_bool (label ^ ": reference complete") true reference.Durable.completed;
   let dir = scratch_dir () in
-  (* The batched engine polls once per window (~250 samples), the scalar
-     shards once per sample; pick a threshold that stops both partway. *)
-  let stop_after = if batched then 1 else 120 in
+  (* The batched engine polls once per window (~250 samples), the
+     sequential kernels once per sample; pick a threshold that stops
+     every engine partway. *)
+  let stop_after = if kernel = Campaign.Batched then 1 else 120 in
   let polls = Atomic.make 0 in
   let interrupted =
     run ~journal:dir
@@ -270,11 +283,18 @@ let check_kill_resume label makers ~jobs ~batched =
   check_stats label reference.Durable.stats resumed.Durable.stats;
   rm_rf dir
 
-let test_kill_resume_avr_scalar () = check_kill_resume "avr-scalar" (avr_makers ()) ~jobs:1 ~batched:false
-let test_kill_resume_avr_jobs () = check_kill_resume "avr-jobs4" (avr_makers ()) ~jobs:4 ~batched:false
-let test_kill_resume_avr_batched () = check_kill_resume "avr-batched" (avr_makers ()) ~jobs:1 ~batched:true
-let test_kill_resume_msp_scalar () = check_kill_resume "msp-scalar" (msp_makers ()) ~jobs:1 ~batched:false
-let test_kill_resume_msp_batched () = check_kill_resume "msp-batched" (msp_makers ()) ~jobs:1 ~batched:true
+let test_kill_resume_avr_scalar () =
+  check_kill_resume "avr-scalar" (avr_makers ()) ~jobs:1 ~kernel:Campaign.Scalar
+let test_kill_resume_avr_jobs () =
+  check_kill_resume "avr-jobs4" (avr_makers ()) ~jobs:4 ~kernel:Campaign.Scalar
+let test_kill_resume_avr_batched () =
+  check_kill_resume "avr-batched" (avr_makers ()) ~jobs:1 ~kernel:Campaign.Batched
+let test_kill_resume_avr_delta () =
+  check_kill_resume "avr-delta" (avr_makers ()) ~jobs:1 ~kernel:Campaign.Delta
+let test_kill_resume_msp_scalar () =
+  check_kill_resume "msp-scalar" (msp_makers ()) ~jobs:1 ~kernel:Campaign.Scalar
+let test_kill_resume_msp_batched () =
+  check_kill_resume "msp-batched" (msp_makers ()) ~jobs:1 ~kernel:Campaign.Batched
 
 (* Resuming under a different invocation must refuse with Journal.Error
    (a silent mismatch would make the journal's verdicts mean the wrong
@@ -501,6 +521,7 @@ let suite =
     Alcotest.test_case "kill/resume avr scalar" `Slow test_kill_resume_avr_scalar;
     Alcotest.test_case "kill/resume avr jobs=4" `Slow test_kill_resume_avr_jobs;
     Alcotest.test_case "kill/resume avr batched" `Slow test_kill_resume_avr_batched;
+    Alcotest.test_case "kill/resume avr delta" `Slow test_kill_resume_avr_delta;
     Alcotest.test_case "kill/resume msp scalar" `Slow test_kill_resume_msp_scalar;
     Alcotest.test_case "kill/resume msp batched" `Slow test_kill_resume_msp_batched;
     Alcotest.test_case "resume mismatch refused" `Quick test_resume_mismatch;
