@@ -183,8 +183,15 @@ let run_campaign () =
 
 (* Campaign-engine throughput: from-scratch re-simulation (checkpointing
    effectively disabled with an interval beyond the horizon) vs the
-   checkpointed engine, single-domain and multi-domain. The headline
-   number for the checkpointed-campaign work: injections/second. *)
+   checkpointed engine, single-domain and multi-domain, vs the wide and
+   delta engines. The headline number: injections/second.
+
+   Every engine's run is split into a setup phase (campaign creation —
+   the golden run with its checkpoints — plus, where it can be forced
+   up front, golden-trace recording and worker construction) and the
+   injection phase proper; both halves land in BENCH_campaign.json,
+   together with per-engine GC allocation (minor/major words) measured
+   around the injection phase. *)
 let run_perf () =
   section "Campaign engine performance (AVR/fib, full fault space)";
   let horizon = if smoke then 300 else if quick then 800 else 2000 in
@@ -196,6 +203,9 @@ let run_perf () =
   let make () = System.create_avr ~netlist:nl ~program "avr/fib" in
   let make_lanes () = System.create_avr_lanes ~netlist:nl ~program "avr/fib" in
   let make_delta ~trace = System.create_avr_delta ~netlist:nl ~program ~trace "avr/fib" in
+  let make_delta_batch ~trace =
+    System.create_avr_delta_batch ~netlist:nl ~program ~trace "avr/fib"
+  in
   let space = Fault_space.full nl ~cycles:horizon in
   Printf.printf "fault space: %d flops x %d cycles; %d samples (baseline %d)\n%!"
     (Array.length space.Fault_space.flops) horizon samples base_samples;
@@ -204,68 +214,124 @@ let run_perf () =
     let r = f () in
     (r, Mono.now () -. t0)
   in
-  let baseline = Campaign.create ~checkpoint_interval:(horizon + 1) ~make ~total_cycles:horizon () in
-  let bstats, bt =
-    time (fun () -> Campaign.run_sample baseline ~space ~rng:(Prng.create 11) ~n:base_samples ())
+  (* One engine measurement: [setup] builds the campaign (and forces
+     whatever golden recording / worker construction the engine allows
+     up front), [inject] classifies the sample; GC allocation deltas are
+     read around the injection phase only. *)
+  let measure ~setup ~inject =
+    let campaign, setup_t = time setup in
+    let g0 = Gc.quick_stat () in
+    let stats, inject_t = time (fun () -> inject campaign) in
+    let g1 = Gc.quick_stat () in
+    ( stats,
+      setup_t,
+      inject_t,
+      g1.Gc.minor_words -. g0.Gc.minor_words,
+      g1.Gc.major_words -. g0.Gc.major_words )
   in
-  let ckpt = Campaign.create ~make ~total_cycles:horizon () in
-  let cstats, ct =
-    time (fun () -> Campaign.run_sample ckpt ~space ~rng:(Prng.create 11) ~n:samples ())
+  let rng () = Prng.create 11 in
+  let bstats, bsu, bt, bmin, bmaj =
+    measure
+      ~setup:(fun () ->
+        Campaign.create ~checkpoint_interval:(horizon + 1) ~make ~total_cycles:horizon ())
+      ~inject:(fun c -> Campaign.run_sample c ~space ~rng:(rng ()) ~n:base_samples ())
   in
-  (* A second, cold campaign for the multi-domain row so its verdict memo
-     is not pre-warmed by the single-domain run. *)
-  let ckpt2 = Campaign.create ~make ~total_cycles:horizon () in
-  let pstats, pt =
-    time (fun () -> Campaign.run_sample ckpt2 ~space ~rng:(Prng.create 11) ~n:samples ~jobs ())
+  let interval = ref 0 in
+  let cstats, csu, ct, cmin, cmaj =
+    measure
+      ~setup:(fun () ->
+        let c = Campaign.create ~make ~total_cycles:horizon () in
+        interval := Campaign.checkpoint_interval c;
+        c)
+      ~inject:(fun c -> Campaign.run_sample c ~space ~rng:(rng ()) ~n:samples ())
   in
-  (* Lane-parallel (PPSFP) engine, also on a cold campaign. The timing
-     includes building the lane worker and its checkpoint set. *)
-  let batched = Campaign.create ~make ~make_lanes ~total_cycles:horizon () in
-  let lstats, lt =
-    time (fun () -> Campaign.run_sample_batched batched ~space ~rng:(Prng.create 11) ~n:samples ())
+  (* A cold campaign per engine so no verdict memo is pre-warmed by an
+     earlier row. *)
+  let pstats, psu, pt, pmin, pmaj =
+    measure
+      ~setup:(fun () -> Campaign.create ~make ~total_cycles:horizon ())
+      ~inject:(fun c -> Campaign.run_sample c ~space ~rng:(rng ()) ~n:samples ~jobs ())
   in
-  (* Activity-gated delta engine, again on a cold campaign; the timing
-     includes recording its golden trace and building the delta worker. *)
-  let delta = Campaign.create ~make ~make_delta ~total_cycles:horizon () in
-  let dstats, dt =
-    time (fun () -> Campaign.run_sample_delta delta ~space ~rng:(Prng.create 11) ~n:samples ())
+  (* Lane-parallel (PPSFP) engine: an empty batch forces the lane worker
+     (and its checkpoint replay) into the setup phase. *)
+  let lstats, lsu, lt, lmin, lmaj =
+    measure
+      ~setup:(fun () ->
+        let c = Campaign.create ~make ~make_lanes ~total_cycles:horizon () in
+        ignore (Campaign.inject_batch c ~faults:[||] ());
+        c)
+      ~inject:(fun c -> Campaign.run_sample_batched c ~space ~rng:(rng ()) ~n:samples ())
+  in
+  (* Activity-gated delta engine: the golden-trace recording is forced
+     into the setup phase; the (cheap) delta worker build remains in the
+     first injection. *)
+  let dstats, dsu, dt, dmin, dmaj =
+    measure
+      ~setup:(fun () ->
+        let c = Campaign.create ~make ~make_delta ~total_cycles:horizon () in
+        ignore (Campaign.golden_trace c);
+        c)
+      ~inject:(fun c -> Campaign.run_sample_delta c ~space ~rng:(rng ()) ~n:samples ())
+  in
+  (* Batched delta engine: golden recording and worker construction both
+     forced into the setup phase (an empty pack builds the worker). *)
+  let dbstats, dbsu, dbt, dbmin, dbmaj =
+    measure
+      ~setup:(fun () ->
+        let c = Campaign.create ~make ~make_delta_batch ~total_cycles:horizon () in
+        ignore (Campaign.golden_trace c);
+        ignore (Campaign.inject_delta_batch c ~faults:[||] ());
+        c)
+      ~inject:(fun c -> Campaign.run_sample_delta_batched c ~space ~rng:(rng ()) ~n:samples ())
   in
   let rate (s : Campaign.stats) elapsed = float_of_int s.Campaign.injections /. max 1e-9 elapsed in
-  let t = Table.create [ "engine"; "injections"; "time [s]"; "inj/s"; "speedup" ] in
+  let t =
+    Table.create
+      [ "engine"; "injections"; "setup [s]"; "inject [s]"; "inj/s"; "speedup"; "minor Mw"; "major Mw" ]
+  in
   let base_rate = rate bstats bt in
   let json_rows = ref [] in
-  let row ?(key = "") label stats elapsed =
-    if key <> "" then json_rows := (key, stats, elapsed) :: !json_rows;
+  let row ?(key = "") label stats setup_t inject_t minor major =
+    if key <> "" then json_rows := (key, stats, setup_t, inject_t, minor, major) :: !json_rows;
     Table.add_row t
       [
         label;
         string_of_int stats.Campaign.injections;
-        Printf.sprintf "%.2f" elapsed;
-        Printf.sprintf "%.1f" (rate stats elapsed);
-        Printf.sprintf "%.1fx" (rate stats elapsed /. base_rate);
+        Printf.sprintf "%.2f" setup_t;
+        Printf.sprintf "%.2f" inject_t;
+        Printf.sprintf "%.1f" (rate stats inject_t);
+        Printf.sprintf "%.1fx" (rate stats inject_t /. base_rate);
+        Printf.sprintf "%.1f" (minor /. 1e6);
+        Printf.sprintf "%.1f" (major /. 1e6);
       ]
   in
-  row ~key:"from-scratch" "from-scratch (seed engine)" bstats bt;
-  row ~key:"scalar"
-    (Printf.sprintf "checkpointed (K=%d, 1 domain)" (Campaign.checkpoint_interval ckpt)) cstats ct;
-  row (Printf.sprintf "checkpointed (K=%d, %d domains)" (Campaign.checkpoint_interval ckpt) jobs)
-    pstats pt;
+  row ~key:"from-scratch" "from-scratch (seed engine)" bstats bsu bt bmin bmaj;
+  row ~key:"scalar" (Printf.sprintf "checkpointed (K=%d, 1 domain)" !interval) cstats csu ct cmin
+    cmaj;
+  row (Printf.sprintf "checkpointed (K=%d, %d domains)" !interval jobs) pstats psu pt pmin pmaj;
   row ~key:"batched"
-    (Printf.sprintf "bit-parallel (%d lanes, K=%d, 1 domain)" Campaign.max_fault_lanes
-       (Campaign.checkpoint_interval batched))
-    lstats lt;
-  row ~key:"delta" "delta (activity-gated, 1 domain)" dstats dt;
+    (Printf.sprintf "bit-parallel (%d lanes, K=%d, 1 domain)" Campaign.max_fault_lanes !interval)
+    lstats lsu lt lmin lmaj;
+  row ~key:"delta" "delta (activity-gated, 1 domain)" dstats dsu dt dmin dmaj;
+  row ~key:"delta-batched"
+    (Printf.sprintf "batched delta (%d lanes, 1 domain)" Campaign.max_delta_lanes)
+    dbstats dbsu dbt dbmin dbmaj;
   Table.print t;
   (* All engines share the seed: identical sample list, so identical
      stats regardless of domain count or kernel. *)
   assert (cstats = pstats);
   assert (cstats = lstats);
   assert (cstats = dstats);
+  assert (cstats = dbstats);
   Printf.printf "single-domain speedup over from-scratch: %.1fx\n" (rate cstats ct /. base_rate);
   Printf.printf "bit-parallel speedup over checkpointed single-domain: %.1fx\n"
     (rate lstats lt /. rate cstats ct);
   Printf.printf "delta speedup over bit-parallel: %.2fx (%.1f vs %.1f inj/s)\n"
     (rate dstats dt /. rate lstats lt) (rate dstats dt) (rate lstats lt);
+  Printf.printf "batched delta over its parents: %.2fx vs bit-parallel, %.2fx vs delta (%.1f inj/s)\n"
+    (rate dbstats dbt /. rate lstats lt)
+    (rate dbstats dbt /. rate dstats dt)
+    (rate dbstats dbt);
   Printf.printf "(multi-domain wall clock scales with physical cores; this host has %d)\n"
     (Domain.recommended_domain_count ());
   (* Machine-readable record for CI trend tracking; hand-rolled JSON so
@@ -278,10 +344,11 @@ let run_perf () =
     horizon samples;
   let rows = List.rev !json_rows in
   List.iteri
-    (fun i (key, (s : Campaign.stats), elapsed) ->
+    (fun i (key, (s : Campaign.stats), setup_t, inject_t, minor, major) ->
       Printf.fprintf oc
-        "    { \"engine\": %S, \"injections\": %d, \"seconds\": %.3f, \"inj_per_s\": %.1f }%s\n"
-        key s.Campaign.injections elapsed (rate s elapsed)
+        "    { \"engine\": %S, \"injections\": %d, \"setup_seconds\": %.3f, \"seconds\": %.3f, \
+         \"inj_per_s\": %.1f, \"gc_minor_words\": %.0f, \"gc_major_words\": %.0f }%s\n"
+        key s.Campaign.injections setup_t inject_t (rate s inject_t) minor major
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";

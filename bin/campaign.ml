@@ -76,32 +76,51 @@ let resolve_kernel ~batched ~engine =
   | Some k -> Ok k
   | None -> Ok (if batched then Fi_campaign.Batched else Fi_campaign.Scalar)
 
+(* --lanes caps the in-flight faults of the wide engines; 0 (default)
+   selects the engine's maximum. Only the batched engines have lanes,
+   so a non-zero --lanes with a per-fault engine is a conflict, not a
+   silent no-op. *)
+let validate_lanes ~kernel ~lanes =
+  let cap name max_lanes =
+    if lanes > max_lanes then
+      fail exit_bad_supervisor "--lanes must be in [1, %d] for --engine %s (got %d)" max_lanes name
+        lanes
+    else None
+  in
+  if lanes < 0 then fail exit_bad_supervisor "--lanes must be non-negative (got %d)" lanes
+  else if lanes = 0 then None
+  else
+    match kernel with
+    | Fi_campaign.Batched -> cap "batched" Fi_campaign.max_fault_lanes
+    | Fi_campaign.Delta_batched -> cap "delta-batched" Fi_campaign.max_delta_lanes
+    | Fi_campaign.Scalar | Fi_campaign.Delta ->
+      fail exit_bad_supervisor "--lanes only applies to --engine batched or delta-batched (got %s)"
+        (Fi_campaign.kernel_name kernel)
+
+(* The four system makers (scalar, lane-parallel, delta, batched-delta)
+   for a built-in core/program pair — one per classification engine. *)
 let make_system core program =
+  let avr p name =
+    Some
+      ( (fun nl -> System.create_avr ?netlist:nl ~program:(Lazy.force p) name),
+        (fun nl -> System.create_avr_lanes ?netlist:nl ~program:(Lazy.force p) name),
+        (fun nl ~trace -> System.create_avr_delta ?netlist:nl ~program:(Lazy.force p) ~trace name),
+        fun nl ~trace ->
+          System.create_avr_delta_batch ?netlist:nl ~program:(Lazy.force p) ~trace name )
+  in
+  let msp p name =
+    Some
+      ( (fun nl -> System.create_msp ?netlist:nl ~program:(Lazy.force p) name),
+        (fun nl -> System.create_msp_lanes ?netlist:nl ~program:(Lazy.force p) name),
+        (fun nl ~trace -> System.create_msp_delta ?netlist:nl ~program:(Lazy.force p) ~trace name),
+        fun nl ~trace ->
+          System.create_msp_delta_batch ?netlist:nl ~program:(Lazy.force p) ~trace name )
+  in
   match (core, program) with
-  | "avr", "fib" ->
-    let p = lazy (Avr_asm.assemble Programs.avr_fib) in
-    Some
-      ( (fun nl -> System.create_avr ?netlist:nl ~program:(Lazy.force p) "avr/fib"),
-        (fun nl -> System.create_avr_lanes ?netlist:nl ~program:(Lazy.force p) "avr/fib"),
-        fun nl ~trace -> System.create_avr_delta ?netlist:nl ~program:(Lazy.force p) ~trace "avr/fib" )
-  | "avr", "conv" ->
-    let p = lazy (Avr_asm.assemble Programs.avr_conv) in
-    Some
-      ( (fun nl -> System.create_avr ?netlist:nl ~program:(Lazy.force p) "avr/conv"),
-        (fun nl -> System.create_avr_lanes ?netlist:nl ~program:(Lazy.force p) "avr/conv"),
-        fun nl ~trace -> System.create_avr_delta ?netlist:nl ~program:(Lazy.force p) ~trace "avr/conv" )
-  | "msp430", "fib" ->
-    let p = lazy (Msp_asm.assemble Programs.msp_fib) in
-    Some
-      ( (fun nl -> System.create_msp ?netlist:nl ~program:(Lazy.force p) "msp/fib"),
-        (fun nl -> System.create_msp_lanes ?netlist:nl ~program:(Lazy.force p) "msp/fib"),
-        fun nl ~trace -> System.create_msp_delta ?netlist:nl ~program:(Lazy.force p) ~trace "msp/fib" )
-  | "msp430", "conv" ->
-    let p = lazy (Msp_asm.assemble Programs.msp_conv) in
-    Some
-      ( (fun nl -> System.create_msp ?netlist:nl ~program:(Lazy.force p) "msp/conv"),
-        (fun nl -> System.create_msp_lanes ?netlist:nl ~program:(Lazy.force p) "msp/conv"),
-        fun nl ~trace -> System.create_msp_delta ?netlist:nl ~program:(Lazy.force p) ~trace "msp/conv" )
+  | "avr", "fib" -> avr (lazy (Avr_asm.assemble Programs.avr_fib)) "avr/fib"
+  | "avr", "conv" -> avr (lazy (Avr_asm.assemble Programs.avr_conv)) "avr/conv"
+  | "msp430", "fib" -> msp (lazy (Msp_asm.assemble Programs.msp_fib)) "msp/fib"
+  | "msp430", "conv" -> msp (lazy (Msp_asm.assemble Programs.msp_conv)) "msp/conv"
   | _ -> None
 
 (* Upfront validation: every bad argument gets its own exit code and an
@@ -185,8 +204,8 @@ let build_pruner nl ~make ~cycles ~space =
 (* ------------------------------------------------------------------ *)
 (* campaign [run]: the single-process engine of PR 1-3.                 *)
 
-let run core program cycles samples seed prune jobs checkpoint_interval batched engine journal
-    resume audit watchdog retries chaos_seed chaos_budget =
+let run core program cycles samples seed prune jobs checkpoint_interval batched engine lanes
+    journal resume audit watchdog retries chaos_seed chaos_budget =
   match resolve_kernel ~batched ~engine with
   | Error code -> code
   | Ok kernel -> (
@@ -196,11 +215,15 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
         ~retries ~jobs ~prune ~resume ~journal
     with
     | Some code -> Some code
-    | None -> validate_chaos ~chaos_budget
+    | None -> (
+      match validate_lanes ~kernel ~lanes with
+      | Some code -> Some code
+      | None -> validate_chaos ~chaos_budget)
   with
   | Some code -> code
   | None ->
-    let make, make_lanes, make_delta =
+    let lanes = if lanes > 0 then Some lanes else None in
+    let make, make_lanes, make_delta, make_delta_batch =
       match make_system core program with
       | Some m -> m
       | None -> assert false
@@ -215,6 +238,7 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
         ~make:(fun () -> make (Some nl))
         ~make_lanes:(fun () -> make_lanes (Some nl))
         ~make_delta:(fun ~trace -> make_delta (Some nl) ~trace)
+        ~make_delta_batch:(fun ~trace -> make_delta_batch (Some nl) ~trace)
         ~total_cycles:cycles ()
     in
     Printf.printf "checkpoint interval: %d cycles; jobs: %d; engine: %s\n%!"
@@ -233,8 +257,11 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
       let stats =
         match kernel with
         | Fi_campaign.Scalar -> Fi_campaign.run_sample campaign ~space ~rng ~n:samples ?skip ~jobs ()
-        | Fi_campaign.Batched -> Fi_campaign.run_sample_batched campaign ~space ~rng ~n:samples ?skip ()
+        | Fi_campaign.Batched ->
+          Fi_campaign.run_sample_batched campaign ~space ~rng ~n:samples ?skip ?lanes ()
         | Fi_campaign.Delta -> Fi_campaign.run_sample_delta campaign ~space ~rng ~n:samples ?skip ()
+        | Fi_campaign.Delta_batched ->
+          Fi_campaign.run_sample_delta_batched campaign ~space ~rng ~n:samples ?skip ?lanes ()
       in
       print_stats stats (Mono.now () -. start);
       report_unknown_flops pruner;
@@ -256,7 +283,7 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
       in
       match
         Durable.run campaign ~space ~seed ~n:samples ~ident:(core, program) ?skip ?audit:audit_arg
-          ~jobs ~kernel
+          ~jobs ~kernel ?lanes
           ?budget:(if watchdog > 0 then Some watchdog else None)
           ~retries ?journal ~resume ~should_stop:stop_requested
           ?chaos:(make_chaos ~chaos_seed ~chaos_budget) ()
@@ -481,7 +508,7 @@ let work_one ~host ~port ~name ~kernel ~checkpoint_interval ~retries ~max_reconn
         (Unknown_identity
            (Printf.sprintf "coordinator asked for unknown core/program %S/%S" h.Journal.core
               h.Journal.program))
-    | Some (make, make_lanes, make_delta) ->
+    | Some (make, make_lanes, make_delta, make_delta_batch) ->
       let nl = (make None).System.netlist in
       let space = Fault_space.full nl ~cycles:h.Journal.cycles in
       let checkpoint_interval = if checkpoint_interval > 0 then Some checkpoint_interval else None in
@@ -490,6 +517,7 @@ let work_one ~host ~port ~name ~kernel ~checkpoint_interval ~retries ~max_reconn
           ~make:(fun () -> make (Some nl))
           ~make_lanes:(fun () -> make_lanes (Some nl))
           ~make_delta:(fun ~trace -> make_delta (Some nl) ~trace)
+          ~make_delta_batch:(fun ~trace -> make_delta_batch (Some nl) ~trace)
           ~total_cycles:h.Journal.cycles ()
       in
       let skip =
@@ -628,15 +656,27 @@ let engine_arg =
                 ("scalar", Fi_campaign.Scalar);
                 ("batched", Fi_campaign.Batched);
                 ("delta", Fi_campaign.Delta);
+                ("delta-batched", Fi_campaign.Delta_batched);
               ]))
         None
     & info [ "engine" ] ~docv:"KERNEL"
         ~doc:
           "Classification kernel: $(b,scalar) (one fault at a time from the nearest golden \
            checkpoint), $(b,batched) (bit-parallel PPSFP: up to 62 faults in the bit-lanes of \
-           one machine word) or $(b,delta) (activity-gated: only wires differing from the golden \
-           run are re-evaluated, and a fault is retired the moment its difference set empties). \
-           All three produce bit-identical verdicts. Default scalar.")
+           one machine word), $(b,delta) (activity-gated: only wires differing from the golden \
+           run are re-evaluated, and a fault is retired the moment its difference set empties) \
+           or $(b,delta-batched) (both at once: up to 63 in-flight faults, each a sparse delta \
+           against one shared recorded golden run, swept over one shared schedule). All four \
+           produce bit-identical verdicts. Default scalar.")
+
+let lanes_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "lanes" ] ~docv:"N"
+        ~doc:
+          "In-flight faults per pass for the wide engines (0 = the engine's maximum: 62 for \
+           $(b,--engine batched), 63 for $(b,--engine delta-batched)). Only valid with those \
+           engines; verdicts are identical for every width.")
 
 let journal =
   Arg.(
@@ -708,7 +748,8 @@ let exit_doc =
     `P "0 on success. Validation failures use distinct codes:";
     `P "10: unknown core/program; 11: bad --cycles; 12: bad --samples; 13: bad --seed; 14: bad \
         --checkpoint-interval; 15: bad --audit (or --audit without --prune); 16: bad \
-        --watchdog/--retries/--jobs/--chaos-budget; 17: journal error (corrupt, mismatched, \
+        --watchdog/--retries/--jobs/--lanes/--chaos-budget (including --lanes with a per-fault \
+        engine, or --batched conflicting with --engine); 17: journal error (corrupt, mismatched, \
         missing for --resume, or the disk failed mid-run — resumable); 18: bad distributed \
         argument (--port, --chunk-size, --lease, --idle-timeout, --poison-threshold, \
         --blacklist-threshold, --verify-frac, --recv-timeout, HOST:PORT, --workers, \
@@ -723,8 +764,8 @@ let exit_doc =
 let run_term =
   Term.(
     const run $ core $ program $ cycles $ samples $ seed $ prune $ jobs $ checkpoint_interval
-    $ batched $ engine_arg $ journal $ resume $ audit $ watchdog $ retries $ chaos_seed_arg
-    $ chaos_budget_arg)
+    $ batched $ engine_arg $ lanes_arg $ journal $ resume $ audit $ watchdog $ retries
+    $ chaos_seed_arg $ chaos_budget_arg)
 
 let run_cmd =
   Cmd.v

@@ -2,6 +2,7 @@ module Netlist = Pruning_netlist.Netlist
 module Sim = Pruning_sim.Sim
 module Bitsim = Pruning_sim.Bitsim
 module Deltasim = Pruning_sim.Deltasim
+module Deltabatch = Pruning_sim.Deltabatch
 module Trace = Pruning_sim.Trace
 
 type backing = int array
@@ -422,6 +423,285 @@ let msp_memory_delta ds nl ~trace ~words ~program =
   let init_image = Array.make words 0 in
   Array.blit program 0 init_image 0 (Array.length program);
   delta_ram ds ~name:"msp-memory" ~trace
+    ~index:(fun a -> a lsr 1 mod words)
+    ~mask:0xFFFF ~init_image
+    ~addr_port:(Netlist.find_output_port nl "mem_addr")
+    ~rdata_port:(Netlist.find_input_port nl "mem_rdata")
+    ~wdata_port:(Netlist.find_output_port nl "mem_wdata")
+    ~wen_port:(Netlist.find_output_port nl "mem_wen")
+
+(* ------------------------------------------------------------------ *)
+(* Lane-masked delta devices for the batched activity-gated kernel.
+
+   The batch composition of the two families above: the golden device
+   behaviour is baked into the recorded trace (shared by every lane),
+   and each lane models only its own difference from it. The golden
+   RAM replay — prescanned write stream, periodic snapshots, the
+   [gram] image — is paid once per clock for all lanes; divergence
+   lives in per-lane sparse diff tables whose union is summarized in a
+   dirty mask so a pass full of re-converged lanes clocks in O(1). *)
+
+let rec lsb_index v i = if v land 1 = 1 then i else lsb_index (v lsr 1) (i + 1)
+
+let read_port_delta_batch_lane (port : Netlist.port) db ~lane =
+  let v = ref 0 in
+  Array.iteri
+    (fun i w -> if Deltabatch.faulty db w ~lane then v := !v lor (1 lsl i))
+    port.Netlist.port_wires;
+  !v
+
+let golden_port (port : Netlist.port) db =
+  let v = ref 0 in
+  Array.iteri (fun i w -> if Deltabatch.golden db w then v := !v lor (1 lsl i)) port.Netlist.port_wires;
+  !v
+
+let port_flips (port : Netlist.port) db =
+  Array.fold_left (fun acc w -> acc lor Deltabatch.flip_word db w) 0 port.Netlist.port_wires
+
+(* Gather per-lane faulty port values into packed words and drive only
+   the lanes in [mask] — the batch-delta transpose path. *)
+let write_port_delta_batch (port : Netlist.port) db ~mask f =
+  let wires = port.Netlist.port_wires in
+  let width = Array.length wires in
+  let words = Array.make width 0 in
+  let m = ref mask in
+  while !m <> 0 do
+    let lane = lsb_index !m 0 in
+    m := !m land (!m - 1);
+    let v = f lane in
+    for i = 0 to width - 1 do
+      if (v lsr i) land 1 = 1 then words.(i) <- words.(i) lor (1 lsl lane)
+    done
+  done;
+  Array.iteri (fun i w -> Deltabatch.drive_masked db w ~mask words.(i)) wires
+
+let avr_rom_delta_batch db nl ~program =
+  let addr_port = Netlist.find_output_port nl "pmem_addr" in
+  let instr_port = Netlist.find_input_port nl "instr" in
+  let fetch addr = if addr < Array.length program then program.(addr) else 0 (* NOP *) in
+  {
+    Deltabatch.db_name = "avr-rom";
+    db_comb =
+      (fun mask ->
+        write_port_delta_batch instr_port db ~mask (fun lane ->
+            fetch (read_port_delta_batch_lane addr_port db ~lane)));
+    db_clock = (fun () -> ());
+    db_seek = (fun _ -> ());
+    db_dirty = (fun () -> 0);
+    db_diffs = (fun ~lane:_ -> []);
+    db_reset = (fun ~lane:_ -> ());
+    db_watch = Array.append addr_port.Netlist.port_wires instr_port.Netlist.port_wires;
+  }
+
+(* Shared golden-replay RAM with per-lane diffs: the batch mirror of
+   [delta_ram]. One golden write stream and one [gram] image serve all
+   lanes; a lane participates in a clock edge only when its write
+   ports are flipped or its diff table is non-empty while the golden
+   run writes (the golden write may create or clear its divergence at
+   the written address). Each participating lane follows exactly the
+   scalar [delta_ram] update — faulty value at the golden write
+   address computed before the golden write mutates [gram] — so the
+   per-lane diff tables are bit-identical to the scalar engine's. *)
+let delta_ram_batch db ~name ~trace ~index ~mask:vmask ~init_image ~addr_port ~rdata_port
+    ~wdata_port ~wen_port =
+  let size = Array.length init_image in
+  let total = Trace.n_cycles trace in
+  let g_wen = Array.make total false in
+  let g_addr = Array.make total 0 in
+  let g_data = Array.make total 0 in
+  for c = 0 to total - 1 do
+    g_wen.(c) <- trace_port trace wen_port ~cycle:c = 1;
+    g_addr.(c) <- index (trace_port trace addr_port ~cycle:c);
+    g_data.(c) <- trace_port trace wdata_port ~cycle:c land vmask
+  done;
+  let snap_interval = 64 in
+  let n_snaps = (total + snap_interval - 1) / snap_interval in
+  let snaps = Array.make (max n_snaps 1) [||] in
+  let state = Array.copy init_image in
+  for c = 0 to total - 1 do
+    if c mod snap_interval = 0 then snaps.(c / snap_interval) <- Array.copy state;
+    if g_wen.(c) then state.(g_addr.(c)) <- g_data.(c)
+  done;
+  if snaps.(0) = [||] then snaps.(0) <- Array.copy init_image;
+  let gram = Array.copy init_image in
+  let diffs = Array.init Deltabatch.n_lanes (fun _ -> Hashtbl.create 8) in
+  (* Reverse index of the per-lane diff tables: address -> mask of
+     lanes holding a diff there. It is what lets the per-cycle hooks
+     touch only the lanes an access can actually affect, instead of
+     every dirty lane. *)
+  let addr_lanes : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let dirty_mask = ref 0 in
+  let cur = ref 0 in
+  let faulty_at lane a =
+    match Hashtbl.find_opt diffs.(lane) a with
+    | Some v -> v
+    | None -> gram.(a)
+  in
+  let lanes_at a = match Hashtbl.find_opt addr_lanes a with Some m -> m | None -> 0 in
+  let diff_put lane a v =
+    if not (Hashtbl.mem diffs.(lane) a) then Hashtbl.replace addr_lanes a (lanes_at a lor (1 lsl lane));
+    Hashtbl.replace diffs.(lane) a v;
+    dirty_mask := !dirty_mask lor (1 lsl lane)
+  in
+  let diff_drop lane a =
+    if Hashtbl.mem diffs.(lane) a then begin
+      Hashtbl.remove diffs.(lane) a;
+      let m = lanes_at a land lnot (1 lsl lane) in
+      if m = 0 then Hashtbl.remove addr_lanes a else Hashtbl.replace addr_lanes a m;
+      if Hashtbl.length diffs.(lane) = 0 then dirty_mask := !dirty_mask land lnot (1 lsl lane)
+    end
+  in
+  (* Per-lane scratch for the clock edge's two-phase update. *)
+  let l_wen = Array.make Deltabatch.n_lanes false in
+  let l_addr = Array.make Deltabatch.n_lanes 0 in
+  let l_data = Array.make Deltabatch.n_lanes 0 in
+  let l_nfg = Array.make Deltabatch.n_lanes 0 in
+  {
+    Deltabatch.db_name = name;
+    db_comb =
+      (fun mask ->
+        (* A lane with clean address-port wires reads at the golden
+           address; it can diverge on rdata only through a diff entry
+           there. So the per-lane transpose is confined to lanes whose
+           address really flipped ([hard]) or whose diff table covers
+           the golden address ([hits]); every other masked lane reads
+           golden data, and only those with stale rdata flips need a
+           word-wide clear. *)
+        let aflips = port_flips addr_port db in
+        let hard = mask land aflips in
+        let easy = mask land lnot aflips in
+        let ga = index (golden_port addr_port db) in
+        let hits = lanes_at ga land easy in
+        let recompute = hard lor hits in
+        if recompute <> 0 then
+          write_port_delta_batch rdata_port db ~mask:recompute (fun lane ->
+              if hard land (1 lsl lane) <> 0 then
+                faulty_at lane (index (read_port_delta_batch_lane addr_port db ~lane))
+              else faulty_at lane ga);
+        let stale = easy land lnot hits land port_flips rdata_port db in
+        if stale <> 0 then
+          Array.iter
+            (fun w ->
+              Deltabatch.drive_masked db w ~mask:stale (if Deltabatch.golden db w then -1 else 0))
+            rdata_port.Netlist.port_wires);
+    db_clock =
+      (fun () ->
+        let c = !cur in
+        if c < total then begin
+          let gwen = g_wen.(c) and gaddr = g_addr.(c) and gdata = g_data.(c) in
+          let pf =
+            port_flips wen_port db lor port_flips addr_port db lor port_flips wdata_port db
+          in
+          if pf <> 0 then begin
+            (* Phase 1: read every port-flipped lane's faulty write
+               port and its pre-write faulty value at the golden write
+               address. *)
+            let m = ref pf in
+            while !m <> 0 do
+              let lane = lsb_index !m 0 in
+              m := !m land (!m - 1);
+              let fwen = read_port_delta_batch_lane wen_port db ~lane = 1 in
+              let faddr = index (read_port_delta_batch_lane addr_port db ~lane) in
+              let fdata = read_port_delta_batch_lane wdata_port db ~lane land vmask in
+              l_wen.(lane) <- fwen;
+              l_addr.(lane) <- faddr;
+              l_data.(lane) <- fdata;
+              l_nfg.(lane) <-
+                (if gwen then if fwen && faddr = gaddr then fdata else faulty_at lane gaddr
+                 else 0)
+            done;
+            (* Phase 2: the one shared golden write, then each lane's
+               faulty write and diff update against the new [gram]. A
+               clean-port dirty lane performs the identical write the
+               golden machine does, so its only possible state change
+               is a diff at the golden address being overwritten away. *)
+            if gwen then begin
+              gram.(gaddr) <- gdata;
+              let m = ref (lanes_at gaddr land lnot pf) in
+              while !m <> 0 do
+                let lane = lsb_index !m 0 in
+                m := !m land (!m - 1);
+                diff_drop lane gaddr
+              done
+            end;
+            let m = ref pf in
+            while !m <> 0 do
+              let lane = lsb_index !m 0 in
+              m := !m land (!m - 1);
+              if l_wen.(lane) then begin
+                let faddr = l_addr.(lane) and fdata = l_data.(lane) in
+                if fdata = gram.(faddr) then diff_drop lane faddr else diff_put lane faddr fdata
+              end;
+              if gwen && ((not l_wen.(lane)) || l_addr.(lane) <> gaddr) then
+                if l_nfg.(lane) = gram.(gaddr) then diff_drop lane gaddr
+                else diff_put lane gaddr l_nfg.(lane)
+            done
+          end
+          else begin
+            if gwen then begin
+              gram.(gaddr) <- gdata;
+              (* No lane has a flipped write port: every lane writes
+                 [gdata] at [gaddr] exactly like golden, clearing any
+                 diff at that address. *)
+              let m = ref (lanes_at gaddr) in
+              while !m <> 0 do
+                let lane = lsb_index !m 0 in
+                m := !m land (!m - 1);
+                diff_drop lane gaddr
+              done
+            end
+          end
+        end;
+        incr cur);
+    db_seek =
+      (fun cycle ->
+        Array.iter Hashtbl.reset diffs;
+        Hashtbl.reset addr_lanes;
+        dirty_mask := 0;
+        let s = cycle / snap_interval in
+        Array.blit snaps.(s) 0 gram 0 size;
+        for c = s * snap_interval to cycle - 1 do
+          if g_wen.(c) then gram.(g_addr.(c)) <- g_data.(c)
+        done;
+        cur := cycle);
+    db_dirty = (fun () -> !dirty_mask);
+    db_diffs =
+      (fun ~lane ->
+        Hashtbl.fold (fun a v acc -> (a, v) :: acc) diffs.(lane) [] |> List.sort compare);
+    db_reset =
+      (fun ~lane ->
+        Hashtbl.iter
+          (fun a _ ->
+            let m = lanes_at a land lnot (1 lsl lane) in
+            if m = 0 then Hashtbl.remove addr_lanes a else Hashtbl.replace addr_lanes a m)
+          diffs.(lane);
+        Hashtbl.reset diffs.(lane);
+        dirty_mask := !dirty_mask land lnot (1 lsl lane));
+    db_watch =
+      Array.concat
+        [
+          addr_port.Netlist.port_wires;
+          rdata_port.Netlist.port_wires;
+          wdata_port.Netlist.port_wires;
+          wen_port.Netlist.port_wires;
+        ];
+  }
+
+let avr_ram_delta_batch db nl ~trace =
+  delta_ram_batch db ~name:"avr-ram" ~trace
+    ~index:(fun a -> a land 0xFF)
+    ~mask:0xFF ~init_image:(Array.make 256 0)
+    ~addr_port:(Netlist.find_output_port nl "dmem_addr")
+    ~rdata_port:(Netlist.find_input_port nl "dmem_rdata")
+    ~wdata_port:(Netlist.find_output_port nl "dmem_wdata")
+    ~wen_port:(Netlist.find_output_port nl "dmem_wen")
+
+let msp_memory_delta_batch db nl ~trace ~words ~program =
+  if Array.length program > words then
+    invalid_arg "Memory.msp_memory_delta_batch: program too large";
+  let init_image = Array.make words 0 in
+  Array.blit program 0 init_image 0 (Array.length program);
+  delta_ram_batch db ~name:"msp-memory" ~trace
     ~index:(fun a -> a lsr 1 mod words)
     ~mask:0xFFFF ~init_image
     ~addr_port:(Netlist.find_output_port nl "mem_addr")

@@ -138,3 +138,47 @@ val msp_memory_delta :
   words:int ->
   program:int array ->
   Pruning_sim.Deltasim.device
+
+(** {1 Lane-masked delta devices}
+
+    Counterparts for the batched activity-gated kernel
+    ({!Pruning_sim.Deltabatch}): the golden replay — prescanned write
+    stream, snapshots, the golden RAM image — is shared by every lane
+    and paid once per clock; each lane carries only its own sparse
+    diff table, summarized in a dirty mask so a clock edge with no
+    diverged or port-flipped lane is O(1). Per-lane updates follow the
+    scalar delta devices exactly, so diff tables (and therefore memo
+    keys and Latent verdicts) are bit-identical to the scalar
+    engine's. *)
+
+val read_port_delta_batch_lane :
+  Pruning_netlist.Netlist.port -> Pruning_sim.Deltabatch.t -> lane:int -> int
+(** Decode one lane's faulty view of a port (LSB first). *)
+
+val write_port_delta_batch :
+  Pruning_netlist.Netlist.port -> Pruning_sim.Deltabatch.t -> mask:int -> (int -> int) -> unit
+(** [write_port_delta_batch port db ~mask f] drives lane [l] of the
+    port with [f l] for every lane in [mask], leaving other lanes'
+    flip bits untouched. *)
+
+val avr_rom_delta_batch :
+  Pruning_sim.Deltabatch.t ->
+  Pruning_netlist.Netlist.t ->
+  program:int array ->
+  Pruning_sim.Deltabatch.device
+
+val avr_ram_delta_batch :
+  Pruning_sim.Deltabatch.t ->
+  Pruning_netlist.Netlist.t ->
+  trace:Pruning_sim.Trace.t ->
+  Pruning_sim.Deltabatch.device
+(** [trace] must be the same golden trace the kernel was created
+    over (its write stream defines the golden RAM contents). *)
+
+val msp_memory_delta_batch :
+  Pruning_sim.Deltabatch.t ->
+  Pruning_netlist.Netlist.t ->
+  trace:Pruning_sim.Trace.t ->
+  words:int ->
+  program:int array ->
+  Pruning_sim.Deltabatch.device

@@ -2,6 +2,7 @@ module Netlist = Pruning_netlist.Netlist
 module Sim = Pruning_sim.Sim
 module Bitsim = Pruning_sim.Bitsim
 module Deltasim = Pruning_sim.Deltasim
+module Deltabatch = Pruning_sim.Deltabatch
 module Trace = Pruning_sim.Trace
 
 type kind =
@@ -109,6 +110,38 @@ let create_msp_delta ?(words = 2048) ?netlist ~program ~trace name =
   let dsim = Deltasim.create netlist trace in
   Deltasim.add_device dsim (Memory.msp_memory_delta dsim netlist ~trace ~words ~program);
   { d_kind = Msp430; d_name = name; d_netlist = netlist; d_dsim = dsim }
+
+(* Batched-delta counterpart: the same core and environment as many
+   independent sparse differences against one recorded golden trace. *)
+type delta_batch = {
+  db_kind : kind;
+  db_name : string;
+  db_netlist : Netlist.t;
+  db_dbsim : Deltabatch.t;
+}
+
+let create_avr_delta_batch ?netlist ~program ~trace name =
+  let netlist =
+    match netlist with
+    | Some nl -> nl
+    | None -> avr_netlist ()
+  in
+  let dbsim = Deltabatch.create netlist trace in
+  Deltabatch.add_device dbsim (Memory.avr_rom_delta_batch dbsim netlist ~program);
+  Deltabatch.add_device dbsim (Memory.avr_ram_delta_batch dbsim netlist ~trace);
+  (* Constant pins need no delta device: no lane's faulty value can
+     ever differ from the recorded golden one. *)
+  { db_kind = Avr; db_name = name; db_netlist = netlist; db_dbsim = dbsim }
+
+let create_msp_delta_batch ?(words = 2048) ?netlist ~program ~trace name =
+  let netlist =
+    match netlist with
+    | Some nl -> nl
+    | None -> msp_netlist ()
+  in
+  let dbsim = Deltabatch.create netlist trace in
+  Deltabatch.add_device dbsim (Memory.msp_memory_delta_batch dbsim netlist ~trace ~words ~program);
+  { db_kind = Msp430; db_name = name; db_netlist = netlist; db_dbsim = dbsim }
 
 let save_state t = Sim.save_state t.sim
 

@@ -70,6 +70,34 @@ val create_msp_delta :
   string ->
   delta
 
+type delta_batch = {
+  db_kind : kind;
+  db_name : string;
+  db_netlist : Pruning_netlist.Netlist.t;
+  db_dbsim : Pruning_sim.Deltabatch.t;  (** lane-masked delta devices attached *)
+}
+(** The same system over the batched activity-gated kernel: many
+    in-flight faulty runs, each a sparse difference against one golden
+    trace recorded from {!t} (see {!record}), sharing one levelized
+    schedule and one golden RAM replay. *)
+
+val create_avr_delta_batch :
+  ?netlist:Pruning_netlist.Netlist.t ->
+  program:int array ->
+  trace:Pruning_sim.Trace.t ->
+  string ->
+  delta_batch
+(** [trace] must be a golden recording of the {e same} core, program
+    and pin values (the batch delta devices replay its write stream). *)
+
+val create_msp_delta_batch :
+  ?words:int ->
+  ?netlist:Pruning_netlist.Netlist.t ->
+  program:int array ->
+  trace:Pruning_sim.Trace.t ->
+  string ->
+  delta_batch
+
 val save_lanes_state : lanes -> unit -> unit
 (** Whole-system snapshot of a lane-parallel system (packed wire words,
     cycle count, lane-memory base + overlay). *)

@@ -2,6 +2,7 @@ module Netlist = Pruning_netlist.Netlist
 module Sim = Pruning_sim.Sim
 module Bitsim = Pruning_sim.Bitsim
 module Deltasim = Pruning_sim.Deltasim
+module Deltabatch = Pruning_sim.Deltabatch
 module Trace = Pruning_sim.Trace
 module System = Pruning_cpu.System
 module Memory = Pruning_cpu.Memory
@@ -12,23 +13,26 @@ type verdict =
   | Latent
   | Sdc of int
 
-(* The three interchangeable classification engines. All are
+(* The four interchangeable classification engines. All are
    verdict-bit-identical (SDC cycles included); they differ only in how
    they spend the machine. *)
 type kernel =
   | Scalar  (** one fault at a time, full netlist eval per cycle *)
   | Batched  (** 62 faults per pass in the bit-lanes of one simulation *)
   | Delta  (** one fault at a time, only the fault cone re-evaluated *)
+  | Delta_batched  (** 63 faults per pass, one shared golden delta baseline *)
 
 let kernel_name = function
   | Scalar -> "scalar"
   | Batched -> "batched"
   | Delta -> "delta"
+  | Delta_batched -> "delta-batched"
 
 let kernel_of_string = function
   | "scalar" -> Some Scalar
   | "batched" -> Some Batched
   | "delta" -> Some Delta
+  | "delta-batched" -> Some Delta_batched
   | _ -> None
 
 (* A memo key is the exact architectural difference from the golden run at
@@ -57,8 +61,14 @@ type t = {
   make : unit -> System.t;
   make_lanes : (unit -> System.lanes) option;
   make_delta : (trace:Trace.t -> System.delta) option;
+  make_delta_batch : (trace:Trace.t -> System.delta_batch) option;
   mutable lane_worker : lane_worker option;  (* built lazily on first batched run *)
   mutable delta_worker : System.delta option;  (* built lazily on first delta run *)
+  mutable delta_batch_worker : System.delta_batch option;  (* lazy, first batched-delta run *)
+  mutable golden_trace : Trace.t option;
+      (* the one golden recording shared by every delta-family worker:
+         recorded once per (core, program, horizon) and kept across
+         worker resets, durable shards and distributed chunk retries *)
   total_cycles : int;
   interval : int;  (* checkpoint spacing in cycles *)
   out_wires : int array;
@@ -85,7 +95,7 @@ let read_outputs sim out_wires = Array.map (fun w -> Sim.peek sim w) out_wires
 let read_flops sim nl =
   Array.map (fun (f : Netlist.flop) -> Sim.peek sim f.Netlist.q) nl.Netlist.flops
 
-let create ?checkpoint_interval ?make_lanes ?make_delta ~make ~total_cycles () =
+let create ?checkpoint_interval ?make_lanes ?make_delta ?make_delta_batch ~make ~total_cycles () =
   if total_cycles <= 0 then invalid_arg "Campaign.create: total_cycles must be positive";
   let interval =
     match checkpoint_interval with
@@ -119,8 +129,11 @@ let create ?checkpoint_interval ?make_lanes ?make_delta ~make ~total_cycles () =
     make;
     make_lanes;
     make_delta;
+    make_delta_batch;
     lane_worker = None;
     delta_worker = None;
+    delta_batch_worker = None;
+    golden_trace = None;
     total_cycles;
     interval;
     out_wires;
@@ -582,6 +595,20 @@ let inject_batch t ?lanes ~faults () =
    a latent stuck bit costs one partial interval of sparse simulation
    plus a memo lookup instead of a run to the horizon. *)
 
+(* The golden baseline shared by the delta-family engines: one full
+   recorded run of the scalar system, cached for the campaign's
+   lifetime. The trace is immutable, so worker resets (crash recovery),
+   durable shards and distributed chunk re-execution all reuse the same
+   recording instead of re-simulating golden. *)
+let golden_trace t =
+  match t.golden_trace with
+  | Some trace -> trace
+  | None ->
+    let sys = t.make () in
+    let trace = System.record sys ~cycles:t.total_cycles in
+    t.golden_trace <- Some trace;
+    trace
+
 let delta_worker t =
   match t.delta_worker with
   | Some d -> d
@@ -591,16 +618,13 @@ let delta_worker t =
       | Some f -> f
       | None -> invalid_arg "Campaign: delta injection needs ~make_delta at Campaign.create"
     in
-    (* The golden baseline: one full recorded run of the scalar system. *)
-    let sys = t.make () in
-    let trace = System.record sys ~cycles:t.total_cycles in
-    let d = make_delta ~trace in
+    let d = make_delta ~trace:(golden_trace t) in
     t.delta_worker <- Some d;
     d
 
 (* Discard the (lazily rebuilt) delta worker — recovery after an
    exception escaped mid-experiment and left its dirty set in an
-   unknown state. *)
+   unknown state. The cached golden trace is immutable and survives. *)
 let reset_delta_worker t = t.delta_worker <- None
 
 let inject_delta ?budget t ~flop_id ~cycle =
@@ -697,6 +721,242 @@ let inject_delta ?budget t ~flop_id ~cycle =
     Mutex.unlock t.memo_lock
   end;
   verdict
+
+(* ------------------------------------------------------------------ *)
+(* Batched delta injection: many in-flight faults per pass, each an
+   independent sparse XOR-delta against the same recorded golden trace,
+   swept over one shared levelized schedule (Deltabatch). The pass has
+   the [run_lane_pass] shape — cycle-sorted queue, mid-pass lane refill,
+   per-lane retirement — but with the delta engine's semantics: no
+   checkpoint replay (idle lanes are golden by construction, so the pass
+   attaches at the head fault's exact cycle), per-lane earliest-cycle
+   Benign retirement the instant a lane's dirty set empties, and memo
+   keys read straight off the flip words and device diffs — identical to
+   the scalar engine's. *)
+
+let max_delta_lanes = Deltabatch.n_lanes
+
+let delta_batch_worker t =
+  match t.delta_batch_worker with
+  | Some d -> d
+  | None ->
+    let make_delta_batch =
+      match t.make_delta_batch with
+      | Some f -> f
+      | None ->
+        invalid_arg "Campaign: batched delta injection needs ~make_delta_batch at Campaign.create"
+    in
+    let d = make_delta_batch ~trace:(golden_trace t) in
+    t.delta_batch_worker <- Some d;
+    d
+
+(* Discard the (lazily rebuilt) batched delta worker — recovery after an
+   exception escaped mid-pass and left its lanes in an unknown state.
+   The cached golden trace is immutable and survives. *)
+let reset_delta_batch_worker t = t.delta_batch_worker <- None
+
+(* One pass over the horizon: attach at the head fault's cycle (every
+   lane bit-exact golden), run forward filling free lanes with queued
+   faults whose cycle has not passed, flipping each lane's flop at its
+   cycle, and retiring lanes per the scalar delta engine's observation
+   order — memo at checkpoint boundaries, SDC on output divergence,
+   Benign the instant the lane re-converges — with survivors classified
+   at the horizon. Returns the overtaken faults for the next pass. *)
+let run_delta_batch_pass t ?on_benign_retire db ~lanes faults verdicts queue =
+  let ds = db.System.db_dbsim in
+  let flops = db.System.db_netlist.Netlist.flops in
+  let n_flops = Array.length flops in
+  let head_cycle = snd faults.(List.hd queue) in
+  Deltabatch.attach ds ~cycle:head_cycle;
+  let lane_fault = Array.make lanes (-1) in
+  let lane_pending = Array.make lanes [] in
+  let active = ref 0 in
+  let injected = ref 0 in
+  let free = ref (List.init lanes Fun.id) in
+  let pending_q = ref queue in
+  let leftover = ref [] in
+  let c = ref head_cycle in
+  let retire lane verdict =
+    verdicts.(lane_fault.(lane)) <- verdict;
+    (match lane_pending.(lane) with
+    | [] -> ()
+    | keys ->
+      Mutex.lock t.memo_lock;
+      if Hashtbl.length t.memo < max_memo_entries then
+        List.iter (fun key -> Hashtbl.replace t.memo key verdict) keys;
+      Mutex.unlock t.memo_lock;
+      lane_pending.(lane) <- []);
+    lane_fault.(lane) <- -1;
+    let m = lnot (1 lsl lane) in
+    active := !active land m;
+    injected := !injected land m;
+    (* Unlike the bit-parallel engine there is nothing to defer: wiping
+       returns the lane to bit-exact golden, so nothing stale can leak
+       back through the latch. *)
+    Deltabatch.wipe_lane ds ~lane;
+    free := lane :: !free
+  in
+  (* Per-lane architectural diff at a checkpoint boundary, built in one
+     flop scan: a flipped Q bit is exactly a differing flop and a device
+     diff entry exactly a differing RAM cell, so the scalar engine's
+     memo keys fall out of the flip words directly — same indices, same
+     faulty values, same ascending order. *)
+  let boundary_check () =
+    let check = !injected land Deltabatch.live_mask ds in
+    if check <> 0 then begin
+      let counts = Array.make lanes 0 in
+      let fd = Array.make lanes [] in
+      let over = ref 0 in
+      for i = 0 to n_flops - 1 do
+        let q = flops.(i).Netlist.q in
+        let d = ref (Deltabatch.flip_word ds q land check land lnot !over) in
+        if !d <> 0 then begin
+          let fv = not (Deltabatch.golden ds q) in
+          while !d <> 0 do
+            let lane = lsb_index !d 0 in
+            d := !d land (!d - 1);
+            counts.(lane) <- counts.(lane) + 1;
+            if counts.(lane) > max_memo_diff then over := !over lor (1 lsl lane)
+            else fd.(lane) <- (i, fv) :: fd.(lane)
+          done
+        end
+      done;
+      let i_cp = !c / t.interval in
+      for lane = 0 to lanes - 1 do
+        if check land (1 lsl lane) <> 0 then begin
+          let key =
+            if !over land (1 lsl lane) <> 0 then None
+            else begin
+              let rd =
+                List.concat_map snd (Deltabatch.device_diffs ds ~lane) |> List.sort compare
+              in
+              if counts.(lane) + List.length rd > max_memo_diff then None
+              else Some (i_cp, List.rev fd.(lane), rd)
+            end
+          in
+          match key with
+          | None -> ()
+          | Some key -> (
+            Mutex.lock t.memo_lock;
+            let hit = Hashtbl.find_opt t.memo key in
+            Mutex.unlock t.memo_lock;
+            match hit with
+            | Some v -> retire lane v
+            | None -> lane_pending.(lane) <- key :: lane_pending.(lane))
+        end
+      done
+    end
+  in
+  (try
+     while !c < t.total_cycles do
+       (* Refill free lanes with queued faults still injectable at !c;
+          overtaken faults go to the next pass. *)
+       let rec refill () =
+         match (!free, !pending_q) with
+         | [], _ | _, [] -> ()
+         | lane :: frest, idx :: qrest ->
+           let _, fc = faults.(idx) in
+           pending_q := qrest;
+           if fc < !c then leftover := idx :: !leftover
+           else begin
+             free := frest;
+             lane_fault.(lane) <- idx;
+             active := !active lor (1 lsl lane)
+           end;
+           refill ()
+       in
+       refill ();
+       if !active = 0 then raise Exit;
+       let to_inject = !active land lnot !injected in
+       if to_inject <> 0 then
+         for lane = 0 to lanes - 1 do
+           if to_inject land (1 lsl lane) <> 0 then begin
+             let flop_id, fc = faults.(lane_fault.(lane)) in
+             if fc = !c then begin
+               Deltabatch.flip_flop_lane ds flop_id ~lane;
+               injected := !injected lor (1 lsl lane)
+             end
+           end
+         done;
+       Deltabatch.propagate ds;
+       (* Scalar delta observation order, per lane: boundary memo before
+          the SDC check (preserving the memo-hit-vs-same-cycle-SDC
+          priority), SDC before Benign, retirement before the latch. *)
+       if !c mod t.interval = 0 && !injected <> 0 then boundary_check ();
+       if !injected <> 0 then begin
+         let sdc = Deltabatch.out_mask ds land !injected in
+         if sdc <> 0 then
+           for lane = 0 to lanes - 1 do
+             if sdc land (1 lsl lane) <> 0 then retire lane (Sdc !c)
+           done
+       end;
+       if !injected <> 0 then begin
+         let conv = !injected land lnot (Deltabatch.live_mask ds) in
+         if conv <> 0 then
+           for lane = 0 to lanes - 1 do
+             if conv land (1 lsl lane) <> 0 then begin
+               (match on_benign_retire with
+               | Some f -> f ~index:lane_fault.(lane) ~cycle:!c
+               | None -> ());
+               retire lane Benign
+             end
+           done
+       end;
+       Deltabatch.latch ds;
+       incr c
+     done
+   with Exit -> ());
+  if !active <> 0 then begin
+    (* Horizon: the Q flip words and device diffs are exact after the
+       final latch — the same flop + RAM comparison as the scalar path,
+       read off in O(divergence). *)
+    let diverged = (Deltabatch.q_mask ds lor Deltabatch.devices_dirty_mask ds) land !active in
+    for lane = 0 to lanes - 1 do
+      if !active land (1 lsl lane) <> 0 then
+        retire lane (if diverged land (1 lsl lane) <> 0 then Latent else Benign)
+    done
+  end;
+  (* Unclassified faults for the next pass: those overtaken while every
+     lane was busy, plus the queue tail never popped. Both lists are
+     ascending by (cycle, index); keep the merged queue sorted so the
+     next pass attaches at the right cycle for its head. *)
+  let by_cycle a b =
+    let ca = snd faults.(a) and cb = snd faults.(b) in
+    if ca <> cb then compare ca cb else compare a b
+  in
+  List.merge by_cycle (List.rev !leftover) !pending_q
+
+let inject_delta_batch t ?lanes ?on_benign_retire ~faults () =
+  let lanes =
+    match lanes with
+    | None -> max_delta_lanes
+    | Some l ->
+      if l < 1 || l > max_delta_lanes then
+        invalid_arg
+          (Printf.sprintf "Campaign.inject_delta_batch: lanes must be in [1, %d]" max_delta_lanes);
+      l
+  in
+  Array.iter
+    (fun (_, cycle) ->
+      if cycle < 0 || cycle >= t.total_cycles then
+        invalid_arg "Campaign.inject_delta_batch: cycle out of range")
+    faults;
+  let db = delta_batch_worker t in
+  let n = Array.length faults in
+  let verdicts = Array.make n Benign in
+  (* Classify in injection-cycle order so each pass drains as many
+     faults as possible before their cycles are overtaken. *)
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let ca = snd faults.(a) and cb = snd faults.(b) in
+      if ca <> cb then compare ca cb else compare a b)
+    order;
+  let queue = ref (Array.to_list order) in
+  while !queue <> [] do
+    queue := run_delta_batch_pass t ?on_benign_retire db ~lanes faults verdicts !queue
+  done;
+  verdicts
 
 type stats = {
   injections : int;
@@ -813,6 +1073,38 @@ let run_sample_delta t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false)
       | Sdc _ -> incr s
     end
   done;
+  {
+    injections = n - n_skipped;
+    benign = !b;
+    latent = !l;
+    sdc = !s;
+    skipped = n_skipped;
+    crashed = 0;
+  }
+
+let run_sample_delta_batched t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false) ?lanes
+    () =
+  (* Same draw order again: equal seeds yield equal fault lists, so the
+     batched-delta stats must equal the other three engines exactly. *)
+  let samples = draw_samples t ~space ~rng ~n in
+  let skipped = Array.map (fun (flop_id, cycle) -> skip ~flop_id ~cycle) samples in
+  let n_skipped = Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 skipped in
+  let faults = Array.make (n - n_skipped) (0, 0) in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    if not skipped.(i) then begin
+      faults.(!j) <- samples.(i);
+      incr j
+    end
+  done;
+  let verdicts = inject_delta_batch t ?lanes ~faults () in
+  let b = ref 0 and l = ref 0 and s = ref 0 in
+  Array.iter
+    (function
+      | Benign -> incr b
+      | Latent -> incr l
+      | Sdc _ -> incr s)
+    verdicts;
   {
     injections = n - n_skipped;
     benign = !b;

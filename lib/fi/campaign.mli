@@ -44,7 +44,27 @@
     cone's active frontier are re-evaluated, the experiment retires the
     instant the difference dies out, and attaching at the injection
     cycle replaces the checkpoint-replay prefix entirely. Verdicts are
-    again bit-identical to {!inject}. *)
+    again bit-identical to {!inject}.
+
+    The batched delta path ({!inject_delta_batch},
+    {!run_sample_delta_batched}) composes the two optimizations: up to
+    {!Pruning_sim.Deltabatch.n_lanes} in-flight faults, each an
+    independent sparse XOR-delta against the {e same} recorded golden
+    trace, sweep one shared levelized schedule per cycle — a gate is
+    re-evaluated once for the union of its dirty lanes instead of once
+    per fault, and there is no golden lane to pay for (the trace is the
+    golden reference). Lanes retire per the scalar delta engine's
+    observation order (earliest-cycle Benign the instant a lane's dirty
+    set empties, memo participation at checkpoint boundaries, SDC on
+    output divergence) and freed lanes are refilled from the remaining
+    fault queue mid-pass. Verdicts — including SDC cycles — are
+    bit-identical to {!inject}.
+
+    All four engines record the golden baseline once: the campaign
+    caches the recorded trace per its (core, program, horizon) identity,
+    so delta and batched-delta workers — including rebuilds after crash
+    recovery, durable shards and distributed chunk re-execution — share
+    one recording. *)
 
 type verdict =
   | Benign
@@ -55,7 +75,8 @@ type kernel =
   | Scalar  (** one fault at a time, full netlist eval per cycle *)
   | Batched  (** 62 faults per pass in the bit-lanes of one simulation *)
   | Delta  (** one fault at a time, only the fault cone re-evaluated *)
-(** The three interchangeable classification engines; selection changes
+  | Delta_batched  (** 63 faults per pass, one shared golden delta baseline *)
+(** The four interchangeable classification engines; selection changes
     throughput only, never verdicts. *)
 
 val kernel_name : kernel -> string
@@ -67,6 +88,7 @@ val create :
   ?checkpoint_interval:int ->
   ?make_lanes:(unit -> Pruning_cpu.System.lanes) ->
   ?make_delta:(trace:Pruning_sim.Trace.t -> Pruning_cpu.System.delta) ->
+  ?make_delta_batch:(trace:Pruning_sim.Trace.t -> Pruning_cpu.System.delta_batch) ->
   make:(unit -> Pruning_cpu.System.t) ->
   total_cycles:int ->
   unit ->
@@ -80,7 +102,11 @@ val create :
     (and its own checkpoint set) is built lazily on first batched call.
     [make_delta] builds the same system over the activity-gated delta
     kernel (from a golden trace the campaign records lazily on first
-    delta call) and enables {!inject_delta} / {!run_sample_delta}.
+    delta call) and enables {!inject_delta} / {!run_sample_delta};
+    [make_delta_batch] does the same over the batched delta kernel and
+    enables {!inject_delta_batch} / {!run_sample_delta_batched}. The
+    delta-family engines share one cached golden recording (see
+    {!golden_trace}).
     [checkpoint_interval] defaults to [max 1 (total_cycles / 64)]; a value
     larger than [total_cycles] effectively disables checkpointing (single
     snapshot at reset, no early verdicts). *)
@@ -197,19 +223,29 @@ val reset_delta_worker : t -> unit
     rebuilds it. Recovery action when an exception escaped
     mid-experiment and the kernel's dirty set is no longer trustworthy. *)
 
+val golden_trace : t -> Pruning_sim.Trace.t
+(** The golden baseline shared by the delta-family engines: one full
+    recorded run of the scalar system, made lazily on first use and
+    cached for the campaign's lifetime. Because the campaign {e is} the
+    (core, program, horizon) identity, every delta-family worker built
+    from it — including rebuilds after {!reset_delta_worker} /
+    {!reset_delta_batch_worker}, durable shards and distributed chunk
+    re-execution — reuses this one recording. *)
+
 val inject_delta : ?budget:int -> t -> flop_id:int -> cycle:int -> verdict
 (** One experiment on the activity-gated delta kernel
     ({!Pruning_sim.Deltasim}): attach at the injection cycle (no replay
     prefix), flip, and propagate only the fault cone's active frontier,
     retiring the instant the difference against the golden trace dies
     out. Verdict-bit-identical to {!inject} — including SDC cycles — by
-    determinism; does not participate in the verdict memo (the dirty-set
-    machinery already retires re-converged faults at the earliest
-    possible cycle). [budget] bounds simulated cycles as in
-    {!inject_with}; the worker remains usable after {!Budget_exceeded}.
-    Requires [~make_delta] at {!create}; the kernel (and its golden
-    trace) is built lazily on first call. Not safe to call concurrently
-    from several domains (one shared delta worker). *)
+    determinism; participates in the shared verdict memo at checkpoint
+    boundaries with keys read straight off the flip flags and device
+    diffs (byte-identical to the scalar engine's). [budget] bounds
+    simulated cycles as in {!inject_with}; the worker remains usable
+    after {!Budget_exceeded}. Requires [~make_delta] at {!create}; the
+    kernel (and its golden trace) is built lazily on first call. Not
+    safe to call concurrently from several domains (one shared delta
+    worker). *)
 
 val run_sample_delta :
   t ->
@@ -222,5 +258,50 @@ val run_sample_delta :
 (** {!run_sample}, on the delta kernel: draws the identical fault list
     for the same [rng] seed and classifies it with {!inject_delta}, so
     the stats are bit-identical to the scalar and batched paths'. *)
+
+val max_delta_lanes : int
+(** Fault-carrying lanes per batched-delta pass:
+    [Pruning_sim.Deltabatch.n_lanes]. Unlike {!max_fault_lanes} every
+    lane carries a fault — the golden reference is the recorded trace,
+    not a lane. *)
+
+val reset_delta_batch_worker : t -> unit
+(** Discard the cached batched delta worker; the next batched-delta
+    call rebuilds it (reusing the cached golden trace). Recovery action
+    when an exception escaped mid-pass and the lanes' state is no
+    longer trustworthy. *)
+
+val inject_delta_batch :
+  t ->
+  ?lanes:int ->
+  ?on_benign_retire:(index:int -> cycle:int -> unit) ->
+  faults:(int * int) array ->
+  unit ->
+  verdict array
+(** Classify every [(flop_id, cycle)] fault on the batched delta
+    worker and return the verdicts in input order. [lanes] (default
+    {!max_delta_lanes}, must be in [\[1, max_delta_lanes\]]) caps how
+    many faults are in flight at once. [on_benign_retire] is called
+    (with the fault's index into [faults] and the retirement cycle) for
+    every mid-pass Benign retirement — i.e. each time a lane's dirty
+    set dies out before the horizon; the differential tests use it to
+    confirm early retirements against scalar replay. Requires
+    [~make_delta_batch] at {!create}. Not safe to call concurrently
+    from several domains (one shared worker), but composes with the
+    other engines: all four share the campaign's verdict memo. *)
+
+val run_sample_delta_batched :
+  t ->
+  space:Fault_space.t ->
+  rng:Pruning_util.Prng.t ->
+  n:int ->
+  ?skip:(flop_id:int -> cycle:int -> bool) ->
+  ?lanes:int ->
+  unit ->
+  stats
+(** {!run_sample}, on the batched delta kernel: draws the identical
+    fault list for the same [rng] seed and classifies it with
+    {!inject_delta_batch}, so the stats are bit-identical to the other
+    three engines'. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -36,9 +36,9 @@ let outcome_of_verdict : Campaign.verdict -> Journal.outcome = function
   | Campaign.Sdc c -> Journal.Sdc c
 
 let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit ?(jobs = 1)
-    ?(batched = false) ?kernel ?budget ?(retries = 2) ?(retry_backoff = Backoff.retry_policy)
-    ?journal ?(resume = false) ?records_per_segment ?(should_stop = fun () -> false) ?chaos
-    ?fault () =
+    ?(batched = false) ?kernel ?lanes ?budget ?(retries = 2)
+    ?(retry_backoff = Backoff.retry_policy) ?journal ?(resume = false) ?records_per_segment
+    ?(should_stop = fun () -> false) ?chaos ?fault () =
   if n < 0 then invalid_arg "Durable.run: n must be non-negative";
   if jobs < 1 then invalid_arg "Durable.run: jobs must be positive";
   if retries < 0 then invalid_arg "Durable.run: retries must be non-negative";
@@ -50,6 +50,18 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
       k
     | None -> if batched then Campaign.Batched else Campaign.Scalar
   in
+  (match lanes with
+  | None -> ()
+  | Some l ->
+    let max_l =
+      match kernel with
+      | Campaign.Batched -> Campaign.max_fault_lanes
+      | Campaign.Delta_batched -> Campaign.max_delta_lanes
+      | Campaign.Scalar | Campaign.Delta ->
+        invalid_arg "Durable.run: ~lanes requires the batched or delta-batched kernel"
+    in
+    if l < 1 || l > max_l then
+      invalid_arg (Printf.sprintf "Durable.run: lanes must be in [1, %d]" max_l));
   (match audit with
   | Some (p, _) when not (p >= 0. && p <= 1.) ->
     invalid_arg "Durable.run: audit fraction must be in [0, 1]"
@@ -70,7 +82,7 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
      out over [jobs] domains. *)
   let shards =
     match kernel with
-    | Campaign.Batched | Campaign.Delta -> 1
+    | Campaign.Batched | Campaign.Delta | Campaign.Delta_batched -> 1
     | Campaign.Scalar -> max 1 (min jobs (max 1 n))
   in
   (* Per-shard audit samplers, split off deterministically after the
@@ -259,9 +271,11 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
       arng lo hi
   in
   (* ---------------------------------------------------------------- *)
-  (* Batched (lane-parallel) shard: one domain, journaled per window.  *)
-  let run_batched arng =
-    let window = 4 * Campaign.max_fault_lanes in
+  (* Windowed (many-faults-at-once) shard: one domain, journaled per
+     window. The lane-parallel and batched-delta kernels share this
+     loop, differing only in the whole-window injector, the crashed
+     worker recovery, and the window width.                            *)
+  let run_windowed ~window ~inject_all ~recover arng =
     let bo = shard_backoff 0 in
     let lo = ref 0 in
     while !lo < n && not (should_stop ()) do
@@ -290,13 +304,13 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
              (match fault with
              | Some f -> f ~shard:0 ~index:!lo ~attempt:k
              | None -> ());
-             Campaign.inject_batch campaign ~faults ()
+             inject_all ~faults
            with
            | verdicts -> Some verdicts
            | exception Chaos.Injected _ -> attempt k
            | exception _ ->
-             (* The lane worker's state is unknown; rebuild it. *)
-             Campaign.reset_lane_worker campaign;
+             (* The worker's lane state is unknown; rebuild it. *)
+             recover ();
              bump retried;
              if k < retries then begin
                Unix.sleepf (Backoff.next bo);
@@ -339,7 +353,18 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
   in
   Fun.protect ~finally:(fun () -> Option.iter Journal.close writer) @@ fun () ->
   (match kernel with
-  | Campaign.Batched -> run_batched (Prng.restore shard_states.(0))
+  | Campaign.Batched ->
+    run_windowed
+      ~window:(4 * Option.value lanes ~default:Campaign.max_fault_lanes)
+      ~inject_all:(fun ~faults -> Campaign.inject_batch campaign ?lanes ~faults ())
+      ~recover:(fun () -> Campaign.reset_lane_worker campaign)
+      (Prng.restore shard_states.(0))
+  | Campaign.Delta_batched ->
+    run_windowed
+      ~window:(4 * Option.value lanes ~default:Campaign.max_delta_lanes)
+      ~inject_all:(fun ~faults -> Campaign.inject_delta_batch campaign ?lanes ~faults ())
+      ~recover:(fun () -> Campaign.reset_delta_batch_worker campaign)
+      (Prng.restore shard_states.(0))
   | Campaign.Delta ->
     (* The delta worker (shared golden trace + devices) is not
        domain-safe, so the delta kernel always runs one shard. *)

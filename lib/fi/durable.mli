@@ -78,6 +78,7 @@ val run :
   ?jobs:int ->
   ?batched:bool ->
   ?kernel:Campaign.kernel ->
+  ?lanes:int ->
   ?budget:int ->
   ?retries:int ->
   ?retry_backoff:Pruning_util.Backoff.policy ->
@@ -102,15 +103,21 @@ val run :
     so a resumed run audits exactly the faults the original would have).
     [jobs] is the shard/domain count for the scalar path; [batched] uses
     the lane-parallel engine on one shard ([jobs] is ignored). [kernel]
-    selects the engine directly ([Scalar] (default), [Batched] or the
-    activity-gated [Delta]); it subsumes [batched], and passing both
-    [~batched:true] and a non-[Batched] [kernel] is an error. The delta
-    kernel, like the batched one, runs on a single shard; its journals
-    carry the same header shape as scalar [jobs = 1] runs, and since the
-    kernels are verdict-bit-identical those two resume interchangeably.
-    [budget] is the per-experiment watchdog in simulated cycles (scalar
-    and delta paths only). [retries] (default 2) bounds the supervisor's fresh-system
-    retries per experiment (per batch window when [batched]); between
+    selects the engine directly ([Scalar] (default), [Batched], the
+    activity-gated [Delta], or the batched-delta [Delta_batched]); it
+    subsumes [batched], and passing both [~batched:true] and a
+    non-[Batched] [kernel] is an error. The delta-family kernels, like
+    the batched one, run on a single shard; their journals carry the
+    same header shape as scalar [jobs = 1] runs, and since the kernels
+    are verdict-bit-identical those resume interchangeably ([Scalar],
+    [Delta] and [Delta_batched] journals are mutually compatible;
+    [Batched] alone marks its header, a historical distinction
+    {!Journal.require_match} still enforces). [lanes] caps the in-flight
+    faults per pass of the [Batched] / [Delta_batched] kernels (default:
+    the engine's maximum; rejected for the per-fault kernels). [budget]
+    is the per-experiment watchdog in simulated cycles
+    (scalar and delta paths only). [retries] (default 2) bounds the supervisor's fresh-system
+    retries per experiment (per window for the windowed kernels); between
     retries the shard sleeps per [retry_backoff] (default
     {!Pruning_util.Backoff.retry_policy}: capped exponential with jitter
     drawn deterministically from the shard's pinned PRNG state, so reruns

@@ -175,9 +175,19 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
       | _ -> ()
     in
     (match engine.kernel with
-    | Campaign.Batched -> begin
+    | (Campaign.Batched | Campaign.Delta_batched) as kernel -> begin
       (* Classify the skip decisions first, then push the remainder
-         through the lane-parallel engine in one supervised batch. *)
+         through a whole-chunk engine (lane-parallel or batched-delta)
+         in one supervised batch. *)
+      let inject_all, recover =
+        match kernel with
+        | Campaign.Delta_batched ->
+          ( (fun ~faults -> Campaign.inject_delta_batch engine.campaign ~faults ()),
+            fun () -> Campaign.reset_delta_batch_worker engine.campaign )
+        | _ ->
+          ( (fun ~faults -> Campaign.inject_batch engine.campaign ~faults ()),
+            fun () -> Campaign.reset_lane_worker engine.campaign )
+      in
       alive ();
       let inject_idx = ref [] in
       for idx = lo to hi do
@@ -193,13 +203,13 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
           match
             exec_chaos ();
             fault_hook ~index:inject_idx.(0) ~attempt:k;
-            Campaign.inject_batch engine.campaign ~faults ()
+            inject_all ~faults
           with
           | verdicts -> Some verdicts
           | exception Stop -> raise Stop
           | exception Chaos.Injected _ -> attempt k
           | exception _ ->
-            Campaign.reset_lane_worker engine.campaign;
+            recover ();
             if k < retries then begin
               Unix.sleepf (Backoff.next ebo);
               attempt (k + 1)

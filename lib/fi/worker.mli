@@ -16,9 +16,13 @@
 
     Verdict production reuses the single-process engines unchanged
     (scalar {!Campaign.inject_with}, the lane-parallel
-    {!Campaign.inject_batch} or the activity-gated
-    {!Campaign.inject_delta}); since all three produce bit-identical
-    verdicts, a fleet may freely mix workers running different kernels.
+    {!Campaign.inject_batch}, the activity-gated
+    {!Campaign.inject_delta} or the batched-delta
+    {!Campaign.inject_delta_batch}); since all four produce
+    bit-identical verdicts, a fleet may freely mix workers running
+    different kernels. The delta-family workers record the golden
+    baseline once per campaign identity (cached by header across
+    reconnects and chunk re-execution; see {!Campaign.golden_trace}).
     Experiments are
     supervised exactly like {!Durable}: a raising experiment is retried
     on a fresh system with backoff, a persistent failure is reported as

@@ -12,6 +12,7 @@ let () =
       ("checkpoint", Test_checkpoint.suite);
       ("bitsim", Test_bitsim.suite);
       ("deltasim", Test_deltasim.suite);
+      ("deltabatch", Test_deltabatch.suite);
       ("durable", Test_durable.suite);
       ("dist", Test_dist.suite);
       ("chaos", Test_chaos.suite);
