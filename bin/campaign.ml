@@ -26,6 +26,8 @@ module Durable = Pruning_fi.Durable
 module Journal = Pruning_fi.Journal
 module Coordinator = Pruning_fi.Coordinator
 module Worker = Pruning_fi.Worker
+module Supervisor = Pruning_fi.Supervisor
+module Proto = Pruning_fi.Proto
 module Chaos = Pruning_fi.Chaos
 module Search = Pruning_mate.Search
 module Mateset = Pruning_mate.Mateset
@@ -47,16 +49,23 @@ let exit_journal = 17
 let exit_bad_dist = 18
 let exit_network = 19
 let exit_poisoned = 20
+let exit_budget = 21
 
 let fail code fmt = Printf.ksprintf (fun s -> prerr_endline ("campaign: " ^ s); Some code) fmt
 
 (* Self-chaos: a deterministic infrastructure fault plan, armed by
    --chaos SEED. The plan is a pure function of the seed (and budget),
-   so a chaotic run is replayable bit-for-bit. *)
-let make_chaos ~chaos_seed ~chaos_budget =
+   so a chaotic run is replayable bit-for-bit. --chaos-profile process
+   additionally arms whole-process kills/stalls and disk pressure —
+   survivable only under serve --supervise. *)
+let make_chaos ~chaos_profile ~chaos_seed ~chaos_budget =
+  let profile =
+    match chaos_profile with
+    | `Default -> Chaos.default_profile
+    | `Process -> Chaos.process_profile
+  in
   Option.map
-    (fun seed ->
-      Chaos.create ~profile:{ Chaos.default_profile with Chaos.budget = chaos_budget } ~seed ())
+    (fun seed -> Chaos.create ~profile:{ profile with Chaos.budget = chaos_budget } ~seed ())
     chaos_seed
 
 let validate_chaos ~chaos_budget =
@@ -205,7 +214,7 @@ let build_pruner nl ~make ~cycles ~space =
 (* campaign [run]: the single-process engine of PR 1-3.                 *)
 
 let run core program cycles samples seed prune jobs checkpoint_interval batched engine lanes
-    journal resume audit watchdog retries chaos_seed chaos_budget =
+    journal resume audit watchdog retries chaos_profile chaos_seed chaos_budget =
   match resolve_kernel ~batched ~engine with
   | Error code -> code
   | Ok kernel -> (
@@ -286,7 +295,7 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
           ~jobs ~kernel ?lanes
           ?budget:(if watchdog > 0 then Some watchdog else None)
           ~retries ?journal ~resume ~should_stop:stop_requested
-          ?chaos:(make_chaos ~chaos_seed ~chaos_budget) ()
+          ?chaos:(make_chaos ~chaos_profile ~chaos_seed ~chaos_budget) ()
       with
       | exception Journal.Error msg ->
         prerr_endline ("campaign: " ^ msg);
@@ -336,45 +345,36 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
 (* ------------------------------------------------------------------ *)
 (* campaign serve: the distributed coordinator.                         *)
 
-let serve core program cycles samples seed prune listen port port_file chunk_size lease
-    idle_timeout poison_threshold blacklist_threshold verify_frac journal resume verbose
-    chaos_seed chaos_budget =
-  let dist_checks () =
-    if port < 0 || port > 65535 then
-      fail exit_bad_dist "--port must be in [0, 65535] (got %d); 0 picks an ephemeral port" port
-    else if chunk_size < 1 then
-      fail exit_bad_dist "--chunk-size must be positive (got %d)" chunk_size
-    else if lease <= 0. then
-      fail exit_bad_dist "--lease must be positive seconds (got %g)" lease
-    else if idle_timeout < 0. then
-      fail exit_bad_dist "--idle-timeout must be non-negative seconds (got %g); 0 disables it"
-        idle_timeout
-    else if idle_timeout > 0. && idle_timeout <= lease then
-      fail exit_bad_dist
-        "--idle-timeout (%g) must exceed --lease (%g): a lapsed lease keeps the connection, the \
-         read deadline closes it"
-        idle_timeout lease
-    else if poison_threshold < 0 then
-      fail exit_bad_dist "--poison-threshold must be non-negative (got %d); 0 disables quarantine"
-        poison_threshold
-    else if blacklist_threshold < 0 then
-      fail exit_bad_dist
-        "--blacklist-threshold must be non-negative (got %d); 0 disables blacklisting"
-        blacklist_threshold
-    else if not (verify_frac >= 0. && verify_frac <= 1.) then
-      fail exit_bad_dist "--verify-frac must be a fraction in [0, 1] (got %g)" verify_frac
-    else validate_chaos ~chaos_budget
-  in
-  match
-    match
-      validate ~core ~program ~cycles ~samples ~seed ~checkpoint_interval:0 ~audit:0. ~watchdog:0
-        ~retries:0 ~jobs:1 ~prune ~resume ~journal
-    with
-    | Some code -> Some code
-    | None -> dist_checks ()
-  with
-  | Some code -> code
-  | None -> (
+(* The supervisor's liveness probe joins under this reserved name; its
+   Joined/Left chatter is filtered from the coordinator's event log. *)
+let probe_name = "supervisor-probe"
+
+(* Satellite of the self-healing service: the port file is written
+   atomically (tempfile + rename), so a worker re-reading it mid-rewrite
+   never sees an empty or half-written port — it sees the old port (one
+   doomed connect, retried) or the new one. *)
+let write_port_file f port =
+  let tmp = f ^ ".tmp" in
+  let oc = open_out tmp in
+  Printf.fprintf oc "%d\n" port;
+  close_out oc;
+  Sys.rename tmp f
+
+let read_port_file f =
+  match open_in f with
+  | exception Sys_error _ -> None
+  | ic ->
+    let line = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    (match int_of_string_opt (String.trim line) with
+    | Some p when p >= 1 && p <= 65535 -> Some p
+    | _ -> None)
+
+(* One coordinator incarnation: bind, announce, serve, report. Shared by
+   the plain `serve` path and every supervised re-spawn (where [resume]
+   is recomputed per incarnation from the journal's existence). *)
+let run_coordinator ~core ~program ~cycles ~samples ~seed ~prune ~listen ~port ~port_file ~config
+    ~journal ~resume ~verbose ~chaos =
     (* The coordinator is engine-free: the campaign identity (and with
        it, the exact fault list every worker derives) is pinned entirely
        by this header. shards=0 / batched=false marks the journal as
@@ -390,21 +390,9 @@ let serve core program cycles samples seed prune listen port port_file chunk_siz
         audit = 0.;
         shards = 0;
         batched = false;
+        epoch = 0;
         prng = Prng.save (Prng.create seed);
         shard_prng = [||];
-      }
-    in
-    let config =
-      {
-        Coordinator.default_config with
-        Coordinator.listen;
-        port;
-        chunk_size;
-        lease;
-        idle_timeout;
-        poison_threshold;
-        blacklist_threshold;
-        verify_frac;
       }
     in
     match Coordinator.create ~config () with
@@ -416,20 +404,18 @@ let serve core program cycles samples seed prune listen port port_file chunk_siz
         (if prune then ", pruned" else "") listen bound;
       (match port_file with
       | None -> ()
-      | Some f ->
-        let oc = open_out f in
-        Printf.fprintf oc "%d\n" bound;
-        close_out oc);
+      | Some f -> write_port_file f bound);
       install_signal_handlers ();
       let on_event e =
         match e with
         | Coordinator.Progress _ when not verbose -> ()
+        | Coordinator.(Joined { worker } | Left { worker; _ }) when worker = probe_name -> ()
         | _ -> Format.printf "%a@.%!" Coordinator.pp_event e
       in
       let start = Mono.now () in
       match
         Coordinator.serve coordinator ~header ?journal ~resume ~should_stop:stop_requested
-          ?chaos:(make_chaos ~chaos_seed ~chaos_budget) ~on_event ()
+          ?chaos ~on_event ()
       with
       | exception Journal.Error msg ->
         prerr_endline ("campaign: " ^ msg);
@@ -460,7 +446,7 @@ let serve core program cycles samples seed prune listen port port_file chunk_siz
           Printf.eprintf
             "campaign: %d chunks quarantined as poisoned (each killed %d distinct workers): %s\n%s%!"
             (List.length r.Coordinator.poisoned)
-            poison_threshold
+            config.Coordinator.poison_threshold
             (String.concat ", " (List.map string_of_int r.Coordinator.poisoned))
             (match journal with
             | Some dir ->
@@ -476,7 +462,7 @@ let serve core program cycles samples seed prune listen port port_file chunk_siz
             | None -> " only in this process (no --journal given)");
           stop_exit_code ()
         end
-        else 0))
+        else 0)
 
 (* ------------------------------------------------------------------ *)
 (* campaign work: a stateless worker fleet member.                      *)
@@ -496,7 +482,7 @@ let parse_hostport s =
 (* One worker process: engines are built lazily from the coordinator's
    Welcome header, so a worker needs no campaign flags at all. *)
 let work_one ~host ~port ~name ~kernel ~checkpoint_interval ~retries ~max_reconnects
-    ~recv_timeout ~chaos =
+    ~recv_timeout ?readdress ~chaos () =
   let resolve (h : Journal.header) =
     Printf.printf "campaign: %s/%s, %d cycles, %d samples, seed %d%s [%s]\n%!" h.Journal.core
       h.Journal.program h.Journal.cycles h.Journal.samples h.Journal.seed
@@ -530,7 +516,7 @@ let work_one ~host ~port ~name ~kernel ~checkpoint_interval ~retries ~max_reconn
       { Worker.campaign; space; skip; kernel }
   in
   match
-    Worker.run ~host ~port ~resolve ?name ~recv_timeout ~retries ~max_reconnects
+    Worker.run ~host ~port ~resolve ?name ~recv_timeout ~retries ~max_reconnects ?readdress
       ~should_stop:stop_requested ?chaos ()
   with
   | exception Unknown_identity msg ->
@@ -547,7 +533,7 @@ let work_one ~host ~port ~name ~kernel ~checkpoint_interval ~retries ~max_reconn
       exit_network)
 
 let work hostport name workers batched engine checkpoint_interval retries max_reconnects
-    recv_timeout chaos_seed chaos_budget =
+    recv_timeout chaos_profile chaos_seed chaos_budget =
   match resolve_kernel ~batched ~engine with
   | Error code -> code
   | Ok kernel -> (
@@ -577,12 +563,15 @@ let work hostport name workers batched engine checkpoint_interval retries max_re
       let one i =
         work_one ~host ~port ~name ~kernel ~checkpoint_interval ~retries ~max_reconnects
           ~recv_timeout
-          ~chaos:(make_chaos ~chaos_seed:(Option.map (fun s -> s + i) chaos_seed) ~chaos_budget)
+          ~chaos:(make_chaos ~chaos_profile ~chaos_seed:(Option.map (fun s -> s + i) chaos_seed)
+                    ~chaos_budget)
+          ()
       in
       if workers = 1 then Some (one 0)
       else begin
         (* A local fleet: fork first (no domains/threads exist yet), let
-           every process run its own engine, and report the worst exit. *)
+           every process run its own engine, and report the first
+           failure. *)
         let pids =
           List.init workers (fun i ->
               match Unix.fork () with
@@ -593,30 +582,295 @@ let work hostport name workers batched engine checkpoint_interval retries max_re
                 Unix._exit code
               | pid -> pid)
         in
-        let worst = ref 0 in
+        (* Reap in completion order — waitpid(-1) — so a member dying
+           early never sits as a zombie behind a straggling sibling.
+           SIGTERM is forwarded to the whole fleet exactly once, and the
+           first non-zero exit code is the one propagated. *)
+        let remaining = ref (List.length pids) in
+        let first_nonzero = ref 0 in
         let forwarded = ref false in
-        List.iter
-          (fun pid ->
-            let rec wait () =
-              match Unix.waitpid [] pid with
-              | _, Unix.WEXITED c -> if c > !worst then worst := c
-              | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> worst := max !worst exit_network
-              | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-                if stop_requested () && not !forwarded then begin
-                  forwarded := true;
-                  List.iter
-                    (fun p -> try Unix.kill p Sys.sigterm with Unix.Unix_error _ -> ())
-                    pids
-                end;
-                wait ()
+        let forward_stop () =
+          if stop_requested () && not !forwarded then begin
+            forwarded := true;
+            List.iter (fun p -> try Unix.kill p Sys.sigterm with Unix.Unix_error _ -> ()) pids
+          end
+        in
+        while !remaining > 0 do
+          forward_stop ();
+          match Unix.waitpid [] (-1) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) -> remaining := 0
+          | _pid, status ->
+            decr remaining;
+            let code =
+              match status with
+              | Unix.WEXITED c -> c
+              | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> exit_network
             in
-            wait ())
-          pids;
-        Some (if stop_requested () then stop_exit_code () else !worst)
+            if code <> 0 && !first_nonzero = 0 then first_nonzero := code
+        done;
+        Some (if stop_requested () then stop_exit_code () else !first_nonzero)
       end)
   with
   | Some code -> code
   | None -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* campaign serve, take two: the self-healing service.                  *)
+
+(* The supervisor's liveness probe: a full Hello/Welcome handshake with
+   deadlines, so a wedged-but-alive coordinator (accepting but not
+   serving) fails the probe just like a dead one. *)
+let probe_coordinator ~host ~port =
+  match
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_INET (addr, port));
+        let deadline = Mono.now () +. 2. in
+        Proto.send ~deadline fd
+          (Proto.Hello { version = Proto.version; name = probe_name; epoch = -1 });
+        Proto.recv ~deadline fd)
+  with
+  | Proto.Welcome _ -> true
+  | _ -> false
+  | exception _ -> false
+
+(* One supervised fleet member: a plain worker whose address is the port
+   file (re-read before every connect, so it follows a restarted
+   coordinator onto a fresh ephemeral port) and whose reconnect budget
+   is generous — the supervisor, not the worker, decides when to give
+   up on the service. *)
+let supervised_work ~host ~current_port ~index ~chaos =
+  install_signal_handlers ();
+  let rec await_port n =
+    match current_port () with
+    | Some p -> p
+    | None when n > 0 && not (stop_requested ()) ->
+      Unix.sleepf 0.1;
+      await_port (n - 1)
+    | None -> 0 (* let the reconnect loop and [readdress] take over *)
+  in
+  let port = await_port 100 in
+  work_one ~host ~port
+    ~name:(Some (Printf.sprintf "fleet-%d" (index + 1)))
+    ~kernel:Fi_campaign.Scalar ~checkpoint_interval:0 ~retries:2 ~max_reconnects:1000
+    ~recv_timeout:30.
+    ~readdress:(fun () -> Option.map (fun p -> (host, p)) (current_port ()))
+    ~chaos ()
+
+let serve core program cycles samples seed prune listen port port_file chunk_size lease
+    idle_timeout poison_threshold blacklist_threshold verify_frac max_inflight journal resume
+    verbose supervise restart_budget restart_window fleet chaos_profile chaos_seed chaos_budget =
+  let dist_checks () =
+    if port < 0 || port > 65535 then
+      fail exit_bad_dist "--port must be in [0, 65535] (got %d); 0 picks an ephemeral port" port
+    else if chunk_size < 1 then
+      fail exit_bad_dist "--chunk-size must be positive (got %d)" chunk_size
+    else if lease <= 0. then
+      fail exit_bad_dist "--lease must be positive seconds (got %g)" lease
+    else if idle_timeout < 0. then
+      fail exit_bad_dist "--idle-timeout must be non-negative seconds (got %g); 0 disables it"
+        idle_timeout
+    else if idle_timeout > 0. && idle_timeout <= lease then
+      fail exit_bad_dist
+        "--idle-timeout (%g) must exceed --lease (%g): a lapsed lease keeps the connection, the \
+         read deadline closes it"
+        idle_timeout lease
+    else if poison_threshold < 0 then
+      fail exit_bad_dist "--poison-threshold must be non-negative (got %d); 0 disables quarantine"
+        poison_threshold
+    else if blacklist_threshold < 0 then
+      fail exit_bad_dist
+        "--blacklist-threshold must be non-negative (got %d); 0 disables blacklisting"
+        blacklist_threshold
+    else if not (verify_frac >= 0. && verify_frac <= 1.) then
+      fail exit_bad_dist "--verify-frac must be a fraction in [0, 1] (got %g)" verify_frac
+    else if max_inflight < 0 then
+      fail exit_bad_dist "--max-inflight must be non-negative (got %d); 0 disables the bound"
+        max_inflight
+    else if restart_budget < 0 then
+      fail exit_bad_dist "--restart-budget must be non-negative (got %d)" restart_budget
+    else if restart_window <= 0. then
+      fail exit_bad_dist "--restart-window must be positive seconds (got %g)" restart_window
+    else if fleet < 0 then
+      fail exit_bad_dist "--workers must be non-negative (got %d)" fleet
+    else if fleet > 0 && not supervise then
+      fail exit_bad_dist
+        "--workers on serve needs --supervise (use 'campaign work' for an unsupervised fleet)"
+    else if supervise && journal = None then
+      fail exit_bad_dist
+        "--supervise needs --journal: a restarted coordinator re-enters through serve --resume"
+    else if supervise && port = 0 && port_file = None then
+      fail exit_bad_dist
+        "--supervise with --port 0 needs --port-file: a restarted coordinator rebinds, and \
+         workers (and the liveness probe) find the new port there"
+    else validate_chaos ~chaos_budget
+  in
+  match
+    match
+      validate ~core ~program ~cycles ~samples ~seed ~checkpoint_interval:0 ~audit:0. ~watchdog:0
+        ~retries:0 ~jobs:1 ~prune ~resume ~journal
+    with
+    | Some code -> Some code
+    | None -> dist_checks ()
+  with
+  | Some code -> code
+  | None -> (
+    (* Satellite: a stale port file from a previous service would point
+       fresh workers at a dead (or recycled) port; remove it before
+       anyone can read it. The live value is rewritten atomically once
+       the coordinator has bound. *)
+    (match port_file with
+    | Some f when Sys.file_exists f -> ( try Sys.remove f with Sys_error _ -> ())
+    | _ -> ());
+    let config =
+      {
+        Coordinator.default_config with
+        Coordinator.listen;
+        port;
+        chunk_size;
+        lease;
+        idle_timeout;
+        poison_threshold;
+        blacklist_threshold;
+        verify_frac;
+        max_inflight;
+      }
+    in
+    let chaos i =
+      make_chaos ~chaos_profile ~chaos_seed:(Option.map (fun s -> s + i) chaos_seed) ~chaos_budget
+    in
+    let coordinator ~resume () =
+      run_coordinator ~core ~program ~cycles ~samples ~seed ~prune ~listen ~port ~port_file
+        ~config ~journal ~resume ~verbose ~chaos:(chaos 0)
+    in
+    if not supervise then coordinator ~resume ()
+    else begin
+      let journal_dir = Option.get journal in
+      install_signal_handlers ();
+      let spawn_child body () =
+        match Unix.fork () with
+        | 0 ->
+          (* The child starts with a clean slate: a signal the parent
+             absorbed before the fork must not look received here. *)
+          Atomic.set stop_signal 0;
+          let code =
+            try body () with
+            | Journal.Error msg ->
+              prerr_endline ("campaign: " ^ msg);
+              exit_journal
+            | _ -> exit_network
+          in
+          (* _exit skips at_exit, so flush the report lines explicitly. *)
+          (try flush_all () with Sys_error _ -> ());
+          Unix._exit code
+        | pid -> pid
+      in
+      let current_port () =
+        match port_file with
+        | Some f -> read_port_file f
+        | None -> if port > 0 then Some port else None
+      in
+      let specs =
+        {
+          Supervisor.name = "coordinator";
+          critical = true;
+          spawn =
+            spawn_child (fun () ->
+                (* Each incarnation decides for itself: a journal on disk
+                   means a previous incarnation recorded something — come
+                   back through --resume, which also bumps the epoch that
+                   tells surviving workers to re-deliver. *)
+                coordinator ~resume:(resume || Journal.exists ~dir:journal_dir) ());
+        }
+        :: List.init fleet (fun i ->
+               {
+                 Supervisor.name = Printf.sprintf "worker-%d" (i + 1);
+                 critical = false;
+                 spawn =
+                   spawn_child (fun () ->
+                       supervised_work ~host:listen ~current_port ~index:i
+                         ~chaos:(chaos (i + 1)));
+               })
+      in
+      let probe () =
+        match current_port () with
+        | None -> false
+        | Some p -> probe_coordinator ~host:listen ~port:p
+      in
+      let sup_config =
+        {
+          Supervisor.default_config with
+          Supervisor.max_restarts = restart_budget;
+          window = restart_window;
+          probe_interval = 2.0;
+        }
+      in
+      let on_event e = Format.printf "supervisor: %a@.%!" Supervisor.pp_event e in
+      let r = Supervisor.run ~config:sup_config ~probe ~should_stop:stop_requested ~on_event specs in
+      match r.Supervisor.outcome with
+      | Supervisor.Completed code ->
+        Printf.printf "supervisor: campaign complete (%d restarts, %d probe kills)\n"
+          r.Supervisor.restarts r.Supervisor.probe_kills;
+        code
+      | Supervisor.Stopped -> stop_exit_code ()
+      | Supervisor.Exhausted { name; last_code } ->
+        Printf.eprintf
+          "campaign: restart budget exhausted on %s (last exit %d); the journal is intact — rerun \
+           with --supervise or finish with serve --resume --journal %s\n%!"
+          name last_code journal_dir;
+        exit_budget
+    end)
+
+(* ------------------------------------------------------------------ *)
+(* campaign fsck: offline journal integrity check.                      *)
+
+let fsck_dir dir =
+  let r = Journal.fsck ~dir in
+  (match r.Journal.fsck_header with
+  | Some h ->
+    Printf.printf "header: %s/%s, %d cycles, %d samples, seed %d%s, epoch %d%s\n" h.Journal.core
+      h.Journal.program h.Journal.cycles h.Journal.samples h.Journal.seed
+      (if h.Journal.prune then ", pruned" else "")
+      h.Journal.epoch
+      (if h.Journal.shards = 0 then " (distributed)"
+       else Printf.sprintf " (%d shards)" h.Journal.shards)
+  | None -> Printf.printf "header: missing or unreadable\n");
+  Printf.printf "segments: %d sealed%s\n" r.Journal.fsck_segments
+    (match r.Journal.fsck_active with
+    | Some n -> Printf.sprintf ", active with %d records" n
+    | None -> ", no active segment");
+  if r.Journal.fsck_torn_bytes > 0 then
+    Printf.printf "torn tail: %d trailing bytes (resume will truncate them)\n"
+      r.Journal.fsck_torn_bytes;
+  let c = r.Journal.fsck_counts in
+  Printf.printf "records: %d intact\n" r.Journal.fsck_records;
+  Printf.printf "verdicts: %d benign, %d latent, %d SDC, %d skipped, %d crashed\n" c.(0) c.(1)
+    c.(2) c.(3) c.(4);
+  if c.(5) > 0 then Printf.printf "quarantined MATEs: %d\n" c.(5);
+  if c.(6) > 0 then Printf.printf "poisoned chunks: %d\n" c.(6);
+  (match r.Journal.fsck_header with
+  | Some h -> Printf.printf "covered: %d of %d samples\n" r.Journal.fsck_covered h.Journal.samples
+  | None -> Printf.printf "covered: %d distinct sample indices\n" r.Journal.fsck_covered);
+  if r.Journal.fsck_errors = [] then begin
+    print_string "clean: a resume will accept this journal\n";
+    0
+  end
+  else begin
+    List.iter
+      (fun (file, problem) -> Printf.eprintf "campaign: %s: %s\n" file problem)
+      r.Journal.fsck_errors;
+    Printf.eprintf "campaign: %d problem%s found\n%!"
+      (List.length r.Journal.fsck_errors)
+      (if List.length r.Journal.fsck_errors = 1 then "" else "s");
+    exit_journal
+  end
 
 (* ------------------------------------------------------------------ *)
 (* CLI.                                                                 *)
@@ -742,6 +996,18 @@ let chaos_budget_arg =
           "Total faults the chaos plan may inject before going quiet (per process). A finite \
            budget guarantees the campaign eventually makes progress.")
 
+let chaos_profile_arg =
+  Arg.(
+    value
+    & opt (enum [ ("default", `Default); ("process", `Process) ]) `Default
+    & info [ "chaos-profile" ] ~docv:"PROFILE"
+        ~doc:
+          "Which fault rates the $(b,--chaos) plan draws from: $(b,default) injects only \
+           in-process faults every layer already absorbs; $(b,process) additionally arms \
+           whole-process kills and stalls (mid-dispatch, mid-drain, mid-seal) and disk pressure \
+           (transient ENOSPC, slow writes) — faults only a supervised service (serve \
+           $(b,--supervise)) rides out.")
+
 let exit_doc =
   [
     `S Manpage.s_exit_status;
@@ -756,7 +1022,10 @@ let exit_doc =
         --max-reconnects, or --name with --workers > 1); 19: network failure (a worker gave up \
         reconnecting) or a determinism violation between workers (disagreeing or \
         cross-validation verdicts); 20: chunks quarantined as poisoned after repeatedly killing \
-        workers (stats exclude them; resumable with --resume).";
+        workers (stats exclude them; resumable with --resume); 21: the supervisor's restart \
+        budget was exhausted (a child kept dying faster than --restart-budget per \
+        --restart-window allows) — the journal is intact, so rerunning with --supervise (or \
+        serve --resume) finishes the campaign.";
     `P "130/143: interrupted by SIGINT/SIGTERM after a clean journal flush (resumable with \
         --resume).";
   ]
@@ -765,7 +1034,7 @@ let run_term =
   Term.(
     const run $ core $ program $ cycles $ samples $ seed $ prune $ jobs $ checkpoint_interval
     $ batched $ engine_arg $ lanes_arg $ journal $ resume $ audit $ watchdog $ retries
-    $ chaos_seed_arg $ chaos_budget_arg)
+    $ chaos_profile_arg $ chaos_seed_arg $ chaos_budget_arg)
 
 let run_cmd =
   Cmd.v
@@ -842,17 +1111,67 @@ let serve_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Also print per-frame progress events.")
   in
+  let max_inflight =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Backpressure bound on chunks simultaneously out on leases: requests past it are \
+             answered Wait until verdicts drain. The same Wait is served while the journal \
+             writer is degraded (disk pressure, ENOSPC retries). 0 disables the bound.")
+  in
+  let supervise =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Run the coordinator (and, with $(b,--workers), a local fleet) as supervised child \
+             processes: any child that dies — SIGKILL included — is restarted under capped \
+             exponential backoff, the coordinator re-entering through $(b,--resume) with a \
+             bumped epoch, with zero operator intervention and bit-identical final statistics. \
+             Requires $(b,--journal); with $(b,--port 0) also $(b,--port-file). A liveness \
+             probe (Hello/Welcome with deadlines) additionally catches a wedged-but-alive \
+             coordinator and kills it into the same restart path.")
+  in
+  let restart_budget =
+    Arg.(
+      value & opt int 5
+      & info [ "restart-budget" ] ~docv:"N"
+          ~doc:
+            "Restarts allowed per child within a sliding $(b,--restart-window): a child dying \
+             faster than that exhausts its budget and the service escalates to exit 21 — \
+             resumable, never a silent crash loop.")
+  in
+  let restart_window =
+    Arg.(
+      value & opt float 60.
+      & info [ "restart-window" ] ~docv:"SECONDS"
+          ~doc:"The sliding window $(b,--restart-budget) counts restarts in.")
+  in
+  let fleet =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Fork $(docv) supervised local workers alongside the coordinator (scalar engine, \
+             named fleet-1..fleet-N, following the port file across coordinator restarts). \
+             Requires $(b,--supervise); 0 means workers join externally via $(b,campaign work).")
+  in
   Cmd.v
     (Cmd.info "serve" ~man:exit_doc
        ~doc:
          "distributed-campaign coordinator: owns the fault-space sharding, the verdict journal \
           and the chunk-lease table; workers connect with $(b,campaign work). Survives worker \
-          crashes, stragglers, misbehaving clients and its own restart (--journal + --resume); \
-          final statistics are bit-identical to $(b,campaign run) with the same seed.")
+          crashes, stragglers, misbehaving clients and its own restart (--journal + --resume) — \
+          or, with $(b,--supervise), restarts itself: a supervisor process respawns the dead \
+          coordinator into $(b,--resume) under a restart budget, surviving workers rejoin the \
+          new epoch and re-deliver in-flight verdicts; final statistics are bit-identical to \
+          $(b,campaign run) with the same seed.")
     Term.(
       const serve $ core $ program $ cycles $ samples $ seed $ prune $ listen $ port $ port_file
       $ chunk_size $ lease $ idle_timeout $ poison_threshold $ blacklist_threshold $ verify_frac
-      $ journal $ resume $ verbose $ chaos_seed_arg $ chaos_budget_arg)
+      $ max_inflight $ journal $ resume $ verbose $ supervise $ restart_budget $ restart_window
+      $ fleet $ chaos_profile_arg $ chaos_seed_arg $ chaos_budget_arg)
 
 let work_cmd =
   let hostport =
@@ -899,7 +1218,24 @@ let work_cmd =
           current chunk is re-dispatched.")
     Term.(
       const work $ hostport $ worker_name $ workers $ batched $ engine_arg $ checkpoint_interval
-      $ retries $ max_reconnects $ recv_timeout $ chaos_seed_arg $ chaos_budget_arg)
+      $ retries $ max_reconnects $ recv_timeout $ chaos_profile_arg $ chaos_seed_arg
+      $ chaos_budget_arg)
+
+let fsck_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOURNAL_DIR" ~doc:"The journal directory to scan.")
+  in
+  Cmd.v
+    (Cmd.info "fsck" ~man:exit_doc
+       ~doc:
+         "offline read-only integrity check of a verdict journal: validates the header and every \
+          record CRC-32, reports seal state, torn trailing bytes, per-kind verdict counts and \
+          sample coverage without modifying anything. Exit 0 means a resume will accept the \
+          journal; exit 17 lists what is damaged.")
+    Term.(const fsck_dir $ dir)
 
 let cmd =
   Cmd.group ~default:run_term
@@ -908,6 +1244,6 @@ let cmd =
          "sampled fault-injection campaign with optional MATE pruning, crash-safe journaling, \
           supervised execution, MATE soundness auditing and distributed coordinator/worker \
           operation")
-    [ run_cmd; serve_cmd; work_cmd ]
+    [ run_cmd; serve_cmd; work_cmd; fsck_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -16,6 +16,8 @@ type action =
   | Crash
   | Stall of float
   | Duplicate
+  | Kill
+  | Disk_full
 
 type site =
   | Send
@@ -24,6 +26,10 @@ type site =
   | Journal_fsync
   | Journal_rename
   | Exec
+  | Dispatch
+  | Drain
+  | Seal
+  | Disk
 
 let site_index = function
   | Send -> 0
@@ -32,8 +38,12 @@ let site_index = function
   | Journal_fsync -> 3
   | Journal_rename -> 4
   | Exec -> 5
+  | Dispatch -> 6
+  | Drain -> 7
+  | Seal -> 8
+  | Disk -> 9
 
-let n_sites = 6
+let n_sites = 10
 
 let site_name = function
   | Send -> "send"
@@ -42,6 +52,10 @@ let site_name = function
   | Journal_fsync -> "journal-fsync"
   | Journal_rename -> "journal-rename"
   | Exec -> "exec"
+  | Dispatch -> "dispatch"
+  | Drain -> "drain"
+  | Seal -> "seal"
+  | Disk -> "disk"
 
 type profile = {
   net_delay : float;
@@ -58,6 +72,10 @@ type profile = {
   exec_crash : float;
   exec_stall : float;
   exec_dup : float;
+  proc_kill : float;
+  proc_stall : float;
+  disk_full : float;
+  disk_stall : float;
   stall : float;
   budget : int;
 }
@@ -80,6 +98,14 @@ let default_profile =
     exec_crash = 0.02;
     exec_stall = 0.005;
     exec_dup = 0.02;
+    (* Whole-process kills and disk pressure are off by default: a plain
+       [--chaos N] run must keep the documented exit-code contract
+       (0 | 17 | 19 | 20). They only fire under {!process_profile},
+       whose natural habitat is a supervised campaign. *)
+    proc_kill = 0.;
+    proc_stall = 0.;
+    disk_full = 0.;
+    disk_stall = 0.;
     stall = 0.3;
     budget = 64;
   }
@@ -100,8 +126,36 @@ let quiet_profile =
     exec_crash = 0.;
     exec_stall = 0.;
     exec_dup = 0.;
+    proc_kill = 0.;
+    proc_stall = 0.;
+    disk_full = 0.;
+    disk_stall = 0.;
     stall = 0.;
     budget = 0;
+  }
+
+(* Supervised-soak profile: everything the default profile injects, plus
+   whole-process SIGKILLs at the coordinator's dispatch/drain/seal sites
+   and transient disk pressure at the journal's disk site. Only safe
+   under a supervisor — an unsupervised process dies un-resumed. *)
+let process_profile =
+  {
+    default_profile with
+    proc_kill = 0.01;
+    proc_stall = 0.005;
+    disk_full = 0.01;
+    disk_stall = 0.01;
+    (* The sticky injected disk faults are off here: a restarted
+       coordinator re-arms the same seeded plan, so a deterministic
+       early [Journal.Error] re-fires every incarnation and turns the
+       run into a restart-budget exhaustion test instead of a failover
+       soak. Kills, stalls, disk pressure and wire faults are the
+       classes a supervisor can actually heal. *)
+    journal_short = 0.;
+    journal_enospc = 0.;
+    journal_eio = 0.;
+    journal_fsync = 0.;
+    journal_torn = 0.;
   }
 
 type t = {
@@ -177,6 +231,18 @@ let draw t site =
             (p.exec_stall, fun () -> Stall p.stall);
             (p.exec_dup, fun () -> Duplicate);
           ]
+      | Dispatch | Drain | Seal ->
+        choose
+          [
+            (p.proc_kill, fun () -> Kill);
+            (p.proc_stall, fun () -> Stall p.stall);
+          ]
+      | Disk ->
+        choose
+          [
+            (p.disk_full, fun () -> Disk_full);
+            (p.disk_stall, fun () -> Stall p.stall);
+          ]
     in
     (match a with
     | Pass -> ()
@@ -205,6 +271,12 @@ let action_to_string = function
   | Crash -> "crash"
   | Stall s -> Printf.sprintf "stall(%h)" s
   | Duplicate -> "duplicate"
+  | Kill -> "kill"
+  | Disk_full -> "disk-full"
+
+(* The action a [Kill] consultation point applies: SIGKILL to self — the
+   most brutal crash available, no atexit, no flush, no unwind. *)
+let kill_self () = Unix.kill (Unix.getpid ()) Sys.sigkill
 
 let plan ?profile ~seed site ~n =
   if n < 0 then invalid_arg "Chaos.plan: n must be non-negative";

@@ -55,6 +55,8 @@ type action =
   | Crash  (** raise {!Injected} inside the experiment *)
   | Stall of float  (** stall the experiment this long (past leases/watchdogs) *)
   | Duplicate  (** send the results frame twice (duplicate verdict replay) *)
+  | Kill  (** SIGKILL the drawing process itself ({!kill_self}) *)
+  | Disk_full  (** transient disk pressure: the journal pauses and retries *)
 
 type site =
   | Send  (** {!Proto} frame transmission *)
@@ -63,6 +65,10 @@ type site =
   | Journal_fsync  (** {!Journal} fsync points *)
   | Journal_rename  (** {!Journal} segment-seal rename *)
   | Exec  (** one experiment attempt (and one results flush) *)
+  | Dispatch  (** coordinator, just before sending an [Assign] *)
+  | Drain  (** coordinator, each iteration of the shutdown drain loop *)
+  | Seal  (** coordinator journal, mid segment seal (between close and rename) *)
+  | Disk  (** journal append, before the record write (disk-pressure point) *)
 
 val site_name : site -> string
 
@@ -81,6 +87,10 @@ type profile = {
   exec_crash : float;  (** P(Crash) per experiment attempt *)
   exec_stall : float;  (** P(Stall) per experiment attempt *)
   exec_dup : float;  (** P(Duplicate) per results flush *)
+  proc_kill : float;  (** P(Kill) at [Dispatch]/[Drain]/[Seal] *)
+  proc_stall : float;  (** P(Stall) at [Dispatch]/[Drain]/[Seal] *)
+  disk_full : float;  (** P(Disk_full) at [Disk] *)
+  disk_stall : float;  (** P(Stall) at [Disk] (drives writer backpressure) *)
   stall : float;  (** Stall duration, seconds *)
   budget : int;  (** total faults injected before the plan goes quiet *)
 }
@@ -88,7 +98,19 @@ type profile = {
     the remainder is the probability of [Pass]. *)
 
 val default_profile : profile
-(** Moderate rates at every site, [budget = 64], [stall = 0.3] s. *)
+(** Moderate rates at every I/O site, [budget = 64], [stall = 0.3] s.
+    Whole-process kill and disk-pressure rates are {e zero}: a plain
+    [--chaos N] run keeps the documented exit-code contract. *)
+
+val process_profile : profile
+(** {!default_profile} plus whole-process SIGKILLs ([Dispatch]/[Drain]/
+    [Seal]) and transient disk pressure ([Disk]), minus the sticky
+    injected disk faults (short writes, ENOSPC/EIO, fsync, torn rename):
+    a restarted coordinator re-arms the same seeded plan, so a
+    deterministic sticky fault would re-fire every incarnation and
+    exhaust the restart budget instead of soaking failover. Only
+    meaningful under {!Supervisor} — an unsupervised process dies
+    un-resumed. *)
 
 val quiet_profile : profile
 (** All rates (and the budget) zero — a no-op plan; start from this to
@@ -108,6 +130,10 @@ val injected : t -> int
 
 val exhausted : t -> bool
 (** The budget is spent: every future {!draw} returns [Pass]. *)
+
+val kill_self : unit -> unit
+(** Apply a [Kill]: SIGKILL the calling process. No flush, no unwind —
+    the most brutal crash a consultation point can inject. *)
 
 (** {1 Materialized plans} (determinism tests, logging) *)
 

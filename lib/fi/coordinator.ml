@@ -13,6 +13,7 @@ type config = {
   poison_threshold : int;
   blacklist_threshold : int;
   verify_frac : float;
+  max_inflight : int;
 }
 
 let default_config =
@@ -28,6 +29,7 @@ let default_config =
     poison_threshold = 3;
     blacklist_threshold = 3;
     verify_frac = 0.;
+    max_inflight = 1024;
   }
 
 type event =
@@ -41,6 +43,7 @@ type event =
   | Quarantined of { chunk_id : int; deaths : int }
   | Blacklisted of { worker : string; strikes : int }
   | Verified of { chunk_id : int; worker : string }
+  | Rejoined of { worker : string; stale_epoch : int; epoch : int }
   | Completed
 
 let pp_event ppf = function
@@ -64,6 +67,8 @@ let pp_event ppf = function
     Format.fprintf ppf "worker %s blacklisted after %d corrupt frames" worker strikes
   | Verified { chunk_id; worker } ->
     Format.fprintf ppf "chunk %d cross-validated by %s" chunk_id worker
+  | Rejoined { worker; stale_epoch; epoch } ->
+    Format.fprintf ppf "worker %s rejoined from epoch %d into epoch %d" worker stale_epoch epoch
   | Completed -> Format.fprintf ppf "campaign complete"
 
 type result = {
@@ -78,6 +83,8 @@ type result = {
   poisoned : int list;
   blacklisted : int;
   verified : int;
+  rejoined : int;
+  epoch : int;
 }
 
 type t = {
@@ -101,6 +108,8 @@ let create ?(config = default_config) () =
     invalid_arg "Coordinator.create: blacklist_threshold must be non-negative";
   if config.verify_frac < 0. || config.verify_frac > 1. then
     invalid_arg "Coordinator.create: verify_frac must be in [0, 1]";
+  if config.max_inflight < 0 then
+    invalid_arg "Coordinator.create: max_inflight must be non-negative";
   (* A worker death must surface as a socket error on our side, not kill
      the coordinator process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -166,9 +175,10 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
   let strikes : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let refused : (string, unit) Hashtbl.t = Hashtbl.create 8 in
   let verified = ref 0 in
-  let writer =
+  let rejoined = ref 0 in
+  let writer, header =
     match journal with
-    | None -> None
+    | None -> (None, header)
     | Some dir when resume ->
       let h, entries, dropped, w = Journal.resume ?records_per_segment ?chaos ~dir () in
       Journal.require_match ~what:dir h header;
@@ -187,8 +197,14 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
           | Journal.Quarantine _ | Journal.Poisoned _ -> ())
         entries;
       dropped_bytes := dropped;
-      Some w
-    | Some dir -> Some (Journal.create ?records_per_segment ?chaos ~dir header)
+      (* Every resume is a new coordinator generation: bump the epoch,
+         persist it, and announce it in Welcome — workers that survived
+         the previous coordinator use the change to drop stale leases
+         and re-deliver their in-flight verdicts. *)
+      let h = { h with Journal.epoch = h.Journal.epoch + 1 } in
+      Journal.update_header ~dir h;
+      (Some w, h)
+    | Some dir -> (Some (Journal.create ?records_per_segment ?chaos ~dir header), header)
   in
   (* ---------------------------------------------------------------- *)
   (* Chunk table. Coverage of the outcome range is the ground truth;   *)
@@ -341,12 +357,33 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
   (* The service is over when every sample has a verdict or lies in a
      quarantined chunk, and no cross-validation is still outstanding. *)
   let finished () = !n_done + !poisoned_holes >= n && !verify_outstanding <= 0 in
+  (* Whole-process chaos: the coordinator SIGKILLs itself mid-dispatch
+     or mid-drain. Only a supervisor makes this survivable — which is
+     the point: these sites exist to prove it is. *)
+  let chaos_proc site =
+    match Option.map (fun c -> Chaos.draw c site) chaos with
+    | Some Chaos.Kill -> Chaos.kill_self ()
+    | Some (Chaos.Stall s) -> Unix.sleepf s
+    | _ -> ()
+  in
+  let inflight () = Array.fold_left (fun a s -> if s = Leased then a + 1 else a) 0 state in
+  (* Graceful degradation, consulted per Request: while the journal
+     writer is degraded (disk pressure, ENOSPC retries, injected stalls)
+     or too many chunks are already out on leases, answer [Wait] instead
+     of leasing more — backpressure instead of ballooning in-flight
+     state the struggling journal cannot keep up with. Never during the
+     finished/drain phase, where the only correct answer is [Done]. *)
+  let degraded () =
+    (not (finished ()))
+    && ((match writer with Some w -> Journal.stalled w | None -> false)
+       || (cfg.max_inflight > 0 && inflight () >= cfg.max_inflight))
+  in
   (* Fatal per-connection protocol violations are raised as [Proto.Error]
      and only drop the offending connection, never the campaign. *)
   let handle conn msg =
     conn.last_seen <- Mono.now ();
     match msg with
-    | Proto.Hello { version; name } ->
+    | Proto.Hello { version; name; epoch } ->
       if version <> Proto.version then
         raise (Proto.Error (Printf.sprintf "protocol version %d, expected %d" version Proto.version));
       conn.name <- name;
@@ -360,25 +397,36 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
       | _ -> ());
       conn.greeted <- true;
       Hashtbl.replace workers name ();
+      (* A worker announcing a different (non-fresh) epoch survived a
+         coordinator it lost: it is about to re-deliver its in-flight
+         verdicts, which first-verdict-wins dedup absorbs. *)
+      if epoch >= 0 && epoch <> header.Journal.epoch then begin
+        incr rejoined;
+        on_event (Rejoined { worker = name; stale_epoch = epoch; epoch = header.Journal.epoch })
+      end;
       on_event (Joined { worker = name });
       send conn (Proto.Welcome header)
     | _ when not conn.greeted -> raise (Proto.Error "first message must be Hello")
-    | Proto.Request -> (
-      match pop_chunk () with
-      | Some c ->
-        state.(c) <- Leased;
-        conn.leases <- c :: conn.leases;
-        let chunk = { Proto.chunk_id = c; lo = chunk_lo c; hi = chunk_hi c } in
-        on_event (Assigned { worker = conn.name; chunk });
-        send conn (Proto.Assign chunk)
-      | None -> (
-        match pop_verify conn with
+    | Proto.Request ->
+      if degraded () then send conn Proto.Wait
+      else (
+        match pop_chunk () with
         | Some c ->
-          conn.vleases <- c :: conn.vleases;
+          state.(c) <- Leased;
+          conn.leases <- c :: conn.leases;
           let chunk = { Proto.chunk_id = c; lo = chunk_lo c; hi = chunk_hi c } in
           on_event (Assigned { worker = conn.name; chunk });
+          chaos_proc Chaos.Dispatch;
           send conn (Proto.Assign chunk)
-        | None -> send conn (if finished () then Proto.Done else Proto.Wait)))
+        | None -> (
+          match pop_verify conn with
+          | Some c ->
+            conn.vleases <- c :: conn.vleases;
+            let chunk = { Proto.chunk_id = c; lo = chunk_lo c; hi = chunk_hi c } in
+            on_event (Assigned { worker = conn.name; chunk });
+            chaos_proc Chaos.Dispatch;
+            send conn (Proto.Assign chunk)
+          | None -> send conn (if finished () then Proto.Done else Proto.Wait)))
     | Proto.Results { chunk_id; results } ->
       if chunk_id < 0 || chunk_id >= n_chunks then
         raise (Proto.Error (Printf.sprintf "results for unknown chunk %d" chunk_id));
@@ -528,6 +576,7 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
        coordinator may be resumed). *)
     let deadline = Mono.now () +. cfg.drain in
     while !conns <> [] && Mono.now () < deadline do
+      chaos_proc Chaos.Drain;
       select_tick ()
     done
   end;
@@ -563,4 +612,6 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
     poisoned = List.sort compare !poisoned;
     blacklisted = Hashtbl.length refused;
     verified = !verified;
+    rejoined = !rejoined;
+    epoch = header.Journal.epoch;
   }

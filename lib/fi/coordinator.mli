@@ -43,7 +43,17 @@
       disagreement is a determinism violation.
     - {e Coordinator death}: every verdict is already journaled; a new
       coordinator started with [resume:true] on the same journal picks
-      up where the old one stopped.
+      up where the old one stopped. Every resume bumps the journal's
+      {e epoch} (restart generation) and announces it in [Welcome]:
+      workers that survived the old coordinator detect the change, drop
+      stale lease state and re-deliver their in-flight verdicts (safe
+      under first-verdict-wins dedup). Under {!Supervisor} this makes a
+      coordinator SIGKILL a zero-intervention event.
+    - {e Backpressure}: while the journal writer is degraded (disk
+      pressure, ENOSPC retries — {!Journal.stalled}) or [max_inflight]
+      chunks are already out on leases, [Request]s are answered [Wait]
+      instead of leasing more — the coordinator degrades instead of
+      ballooning in-flight state it cannot record.
     - {e Graceful degradation}: the campaign completes with bit-identical
       statistics as long as any non-empty subset of workers survives
       long enough to drain the chunk queue. *)
@@ -74,12 +84,16 @@ type config = {
   verify_frac : float;
       (** fraction of completed chunks re-issued to a second worker for
           cross-validation, in [0, 1]. 0 disables *)
+  max_inflight : int;
+      (** bound on chunks simultaneously out on leases; [Request]s past
+          it are answered [Wait]. 0 disables the bound *)
 }
 
 val default_config : config
 (** [{ listen = "127.0.0.1"; port = 0; chunk_size = 256; lease = 10.;
       write_timeout = 5.; tick = 0.05; drain = 5.; idle_timeout = 30.;
-      poison_threshold = 3; blacklist_threshold = 3; verify_frac = 0. }] *)
+      poison_threshold = 3; blacklist_threshold = 3; verify_frac = 0.;
+      max_inflight = 1024 }] *)
 
 type event =
   | Joined of { worker : string }
@@ -97,6 +111,9 @@ type event =
       (** the name's [Hello] was refused after repeated misbehavior *)
   | Verified of { chunk_id : int; worker : string }
       (** a cross-validation pass re-derived identical verdicts *)
+  | Rejoined of { worker : string; stale_epoch : int; epoch : int }
+      (** the worker's [Hello] announced a previous coordinator's epoch:
+          it survived a failover and is re-delivering in-flight verdicts *)
   | Completed
 
 val pp_event : Format.formatter -> event -> unit
@@ -115,6 +132,8 @@ type result = {
           finished degraded and should be resumed (exit 20 upstairs) *)
   blacklisted : int;  (** worker names refused at [Hello] *)
   verified : int;  (** chunks whose cross-validation pass agreed *)
+  rejoined : int;  (** handshakes announcing a stale (pre-failover) epoch *)
+  epoch : int;  (** the coordinator generation this run served under *)
 }
 
 type t

@@ -105,6 +105,7 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
       audit = audit_p;
       shards;
       batched = kernel = Campaign.Batched;
+      epoch = 0;
       prng = master_state;
       shard_prng = shard_states;
     }

@@ -1,4 +1,5 @@
 module Crc = Pruning_util.Crc
+module Mono = Pruning_util.Mono
 
 type outcome =
   | Benign
@@ -22,6 +23,7 @@ type header = {
   audit : float;
   shards : int;
   batched : bool;
+  epoch : int;
   prng : string;
   shard_prng : string array;
 }
@@ -157,6 +159,7 @@ let header_to_string h =
   kv "audit" (Printf.sprintf "%h" h.audit);
   kv "shards" (string_of_int h.shards);
   kv "batched" (if h.batched then "1" else "0");
+  kv "epoch" (string_of_int h.epoch);
   kv "prng" h.prng;
   Array.iteri (fun i s -> kv (Printf.sprintf "shard%d" i) s) h.shard_prng;
   let body = Buffer.contents b in
@@ -207,6 +210,15 @@ let header_of_string ~what:dir s =
       | None -> error "%s: journal header field \"audit\" is not a float" dir);
     shards;
     batched = get "batched" = "1";
+    (* Journals written before coordinator epochs existed have no epoch
+       field; they are generation zero. *)
+    epoch =
+      (match Hashtbl.find_opt fields "epoch" with
+      | None -> 0
+      | Some v -> (
+        match int_of_string_opt v with
+        | Some e -> e
+        | None -> error "%s: journal header field \"epoch\" is not an integer" dir));
     prng = get "prng";
     shard_prng = Array.init shards (fun i -> get (Printf.sprintf "shard%d" i));
   }
@@ -234,9 +246,18 @@ let require_match ~what (h : header) (want : header) =
     (string_of_int want.shards);
   chk "batched" (h.batched = want.batched) (string_of_bool h.batched) (string_of_bool want.batched);
   chk "prng" (h.prng = want.prng) h.prng want.prng;
+  (* The epoch is deliberately NOT checked: it is the coordinator's
+     restart generation, not campaign identity — every supervised
+     failover resumes under a bumped epoch by design. *)
   if !problems <> [] then
     error "%s: cannot resume, the journal was written by a different campaign:\n  %s" what
       (String.concat "\n  " (List.rev !problems))
+
+(* Campaign identity modulo the restart generation: what a worker's
+   engine cache may key on, and what decides whether two headers
+   describe the same verdicts. *)
+let same_campaign (a : header) (b : header) =
+  { a with epoch = 0 } = { b with epoch = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Writer.                                                             *)
@@ -251,9 +272,32 @@ type writer = {
   mutable next_segment : int;
   mutable closed : bool;
   mutable failed : string option;  (* first failure; all later appends refuse *)
+  mutable slow_until : float;  (* Mono deadline while the writer is degraded *)
 }
 
 let default_rps = 4096
+
+(* An append slower than this marks the writer degraded for the cooldown
+   window; {!stalled} then reads true and the coordinator answers [Wait]
+   instead of leasing more chunks — backpressure instead of ballooning
+   in-flight state over a struggling disk. *)
+let slow_append_threshold = 0.25
+let slow_cooldown = 2.0
+
+(* Transient real ENOSPC: pause and retry this many times (an operator
+   or log rotation freeing space mid-campaign) before declaring the
+   sticky failure that [--resume] recovers from. *)
+let enospc_retries = 8
+let enospc_pause = 0.25
+
+let string_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* strerror(ENOSPC) is "No space left on device"; Sys_error gives us only
+   the rendered message, so match on its distinctive word. *)
+let is_no_space msg = string_contains msg "space"
 
 (* Disk failures are sticky: after the first failed write/fsync/rename
    the writer refuses every further append with the original message.
@@ -283,6 +327,12 @@ let rotate w =
      missing tail records — indistinguishable from corruption. *)
   fsync_channel w.chan;
   close_out w.chan;
+  (* The cruellest instant for a crash: the active segment is closed but
+     not yet sealed under its final name. *)
+  (match chaos_draw w Chaos.Seal with
+  | Chaos.Kill -> Chaos.kill_self ()
+  | Chaos.Stall s -> Unix.sleepf s
+  | _ -> ());
   (match chaos_draw w Chaos.Journal_rename with
   | Chaos.Torn_rename ->
     (* The seal rename is lost, as if power died between the close and
@@ -300,8 +350,25 @@ let append w entry =
   Fun.protect ~finally:(fun () -> Mutex.unlock w.lock) @@ fun () ->
   if w.closed then error "%s: journal writer is closed" w.dir;
   (match w.failed with Some msg -> raise (Error msg) | None -> ());
+  let t0 = Mono.now () in
+  let mark_slow () = w.slow_until <- Mono.now () +. slow_cooldown in
   let buf = Bytes.create record_size in
   encode_record buf entry;
+  (* Transient disk pressure: wait it out, re-consulting the plan each
+     round. The chaos budget bounds the loop; the writer is marked
+     degraded so the coordinator stops leasing until it drains. *)
+  let rec disk_pressure () =
+    match chaos_draw w Chaos.Disk with
+    | Chaos.Disk_full ->
+      mark_slow ();
+      Unix.sleepf 0.02;
+      disk_pressure ()
+    | Chaos.Stall s ->
+      mark_slow ();
+      Unix.sleepf s
+    | _ -> ()
+  in
+  disk_pressure ();
   (match chaos_draw w Chaos.Journal_write with
   | Chaos.Short_write f ->
     (* Leave the torn prefix a crash mid-write would leave — [resume]
@@ -314,23 +381,37 @@ let append w entry =
     fail w "injected short write (%d of %d bytes)" keep record_size
   | Chaos.Io_error e -> fail w "injected %s on journal append" (Unix.error_message e)
   | _ -> ());
-  (match
-     output_bytes w.chan buf;
-     (* Flush every record: a SIGKILL then loses at most the record the
-        OS was handed mid-write (the torn tail resume truncates), never
-        a buffered batch. *)
-     flush w.chan
-   with
+  (match output_bytes w.chan buf with
   | () -> ()
   | exception Sys_error msg -> fail w "journal append failed: %s" msg);
-  w.in_active <- w.in_active + 1;
-  if w.in_active >= w.records_per_segment then
-    match rotate w with
+  (* Flush every record: a SIGKILL then loses at most the record the
+     OS was handed mid-write (the torn tail resume truncates), never a
+     buffered batch. A real ENOSPC here is retried for a bounded while
+     (space is often freed within seconds) before the sticky failure
+     that --resume recovers from; the channel buffer keeps the
+     undelivered bytes across retries, so no record is torn by it. *)
+  let rec flush_retry tries =
+    match flush w.chan with
     | () -> ()
-    | exception Sys_error msg -> fail w "segment rotation failed: %s" msg
-    | exception Error msg ->
-      w.failed <- Some msg;
-      raise (Error msg)
+    | exception Sys_error msg when is_no_space msg && tries < enospc_retries ->
+      mark_slow ();
+      Unix.sleepf enospc_pause;
+      flush_retry (tries + 1)
+    | exception Sys_error msg -> fail w "journal append failed: %s" msg
+  in
+  flush_retry 0;
+  w.in_active <- w.in_active + 1;
+  (match
+     if w.in_active >= w.records_per_segment then rotate w
+   with
+  | () -> ()
+  | exception Sys_error msg -> fail w "segment rotation failed: %s" msg
+  | exception Error msg ->
+    w.failed <- Some msg;
+    raise (Error msg));
+  if Mono.now () -. t0 > slow_append_threshold then mark_slow ()
+
+let stalled w = Mono.now () < w.slow_until
 
 let close w =
   Mutex.lock w.lock;
@@ -360,6 +441,7 @@ let create ?(records_per_segment = default_rps) ?chaos ~dir header =
     next_segment = 0;
     closed = false;
     failed = None;
+    slow_until = neg_infinity;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -446,7 +528,88 @@ let resume ?(records_per_segment = default_rps) ?chaos ~dir () =
       next_segment = n_segments;
       closed = false;
       failed = None;
+      slow_until = neg_infinity;
     }
   in
   if w.in_active >= w.records_per_segment then rotate w;
   (header, Array.of_list (finalized @ active), dropped, w)
+
+(* Atomic header replacement, for epoch bumps on supervised failover.
+   The header file is independent of the segments, so this never races
+   an append; write_atomic means a crash mid-bump leaves the old header
+   (same campaign, stale epoch — harmless, the next resume bumps past
+   it). *)
+let update_header ~dir header =
+  if not (exists ~dir) then error "%s: no journal here (missing header)" dir;
+  write_atomic (header_file dir) (header_to_string header)
+
+(* ------------------------------------------------------------------ *)
+(* fsck: offline, read-only trust check.                                *)
+
+type fsck_report = {
+  fsck_header : header option;
+  fsck_segments : int;
+  fsck_records : int;
+  fsck_active : int option;
+  fsck_torn_bytes : int;
+  fsck_counts : int array;
+  fsck_covered : int;
+  fsck_errors : (string * string) list;
+}
+
+let fsck ~dir =
+  let errors = ref [] in
+  let err file msg = errors := (file, msg) :: !errors in
+  let header =
+    if not (Sys.file_exists (header_file dir)) then begin
+      err "header" "missing header file";
+      None
+    end
+    else
+      match header_of_string ~what:dir (Bytes.to_string (read_file (header_file dir))) with
+      | h -> Some h
+      | exception Error msg -> err "header" msg; None
+  in
+  let counts = Array.make 7 0 in
+  let covered = Hashtbl.create 1024 in
+  let records = ref 0 in
+  let scan entries =
+    List.iter
+      (fun e ->
+        incr records;
+        counts.(kind_of_entry e) <- counts.(kind_of_entry e) + 1;
+        match e with Outcome (i, _) -> Hashtbl.replace covered i () | _ -> ())
+      entries
+  in
+  let segments =
+    match list_segments dir with
+    | segs -> segs
+    | exception Sys_error msg -> err dir msg; []
+  in
+  List.iter
+    (fun seg ->
+      let path = Filename.concat dir seg in
+      match decode_buffer ~strict:true ~what:path (read_file path) with
+      | entries, _ -> scan entries
+      | exception Error msg -> err seg msg
+      | exception Sys_error msg -> err seg msg)
+    segments;
+  let active, torn =
+    if Sys.file_exists (active_file dir) then
+      match decode_buffer ~strict:false ~what:(active_file dir) (read_file (active_file dir)) with
+      | entries, dropped ->
+        scan entries;
+        (Some (List.length entries), dropped)
+      | exception Sys_error msg -> err "active.bin" msg; (None, 0)
+    else (None, 0)
+  in
+  {
+    fsck_header = header;
+    fsck_segments = List.length segments;
+    fsck_records = !records;
+    fsck_active = active;
+    fsck_torn_bytes = torn;
+    fsck_counts = counts;
+    fsck_covered = Hashtbl.length covered;
+    fsck_errors = List.rev !errors;
+  }

@@ -53,6 +53,12 @@ type header = {
   audit : float;  (** audited fraction of pruned faults, 0 = off *)
   shards : int;
   batched : bool;
+  epoch : int;
+      (** coordinator restart generation: bumped (and persisted) on every
+          [serve --resume] so reconnecting workers can tell a restarted
+          coordinator from the one they lost. Not campaign identity —
+          {!require_match} ignores it; journals written before epochs
+          existed parse as generation 0. *)
   prng : string;  (** master sampler state, before any draw *)
   shard_prng : string array;  (** per-shard audit-sampler states *)
 }
@@ -75,7 +81,14 @@ val require_match : what:string -> header -> header -> unit
     naming every mismatched campaign-identity field unless the two
     headers describe the same campaign. Resuming — locally or in the
     distributed coordinator — under a different invocation would
-    silently change what recorded verdicts mean. *)
+    silently change what recorded verdicts mean. The [epoch] field is
+    exempt: it is the restart generation, not identity. *)
+
+val same_campaign : header -> header -> bool
+(** Equality modulo [epoch]: do two headers describe the same campaign
+    (and thus the same engine compilation, the same verdict meaning)?
+    Workers key their engine caches on this, so a coordinator failover
+    does not force an engine rebuild. *)
 
 exception Error of string
 (** Unusable or failing journal: corrupt finalized segment, malformed
@@ -109,8 +122,49 @@ val load : dir:string -> header * entry array * int
 (** Read-only {!resume}: same validation and torn-tail detection, but
     nothing on disk is modified and no writer is opened. *)
 
+val update_header : dir:string -> header -> unit
+(** Atomically replace the header file of an {e existing} journal —
+    the supervised-failover epoch bump. Never races appends (the header
+    is a separate file); a crash mid-update leaves the old header, which
+    the next resume simply bumps past. Raises {!Error} if no journal
+    lives at [dir]. *)
+
 val append : writer -> entry -> unit
 (** Append one record and flush it to the OS. Thread-safe (campaign
-    shards on several domains share one writer). *)
+    shards on several domains share one writer). A {e real} transient
+    ENOSPC is absorbed: the writer pauses and retries for a bounded
+    while (space freed by an operator or log rotation mid-campaign)
+    before declaring the sticky failure; an injected
+    [Chaos.Io_error ENOSPC] stays immediately sticky, preserving the
+    injected-fault contract. *)
+
+val stalled : writer -> bool
+(** The writer is currently degraded: a recent append was slow (disk
+    pressure, injected stall, ENOSPC retry) and the cooldown window has
+    not elapsed. The coordinator consults this to pause dispatch —
+    backpressure instead of ballooning leases over a struggling disk. *)
 
 val close : writer -> unit
+
+(** {1 Offline integrity check} *)
+
+type fsck_report = {
+  fsck_header : header option;  (** [None] if missing or unreadable *)
+  fsck_segments : int;  (** sealed segments scanned *)
+  fsck_records : int;  (** intact records across all files *)
+  fsck_active : int option;  (** records in [active.bin], [None] if absent *)
+  fsck_torn_bytes : int;  (** torn tail bytes in [active.bin] *)
+  fsck_counts : int array;
+      (** per-kind record counts, indexed by record kind: benign, latent,
+          sdc, skipped, crashed, quarantine, poisoned *)
+  fsck_covered : int;  (** distinct sample indices holding a verdict *)
+  fsck_errors : (string * string) list;  (** (file, problem) pairs *)
+}
+
+val fsck : dir:string -> fsck_report
+(** Read-only CRC-32 scan of a journal directory: every finalized
+    segment strictly, the active segment leniently (torn tail counted,
+    not an error). Never modifies anything and never raises on damage —
+    each problem becomes an [fsck_errors] row — so an operator can
+    assess a journal mid-failover without touching it. A report with
+    [fsck_errors = []] is a journal {!resume} will accept. *)

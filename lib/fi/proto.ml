@@ -6,7 +6,9 @@ exception Closed
 
 let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 let max_frame = 1 lsl 24
-let version = 1
+
+(* v2: Hello carries the worker's last-seen coordinator epoch. *)
+let version = 2
 
 (* ------------------------------------------------------------------ *)
 (* Little-endian integer plumbing shared by frames and messages.       *)
@@ -185,7 +187,7 @@ type chunk = {
 }
 
 type msg =
-  | Hello of { version : int; name : string }
+  | Hello of { version : int; name : string; epoch : int }
   | Welcome of Journal.header
   | Request
   | Assign of chunk
@@ -216,10 +218,13 @@ let add_outcome buf (o : Journal.outcome) =
 let encode msg =
   let buf = Buffer.create 64 in
   (match msg with
-  | Hello { version; name } ->
+  | Hello { version; name; epoch } ->
     Buffer.add_char buf 'H';
     put32 buf version;
-    add_string32 buf name
+    add_string32 buf name;
+    (* epoch >= -1 (-1 = "never connected"); shift by one so the wire
+       field stays an unsigned 32-bit value. *)
+    put32 buf (epoch + 1)
   | Welcome h ->
     Buffer.add_char buf 'W';
     add_string32 buf (Journal.header_to_string h)
@@ -290,7 +295,8 @@ let decode payload =
     | 'H' ->
       let version = take_u32 c in
       let name = take_string32 c in
-      Hello { version; name }
+      let epoch = take_u32 c - 1 in
+      Hello { version; name; epoch }
     | 'W' -> (
       let text = take_string32 c in
       match Journal.header_of_string ~what:"peer" text with

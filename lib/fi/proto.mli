@@ -71,7 +71,8 @@ val next_frame : decoder -> string option
 
 val version : int
 (** Protocol version; [Hello]/[Welcome] with a different version are
-    refused. *)
+    refused. Version 2 added the worker's last-seen coordinator epoch
+    to [Hello]. *)
 
 type chunk = {
   chunk_id : int;
@@ -80,8 +81,16 @@ type chunk = {
 }
 
 type msg =
-  | Hello of { version : int; name : string }  (** worker → coordinator *)
-  | Welcome of Journal.header  (** coordinator → worker: campaign identity *)
+  | Hello of { version : int; name : string; epoch : int }
+      (** worker → coordinator. [epoch] is the coordinator generation the
+          worker last spoke to ([-1] = never): a coordinator seeing a
+          stale epoch knows this worker survived a failover and is about
+          to re-deliver its in-flight verdicts (safe: first-verdict-wins
+          dedup). *)
+  | Welcome of Journal.header
+      (** coordinator → worker: campaign identity, including the current
+          [epoch] — how a reconnecting worker detects a restarted
+          coordinator and drops stale lease state *)
   | Request  (** worker → coordinator: give me a chunk *)
   | Assign of chunk
   | Wait  (** nothing assignable now; heartbeat and ask again *)

@@ -1,0 +1,294 @@
+module Backoff = Pruning_util.Backoff
+module Mono = Pruning_util.Mono
+module Prng = Pruning_util.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Sliding-window restart budget.                                      *)
+
+module Budget = struct
+  type t = {
+    max_restarts : int;
+    window : float;
+    mutable times : float list;  (* restart timestamps, newest first *)
+  }
+
+  let create ~max_restarts ~window =
+    if max_restarts < 0 then invalid_arg "Supervisor.Budget.create: max_restarts must be non-negative";
+    if window <= 0. then invalid_arg "Supervisor.Budget.create: window must be positive";
+    { max_restarts; window; times = [] }
+
+  (* Ask for one restart at time [now]: prune entries older than the
+     window, then admit the restart iff the window still has room.
+     Admitted restarts are recorded; refused ones are not (the caller
+     escalates instead of restarting, so nothing happened). *)
+  let note t ~now =
+    t.times <- List.filter (fun ts -> now -. ts < t.window) t.times;
+    if List.length t.times >= t.max_restarts then false
+    else begin
+      t.times <- now :: t.times;
+      true
+    end
+
+  let used t ~now =
+    t.times <- List.filter (fun ts -> now -. ts < t.window) t.times;
+    List.length t.times
+end
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor.                                                         *)
+
+type spec = {
+  name : string;
+  spawn : unit -> int;
+  critical : bool;
+}
+
+type event =
+  | Started of { name : string; pid : int }
+  | Exited of { name : string; pid : int; code : int; signaled : bool }
+  | Restarting of { name : string; delay : float; restarts : int }
+  | Finished of { name : string; pid : int }
+  | Probe_failed of { name : string; strikes : int }
+  | Probe_killed of { name : string; pid : int }
+  | Gave_up of { name : string; restarts : int }
+
+(* [Unix.WSIGNALED] carries OCaml's internal signal numbers (negative
+   for the portable ones); name the common deaths instead of leaking
+   them into the event log. *)
+let signal_name n =
+  if n = Sys.sigkill then "SIGKILL"
+  else if n = Sys.sigterm then "SIGTERM"
+  else if n = Sys.sigint then "SIGINT"
+  else if n = Sys.sigsegv then "SIGSEGV"
+  else if n = Sys.sigabrt then "SIGABRT"
+  else if n = Sys.sigbus then "SIGBUS"
+  else if n = Sys.sigpipe then "SIGPIPE"
+  else string_of_int n
+
+let pp_event ppf = function
+  | Started { name; pid } -> Format.fprintf ppf "started %s (pid %d)" name pid
+  | Exited { name; pid; code; signaled } ->
+    if signaled then Format.fprintf ppf "%s (pid %d) died on %s" name pid (signal_name code)
+    else Format.fprintf ppf "%s (pid %d) exited with code %d" name pid code
+  | Restarting { name; delay; restarts } ->
+    Format.fprintf ppf "restarting %s in %.2fs (restart %d in window)" name delay restarts
+  | Finished { name; pid } -> Format.fprintf ppf "%s (pid %d) finished" name pid
+  | Probe_failed { name; strikes } ->
+    Format.fprintf ppf "liveness probe of %s failed (%d consecutive)" name strikes
+  | Probe_killed { name; pid } ->
+    Format.fprintf ppf "%s (pid %d) unresponsive, killed for restart" name pid
+  | Gave_up { name; restarts } ->
+    Format.fprintf ppf "restart budget exhausted on %s (%d restarts in window)" name restarts
+
+type outcome =
+  | Completed of int
+  | Exhausted of { name : string; last_code : int }
+  | Stopped
+
+type result = {
+  outcome : outcome;
+  restarts : int;
+  probe_kills : int;
+}
+
+type config = {
+  max_restarts : int;
+  window : float;
+  backoff : Backoff.policy;
+  grace : float;
+  tick : float;
+  probe_interval : float;
+  probe_strikes : int;
+}
+
+let default_config =
+  {
+    max_restarts = 5;
+    window = 60.;
+    backoff = { Backoff.base = 0.1; cap = 5.0; factor = 2.0 };
+    grace = 5.;
+    tick = 0.05;
+    probe_interval = 0.;
+    probe_strikes = 3;
+  }
+
+(* Per-child supervision state. [pid = None] means the child is between
+   incarnations: either waiting out its restart backoff ([restart_at])
+   or permanently finished ([finished]). *)
+type child = {
+  spec : spec;
+  budget : Budget.t;
+  backoff : Backoff.t;
+  mutable pid : int option;
+  mutable restart_at : float option;
+  mutable last_start : float;
+  mutable finished : bool;
+}
+
+let run ?(config = default_config) ?probe ?(should_stop = fun () -> false)
+    ?(on_event = fun _ -> ()) specs =
+  if specs = [] then invalid_arg "Supervisor.run: no children to supervise";
+  (match List.filter (fun s -> s.critical) specs with
+  | [ _ ] -> ()
+  | _ -> invalid_arg "Supervisor.run: exactly one critical child required");
+  if config.grace < 0. then invalid_arg "Supervisor.run: grace must be non-negative";
+  if config.tick <= 0. then invalid_arg "Supervisor.run: tick must be positive";
+  let restarts = ref 0 in
+  let probe_kills = ref 0 in
+  let children =
+    List.map
+      (fun spec ->
+        {
+          spec;
+          budget = Budget.create ~max_restarts:config.max_restarts ~window:config.window;
+          backoff =
+            Backoff.create ~policy:config.backoff
+              (Prng.create (Hashtbl.hash ("supervisor", spec.name)));
+          pid = None;
+          restart_at = None;
+          last_start = 0.;
+          finished = false;
+        })
+      specs
+  in
+  let start child =
+    let pid = child.spec.spawn () in
+    child.pid <- Some pid;
+    child.restart_at <- None;
+    child.last_start <- Mono.now ();
+    on_event (Started { name = child.spec.name; pid })
+  in
+  let find_pid pid = List.find_opt (fun c -> c.pid = Some pid) children in
+  let kill_pid signal pid = try Unix.kill pid signal with Unix.Unix_error _ -> () in
+  (* Reap everything still alive: SIGTERM, a grace window, then SIGKILL
+     the stubborn. Zombies are a failure mode this module exists to
+     prevent — every child is waited on before [run] returns. *)
+  let shutdown_children () =
+    let alive () = List.filter_map (fun c -> c.pid) children in
+    List.iter (kill_pid Sys.sigterm) (alive ());
+    let deadline = Mono.now () +. config.grace in
+    let reap_one blocking =
+      match Unix.waitpid (if blocking then [] else [ Unix.WNOHANG ]) (-1) with
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+        List.iter (fun c -> c.pid <- None) children;
+        false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
+      | 0, _ -> true
+      | pid, _ ->
+        (match find_pid pid with Some c -> c.pid <- None | None -> ());
+        true
+    in
+    let rec drain () =
+      if alive () <> [] then
+        if Mono.now () >= deadline then begin
+          List.iter (kill_pid Sys.sigkill) (alive ());
+          while reap_one true && alive () <> [] do
+            ()
+          done
+        end
+        else begin
+          if reap_one false then Unix.sleepf 0.02;
+          drain ()
+        end
+    in
+    drain ()
+  in
+  let finish outcome =
+    shutdown_children ();
+    { outcome; restarts = !restarts; probe_kills = !probe_kills }
+  in
+  List.iter start children;
+  let critical = List.find (fun c -> c.spec.critical) children in
+  let last_probe = ref (Mono.now ()) in
+  let probe_failures = ref 0 in
+  let result = ref None in
+  while !result = None do
+    if should_stop () then result := Some (finish Stopped)
+    else begin
+      (* Reap in completion order — never blocked on one specific pid
+         while another child lies dead. *)
+      let rec reap () =
+        match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+        | exception Unix.Unix_error ((Unix.ECHILD | Unix.EINTR), _, _) -> ()
+        | 0, _ -> ()
+        | pid, status -> (
+          match find_pid pid with
+          | None -> reap ()  (* not ours to supervise (e.g. a probe helper) *)
+          | Some child ->
+            child.pid <- None;
+            let code, signaled =
+              match status with
+              | Unix.WEXITED c -> (c, false)
+              | Unix.WSIGNALED s | Unix.WSTOPPED s -> (s, true)
+            in
+            on_event (Exited { name = child.spec.name; pid; code; signaled });
+            if (not signaled) && code = 0 then
+              if child.spec.critical then
+                (* The campaign is complete: release the fleet. *)
+                result := Some (finish (Completed 0))
+              else begin
+                child.finished <- true;
+                on_event (Finished { name = child.spec.name; pid })
+              end
+            else begin
+              (* Any abnormal end — nonzero exit, SIGKILL, crash — is a
+                 restart candidate, budget permitting. A child that ran
+                 cleanly for a full window deserves a fresh backoff. *)
+              let now = Mono.now () in
+              if now -. child.last_start > config.window then Backoff.reset child.backoff;
+              if Budget.note child.budget ~now then begin
+                incr restarts;
+                let delay = Backoff.next child.backoff in
+                child.restart_at <- Some (now +. delay);
+                on_event
+                  (Restarting
+                     { name = child.spec.name; delay; restarts = Budget.used child.budget ~now })
+              end
+              else begin
+                on_event (Gave_up { name = child.spec.name; restarts = Budget.used child.budget ~now });
+                result := Some (finish (Exhausted { name = child.spec.name; last_code = code }))
+              end
+            end;
+            if !result = None then reap ())
+      in
+      reap ();
+      if !result = None then begin
+        (* Start children whose backoff has elapsed. *)
+        let now = Mono.now () in
+        List.iter
+          (fun child ->
+            match child.restart_at with
+            | Some t when now >= t -> start child
+            | _ -> ())
+          children;
+        (* Liveness probing of the critical child: a wedged-but-alive
+           coordinator (stuck syscall, livelock) never exits, so pid
+           watching alone cannot catch it. Enough consecutive probe
+           failures and it is SIGKILLed — the reaper then restarts it
+           under the normal budget. *)
+        (match probe with
+        | Some p
+          when config.probe_interval > 0.
+               && now -. !last_probe >= config.probe_interval
+               && critical.pid <> None ->
+          last_probe := now;
+          if (try p () with _ -> false) then probe_failures := 0
+          else begin
+            incr probe_failures;
+            on_event (Probe_failed { name = critical.spec.name; strikes = !probe_failures });
+            if !probe_failures >= config.probe_strikes then begin
+              probe_failures := 0;
+              match critical.pid with
+              | Some pid ->
+                incr probe_kills;
+                on_event (Probe_killed { name = critical.spec.name; pid });
+                kill_pid Sys.sigkill pid
+              | None -> ()
+            end
+          end
+        | _ -> ());
+        Unix.sleepf config.tick
+      end
+    end
+  done;
+  Option.get !result

@@ -20,6 +20,8 @@ type report = {
   submitted : int;
   crashes : int;
   reconnects : int;
+  redelivered : int;
+  epochs : int;
 }
 
 (* Cooperative shutdown mid-chunk: flush what we have, close the session,
@@ -65,13 +67,14 @@ let connect host port =
 
 let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(retries = 2)
     ?(retry_backoff = Backoff.retry_policy) ?(reconnect_backoff = Backoff.default_policy)
-    ?(max_reconnects = 8) ?(results_per_frame = 64) ?(should_stop = fun () -> false) ?chaos
-    ?fault () =
+    ?(max_reconnects = 8) ?(results_per_frame = 64) ?(replay_frames = 32) ?readdress
+    ?(should_stop = fun () -> false) ?chaos ?fault () =
   if heartbeat <= 0. then invalid_arg "Worker.run: heartbeat must be positive";
   if recv_timeout <= 0. then invalid_arg "Worker.run: recv_timeout must be positive";
   if retries < 0 then invalid_arg "Worker.run: retries must be non-negative";
   if max_reconnects < 0 then invalid_arg "Worker.run: max_reconnects must be non-negative";
   if results_per_frame < 1 then invalid_arg "Worker.run: results_per_frame must be positive";
+  if replay_frames < 0 then invalid_arg "Worker.run: replay_frames must be non-negative";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let name =
     match name with
@@ -87,6 +90,24 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
   let crashes = ref 0 in
   let reconnects = ref 0 in
   let failures = ref 0 in
+  let redelivered = ref 0 in
+  let epochs = ref 0 in
+  (* The coordinator generation we last handshook with; -1 = never. *)
+  let last_epoch = ref (-1) in
+  (* Bounded buffer of the most recent Results frames sent: after a
+     coordinator failover (epoch change) they are re-delivered wholesale.
+     Verdicts the dead coordinator journaled deduplicate; verdicts it
+     lost (accepted but not yet flushed, or in flight when it died) are
+     recovered without re-running the experiments. *)
+  let replay : Proto.msg Queue.t = Queue.create () in
+  let remember msg =
+    if replay_frames > 0 then begin
+      Queue.push msg replay;
+      while Queue.length replay > replay_frames do
+        ignore (Queue.pop replay)
+      done
+    end
+  in
   (* One engine per distinct campaign identity, cached across
      reconnects; the fault list is re-derived from the header's pinned
      master PRNG state — the same list every worker and the
@@ -97,7 +118,9 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
   in
   let resolve_cached header =
     match !cache with
-    | Some (h, e, s, w) when h = header -> (e, s, w)
+    (* Modulo the epoch: a failed-over coordinator serves the same
+       campaign under a new generation — no engine rebuild. *)
+    | Some (h, e, s, w) when Journal.same_campaign h header -> (e, s, w)
     | _ ->
       let e = resolve header in
       if Campaign.total_cycles e.campaign <> header.Journal.cycles then
@@ -125,6 +148,7 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
       if !acc_n > 0 then begin
         let msg = Proto.Results { chunk_id; results = Array.of_list (List.rev !acc) } in
         tell msg;
+        remember msg;
         (* Duplicate-verdict replay: deliver the frame twice and let the
            coordinator's dedup swallow the echo. *)
         (match Option.map (fun c -> Chaos.draw c Chaos.Exec) chaos with
@@ -283,10 +307,25 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
      session — backoff and reconnect instead of hanging forever. *)
   let recv fd = Proto.recv ~deadline:(Mono.now () +. recv_timeout) ?chaos fd in
   let session fd =
-    Proto.send ?chaos fd (Proto.Hello { version = Proto.version; name });
+    Proto.send ?chaos fd (Proto.Hello { version = Proto.version; name; epoch = !last_epoch });
     match recv fd with
     | Proto.Welcome header ->
       let engine, samples, cworker = resolve_cached header in
+      let ep = header.Journal.epoch in
+      if ep <> !last_epoch then begin
+        incr epochs;
+        if !last_epoch >= 0 then begin
+          (* A different generation answered: the coordinator we lost is
+             gone, its lease state with it. Drop ours (any in-flight
+             chunk will be re-assigned) and re-deliver the buffered
+             Results frames — first-verdict-wins dedup makes this safe,
+             and it saves the new coordinator re-running whatever the
+             old one died holding. *)
+          Queue.iter (fun msg -> Proto.send ?chaos fd msg) replay;
+          redelivered := !redelivered + Queue.length replay
+        end;
+        last_epoch := ep
+      end;
       (* Handshake complete: the coordinator is reachable and sane, so
          reconnect accounting starts afresh. *)
       failures := 0;
@@ -309,10 +348,27 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
     | _ -> raise (Proto.Error "expected Welcome")
   in
   let result = ref None in
+  let cur_host = ref host and cur_port = ref port in
+  (* A supervised coordinator may come back on a different ephemeral
+     port: re-read the advertised address (the port file) before every
+     connection attempt. A readdress failure (file mid-rewrite, not yet
+     written by the restarting coordinator) just keeps the old address
+     for this attempt. *)
+  let refresh_address () =
+    match readdress with
+    | None -> ()
+    | Some f -> (
+      match (try f () with _ -> None) with
+      | Some (h, p) ->
+        cur_host := h;
+        cur_port := p
+      | None -> ())
+  in
   while !result = None do
     if should_stop () then result := Some Stopped
     else begin
-      match connect host port with
+      refresh_address ();
+      match connect !cur_host !cur_port with
       | exception Unix.Unix_error (e, _, _) ->
         incr failures;
         if !failures > max_reconnects then
@@ -344,4 +400,6 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
     submitted = !submitted;
     crashes = !crashes;
     reconnects = !reconnects;
+    redelivered = !redelivered;
+    epochs = !epochs;
   }

@@ -50,6 +50,8 @@ type report = {
   submitted : int;  (** verdict records sent *)
   crashes : int;  (** experiments reported [Crashed] *)
   reconnects : int;  (** sessions lost and re-established *)
+  redelivered : int;  (** Results frames replayed into a new epoch *)
+  epochs : int;  (** distinct coordinator generations handshook with *)
 }
 
 val run :
@@ -64,6 +66,8 @@ val run :
   ?reconnect_backoff:Pruning_util.Backoff.policy ->
   ?max_reconnects:int ->
   ?results_per_frame:int ->
+  ?replay_frames:int ->
+  ?readdress:(unit -> (string * int) option) ->
   ?should_stop:(unit -> bool) ->
   ?chaos:Chaos.t ->
   ?fault:(chunk_id:int -> index:int -> attempt:int -> unit) ->
@@ -89,6 +93,18 @@ val run :
     handshake. [results_per_frame] (default 64) batches verdict
     streaming. [should_stop] is polled between experiments for
     cooperative shutdown.
+
+    {b Coordinator failover.} The worker remembers the coordinator
+    epoch it last handshook with and announces it in every [Hello].
+    When a reconnect lands on a {e different} epoch (a supervised
+    coordinator died and was resumed), the worker drops its stale lease
+    assumptions and re-delivers its [replay_frames] (default 32) most
+    recent Results frames — verdicts the dead coordinator journaled
+    deduplicate, verdicts it lost are recovered without re-running the
+    experiments. [readdress] (called before every connection attempt,
+    exceptions treated as "no change") lets a worker follow a
+    coordinator that came back on a different port, e.g. by re-reading
+    the port file a supervised [serve] rewrites on every restart.
 
     [chaos] arms this worker's deterministic fault plan: network chaos
     on every frame sent and received, execution chaos around every

@@ -16,6 +16,7 @@ let () =
       ("durable", Test_durable.suite);
       ("dist", Test_dist.suite);
       ("chaos", Test_chaos.suite);
+      ("supervisor", Test_supervisor.suite);
       ("mate", Test_mate.suite);
       ("properties", Test_properties.suite);
       ("extensions", Test_extensions.suite);

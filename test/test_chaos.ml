@@ -27,6 +27,10 @@ let all_sites =
     Chaos.Journal_fsync;
     Chaos.Journal_rename;
     Chaos.Exec;
+    Chaos.Dispatch;
+    Chaos.Drain;
+    Chaos.Seal;
+    Chaos.Disk;
   ]
 
 (* --- the plan itself -------------------------------------------------- *)
@@ -142,6 +146,7 @@ let make_header () =
     audit = 0.;
     shards = 0;
     batched = false;
+    epoch = 0;
     prng = Prng.save (Prng.create toy_seed);
     shard_prng = [||];
   }
@@ -280,7 +285,7 @@ let test_poison_quarantine_and_resume () =
   List.iter
     (fun name ->
       let fd = connect port in
-      Proto.send fd (Proto.Hello { version = Proto.version; name });
+      Proto.send fd (Proto.Hello { version = Proto.version; name; epoch = -1 });
       (match Proto.recv fd with
       | Proto.Welcome _ -> ()
       | _ -> Alcotest.fail "expected Welcome");
@@ -363,7 +368,7 @@ let test_blacklist () =
   (* Two strikes under the same name... *)
   for i = 1 to 2 do
     let fd = connect port in
-    Proto.send fd (Proto.Hello { version = Proto.version; name = "evil" });
+    Proto.send fd (Proto.Hello { version = Proto.version; name = "evil"; epoch = -1 });
     (match Proto.recv fd with
     | Proto.Welcome _ -> ()
     | _ -> Alcotest.fail "expected Welcome");
@@ -373,7 +378,7 @@ let test_blacklist () =
   done;
   (* ...and the third Hello is refused outright. *)
   let fd = connect port in
-  Proto.send fd (Proto.Hello { version = Proto.version; name = "evil" });
+  Proto.send fd (Proto.Hello { version = Proto.version; name = "evil"; epoch = -1 });
   expect_disconnect "blacklisted hello" fd;
   wait_for
     (fun () ->
@@ -431,7 +436,7 @@ let test_verify_mismatch () =
      worker is never "alone" and the verification pass waits for the
      rogue instead of self-verifying. *)
   let rogue = connect port in
-  Proto.send rogue (Proto.Hello { version = Proto.version; name = "rogue" });
+  Proto.send rogue (Proto.Hello { version = Proto.version; name = "rogue"; epoch = -1 });
   (match Proto.recv rogue with
   | Proto.Welcome _ -> ()
   | _ -> Alcotest.fail "expected Welcome");

@@ -62,13 +62,14 @@ let sample_header =
     audit = 0.;
     shards = 0;
     batched = false;
+    epoch = 0;
     prng = Prng.save (Prng.create 42);
     shard_prng = [||];
   }
 
 let all_msgs =
   [
-    Proto.Hello { version = Proto.version; name = "worker-1" };
+    Proto.Hello { version = Proto.version; name = "worker-1"; epoch = -1 };
     Proto.Welcome sample_header;
     Proto.Request;
     Proto.Assign { Proto.chunk_id = 3; lo = 12; hi = 15 };
@@ -228,6 +229,7 @@ let make_header ?(core = "toy") ?(program = "toy") ?(cycles = toy_cycles) ?(samp
     audit = 0.;
     shards = 0;
     batched = false;
+    epoch = 0;
     prng = Prng.save (Prng.create seed);
     shard_prng = [||];
   }
@@ -573,7 +575,7 @@ let test_rogue_clients () =
   in
   (* Wrong protocol version: refused before any campaign state. *)
   let bad_version = connect () in
-  Proto.send bad_version (Proto.Hello { version = 99; name = "from-the-future" });
+  Proto.send bad_version (Proto.Hello { version = 99; name = "from-the-future"; epoch = -1 });
   expect_disconnect "bad version" bad_version;
   (* Speaking before Hello: refused. *)
   let no_hello = connect () in
@@ -582,12 +584,12 @@ let test_rogue_clients () =
   (* A rogue that holds its connection open while an honest worker runs
      the campaign, then submits an out-of-range index... *)
   let rogue = connect () in
-  Proto.send rogue (Proto.Hello { version = Proto.version; name = "rogue" });
+  Proto.send rogue (Proto.Hello { version = Proto.version; name = "rogue"; epoch = -1 });
   (match Proto.recv rogue with
   | Proto.Welcome h -> check_bool "rogue got the real header" true (h = make_header ())
   | _ -> Alcotest.fail "expected Welcome");
   let rogue2 = connect () in
-  Proto.send rogue2 (Proto.Hello { version = Proto.version; name = "rogue2" });
+  Proto.send rogue2 (Proto.Hello { version = Proto.version; name = "rogue2"; epoch = -1 });
   (match Proto.recv rogue2 with
   | Proto.Welcome _ -> ()
   | _ -> Alcotest.fail "expected Welcome");

@@ -95,6 +95,7 @@ let header ?(shards = 1) ?(batched = false) ?(audit = 0.) ?(samples = 10) () =
     audit;
     shards;
     batched;
+    epoch = 0;
     prng = Prng.save (Prng.create 42);
     shard_prng = Array.init shards (fun s -> Prng.save (Prng.create (100 + s)));
   }

@@ -1,0 +1,514 @@
+(* The self-healing layer: sliding-window restart budgets, the process
+   supervisor itself (completion, restart-until-healed, SIGKILLed
+   children, budget exhaustion, non-critical fleet members, cooperative
+   stop, zombie-free reaping), coordinator epoch failover (a surviving
+   worker rejoins a resumed coordinator, re-delivers in-flight verdicts
+   and the final stats stay bit-identical), the journal's epoch
+   persistence and offline fsck, and the process/disk chaos sites. *)
+
+open Helpers
+module Campaign = Pruning_fi.Campaign
+module Chaos = Pruning_fi.Chaos
+module Coordinator = Pruning_fi.Coordinator
+module Fault_space = Pruning_fi.Fault_space
+module Journal = Pruning_fi.Journal
+module Supervisor = Pruning_fi.Supervisor
+module Worker = Pruning_fi.Worker
+module System = Pruning_cpu.System
+module Backoff = Pruning_util.Backoff
+
+let scratch_counter = ref 0
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let scratch_dir () =
+  incr scratch_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pruning-sup-%d-%d" (Unix.getpid ()) !scratch_counter)
+  in
+  rm_rf d;
+  d
+
+(* --- the restart budget ---------------------------------------------- *)
+
+let test_budget_window () =
+  let b = Supervisor.Budget.create ~max_restarts:3 ~window:10. in
+  check_bool "1st admitted" true (Supervisor.Budget.note b ~now:0.);
+  check_bool "2nd admitted" true (Supervisor.Budget.note b ~now:1.);
+  check_bool "3rd admitted" true (Supervisor.Budget.note b ~now:2.);
+  check_int "window full" 3 (Supervisor.Budget.used b ~now:2.);
+  check_bool "4th refused" false (Supervisor.Budget.note b ~now:3.);
+  (* A refused request is not recorded: nothing was restarted. *)
+  check_int "refusal not recorded" 3 (Supervisor.Budget.used b ~now:3.);
+  (* The timestamp at 0. ages out of the window at 10. *)
+  check_bool "admitted once the oldest ages out" true (Supervisor.Budget.note b ~now:10.5);
+  check_int "window holds three again" 3 (Supervisor.Budget.used b ~now:10.5);
+  check_bool "and is full again" false (Supervisor.Budget.note b ~now:10.6);
+  (* Quiet time regenerates the whole budget. *)
+  check_int "all aged out" 0 (Supervisor.Budget.used b ~now:30.);
+  check_bool "regenerated" true (Supervisor.Budget.note b ~now:30.)
+
+let test_budget_zero () =
+  let b = Supervisor.Budget.create ~max_restarts:0 ~window:1. in
+  check_bool "zero budget refuses the first restart" false (Supervisor.Budget.note b ~now:0.)
+
+let test_budget_validation () =
+  (match Supervisor.Budget.create ~max_restarts:(-1) ~window:1. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative budget must raise");
+  match Supervisor.Budget.create ~max_restarts:1 ~window:0. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-positive window must raise"
+
+(* --- the supervisor over real processes ------------------------------ *)
+
+(* The test binary already runs domains, so it cannot fork; children are
+   real processes via create_process — the supervisor takes any
+   pid-returning spawn. *)
+let sh script () =
+  Unix.create_process "/bin/sh" [| "/bin/sh"; "-c"; script |] Unix.stdin Unix.stdout Unix.stderr
+
+let fast_config =
+  {
+    Supervisor.default_config with
+    Supervisor.backoff = { Backoff.base = 0.01; cap = 0.05; factor = 2. };
+    grace = 2.;
+    tick = 0.01;
+  }
+
+let test_completed () =
+  let started = ref 0 in
+  let r =
+    Supervisor.run ~config:fast_config
+      ~on_event:(function Supervisor.Started _ -> incr started | _ -> ())
+      [ { Supervisor.name = "c"; spawn = sh "exit 0"; critical = true } ]
+  in
+  (match r.Supervisor.outcome with
+  | Supervisor.Completed 0 -> ()
+  | _ -> Alcotest.fail "clean critical exit must complete the service");
+  check_int "no restarts" 0 r.Supervisor.restarts;
+  check_int "spawned once" 1 !started
+
+let test_exhaustion () =
+  let cfg = { fast_config with Supervisor.max_restarts = 2; window = 60. } in
+  let gave_up = ref false in
+  let r =
+    Supervisor.run ~config:cfg
+      ~on_event:(function Supervisor.Gave_up _ -> gave_up := true | _ -> ())
+      [ { Supervisor.name = "c"; spawn = sh "exit 3"; critical = true } ]
+  in
+  (match r.Supervisor.outcome with
+  | Supervisor.Exhausted { name = "c"; last_code = 3 } -> ()
+  | _ -> Alcotest.fail "a persistently dying child must exhaust its budget");
+  check_int "budget restarts spent first" 2 r.Supervisor.restarts;
+  check_bool "Gave_up event emitted" true !gave_up
+
+(* A counter file makes the child deterministically flaky: two failing
+   incarnations, then success. The supervisor must ride it out. *)
+let flaky_script counter ~failures ~fail_cmd =
+  Printf.sprintf "n=$(cat %s 2>/dev/null || echo 0); n=$((n+1)); echo $n > %s; if [ $n -le %d ]; then %s; fi"
+    counter counter failures fail_cmd
+
+let test_flaky_heals () =
+  let dir = scratch_dir () in
+  Unix.mkdir dir 0o755;
+  let script = flaky_script (Filename.concat dir "n") ~failures:2 ~fail_cmd:"exit 1" in
+  let r =
+    Supervisor.run ~config:fast_config
+      [ { Supervisor.name = "flaky"; spawn = sh script; critical = true } ]
+  in
+  (match r.Supervisor.outcome with
+  | Supervisor.Completed 0 -> ()
+  | _ -> Alcotest.fail "a healing child must complete the service");
+  check_int "exactly two restarts" 2 r.Supervisor.restarts;
+  rm_rf dir
+
+(* Death by SIGKILL — no exit code, no cleanup — is just another restart
+   candidate. *)
+let test_sigkilled_child_restarts () =
+  let dir = scratch_dir () in
+  Unix.mkdir dir 0o755;
+  let script = flaky_script (Filename.concat dir "n") ~failures:2 ~fail_cmd:"kill -9 $$" in
+  let signaled = ref false in
+  let r =
+    Supervisor.run ~config:fast_config
+      ~on_event:(function
+        | Supervisor.Exited { signaled = true; _ } -> signaled := true
+        | _ -> ())
+      [ { Supervisor.name = "victim"; spawn = sh script; critical = true } ]
+  in
+  (match r.Supervisor.outcome with
+  | Supervisor.Completed 0 -> ()
+  | _ -> Alcotest.fail "SIGKILLed child must be restarted to completion");
+  check_int "two kills, two restarts" 2 r.Supervisor.restarts;
+  check_bool "death by signal was observed" true !signaled;
+  rm_rf dir
+
+(* A non-critical fleet member finishing cleanly stays down; one dying is
+   restarted without ending the service. *)
+let test_noncritical_policy () =
+  let dir = scratch_dir () in
+  Unix.mkdir dir 0o755;
+  let marker = Filename.concat dir "spawns" in
+  let finished = ref false in
+  let r =
+    Supervisor.run ~config:fast_config
+      ~on_event:(function
+        | Supervisor.Finished { name = "done-worker"; _ } -> finished := true
+        | _ -> ())
+      [
+        { Supervisor.name = "coord"; spawn = sh "sleep 0.5"; critical = true };
+        {
+          Supervisor.name = "done-worker";
+          spawn = sh (Printf.sprintf "echo x >> %s" marker);
+          critical = false;
+        };
+        {
+          Supervisor.name = "flaky-worker";
+          spawn = sh (flaky_script (Filename.concat dir "n") ~failures:1 ~fail_cmd:"exit 7");
+          critical = false;
+        };
+      ]
+  in
+  (match r.Supervisor.outcome with
+  | Supervisor.Completed 0 -> ()
+  | _ -> Alcotest.fail "worker deaths must not end the service");
+  check_bool "clean worker reported finished" true !finished;
+  (* The finished worker was spawned exactly once — never restarted. *)
+  let ic = open_in marker in
+  let lines = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  check_int "finished worker spawned once" 1 !lines;
+  check_int "flaky worker restarted" 1 r.Supervisor.restarts;
+  rm_rf dir
+
+let test_stopped () =
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Supervisor.run ~config:fast_config
+      ~should_stop:(fun () -> Unix.gettimeofday () -. t0 > 0.15)
+      [ { Supervisor.name = "c"; spawn = sh "sleep 30"; critical = true } ]
+  in
+  check_bool "stop request honored" true (r.Supervisor.outcome = Supervisor.Stopped);
+  check_bool "shutdown did not wait for the sleep" true (Unix.gettimeofday () -. t0 < 10.)
+
+let test_spec_validation () =
+  (match Supervisor.run [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no children must raise");
+  (match Supervisor.run [ { Supervisor.name = "a"; spawn = sh "exit 0"; critical = false } ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no critical child must raise");
+  match
+    Supervisor.run
+      [
+        { Supervisor.name = "a"; spawn = sh "exit 0"; critical = true };
+        { Supervisor.name = "b"; spawn = sh "exit 0"; critical = true };
+      ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "two critical children must raise"
+
+(* --- coordinator epoch failover -------------------------------------- *)
+
+let toy_cycles = 8
+let toy_n = 60
+let toy_seed = 21
+
+let toy_parts () =
+  let nl = figure1_seq_netlist () in
+  let make () =
+    {
+      System.kind = System.Avr;
+      name = "toy";
+      netlist = nl;
+      sim = Sim.create nl;
+      ram = [||];
+      rf_prefix = "!none";
+    }
+  in
+  let space = Fault_space.full nl ~cycles:toy_cycles in
+  let campaign = Campaign.create ~make ~total_cycles:toy_cycles () in
+  (space, campaign)
+
+let toy_engine () =
+  let space, campaign = toy_parts () in
+  { Worker.campaign; space; skip = None; kernel = Campaign.Scalar }
+
+let toy_reference () =
+  let space, campaign = toy_parts () in
+  Campaign.run_sample campaign ~space ~rng:(Prng.create toy_seed) ~n:toy_n ()
+
+let make_header () =
+  {
+    Journal.core = "toy";
+    program = "toy";
+    cycles = toy_cycles;
+    seed = toy_seed;
+    samples = toy_n;
+    prune = false;
+    audit = 0.;
+    shards = 0;
+    batched = false;
+    epoch = 0;
+    prng = Prng.save (Prng.create toy_seed);
+    shard_prng = [||];
+  }
+
+let check_stats label (a : Campaign.stats) (b : Campaign.stats) =
+  check_int (label ^ ": injections") a.Campaign.injections b.Campaign.injections;
+  check_int (label ^ ": benign") a.Campaign.benign b.Campaign.benign;
+  check_int (label ^ ": latent") a.Campaign.latent b.Campaign.latent;
+  check_int (label ^ ": sdc") a.Campaign.sdc b.Campaign.sdc;
+  check_int (label ^ ": skipped") a.Campaign.skipped b.Campaign.skipped;
+  check_int (label ^ ": crashed") a.Campaign.crashed b.Campaign.crashed
+
+let test_config =
+  {
+    Coordinator.default_config with
+    Coordinator.chunk_size = 4;
+    lease = 5.;
+    tick = 0.01;
+    drain = 10.;
+  }
+
+let serve_bg coord ~header ?journal ?resume ?should_stop ?on_event () =
+  let result = ref None in
+  let thread =
+    Thread.create
+      (fun () ->
+        result :=
+          Some
+            (match Coordinator.serve coord ~header ?journal ?resume ?should_stop ?on_event () with
+            | r -> Ok r
+            | exception e -> Error e))
+      ()
+  in
+  fun () ->
+    Thread.join thread;
+    match !result with
+    | Some (Ok r) -> r
+    | Some (Error e) -> raise e
+    | None -> assert false
+
+let work_bg ~port ~name ~resolve ?reconnect_backoff ?max_reconnects ?results_per_frame ?readdress
+    () =
+  let report = ref None in
+  let thread =
+    Thread.create
+      (fun () ->
+        report :=
+          Some
+            (match
+               Worker.run ~host:"127.0.0.1" ~port ~resolve ~name ?reconnect_backoff
+                 ?max_reconnects ?results_per_frame ?readdress ()
+             with
+            | r -> Ok r
+            | exception e -> Error e))
+      ()
+  in
+  fun () ->
+    Thread.join thread;
+    match !report with
+    | Some (Ok r) -> r
+    | Some (Error e) -> raise e
+    | None -> assert false
+
+(* The failover contract end-to-end, in-process: coordinator 1 dies
+   partway; the surviving worker — generous reconnect budget, readdress
+   following a mutable "port file" — rejoins coordinator 2 (resumed from
+   the journal under a bumped epoch), re-delivers its in-flight verdicts,
+   and the campaign finishes with stats bit-identical to the
+   uninterrupted local reference. *)
+let test_epoch_failover () =
+  let reference = toy_reference () in
+  let dir = scratch_dir () in
+  let header = make_header () in
+  let seen = Atomic.make 0 in
+  let coord1 = Coordinator.create ~config:test_config () in
+  let port1 = Coordinator.port coord1 in
+  let addr = Atomic.make port1 in
+  let join1 =
+    serve_bg coord1 ~header ~journal:dir
+      ~should_stop:(fun () -> Atomic.get seen >= 20)
+      ~on_event:(function
+        | Coordinator.Progress { done_; _ } -> Atomic.set seen done_
+        | _ -> ())
+      ()
+  in
+  let patient = { Backoff.base = 0.02; cap = 0.1; factor = 2. } in
+  let w =
+    work_bg ~port:port1 ~name:"survivor"
+      ~resolve:(fun _ -> toy_engine ())
+      ~results_per_frame:1 ~reconnect_backoff:patient ~max_reconnects:1000
+      ~readdress:(fun () -> Some ("127.0.0.1", Atomic.get addr))
+      ()
+  in
+  let r1 = join1 () in
+  check_bool "phase 1 interrupted" false r1.Coordinator.completed;
+  check_int "phase 1 serves epoch 0" 0 r1.Coordinator.epoch;
+  (* The worker is now retrying a dead address. Resume on a fresh
+     ephemeral port and let readdress steer it over. *)
+  let coord2 = Coordinator.create ~config:test_config () in
+  Atomic.set addr (Coordinator.port coord2);
+  let rejoined = Atomic.make 0 in
+  let join2 =
+    serve_bg coord2 ~header ~journal:dir ~resume:true
+      ~on_event:(function
+        | Coordinator.Rejoined { stale_epoch = 0; epoch = 1; _ } -> Atomic.incr rejoined
+        | _ -> ())
+      ()
+  in
+  let r2 = join2 () in
+  let rep = w () in
+  check_bool "phase 2 completed" true r2.Coordinator.completed;
+  check_int "epoch bumped by the resume" 1 r2.Coordinator.epoch;
+  check_bool "recovered some verdicts" true (r2.Coordinator.recovered >= 20);
+  check_bool "worker rejoin detected" true (r2.Coordinator.rejoined >= 1);
+  check_bool "rejoin event carried both epochs" true (Atomic.get rejoined >= 1);
+  check_stats "failover parity" reference r2.Coordinator.stats;
+  check_bool "worker finished the campaign" true (rep.Worker.ended = Worker.Campaign_done);
+  check_int "worker handshook two generations" 2 rep.Worker.epochs;
+  check_bool "worker re-delivered in-flight verdicts" true (rep.Worker.redelivered > 0);
+  check_bool "worker reconnected at least once" true (rep.Worker.reconnects >= 1);
+  rm_rf dir
+
+(* --- journal: epoch persistence and fsck ------------------------------ *)
+
+let test_epoch_identity () =
+  let h = make_header () in
+  check_bool "epoch excluded from identity" true
+    (Journal.same_campaign h { h with Journal.epoch = 5 });
+  check_bool "core still part of identity" false
+    (Journal.same_campaign h { h with Journal.core = "other" });
+  (* require_match must also wave a bumped epoch through. *)
+  Journal.require_match ~what:"test" h { h with Journal.epoch = 3 }
+
+let test_update_header_epoch () =
+  let dir = scratch_dir () in
+  let header = make_header () in
+  let w = Journal.create ~dir header in
+  Journal.append w (Journal.Outcome (0, Journal.Benign));
+  Journal.close w;
+  Journal.update_header ~dir { header with Journal.epoch = 1 };
+  let h, entries, _ = Journal.load ~dir in
+  check_int "epoch persisted" 1 h.Journal.epoch;
+  check_int "records untouched by the header swap" 1 (Array.length entries);
+  (match Journal.update_header ~dir:(scratch_dir ()) header with
+  | exception Journal.Error _ -> ()
+  | () -> Alcotest.fail "update_header without a journal must raise");
+  rm_rf dir
+
+let test_fsck () =
+  let dir = scratch_dir () in
+  let header = make_header () in
+  let w = Journal.create ~dir header in
+  Journal.append w (Journal.Outcome (0, Journal.Benign));
+  Journal.append w (Journal.Outcome (1, Journal.Sdc 3));
+  Journal.append w (Journal.Outcome (2, Journal.Crashed));
+  Journal.append w (Journal.Poisoned 7);
+  Journal.close w;
+  let r = Journal.fsck ~dir in
+  check_bool "clean journal has no errors" true (r.Journal.fsck_errors = []);
+  check_int "records" 4 r.Journal.fsck_records;
+  check_int "benign count" 1 r.Journal.fsck_counts.(0);
+  check_int "sdc count" 1 r.Journal.fsck_counts.(2);
+  check_int "crashed count" 1 r.Journal.fsck_counts.(4);
+  check_int "poisoned count" 1 r.Journal.fsck_counts.(6);
+  check_int "covered samples" 3 r.Journal.fsck_covered;
+  (match r.Journal.fsck_header with
+  | Some h -> check_bool "header readable" true (Journal.same_campaign h header)
+  | None -> Alcotest.fail "fsck must read the header");
+  (* Corrupt the active segment: fsck reports damage, never raises. *)
+  let active = Filename.concat dir "active.bin" in
+  let fd = Unix.openfile active [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.write fd (Bytes.make 1 '\xff') 0 1);
+  Unix.close fd;
+  let r2 = Journal.fsck ~dir in
+  check_bool "corruption shows up as torn bytes" true (r2.Journal.fsck_torn_bytes > 0);
+  check_bool "intact prefix count dropped" true (r2.Journal.fsck_records < 4);
+  rm_rf dir;
+  (* A missing journal is a report full of errors, not an exception. *)
+  let r3 = Journal.fsck ~dir:(scratch_dir ()) in
+  check_bool "missing journal reported" true (r3.Journal.fsck_errors <> []);
+  check_bool "missing header is None" true (r3.Journal.fsck_header = None)
+
+(* --- process and disk chaos sites ------------------------------------ *)
+
+let test_process_sites_plan () =
+  (* The default profile must never fire at the process sites: an
+     unsupervised campaign cannot absorb a self-kill, and the chaos-soak
+     exit-code contract depends on it. *)
+  List.iter
+    (fun site ->
+      Array.iter
+        (fun a -> check_bool "default profile quiet at process sites" true (a = Chaos.Pass))
+        (Chaos.plan ~seed:5 site ~n:512))
+    [ Chaos.Dispatch; Chaos.Drain; Chaos.Seal; Chaos.Disk ];
+  (* The process profile arms kills and disk pressure — deterministically
+     per seed, like every other site. *)
+  let profile = { Chaos.process_profile with Chaos.budget = max_int } in
+  let draws site = Chaos.plan ~profile ~seed:5 site ~n:4096 in
+  check_bool "process profile kills at dispatch" true
+    (Array.exists (fun a -> a = Chaos.Kill) (draws Chaos.Dispatch));
+  check_bool "process profile kills at drain" true
+    (Array.exists (fun a -> a = Chaos.Kill) (draws Chaos.Drain));
+  check_bool "process profile pressures the disk" true
+    (Array.exists (fun a -> a = Chaos.Disk_full) (draws Chaos.Disk));
+  check_string "kill renders" "kill" (Chaos.action_to_string Chaos.Kill);
+  check_string "disk-full renders" "disk-full" (Chaos.action_to_string Chaos.Disk_full)
+
+(* Injected disk pressure at the Disk site: the writer pauses and
+   retries instead of failing, records survive, and the stall is
+   visible through [stalled] (the coordinator's backpressure signal). *)
+let test_disk_pressure_append () =
+  let dir = scratch_dir () in
+  let header = make_header () in
+  let chaos =
+    Chaos.create ~profile:{ Chaos.quiet_profile with Chaos.disk_full = 1.; budget = 3 } ~seed:9 ()
+  in
+  let w = Journal.create ~chaos ~dir header in
+  Journal.append w (Journal.Outcome (0, Journal.Benign));
+  check_bool "writer reports pressure" true (Journal.stalled w);
+  Journal.append w (Journal.Outcome (1, Journal.Latent));
+  Journal.close w;
+  let h, entries, torn = Journal.load ~dir in
+  check_int "no torn bytes" 0 torn;
+  check_int "both records survived the pressure" 2 (Array.length entries);
+  check_bool "identity intact" true (Journal.same_campaign h header);
+  rm_rf dir
+
+let suite =
+  [
+    Alcotest.test_case "budget: sliding window math" `Quick test_budget_window;
+    Alcotest.test_case "budget: zero budget" `Quick test_budget_zero;
+    Alcotest.test_case "budget: validation" `Quick test_budget_validation;
+    Alcotest.test_case "supervisor: clean completion" `Quick test_completed;
+    Alcotest.test_case "supervisor: budget exhaustion escalates" `Quick test_exhaustion;
+    Alcotest.test_case "supervisor: flaky child heals" `Quick test_flaky_heals;
+    Alcotest.test_case "supervisor: SIGKILLed child restarts" `Quick test_sigkilled_child_restarts;
+    Alcotest.test_case "supervisor: non-critical policy" `Quick test_noncritical_policy;
+    Alcotest.test_case "supervisor: cooperative stop" `Quick test_stopped;
+    Alcotest.test_case "supervisor: spec validation" `Quick test_spec_validation;
+    Alcotest.test_case "failover: worker rejoins bumped epoch, stats identical" `Slow
+      test_epoch_failover;
+    Alcotest.test_case "journal: epoch is not identity" `Quick test_epoch_identity;
+    Alcotest.test_case "journal: update_header persists the epoch" `Quick test_update_header_epoch;
+    Alcotest.test_case "journal: fsck" `Quick test_fsck;
+    Alcotest.test_case "chaos: process sites and profiles" `Quick test_process_sites_plan;
+    Alcotest.test_case "chaos: disk pressure pauses, not fails" `Quick test_disk_pressure_append;
+  ]
