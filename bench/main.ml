@@ -25,6 +25,7 @@ module System = Pruning_cpu.System
 module Avr_asm = Pruning_cpu.Avr_asm
 module Programs = Pruning_cpu.Programs
 module Fault_space = Pruning_fi.Fault_space
+module Fault_model = Pruning_fi.Fault_model
 module Campaign = Pruning_fi.Campaign
 module Intercycle = Pruning_fi.Intercycle
 module Search = Pruning_mate.Search
@@ -152,12 +153,21 @@ let run_campaign () =
   let set = Mateset.of_report report in
   let triggers = Replay.triggers set trace in
   let matrix = Replay.masked set triggers ~space () in
+  (* A flop outside the fault space cannot be pruned — but it is a
+     stale-fault-list symptom worth surfacing, not a silent "inject". *)
+  let unknown_flops = ref 0 in
   let skip ~flop_id ~cycle =
     match Fault_space.flop_index space flop_id with
     | Some fi -> matrix.(cycle).(fi)
-    | None -> false
+    | None ->
+      incr unknown_flops;
+      false
   in
   let pruned = Campaign.run_sample campaign ~space ~rng:(Prng.create 7) ~n:samples ~skip () in
+  if !unknown_flops > 0 then
+    Printf.printf
+      "warning: %d prune lookups named flops outside the fault space (injected, not pruned)\n"
+      !unknown_flops;
   let t = Table.create [ "campaign"; "injections"; "skipped"; "benign"; "latent"; "SDC" ] in
   let row label (s : Campaign.stats) =
     Table.add_row t
@@ -334,6 +344,46 @@ let run_perf () =
     (rate dbstats dbt);
   Printf.printf "(multi-domain wall clock scales with physical cores; this host has %d)\n"
     (Domain.recommended_domain_count ());
+  (* Fault-model dimension: scalar vs delta rates per model at a reduced
+     sample count (multi-flop / multi-cycle faults cost more per sample,
+     and the wide engines fall back to these two anyway). *)
+  let model_samples = max 10 (samples / 10) in
+  let models = [ Fault_model.Seu; Fault_model.Set; Fault_model.Mbu 2; Fault_model.Intermittent 3 ] in
+  let model_rows =
+    List.map
+      (fun model ->
+        let mspace = Fault_space.full ~model nl ~cycles:horizon in
+        let sstats, _, st, _, _ =
+          measure
+            ~setup:(fun () -> Campaign.create ~make ~total_cycles:horizon ())
+            ~inject:(fun c ->
+              Campaign.run_sample c ~space:mspace ~rng:(rng ()) ~n:model_samples ())
+        in
+        let mstats, _, mt, _, _ =
+          measure
+            ~setup:(fun () ->
+              let c = Campaign.create ~make ~make_delta ~total_cycles:horizon () in
+              ignore (Campaign.golden_trace c);
+              c)
+            ~inject:(fun c ->
+              Campaign.run_sample_delta c ~space:mspace ~rng:(rng ()) ~n:model_samples ())
+        in
+        (Fault_model.name model, sstats, st, mstats, mt))
+      models
+  in
+  let mt_table = Table.create [ "model"; "injections"; "scalar inj/s"; "delta inj/s" ] in
+  List.iter
+    (fun (name, (sstats : Campaign.stats), st, mstats, mt) ->
+      Table.add_row mt_table
+        [
+          name;
+          string_of_int sstats.Campaign.injections;
+          Printf.sprintf "%.1f" (rate sstats st);
+          Printf.sprintf "%.1f" (rate mstats mt);
+        ])
+    model_rows;
+  Printf.printf "\nfault-model dimension (%d samples each):\n" model_samples;
+  Table.print mt_table;
   (* Machine-readable record for CI trend tracking; hand-rolled JSON so
      the harness needs no extra dependency. *)
   let json_path = "BENCH_campaign.json" in
@@ -351,6 +401,16 @@ let run_perf () =
         key s.Campaign.injections setup_t inject_t (rate s inject_t) minor major
         (if i = List.length rows - 1 then "" else ","))
     rows;
+  Printf.fprintf oc "  ],\n  \"fault_models\": [\n";
+  List.iteri
+    (fun i (name, (sstats : Campaign.stats), st, (mstats : Campaign.stats), mt) ->
+      Printf.fprintf oc
+        "    { \"model\": %S, \"samples\": %d, \"scalar_injections\": %d, \
+         \"scalar_inj_per_s\": %.1f, \"delta_injections\": %d, \"delta_inj_per_s\": %.1f }%s\n"
+        name model_samples sstats.Campaign.injections (rate sstats st) mstats.Campaign.injections
+        (rate mstats mt)
+        (if i = List.length model_rows - 1 then "" else ","))
+    model_rows;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
   Printf.printf "[wrote %s]\n" json_path

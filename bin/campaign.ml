@@ -22,6 +22,7 @@ module Msp_asm = Pruning_cpu.Msp_asm
 module Programs = Pruning_cpu.Programs
 module Fi_campaign = Pruning_fi.Campaign
 module Fault_space = Pruning_fi.Fault_space
+module Fault_model = Pruning_fi.Fault_model
 module Durable = Pruning_fi.Durable
 module Journal = Pruning_fi.Journal
 module Coordinator = Pruning_fi.Coordinator
@@ -50,6 +51,8 @@ let exit_bad_dist = 18
 let exit_network = 19
 let exit_poisoned = 20
 let exit_budget = 21
+let exit_bad_model = 22
+let exit_model_mismatch = 23
 
 let fail code fmt = Printf.ksprintf (fun s -> prerr_endline ("campaign: " ^ s); Some code) fmt
 
@@ -84,6 +87,51 @@ let resolve_kernel ~batched ~engine =
             (Fi_campaign.kernel_name k)))
   | Some k -> Ok k
   | None -> Ok (if batched then Fi_campaign.Batched else Fi_campaign.Scalar)
+
+(* --fault-model names the fault model every sampled fault is classified
+   under; a bad spec gets its own exit code before any engine is built. *)
+let resolve_model spec =
+  match Fault_model.of_string spec with
+  | Ok m -> Ok m
+  | Error msg -> Error (Option.get (fail exit_bad_model "%s" msg))
+
+(* Only the per-fault kernels understand multi-flop/multi-cycle faults;
+   the bit-parallel ones are one-flip-per-lane by construction. The
+   fallback is explicit (printed) and deterministic, so a resumed or
+   distributed campaign re-derives the identical kernel. *)
+let effective_kernel ~model ~kernel =
+  match (model, kernel) with
+  | Fault_model.Seu, k -> k
+  | _, Fi_campaign.Batched -> Fi_campaign.Scalar
+  | _, Fi_campaign.Delta_batched -> Fi_campaign.Delta
+  | _, k -> k
+
+let note_kernel_fallback ~model ~kernel =
+  let k = effective_kernel ~model ~kernel in
+  if k <> kernel then
+    Printf.printf "(--fault-model %s has no bit-parallel kernel; falling back to --engine %s)\n%!"
+      (Fault_model.name model) (Fi_campaign.kernel_name k);
+  k
+
+(* Resuming under a different fault model would silently change what
+   every recorded verdict means; refuse it upfront with a distinct exit
+   code (require_match would also catch it, but as a generic journal
+   error after engines were built). An unreadable header falls through
+   to the resume path, which reports the corruption properly. *)
+let check_journal_model ~journal ~active ~model =
+  match journal with
+  | Some dir when active && Journal.exists ~dir -> (
+    match Journal.read_header ~dir with
+    | exception Journal.Error _ -> None
+    | h when h.Journal.fault_model <> model ->
+      fail exit_model_mismatch
+        "journal %s pins fault model %s but this invocation asked for %s; resume with \
+         --fault-model %s"
+        dir
+        (Fault_model.name h.Journal.fault_model)
+        (Fault_model.name model) (Fault_model.name h.Journal.fault_model)
+    | _ -> None)
+  | _ -> None
 
 (* --lanes caps the in-flight faults of the wide engines; 0 (default)
    selects the engine's maximum. Only the batched engines have lanes,
@@ -205,19 +253,26 @@ let build_pruner nl ~make ~cycles ~space =
   let triggers = Replay.triggers set trace in
   let pruner = Replay.pruner set triggers ~space () in
   let pruned = Replay.pruner_masked_count pruner in
-  Printf.printf "MATEs prune %d of %d faults (%.2f%%) before injection\n%!" pruned
-    (Fault_space.size space)
-    (Pruning_util.Stats.percentage pruned (Fault_space.size space));
+  (* MATEs reason about single-flop faults; report against the SEU total
+     (flops x cycles), not the model-keyed space size — for SET/MBU the
+     two differ and the lifted skip predicate covers less than this. *)
+  let seu_total = Array.length space.Fault_space.flops * space.Fault_space.cycles in
+  Printf.printf "MATEs prune %d of %d single-flop faults (%.2f%%) before injection\n%!" pruned
+    seu_total
+    (Pruning_util.Stats.percentage pruned seu_total);
   pruner
 
 (* ------------------------------------------------------------------ *)
 (* campaign [run]: the single-process engine of PR 1-3.                 *)
 
 let run core program cycles samples seed prune jobs checkpoint_interval batched engine lanes
-    journal resume audit watchdog retries chaos_profile chaos_seed chaos_budget =
+    fault_model journal resume audit watchdog retries chaos_profile chaos_seed chaos_budget =
   match resolve_kernel ~batched ~engine with
   | Error code -> code
   | Ok kernel -> (
+  match resolve_model fault_model with
+  | Error code -> code
+  | Ok model -> (
   match
     match
       validate ~core ~program ~cycles ~samples ~seed ~checkpoint_interval ~audit ~watchdog
@@ -227,10 +282,13 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
     | None -> (
       match validate_lanes ~kernel ~lanes with
       | Some code -> Some code
-      | None -> validate_chaos ~chaos_budget)
+      | None -> (
+        match check_journal_model ~journal ~active:resume ~model with
+        | Some code -> Some code
+        | None -> validate_chaos ~chaos_budget))
   with
   | Some code -> code
-  | None ->
+  | None -> (
     let lanes = if lanes > 0 then Some lanes else None in
     let make, make_lanes, make_delta, make_delta_batch =
       match make_system core program with
@@ -238,9 +296,13 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
       | None -> assert false
     in
     let nl = (make None).System.netlist in
-    let space = Fault_space.full nl ~cycles in
-    Printf.printf "%s/%s: fault space = %d flops x %d cycles = %d faults; sampling %d\n%!" core
-      program (Array.length space.Fault_space.flops) cycles (Fault_space.size space) samples;
+    match Fault_space.full ~model nl ~cycles with
+    | exception Invalid_argument msg -> Option.get (fail exit_bad_model "%s" msg)
+    | space ->
+    let kernel = note_kernel_fallback ~model ~kernel in
+    Printf.printf "%s/%s: fault space [%s] = %d keys x %d cycles = %d faults; sampling %d\n%!"
+      core program (Fault_model.name model) (Fault_space.n_keys space) cycles
+      (Fault_space.size space) samples;
     let checkpoint_interval = if checkpoint_interval > 0 then Some checkpoint_interval else None in
     let campaign =
       Fi_campaign.create ?checkpoint_interval
@@ -253,7 +315,16 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
     Printf.printf "checkpoint interval: %d cycles; jobs: %d; engine: %s\n%!"
       (Fi_campaign.checkpoint_interval campaign) jobs (Fi_campaign.kernel_name kernel);
     let pruner = if prune then Some (build_pruner nl ~make ~cycles ~space) else None in
-    let skip = Option.map (fun p -> fun ~flop_id ~cycle -> Replay.pruned p ~flop_id ~cycle) pruner in
+    (* The MATE pruner proves single-flop, single-cycle (SEU) faults
+       benign; [lift_pruned] soundly lifts that claim to the model's
+       expanded fault (or refuses to, for faults MATEs cannot cover). *)
+    let skip =
+      Option.map
+        (fun p ->
+          Fault_space.lift_pruned space ~pruned:(fun ~flop_id ~cycle ->
+              Replay.pruned p ~flop_id ~cycle))
+        pruner
+    in
     let durable =
       journal <> None || resume || audit > 0. || watchdog > 0 || chaos_seed <> None
     in
@@ -284,7 +355,9 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
           Some
             ( a,
               {
-                Durable.masking = (fun ~flop_id ~cycle -> Replay.masking p ~flop_id ~cycle);
+                Durable.masking =
+                  Fault_space.lift_masking space ~masking:(fun ~flop_id ~cycle ->
+                      Replay.masking p ~flop_id ~cycle);
                 quarantine = Replay.quarantine p;
                 describe = Replay.describe_mate p;
               } )
@@ -340,7 +413,7 @@ let run core program cycles samples seed prune jobs checkpoint_interval batched 
           stop_exit_code ()
         end
         else 0
-    end)
+    end)))
 
 (* ------------------------------------------------------------------ *)
 (* campaign serve: the distributed coordinator.                         *)
@@ -373,8 +446,8 @@ let read_port_file f =
 (* One coordinator incarnation: bind, announce, serve, report. Shared by
    the plain `serve` path and every supervised re-spawn (where [resume]
    is recomputed per incarnation from the journal's existence). *)
-let run_coordinator ~core ~program ~cycles ~samples ~seed ~prune ~listen ~port ~port_file ~config
-    ~journal ~resume ~verbose ~chaos =
+let run_coordinator ~core ~program ~cycles ~samples ~seed ~prune ~model ~listen ~port ~port_file
+    ~config ~journal ~resume ~verbose ~chaos =
     (* The coordinator is engine-free: the campaign identity (and with
        it, the exact fault list every worker derives) is pinned entirely
        by this header. shards=0 / batched=false marks the journal as
@@ -391,6 +464,7 @@ let run_coordinator ~core ~program ~cycles ~samples ~seed ~prune ~listen ~port ~
         shards = 0;
         batched = false;
         epoch = 0;
+        fault_model = model;
         prng = Prng.save (Prng.create seed);
         shard_prng = [||];
       }
@@ -400,8 +474,10 @@ let run_coordinator ~core ~program ~cycles ~samples ~seed ~prune ~listen ~port ~
       Option.get (fail exit_bad_dist "cannot listen on %s:%d: %s" listen port (Unix.error_message e))
     | coordinator -> (
       let bound = Coordinator.port coordinator in
-      Printf.printf "%s/%s: serving %d samples (seed %d%s) on %s:%d\n%!" core program samples seed
-        (if prune then ", pruned" else "") listen bound;
+      Printf.printf "%s/%s: serving %d samples (seed %d%s, model %s) on %s:%d\n%!" core program
+        samples seed
+        (if prune then ", pruned" else "")
+        (Fault_model.name model) listen bound;
       (match port_file with
       | None -> ()
       | Some f -> write_port_file f bound);
@@ -484,9 +560,14 @@ let parse_hostport s =
 let work_one ~host ~port ~name ~kernel ~checkpoint_interval ~retries ~max_reconnects
     ~recv_timeout ?readdress ~chaos () =
   let resolve (h : Journal.header) =
-    Printf.printf "campaign: %s/%s, %d cycles, %d samples, seed %d%s [%s]\n%!" h.Journal.core
-      h.Journal.program h.Journal.cycles h.Journal.samples h.Journal.seed
+    (* The Welcome header pins the fault model; the worker obeys it —
+       a fleet never mixes models within one campaign. *)
+    let model = h.Journal.fault_model in
+    let kernel = note_kernel_fallback ~model ~kernel in
+    Printf.printf "campaign: %s/%s, %d cycles, %d samples, seed %d%s, model %s [%s]\n%!"
+      h.Journal.core h.Journal.program h.Journal.cycles h.Journal.samples h.Journal.seed
       (if h.Journal.prune then ", pruned" else "")
+      (Fault_model.name model)
       (Fi_campaign.kernel_name kernel);
     match make_system h.Journal.core h.Journal.program with
     | None ->
@@ -496,7 +577,13 @@ let work_one ~host ~port ~name ~kernel ~checkpoint_interval ~retries ~max_reconn
               h.Journal.program))
     | Some (make, make_lanes, make_delta, make_delta_batch) ->
       let nl = (make None).System.netlist in
-      let space = Fault_space.full nl ~cycles:h.Journal.cycles in
+      let space =
+        try Fault_space.full ~model nl ~cycles:h.Journal.cycles
+        with Invalid_argument msg ->
+          raise
+            (Unknown_identity
+               (Printf.sprintf "coordinator pinned an impossible fault model: %s" msg))
+      in
       let checkpoint_interval = if checkpoint_interval > 0 then Some checkpoint_interval else None in
       let campaign =
         Fi_campaign.create ?checkpoint_interval
@@ -510,7 +597,9 @@ let work_one ~host ~port ~name ~kernel ~checkpoint_interval ~retries ~max_reconn
         if not h.Journal.prune then None
         else begin
           let pruner = build_pruner nl ~make ~cycles:h.Journal.cycles ~space in
-          Some (fun ~flop_id ~cycle -> Replay.pruned pruner ~flop_id ~cycle)
+          Some
+            (Fault_space.lift_pruned space ~pruned:(fun ~flop_id ~cycle ->
+                 Replay.pruned pruner ~flop_id ~cycle))
         end
       in
       { Worker.campaign; space; skip; kernel }
@@ -664,9 +753,13 @@ let supervised_work ~host ~current_port ~index ~chaos =
     ~readdress:(fun () -> Option.map (fun p -> (host, p)) (current_port ()))
     ~chaos ()
 
-let serve core program cycles samples seed prune listen port port_file chunk_size lease
-    idle_timeout poison_threshold blacklist_threshold verify_frac max_inflight journal resume
-    verbose supervise restart_budget restart_window fleet chaos_profile chaos_seed chaos_budget =
+let serve core program cycles samples seed prune fault_model listen port port_file chunk_size
+    lease idle_timeout poison_threshold blacklist_threshold verify_frac max_inflight journal
+    resume verbose supervise restart_budget restart_window fleet chaos_profile chaos_seed
+    chaos_budget =
+  match resolve_model fault_model with
+  | Error code -> code
+  | Ok model -> (
   let dist_checks () =
     if port < 0 || port > 65535 then
       fail exit_bad_dist "--port must be in [0, 65535] (got %d); 0 picks an ephemeral port" port
@@ -710,7 +803,10 @@ let serve core program cycles samples seed prune listen port port_file chunk_siz
       fail exit_bad_dist
         "--supervise with --port 0 needs --port-file: a restarted coordinator rebinds, and \
          workers (and the liveness probe) find the new port there"
-    else validate_chaos ~chaos_budget
+    else (
+      match check_journal_model ~journal ~active:(resume || supervise) ~model with
+      | Some code -> Some code
+      | None -> validate_chaos ~chaos_budget)
   in
   match
     match
@@ -747,8 +843,8 @@ let serve core program cycles samples seed prune listen port port_file chunk_siz
       make_chaos ~chaos_profile ~chaos_seed:(Option.map (fun s -> s + i) chaos_seed) ~chaos_budget
     in
     let coordinator ~resume () =
-      run_coordinator ~core ~program ~cycles ~samples ~seed ~prune ~listen ~port ~port_file
-        ~config ~journal ~resume ~verbose ~chaos:(chaos 0)
+      run_coordinator ~core ~program ~cycles ~samples ~seed ~prune ~model ~listen ~port
+        ~port_file ~config ~journal ~resume ~verbose ~chaos:(chaos 0)
     in
     if not supervise then coordinator ~resume ()
     else begin
@@ -826,7 +922,7 @@ let serve core program cycles samples seed prune listen port port_file chunk_siz
            with --supervise or finish with serve --resume --journal %s\n%!"
           name last_code journal_dir;
         exit_budget
-    end)
+    end))
 
 (* ------------------------------------------------------------------ *)
 (* campaign fsck: offline journal integrity check.                      *)
@@ -835,9 +931,10 @@ let fsck_dir dir =
   let r = Journal.fsck ~dir in
   (match r.Journal.fsck_header with
   | Some h ->
-    Printf.printf "header: %s/%s, %d cycles, %d samples, seed %d%s, epoch %d%s\n" h.Journal.core
-      h.Journal.program h.Journal.cycles h.Journal.samples h.Journal.seed
+    Printf.printf "header: %s/%s, %d cycles, %d samples, seed %d%s, model %s, epoch %d%s\n"
+      h.Journal.core h.Journal.program h.Journal.cycles h.Journal.samples h.Journal.seed
       (if h.Journal.prune then ", pruned" else "")
+      (Fault_model.name h.Journal.fault_model)
       h.Journal.epoch
       (if h.Journal.shards = 0 then " (distributed)"
        else Printf.sprintf " (%d shards)" h.Journal.shards)
@@ -855,6 +952,23 @@ let fsck_dir dir =
     c.(2) c.(3) c.(4);
   if c.(5) > 0 then Printf.printf "quarantined MATEs: %d\n" c.(5);
   if c.(6) > 0 then Printf.printf "poisoned chunks: %d\n" c.(6);
+  (* Per-model verdict breakdown: redundant for a pure-SEU journal (the
+     lines above already are that breakdown), informative the moment any
+     record carries another — or an unknown — model nibble. *)
+  (match r.Journal.fsck_models with
+  | [] | [ (0, _) ] -> ()
+  | models ->
+    List.iter
+      (fun (id, mc) ->
+        let name =
+          match Fault_model.base_name_of_id id with
+          | Some n -> n
+          | None -> Printf.sprintf "unknown-model-%d" id
+        in
+        Printf.printf
+          "model %s: %d benign, %d latent, %d SDC, %d skipped, %d crashed\n" name mc.(0) mc.(1)
+          mc.(2) mc.(3) mc.(4))
+      models);
   (match r.Journal.fsck_header with
   | Some h -> Printf.printf "covered: %d of %d samples\n" r.Journal.fsck_covered h.Journal.samples
   | None -> Printf.printf "covered: %d distinct sample indices\n" r.Journal.fsck_covered);
@@ -931,6 +1045,22 @@ let lanes_arg =
           "In-flight faults per pass for the wide engines (0 = the engine's maximum: 62 for \
            $(b,--engine batched), 63 for $(b,--engine delta-batched)). Only valid with those \
            engines; verdicts are identical for every width.")
+
+let fault_model_arg =
+  Arg.(
+    value & opt string "seu"
+    & info [ "fault-model" ] ~docv:"MODEL"
+        ~doc:
+          "Fault model to sample and classify: $(b,seu) (single-event upset: one flop flipped \
+           for one cycle — the default and the classic HAFI model), $(b,set) (single-event \
+           transient: a glitch on a gate output, expanded through the gate's combinational \
+           output cone into the set of flops that would latch it that cycle), $(b,mbu:K) \
+           (multi-bit upset: $(i,K) layout-adjacent flops flipped together in one cycle) or \
+           $(b,intermittent:N) (intermittent stuck-at: one flop held at the flipped value for \
+           $(i,N) consecutive cycles; $(b,intermittent:1) is exactly $(b,seu)). The model is \
+           pinned in the journal header and on every distributed chunk; scalar and delta \
+           engines support every model bit-identically, the bit-parallel engines fall back \
+           (printed) for non-SEU models.")
 
 let journal =
   Arg.(
@@ -1026,6 +1156,10 @@ let exit_doc =
         budget was exhausted (a child kept dying faster than --restart-budget per \
         --restart-window allows) — the journal is intact, so rerunning with --supervise (or \
         serve --resume) finishes the campaign.";
+    `P "22: bad --fault-model (unknown model name, malformed or non-positive mbu:K / \
+        intermittent:N parameter, or a cluster size exceeding the core's flop count); 23: \
+        --fault-model contradicts the journal being resumed (the header pins the model every \
+        recorded verdict was classified under — rerun with the recorded model).";
     `P "130/143: interrupted by SIGINT/SIGTERM after a clean journal flush (resumable with \
         --resume).";
   ]
@@ -1033,8 +1167,8 @@ let exit_doc =
 let run_term =
   Term.(
     const run $ core $ program $ cycles $ samples $ seed $ prune $ jobs $ checkpoint_interval
-    $ batched $ engine_arg $ lanes_arg $ journal $ resume $ audit $ watchdog $ retries
-    $ chaos_profile_arg $ chaos_seed_arg $ chaos_budget_arg)
+    $ batched $ engine_arg $ lanes_arg $ fault_model_arg $ journal $ resume $ audit $ watchdog
+    $ retries $ chaos_profile_arg $ chaos_seed_arg $ chaos_budget_arg)
 
 let run_cmd =
   Cmd.v
@@ -1168,10 +1302,11 @@ let serve_cmd =
           new epoch and re-deliver in-flight verdicts; final statistics are bit-identical to \
           $(b,campaign run) with the same seed.")
     Term.(
-      const serve $ core $ program $ cycles $ samples $ seed $ prune $ listen $ port $ port_file
-      $ chunk_size $ lease $ idle_timeout $ poison_threshold $ blacklist_threshold $ verify_frac
-      $ max_inflight $ journal $ resume $ verbose $ supervise $ restart_budget $ restart_window
-      $ fleet $ chaos_profile_arg $ chaos_seed_arg $ chaos_budget_arg)
+      const serve $ core $ program $ cycles $ samples $ seed $ prune $ fault_model_arg $ listen
+      $ port $ port_file $ chunk_size $ lease $ idle_timeout $ poison_threshold
+      $ blacklist_threshold $ verify_frac $ max_inflight $ journal $ resume $ verbose $ supervise
+      $ restart_budget $ restart_window $ fleet $ chaos_profile_arg $ chaos_seed_arg
+      $ chaos_budget_arg)
 
 let work_cmd =
   let hostport =

@@ -49,13 +49,22 @@ let () =
   Printf.printf "MATEs prune %d of %d faults up front (%.1f%%)\n%!"
     (Replay.masked_count matrix) (Fault_space.size space)
     (Pruning_util.Stats.percentage (Replay.masked_count matrix) (Fault_space.size space));
+  (* A flop outside the fault space cannot be pruned — but it is a
+     stale-fault-list symptom worth surfacing, not a silent "inject". *)
+  let unknown_flops = ref 0 in
   let skip ~flop_id ~cycle =
     match Fault_space.flop_index space flop_id with
     | Some fi -> matrix.(cycle).(fi)
-    | None -> false
+    | None ->
+      incr unknown_flops;
+      false
   in
   let t1 = Unix.gettimeofday () in
   let pruned = Campaign.run_sample campaign ~space ~rng:(Prng.create 7) ~n:samples ~skip () in
+  if !unknown_flops > 0 then
+    Printf.printf
+      "warning: %d prune lookups named flops outside the fault space (injected, not pruned)\n%!"
+      !unknown_flops;
   let pruned_time = Unix.gettimeofday () -. t1 in
   Printf.printf "pruned: %d injections (%d skipped) in %5.1fs -> %d benign, %d latent, %d SDC\n"
     pruned.Campaign.injections pruned.Campaign.skipped pruned_time pruned.Campaign.benign

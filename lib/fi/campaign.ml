@@ -312,6 +312,131 @@ let inject_with ?budget t w ~flop_id ~cycle =
 let inject t ~flop_id ~cycle = inject_with t t.primary ~flop_id ~cycle
 let primary_worker t = t.primary
 
+(* The golden baseline shared by the delta-family engines: one full
+   recorded run of the scalar system, cached for the campaign's
+   lifetime. The trace is immutable, so worker resets (crash recovery),
+   durable shards and distributed chunk re-execution all reuse the same
+   recording instead of re-simulating golden. Also consulted by the
+   scalar intermittent injector, which needs per-cycle golden flop
+   values to re-arm against. *)
+let golden_trace t =
+  match t.golden_trace with
+  | Some trace -> trace
+  | None ->
+    let sys = t.make () in
+    let trace = System.record sys ~cycles:t.total_cycles in
+    t.golden_trace <- Some trace;
+    trace
+
+(* Generalized scalar injection: flip every member flop of the model's
+   expansion at the injection cycle, and for a hold window > 1 re-arm
+   each member to the complement of its golden Q at the top of every
+   window cycle (intermittent stuck-at semantics; the golden values come
+   from the shared recorded trace). The verdict protocol is exactly
+   [inject_with]'s, with one extra guard: memo reads/writes and Benign
+   re-convergence retirement are disabled until the last forced cycle —
+   while future forcing is still pending, equal-state-implies-equal-
+   remainder does not hold, and the memo table is shared across models.
+   For hold = 1 the guard is vacuous and single-member expansions
+   retrace [inject_with] decision-for-decision. *)
+let inject_expanded ?budget t w ~space ~key ~cycle =
+  if cycle < 0 || cycle >= t.total_cycles then invalid_arg "Campaign.inject: cycle out of range";
+  let members = Fault_space.expand space key in
+  (* A pulse nothing latches (empty SET cone): bit-exact golden run. *)
+  if Array.length members = 0 then Benign
+  else begin
+    let hold = Fault_space.hold space in
+    let window_end = min t.total_cycles (cycle + hold) in
+    let trace = if hold > 1 then Some (golden_trace t) else None in
+    let sys = w.w_sys in
+    let sim = sys.System.sim in
+    let nl = sys.System.netlist in
+    let used = ref 0 in
+    let charge =
+      match budget with
+      | None -> fun () -> ()
+      | Some b ->
+        fun () ->
+          incr used;
+          if !used > b then raise Budget_exceeded
+    in
+    let cp = cycle / t.interval in
+    w.w_restores.(cp) ();
+    for _ = 1 to cycle - (cp * t.interval) do
+      charge ();
+      Sim.step sim ()
+    done;
+    Sim.eval sim;
+    Array.iter (fun fid -> Sim.set_flop sim fid (not (Sim.get_flop sim fid))) members;
+    let result = ref None in
+    let pending = ref [] in
+    let c = ref cycle in
+    while !result = None && !c < t.total_cycles do
+      (match trace with
+      | Some trace when !c > cycle && !c < window_end ->
+        (* Re-arm: the state at the top of cycle !c is whatever the
+           faulty machine latched, except the held flops are forced to
+           the complement of their golden Q this cycle. *)
+        Array.iter
+          (fun fid ->
+            Sim.set_flop sim fid (not (Trace.get trace ~cycle:!c nl.Netlist.flops.(fid).Netlist.q)))
+          members
+      | _ -> ());
+      if !c mod t.interval = 0 && !c >= window_end - 1 then begin
+        let i = !c / t.interval in
+        match state_diff t w ~cp:i with
+        | Some ([], []) -> result := Some Benign
+        | Some (fd, rd) -> (
+          let key = (i, fd, rd) in
+          Mutex.lock t.memo_lock;
+          let hit = Hashtbl.find_opt t.memo key in
+          Mutex.unlock t.memo_lock;
+          match hit with
+          | Some v -> result := Some v
+          | None -> pending := key :: !pending)
+        | None -> ()
+      end;
+      if !result = None then begin
+        Sim.eval sim;
+        if not (outputs_match t sim !c) then result := Some (Sdc !c)
+        else begin
+          charge ();
+          Sim.latch sim;
+          incr c
+        end
+      end
+    done;
+    let verdict =
+      match !result with
+      | Some v -> v
+      | None ->
+        Sim.eval sim;
+        let flops = nl.Netlist.flops in
+        let ram = sys.System.ram in
+        let same = ref true in
+        let i = ref 0 in
+        let nf = Array.length flops in
+        while !same && !i < nf do
+          if Sim.peek sim flops.(!i).Netlist.q <> t.golden_flops.(!i) then same := false;
+          incr i
+        done;
+        let a = ref 0 in
+        let na = Array.length ram in
+        while !same && !a < na do
+          if ram.(!a) <> t.golden_ram.(!a) then same := false;
+          incr a
+        done;
+        if !same then Benign else Latent
+    in
+    if !pending <> [] then begin
+      Mutex.lock t.memo_lock;
+      if Hashtbl.length t.memo < max_memo_entries then
+        List.iter (fun key -> Hashtbl.replace t.memo key verdict) !pending;
+      Mutex.unlock t.memo_lock
+    end;
+    verdict
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Lane-parallel batched injection (PPSFP): lane 0 of a Bitsim worker
    replays the golden run, lanes 1..N each carry one pending fault. All
@@ -595,20 +720,6 @@ let inject_batch t ?lanes ~faults () =
    a latent stuck bit costs one partial interval of sparse simulation
    plus a memo lookup instead of a run to the horizon. *)
 
-(* The golden baseline shared by the delta-family engines: one full
-   recorded run of the scalar system, cached for the campaign's
-   lifetime. The trace is immutable, so worker resets (crash recovery),
-   durable shards and distributed chunk re-execution all reuse the same
-   recording instead of re-simulating golden. *)
-let golden_trace t =
-  match t.golden_trace with
-  | Some trace -> trace
-  | None ->
-    let sys = t.make () in
-    let trace = System.record sys ~cycles:t.total_cycles in
-    t.golden_trace <- Some trace;
-    trace
-
 let delta_worker t =
   match t.delta_worker with
   | Some d -> d
@@ -721,6 +832,118 @@ let inject_delta ?budget t ~flop_id ~cycle =
     Mutex.unlock t.memo_lock
   end;
   verdict
+
+(* Generalized delta injection: the delta image of [inject_expanded].
+   The model expansion becomes the initial dirty set (one flip per
+   member), and a hold window re-arms by re-flipping any member whose Q
+   flip flag has cleared — [Deltasim.flip_flop] toggles the flag, so
+   "flip if not flipped" is exactly "force to the complement of golden",
+   matching the scalar re-arm against the recorded trace. The memo and
+   Benign-retirement guard until the last forced cycle mirrors the
+   scalar injector; convergence cannot fire inside the window anyway
+   (a just-re-armed member is a non-empty dirty set), so the guard only
+   protects the shared memo table. *)
+let inject_delta_expanded ?budget t ~space ~key ~cycle =
+  if cycle < 0 || cycle >= t.total_cycles then
+    invalid_arg "Campaign.inject_delta: cycle out of range";
+  let members = Fault_space.expand space key in
+  if Array.length members = 0 then Benign
+  else begin
+    let hold = Fault_space.hold space in
+    let window_end = min t.total_cycles (cycle + hold) in
+    let d = delta_worker t in
+    let ds = d.System.d_dsim in
+    let used = ref 0 in
+    let charge =
+      match budget with
+      | None -> fun () -> ()
+      | Some b ->
+        fun () ->
+          incr used;
+          if !used > b then raise Budget_exceeded
+    in
+    Deltasim.attach ds ~cycle;
+    Array.iter (fun fid -> Deltasim.flip_flop ds fid) members;
+    let flops = (Deltasim.netlist ds).Netlist.flops in
+    let delta_diff () =
+      let exception Too_big in
+      try
+        let count = ref 0 in
+        let fd = ref [] in
+        for i = Array.length flops - 1 downto 0 do
+          let q = flops.(i).Netlist.q in
+          if Deltasim.is_flipped ds q then begin
+            incr count;
+            if !count > max_memo_diff then raise Too_big;
+            fd := (i, Deltasim.faulty ds q) :: !fd
+          end
+        done;
+        let rd = List.concat_map snd (Deltasim.device_diffs ds) |> List.sort compare in
+        if !count + List.length rd > max_memo_diff then raise Too_big;
+        Some (!fd, rd)
+      with Too_big -> None
+    in
+    let result = ref None in
+    let pending = ref [] in
+    let c = ref cycle in
+    while !result = None && !c < t.total_cycles do
+      if !c > cycle && !c < window_end then
+        Array.iter
+          (fun fid ->
+            if not (Deltasim.is_flipped ds flops.(fid).Netlist.q) then Deltasim.flip_flop ds fid)
+          members;
+      Deltasim.propagate ds;
+      if !c mod t.interval = 0 && !c >= window_end - 1 && not (Deltasim.converged ds) then begin
+        match delta_diff () with
+        | Some (fd, rd) -> (
+          let key = (!c / t.interval, fd, rd) in
+          Mutex.lock t.memo_lock;
+          let hit = Hashtbl.find_opt t.memo key in
+          Mutex.unlock t.memo_lock;
+          match hit with
+          | Some v -> result := Some v
+          | None -> pending := key :: !pending)
+        | None -> ()
+      end;
+      if !result = None then begin
+        if Deltasim.output_diverged ds then result := Some (Sdc !c)
+        else if !c >= window_end - 1 && Deltasim.converged ds then result := Some Benign
+        else begin
+          charge ();
+          Deltasim.latch ds;
+          incr c
+        end
+      end
+    done;
+    let verdict =
+      match !result with
+      | Some v -> v
+      | None ->
+        if Deltasim.flops_diverged ds || not (Deltasim.devices_clean ds) then Latent else Benign
+    in
+    if !pending <> [] then begin
+      Mutex.lock t.memo_lock;
+      if Hashtbl.length t.memo < max_memo_entries then
+        List.iter (fun key -> Hashtbl.replace t.memo key verdict) !pending;
+      Mutex.unlock t.memo_lock
+    end;
+    verdict
+  end
+
+(* Model dispatchers: [Seu] takes the historical single-flop fast paths
+   byte-for-byte (the bit-identity anchor); every other model goes
+   through the expanded injectors. [Intermittent 1] deliberately goes
+   through the expanded path too — with hold = 1 it retraces the SEU
+   protocol decision-for-decision, which the degeneracy tests pin. *)
+let inject_fault ?budget t w ~space ~key ~cycle =
+  match space.Fault_space.model with
+  | Fault_model.Seu -> inject_with ?budget t w ~flop_id:key ~cycle
+  | _ -> inject_expanded ?budget t w ~space ~key ~cycle
+
+let inject_fault_delta ?budget t ~space ~key ~cycle =
+  match space.Fault_space.model with
+  | Fault_model.Seu -> inject_delta ?budget t ~flop_id:key ~cycle
+  | _ -> inject_delta_expanded ?budget t ~space ~key ~cycle
 
 (* ------------------------------------------------------------------ *)
 (* Batched delta injection: many in-flight faults per pass, each an
@@ -967,12 +1190,12 @@ type stats = {
   crashed : int;
 }
 
-let count_chunk t w samples skipped lo hi =
+let count_chunk t w ~space samples skipped lo hi =
   let b = ref 0 and l = ref 0 and s = ref 0 in
   for i = lo to hi do
     if not skipped.(i) then begin
-      let flop_id, cycle = samples.(i) in
-      match inject_with t w ~flop_id ~cycle with
+      let key, cycle = samples.(i) in
+      match inject_fault t w ~space ~key ~cycle with
       | Benign -> incr b
       | Latent -> incr l
       | Sdc _ -> incr s
@@ -984,16 +1207,19 @@ let count_chunk t w samples skipped lo hi =
    distributed campaigns all derive their fault list through this exact
    loop, so equal seeds yield equal fault lists — the foundation of every
    bit-identical-statistics guarantee in the stack (a worker fleet and a
-   single process must classify the very same faults). *)
+   single process must classify the very same faults). The draw is over
+   the space's model keys; for [Seu] the key index runs over the flop
+   array and maps to netlist flop ids, making the PRNG call sequence and
+   the drawn pairs byte-identical to the historical flop-only draw. *)
 let draw_samples t ~space ~rng ~n =
   if n < 0 then invalid_arg "Campaign.draw_samples: n must be non-negative";
-  let flops = space.Fault_space.flops in
+  let n_keys = Fault_space.n_keys space in
   let cycle_bound = min space.Fault_space.cycles t.total_cycles in
   let samples = Array.make n (0, 0) in
   for i = 0 to n - 1 do
-    let flop = flops.(Prng.int rng (Array.length flops)) in
+    let key = Fault_space.draw_key space (Prng.int rng n_keys) in
     let cycle = Prng.int rng cycle_bound in
-    samples.(i) <- (flop.Netlist.flop_id, cycle)
+    samples.(i) <- (key, cycle)
   done;
   samples
 
@@ -1006,7 +1232,7 @@ let run_sample t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false) ?(job
   let n_skipped = Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 skipped in
   let jobs = max 1 (min jobs (max 1 n)) in
   let b, l, s =
-    if jobs = 1 then count_chunk t t.primary samples skipped 0 (n - 1)
+    if jobs = 1 then count_chunk t t.primary ~space samples skipped 0 (n - 1)
     else begin
       let chunk = (n + jobs - 1) / jobs in
       let domains =
@@ -1015,7 +1241,7 @@ let run_sample t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false) ?(job
             let hi = min (n - 1) ((j + 1) * chunk - 1) in
             Domain.spawn (fun () ->
                 if lo > hi then (0, 0, 0)
-                else count_chunk t (fresh_worker t) samples skipped lo hi))
+                else count_chunk t (fresh_worker t) ~space samples skipped lo hi))
       in
       List.fold_left
         (fun (b, l, s) d ->
@@ -1032,30 +1258,38 @@ let run_sample_batched t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> fals
   let samples = draw_samples t ~space ~rng ~n in
   let skipped = Array.map (fun (flop_id, cycle) -> skip ~flop_id ~cycle) samples in
   let n_skipped = Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 skipped in
-  let faults = Array.make (n - n_skipped) (0, 0) in
-  let j = ref 0 in
-  for i = 0 to n - 1 do
-    if not skipped.(i) then begin
-      faults.(!j) <- samples.(i);
-      incr j
-    end
-  done;
-  let verdicts = inject_batch t ?lanes ~faults () in
-  let b = ref 0 and l = ref 0 and s = ref 0 in
-  Array.iter
-    (function
-      | Benign -> incr b
-      | Latent -> incr l
-      | Sdc _ -> incr s)
-    verdicts;
-  {
-    injections = n - n_skipped;
-    benign = !b;
-    latent = !l;
-    sdc = !s;
-    skipped = n_skipped;
-    crashed = 0;
-  }
+  match space.Fault_space.model with
+  | Fault_model.Seu ->
+    let faults = Array.make (n - n_skipped) (0, 0) in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if not skipped.(i) then begin
+        faults.(!j) <- samples.(i);
+        incr j
+      end
+    done;
+    let verdicts = inject_batch t ?lanes ~faults () in
+    let b = ref 0 and l = ref 0 and s = ref 0 in
+    Array.iter
+      (function
+        | Benign -> incr b
+        | Latent -> incr l
+        | Sdc _ -> incr s)
+      verdicts;
+    {
+      injections = n - n_skipped;
+      benign = !b;
+      latent = !l;
+      sdc = !s;
+      skipped = n_skipped;
+      crashed = 0;
+    }
+  | _ ->
+    (* The bit-lane engine carries exactly one flop flip per lane;
+       non-SEU models fall back to the scalar reference injector,
+       fault by fault (documented in the engine support matrix). *)
+    let b, l, s = count_chunk t t.primary ~space samples skipped 0 (n - 1) in
+    { injections = n - n_skipped; benign = b; latent = l; sdc = s; skipped = n_skipped; crashed = 0 }
 
 let run_sample_delta t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false) () =
   (* Same draw order again: equal seeds yield equal fault lists, so the
@@ -1066,8 +1300,8 @@ let run_sample_delta t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -> false)
   let b = ref 0 and l = ref 0 and s = ref 0 in
   for i = 0 to n - 1 do
     if not skipped.(i) then begin
-      let flop_id, cycle = samples.(i) in
-      match inject_delta t ~flop_id ~cycle with
+      let key, cycle = samples.(i) in
+      match inject_fault_delta t ~space ~key ~cycle with
       | Benign -> incr b
       | Latent -> incr l
       | Sdc _ -> incr s
@@ -1089,30 +1323,53 @@ let run_sample_delta_batched t ~space ~rng ~n ?(skip = fun ~flop_id:_ ~cycle:_ -
   let samples = draw_samples t ~space ~rng ~n in
   let skipped = Array.map (fun (flop_id, cycle) -> skip ~flop_id ~cycle) samples in
   let n_skipped = Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 skipped in
-  let faults = Array.make (n - n_skipped) (0, 0) in
-  let j = ref 0 in
-  for i = 0 to n - 1 do
-    if not skipped.(i) then begin
-      faults.(!j) <- samples.(i);
-      incr j
-    end
-  done;
-  let verdicts = inject_delta_batch t ?lanes ~faults () in
-  let b = ref 0 and l = ref 0 and s = ref 0 in
-  Array.iter
-    (function
-      | Benign -> incr b
-      | Latent -> incr l
-      | Sdc _ -> incr s)
-    verdicts;
-  {
-    injections = n - n_skipped;
-    benign = !b;
-    latent = !l;
-    sdc = !s;
-    skipped = n_skipped;
-    crashed = 0;
-  }
+  match space.Fault_space.model with
+  | Fault_model.Seu ->
+    let faults = Array.make (n - n_skipped) (0, 0) in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if not skipped.(i) then begin
+        faults.(!j) <- samples.(i);
+        incr j
+      end
+    done;
+    let verdicts = inject_delta_batch t ?lanes ~faults () in
+    let b = ref 0 and l = ref 0 and s = ref 0 in
+    Array.iter
+      (function
+        | Benign -> incr b
+        | Latent -> incr l
+        | Sdc _ -> incr s)
+      verdicts;
+    {
+      injections = n - n_skipped;
+      benign = !b;
+      latent = !l;
+      sdc = !s;
+      skipped = n_skipped;
+      crashed = 0;
+    }
+  | _ ->
+    (* One flop flip per lane word again; non-SEU models fall back to
+       the single-fault delta injector (documented in the matrix). *)
+    let b = ref 0 and l = ref 0 and s = ref 0 in
+    for i = 0 to n - 1 do
+      if not skipped.(i) then begin
+        let key, cycle = samples.(i) in
+        match inject_fault_delta t ~space ~key ~cycle with
+        | Benign -> incr b
+        | Latent -> incr l
+        | Sdc _ -> incr s
+      end
+    done;
+    {
+      injections = n - n_skipped;
+      benign = !b;
+      latent = !l;
+      sdc = !s;
+      skipped = n_skipped;
+      crashed = 0;
+    }
 
 let pp_verdict ppf = function
   | Benign -> Format.fprintf ppf "benign"

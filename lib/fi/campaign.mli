@@ -148,6 +148,25 @@ val inject_with : ?budget:int -> t -> worker -> flop_id:int -> cycle:int -> verd
     worker remains usable (every injection starts from a checkpoint
     restore). *)
 
+val inject_fault :
+  ?budget:int -> t -> worker -> space:Fault_space.t -> key:int -> cycle:int -> verdict
+(** Model-aware scalar injection: classify the fault instance
+    [(key, cycle)] under [space]'s fault model. [Seu] dispatches to
+    {!inject_with} byte-for-byte; other models expand the key
+    ({!Fault_space.expand}) into simultaneous member flips and re-arm
+    held flops against the recorded golden trace for the hold window
+    ({!Fault_space.hold}). An empty expansion (a SET pulse nothing
+    latches) is [Benign] without simulating. Verdict-memo participation
+    is deferred to the last forced cycle, so multi-cycle models never
+    poison the state-determinism premise the shared memo rests on. *)
+
+val inject_fault_delta : ?budget:int -> t -> space:Fault_space.t -> key:int -> cycle:int -> verdict
+(** Model-aware delta injection: the delta image of {!inject_fault}
+    (expansion = initial dirty set; re-arm = re-flip any member whose
+    flip flag cleared). [Seu] dispatches to {!inject_delta}
+    byte-for-byte; every model is verdict-bit-identical to
+    {!inject_fault}. Requires [~make_delta] at {!create}. *)
+
 type stats = {
   injections : int;  (** experiments actually executed *)
   benign : int;
@@ -165,11 +184,13 @@ type stats = {
 
 val draw_samples :
   t -> space:Fault_space.t -> rng:Pruning_util.Prng.t -> n:int -> (int * int) array
-(** Draw the campaign's fault list: [n] [(flop_id, cycle)] pairs sampled
-    uniformly from [space] (cycles clipped to the campaign horizon). This
-    is {e the} canonical draw — {!run_sample}, {!run_sample_batched}, the
-    durable runner and the distributed worker all use it, so every engine
-    given generators in the same state classifies the identical faults. *)
+(** Draw the campaign's fault list: [n] [(key, cycle)] pairs sampled
+    uniformly from [space]'s model keys (cycles clipped to the campaign
+    horizon; for [Seu] the key {e is} the netlist flop id and the draw
+    is byte-identical to the historical flop draw). This is {e the}
+    canonical draw — {!run_sample}, {!run_sample_batched}, the durable
+    runner and the distributed worker all use it, so every engine given
+    generators in the same state classifies the identical faults. *)
 
 val run_sample :
   t ->
@@ -216,7 +237,9 @@ val run_sample_batched :
   stats
 (** {!run_sample}, batched: draws the identical fault list for the same
     [rng] seed and classifies it with {!inject_batch}, so the stats are
-    bit-identical to the scalar path's. *)
+    bit-identical to the scalar path's. The bit-lane engine carries one
+    flop flip per lane, so non-[Seu] fault models fall back to the
+    scalar reference injector fault-by-fault (stats still identical). *)
 
 val reset_delta_worker : t -> unit
 (** Discard the cached delta worker (trace and all); the next delta call
@@ -302,6 +325,7 @@ val run_sample_delta_batched :
 (** {!run_sample}, on the batched delta kernel: draws the identical
     fault list for the same [rng] seed and classifies it with
     {!inject_delta_batch}, so the stats are bit-identical to the other
-    three engines'. *)
+    three engines'. Non-[Seu] fault models fall back to the single-fault
+    delta injector (stats still identical). *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -414,7 +414,13 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
         | Some c ->
           state.(c) <- Leased;
           conn.leases <- c :: conn.leases;
-          let chunk = { Proto.chunk_id = c; lo = chunk_lo c; hi = chunk_hi c } in
+          let chunk = {
+              Proto.chunk_id = c;
+              lo = chunk_lo c;
+              hi = chunk_hi c;
+              model = Fault_model.id header.Journal.fault_model;
+              model_param = Fault_model.param header.Journal.fault_model;
+            } in
           on_event (Assigned { worker = conn.name; chunk });
           chaos_proc Chaos.Dispatch;
           send conn (Proto.Assign chunk)
@@ -422,7 +428,13 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
           match pop_verify conn with
           | Some c ->
             conn.vleases <- c :: conn.vleases;
-            let chunk = { Proto.chunk_id = c; lo = chunk_lo c; hi = chunk_hi c } in
+            let chunk = {
+              Proto.chunk_id = c;
+              lo = chunk_lo c;
+              hi = chunk_hi c;
+              model = Fault_model.id header.Journal.fault_model;
+              model_param = Fault_model.param header.Journal.fault_model;
+            } in
             on_event (Assigned { worker = conn.name; chunk });
             chaos_proc Chaos.Dispatch;
             send conn (Proto.Assign chunk)

@@ -62,6 +62,19 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
     in
     if l < 1 || l > max_l then
       invalid_arg (Printf.sprintf "Durable.run: lanes must be in [1, %d]" max_l));
+  (* The lane-parallel engines carry exactly one flop flip per lane, so
+     non-SEU fault models map each batched kernel to its scalar-family
+     reference before anything derived from the kernel (shard count,
+     header [batched] flag) is computed — the mapping is a pure function
+     of (model, requested kernel), so resumed runs re-derive the same
+     effective kernel and the same header. *)
+  let kernel =
+    match (space.Fault_space.model, kernel) with
+    | Fault_model.Seu, k -> k
+    | _, Campaign.Batched -> Campaign.Scalar
+    | _, Campaign.Delta_batched -> Campaign.Delta
+    | _, k -> k
+  in
   (match audit with
   | Some (p, _) when not (p >= 0. && p <= 1.) ->
     invalid_arg "Durable.run: audit fraction must be in [0, 1]"
@@ -106,6 +119,7 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
       shards;
       batched = kernel = Campaign.Batched;
       epoch = 0;
+      fault_model = space.Fault_space.model;
       prng = master_state;
       shard_prng = shard_states;
     }
@@ -267,7 +281,8 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
   let run_scalar_shard ~shard worker0 arng lo hi =
     let worker = ref worker0 in
     run_seq_shard ~shard
-      ~inject:(fun ~flop_id ~cycle -> Campaign.inject_with ?budget campaign !worker ~flop_id ~cycle)
+      ~inject:(fun ~flop_id ~cycle ->
+        Campaign.inject_fault ?budget campaign !worker ~space ~key:flop_id ~cycle)
       ~recover:(fun () -> worker := Campaign.fresh_worker campaign)
       arng lo hi
   in
@@ -370,7 +385,8 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
     (* The delta worker (shared golden trace + devices) is not
        domain-safe, so the delta kernel always runs one shard. *)
     run_seq_shard ~shard:0
-      ~inject:(fun ~flop_id ~cycle -> Campaign.inject_delta ?budget campaign ~flop_id ~cycle)
+      ~inject:(fun ~flop_id ~cycle ->
+        Campaign.inject_fault_delta ?budget campaign ~space ~key:flop_id ~cycle)
       ~recover:(fun () -> Campaign.reset_delta_worker campaign)
       (Prng.restore shard_states.(0))
       0 (n - 1)

@@ -1,0 +1,74 @@
+(* The fault-model vocabulary of the campaign stack. A fault instance is
+   always a [(key, cycle)] pair; the model decides what a key ranges
+   over and what physical corruption the pair denotes (see
+   {!Fault_space.expand} for the expansion into flop flips). *)
+
+type t =
+  | Seu
+  | Set
+  | Mbu of int
+  | Intermittent of int
+
+let validate = function
+  | Seu | Set -> ()
+  | Mbu k -> if k < 1 then invalid_arg "Fault_model: MBU cluster size must be positive"
+  | Intermittent n -> if n < 1 then invalid_arg "Fault_model: intermittent hold must be positive"
+
+let name = function
+  | Seu -> "seu"
+  | Set -> "set"
+  | Mbu k -> Printf.sprintf "mbu:%d" k
+  | Intermittent n -> Printf.sprintf "intermittent:%d" n
+
+(* Stable wire/journal ids: pinned in record kind bytes and proto chunk
+   descriptors, so they must never be renumbered. *)
+let id = function
+  | Seu -> 0
+  | Set -> 1
+  | Mbu _ -> 2
+  | Intermittent _ -> 3
+
+let base_name_of_id = function
+  | 0 -> Some "seu"
+  | 1 -> Some "set"
+  | 2 -> Some "mbu"
+  | 3 -> Some "intermittent"
+  | _ -> None
+
+(* The model parameter as carried next to {!id} on the wire: cluster
+   size for MBU, hold cycles for intermittent, 0 for the others. *)
+let param = function
+  | Seu | Set -> 0
+  | Mbu k -> k
+  | Intermittent n -> n
+
+let of_id_param model param =
+  match model with
+  | 0 -> Some Seu
+  | 1 -> Some Set
+  | 2 -> if param >= 1 then Some (Mbu param) else None
+  | 3 -> if param >= 1 then Some (Intermittent param) else None
+  | _ -> None
+
+let of_string s =
+  let parse_n what conv rest =
+    match int_of_string_opt rest with
+    | Some n when n >= 1 -> Ok (conv n)
+    | Some n -> Error (Printf.sprintf "%s parameter must be >= 1 (got %d)" what n)
+    | None -> Error (Printf.sprintf "%s parameter %S is not an integer" what rest)
+  in
+  match String.index_opt s ':' with
+  | None -> (
+    match s with
+    | "seu" -> Ok Seu
+    | "set" -> Ok Set
+    | "mbu" -> Error "mbu needs a cluster size, e.g. mbu:2"
+    | "intermittent" -> Error "intermittent needs a hold count, e.g. intermittent:3"
+    | _ -> Error (Printf.sprintf "unknown fault model %S (valid: seu|set|mbu:K|intermittent:N)" s))
+  | Some i -> (
+    let base = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match base with
+    | "mbu" -> parse_n "mbu" (fun k -> Mbu k) rest
+    | "intermittent" -> parse_n "intermittent" (fun n -> Intermittent n) rest
+    | _ -> Error (Printf.sprintf "unknown fault model %S (valid: seu|set|mbu:K|intermittent:N)" s))

@@ -1,0 +1,53 @@
+(** First-class fault models (the generalization of the implicit
+    [(flop_id, cycle)] SEU).
+
+    A fault instance is always a [(key, cycle)] pair drawn from a
+    {!Fault_space.t}; the model decides what a key ranges over and what
+    physical corruption the pair denotes:
+
+    - {!Seu}: key = netlist flop id; flip that flop for one cycle (the
+      paper's system model, and the historical default).
+    - {!Set}: key = gate index; a transient pulse on the gate's output
+      is represented as the set of flip-flops in the gate's fault cone
+      simultaneously latching corrupted values (the multi-SEU RTL
+      representation of a gate-level SET).
+    - [Mbu k]: key = index of a cluster of [k] adjacent flops in the
+      space's deterministic flop order; all [k] flip in the same cycle
+      (a spatial multi-bit upset).
+    - [Intermittent n]: key = netlist flop id; the flop is held at the
+      complement of its golden value for [n] consecutive cycles
+      (re-armed at every cycle of the window). [Intermittent 1] is
+      exactly {!Seu}. *)
+
+type t =
+  | Seu
+  | Set
+  | Mbu of int
+  | Intermittent of int
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on a non-positive MBU cluster size or
+    intermittent hold count. *)
+
+val name : t -> string
+(** Canonical spelling: ["seu"], ["set"], ["mbu:K"], ["intermittent:N"].
+    Round-trips through {!of_string}; pinned in journal headers. *)
+
+val of_string : string -> (t, string) result
+(** Parse a [--fault-model] spec. The error string is user-facing. *)
+
+val id : t -> int
+(** Stable numeric id (seu 0, set 1, mbu 2, intermittent 3): pinned in
+    journal record kind bytes and proto chunk descriptors. *)
+
+val param : t -> int
+(** The model parameter carried next to {!id} on the wire: cluster size
+    for MBU, hold cycles for intermittent, 0 otherwise. *)
+
+val of_id_param : int -> int -> t option
+(** Inverse of ({!id}, {!param}); [None] for unknown ids or invalid
+    parameters. *)
+
+val base_name_of_id : int -> string option
+(** Render a bare model id (e.g. from a journal record nibble) without
+    its parameter; [None] for unknown ids. *)

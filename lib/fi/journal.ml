@@ -24,6 +24,7 @@ type header = {
   shards : int;
   batched : bool;
   epoch : int;
+  fault_model : Fault_model.t;
   prng : string;
   shard_prng : string array;
 }
@@ -33,7 +34,11 @@ exception Error of string
 let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
 (* ------------------------------------------------------------------ *)
-(* Records: [kind:1][a:4 LE][b:4 LE][crc32(first 9 bytes):4 LE].       *)
+(* Records: [model:4 bits | kind:4 bits][a:4 LE][b:4 LE]
+   [crc32(first 9 bytes):4 LE]. The high nibble of the first byte pins
+   the fault model the record was classified under (Fault_model.id);
+   journals written before fault models existed carry nibble 0 = seu,
+   so the layout is bit-compatible with every historical journal. *)
 
 let record_size = 13
 
@@ -64,27 +69,32 @@ let get32 buf pos =
   done;
   !v
 
-let encode_record buf entry =
-  Bytes.set buf 0 (Char.chr (kind_of_entry entry));
+let encode_record ?(model = 0) buf entry =
+  Bytes.set buf 0 (Char.chr (((model land 0xF) lsl 4) lor kind_of_entry entry));
   let a, b = args_of_entry entry in
   put32 buf 1 a;
   put32 buf 5 b;
   put32 buf 9 (Crc.bytes buf ~pos:0 ~len:9)
 
-(* [None] on CRC mismatch or unknown kind (a torn or corrupt record). *)
+(* [None] on CRC mismatch or unknown kind (a torn or corrupt record).
+   The model nibble is returned as-is, even for ids no decoder knows
+   yet: a CRC-intact record from a future model is data to report, not
+   corruption ({!fsck} surfaces unknown ids as problems). *)
 let decode_record buf pos =
   let crc = get32 buf (pos + 9) in
   if crc <> Crc.bytes buf ~pos ~len:9 then None
   else
+    let byte = Char.code (Bytes.get buf pos) in
+    let model = byte lsr 4 in
     let a = get32 buf (pos + 1) and b = get32 buf (pos + 5) in
-    match Char.code (Bytes.get buf pos) with
-    | 0 -> Some (Outcome (a, Benign))
-    | 1 -> Some (Outcome (a, Latent))
-    | 2 -> Some (Outcome (a, Sdc b))
-    | 3 -> Some (Outcome (a, Skipped))
-    | 4 -> Some (Outcome (a, Crashed))
-    | 5 -> Some (Quarantine a)
-    | 6 -> Some (Poisoned a)
+    match byte land 0xF with
+    | 0 -> Some (model, Outcome (a, Benign))
+    | 1 -> Some (model, Outcome (a, Latent))
+    | 2 -> Some (model, Outcome (a, Sdc b))
+    | 3 -> Some (model, Outcome (a, Skipped))
+    | 4 -> Some (model, Outcome (a, Crashed))
+    | 5 -> Some (model, Quarantine a)
+    | 6 -> Some (model, Poisoned a)
     | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -160,6 +170,7 @@ let header_to_string h =
   kv "shards" (string_of_int h.shards);
   kv "batched" (if h.batched then "1" else "0");
   kv "epoch" (string_of_int h.epoch);
+  kv "fault_model" (Fault_model.name h.fault_model);
   kv "prng" h.prng;
   Array.iteri (fun i s -> kv (Printf.sprintf "shard%d" i) s) h.shard_prng;
   let body = Buffer.contents b in
@@ -219,6 +230,15 @@ let header_of_string ~what:dir s =
         match int_of_string_opt v with
         | Some e -> e
         | None -> error "%s: journal header field \"epoch\" is not an integer" dir));
+    (* Same backward-compat rule as epoch: journals written before fault
+       models existed are SEU journals. *)
+    fault_model =
+      (match Hashtbl.find_opt fields "fault_model" with
+      | None -> Fault_model.Seu
+      | Some v -> (
+        match Fault_model.of_string v with
+        | Ok m -> m
+        | Error msg -> error "%s: journal header field \"fault_model\": %s" dir msg));
     prng = get "prng";
     shard_prng = Array.init shards (fun i -> get (Printf.sprintf "shard%d" i));
   }
@@ -245,6 +265,10 @@ let require_match ~what (h : header) (want : header) =
   chk "shards (--jobs)" (h.shards = want.shards) (string_of_int h.shards)
     (string_of_int want.shards);
   chk "batched" (h.batched = want.batched) (string_of_bool h.batched) (string_of_bool want.batched);
+  chk "fault_model"
+    (h.fault_model = want.fault_model)
+    (Fault_model.name h.fault_model)
+    (Fault_model.name want.fault_model);
   chk "prng" (h.prng = want.prng) h.prng want.prng;
   (* The epoch is deliberately NOT checked: it is the coordinator's
      restart generation, not campaign identity — every supervised
@@ -265,6 +289,7 @@ let same_campaign (a : header) (b : header) =
 type writer = {
   dir : string;
   records_per_segment : int;
+  model : int;  (* Fault_model.id of the header's model, stamped on every record *)
   lock : Mutex.t;
   chaos : Chaos.t option;
   mutable chan : out_channel;  (* the active segment *)
@@ -353,7 +378,7 @@ let append w entry =
   let t0 = Mono.now () in
   let mark_slow () = w.slow_until <- Mono.now () +. slow_cooldown in
   let buf = Bytes.create record_size in
-  encode_record buf entry;
+  encode_record ~model:w.model buf entry;
   (* Transient disk pressure: wait it out, re-consulting the plan each
      round. The chaos budget bounds the loop; the writer is marked
      degraded so the coordinator stops leasing until it drains. *)
@@ -434,6 +459,7 @@ let create ?(records_per_segment = default_rps) ?chaos ~dir header =
   {
     dir;
     records_per_segment;
+    model = Fault_model.id header.fault_model;
     lock = Mutex.create ();
     chaos;
     chan = open_out_bin (active_file dir);
@@ -455,10 +481,11 @@ let list_segments dir =
          && Filename.check_suffix f ".bin")
   |> List.sort compare
 
-(* Decode a whole segment buffer. [strict] (finalized segments) raises on
-   any damage; otherwise (the active segment) decoding stops at the first
-   short or corrupt record and the number of dropped tail bytes is
-   returned alongside the intact prefix. *)
+(* Decode a whole segment buffer into (model, entry) pairs. [strict]
+   (finalized segments) raises on any damage; otherwise (the active
+   segment) decoding stops at the first short or corrupt record and the
+   number of dropped tail bytes is returned alongside the intact
+   prefix. *)
 let decode_buffer ~strict ~what buf =
   let len = Bytes.length buf in
   let n_whole = len / record_size in
@@ -500,20 +527,26 @@ let read_journal ~dir =
   in
   (header, finalized, active, dropped, List.length segments)
 
+let read_header ~dir =
+  if not (exists ~dir) then error "%s: no journal here (missing header)" dir;
+  header_of_string ~what:dir (Bytes.to_string (read_file (header_file dir)))
+
 let load ~dir =
   let header, finalized, active, dropped, _ = read_journal ~dir in
-  (header, Array.of_list (finalized @ active), dropped)
+  (header, Array.of_list (List.map snd (finalized @ active)), dropped)
 
 let resume ?(records_per_segment = default_rps) ?chaos ~dir () =
   if records_per_segment <= 0 then invalid_arg "Journal.resume: records_per_segment must be positive";
   let header, finalized, active, dropped, n_segments = read_journal ~dir in
   (* Truncate the torn tail by atomically rewriting the active segment
-     with only its intact records, then reopen it for appending. *)
+     with only its intact records — each re-encoded under its own model
+     nibble, so the rewrite is byte-preserving — then reopen it for
+     appending. *)
   let buf = Bytes.create (List.length active * record_size) in
   List.iteri
-    (fun i e ->
+    (fun i (model, e) ->
       let rec_buf = Bytes.create record_size in
-      encode_record rec_buf e;
+      encode_record ~model rec_buf e;
       Bytes.blit rec_buf 0 buf (i * record_size) record_size)
     active;
   write_atomic (active_file dir) (Bytes.to_string buf);
@@ -521,6 +554,7 @@ let resume ?(records_per_segment = default_rps) ?chaos ~dir () =
     {
       dir;
       records_per_segment;
+      model = Fault_model.id header.fault_model;
       lock = Mutex.create ();
       chaos;
       chan = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 (active_file dir);
@@ -532,7 +566,7 @@ let resume ?(records_per_segment = default_rps) ?chaos ~dir () =
     }
   in
   if w.in_active >= w.records_per_segment then rotate w;
-  (header, Array.of_list (finalized @ active), dropped, w)
+  (header, Array.of_list (List.map snd (finalized @ active)), dropped, w)
 
 (* Atomic header replacement, for epoch bumps on supervised failover.
    The header file is independent of the segments, so this never races
@@ -553,6 +587,7 @@ type fsck_report = {
   fsck_active : int option;
   fsck_torn_bytes : int;
   fsck_counts : int array;
+  fsck_models : (int * int array) list;
   fsck_covered : int;
   fsck_errors : (string * string) list;
 }
@@ -570,14 +605,42 @@ let fsck ~dir =
       | h -> Some h
       | exception Error msg -> err "header" msg; None
   in
+  let header_model = Option.map (fun h -> Fault_model.id h.fault_model) header in
   let counts = Array.make 7 0 in
+  let model_counts : (int, int array) Hashtbl.t = Hashtbl.create 4 in
+  let unknown_models = Hashtbl.create 4 in
+  let foreign_models = Hashtbl.create 4 in
   let covered = Hashtbl.create 1024 in
   let records = ref 0 in
-  let scan entries =
+  let scan file entries =
     List.iter
-      (fun e ->
+      (fun (model, e) ->
         incr records;
         counts.(kind_of_entry e) <- counts.(kind_of_entry e) + 1;
+        let mc =
+          match Hashtbl.find_opt model_counts model with
+          | Some a -> a
+          | None ->
+            let a = Array.make 7 0 in
+            Hashtbl.replace model_counts model a;
+            a
+        in
+        mc.(kind_of_entry e) <- mc.(kind_of_entry e) + 1;
+        (* Unknown or header-disagreeing model nibbles are problems to
+           report, never crashes: the record itself is CRC-intact. One
+           problem row per (file, model) keeps the report readable. *)
+        (if Fault_model.base_name_of_id model = None && not (Hashtbl.mem unknown_models (file, model))
+         then begin
+           Hashtbl.replace unknown_models (file, model) ();
+           err file (Printf.sprintf "records carry unknown fault-model id %d" model)
+         end);
+        (match header_model with
+        | Some hm when model <> hm && not (Hashtbl.mem foreign_models (file, model)) ->
+          Hashtbl.replace foreign_models (file, model) ();
+          err file
+            (Printf.sprintf "records carry fault-model id %d but the header pins %s" model
+               (match header with Some h -> Fault_model.name h.fault_model | None -> "?"))
+        | _ -> ());
         match e with Outcome (i, _) -> Hashtbl.replace covered i () | _ -> ())
       entries
   in
@@ -590,7 +653,7 @@ let fsck ~dir =
     (fun seg ->
       let path = Filename.concat dir seg in
       match decode_buffer ~strict:true ~what:path (read_file path) with
-      | entries, _ -> scan entries
+      | entries, _ -> scan seg entries
       | exception Error msg -> err seg msg
       | exception Sys_error msg -> err seg msg)
     segments;
@@ -598,7 +661,7 @@ let fsck ~dir =
     if Sys.file_exists (active_file dir) then
       match decode_buffer ~strict:false ~what:(active_file dir) (read_file (active_file dir)) with
       | entries, dropped ->
-        scan entries;
+        scan "active.bin" entries;
         (Some (List.length entries), dropped)
       | exception Sys_error msg -> err "active.bin" msg; (None, 0)
     else (None, 0)
@@ -610,6 +673,8 @@ let fsck ~dir =
     fsck_active = active;
     fsck_torn_bytes = torn;
     fsck_counts = counts;
+    fsck_models =
+      Hashtbl.fold (fun m a acc -> (m, a) :: acc) model_counts [] |> List.sort compare;
     fsck_covered = Hashtbl.length covered;
     fsck_errors = List.rev !errors;
   }

@@ -22,8 +22,11 @@
       tail (short or CRC-mismatching record), truncates it — again via
       tempfile + rename — and reports how many bytes were dropped.
 
-    Record layout (13 bytes, little-endian): kind byte, two 32-bit
-    arguments, CRC-32 of the preceding 9 bytes. *)
+    Record layout (13 bytes, little-endian): one byte holding the fault
+    model id in its high nibble ({!Fault_model.id}; 0 = seu, so
+    pre-fault-model journals are bit-compatible) and the record kind in
+    its low nibble, two 32-bit arguments, CRC-32 of the preceding
+    9 bytes. *)
 
 type outcome =
   | Benign
@@ -59,6 +62,11 @@ type header = {
           coordinator from the one they lost. Not campaign identity —
           {!require_match} ignores it; journals written before epochs
           existed parse as generation 0. *)
+  fault_model : Fault_model.t;
+      (** the fault model every recorded verdict was classified under;
+          journals written before fault models existed parse as [Seu].
+          Campaign identity: {!require_match} refuses a mismatch and the
+          coordinator's [Welcome] payload carries it to every worker. *)
   prng : string;  (** master sampler state, before any draw *)
   shard_prng : string array;  (** per-shard audit-sampler states *)
 }
@@ -122,6 +130,12 @@ val load : dir:string -> header * entry array * int
 (** Read-only {!resume}: same validation and torn-tail detection, but
     nothing on disk is modified and no writer is opened. *)
 
+val read_header : dir:string -> header
+(** Parse and CRC-check just the header file, touching no segments —
+    the cheap pre-flight for resume-compatibility checks (e.g. refusing
+    a [--fault-model] that contradicts the journal before any engine is
+    built). Raises {!Error}. *)
+
 val update_header : dir:string -> header -> unit
 (** Atomically replace the header file of an {e existing} journal —
     the supervised-failover epoch bump. Never races appends (the header
@@ -157,6 +171,12 @@ type fsck_report = {
   fsck_counts : int array;
       (** per-kind record counts, indexed by record kind: benign, latent,
           sdc, skipped, crashed, quarantine, poisoned *)
+  fsck_models : (int * int array) list;
+      (** per-fault-model record counts: (model id, per-kind counts as
+          in [fsck_counts]), ascending by model id. Records whose model
+          nibble is unknown ({!Fault_model.base_name_of_id} = [None]) or
+          disagrees with the header's pinned model additionally get an
+          [fsck_errors] row — reported, never a crash. *)
   fsck_covered : int;  (** distinct sample indices holding a verdict *)
   fsck_errors : (string * string) list;  (** (file, problem) pairs *)
 }

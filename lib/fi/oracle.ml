@@ -73,6 +73,18 @@ let pair_benign sim ~flop_a ~flop_b =
   Sim.eval sim;
   golden = faulty
 
+let multi_benign sim ~flop_ids =
+  let nl = Sim.netlist sim in
+  let out_wires = output_wires nl in
+  let golden = observe nl out_wires sim in
+  let originals = List.map (fun f -> (f, Sim.get_flop sim f)) flop_ids in
+  List.iter (fun (f, v) -> Sim.set_flop sim f (not v)) originals;
+  Sim.eval sim;
+  let faulty = observe nl out_wires sim in
+  List.iter (fun (f, v) -> Sim.set_flop sim f v) originals;
+  Sim.eval sim;
+  golden = faulty
+
 let sustained_benign sim ~flop_id ~hold =
   if hold < 1 then invalid_arg "Oracle.sustained_benign: hold must be positive";
   let nl = Sim.netlist sim in

@@ -20,6 +20,13 @@ val pair_benign : Pruning_sim.Sim.t -> flop_a:int -> flop_b:int -> bool
     check all next-state inputs and primary outputs as in
     {!one_cycle_benign}. *)
 
+val multi_benign : Pruning_sim.Sim.t -> flop_ids:int list -> bool
+(** {!pair_benign} generalized to an arbitrary simultaneous flip set —
+    the ground truth for one-cycle masking of a SET expansion or an MBU
+    cluster. Benign iff the whole set dies at the next clock edge with
+    every flip applied at once (which single-flop masking terms cannot
+    establish — hence the model-aware audit). *)
+
 val sustained_benign : Pruning_sim.Sim.t -> flop_id:int -> hold:int -> bool
 (** Section 6.2 extension: an upset that holds the flip-flop at the wrong
     value for [hold] consecutive cycles (starting at the current cycle).

@@ -7,8 +7,11 @@ exception Closed
 let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 let max_frame = 1 lsl 24
 
-(* v2: Hello carries the worker's last-seen coordinator epoch. *)
-let version = 2
+(* v2: Hello carries the worker's last-seen coordinator epoch.
+   v3: Assign pins the fault model (id + parameter) on every chunk
+   descriptor, so a worker can refuse a lease that contradicts the
+   campaign identity it resolved from Welcome. *)
+let version = 3
 
 (* ------------------------------------------------------------------ *)
 (* Little-endian integer plumbing shared by frames and messages.       *)
@@ -184,6 +187,8 @@ type chunk = {
   chunk_id : int;
   lo : int;
   hi : int;
+  model : int;  (* Fault_model.id the chunk's samples are classified under *)
+  model_param : int;  (* Fault_model.param (MBU cluster size / hold cycles) *)
 }
 
 type msg =
@@ -229,11 +234,13 @@ let encode msg =
     Buffer.add_char buf 'W';
     add_string32 buf (Journal.header_to_string h)
   | Request -> Buffer.add_char buf 'R'
-  | Assign { chunk_id; lo; hi } ->
+  | Assign { chunk_id; lo; hi; model; model_param } ->
     Buffer.add_char buf 'A';
     put32 buf chunk_id;
     put32 buf lo;
-    put32 buf hi
+    put32 buf hi;
+    put32 buf model;
+    put32 buf model_param
   | Wait -> Buffer.add_char buf 'w'
   | Results { chunk_id; results } ->
     Buffer.add_char buf 'r';
@@ -307,7 +314,9 @@ let decode payload =
       let chunk_id = take_u32 c in
       let lo = take_u32 c in
       let hi = take_u32 c in
-      Assign { chunk_id; lo; hi }
+      let model = take_u32 c in
+      let model_param = take_u32 c in
+      Assign { chunk_id; lo; hi; model; model_param }
     | 'w' -> Wait
     | 'r' ->
       let chunk_id = take_u32 c in

@@ -72,12 +72,18 @@ val next_frame : decoder -> string option
 val version : int
 (** Protocol version; [Hello]/[Welcome] with a different version are
     refused. Version 2 added the worker's last-seen coordinator epoch
-    to [Hello]. *)
+    to [Hello]; version 3 pins the fault model on every [Assign] chunk
+    descriptor. *)
 
 type chunk = {
   chunk_id : int;
   lo : int;  (** first sample index, inclusive *)
   hi : int;  (** last sample index, inclusive *)
+  model : int;
+      (** {!Fault_model.id} of the model the chunk's samples are
+          classified under — must agree with the Welcome header's model;
+          a worker refuses a contradicting lease *)
+  model_param : int;  (** {!Fault_model.param} (cluster size / hold cycles) *)
 }
 
 type msg =

@@ -136,7 +136,13 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
   in
   (* ---------------------------------------------------------------- *)
   (* One chunk, scalar or batched, streaming results as they appear.   *)
-  let run_chunk fd engine samples cworker { Proto.chunk_id; lo; hi } =
+  let run_chunk fd engine samples cworker { Proto.chunk_id; lo; hi; model; model_param } =
+    let own = engine.space.Fault_space.model in
+    if model <> Fault_model.id own || model_param <> Fault_model.param own then
+      raise
+        (Proto.Error
+           (Printf.sprintf "chunk %d pins fault model %d:%d but the campaign is %s"
+              chunk_id model model_param (Fault_model.name own)));
     let last_sent = ref (Mono.now ()) in
     let tell msg =
       Proto.send ?chaos fd msg;
@@ -255,10 +261,13 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
         match kernel with
         | Campaign.Scalar ->
           ( (fun ~flop_id ~cycle ->
-              Campaign.inject_with engine.campaign (get_scalar ()) ~flop_id ~cycle),
+              Campaign.inject_fault engine.campaign (get_scalar ()) ~space:engine.space
+                ~key:flop_id ~cycle),
             fun () -> ignore (fresh_scalar ()) )
         | _ ->
-          ( (fun ~flop_id ~cycle -> Campaign.inject_delta engine.campaign ~flop_id ~cycle),
+          ( (fun ~flop_id ~cycle ->
+              Campaign.inject_fault_delta engine.campaign ~space:engine.space ~key:flop_id
+                ~cycle),
             fun () -> Campaign.reset_delta_worker engine.campaign )
       in
       for idx = lo to hi do

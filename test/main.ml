@@ -29,4 +29,5 @@ let () =
       ("polish", Test_polish.suite);
       ("search-extra", Test_search_extra.suite);
       ("report", Test_report.suite);
+      ("fault-model", Test_fault_model.suite);
     ]

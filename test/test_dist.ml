@@ -63,6 +63,7 @@ let sample_header =
     shards = 0;
     batched = false;
     epoch = 0;
+    fault_model = Pruning_fi.Fault_model.Seu;
     prng = Prng.save (Prng.create 42);
     shard_prng = [||];
   }
@@ -72,7 +73,7 @@ let all_msgs =
     Proto.Hello { version = Proto.version; name = "worker-1"; epoch = -1 };
     Proto.Welcome sample_header;
     Proto.Request;
-    Proto.Assign { Proto.chunk_id = 3; lo = 12; hi = 15 };
+    Proto.Assign { Proto.chunk_id = 3; lo = 12; hi = 15; model = 0; model_param = 0 };
     Proto.Wait;
     Proto.Results
       {
@@ -152,7 +153,7 @@ let test_frame_sockets () =
   Unix.close b;
   (* ...but EOF mid-frame is a truncation error. *)
   let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let frame = Proto.encode_frame (Proto.encode (Proto.Assign { chunk_id = 1; lo = 0; hi = 9 })) in
+  let frame = Proto.encode_frame (Proto.encode (Proto.Assign { chunk_id = 1; lo = 0; hi = 9; model = 0; model_param = 0 })) in
   let partial = String.sub frame 0 (String.length frame - 2) in
   ignore (Unix.write_substring a partial 0 (String.length partial));
   Unix.close a;
@@ -230,6 +231,7 @@ let make_header ?(core = "toy") ?(program = "toy") ?(cycles = toy_cycles) ?(samp
     shards = 0;
     batched = false;
     epoch = 0;
+    fault_model = Pruning_fi.Fault_model.Seu;
     prng = Prng.save (Prng.create seed);
     shard_prng = [||];
   }

@@ -96,6 +96,7 @@ let header ?(shards = 1) ?(batched = false) ?(audit = 0.) ?(samples = 10) () =
     shards;
     batched;
     epoch = 0;
+    fault_model = Pruning_fi.Fault_model.Seu;
     prng = Prng.save (Prng.create 42);
     shard_prng = Array.init shards (fun s -> Prng.save (Prng.create (100 + s)));
   }

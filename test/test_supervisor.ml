@@ -265,6 +265,7 @@ let make_header () =
     shards = 0;
     batched = false;
     epoch = 0;
+    fault_model = Pruning_fi.Fault_model.Seu;
     prng = Prng.save (Prng.create toy_seed);
     shard_prng = [||];
   }
