@@ -28,6 +28,10 @@ module Fault_space = Pruning_fi.Fault_space
 module Fault_model = Pruning_fi.Fault_model
 module Campaign = Pruning_fi.Campaign
 module Intercycle = Pruning_fi.Intercycle
+module Coordinator = Pruning_fi.Coordinator
+module Worker = Pruning_fi.Worker
+module Fi_journal = Pruning_fi.Journal
+module Chaos = Pruning_fi.Chaos
 module Search = Pruning_mate.Search
 module Mateset = Pruning_mate.Mateset
 module Replay = Pruning_mate.Replay
@@ -384,6 +388,93 @@ let run_perf () =
     model_rows;
   Printf.printf "\nfault-model dimension (%d samples each):\n" model_samples;
   Table.print mt_table;
+  (* Byzantine dimension: what quorum arbitration costs end to end. The
+     same three-worker fleet (scalar engines, one deterministic liar)
+     runs the campaign twice over loopback: once with verification off,
+     once with a 5% cross-validation draw and quorum-3 arbitration
+     catching the liar. Engines are built before the clock starts, so
+     the rates compare distribution + arbitration, not golden runs. *)
+  let byz_workers = 3 in
+  let byz_header =
+    {
+      Fi_journal.core = "avr";
+      program = "fib";
+      cycles = horizon;
+      seed = 11;
+      samples;
+      prune = false;
+      audit = 0.;
+      shards = 0;
+      batched = false;
+      epoch = 0;
+      fault_model = Fault_model.Seu;
+      prng = Prng.save (Prng.create 11);
+      shard_prng = [||];
+    }
+  in
+  let run_dist ~verify_frac ~liar =
+    let engines =
+      Array.init byz_workers (fun _ ->
+          {
+            Worker.campaign = Campaign.create ~make ~total_cycles:horizon ();
+            space;
+            skip = None;
+            kernel = Campaign.Scalar;
+          })
+    in
+    let config =
+      {
+        Coordinator.default_config with
+        Coordinator.chunk_size = max 4 (samples / 64);
+        tick = 0.002;
+        verify_frac;
+        quorum = 3;
+      }
+    in
+    let coord = Coordinator.create ~config () in
+    let port = Coordinator.port coord in
+    let result = ref None in
+    let t0 = Mono.now () in
+    let ct =
+      Thread.create (fun () -> result := Some (Coordinator.serve coord ~header:byz_header ())) ()
+    in
+    let ws =
+      List.init byz_workers (fun i ->
+          let chaos =
+            if liar && i = byz_workers - 1 then
+              Some (Chaos.create ~profile:Chaos.liar_profile ~seed:7 ())
+            else None
+          in
+          let name = if chaos = None then Printf.sprintf "honest-%d" i else "liar" in
+          Thread.create
+            (fun () ->
+              try
+                ignore
+                  (Worker.run ~host:"127.0.0.1" ~port
+                     ~resolve:(fun _ -> engines.(i))
+                     ~name ?chaos ())
+              with _ -> ())
+            ())
+    in
+    Thread.join ct;
+    let elapsed = Mono.now () -. t0 in
+    List.iter Thread.join ws;
+    (Option.get !result, elapsed)
+  in
+  let byz_base, byz_base_t = run_dist ~verify_frac:0. ~liar:true in
+  let byz_arb, byz_arb_t = run_dist ~verify_frac:0.05 ~liar:true in
+  let byz_base_rate = rate byz_base.Coordinator.stats byz_base_t in
+  let byz_arb_rate = rate byz_arb.Coordinator.stats byz_arb_t in
+  let byz_overhead = 100. *. (1. -. (byz_arb_rate /. max 1e-9 byz_base_rate)) in
+  Printf.printf
+    "\nbyzantine dimension (%d workers incl. one liar, %d samples over loopback):\n" byz_workers
+    samples;
+  Printf.printf "  no verification:              %.1f inj/s\n" byz_base_rate;
+  Printf.printf
+    "  --verify-frac 0.05 --quorum 3: %.1f inj/s (%.1f%% overhead; %d disputes, %d resolved, %d \
+     overturned)\n"
+    byz_arb_rate byz_overhead byz_arb.Coordinator.mismatches byz_arb.Coordinator.arb_resolved
+    byz_arb.Coordinator.arb_overturned;
   (* Machine-readable record for CI trend tracking; hand-rolled JSON so
      the harness needs no extra dependency. *)
   let json_path = "BENCH_campaign.json" in
@@ -411,7 +502,16 @@ let run_perf () =
         (rate mstats mt)
         (if i = List.length model_rows - 1 then "" else ","))
     model_rows;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc
+    "  \"byzantine\": { \"workers\": %d, \"liars\": 1, \"samples\": %d, \"verify_frac\": 0.05, \
+     \"quorum\": 3,\n\
+    \    \"baseline_inj_per_s\": %.1f, \"arbitrated_inj_per_s\": %.1f, \"overhead_pct\": %.1f,\n\
+    \    \"disputes\": %d, \"resolved\": %d, \"overturned\": %d, \"unresolved\": %d }\n"
+    byz_workers samples byz_base_rate byz_arb_rate byz_overhead byz_arb.Coordinator.mismatches
+    byz_arb.Coordinator.arb_resolved byz_arb.Coordinator.arb_overturned
+    byz_arb.Coordinator.arb_unresolved;
+  Printf.fprintf oc "}\n";
   close_out oc;
   Printf.printf "[wrote %s]\n" json_path
 

@@ -60,12 +60,15 @@ let fail code fmt = Printf.ksprintf (fun s -> prerr_endline ("campaign: " ^ s); 
    --chaos SEED. The plan is a pure function of the seed (and budget),
    so a chaotic run is replayable bit-for-bit. --chaos-profile process
    additionally arms whole-process kills/stalls and disk pressure —
-   survivable only under serve --supervise. *)
+   survivable only under serve --supervise. --chaos-profile liar turns a
+   worker Byzantine: it deterministically corrupts a fraction of its
+   verdicts before framing, so only quorum arbitration can catch it. *)
 let make_chaos ~chaos_profile ~chaos_seed ~chaos_budget =
   let profile =
     match chaos_profile with
     | `Default -> Chaos.default_profile
     | `Process -> Chaos.process_profile
+    | `Liar -> Chaos.liar_profile
   in
   Option.map
     (fun seed -> Chaos.create ~profile:{ profile with Chaos.budget = chaos_budget } ~seed ())
@@ -511,11 +514,25 @@ let run_coordinator ~core ~program ~cycles ~samples ~seed ~prune ~model ~listen 
         if r.Coordinator.blacklisted > 0 then
           Printf.printf "blacklist: %d misbehaving workers refused re-admission\n"
             r.Coordinator.blacklisted;
+        if r.Coordinator.mismatches > 0 then
+          Printf.printf
+            "arbitration: %d verdict disputes, %d resolved by quorum (%d overturned), %d \
+             unresolved\n"
+            r.Coordinator.mismatches r.Coordinator.arb_resolved r.Coordinator.arb_overturned
+            r.Coordinator.arb_unresolved;
+        if r.Coordinator.suspects <> [] then
+          Printf.printf "reputation: %d workers quarantined as suspects: %s\n"
+            (List.length r.Coordinator.suspects)
+            (String.concat ", "
+               (List.map
+                  (fun (w, s) -> Printf.sprintf "%s (suspicion %d)" w s)
+                  r.Coordinator.suspects));
         print_stats r.Coordinator.stats (Mono.now () -. start);
-        if r.Coordinator.mismatches > 0 then begin
+        if r.Coordinator.arb_unresolved > 0 then begin
           Printf.eprintf
-            "campaign: %d determinism violations (workers disagreed on a verdict; first kept)\n%!"
-            r.Coordinator.mismatches;
+            "campaign: %d verdict disputes had no reachable quorum (stats above carry the first \
+             verdict, unvalidated)\n%!"
+            r.Coordinator.arb_unresolved;
           exit_network
         end
         else if r.Coordinator.poisoned <> [] then begin
@@ -754,9 +771,9 @@ let supervised_work ~host ~current_port ~index ~chaos =
     ~chaos ()
 
 let serve core program cycles samples seed prune fault_model listen port port_file chunk_size
-    lease idle_timeout poison_threshold blacklist_threshold verify_frac max_inflight journal
-    resume verbose supervise restart_budget restart_window fleet chaos_profile chaos_seed
-    chaos_budget =
+    lease idle_timeout poison_threshold blacklist_threshold verify_frac max_inflight quorum
+    suspect_threshold arb_patience journal resume verbose supervise restart_budget restart_window
+    fleet chaos_profile chaos_seed chaos_budget =
   match resolve_model fault_model with
   | Error code -> code
   | Ok model -> (
@@ -787,6 +804,14 @@ let serve core program cycles samples seed prune fault_model listen port port_fi
     else if max_inflight < 0 then
       fail exit_bad_dist "--max-inflight must be non-negative (got %d); 0 disables the bound"
         max_inflight
+    else if quorum < 1 then
+      fail exit_bad_dist "--quorum must be at least 1 ballot per dispute (got %d)" quorum
+    else if suspect_threshold < 0 then
+      fail exit_bad_dist
+        "--suspect-threshold must be non-negative (got %d); 0 disables reputation quarantine"
+        suspect_threshold
+    else if arb_patience <= 0. then
+      fail exit_bad_dist "--arb-patience must be positive seconds (got %g)" arb_patience
     else if restart_budget < 0 then
       fail exit_bad_dist "--restart-budget must be non-negative (got %d)" restart_budget
     else if restart_window <= 0. then
@@ -837,6 +862,9 @@ let serve core program cycles samples seed prune fault_model listen port port_fi
         blacklist_threshold;
         verify_frac;
         max_inflight;
+        quorum;
+        suspect_threshold;
+        arb_patience;
       }
     in
     let chaos i =
@@ -952,6 +980,9 @@ let fsck_dir dir =
     c.(2) c.(3) c.(4);
   if c.(5) > 0 then Printf.printf "quarantined MATEs: %d\n" c.(5);
   if c.(6) > 0 then Printf.printf "poisoned chunks: %d\n" c.(6);
+  if c.(7) > 0 then
+    Printf.printf "arbitrated: %d disputes settled by quorum (%d overturned, %d ballots cast)\n"
+      c.(7) r.Journal.fsck_overturned r.Journal.fsck_arb_ballots;
   (* Per-model verdict breakdown: redundant for a pure-SEU journal (the
      lines above already are that breakdown), informative the moment any
      record carries another — or an unknown — model nibble. *)
@@ -1129,14 +1160,17 @@ let chaos_budget_arg =
 let chaos_profile_arg =
   Arg.(
     value
-    & opt (enum [ ("default", `Default); ("process", `Process) ]) `Default
+    & opt (enum [ ("default", `Default); ("process", `Process); ("liar", `Liar) ]) `Default
     & info [ "chaos-profile" ] ~docv:"PROFILE"
         ~doc:
           "Which fault rates the $(b,--chaos) plan draws from: $(b,default) injects only \
            in-process faults every layer already absorbs; $(b,process) additionally arms \
            whole-process kills and stalls (mid-dispatch, mid-drain, mid-seal) and disk pressure \
            (transient ENOSPC, slow writes) — faults only a supervised service (serve \
-           $(b,--supervise)) rides out.")
+           $(b,--supervise)) rides out; $(b,liar) (workers only) turns the worker Byzantine: a \
+           deterministic fraction of its verdicts are corrupted before framing, so they pass \
+           every CRC and only the coordinator's quorum arbitration (serve $(b,--verify-frac) + \
+           $(b,--quorum)) catches, outvotes and quarantines it.")
 
 let exit_doc =
   [
@@ -1148,14 +1182,15 @@ let exit_doc =
         engine, or --batched conflicting with --engine); 17: journal error (corrupt, mismatched, \
         missing for --resume, or the disk failed mid-run — resumable); 18: bad distributed \
         argument (--port, --chunk-size, --lease, --idle-timeout, --poison-threshold, \
-        --blacklist-threshold, --verify-frac, --recv-timeout, HOST:PORT, --workers, \
-        --max-reconnects, or --name with --workers > 1); 19: network failure (a worker gave up \
-        reconnecting) or a determinism violation between workers (disagreeing or \
-        cross-validation verdicts); 20: chunks quarantined as poisoned after repeatedly killing \
-        workers (stats exclude them; resumable with --resume); 21: the supervisor's restart \
-        budget was exhausted (a child kept dying faster than --restart-budget per \
-        --restart-window allows) — the journal is intact, so rerunning with --supervise (or \
-        serve --resume) finishes the campaign.";
+        --blacklist-threshold, --verify-frac, --max-inflight, --quorum, --suspect-threshold, \
+        --arb-patience, --recv-timeout, HOST:PORT, --workers, --max-reconnects, or --name with \
+        --workers > 1); 19: network failure (a worker gave up reconnecting) or an unresolved \
+        verdict dispute — workers disagreed and quorum arbitration could not reach a majority \
+        (disputes a quorum does settle are journaled and do not fail the campaign); 20: chunks \
+        quarantined as poisoned after repeatedly killing workers (stats exclude them; resumable \
+        with --resume); 21: the supervisor's restart budget was exhausted (a child kept dying \
+        faster than --restart-budget per --restart-window allows) — the journal is intact, so \
+        rerunning with --supervise (or serve --resume) finishes the campaign.";
     `P "22: bad --fault-model (unknown model name, malformed or non-positive mbu:K / \
         intermittent:N parameter, or a cluster size exceeding the core's flop count); 23: \
         --fault-model contradicts the journal being resumed (the header pins the model every \
@@ -1239,8 +1274,40 @@ let serve_cmd =
       & info [ "verify-frac" ] ~docv:"R"
           ~doc:
             "Cross-validation sampling: re-dispatch a deterministic fraction $(docv) of completed \
-             chunks to a second (different when possible) worker and compare verdicts. Any \
-             disagreement is a determinism violation (exit 19).")
+             chunks to a second (different when possible) worker and compare verdicts. A \
+             disagreement opens a quorum arbitration ($(b,--quorum)); only a dispute no quorum \
+             can settle fails the campaign (exit 19).")
+  in
+  let quorum =
+    Arg.(
+      value & opt int 3
+      & info [ "quorum" ] ~docv:"K"
+          ~doc:
+            "Maximum arbitration ballots recruited per disputed chunk: on a verdict mismatch the \
+             chunk is re-issued to up to $(docv) workers that are neither disputant, and each \
+             disputed sample is settled by strict majority over both claims plus the ballots — \
+             losers take a reputation hit ($(b,--suspect-threshold)). Tolerates any minority of \
+             liars; must be at least 1.")
+  in
+  let suspect_threshold =
+    Arg.(
+      value & opt int 5
+      & info [ "suspect-threshold" ] ~docv:"N"
+          ~doc:
+            "Suspicion score at which a worker name is quarantined for the rest of the run: \
+             arbitration losses score 3, corrupt frames 2, lease expiries 1. A quarantined \
+             worker still computes but is excluded from arbitration voting and every chunk it \
+             completes is cross-validated regardless of $(b,--verify-frac). 0 disables \
+             reputation-based quarantine.")
+  in
+  let arb_patience =
+    Arg.(
+      value & opt float 30.
+      & info [ "arb-patience" ] ~docv:"SECONDS"
+          ~doc:
+            "How long an arbitration may sit with no ballot progress (e.g. no eligible voter \
+             connected) before its disputes are declared unresolved (exit 19) instead of \
+             stalling the campaign forever. Should comfortably exceed $(b,--lease).")
   in
   let verbose =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Also print per-frame progress events.")
@@ -1304,9 +1371,9 @@ let serve_cmd =
     Term.(
       const serve $ core $ program $ cycles $ samples $ seed $ prune $ fault_model_arg $ listen
       $ port $ port_file $ chunk_size $ lease $ idle_timeout $ poison_threshold
-      $ blacklist_threshold $ verify_frac $ max_inflight $ journal $ resume $ verbose $ supervise
-      $ restart_budget $ restart_window $ fleet $ chaos_profile_arg $ chaos_seed_arg
-      $ chaos_budget_arg)
+      $ blacklist_threshold $ verify_frac $ max_inflight $ quorum $ suspect_threshold
+      $ arb_patience $ journal $ resume $ verbose $ supervise $ restart_budget $ restart_window
+      $ fleet $ chaos_profile_arg $ chaos_seed_arg $ chaos_budget_arg)
 
 let work_cmd =
   let hostport =

@@ -18,6 +18,7 @@ type action =
   | Duplicate
   | Kill
   | Disk_full
+  | Lie of int
 
 type site =
   | Send
@@ -30,6 +31,7 @@ type site =
   | Drain
   | Seal
   | Disk
+  | Verdict
 
 let site_index = function
   | Send -> 0
@@ -42,8 +44,9 @@ let site_index = function
   | Drain -> 7
   | Seal -> 8
   | Disk -> 9
+  | Verdict -> 10
 
-let n_sites = 10
+let n_sites = 11
 
 let site_name = function
   | Send -> "send"
@@ -56,6 +59,7 @@ let site_name = function
   | Drain -> "drain"
   | Seal -> "seal"
   | Disk -> "disk"
+  | Verdict -> "verdict"
 
 type profile = {
   net_delay : float;
@@ -72,6 +76,7 @@ type profile = {
   exec_crash : float;
   exec_stall : float;
   exec_dup : float;
+  exec_lie : float;
   proc_kill : float;
   proc_stall : float;
   disk_full : float;
@@ -98,6 +103,10 @@ let default_profile =
     exec_crash = 0.02;
     exec_stall = 0.005;
     exec_dup = 0.02;
+    (* Lies are off everywhere except {!liar_profile}: a lying worker
+       violates the determinism contract on purpose, which only makes
+       sense in a fleet with enough honest peers to outvote it. *)
+    exec_lie = 0.;
     (* Whole-process kills and disk pressure are off by default: a plain
        [--chaos N] run must keep the documented exit-code contract
        (0 | 17 | 19 | 20). They only fire under {!process_profile},
@@ -126,6 +135,7 @@ let quiet_profile =
     exec_crash = 0.;
     exec_stall = 0.;
     exec_dup = 0.;
+    exec_lie = 0.;
     proc_kill = 0.;
     proc_stall = 0.;
     disk_full = 0.;
@@ -157,6 +167,14 @@ let process_profile =
     journal_fsync = 0.;
     journal_torn = 0.;
   }
+
+(* Byzantine-worker profile: the worker stays perfectly healthy on the
+   wire and on time — it just lies. Roughly a quarter of its verdicts
+   are deterministically corrupted before framing (so every CRC passes
+   and nothing but cross-validation can catch it), until the budget
+   runs dry. Meant for fleets with enough honest peers to outvote it:
+   the soak invariant is bit-identical stats *despite* this worker. *)
+let liar_profile = { quiet_profile with exec_lie = 0.25; budget = 64 }
 
 type t = {
   profile : profile;
@@ -243,6 +261,7 @@ let draw t site =
             (p.disk_full, fun () -> Disk_full);
             (p.disk_stall, fun () -> Stall p.stall);
           ]
+      | Verdict -> choose [ (p.exec_lie, fun () -> Lie (Prng.int g 0x3FFFFFFF)) ]
     in
     (match a with
     | Pass -> ()
@@ -273,6 +292,7 @@ let action_to_string = function
   | Duplicate -> "duplicate"
   | Kill -> "kill"
   | Disk_full -> "disk-full"
+  | Lie k -> Printf.sprintf "lie(%d)" k
 
 (* The action a [Kill] consultation point applies: SIGKILL to self — the
    most brutal crash available, no atexit, no flush, no unwind. *)

@@ -57,6 +57,12 @@ type action =
   | Duplicate  (** send the results frame twice (duplicate verdict replay) *)
   | Kill  (** SIGKILL the drawing process itself ({!kill_self}) *)
   | Disk_full  (** transient disk pressure: the journal pauses and retries *)
+  | Lie of int
+      (** Byzantine verdict corruption: deterministically rewrite the
+          verdict about to be reported, keyed by [k], {e before} framing
+          — the frame's CRC is computed over the lie, so nothing on the
+          wire can catch it. Only cross-validation and quorum
+          arbitration can. *)
 
 type site =
   | Send  (** {!Proto} frame transmission *)
@@ -69,6 +75,7 @@ type site =
   | Drain  (** coordinator, each iteration of the shutdown drain loop *)
   | Seal  (** coordinator journal, mid segment seal (between close and rename) *)
   | Disk  (** journal append, before the record write (disk-pressure point) *)
+  | Verdict  (** worker, per verdict about to be reported (liar point) *)
 
 val site_name : site -> string
 
@@ -87,6 +94,7 @@ type profile = {
   exec_crash : float;  (** P(Crash) per experiment attempt *)
   exec_stall : float;  (** P(Stall) per experiment attempt *)
   exec_dup : float;  (** P(Duplicate) per results flush *)
+  exec_lie : float;  (** P(Lie) at [Verdict], per verdict reported *)
   proc_kill : float;  (** P(Kill) at [Dispatch]/[Drain]/[Seal] *)
   proc_stall : float;  (** P(Stall) at [Dispatch]/[Drain]/[Seal] *)
   disk_full : float;  (** P(Disk_full) at [Disk] *)
@@ -115,6 +123,13 @@ val process_profile : profile
 val quiet_profile : profile
 (** All rates (and the budget) zero — a no-op plan; start from this to
     enable one fault class at a time. *)
+
+val liar_profile : profile
+(** A Byzantine worker: healthy on the wire and on time, but roughly a
+    quarter of its verdicts are lies ([exec_lie = 0.25], [budget = 64],
+    everything else zero). Deterministic per seed, so a lying fleet
+    member is exactly reproducible. Only meaningful in a fleet with
+    enough honest peers to outvote it ([--quorum]). *)
 
 type t
 

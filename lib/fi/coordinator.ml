@@ -14,6 +14,9 @@ type config = {
   blacklist_threshold : int;
   verify_frac : float;
   max_inflight : int;
+  quorum : int;
+  suspect_threshold : int;
+  arb_patience : float;
 }
 
 let default_config =
@@ -30,6 +33,9 @@ let default_config =
     blacklist_threshold = 3;
     verify_frac = 0.;
     max_inflight = 1024;
+    quorum = 3;
+    suspect_threshold = 5;
+    arb_patience = 30.;
   }
 
 type event =
@@ -44,7 +50,25 @@ type event =
   | Blacklisted of { worker : string; strikes : int }
   | Verified of { chunk_id : int; worker : string }
   | Rejoined of { worker : string; stale_epoch : int; epoch : int }
+  | Arbitrating of { chunk_id : int; index : int; challenger : string }
+  | Arbitrated of {
+      chunk_id : int;
+      index : int;
+      outcome : Journal.outcome;
+      overturned : bool;
+      voters : string list;
+      losers : string list;
+    }
+  | Arbitration_failed of { chunk_id : int; index : int; reason : string }
+  | Suspected of { worker : string; score : int }
   | Completed
+
+let outcome_name = function
+  | Journal.Benign -> "benign"
+  | Journal.Latent -> "latent"
+  | Journal.Sdc c -> Printf.sprintf "sdc@%d" c
+  | Journal.Skipped -> "skipped"
+  | Journal.Crashed -> "crashed"
 
 let pp_event ppf = function
   | Joined { worker } -> Format.fprintf ppf "worker %s joined" worker
@@ -58,8 +82,7 @@ let pp_event ppf = function
   | Duplicate { worker; index } ->
     Format.fprintf ppf "duplicate verdict for sample %d from %s (deduplicated)" index worker
   | Mismatch { worker; index } ->
-    Format.fprintf ppf "DETERMINISM VIOLATION on sample %d from %s (first verdict kept)" index
-      worker
+    Format.fprintf ppf "VERDICT MISMATCH on sample %d from %s" index worker
   | Quarantined { chunk_id; deaths } ->
     Format.fprintf ppf "chunk %d POISONED (killed %d distinct workers), quarantined" chunk_id
       deaths
@@ -69,6 +92,22 @@ let pp_event ppf = function
     Format.fprintf ppf "chunk %d cross-validated by %s" chunk_id worker
   | Rejoined { worker; stale_epoch; epoch } ->
     Format.fprintf ppf "worker %s rejoined from epoch %d into epoch %d" worker stale_epoch epoch
+  | Arbitrating { chunk_id; index; challenger } ->
+    Format.fprintf ppf "verdict dispute on sample %d (chunk %d) raised by %s: arbitrating" index
+      chunk_id challenger
+  | Arbitrated { chunk_id; index; outcome; overturned; voters; losers } ->
+    Format.fprintf ppf "sample %d (chunk %d) arbitrated to %s by quorum [%s]: first verdict %s%s"
+      index chunk_id (outcome_name outcome)
+      (String.concat ", " voters)
+      (if overturned then "OVERTURNED" else "upheld")
+      (match losers with
+      | [] -> ""
+      | l -> Printf.sprintf "; outvoted: %s" (String.concat ", " l))
+  | Arbitration_failed { chunk_id; index; reason } ->
+    Format.fprintf ppf "verdict dispute on sample %d (chunk %d) UNRESOLVED: %s" index chunk_id
+      reason
+  | Suspected { worker; score } ->
+    Format.fprintf ppf "worker %s quarantined as suspect (suspicion %d)" worker score
   | Completed -> Format.fprintf ppf "campaign complete"
 
 type result = {
@@ -85,6 +124,10 @@ type result = {
   verified : int;
   rejoined : int;
   epoch : int;
+  arb_resolved : int;
+  arb_overturned : int;
+  arb_unresolved : int;
+  suspects : (string * int) list;
 }
 
 type t = {
@@ -110,6 +153,11 @@ let create ?(config = default_config) () =
     invalid_arg "Coordinator.create: verify_frac must be in [0, 1]";
   if config.max_inflight < 0 then
     invalid_arg "Coordinator.create: max_inflight must be non-negative";
+  if config.quorum < 1 then invalid_arg "Coordinator.create: quorum must be at least 1";
+  if config.suspect_threshold < 0 then
+    invalid_arg "Coordinator.create: suspect_threshold must be non-negative";
+  if config.arb_patience <= 0. then
+    invalid_arg "Coordinator.create: arb_patience must be positive";
   (* A worker death must surface as a socket error on our side, not kill
      the coordinator process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -141,6 +189,7 @@ type conn = {
   mutable last_seen : float;  (* Mono.now of the last complete message *)
   mutable leases : int list;  (* chunk ids this connection holds *)
   mutable vleases : int list;  (* chunk ids held for cross-validation *)
+  mutable aleases : int list;  (* chunk ids held as arbitration ballots *)
 }
 
 type chunk_state =
@@ -148,6 +197,23 @@ type chunk_state =
   | Leased
   | Complete
   | Poisoned  (* quarantined: killed too many workers, never re-dispatched *)
+
+(* One open arbitration per disputed chunk. [disputes] carries the
+   contested samples with both claims and their claimants; [ballots] the
+   completed full-chunk re-runs by voters (neither disputant may vote);
+   [voter] the one ballot currently out on a lease — voting is
+   sequential so the cheapest sufficient quorum is used. [since] is the
+   last time the arbitration made progress; {!config.arb_patience} past
+   it with no ballot in flight, the dispute is declared unresolvable. *)
+type arb = {
+  achunk : int;
+  mutable disputes :
+    (int * Journal.outcome * string * Journal.outcome * string) list;
+      (* sample, recorded verdict, its origin, claimed verdict, claimant *)
+  mutable ballots : (string * (int, Journal.outcome) Hashtbl.t) list;
+  mutable voter : (string * (int, Journal.outcome) Hashtbl.t) option;
+  mutable since : float;
+}
 
 let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
     ?(should_stop = fun () -> false) ?(on_event = fun _ -> ()) () =
@@ -176,6 +242,19 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
   let refused : (string, unit) Hashtbl.t = Hashtbl.create 8 in
   let verified = ref 0 in
   let rejoined = ref 0 in
+  (* Quorum arbitration: one open [arb] per disputed chunk, plus the
+     set of ever-disputed chunks (a disputed chunk never counts as
+     cleanly cross-validated) and per-sample origins so arbitration
+     losses can be attributed to the worker whose verdict they were. *)
+  let arbs : (int, arb) Hashtbl.t = Hashtbl.create 4 in
+  let disputed : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let origins = Array.make n "" in
+  let arb_resolved = ref 0 in
+  let arb_overturned = ref 0 in
+  let arb_unresolved = ref 0 in
+  let reputation = Reputation.create () in
+  let suspects : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let draining = ref false in
   let writer, header =
     match journal with
     | None -> (None, header)
@@ -189,6 +268,17 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
               outcomes.(i) <- Some o;
               incr n_done;
               incr recovered
+            end
+          (* An [Arbitrated] record supersedes the disputed [Outcome] it
+             follows: on replay the quorum's verdict wins, so a resumed
+             campaign carries the arbitrated truth, not the first claim. *)
+          | Journal.Arbitrated { index = i; outcome = o; _ } ->
+            if i >= 0 && i < n then begin
+              if outcomes.(i) = None then begin
+                incr n_done;
+                incr recovered
+              end;
+              outcomes.(i) <- Some o
             end
           (* A recorded [Poisoned] is deliberately ignored: a resumed
              campaign retries the quarantined chunk from scratch, with
@@ -247,8 +337,10 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
     cfg.verify_frac > 0.
     && Prng.float (Prng.create (header.Journal.seed lxor ((c + 1) * 0x9E3779B9))) < cfg.verify_frac
   in
-  let schedule_verify ~origin c =
-    if should_verify c && not (Hashtbl.mem vorigin c) then begin
+  (* [force] bypasses the sampling draw: chunks completed by a
+     quarantined (suspect) worker are always cross-validated. *)
+  let schedule_verify ?(force = false) ~origin c =
+    if (force || should_verify c) && not (Hashtbl.mem vorigin c) then begin
       Hashtbl.replace vorigin c origin;
       vpending := !vpending @ [ c ];
       incr verify_outstanding
@@ -297,7 +389,18 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
       conn.leases;
     conn.leases <- [];
     List.iter (fun c -> vpending := c :: !vpending) conn.vleases;
-    conn.vleases <- []
+    conn.vleases <- [];
+    (* An in-flight arbitration ballot is simply discarded: the next
+       eligible Request recruits a replacement voter. *)
+    List.iter
+      (fun c ->
+        match Hashtbl.find_opt arbs c with
+        | Some ({ voter = Some (vname, _); _ } as a) when vname = conn.name ->
+          a.voter <- None;
+          a.since <- Mono.now ()
+        | _ -> ())
+      conn.aleases;
+    conn.aleases <- []
   in
   (* ---------------------------------------------------------------- *)
   (* Connections.                                                      *)
@@ -317,6 +420,24 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
     if cfg.blacklist_threshold > 0 then
       Hashtbl.replace strikes conn.name
         (1 + Option.value ~default:0 (Hashtbl.find_opt strikes conn.name))
+  in
+  (* Reputation: accumulate suspicion per worker name; crossing the
+     threshold quarantines the name — excluded from arbitration voting,
+     its completed chunks always cross-validated. Quarantine is never
+     lifted within a service run. *)
+  let suspected name = Hashtbl.mem suspects name in
+  let repute name ev =
+    if name <> "" then begin
+      let s = Reputation.record reputation ~name ev in
+      if
+        cfg.suspect_threshold > 0
+        && s >= cfg.suspect_threshold
+        && not (Hashtbl.mem suspects name)
+      then begin
+        Hashtbl.replace suspects name ();
+        on_event (Suspected { worker = name; score = s })
+      end
+    end
   in
   let send conn msg =
     try Proto.send ~deadline:(Mono.now () +. cfg.write_timeout) ?chaos conn.fd msg with
@@ -338,8 +459,9 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
     in
     go [] !vpending
   in
-  let record i o =
+  let record ~origin i o =
     outcomes.(i) <- Some o;
+    origins.(i) <- origin;
     incr n_done;
     let c = i / cfg.chunk_size in
     if state.(c) = Poisoned then begin
@@ -350,13 +472,170 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
         poisoned := List.filter (fun p -> p <> c) !poisoned
       end
     end;
+    (* The cross-validation draw happens the moment the chunk is covered,
+       not at the worker's [Chunk_done] claim: [n_done] reaches [n] on
+       the last verdict, so deferring the draw would leave a gap where
+       [finished] holds and completion is declared with the verification
+       pass silently skipped (and a worker dying between its last
+       results frame and [Chunk_done] would dodge the check entirely). *)
+    if state.(c) <> Poisoned && covered c then
+      schedule_verify ~force:(suspected origin) ~origin c;
     match writer with
     | Some w -> Journal.append w (Journal.Outcome (i, o))
     | None -> ()
   in
+  (* ---------------------------------------------------------------- *)
+  (* Quorum arbitration.                                               *)
+  (* A verdict mismatch opens (or extends) the chunk's arbitration:    *)
+  (* the chunk is re-issued to voters — workers that are neither the   *)
+  (* recorded verdict's origin nor the challenger — one ballot at a    *)
+  (* time, until every disputed sample has a strict majority among     *)
+  (* {both claims} ∪ {ballots}, or [quorum] ballots have been spent.   *)
+  let open_dispute conn ~chunk_id ~index ~recorded ~claimed =
+    incr mismatches;
+    on_event (Mismatch { worker = conn.name; index });
+    Hashtbl.replace disputed chunk_id ();
+    if !draining then begin
+      (* Completion was already declared; no voters can be recruited.
+         Keep the recorded verdict, surface the violation (exit 19
+         upstairs), and drop the late dissenter. *)
+      incr arb_unresolved;
+      on_event
+        (Arbitration_failed
+           { chunk_id; index; reason = "mismatch after completion (no voters reachable)" });
+      raise (Proto.Error (Printf.sprintf "determinism violation on sample %d" index))
+    end
+    else begin
+      (* Arbitration supersedes a verification pass: the ballots re-run
+         the chunk anyway, so a challenging verifier's lease is settled
+         here rather than left outstanding (it can never count as a
+         clean [Verified] — the chunk is in [disputed] for good). *)
+      if List.mem chunk_id conn.vleases then begin
+        conn.vleases <- List.filter (fun c -> c <> chunk_id) conn.vleases;
+        decr verify_outstanding
+      end;
+      let a =
+        match Hashtbl.find_opt arbs chunk_id with
+        | Some a -> a
+        | None ->
+          let a =
+            { achunk = chunk_id; disputes = []; ballots = []; voter = None; since = Mono.now () }
+          in
+          Hashtbl.replace arbs chunk_id a;
+          a
+      in
+      if not (List.exists (fun (j, _, _, _, _) -> j = index) a.disputes) then begin
+        a.disputes <- (index, recorded, origins.(index), claimed, conn.name) :: a.disputes;
+        a.since <- Mono.now ();
+        on_event (Arbitrating { chunk_id; index; challenger = conn.name })
+      end
+    end
+  in
+  (* An arbitration this connection may vote on: not a disputant, not
+     already voted, not quarantined as a suspect, no ballot in flight. *)
+  let pop_arb conn =
+    if suspected conn.name then None
+    else
+      Hashtbl.fold
+        (fun _ a acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            if
+              a.voter = None
+              && (not (List.mem_assoc conn.name a.ballots))
+              && not
+                   (List.exists
+                      (fun (_, _, rorigin, _, claimant) ->
+                        rorigin = conn.name || claimant = conn.name)
+                      a.disputes)
+            then Some a
+            else acc)
+        arbs None
+  in
+  let try_resolve a =
+    let n_ballots = List.length a.ballots in
+    let tally votes =
+      let counts = Hashtbl.create 4 in
+      List.iter
+        (fun (o, _) ->
+          Hashtbl.replace counts o (1 + Option.value ~default:0 (Hashtbl.find_opt counts o)))
+        votes;
+      Hashtbl.fold (fun o k acc -> (o, k) :: acc) counts []
+    in
+    let decided = ref [] in
+    let undecided = ref [] in
+    List.iter
+      (fun ((index, recorded, rorigin, claimed, claimant) as d) ->
+        (* Electorate for this sample: both disputant claims plus every
+           completed ballot's verdict (the recorded origin may be ""
+           after a journal recovery — it still casts its claim, it just
+           cannot be blamed). A strict majority of at least 3 cast votes
+           decides. *)
+        let votes =
+          (recorded, rorigin) :: (claimed, claimant)
+          :: List.filter_map
+               (fun (vname, tbl) -> Option.map (fun o -> (o, vname)) (Hashtbl.find_opt tbl index))
+               a.ballots
+        in
+        let total = List.length votes in
+        match List.find_opt (fun (_, k) -> 2 * k > total) (tally votes) with
+        | Some (winner, _) when total >= 3 -> decided := (d, winner, votes) :: !decided
+        | _ -> undecided := d :: !undecided)
+      a.disputes;
+    (* Settle when every dispute has a majority, or the quorum budget is
+       spent (whatever remains undecided is declared unresolved). *)
+    if !undecided = [] || n_ballots >= cfg.quorum then begin
+      let voters = List.rev_map fst a.ballots in
+      List.iter
+        (fun ((index, recorded, _rorigin, claimed, _claimant), winner, votes) ->
+          let overturned = winner <> recorded in
+          if overturned then outcomes.(index) <- Some winner;
+          incr arb_resolved;
+          if overturned then incr arb_overturned;
+          (match writer with
+          | Some w ->
+            Journal.append w
+              (Journal.Arbitrated
+                 {
+                   index;
+                   outcome = winner;
+                   loser = (if overturned then recorded else claimed);
+                   voters = n_ballots;
+                   overturned;
+                 })
+          | None -> ());
+          (* Everyone whose verdict lost the vote — disputant or voter —
+             takes an arbitration-loss suspicion hit. *)
+          let losers =
+            List.filter_map
+              (fun (o, who) -> if o <> winner && who <> "" then Some who else None)
+              votes
+          in
+          List.iter (fun who -> repute who Reputation.Arbitration_loss) losers;
+          on_event
+            (Arbitrated { chunk_id = a.achunk; index; outcome = winner; overturned; voters; losers }))
+        !decided;
+      List.iter
+        (fun (index, _, _, _, _) ->
+          incr arb_unresolved;
+          on_event
+            (Arbitration_failed
+               {
+                 chunk_id = a.achunk;
+                 index;
+                 reason = Printf.sprintf "no majority after %d ballots" n_ballots;
+               }))
+        !undecided;
+      Hashtbl.remove arbs a.achunk
+    end
+  in
   (* The service is over when every sample has a verdict or lies in a
-     quarantined chunk, and no cross-validation is still outstanding. *)
-  let finished () = !n_done + !poisoned_holes >= n && !verify_outstanding <= 0 in
+     quarantined chunk, no cross-validation is still outstanding, and
+     every opened arbitration has been settled one way or the other. *)
+  let finished () =
+    !n_done + !poisoned_holes >= n && !verify_outstanding <= 0 && Hashtbl.length arbs = 0
+  in
   (* Whole-process chaos: the coordinator SIGKILLs itself mid-dispatch
      or mid-drain. Only a supervisor makes this survivable — which is
      the point: these sites exist to prove it is. *)
@@ -405,86 +684,121 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
         on_event (Rejoined { worker = name; stale_epoch = epoch; epoch = header.Journal.epoch })
       end;
       on_event (Joined { worker = name });
-      send conn (Proto.Welcome header)
+      send conn (Proto.Welcome { header; suspicion = Reputation.score reputation name })
     | _ when not conn.greeted -> raise (Proto.Error "first message must be Hello")
     | Proto.Request ->
       if degraded () then send conn Proto.Wait
-      else (
+      else begin
+        let mk purpose c =
+          {
+            Proto.chunk_id = c;
+            lo = chunk_lo c;
+            hi = chunk_hi c;
+            model = Fault_model.id header.Journal.fault_model;
+            model_param = Fault_model.param header.Journal.fault_model;
+            purpose;
+          }
+        in
+        let assign chunk =
+          on_event (Assigned { worker = conn.name; chunk });
+          chaos_proc Chaos.Dispatch;
+          send conn (Proto.Assign chunk)
+        in
+        (* Assignment priority: fresh data, then arbitration ballots
+           (disputes block completion, so they are on the critical
+           path), then cross-validation re-runs. *)
         match pop_chunk () with
         | Some c ->
           state.(c) <- Leased;
           conn.leases <- c :: conn.leases;
-          let chunk = {
-              Proto.chunk_id = c;
-              lo = chunk_lo c;
-              hi = chunk_hi c;
-              model = Fault_model.id header.Journal.fault_model;
-              model_param = Fault_model.param header.Journal.fault_model;
-            } in
-          on_event (Assigned { worker = conn.name; chunk });
-          chaos_proc Chaos.Dispatch;
-          send conn (Proto.Assign chunk)
+          assign (mk Proto.Data c)
         | None -> (
-          match pop_verify conn with
-          | Some c ->
-            conn.vleases <- c :: conn.vleases;
-            let chunk = {
-              Proto.chunk_id = c;
-              lo = chunk_lo c;
-              hi = chunk_hi c;
-              model = Fault_model.id header.Journal.fault_model;
-              model_param = Fault_model.param header.Journal.fault_model;
-            } in
-            on_event (Assigned { worker = conn.name; chunk });
-            chaos_proc Chaos.Dispatch;
-            send conn (Proto.Assign chunk)
-          | None -> send conn (if finished () then Proto.Done else Proto.Wait)))
+          match pop_arb conn with
+          | Some a ->
+            a.voter <- Some (conn.name, Hashtbl.create 16);
+            a.since <- Mono.now ();
+            conn.aleases <- a.achunk :: conn.aleases;
+            assign (mk Proto.Arbitrate a.achunk)
+          | None -> (
+            match pop_verify conn with
+            | Some c ->
+              conn.vleases <- c :: conn.vleases;
+              assign (mk Proto.Verify c)
+            | None -> send conn (if finished () then Proto.Done else Proto.Wait)))
+      end
     | Proto.Results { chunk_id; results } ->
       if chunk_id < 0 || chunk_id >= n_chunks then
         raise (Proto.Error (Printf.sprintf "results for unknown chunk %d" chunk_id));
-      let verifying = List.mem chunk_id conn.vleases in
-      Array.iter
-        (fun (i, o) ->
-          if i < 0 || i >= n then
-            raise (Proto.Error (Printf.sprintf "result for sample %d outside [0, %d)" i n));
-          match outcomes.(i) with
-          | None -> record i o
-          | Some prev when prev = o ->
-            (* A verification pass or a re-dispatched chunk's second
-               delivery: verdicts are deterministic, so equal is the
-               only legal outcome — dropped, not double-counted. *)
-            if not verifying then begin
-              incr duplicates;
-              on_event (Duplicate { worker = conn.name; index = i })
-            end
-          | Some _ ->
-            incr mismatches;
-            on_event (Mismatch { worker = conn.name; index = i });
-            if verifying then begin
-              (* The chunk's verification is settled (it failed); do not
-                 hand it to yet another worker forever. *)
-              conn.vleases <- List.filter (fun c -> c <> chunk_id) conn.vleases;
-              decr verify_outstanding
-            end;
-            raise (Proto.Error (Printf.sprintf "determinism violation on sample %d" i)))
-        results;
-      on_event (Progress { done_ = !n_done; total = n })
+      if List.mem chunk_id conn.aleases then begin
+        (* An arbitration ballot: verdicts accumulate privately until
+           the voter's Chunk_done and never touch the outcome table.
+           Frames for an arbitration meanwhile abandoned (patience
+           lapsed) or re-assigned are ignored. *)
+        match Hashtbl.find_opt arbs chunk_id with
+        | Some ({ voter = Some (vname, tbl); _ } as a) when vname = conn.name ->
+          Array.iter
+            (fun (i, o) ->
+              if i < 0 || i >= n then
+                raise (Proto.Error (Printf.sprintf "result for sample %d outside [0, %d)" i n));
+              Hashtbl.replace tbl i o)
+            results;
+          a.since <- Mono.now ()
+        | _ -> ()
+      end
+      else begin
+        (* A disputed chunk's remaining (agreeing) verdicts are part of
+           the settled verification pass, not straggler duplicates. *)
+        let verifying = List.mem chunk_id conn.vleases || Hashtbl.mem disputed chunk_id in
+        Array.iter
+          (fun (i, o) ->
+            if i < 0 || i >= n then
+              raise (Proto.Error (Printf.sprintf "result for sample %d outside [0, %d)" i n));
+            match outcomes.(i) with
+            | None -> record ~origin:conn.name i o
+            | Some prev when prev = o ->
+              (* A verification pass or a re-dispatched chunk's second
+                 delivery: verdicts are deterministic, so equal is the
+                 only legal outcome — dropped, not double-counted. *)
+              if not verifying then begin
+                incr duplicates;
+                on_event (Duplicate { worker = conn.name; index = i })
+              end
+            | Some prev ->
+              (* Disagreement is no longer fail-stop: route the claim
+                 into quorum arbitration and keep the connection — the
+                 dissenter may be the honest one. *)
+              open_dispute conn ~chunk_id ~index:i ~recorded:prev ~claimed:o)
+          results;
+        on_event (Progress { done_ = !n_done; total = n })
+      end
     | Proto.Chunk_done { chunk_id } ->
       if chunk_id < 0 || chunk_id >= n_chunks then
         raise (Proto.Error (Printf.sprintf "done for unknown chunk %d" chunk_id));
-      if List.mem chunk_id conn.vleases then begin
-        (* Every Results frame of the verification pass deduplicated
-           cleanly against the recorded verdicts (a mismatch would have
-           dropped the connection before its Chunk_done). *)
+      if List.mem chunk_id conn.aleases then begin
+        conn.aleases <- List.filter (fun c -> c <> chunk_id) conn.aleases;
+        match Hashtbl.find_opt arbs chunk_id with
+        | Some ({ voter = Some (vname, tbl); _ } as a) when vname = conn.name ->
+          a.voter <- None;
+          a.ballots <- (vname, tbl) :: a.ballots;
+          a.since <- Mono.now ();
+          try_resolve a
+        | _ -> ()
+      end
+      else if List.mem chunk_id conn.vleases then begin
         conn.vleases <- List.filter (fun c -> c <> chunk_id) conn.vleases;
         decr verify_outstanding;
-        incr verified;
-        on_event (Verified { chunk_id; worker = conn.name })
+        (* A chunk whose verification surfaced a dispute is settled by
+           arbitration, not counted as cleanly cross-validated. *)
+        if not (Hashtbl.mem disputed chunk_id) then begin
+          incr verified;
+          on_event (Verified { chunk_id; worker = conn.name })
+        end
       end
       else begin
         conn.leases <- List.filter (fun c -> c <> chunk_id) conn.leases;
         if covered chunk_id then begin
-          if state.(chunk_id) = Leased then schedule_verify ~origin:conn.name chunk_id;
+          (* Verification (if drawn) was already scheduled when the last
+             verdict landed — [Chunk_done] only retires the lease. *)
           if state.(chunk_id) <> Poisoned then state.(chunk_id) <- Complete
         end
         else if state.(chunk_id) = Leased then begin
@@ -513,7 +827,7 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
       in
       conns :=
         { fd; dec = Proto.decoder (); name; greeted = false; last_seen = Mono.now ();
-          leases = []; vleases = [] }
+          leases = []; vleases = []; aleases = [] }
         :: !conns
   in
   let read_buf = Bytes.create 65536 in
@@ -533,8 +847,9 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
         done
       with Proto.Error reason ->
         (* Misbehavior (corrupt frame, protocol violation), not a death:
-           strike the name and drop the connection. *)
+           strike the name, feed its reputation, drop the connection. *)
         strike conn;
+        repute conn.name Reputation.Corrupt_frame;
         drop ~reason conn)
   in
   let expire_leases () =
@@ -548,9 +863,39 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
            results deduplicate); only its claim on the chunks lapses. *)
         if cfg.idle_timeout > 0. && now -. conn.last_seen > cfg.idle_timeout then
           drop ~death:true ~reason:"read deadline: peer silent past idle-timeout" conn
-        else if (conn.leases <> [] || conn.vleases <> []) && now -. conn.last_seen > cfg.lease
-        then release ~death:false ~reason:"lease expired" conn)
-      !conns
+        else if
+          (conn.leases <> [] || conn.vleases <> [] || conn.aleases <> [])
+          && now -. conn.last_seen > cfg.lease
+        then begin
+          release ~death:false ~reason:"lease expired" conn;
+          repute conn.name Reputation.Lease_expiry
+        end)
+      !conns;
+    (* Arbitration liveness: a dispute that has made no progress for a
+       whole patience window (no eligible voter exists, or voters keep
+       dying) is declared unresolvable — the recorded verdict stands,
+       the campaign completes, and the caller exits 19. *)
+    let stale =
+      Hashtbl.fold
+        (fun _ a acc -> if now -. a.since > cfg.arb_patience then a :: acc else acc)
+        arbs []
+    in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun (index, _, _, _, _) ->
+            incr arb_unresolved;
+            on_event
+              (Arbitration_failed
+                 {
+                   chunk_id = a.achunk;
+                   index;
+                   reason =
+                     Printf.sprintf "no quorum reachable within %.1fs patience" cfg.arb_patience;
+                 }))
+          a.disputes;
+        Hashtbl.remove arbs a.achunk)
+      stale
   in
   (* ---------------------------------------------------------------- *)
   (* Event loop.                                                       *)
@@ -576,6 +921,10 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
     expire_leases ()
   done;
   let completed = !n_done >= n in
+  (* Mismatches surfacing after this point (straggler re-deliveries
+     during drain) cannot recruit voters any more: they are counted as
+     unresolved instead of opening an arbitration nobody can settle. *)
+  draining := true;
   if finished () then begin
     if completed then on_event Completed;
     (* Keep answering Requests (each now gets Done) until every worker
@@ -626,4 +975,10 @@ let serve t ~header ?journal ?(resume = false) ?records_per_segment ?chaos
     verified = !verified;
     rejoined = !rejoined;
     epoch = header.Journal.epoch;
+    arb_resolved = !arb_resolved;
+    arb_overturned = !arb_overturned;
+    arb_unresolved = !arb_unresolved;
+    suspects =
+      Hashtbl.fold (fun name () acc -> (name, Reputation.score reputation name) :: acc) suspects []
+      |> List.sort compare;
   }

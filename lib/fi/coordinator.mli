@@ -17,9 +17,29 @@
     - {e Idempotent dedup}: verdicts are deterministic per experiment, so
       a re-dispatched chunk's second result set must agree with the
       first. Duplicates are asserted equal and dropped, never
-      double-counted; a disagreement is a determinism violation — the
-      offending worker is disconnected, the first verdict kept, and the
-      violation surfaced in the {!result}.
+      double-counted; a disagreement opens a {e quorum arbitration}
+      (below) instead of fail-stopping the campaign.
+    - {e Quorum arbitration}: a verdict mismatch (duplicate delivery or
+      cross-validation) re-issues the disputed chunk as ballots to up to
+      [quorum] workers that are neither the recorded verdict's origin
+      nor the challenger, one at a time. Each disputed sample is settled
+      by strict majority among both claims plus the ballots; the winner
+      is journaled as {!Journal.Arbitrated} (voter count, losing
+      verdict, overturned flag — an override on resume) and every party
+      that voted for a losing verdict takes a reputation hit. Disputes
+      with no majority after [quorum] ballots, or no progress within
+      [arb_patience] seconds (no eligible voter), are counted in
+      [result.arb_unresolved] — the recorded verdict stands and the
+      caller exits 19. Mismatches surfacing after completion (drain
+      phase) cannot recruit voters and go straight to unresolved, with
+      the late dissenter disconnected.
+    - {e Worker reputation}: per-name suspicion scores ({!Reputation}),
+      fed by arbitration losses (3), corrupt frames (2) and lease
+      expiries (1). A name crossing [suspect_threshold] is quarantined
+      for the rest of the run: excluded from arbitration voting, and
+      every chunk it completes is cross-validated regardless of
+      [verify_frac]. Quarantined names and scores are reported in
+      [result.suspects]; the worker's own score travels in [Welcome].
     - {e Worker death}: EOF or a write failure requeues the worker's
       chunks immediately.
     - {e Poisoned-chunk quarantine}: a chunk whose execution kills
@@ -40,7 +60,7 @@
       draw from the campaign seed selects chunks to re-issue, after
       completion, to a second worker (preferring one that is not the
       chunk's origin). Re-delivered verdicts must dedup equal; a
-      disagreement is a determinism violation.
+      disagreement opens a quorum arbitration.
     - {e Coordinator death}: every verdict is already journaled; a new
       coordinator started with [resume:true] on the same journal picks
       up where the old one stopped. Every resume bumps the journal's
@@ -87,13 +107,28 @@ type config = {
   max_inflight : int;
       (** bound on chunks simultaneously out on leases; [Request]s past
           it are answered [Wait]. 0 disables the bound *)
+  quorum : int;
+      (** maximum ballots recruited per disputed chunk (≥ 1). Tolerates
+          f lying parties per dispute when the electorate (2 disputants
+          + ballots) holds a strict honest majority — f < K/2 for
+          K = quorum against a lone liar *)
+  suspect_threshold : int;
+      (** suspicion score at which a worker name is quarantined
+          (excluded from voting, chunks always verified). 0 disables
+          reputation-based quarantine *)
+  arb_patience : float;
+      (** seconds an arbitration may sit with no progress (no ballot in
+          flight or streaming) before its disputes are declared
+          unresolved; must be positive and comfortably exceed [lease] in
+          production (tests shrink it to force the no-quorum path) *)
 }
 
 val default_config : config
 (** [{ listen = "127.0.0.1"; port = 0; chunk_size = 256; lease = 10.;
       write_timeout = 5.; tick = 0.05; drain = 5.; idle_timeout = 30.;
       poison_threshold = 3; blacklist_threshold = 3; verify_frac = 0.;
-      max_inflight = 1024 }] *)
+      max_inflight = 1024; quorum = 3; suspect_threshold = 5;
+      arb_patience = 30. }] *)
 
 type event =
   | Joined of { worker : string }
@@ -104,7 +139,8 @@ type event =
   | Progress of { done_ : int; total : int }  (** after each results frame *)
   | Duplicate of { worker : string; index : int }
   | Mismatch of { worker : string; index : int }
-      (** determinism violation: two workers disagreed on one experiment *)
+      (** two workers disagreed on one experiment; arbitration follows
+          (or, during drain, the dispute goes straight to unresolved) *)
   | Quarantined of { chunk_id : int; deaths : int }
       (** the chunk killed [deaths] distinct workers and is now skipped *)
   | Blacklisted of { worker : string; strikes : int }
@@ -114,6 +150,21 @@ type event =
   | Rejoined of { worker : string; stale_epoch : int; epoch : int }
       (** the worker's [Hello] announced a previous coordinator's epoch:
           it survived a failover and is re-delivering in-flight verdicts *)
+  | Arbitrating of { chunk_id : int; index : int; challenger : string }
+      (** a dispute was opened on this sample; ballots will be recruited *)
+  | Arbitrated of {
+      chunk_id : int;
+      index : int;
+      outcome : Journal.outcome;  (** the quorum winner *)
+      overturned : bool;  (** the first-recorded verdict lost *)
+      voters : string list;  (** ballot-casting workers, in recruitment order *)
+      losers : string list;  (** every party whose verdict lost the vote *)
+    }  (** full arbitration provenance, also summarized in the journal *)
+  | Arbitration_failed of { chunk_id : int; index : int; reason : string }
+      (** no quorum: the recorded verdict stands, the dispute counts as
+          unresolved (exit 19 upstairs) *)
+  | Suspected of { worker : string; score : int }
+      (** the name crossed [suspect_threshold] and is quarantined *)
   | Completed
 
 val pp_event : Format.formatter -> event -> unit
@@ -124,7 +175,10 @@ type result = {
   recovered : int;  (** verdicts replayed from the journal on resume *)
   dropped_bytes : int;  (** torn journal tail truncated on resume *)
   duplicates : int;  (** re-submitted verdicts asserted equal, dropped *)
-  mismatches : int;  (** determinism violations (first verdict kept) *)
+  mismatches : int;
+      (** disputed samples (every mismatch, resolved or not); each is
+          also counted in exactly one of [arb_resolved] /
+          [arb_unresolved] *)
   redispatched : int;  (** chunk leases requeued (expiry or disconnect) *)
   workers : int;  (** distinct worker names that completed a handshake *)
   poisoned : int list;
@@ -134,6 +188,16 @@ type result = {
   verified : int;  (** chunks whose cross-validation pass agreed *)
   rejoined : int;  (** handshakes announcing a stale (pre-failover) epoch *)
   epoch : int;  (** the coordinator generation this run served under *)
+  arb_resolved : int;  (** disputed samples settled by a quorum majority *)
+  arb_overturned : int;
+      (** resolved disputes where the quorum voted down the
+          first-recorded verdict (subset of [arb_resolved]) *)
+  arb_unresolved : int;
+      (** disputes with no reachable quorum: the recorded verdict stood
+          unvalidated — non-zero means exit 19 upstairs *)
+  suspects : (string * int) list;
+      (** quarantined worker names with their final suspicion scores,
+          sorted by name *)
 }
 
 type t

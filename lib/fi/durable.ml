@@ -154,6 +154,13 @@ let run campaign ~space ~seed ~n ?(ident = ("unknown", "unknown")) ?skip ?audit 
               incr recovered
             end
           | Journal.Quarantine m -> pre_quarantine m
+          (* Distributed-only arbitration override: the quorum's verdict
+             supersedes the disputed Outcome recorded before it. *)
+          | Journal.Arbitrated { index = i; outcome = o; _ } ->
+            if i >= 0 && i < n then begin
+              if outcomes.(i) = None then incr recovered;
+              outcomes.(i) <- Some o
+            end
           (* Distributed-only marker; a local journal never writes one,
              but resuming must not choke on it either. *)
           | Journal.Poisoned _ -> ())

@@ -12,6 +12,13 @@ type entry =
   | Outcome of int * outcome
   | Quarantine of int
   | Poisoned of int
+  | Arbitrated of {
+      index : int;
+      outcome : outcome;
+      loser : outcome;
+      voters : int;
+      overturned : bool;
+    }
 
 type header = {
   core : string;
@@ -50,12 +57,44 @@ let kind_of_entry = function
   | Outcome (_, Crashed) -> 4
   | Quarantine _ -> 5
   | Poisoned _ -> 6
+  | Arbitrated _ -> 7
+
+(* Arbitrated packs its provenance into the b word:
+     bits 0..2   winner outcome kind (same coding as record kinds 0..4)
+     bits 3..5   losing outcome kind
+     bit  6      overturned (winner differs from the first-recorded verdict)
+     bits 7..10  quorum ballot count (saturates at 15)
+     bits 11..31 winner's Sdc detection cycle (saturates at 2^21 - 1)
+   The loser's Sdc cycle is dropped — it lost the vote; only its kind
+   matters for audit — so a losing [Sdc c] decodes as [Sdc 0]. *)
+let outcome_kind = function
+  | Benign -> 0
+  | Latent -> 1
+  | Sdc _ -> 2
+  | Skipped -> 3
+  | Crashed -> 4
+
+let outcome_of_kind k arg =
+  match k with
+  | 0 -> Benign
+  | 1 -> Latent
+  | 2 -> Sdc arg
+  | 3 -> Skipped
+  | _ -> Crashed
 
 let args_of_entry = function
   | Outcome (i, Sdc c) -> (i, c)
   | Outcome (i, _) -> (i, 0)
   | Quarantine m -> (m, 0)
   | Poisoned c -> (c, 0)
+  | Arbitrated { index; outcome; loser; voters; overturned } ->
+    let cycle = match outcome with Sdc c -> min c 0x1FFFFF | _ -> 0 in
+    ( index,
+      outcome_kind outcome
+      lor (outcome_kind loser lsl 3)
+      lor ((if overturned then 1 else 0) lsl 6)
+      lor (min voters 15 lsl 7)
+      lor (cycle lsl 11) )
 
 let put32 buf pos v =
   for k = 0 to 3 do
@@ -95,6 +134,17 @@ let decode_record buf pos =
     | 4 -> Some (model, Outcome (a, Crashed))
     | 5 -> Some (model, Quarantine a)
     | 6 -> Some (model, Poisoned a)
+    | 7 ->
+      Some
+        ( model,
+          Arbitrated
+            {
+              index = a;
+              outcome = outcome_of_kind (b land 0x7) (b lsr 11);
+              loser = outcome_of_kind ((b lsr 3) land 0x7) 0;
+              voters = (b lsr 7) land 0xF;
+              overturned = b land 0x40 <> 0;
+            } )
     | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -589,6 +639,8 @@ type fsck_report = {
   fsck_counts : int array;
   fsck_models : (int * int array) list;
   fsck_covered : int;
+  fsck_overturned : int;
+  fsck_arb_ballots : int;
   fsck_errors : (string * string) list;
 }
 
@@ -606,12 +658,14 @@ let fsck ~dir =
       | exception Error msg -> err "header" msg; None
   in
   let header_model = Option.map (fun h -> Fault_model.id h.fault_model) header in
-  let counts = Array.make 7 0 in
+  let counts = Array.make 8 0 in
   let model_counts : (int, int array) Hashtbl.t = Hashtbl.create 4 in
   let unknown_models = Hashtbl.create 4 in
   let foreign_models = Hashtbl.create 4 in
   let covered = Hashtbl.create 1024 in
   let records = ref 0 in
+  let overturned = ref 0 in
+  let arb_ballots = ref 0 in
   let scan file entries =
     List.iter
       (fun (model, e) ->
@@ -621,7 +675,7 @@ let fsck ~dir =
           match Hashtbl.find_opt model_counts model with
           | Some a -> a
           | None ->
-            let a = Array.make 7 0 in
+            let a = Array.make 8 0 in
             Hashtbl.replace model_counts model a;
             a
         in
@@ -641,7 +695,25 @@ let fsck ~dir =
             (Printf.sprintf "records carry fault-model id %d but the header pins %s" model
                (match header with Some h -> Fault_model.name h.fault_model | None -> "?"))
         | _ -> ());
-        match e with Outcome (i, _) -> Hashtbl.replace covered i () | _ -> ())
+        match e with
+        | Outcome (i, _) -> Hashtbl.replace covered i ()
+        | Arbitrated a ->
+          Hashtbl.replace covered a.index ();
+          arb_ballots := !arb_ballots + a.voters;
+          if a.overturned then begin
+            incr overturned;
+            (* The override supersedes the first-recorded Outcome already
+               tallied above: move one verdict from the loser's kind to
+               the winner's, so the verdict summary matches what a
+               resume (which applies overrides) reports. *)
+            let lk = kind_of_entry (Outcome (a.index, a.loser)) in
+            let wk = kind_of_entry (Outcome (a.index, a.outcome)) in
+            (* Clamped: in a journal whose losing Outcome record was lost
+               with a torn segment there is nothing to move away from. *)
+            counts.(lk) <- max 0 (counts.(lk) - 1);
+            counts.(wk) <- counts.(wk) + 1
+          end
+        | _ -> ())
       entries
   in
   let segments =
@@ -676,5 +748,7 @@ let fsck ~dir =
     fsck_models =
       Hashtbl.fold (fun m a acc -> (m, a) :: acc) model_counts [] |> List.sort compare;
     fsck_covered = Hashtbl.length covered;
+    fsck_overturned = !overturned;
+    fsck_arb_ballots = !arb_ballots;
     fsck_errors = List.rev !errors;
   }

@@ -45,6 +45,24 @@ type entry =
           workers to be quarantined and skipped; its samples have no
           verdicts. Resume ignores these entries, so a resumed campaign
           retries the chunk fresh. *)
+  | Arbitrated of {
+      index : int;  (** sample whose verdict was disputed *)
+      outcome : outcome;  (** quorum winner — authoritative on resume *)
+      loser : outcome;
+          (** the defeated verdict. Its Sdc cycle is not preserved by
+              the 13-byte record (a losing [Sdc c] decodes as [Sdc 0]);
+              only the kind matters for audit. *)
+      voters : int;  (** quorum ballots beyond the two disputants
+                         (saturates at 15 in the record) *)
+      overturned : bool;
+          (** the quorum voted down the first-recorded verdict; on
+              resume this entry overrides the earlier [Outcome] *)
+    }
+      (** distributed campaigns: a verdict mismatch on [index] was
+          settled by majority vote among re-issued workers. Written
+          *after* the disputed [Outcome] record; {!resume} and fsck
+          apply it as an override, so replay order preserves the
+          arbitrated truth. *)
 
 type header = {
   core : string;
@@ -170,7 +188,10 @@ type fsck_report = {
   fsck_torn_bytes : int;  (** torn tail bytes in [active.bin] *)
   fsck_counts : int array;
       (** per-kind record counts, indexed by record kind: benign, latent,
-          sdc, skipped, crashed, quarantine, poisoned *)
+          sdc, skipped, crashed, quarantine, poisoned, arbitrated. The
+          verdict kinds (0..4) have overturned arbitrations applied — one
+          count moved from the losing kind to the winning — so they match
+          the statistics a resume reconstructs. *)
   fsck_models : (int * int array) list;
       (** per-fault-model record counts: (model id, per-kind counts as
           in [fsck_counts]), ascending by model id. Records whose model
@@ -178,6 +199,9 @@ type fsck_report = {
           disagrees with the header's pinned model additionally get an
           [fsck_errors] row — reported, never a crash. *)
   fsck_covered : int;  (** distinct sample indices holding a verdict *)
+  fsck_overturned : int;
+      (** arbitrated records whose quorum overturned the first verdict *)
+  fsck_arb_ballots : int;  (** total quorum ballots across arbitrations *)
   fsck_errors : (string * string) list;  (** (file, problem) pairs *)
 }
 

@@ -10,8 +10,11 @@ let max_frame = 1 lsl 24
 (* v2: Hello carries the worker's last-seen coordinator epoch.
    v3: Assign pins the fault model (id + parameter) on every chunk
    descriptor, so a worker can refuse a lease that contradicts the
-   campaign identity it resolved from Welcome. *)
-let version = 3
+   campaign identity it resolved from Welcome.
+   v4: Assign carries the chunk's purpose (data / verify / arbitrate
+   re-issue) and Welcome carries the connecting worker's reputation
+   (suspicion score) so a rejoining worker learns its own standing. *)
+let version = 4
 
 (* ------------------------------------------------------------------ *)
 (* Little-endian integer plumbing shared by frames and messages.       *)
@@ -183,17 +186,33 @@ let next_frame d =
 (* ------------------------------------------------------------------ *)
 (* Messages.                                                           *)
 
+(* Why the chunk is being issued. Workers execute all three identically
+   (determinism is the whole point); the tag exists so logs and tests can
+   tell a first-issue lease from a cross-check or an arbitration ballot. *)
+type purpose = Data | Verify | Arbitrate
+
+let purpose_code = function Data -> 0 | Verify -> 1 | Arbitrate -> 2
+
+let purpose_of_code = function
+  | 0 -> Data
+  | 1 -> Verify
+  | 2 -> Arbitrate
+  | k -> error "unknown chunk purpose %d" k
+
+let purpose_name = function Data -> "data" | Verify -> "verify" | Arbitrate -> "arbitrate"
+
 type chunk = {
   chunk_id : int;
   lo : int;
   hi : int;
   model : int;  (* Fault_model.id the chunk's samples are classified under *)
   model_param : int;  (* Fault_model.param (MBU cluster size / hold cycles) *)
+  purpose : purpose;
 }
 
 type msg =
   | Hello of { version : int; name : string; epoch : int }
-  | Welcome of Journal.header
+  | Welcome of { header : Journal.header; suspicion : int }
   | Request
   | Assign of chunk
   | Wait
@@ -230,17 +249,19 @@ let encode msg =
     (* epoch >= -1 (-1 = "never connected"); shift by one so the wire
        field stays an unsigned 32-bit value. *)
     put32 buf (epoch + 1)
-  | Welcome h ->
+  | Welcome { header; suspicion } ->
     Buffer.add_char buf 'W';
-    add_string32 buf (Journal.header_to_string h)
+    add_string32 buf (Journal.header_to_string header);
+    put32 buf suspicion
   | Request -> Buffer.add_char buf 'R'
-  | Assign { chunk_id; lo; hi; model; model_param } ->
+  | Assign { chunk_id; lo; hi; model; model_param; purpose } ->
     Buffer.add_char buf 'A';
     put32 buf chunk_id;
     put32 buf lo;
     put32 buf hi;
     put32 buf model;
-    put32 buf model_param
+    put32 buf model_param;
+    put32 buf (purpose_code purpose)
   | Wait -> Buffer.add_char buf 'w'
   | Results { chunk_id; results } ->
     Buffer.add_char buf 'r';
@@ -306,8 +327,9 @@ let decode payload =
       Hello { version; name; epoch }
     | 'W' -> (
       let text = take_string32 c in
+      let suspicion = take_u32 c in
       match Journal.header_of_string ~what:"peer" text with
-      | h -> Welcome h
+      | h -> Welcome { header = h; suspicion }
       | exception Journal.Error msg -> error "bad Welcome header: %s" msg)
     | 'R' -> Request
     | 'A' ->
@@ -316,7 +338,8 @@ let decode payload =
       let hi = take_u32 c in
       let model = take_u32 c in
       let model_param = take_u32 c in
-      Assign { chunk_id; lo; hi; model; model_param }
+      let purpose = purpose_of_code (take_u32 c) in
+      Assign { chunk_id; lo; hi; model; model_param; purpose }
     | 'w' -> Wait
     | 'r' ->
       let chunk_id = take_u32 c in

@@ -73,7 +73,20 @@ val version : int
 (** Protocol version; [Hello]/[Welcome] with a different version are
     refused. Version 2 added the worker's last-seen coordinator epoch
     to [Hello]; version 3 pins the fault model on every [Assign] chunk
-    descriptor. *)
+    descriptor; version 4 tags every chunk with its {!purpose}
+    (arbitration re-issue descriptors) and reports the worker's own
+    suspicion score in [Welcome]. *)
+
+type purpose =
+  | Data  (** first issue of the chunk *)
+  | Verify  (** cross-validation re-run ([--verify-frac]) *)
+  | Arbitrate  (** quorum ballot: re-run to vote on a disputed verdict *)
+      (** Why a chunk is being issued. Workers execute all three
+          identically — determinism is the contract — the tag exists for
+          logs, tests and future scheduling policy. *)
+
+val purpose_name : purpose -> string
+(** ["data" | "verify" | "arbitrate"]. *)
 
 type chunk = {
   chunk_id : int;
@@ -84,6 +97,7 @@ type chunk = {
           classified under — must agree with the Welcome header's model;
           a worker refuses a contradicting lease *)
   model_param : int;  (** {!Fault_model.param} (cluster size / hold cycles) *)
+  purpose : purpose;
 }
 
 type msg =
@@ -93,10 +107,13 @@ type msg =
           stale epoch knows this worker survived a failover and is about
           to re-deliver its in-flight verdicts (safe: first-verdict-wins
           dedup). *)
-  | Welcome of Journal.header
-      (** coordinator → worker: campaign identity, including the current
-          [epoch] — how a reconnecting worker detects a restarted
-          coordinator and drops stale lease state *)
+  | Welcome of { header : Journal.header; suspicion : int }
+      (** coordinator → worker: campaign identity (the {!Journal.header},
+          including the current [epoch] — how a reconnecting worker
+          detects a restarted coordinator and drops stale lease state)
+          plus the coordinator's current suspicion score for this
+          worker's name ({!Reputation}); a worker rejoining past the
+          quarantine threshold learns it is sidelined *)
   | Request  (** worker → coordinator: give me a chunk *)
   | Assign of chunk
   | Wait  (** nothing assignable now; heartbeat and ask again *)

@@ -22,6 +22,7 @@ type report = {
   reconnects : int;
   redelivered : int;
   epochs : int;
+  suspicion : int;
 }
 
 (* Cooperative shutdown mid-chunk: flush what we have, close the session,
@@ -32,6 +33,16 @@ let outcome_of_verdict : Campaign.verdict -> Journal.outcome = function
   | Campaign.Benign -> Journal.Benign
   | Campaign.Latent -> Journal.Latent
   | Campaign.Sdc c -> Journal.Sdc c
+
+(* A Byzantine verdict rewrite ({!Chaos.Lie}): deterministic in the
+   drawn key, always different from the truth, applied before the frame
+   is built — so the frame's CRC covers the lie and nothing on the wire
+   can catch it. Benign flips to a fault verdict; every fault verdict
+   flips to Benign, the most damaging lie (it hides real faults). *)
+let lie k (o : Journal.outcome) : Journal.outcome =
+  match o with
+  | Journal.Benign -> if k land 1 = 0 then Journal.Latent else Journal.Sdc (1 + (k land 0xFF))
+  | _ -> Journal.Benign
 
 let connect host port =
   let addrs =
@@ -136,7 +147,7 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
   in
   (* ---------------------------------------------------------------- *)
   (* One chunk, scalar or batched, streaming results as they appear.   *)
-  let run_chunk fd engine samples cworker { Proto.chunk_id; lo; hi; model; model_param } =
+  let run_chunk fd engine samples cworker { Proto.chunk_id; lo; hi; model; model_param; purpose = _ } =
     let own = engine.space.Fault_space.model in
     if model <> Fault_model.id own || model_param <> Fault_model.param own then
       raise
@@ -166,6 +177,14 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
       end
     in
     let push idx outcome =
+      (* Byzantine chaos: one Verdict-site draw per verdict reported.
+         A [Lie] rewrites the outcome before it is accumulated — every
+         downstream byte (frame, CRC, replay buffer) carries the lie. *)
+      let outcome =
+        match Option.map (fun c -> Chaos.draw c Chaos.Verdict) chaos with
+        | Some (Chaos.Lie k) -> lie k outcome
+        | _ -> outcome
+      in
       acc := (idx, outcome) :: !acc;
       incr acc_n;
       if !acc_n >= results_per_frame then flush ()
@@ -315,10 +334,16 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
      raises [Proto.Error] here, which the outer loop treats as a lost
      session — backoff and reconnect instead of hanging forever. *)
   let recv fd = Proto.recv ~deadline:(Mono.now () +. recv_timeout) ?chaos fd in
+  let suspicion = ref 0 in
   let session fd =
     Proto.send ?chaos fd (Proto.Hello { version = Proto.version; name; epoch = !last_epoch });
     match recv fd with
-    | Proto.Welcome header ->
+    | Proto.Welcome { header; suspicion = susp } ->
+      (* Our own standing as the coordinator sees it: a worker past the
+         quarantine threshold keeps working (its chunks are simply
+         always cross-validated) but the score is surfaced in the
+         report for operators. *)
+      suspicion := susp;
       let engine, samples, cworker = resolve_cached header in
       let ep = header.Journal.epoch in
       if ep <> !last_epoch then begin
@@ -411,4 +436,5 @@ let run ~host ~port ~resolve ?name ?(heartbeat = 1.) ?(recv_timeout = 30.) ?(ret
     reconnects = !reconnects;
     redelivered = !redelivered;
     epochs = !epochs;
+    suspicion = !suspicion;
   }

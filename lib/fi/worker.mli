@@ -52,6 +52,11 @@ type report = {
   reconnects : int;  (** sessions lost and re-established *)
   redelivered : int;  (** Results frames replayed into a new epoch *)
   epochs : int;  (** distinct coordinator generations handshook with *)
+  suspicion : int;
+      (** this worker's reputation score as reported by the last
+          [Welcome] — non-zero means the coordinator has evidence
+          against this name (arbitration losses, corrupt frames, lease
+          expiries) *)
 }
 
 val run :

@@ -30,4 +30,5 @@ let () =
       ("search-extra", Test_search_extra.suite);
       ("report", Test_report.suite);
       ("fault-model", Test_fault_model.suite);
+      ("byzantine", Test_byzantine.suite);
     ]

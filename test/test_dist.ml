@@ -71,9 +71,10 @@ let sample_header =
 let all_msgs =
   [
     Proto.Hello { version = Proto.version; name = "worker-1"; epoch = -1 };
-    Proto.Welcome sample_header;
+    Proto.Welcome { header = sample_header; suspicion = 2 };
     Proto.Request;
-    Proto.Assign { Proto.chunk_id = 3; lo = 12; hi = 15; model = 0; model_param = 0 };
+    Proto.Assign
+      { Proto.chunk_id = 3; lo = 12; hi = 15; model = 0; model_param = 0; purpose = Proto.Data };
     Proto.Wait;
     Proto.Results
       {
@@ -153,7 +154,12 @@ let test_frame_sockets () =
   Unix.close b;
   (* ...but EOF mid-frame is a truncation error. *)
   let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let frame = Proto.encode_frame (Proto.encode (Proto.Assign { chunk_id = 1; lo = 0; hi = 9; model = 0; model_param = 0 })) in
+  let frame =
+    Proto.encode_frame
+      (Proto.encode
+         (Proto.Assign
+            { chunk_id = 1; lo = 0; hi = 9; model = 0; model_param = 0; purpose = Proto.Data }))
+  in
   let partial = String.sub frame 0 (String.length frame - 2) in
   ignore (Unix.write_substring a partial 0 (String.length partial));
   Unix.close a;
@@ -588,7 +594,7 @@ let test_rogue_clients () =
   let rogue = connect () in
   Proto.send rogue (Proto.Hello { version = Proto.version; name = "rogue"; epoch = -1 });
   (match Proto.recv rogue with
-  | Proto.Welcome h -> check_bool "rogue got the real header" true (h = make_header ())
+  | Proto.Welcome { header = h; _ } -> check_bool "rogue got the real header" true (h = make_header ())
   | _ -> Alcotest.fail "expected Welcome");
   let rogue2 = connect () in
   Proto.send rogue2 (Proto.Hello { version = Proto.version; name = "rogue2"; epoch = -1 });
@@ -608,6 +614,9 @@ let test_rogue_clients () =
   let r = join () in
   check_bool "completed" true r.Coordinator.completed;
   check_int "one mismatch surfaced" 1 r.Coordinator.mismatches;
+  (* A drain-phase dissenter cannot recruit voters: the dispute counts as
+     unresolved (exit 19 upstairs) and the recorded verdict stands. *)
+  check_int "drain-time dispute unresolved" 1 r.Coordinator.arb_unresolved;
   check_stats "first verdict kept" reference r.Coordinator.stats
 
 let suite =

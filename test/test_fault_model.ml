@@ -455,12 +455,15 @@ let test_resume_model_mismatch () =
 (* --- proto: the chunk descriptor pins model and parameter ------------ *)
 
 let test_proto_chunk_model () =
-  let chunk = { Proto.chunk_id = 5; lo = 1; hi = 9; model = 3; model_param = 7 } in
+  let chunk =
+    { Proto.chunk_id = 5; lo = 1; hi = 9; model = 3; model_param = 7; purpose = Proto.Verify }
+  in
   match Proto.decode (Proto.encode (Proto.Assign chunk)) with
   | Proto.Assign got ->
     check_int "chunk_id" chunk.Proto.chunk_id got.Proto.chunk_id;
     check_int "model" chunk.Proto.model got.Proto.model;
-    check_int "model_param" chunk.Proto.model_param got.Proto.model_param
+    check_int "model_param" chunk.Proto.model_param got.Proto.model_param;
+    check_bool "purpose" true (got.Proto.purpose = Proto.Verify)
   | _ -> Alcotest.fail "Assign did not round-trip"
 
 let suite =
